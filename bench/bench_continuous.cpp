@@ -1,0 +1,121 @@
+// E7 — Continuous query throughput (figure "continuous queries").
+//
+// A worker-side ContinuousQueryManager hosts 10..10k standing range
+// monitors; the detection stream is replayed through it. Compared against
+// the naive baseline that re-tests every monitor on every detection.
+// Reported: detections/sec sustained, monitors tested per detection, and
+// delta volume. Expected shape: bucketed routing keeps per-detection work
+// ~flat as monitor count grows; naive degrades linearly.
+#include <cinttypes>
+#include <deque>
+
+#include "bench_util.h"
+#include "query/continuous.h"
+
+namespace stcn {
+namespace {
+
+void run() {
+  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(150.0);
+
+  bench::print_header(
+      "E7 continuous queries",
+      "incremental monitors vs naive re-test, " +
+          std::to_string(trace.detections.size()) + " detections");
+  std::printf("%10s |  %14s %14s %10s |  %14s %14s\n", "monitors",
+              "routed_ev/s", "tested/detect", "deltas", "naive_ev/s",
+              "tested/detect");
+
+  Rng rng(77);
+  for (std::size_t monitors : {10, 100, 1000, 10000}) {
+    // Install monitors at random city locations.
+    std::vector<ContinuousQuerySpec> specs;
+    specs.reserve(monitors);
+    for (std::size_t i = 0; i < monitors; ++i) {
+      Point center{rng.uniform(world.min.x, world.max.x),
+                   rng.uniform(world.min.y, world.max.y)};
+      specs.push_back({QueryId(i + 1), Rect::centered(center, 60.0),
+                       Duration::seconds(60)});
+    }
+
+    // Bucketed (framework) manager. Window expiry is advanced on the
+    // worker's 1 s tick, exactly as WorkerNode does — not per detection.
+    ContinuousQueryManager manager(world, /*bucket_size=*/100.0);
+    for (const auto& spec : specs) manager.install(spec);
+    std::vector<DeltaUpdate> deltas;
+    std::uint64_t tested = 0;
+    TimePoint next_tick = TimePoint::origin() + Duration::seconds(1);
+    bench::WallTimer timer;
+    for (const Detection& d : trace.detections) {
+      tested += manager.on_detection(d, deltas);
+      if (d.time >= next_tick) {
+        manager.advance_to(d.time, deltas);
+        next_tick = d.time + Duration::seconds(1);
+      }
+    }
+    manager.advance_to(TimePoint::origin() + tc.duration, deltas);
+    double routed_ms = timer.elapsed_ms();
+    std::size_t delta_count = deltas.size();
+
+    // Naive baseline: test every monitor on every detection; same 1 s
+    // expiry cadence so delta volumes are comparable.
+    std::vector<std::deque<Detection>> windows(monitors);
+    std::uint64_t naive_tested = 0;
+    std::size_t naive_deltas = 0;
+    next_tick = TimePoint::origin() + Duration::seconds(1);
+    timer.reset();
+    for (const Detection& d : trace.detections) {
+      for (std::size_t m = 0; m < monitors; ++m) {
+        ++naive_tested;
+        if (specs[m].region.contains(d.position)) {
+          windows[m].push_back(d);
+          ++naive_deltas;
+        }
+      }
+      if (d.time >= next_tick) {
+        for (std::size_t m = 0; m < monitors; ++m) {
+          TimePoint horizon = d.time - specs[m].window;
+          while (!windows[m].empty() && windows[m].front().time < horizon) {
+            windows[m].pop_front();
+            ++naive_deltas;
+          }
+        }
+        next_tick = d.time + Duration::seconds(1);
+      }
+    }
+    for (std::size_t m = 0; m < monitors; ++m) {
+      TimePoint horizon =
+          TimePoint::origin() + tc.duration - specs[m].window;
+      while (!windows[m].empty() && windows[m].front().time < horizon) {
+        windows[m].pop_front();
+        ++naive_deltas;
+      }
+    }
+    double naive_ms = timer.elapsed_ms();
+
+    auto n = static_cast<double>(trace.detections.size());
+    std::printf("%10zu |  %14.0f %14.2f %10zu |  %14.0f %14.2f\n", monitors,
+                n / (routed_ms / 1000.0), static_cast<double>(tested) / n,
+                delta_count, n / (naive_ms / 1000.0),
+                static_cast<double>(naive_tested) / n);
+    // The two implementations must agree on the delta volume.
+    if (naive_deltas != delta_count) {
+      std::printf("  WARNING: delta mismatch (%zu vs %zu)\n", delta_count,
+                  naive_deltas);
+    }
+  }
+  std::printf(
+      "\nexpected shape: routed tests only monitors co-located with the\n"
+      "detection (grows with local monitor density), naive tests all of\n"
+      "them; the routed throughput advantage holds at every scale.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

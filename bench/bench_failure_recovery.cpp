@@ -1,0 +1,92 @@
+// E9 — Failure recovery (figure "failure recovery").
+//
+// Workers crash (losing in-memory state) and restart; restart triggers
+// resync of their partitions from surviving replicas. Reported per failure
+// count: virtual recovery time, resynced detections, resync bytes on the
+// wire, and whether whole-world queries stayed complete throughout (via
+// failover to backups). Expected shape: recovery time scales with the data
+// a worker holds; answers stay complete as long as one replica survives.
+#include <cinttypes>
+#include <memory>
+#include <set>
+
+#include "baseline/centralized.h"
+#include "bench_util.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+
+namespace stcn {
+namespace {
+
+void run() {
+  TraceConfig tc = bench::scenario(1.5, Duration::minutes(4));
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(150.0);
+
+  CentralizedIndex oracle(world);
+  oracle.ingest_all(trace.detections);
+  std::set<std::uint64_t> expected;
+  for (const Detection& d : trace.detections) expected.insert(d.id.value());
+
+  bench::print_header(
+      "E9 failure recovery",
+      "8 workers, replication factor 2, sequential crash/restart cycles");
+  std::printf("%10s %16s %16s %16s %12s\n", "failures", "recovery_virt_ms",
+              "resynced_events", "resync_bytes", "complete?");
+
+  for (std::size_t failures : {1, 2, 4}) {
+    ClusterConfig config;
+    config.worker_count = 8;
+    config.coordinator.query_timeout = Duration::millis(20);
+    Cluster cluster(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+        config);
+    cluster.ingest_all(trace.detections);
+
+    double recovery_ms = 0.0;
+    std::uint64_t resynced = 0;
+    std::uint64_t bytes0 = cluster.network().counters().get("bytes_sent");
+    bool all_complete = true;
+
+    for (std::size_t f = 0; f < failures; ++f) {
+      WorkerId victim(1 + f);
+      cluster.crash_worker(victim);
+
+      // Query during downtime: failover must keep the answer complete.
+      QueryResult during = cluster.execute(Query::range(
+          cluster.next_query_id(), world, TimeInterval::all()));
+      std::set<std::uint64_t> got;
+      for (const Detection& d : during.detections) got.insert(d.id.value());
+      all_complete = all_complete && (got == expected);
+
+      Duration recovery = cluster.restart_worker(victim);
+      recovery_ms += recovery.to_seconds() * 1000.0;
+      resynced += cluster.worker(victim).counters().get("ingested_resync");
+
+      // Query after recovery.
+      QueryResult after = cluster.execute(Query::range(
+          cluster.next_query_id(), world, TimeInterval::all()));
+      got.clear();
+      for (const Detection& d : after.detections) got.insert(d.id.value());
+      all_complete = all_complete && (got == expected);
+    }
+    std::uint64_t resync_bytes =
+        cluster.network().counters().get("bytes_sent") - bytes0;
+    std::printf("%10zu %16.2f %16" PRIu64 " %16" PRIu64 " %12s\n", failures,
+                recovery_ms / static_cast<double>(failures),
+                resynced / failures, resync_bytes / failures,
+                all_complete ? "yes" : "NO");
+  }
+  std::printf(
+      "\nexpected shape: bounded recovery (proportional to per-worker\n"
+      "data), complete answers throughout thanks to failover + resync.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

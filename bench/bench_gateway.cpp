@@ -1,0 +1,71 @@
+// Ablation A2 — edge gateway routing vs coordinator relay.
+//
+// The same detection stream enters the cluster two ways: (a) edge gateways
+// route batches straight to the owning workers using a cached partition
+// map; (b) gateways relay everything through the coordinator, which
+// re-routes (the naive hub-and-spoke architecture). Reported: total wire
+// bytes, messages, per-event bytes, and the coordinator's share of traffic.
+// Expected shape: relay roughly doubles wire volume and concentrates it on
+// one node; direct routing removes the coordinator from the ingest path.
+#include <cinttypes>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+
+namespace stcn {
+namespace {
+
+void run() {
+  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(150.0);
+
+  bench::print_header(
+      "A2 gateway routing",
+      std::to_string(trace.detections.size()) +
+          " detections, 8 gateways, 8 workers");
+  std::printf("%-22s %14s %12s %14s %18s\n", "architecture", "bytes_total",
+              "messages", "bytes/event", "coord_forwards");
+
+  for (bool relay : {false, true}) {
+    ClusterConfig config;
+    config.worker_count = 8;
+    Cluster cluster(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+        config);
+    GatewayConfig gw;
+    gw.relay_through_coordinator = relay;
+    GatewayFleet fleet = cluster.make_gateway_fleet(8, gw);
+
+    for (const Detection& d : trace.detections) {
+      cluster.network().advance_clock_to(d.time);
+      fleet.ingest(d, cluster.network());
+    }
+    fleet.flush(cluster.network());
+    cluster.pump();
+
+    auto bytes = cluster.network().counters().get("bytes_sent");
+    auto msgs = cluster.network().counters().get("messages_sent");
+    auto forwards = cluster.coordinator().counters().get("ingest_forwards");
+    std::printf("%-22s %14" PRIu64 " %12" PRIu64 " %14.1f %18" PRIu64 "\n",
+                relay ? "relay-via-coordinator" : "gateway-direct", bytes,
+                msgs,
+                static_cast<double>(bytes) /
+                    static_cast<double>(trace.detections.size()),
+                forwards);
+  }
+  std::printf(
+      "\nexpected shape: relay ≈ 2× the wire bytes of direct routing and\n"
+      "funnels every event through the coordinator.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

@@ -1,0 +1,184 @@
+// E10 — Index micro-benchmarks (table "index microbench").
+//
+// google-benchmark timings of the substrate data structures: grid-index
+// insert and queries at several selectivities, kd-tree build/k-NN,
+// temporal-store camera windows, trajectory lookup, and the wire codecs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/protocol.h"
+#include "index/grid_index.h"
+#include "index/kdtree.h"
+#include "index/temporal_store.h"
+#include "index/trajectory_store.h"
+
+namespace stcn {
+namespace {
+
+Detection random_detection(Rng& rng, std::uint64_t id) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(1 + rng.uniform_index(100));
+  d.object = ObjectId(1 + rng.uniform_index(500));
+  d.time = TimePoint(rng.uniform_int(0, 600'000'000));
+  d.position = {rng.uniform(0, 2000), rng.uniform(0, 2000)};
+  d.appearance.values.resize(16);
+  for (auto& v : d.appearance.values) v = static_cast<float>(rng.normal());
+  d.appearance.normalize();
+  return d;
+}
+
+GridIndexConfig grid_config() { return {Rect{{0, 0}, {2000, 2000}}, 50.0}; }
+
+struct Dataset {
+  DetectionStore store;
+  std::vector<DetectionRef> refs;
+  std::vector<Detection> raw;
+
+  explicit Dataset(std::size_t n) {
+    Rng rng(7);
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      Detection d = random_detection(rng, i);
+      raw.push_back(d);
+      refs.push_back(store.append(d));
+    }
+  }
+};
+
+Dataset& dataset() {
+  static Dataset ds(100'000);
+  return ds;
+}
+
+void BM_GridInsert(benchmark::State& state) {
+  Dataset& ds = dataset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    GridIndex index(grid_config());
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0));
+         ++i) {
+      index.insert(ds.store, ds.refs[i]);
+    }
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridInsert)->Arg(1000)->Arg(10'000)->Arg(100'000);
+
+void BM_GridRangeQuery(benchmark::State& state) {
+  Dataset& ds = dataset();
+  GridIndex index(grid_config());
+  for (DetectionRef r : ds.refs) index.insert(ds.store, r);
+  double half = static_cast<double>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    Rect region = Rect::centered(
+        {rng.uniform(0, 2000), rng.uniform(0, 2000)}, half);
+    auto out = index.query_range(ds.store, region, TimeInterval::all());
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_GridRangeQuery)->Arg(25)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_GridKnn(benchmark::State& state) {
+  Dataset& ds = dataset();
+  GridIndex index(grid_config());
+  for (DetectionRef r : ds.refs) index.insert(ds.store, r);
+  auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  for (auto _ : state) {
+    Point center{rng.uniform(0, 2000), rng.uniform(0, 2000)};
+    auto out = index.query_knn(ds.store, center, k, TimeInterval::all());
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_GridKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  Dataset& ds = dataset();
+  std::vector<KdTree::Item> items;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    items.push_back({ds.raw[i].position, i});
+  }
+  for (auto _ : state) {
+    KdTree tree(items);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10'000)->Arg(100'000);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  Dataset& ds = dataset();
+  std::vector<KdTree::Item> items;
+  items.reserve(ds.raw.size());
+  for (std::size_t i = 0; i < ds.raw.size(); ++i) {
+    items.push_back({ds.raw[i].position, i});
+  }
+  KdTree tree(std::move(items));
+  auto k = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    auto out = tree.knn({rng.uniform(0, 2000), rng.uniform(0, 2000)}, k);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_TemporalCameraWindow(benchmark::State& state) {
+  Dataset& ds = dataset();
+  TemporalStore temporal;
+  for (DetectionRef r : ds.refs) temporal.insert(ds.store, r);
+  Rng rng(12);
+  for (auto _ : state) {
+    CameraId cam(1 + rng.uniform_index(100));
+    TimePoint begin(rng.uniform_int(0, 500'000'000));
+    auto out = temporal.query_camera(
+        cam, {begin, begin + Duration::seconds(60)});
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_TemporalCameraWindow);
+
+void BM_TrajectoryQuery(benchmark::State& state) {
+  Dataset& ds = dataset();
+  TrajectoryStore trajectories;
+  for (DetectionRef r : ds.refs) trajectories.insert(ds.store, r);
+  Rng rng(13);
+  for (auto _ : state) {
+    ObjectId obj(1 + rng.uniform_index(500));
+    auto out = trajectories.query(obj, TimeInterval::all());
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_TrajectoryQuery);
+
+void BM_DetectionEncode(benchmark::State& state) {
+  Dataset& ds = dataset();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    BinaryWriter w;
+    serialize(w, ds.raw[i++ % ds.raw.size()]);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_DetectionEncode);
+
+void BM_DetectionDecode(benchmark::State& state) {
+  Dataset& ds = dataset();
+  BinaryWriter w;
+  serialize(w, ds.raw[0]);
+  auto bytes = w.take();
+  for (auto _ : state) {
+    BinaryReader r(bytes);
+    Detection d = deserialize_detection(r);
+    benchmark::DoNotOptimize(d.id);
+  }
+}
+BENCHMARK(BM_DetectionDecode);
+
+}  // namespace
+}  // namespace stcn
+
+BENCHMARK_MAIN();

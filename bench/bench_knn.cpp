@@ -1,0 +1,92 @@
+// E8 — k-NN query latency (table "k-NN latency").
+//
+// k-nearest-detection queries through the full distributed stack, swept
+// over k and worker count, plus a local index-level comparison of the grid
+// ring search against a bulk kd-tree. Expected shape: latency grows gently
+// with k; worker count adds fan-in cost for k-NN (no spatial pruning is
+// possible), so fewer workers are better for this query type.
+#include <cinttypes>
+#include <memory>
+
+#include "baseline/centralized.h"
+#include "bench_util.h"
+#include "core/framework.h"
+#include "index/kdtree.h"
+#include "partition/strategies.h"
+
+namespace stcn {
+namespace {
+
+void run() {
+  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(150.0);
+
+  bench::print_header(
+      "E8 k-NN latency",
+      std::to_string(trace.detections.size()) + " detections");
+
+  std::printf("-- distributed stack: wall ms per query (40 queries/cell)\n");
+  std::printf("%10s %8s %8s %8s\n", "k \\ workers", "1", "4", "16");
+  Rng rng(3);
+  std::vector<Point> centers;
+  for (int i = 0; i < 40; ++i) {
+    centers.push_back({rng.uniform(world.min.x, world.max.x),
+                       rng.uniform(world.min.y, world.max.y)});
+  }
+  for (std::uint32_t k : {1u, 10u, 100u}) {
+    std::printf("%10u ", k);
+    for (std::size_t workers : {1, 4, 16}) {
+      ClusterConfig config;
+      config.worker_count = workers;
+      Cluster cluster(
+          world,
+          std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+          config);
+      cluster.ingest_all(trace.detections);
+      bench::WallTimer timer;
+      for (Point c : centers) {
+        (void)cluster.execute(
+            Query::knn(cluster.next_query_id(), c, k, TimeInterval::all()));
+      }
+      std::printf("%8.3f ", timer.elapsed_ms() / centers.size());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- index-level: grid ring search vs kd-tree (us per query)\n");
+  CentralizedIndex central(world);
+  central.ingest_all(trace.detections);
+  std::vector<KdTree::Item> items;
+  items.reserve(trace.detections.size());
+  for (const Detection& d : trace.detections) {
+    items.push_back({d.position, d.id.value()});
+  }
+  KdTree tree(items);
+  std::printf("%10s %12s %12s\n", "k", "grid_us", "kdtree_us");
+  for (std::size_t k : {1, 10, 100}) {
+    bench::WallTimer grid_timer;
+    for (Point c : centers) {
+      (void)central.indexes().grid.query_knn(central.indexes().store, c, k,
+                                             TimeInterval::all());
+    }
+    double grid_us = grid_timer.elapsed_ms() * 1000.0 / centers.size();
+    bench::WallTimer kd_timer;
+    for (Point c : centers) {
+      (void)tree.knn(c, k);
+    }
+    double kd_us = kd_timer.elapsed_ms() * 1000.0 / centers.size();
+    std::printf("%10zu %12.1f %12.1f\n", k, grid_us, kd_us);
+  }
+  std::printf(
+      "\nexpected shape: latency grows mildly with k; k-NN cannot prune\n"
+      "partitions, so more workers add fan-in cost rather than speedup.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

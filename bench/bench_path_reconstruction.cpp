@@ -1,0 +1,100 @@
+// E6 — Path reconstruction accuracy (figure "path reconstruction").
+//
+// Beam-search path reconstruction over the camera network, swept over
+// appearance noise (detector quality). Reported: mean hop accuracy against
+// ground truth, mean reconstructed path length, and candidates examined.
+// Expected shape: graceful degradation — accuracy falls with noise while
+// the search cost stays bounded by the cone.
+#include <cinttypes>
+#include <set>
+
+#include "baseline/centralized.h"
+#include "bench_util.h"
+#include "reid/path_reconstruction.h"
+
+namespace stcn {
+namespace {
+
+std::vector<const Detection*> multi_hop_probes(const Trace& trace,
+                                               std::size_t max_probes) {
+  std::vector<const Detection*> out;
+  std::unordered_map<ObjectId, std::vector<const Detection*>> by_object;
+  for (const Detection& d : trace.detections) {
+    by_object[d.object].push_back(&d);
+  }
+  for (const auto& [obj, dets] : by_object) {
+    if (dets.size() < 4) continue;
+    std::set<std::uint64_t> cameras;
+    for (const Detection* d : dets) cameras.insert(d->camera.value());
+    if (cameras.size() >= 3 && out.size() < max_probes) {
+      out.push_back(dets.front());
+    }
+  }
+  return out;
+}
+
+void run() {
+  bench::print_header("E6 path reconstruction",
+                      "hop accuracy vs appearance noise, beam width 4");
+  std::printf("%8s %8s %12s %12s %14s %10s\n", "noise", "probes",
+              "hop_accuracy", "path_len", "candidates", "ms/probe");
+
+  for (double noise : {0.05, 0.15, 0.30, 0.50}) {
+    TraceConfig tc = bench::scenario(1.5, Duration::minutes(8));
+    tc.detection.appearance_noise = noise;
+    Trace trace = TraceGenerator::generate(tc);
+    Rect world = trace.roads.bounds(150.0);
+
+    CentralizedIndex index(world);
+    index.ingest_all(trace.detections);
+    LocalCandidateSource source(index, trace.cameras);
+
+    TransitionGraph graph;
+    graph.learn(trace.detections);
+
+    ReidParams rp;
+    rp.cone.max_hops = 2;
+    rp.cone.min_edge_count = 2;
+    rp.min_similarity = 0.55;
+    rp.max_matches = 5;
+    ReidEngine engine(graph, rp);
+
+    PathParams pp;
+    pp.beam_width = 4;
+    pp.max_path_length = 8;
+    pp.hop_horizon = Duration::minutes(2);
+    PathReconstructor reconstructor(engine, pp);
+
+    auto probes = multi_hop_probes(trace, 40);
+    double accuracy = 0.0;
+    double length = 0.0;
+    double candidates = 0.0;
+    double ms = 0.0;
+    std::size_t n = 0;
+    for (const Detection* probe : probes) {
+      bench::WallTimer timer;
+      ReconstructedPath path = reconstructor.reconstruct(*probe, source);
+      ms += timer.elapsed_ms();
+      accuracy += PathReconstructor::hop_accuracy(path, probe->object, true);
+      length += static_cast<double>(path.hops.size());
+      candidates += static_cast<double>(path.candidates_examined);
+      ++n;
+    }
+    if (n == 0) continue;
+    auto dn = static_cast<double>(n);
+    std::printf("%8.2f %8zu %11.0f%% %12.1f %14.0f %10.2f\n", noise, n,
+                100.0 * accuracy / dn, length / dn, candidates / dn, ms / dn);
+  }
+  std::printf(
+      "\nexpected shape: accuracy high at low noise, degrading gracefully\n"
+      "as the detector worsens; candidates stay bounded (cone, not full "
+      "scan).\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

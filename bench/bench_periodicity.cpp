@@ -1,0 +1,67 @@
+// E12 (extension) — periodic activity-pattern detection.
+//
+// City traffic is periodic (rush hours, quiet nights); the analytics layer
+// recovers the cycle length from query-derived activity series via
+// autocorrelation. Swept over true cycle length and quiet-phase depth.
+// Reported: detected period vs truth and detection confidence. Expected
+// shape: exact recovery (±1 bucket) once the quiet phase is pronounced;
+// shallow cycles fall below the confidence threshold and are (correctly)
+// not reported.
+#include <cinttypes>
+#include <cmath>
+
+#include "baseline/centralized.h"
+#include "bench_util.h"
+#include "query/analytics.h"
+
+namespace stcn {
+namespace {
+
+void run() {
+  bench::print_header("E12 periodic patterns",
+                      "activity-cycle recovery from query feedback");
+  std::printf("%12s %12s %14s %14s %12s\n", "true_period", "quiet_factor",
+              "detections", "detected", "confidence");
+
+  for (std::int64_t period_min : {2, 3, 4}) {
+    for (double quiet_factor : {1.0, 4.0, 30.0}) {
+      TraceConfig tc = bench::scenario(1.0, Duration::minutes(4 * period_min));
+      tc.mobility.activity_period = Duration::minutes(period_min);
+      tc.mobility.quiet_dwell_factor = quiet_factor;
+      Trace trace = TraceGenerator::generate(tc);
+      Rect world = trace.roads.bounds(150.0);
+      CentralizedIndex index(world);
+      index.ingest_all(trace.detections);
+
+      QueryExecutorRef exec(index);
+      auto series = activity_series(
+          exec, world,
+          {TimePoint::origin(), TimePoint::origin() + tc.duration},
+          Duration::seconds(15));
+      auto est = estimate_period(series);
+      if (est.has_value()) {
+        std::printf("%10" PRId64 "min %12.0f %14zu %12.0fs %12.2f\n",
+                    period_min, quiet_factor, trace.detections.size(),
+                    est->period.to_seconds(), est->confidence);
+      } else {
+        std::printf("%10" PRId64 "min %12.0f %14zu %14s %12s\n", period_min,
+                    quiet_factor, trace.detections.size(), "none", "-");
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: no cycle reported at quiet_factor 1 (flat\n"
+      "traffic); pronounced cycles recovered at their true length (±1\n"
+      "bucket). Cycles comparable to the trip-duration timescale (the\n"
+      "2-minute row: 60 s quiet halves vs 10–60 s trips) blur into the\n"
+      "mobility shoulder and are correctly not reported rather than\n"
+      "reported wrong.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation A1 — adaptive k-NN planning vs broadcast.
+//
+// DESIGN.md calls out footprint pruning as the load-bearing design choice;
+// k-NN is the query type with *no* static footprint. This ablation measures
+// what the selectivity-estimator-driven planner recovers: worker fan-out,
+// messages, and bytes per k-NN, planned vs broadcast, as the estimator
+// warms up. Expected shape: once warm, planned k-NN touches a small corner
+// of the fleet; cold (dark estimator) it degenerates to broadcast cost but
+// never loses exactness.
+#include <cinttypes>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+
+namespace stcn {
+namespace {
+
+struct Cost {
+  double fanout;
+  double msgs;
+  double bytes;
+};
+
+template <typename RunQuery>
+Cost measure(Cluster& cluster, std::size_t n, RunQuery&& run) {
+  auto q0 = cluster.coordinator().counters().get("queries_submitted");
+  auto f0 = cluster.coordinator().counters().get("query_fanout_total");
+  auto m0 = cluster.network().counters().get("messages_sent");
+  auto b0 = cluster.network().counters().get("bytes_sent");
+  run();
+  auto queries =
+      cluster.coordinator().counters().get("queries_submitted") - q0;
+  return {static_cast<double>(
+              cluster.coordinator().counters().get("query_fanout_total") -
+              f0) /
+              static_cast<double>(queries),
+          static_cast<double>(cluster.network().counters().get(
+                                  "messages_sent") -
+                              m0) /
+              static_cast<double>(n),
+          static_cast<double>(cluster.network().counters().get("bytes_sent") -
+                              b0) /
+              static_cast<double>(n)};
+}
+
+void run() {
+  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(150.0);
+
+  ClusterConfig config;
+  config.worker_count = 16;
+  Cluster cluster(
+      world,
+      std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+      config);
+  cluster.ingest_all(trace.detections);
+
+  bench::print_header(
+      "A1 adaptive k-NN planner",
+      "16 workers, " + std::to_string(trace.detections.size()) +
+          " detections, 40 k-NN queries per row");
+
+  Rng rng(5);
+  std::vector<Point> centers;
+  for (int i = 0; i < 40; ++i) {
+    centers.push_back({rng.uniform(world.min.x, world.max.x),
+                       rng.uniform(world.min.y, world.max.y)});
+  }
+
+  std::printf("%-22s %10s %10s %12s\n", "plan", "fanout", "msgs/q",
+              "bytes/q");
+
+  // Cold planner: estimator dark, every plan degenerates.
+  Cost cold = measure(cluster, centers.size(), [&] {
+    for (Point c : centers) {
+      (void)cluster.execute_knn_adaptive(c, 5, TimeInterval::all());
+    }
+  });
+  std::printf("%-22s %10.2f %10.1f %12.0f\n", "adaptive (cold)", cold.fanout,
+              cold.msgs, cold.bytes);
+
+  // Warm the estimator with range-query feedback.
+  for (int i = 0; i < 60; ++i) {
+    Rect region = Rect::centered(
+        {rng.uniform(world.min.x, world.max.x),
+         rng.uniform(world.min.y, world.max.y)},
+        300.0);
+    (void)cluster.execute(
+        Query::range(cluster.next_query_id(), region, TimeInterval::all()));
+  }
+
+  Cost warm = measure(cluster, centers.size(), [&] {
+    for (Point c : centers) {
+      (void)cluster.execute_knn_adaptive(c, 5, TimeInterval::all());
+    }
+  });
+  std::printf("%-22s %10.2f %10.1f %12.0f\n", "adaptive (warm)", warm.fanout,
+              warm.msgs, warm.bytes);
+
+  Cost broadcast = measure(cluster, centers.size(), [&] {
+    for (Point c : centers) {
+      (void)cluster.execute(Query::knn(cluster.next_query_id(), c, 5,
+                                       TimeInterval::all()));
+    }
+  });
+  std::printf("%-22s %10.2f %10.1f %12.0f\n", "broadcast k-NN",
+              broadcast.fanout, broadcast.msgs, broadcast.bytes);
+
+  std::printf(
+      "\nexpected shape: warm adaptive fan-out and bytes well below\n"
+      "broadcast. The cold planner's FIRST query degenerates to a\n"
+      "world-sized circle (broadcast cost), but that circle's own feedback\n"
+      "lights the estimator, so even the cold row self-warms after one\n"
+      "query — correctness never depends on the estimate either way.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

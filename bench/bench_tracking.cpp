@@ -1,0 +1,77 @@
+// E11 (extension) — online cross-camera tracking quality and throughput.
+//
+// The streaming tracker stitches per-camera detections into city-wide
+// tracks in real time. Swept over appearance noise; the transition-gate
+// ablation (appearance-only association, no travel-time gating) shows what
+// the spatio-temporal model contributes. Reported: track purity,
+// fragmentation, ID switches, and events/s through the tracker.
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "reid/tracker.h"
+
+namespace stcn {
+namespace {
+
+struct Row {
+  TrackingMetrics metrics;
+  double events_per_sec = 0.0;
+};
+
+Row run_tracker(const Trace& trace, const TransitionGraph& graph,
+                bool transition_gate) {
+  TrackerConfig config;
+  config.transition.min_edge_count = 2;
+  config.use_transition_gate = transition_gate;
+  OnlineTracker tracker(graph, config);
+  bench::WallTimer timer;
+  for (const Detection& d : trace.detections) {
+    tracker.observe(d);
+    tracker.advance_to(d.time);
+  }
+  Row row;
+  row.events_per_sec = static_cast<double>(trace.detections.size()) /
+                       (timer.elapsed_ms() / 1000.0);
+  row.metrics = TrackingMetrics::evaluate(tracker.all_tracks());
+  return row;
+}
+
+void run() {
+  bench::print_header("E11 online tracking",
+                      "track stitching quality vs appearance noise");
+  std::printf("%8s %6s | %8s %8s %10s %10s %12s | %8s %10s\n", "noise",
+              "gate", "tracks", "purity", "fragment", "switches", "events/s",
+              "tracksA", "purityA");
+
+  for (double noise : {0.05, 0.15, 0.30}) {
+    TraceConfig tc = bench::scenario(1.5, Duration::minutes(8));
+    tc.detection.appearance_noise = noise;
+    Trace trace = TraceGenerator::generate(tc);
+
+    TransitionGraph graph;
+    graph.learn(trace.detections);
+
+    Row gated = run_tracker(trace, graph, /*transition_gate=*/true);
+    Row ungated = run_tracker(trace, graph, /*transition_gate=*/false);
+
+    std::printf(
+        "%8.2f %6s | %8zu %7.0f%% %10.1f %10zu %12.0f | %8zu %9.0f%%\n",
+        noise, "s-t", gated.metrics.tracks, 100.0 * gated.metrics.purity,
+        gated.metrics.fragmentation, gated.metrics.id_switches,
+        gated.events_per_sec, ungated.metrics.tracks,
+        100.0 * ungated.metrics.purity);
+  }
+  std::printf(
+      "\nexpected shape: spatio-temporal gating keeps purity high as noise\n"
+      "grows; the appearance-only ablation (columns A) merges lookalikes\n"
+      "across the city, collapsing purity — the transition model is what\n"
+      "makes city-scale stitching viable.\n");
+}
+
+}  // namespace
+}  // namespace stcn
+
+int main() {
+  stcn::run();
+  return 0;
+}

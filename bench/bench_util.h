@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benchmarks (E1–E10).
+//
+// Each bench binary regenerates one table/figure of the evaluation:
+// it builds a synthetic scenario, runs the framework and the relevant
+// baseline, and prints the rows EXPERIMENTS.md records.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "trace/generator.h"
+
+namespace stcn::bench {
+
+/// Wall-clock stopwatch (milliseconds).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Standard scenario sizes used across benches. `scale` multiplies camera
+/// and object counts; road grid grows with sqrt(scale) to keep density
+/// realistic.
+inline TraceConfig scenario(double scale = 1.0, Duration duration = Duration::minutes(4)) {
+  TraceConfig c;
+  auto grid = static_cast<std::uint32_t>(10 * std::sqrt(scale));
+  c.roads.grid_cols = std::max(4u, grid);
+  c.roads.grid_rows = std::max(4u, grid);
+  c.roads.block_size_m = 120.0;
+  c.roads.seed = 101;
+  c.cameras.camera_count = static_cast<std::size_t>(60 * scale);
+  c.cameras.seed = 102;
+  c.mobility.object_count = static_cast<std::size_t>(50 * scale);
+  c.mobility.seed = 103;
+  c.duration = duration;
+  c.tick = Duration::millis(500);
+  c.seed = 104;
+  return c;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace stcn::bench

@@ -1,0 +1,46 @@
+// Broadcast-routing baseline: partition-pruning ablation.
+//
+// Wraps any PartitionStrategy and keeps its ingest placement, but answers
+// every footprint question with "all partitions" — i.e., the coordinator
+// broadcasts every query to every worker. Comparing a cluster built with
+// BroadcastStrategy(inner) against one built with `inner` isolates exactly
+// what footprint pruning buys (E2).
+#pragma once
+
+#include <memory>
+
+#include "partition/partition_map.h"
+
+namespace stcn {
+
+class BroadcastStrategy final : public PartitionStrategy {
+ public:
+  explicit BroadcastStrategy(std::unique_ptr<PartitionStrategy> inner)
+      : inner_(std::move(inner)) {
+    STCN_CHECK(inner_ != nullptr);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "broadcast(" + inner_->name() + ")";
+  }
+  [[nodiscard]] std::size_t partition_count() const override {
+    return inner_->partition_count();
+  }
+  [[nodiscard]] PartitionId partition_of(CameraId camera, Point position,
+                                         TimePoint time) const override {
+    return inner_->partition_of(camera, position, time);
+  }
+  [[nodiscard]] std::vector<PartitionId> partitions_for_region(
+      const Rect&, const TimeInterval&) const override {
+    return all_partitions();
+  }
+  [[nodiscard]] std::vector<PartitionId> partitions_for_camera(
+      CameraId, const TimeInterval&) const override {
+    return all_partitions();
+  }
+
+ private:
+  std::unique_ptr<PartitionStrategy> inner_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,59 @@
+#include "common/geometry.h"
+
+#include <cmath>
+
+namespace stcn {
+
+Rect FieldOfView::bounding_box() const {
+  // Start with the apex and the two wedge-edge endpoints, then extend to
+  // the extreme compass points of the arc that fall inside the wedge.
+  Rect box = Rect::spanning(apex, apex);
+  auto extend = [&box](Point p) {
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  };
+  auto on_arc = [this](double ang) {
+    return apex + Point{std::cos(ang), std::sin(ang)} * range;
+  };
+  extend(on_arc(heading - half_angle));
+  extend(on_arc(heading + half_angle));
+  // Compass extremes of the full circle that lie within the wedge's span.
+  constexpr double kCompass[] = {0.0, std::numbers::pi / 2, std::numbers::pi,
+                                 -std::numbers::pi / 2};
+  for (double c : kCompass) {
+    if (std::abs(normalize_angle(c - heading)) <= half_angle) {
+      extend(on_arc(c));
+    }
+  }
+  // Nudge the max edges so the half-open box still contains arc extremes.
+  box.max.x = std::nextafter(box.max.x, box.max.x + 1.0);
+  box.max.y = std::nextafter(box.max.y, box.max.y + 1.0);
+  return box;
+}
+
+double Polyline::length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += distance(points[i - 1], points[i]);
+  }
+  return total;
+}
+
+Point Polyline::at_arc_length(double s) const {
+  if (points.empty()) return {};
+  if (s <= 0.0) return points.front();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    double seg = distance(points[i - 1], points[i]);
+    if (s <= seg) {
+      if (seg == 0.0) return points[i];
+      double t = s / seg;
+      return points[i - 1] + (points[i] - points[i - 1]) * t;
+    }
+    s -= seg;
+  }
+  return points.back();
+}
+
+}  // namespace stcn

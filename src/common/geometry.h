@@ -1,0 +1,178 @@
+// 2-D geometry primitives for the camera-network plane.
+//
+// The world is a flat 2-D plane measured in meters. Cameras sit at points,
+// observe wedge-shaped fields of view, and detections carry point positions.
+// Spatial queries use axis-aligned rectangles and circles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <vector>
+
+namespace stcn {
+
+/// A point (or displacement vector) in the 2-D world plane, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point p, double k) {
+    return {p.x * k, p.y * k};
+  }
+  friend constexpr Point operator*(double k, Point p) { return p * k; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+    return os << "(" << p.x << ", " << p.y << ")";
+  }
+};
+
+[[nodiscard]] inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+[[nodiscard]] inline double cross(Point a, Point b) {
+  return a.x * b.y - a.y * b.x;
+}
+[[nodiscard]] inline double norm(Point p) { return std::hypot(p.x, p.y); }
+[[nodiscard]] inline double squared_norm(Point p) {
+  return p.x * p.x + p.y * p.y;
+}
+[[nodiscard]] inline double distance(Point a, Point b) { return norm(a - b); }
+[[nodiscard]] inline double squared_distance(Point a, Point b) {
+  return squared_norm(a - b);
+}
+
+/// Normalizes an angle to [-pi, pi).
+[[nodiscard]] inline double normalize_angle(double radians) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  double a = std::fmod(radians + std::numbers::pi, two_pi);
+  if (a < 0) a += two_pi;
+  return a - std::numbers::pi;
+}
+
+/// Axis-aligned rectangle, half-open on the max edges: [min.x, max.x) etc.
+struct Rect {
+  Point min;
+  Point max;
+
+  /// An empty rectangle (contains nothing, overlaps nothing).
+  static constexpr Rect empty() { return {{0, 0}, {0, 0}}; }
+
+  /// Rectangle spanning the given corners regardless of their order.
+  static Rect spanning(Point a, Point b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  /// Axis-aligned bounding square centered on `c` with half-extent `r`.
+  static Rect centered(Point c, double r) {
+    return {{c.x - r, c.y - r}, {c.x + r, c.y + r}};
+  }
+
+  [[nodiscard]] constexpr bool is_empty() const {
+    return min.x >= max.x || min.y >= max.y;
+  }
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr double area() const {
+    return is_empty() ? 0.0 : width() * height();
+  }
+  [[nodiscard]] constexpr Point center() const {
+    return {(min.x + max.x) / 2, (min.y + max.y) / 2};
+  }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= min.x && p.x < max.x && p.y >= min.y && p.y < max.y;
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& r) const {
+    return r.min.x >= min.x && r.max.x <= max.x && r.min.y >= min.y &&
+           r.max.y <= max.y;
+  }
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const {
+    return min.x < r.max.x && r.min.x < max.x && min.y < r.max.y &&
+           r.min.y < max.y;
+  }
+  [[nodiscard]] Rect intersection(const Rect& r) const {
+    Rect out{{std::max(min.x, r.min.x), std::max(min.y, r.min.y)},
+             {std::min(max.x, r.max.x), std::min(max.y, r.max.y)}};
+    return out.is_empty() ? empty() : out;
+  }
+  /// Smallest rectangle containing both this and `r`.
+  [[nodiscard]] Rect union_with(const Rect& r) const {
+    if (is_empty()) return r;
+    if (r.is_empty()) return *this;
+    return {{std::min(min.x, r.min.x), std::min(min.y, r.min.y)},
+            {std::max(max.x, r.max.x), std::max(max.y, r.max.y)}};
+  }
+
+  /// Distance from `p` to the closest point of the rectangle (0 if inside).
+  [[nodiscard]] double distance_to(Point p) const {
+    double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return std::hypot(dx, dy);
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << "[" << r.min << " .. " << r.max << "]";
+  }
+};
+
+/// A circle, used for proximity queries.
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(Point p) const {
+    return squared_distance(center, p) <= radius * radius;
+  }
+  [[nodiscard]] bool overlaps(const Rect& r) const {
+    return r.distance_to(center) <= radius;
+  }
+  [[nodiscard]] Rect bounding_box() const {
+    return Rect::centered(center, radius);
+  }
+};
+
+/// A camera's field of view: a circular wedge anchored at the camera.
+///
+/// `heading` is the central direction of view (radians, world frame);
+/// `half_angle` the angular half-width; `range` the maximum viewing distance.
+struct FieldOfView {
+  Point apex;
+  double heading = 0.0;
+  double half_angle = std::numbers::pi / 4;
+  double range = 50.0;
+
+  [[nodiscard]] bool contains(Point p) const {
+    Point d = p - apex;
+    double dist2 = squared_norm(d);
+    if (dist2 > range * range) return false;
+    if (dist2 == 0.0) return true;
+    double ang = std::atan2(d.y, d.x);
+    return std::abs(normalize_angle(ang - heading)) <= half_angle;
+  }
+
+  /// Bounding box of the wedge (conservative: box of the bounding circle
+  /// sector; exact for full circles, tight enough for index pruning).
+  [[nodiscard]] Rect bounding_box() const;
+};
+
+/// A polyline in the plane, used for road segments and trajectories.
+struct Polyline {
+  std::vector<Point> points;
+
+  [[nodiscard]] double length() const;
+  /// Point at arc-length `s` from the start (clamped to the ends).
+  [[nodiscard]] Point at_arc_length(double s) const;
+};
+
+}  // namespace stcn

@@ -1,0 +1,88 @@
+// Strong identifier types used across the framework.
+//
+// Every entity in the system (camera, tracked object, worker node, query,
+// spatial partition) is referred to by a typed 64-bit id. The strong-typedef
+// wrapper prevents accidentally passing a CameraId where a WorkerId is
+// expected — a classic source of bugs in distributed routing code.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace stcn {
+
+/// CRTP-free strong id: each Tag instantiation is a distinct type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  underlying_type value_ = 0;
+};
+
+struct CameraIdTag {
+  static constexpr const char* prefix() { return "cam/"; }
+};
+struct ObjectIdTag {
+  static constexpr const char* prefix() { return "obj/"; }
+};
+struct WorkerIdTag {
+  static constexpr const char* prefix() { return "wrk/"; }
+};
+struct NodeIdTag {
+  static constexpr const char* prefix() { return "node/"; }
+};
+struct QueryIdTag {
+  static constexpr const char* prefix() { return "qry/"; }
+};
+struct PartitionIdTag {
+  static constexpr const char* prefix() { return "part/"; }
+};
+struct DetectionIdTag {
+  static constexpr const char* prefix() { return "det/"; }
+};
+struct TrackIdTag {
+  static constexpr const char* prefix() { return "trk/"; }
+};
+
+/// Identifies a physical camera in the network.
+using CameraId = StrongId<CameraIdTag>;
+/// Identifies a tracked real-world object (vehicle, pedestrian).
+using ObjectId = StrongId<ObjectIdTag>;
+/// Identifies a worker process in the cluster.
+using WorkerId = StrongId<WorkerIdTag>;
+/// Identifies any node (worker or coordinator) on the simulated network.
+using NodeId = StrongId<NodeIdTag>;
+/// Identifies a registered (possibly continuous) query.
+using QueryId = StrongId<QueryIdTag>;
+/// Identifies a spatio-temporal partition owned by some worker.
+using PartitionId = StrongId<PartitionIdTag>;
+/// Identifies a single detection event, unique network-wide.
+using DetectionId = StrongId<DetectionIdTag>;
+/// Identifies a stitched cross-camera track (OnlineTracker output).
+using TrackId = StrongId<TrackIdTag>;
+
+}  // namespace stcn
+
+namespace std {
+template <typename Tag>
+struct hash<stcn::StrongId<Tag>> {
+  size_t operator()(stcn::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[k] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  double u = uniform();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace stcn

@@ -1,0 +1,147 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the framework — trace generation, appearance
+// noise, simulated network jitter, failure injection — draws from a seeded
+// xoshiro256** generator so that every test and benchmark run is exactly
+// reproducible. Child generators can be split off deterministically so that
+// independent subsystems do not perturb each other's streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace stcn {
+
+/// SplitMix64: used to expand a single seed into xoshiro state and to
+/// derive independent child seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 256-bit-state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator; deterministic in (this state,
+  /// stream). Advances this generator once.
+  [[nodiscard]] Rng split(std::uint64_t stream) {
+    return Rng(next_u64() ^ (stream * 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and exact).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Log-normal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 → uniform).
+  /// Uses a cached CDF per (n, s); intended for modest n (≤ ~1e6).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  // Cache for zipf sampling: CDF for the most recent (n, s) pair.
+  std::vector<double> zipf_cdf_;
+  std::uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+};
+
+}  // namespace stcn

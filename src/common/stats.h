@@ -1,0 +1,141 @@
+// Measurement utilities: running moments, quantile histograms, counters.
+//
+// Benchmarks and the framework's self-instrumentation (bytes on the wire,
+// per-worker load, query latency) all report through these types.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stcn {
+
+/// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  /// Coefficient of variation — the load-imbalance metric used in E3.
+  [[nodiscard]] double cv() const {
+    return mean() != 0.0 ? stddev() / mean() : 0.0;
+  }
+
+  void merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    double total = static_cast<double>(n_ + other.n_);
+    double delta = other.mean_ - mean_;
+    double new_mean =
+        mean_ + delta * static_cast<double>(other.n_) / total;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = new_mean;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-quantile sample recorder. Stores every sample; fine for the sample
+/// counts benchmarks produce (≤ millions).
+class QuantileRecorder {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Quantile q in [0, 1]; nearest-rank. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    double rank = q * static_cast<double>(samples_.size() - 1);
+    auto idx = static_cast<std::size_t>(rank + 0.5);
+    idx = std::min(idx, samples_.size() - 1);
+    return samples_[idx];
+  }
+
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Named monotonic counters, used for transport accounting and pruning
+/// statistics ("candidates examined", "messages sent", "bytes moved").
+class CounterSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void reset() { counters_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const CounterSet& c) {
+    for (const auto& [name, value] : c.counters_) {
+      os << "  " << name << " = " << value << "\n";
+    }
+    return os;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace stcn

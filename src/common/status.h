@@ -1,0 +1,150 @@
+// Lightweight status / expected-value types for recoverable errors.
+//
+// The framework uses Status/Result for errors that a distributed system must
+// treat as data — unreachable node, unknown partition, timed-out query —
+// and assertions (CHECK) for programming errors that indicate a broken
+// invariant. Exceptions are reserved for construction-time configuration
+// errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stcn {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kUnavailable,    // node down / link down
+  kDeadlineExceeded,
+  kFailedPrecondition,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    os << to_string(s.code_);
+    if (!s.message_.empty()) os << ": " << s.message_;
+    return os;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or an error Status. `value()` on an error aborts — callers
+/// must check `ok()` (or use `value_or`) on fallible paths.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).is_ok()) {
+      std::fputs("Result constructed from OK status without a value\n",
+                 stderr);
+      std::abort();
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+ private:
+  void check_ok() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s %s\n",
+                   to_string(std::get<Status>(data_).code()),
+                   std::get<Status>(data_).message().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace internal
+
+/// Invariant assertion, active in all build types: distributed-systems bugs
+/// that only fire in release builds are the worst kind.
+#define STCN_CHECK(expr)                                         \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::stcn::internal::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                            \
+  } while (false)
+
+}  // namespace stcn

@@ -1,0 +1,132 @@
+// Simulation time.
+//
+// All timestamps in the framework are simulation time, not wall-clock time:
+// a signed 64-bit count of microseconds since the start of the scenario.
+// Keeping time as a plain arithmetic value (wrapped for type safety) makes
+// the discrete-event network simulator and the temporal indexes trivial to
+// reason about and fully deterministic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace stcn {
+
+/// A span of simulation time, in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration micros(std::int64_t n) { return Duration(n); }
+  static constexpr Duration millis(std::int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration seconds(std::int64_t n) {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return micros_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.micros_ + b.micros_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.micros_ - b.micros_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.micros_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.micros_ / k);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.micros_ << "us";
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// An instant of simulation time: microseconds since scenario start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros_since_origin() const {
+    return micros_;
+  }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.micros_ + d.count_micros());
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.micros_ - d.count_micros());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration(a.micros_ - b.micros_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << "t+" << t.micros_ << "us";
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// A half-open time interval [begin, end).
+struct TimeInterval {
+  TimePoint begin;
+  TimePoint end;
+
+  /// The interval covering all representable time.
+  static constexpr TimeInterval all() {
+    return {TimePoint(std::numeric_limits<std::int64_t>::min()),
+            TimePoint::max()};
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return begin >= end; }
+  [[nodiscard]] constexpr Duration length() const { return end - begin; }
+  [[nodiscard]] constexpr bool contains(TimePoint t) const {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const TimeInterval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  [[nodiscard]] constexpr TimeInterval intersection(
+      const TimeInterval& other) const {
+    TimePoint b = begin > other.begin ? begin : other.begin;
+    TimePoint e = end < other.end ? end : other.end;
+    return {b, e};
+  }
+
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const TimeInterval& iv) {
+    return os << "[" << iv.begin << ", " << iv.end << ")";
+  }
+};
+
+}  // namespace stcn

@@ -1,0 +1,353 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+
+namespace stcn {
+namespace {
+// Timer token reserved for the failure-detection sweep; query-timeout
+// timers use the (monotonically increasing, small) request id.
+constexpr std::uint64_t kSweepToken = ~std::uint64_t{0};
+}  // namespace
+
+void Coordinator::start(SimNetwork& network) {
+  if (config_.detect_failures) {
+    network.set_timer(id_, config_.failure_sweep_period, kSweepToken);
+  }
+}
+
+void Coordinator::handle_message(const Message& message, SimNetwork& network) {
+  BinaryReader reader(message.payload);
+  switch (static_cast<MsgType>(message.type)) {
+    case MsgType::kQueryResponse:
+      on_response(decode_query_response(reader), message.from);
+      break;
+    case MsgType::kDeltaBatch:
+      on_deltas(decode_delta_batch(reader));
+      break;
+    case MsgType::kHeartbeat: {
+      Heartbeat hb = decode_heartbeat(reader);
+      last_heartbeat_[hb.worker] = network.now();
+      if (suspected_.erase(hb.worker) > 0) {
+        counters_.add("workers_unsuspected");
+      }
+      break;
+    }
+    case MsgType::kObjectSummary: {
+      ObjectSummary summary = decode_object_summary(reader);
+      auto it = summaries_.find(summary.partition);
+      if (it == summaries_.end() || summary.as_of > it->second.as_of) {
+        summaries_.insert_or_assign(summary.partition, std::move(summary));
+      }
+      break;
+    }
+    case MsgType::kIngestForward: {
+      // Relay-mode gateway traffic: re-route each detection to its worker.
+      IngestForward forward = decode_ingest_forward(reader);
+      counters_.add("ingest_forwards");
+      for (const Detection& d : forward.detections) ingest(d, network);
+      flush_ingest(network);
+      break;
+    }
+    default:
+      counters_.add("unknown_message");
+      break;
+  }
+}
+
+void Coordinator::handle_timer(std::uint64_t timer_token,
+                               SimNetwork& network) {
+  if (timer_token == kSweepToken) {
+    // Failure-detection sweep: suspect every worker that has heartbeated
+    // before but has now been silent past the timeout, and proactively
+    // fail its partitions over to their backups.
+    for (const auto& [worker, last_seen] : last_heartbeat_) {
+      if (suspected_.contains(worker)) continue;
+      if (network.now() - last_seen > config_.heartbeat_timeout) {
+        suspected_.insert(worker);
+        counters_.add("workers_suspected");
+        promote_backups_of(worker);
+      }
+    }
+    network.set_timer(id_, config_.failure_sweep_period, kSweepToken);
+    return;
+  }
+  failover_retry(timer_token, network);
+}
+
+// ----------------------------------------------------------------- ingest
+
+void Coordinator::ingest(const Detection& d, SimNetwork& network) {
+  PartitionId p = strategy_.partition_of(d.camera, d.position, d.time);
+  WorkerId primary = map_.primary(p);
+  counters_.add("ingested");
+
+  auto buffer_to = [&](WorkerId w, bool replica) {
+    BatchKey key{w.value(), p.value(), replica};
+    auto& buf = ingest_buffers_[key];
+    buf.push_back(d);
+    if (buf.size() >= config_.ingest_batch_size) {
+      IngestBatch batch{p, replica, std::move(buf)};
+      buf.clear();
+      network.send({id_, worker_node(w),
+                    static_cast<std::uint32_t>(MsgType::kIngestBatch),
+                    encode(batch), network.now()});
+    }
+  };
+
+  buffer_to(primary, false);
+  if (config_.replicate && map_.has_distinct_backup(p)) {
+    buffer_to(map_.backup(p), true);
+  }
+}
+
+void Coordinator::flush_ingest(SimNetwork& network) {
+  for (auto& [key, buf] : ingest_buffers_) {
+    if (buf.empty()) continue;
+    IngestBatch batch{PartitionId(key.partition), key.replica,
+                      std::move(buf)};
+    buf.clear();
+    network.send({id_, NodeId(key.node),
+                  static_cast<std::uint32_t>(MsgType::kIngestBatch),
+                  encode(batch), network.now()});
+  }
+}
+
+// ---------------------------------------------------------------- queries
+
+std::vector<PartitionId> Coordinator::footprint(const Query& query) const {
+  switch (query.kind) {
+    case QueryKind::kRange:
+    case QueryKind::kCount:
+    case QueryKind::kHeatmap:
+      return strategy_.partitions_for_region(query.region, query.interval);
+    case QueryKind::kCircle:
+      return strategy_.partitions_for_region(query.circle.bounding_box(),
+                                             query.interval);
+    case QueryKind::kCameraWindow:
+      return strategy_.partitions_for_camera(query.camera, query.interval);
+    case QueryKind::kTrajectory: {
+      // No spatial footprint, but object-presence summaries prune: a
+      // partition can be skipped when its summary (a) is fresh enough to
+      // cover the whole query interval and (b) rules the object out.
+      // Bloom filters have no false negatives, so this is sound.
+      std::vector<PartitionId> pruned;
+      for (PartitionId p : strategy_.all_partitions()) {
+        auto it = summaries_.find(p);
+        bool must_ask = it == summaries_.end() ||
+                        query.interval.end > it->second.as_of ||
+                        it->second.objects.may_contain(query.object.value());
+        if (must_ask) {
+          pruned.push_back(p);
+        } else {
+          counters_.add("trajectory_partitions_pruned");
+        }
+      }
+      return pruned;
+    }
+    case QueryKind::kKnn:
+      // No bounded spatial footprint: must ask every partition.
+      return strategy_.all_partitions();
+  }
+  return strategy_.all_partitions();
+}
+
+void Coordinator::send_query_to(NodeId worker, std::uint64_t request_id,
+                                const Query& query,
+                                const std::vector<PartitionId>& partitions,
+                                SimNetwork& network) {
+  QueryRequest request{request_id, query, partitions};
+  network.send({id_, worker,
+                static_cast<std::uint32_t>(MsgType::kQueryRequest),
+                encode(request), network.now()});
+}
+
+std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network) {
+  std::uint64_t request_id = next_request_id_++;
+  PendingQuery pending;
+  pending.query = query;
+  pending.retries_left = config_.max_retries;
+
+  for (PartitionId p : footprint(query)) {
+    pending.assignment[worker_node(map_.primary(p))].push_back(p);
+  }
+  counters_.add("queries_submitted");
+  counters_.add("query_fanout_total", pending.assignment.size());
+  counters_.add("query_partitions_total",
+                [&pending] {
+                  std::size_t n = 0;
+                  for (const auto& [w, ps] : pending.assignment) {
+                    n += ps.size();
+                  }
+                  return n;
+                }());
+
+  for (const auto& [worker, partitions] : pending.assignment) {
+    pending.awaiting.insert(worker);
+    send_query_to(worker, request_id, query, partitions, network);
+  }
+  bool empty = pending.awaiting.empty();
+  pending_.emplace(request_id, std::move(pending));
+  if (!empty) {
+    network.set_timer(id_, config_.query_timeout, request_id);
+  }
+  return request_id;
+}
+
+void Coordinator::on_response(const QueryResponse& response, NodeId from) {
+  auto it = pending_.find(response.request_id);
+  if (it == pending_.end()) return;  // late response after completion
+  PendingQuery& pending = it->second;
+  // Keep the fragment even from a worker we stopped awaiting (a slow
+  // primary racing its promoted backup): the merger dedups detections.
+  pending.fragments.push_back(response.result);
+  pending.awaiting.erase(from);
+}
+
+std::optional<QueryResult> Coordinator::poll(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return std::nullopt;
+  PendingQuery& pending = it->second;
+  if (!pending.awaiting.empty()) return std::nullopt;
+  ResultMerger merger(pending.query);
+  for (const QueryResult& fragment : pending.fragments) {
+    merger.add(fragment);
+  }
+  QueryResult result = merger.take();
+  pending_.erase(it);
+  return result;
+}
+
+bool Coordinator::is_complete(std::uint64_t request_id) const {
+  auto it = pending_.find(request_id);
+  return it == pending_.end() || it->second.awaiting.empty();
+}
+
+void Coordinator::failover_retry(std::uint64_t request_id,
+                                 SimNetwork& network) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // completed before the deadline
+  PendingQuery& pending = it->second;
+  if (pending.awaiting.empty()) return;
+  if (pending.retries_left-- <= 0) {
+    pending.partial = true;
+    pending.awaiting.clear();
+    counters_.add("queries_partial");
+    return;
+  }
+  counters_.add("failover_retries");
+
+  // Re-route every unanswered worker's partitions to their backups and
+  // re-issue. Fragments already received stay; duplicates are deduped by
+  // the merger.
+  std::unordered_map<NodeId, std::vector<PartitionId>> retry_assignment;
+  for (NodeId dead : pending.awaiting) {
+    auto assigned = pending.assignment.find(dead);
+    if (assigned == pending.assignment.end()) continue;
+    for (PartitionId p : assigned->second) {
+      WorkerId backup = map_.backup(p);
+      if (worker_node(backup) == dead) continue;    // no usable replica
+      if (suspected_.contains(backup)) continue;    // replica also down
+      map_.set_primary(p, backup);
+      retry_assignment[worker_node(backup)].push_back(p);
+    }
+  }
+  pending.awaiting.clear();
+  for (auto& [worker, partitions] : retry_assignment) {
+    pending.awaiting.insert(worker);
+    pending.assignment[worker] = partitions;
+    send_query_to(worker, request_id, pending.query, partitions, network);
+  }
+  if (!pending.awaiting.empty()) {
+    network.set_timer(id_, config_.query_timeout, request_id);
+  } else {
+    // No replica could take over any lost partition: the answer is partial.
+    pending.partial = true;
+    counters_.add("queries_partial");
+  }
+}
+
+void Coordinator::promote_backups_of(WorkerId worker) {
+  for (std::size_t i = 0; i < map_.partition_count(); ++i) {
+    PartitionId p(i);
+    if (map_.primary(p) == worker && map_.has_distinct_backup(p) &&
+        !suspected_.contains(map_.backup(p))) {
+      map_.set_primary(p, map_.backup(p));
+      counters_.add("partitions_failed_over");
+    }
+  }
+}
+
+// ---------------------------------------------------- continuous queries
+
+void Coordinator::install_monitor(const ContinuousQuerySpec& spec,
+                                  SimNetwork& network) {
+  MonitorInstall install{spec.id, spec.region, spec.window};
+  auto payload = encode(install);
+  // Install on every worker owning a partition that overlaps the region:
+  // those are the only workers that can see matching detections as primary.
+  std::unordered_set<std::uint64_t> targets;
+  for (PartitionId p :
+       strategy_.partitions_for_region(spec.region, TimeInterval::all())) {
+    targets.insert(map_.primary(p).value());
+  }
+  for (std::uint64_t w : targets) {
+    network.send({id_, NodeId(w),
+                  static_cast<std::uint32_t>(MsgType::kInstallMonitor),
+                  payload, network.now()});
+  }
+  counters_.add("monitors_installed");
+  counters_.add("monitor_fanout_total", targets.size());
+}
+
+void Coordinator::remove_monitor(QueryId id, const Rect& region,
+                                 SimNetwork& network) {
+  MonitorInstall install{id, region, Duration::zero()};
+  auto payload = encode(install);
+  std::unordered_set<std::uint64_t> targets;
+  for (PartitionId p :
+       strategy_.partitions_for_region(region, TimeInterval::all())) {
+    targets.insert(map_.primary(p).value());
+  }
+  for (std::uint64_t w : targets) {
+    network.send({id_, NodeId(w),
+                  static_cast<std::uint32_t>(MsgType::kRemoveMonitor),
+                  payload, network.now()});
+  }
+  delta_log_.erase(id);
+  live_answers_.erase(id);
+}
+
+void Coordinator::on_deltas(const DeltaBatch& batch) {
+  for (const WireDelta& d : batch.deltas) {
+    delta_log_[d.query].push_back({d.query, d.positive, d.detection});
+    auto& live = live_answers_[d.query];
+    if (d.positive) {
+      live.emplace(d.detection.id.value(), d.detection);
+    } else {
+      live.erase(d.detection.id.value());
+    }
+    counters_.add(d.positive ? "deltas_positive" : "deltas_negative");
+  }
+}
+
+std::vector<DeltaUpdate> Coordinator::drain_deltas(QueryId id) {
+  auto it = delta_log_.find(id);
+  if (it == delta_log_.end()) return {};
+  std::vector<DeltaUpdate> out = std::move(it->second);
+  it->second.clear();
+  return out;
+}
+
+std::vector<Detection> Coordinator::live_answer(QueryId id) const {
+  std::vector<Detection> out;
+  auto it = live_answers_.find(id);
+  if (it == live_answers_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [det_id, d] : it->second) out.push_back(d);
+  std::sort(out.begin(), out.end(), [](const Detection& a, const Detection& b) {
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace stcn

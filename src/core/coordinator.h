@@ -1,0 +1,186 @@
+// Coordinator node: ingest routing, query scatter-gather, failover.
+//
+// The coordinator is the client-facing brain of the framework:
+//  * Ingest — each detection is routed by the PartitionStrategy to its
+//    partition's primary (and backup replica), batched per destination.
+//  * Queries — the strategy turns a query footprint into a partition set;
+//    partitions are grouped by owning worker; each worker gets one request
+//    naming exactly the partitions it must serve; fragments are merged.
+//    The per-query worker fan-out is the pruning metric of E2/E3.
+//  * Failover — if a worker misses the reply deadline, its partitions are
+//    re-pointed to their backups and the request is re-issued there.
+//  * Continuous queries — monitors are installed on every worker whose
+//    partitions overlap the region; delta batches stream back and are
+//    folded into live answer sets.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "core/protocol.h"
+#include "net/node.h"
+#include "net/sim_network.h"
+#include "partition/partition_map.h"
+#include "query/continuous.h"
+#include "query/result.h"
+
+namespace stcn {
+
+struct CoordinatorConfig {
+  std::size_t ingest_batch_size = 32;
+  Duration query_timeout = Duration::millis(50);
+  /// Maximum failover re-issues per query before reporting partial results.
+  int max_retries = 2;
+  bool replicate = true;
+  /// Heartbeat-based failure detection: a worker silent for longer than
+  /// `heartbeat_timeout` has its partitions proactively failed over, so
+  /// queries after detection avoid the dead worker entirely (no per-query
+  /// retry latency).
+  bool detect_failures = true;
+  Duration heartbeat_timeout = Duration::seconds(5);
+  Duration failure_sweep_period = Duration::seconds(2);
+};
+
+class Coordinator final : public NetworkNode {
+ public:
+  Coordinator(NodeId id, const PartitionStrategy& strategy, PartitionMap map,
+              CoordinatorConfig config)
+      : id_(id), strategy_(strategy), map_(std::move(map)), config_(config) {}
+
+  [[nodiscard]] NodeId node_id() const override { return id_; }
+  void handle_message(const Message& message, SimNetwork& network) override;
+  void handle_timer(std::uint64_t timer_token, SimNetwork& network) override;
+
+  /// Arms the failure-detection sweep (call once after attaching).
+  void start(SimNetwork& network);
+
+  /// Number of partitions with a current object-presence summary.
+  [[nodiscard]] std::size_t summarized_partitions() const {
+    return summaries_.size();
+  }
+
+  /// Workers currently considered dead by the failure detector.
+  [[nodiscard]] const std::unordered_set<WorkerId>& suspected_workers()
+      const {
+    return suspected_;
+  }
+  /// Clears suspicion (a restarted worker resumes heartbeating anyway, but
+  /// recovery paths may clear eagerly).
+  void clear_suspicion(WorkerId w) { suspected_.erase(w); }
+
+  // ------------------------------------------------------------- ingest
+  /// Routes one detection (batched; call flush_ingest when done).
+  void ingest(const Detection& d, SimNetwork& network);
+  void flush_ingest(SimNetwork& network);
+
+  // ------------------------------------------------------------- queries
+  /// Starts a query; returns a request handle. Completion is observed via
+  /// `poll` after pumping the network.
+  std::uint64_t submit(const Query& query, SimNetwork& network);
+
+  /// Result if the request completed (all fragments in, or retries
+  /// exhausted → partial). nullopt while still pending.
+  [[nodiscard]] std::optional<QueryResult> poll(std::uint64_t request_id);
+
+  /// True once the request is no longer awaiting any worker.
+  [[nodiscard]] bool is_complete(std::uint64_t request_id) const;
+
+  // --------------------------------------------------- continuous queries
+  void install_monitor(const ContinuousQuerySpec& spec, SimNetwork& network);
+  void remove_monitor(QueryId id, const Rect& region, SimNetwork& network);
+
+  /// Deltas received for `id` since the last drain.
+  std::vector<DeltaUpdate> drain_deltas(QueryId id);
+  /// Live answer set maintained from the delta stream.
+  [[nodiscard]] std::vector<Detection> live_answer(QueryId id) const;
+
+  // -------------------------------------------------------------- failover
+  /// Promotes backups for every partition whose primary is `worker`.
+  void promote_backups_of(WorkerId worker);
+
+  [[nodiscard]] const PartitionMap& partition_map() const { return map_; }
+  /// Mutable access for recovery orchestration (re-replication after
+  /// failover leaves a partition with primary == backup).
+  [[nodiscard]] PartitionMap& mutable_partition_map() { return map_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+  CounterSet& counters() { return counters_; }
+
+  /// Cumulative worker fan-out / query count (E2/E3 pruning metric).
+  [[nodiscard]] double mean_fanout() const {
+    auto q = counters_.get("queries_submitted");
+    return q ? static_cast<double>(counters_.get("query_fanout_total")) /
+                   static_cast<double>(q)
+             : 0.0;
+  }
+
+ private:
+  struct PendingQuery {
+    Query query;
+    std::unordered_map<NodeId, std::vector<PartitionId>> assignment;
+    std::unordered_set<NodeId> awaiting;
+    std::vector<QueryResult> fragments;
+    int retries_left = 0;
+    bool partial = false;
+  };
+
+  static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
+
+  void send_query_to(NodeId worker, std::uint64_t request_id,
+                     const Query& query,
+                     const std::vector<PartitionId>& partitions,
+                     SimNetwork& network);
+  void on_response(const QueryResponse& response, NodeId from);
+  void on_deltas(const DeltaBatch& batch);
+  /// Re-routes a timed-out request's unanswered partitions to backups.
+  void failover_retry(std::uint64_t request_id, SimNetwork& network);
+
+  /// Workers whose partitions overlap `region` footprint partitions.
+  [[nodiscard]] std::vector<PartitionId> footprint(const Query& query) const;
+
+  NodeId id_;
+  const PartitionStrategy& strategy_;
+  PartitionMap map_;
+  CoordinatorConfig config_;
+
+  // Ingest batching: (worker node, partition, is_replica) → buffered batch.
+  struct BatchKey {
+    std::uint64_t node;
+    std::uint64_t partition;
+    bool replica;
+    friend bool operator==(const BatchKey&, const BatchKey&) = default;
+  };
+  struct BatchKeyHash {
+    std::size_t operator()(const BatchKey& k) const {
+      return std::hash<std::uint64_t>{}(k.node * 0x9e3779b97f4a7c15ULL ^
+                                        (k.partition << 1) ^
+                                        (k.replica ? 1 : 0));
+    }
+  };
+  std::unordered_map<BatchKey, std::vector<Detection>, BatchKeyHash>
+      ingest_buffers_;
+
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingQuery> pending_;
+
+  std::unordered_map<QueryId, std::vector<DeltaUpdate>> delta_log_;
+  std::unordered_map<QueryId, std::unordered_map<std::uint64_t, Detection>>
+      live_answers_;
+
+  // Failure detector state.
+  std::unordered_map<WorkerId, TimePoint> last_heartbeat_;
+  std::unordered_set<WorkerId> suspected_;
+
+  // Freshest object-presence summary per partition (trajectory pruning).
+  std::unordered_map<PartitionId, ObjectSummary> summaries_;
+
+  // mutable: observability counters are updated from const query-planning
+  // paths (e.g. footprint pruning).
+  mutable CounterSet counters_;
+};
+
+}  // namespace stcn

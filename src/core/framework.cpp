@@ -1,0 +1,170 @@
+#include "core/framework.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
+                 const ClusterConfig& config)
+    : world_(world),
+      config_(config),
+      strategy_(std::move(strategy)),
+      network_(config.network),
+      estimator_(SelectivityConfig{world, 16, 16, Duration::minutes(1), 32}) {
+  STCN_CHECK(strategy_ != nullptr);
+  STCN_CHECK(config_.worker_count > 0);
+  STCN_CHECK(!world.is_empty());
+
+  worker_ids_.reserve(config_.worker_count);
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    worker_ids_.emplace_back(i + 1);
+  }
+
+  PartitionMap map =
+      PartitionMap::round_robin(strategy_->partition_count(), worker_ids_);
+  coordinator_ = std::make_unique<Coordinator>(
+      NodeId(kCoordinatorNode), *strategy_, std::move(map),
+      config_.coordinator);
+  network_.attach(*coordinator_);
+  coordinator_->start(network_);
+
+  WorkerConfig worker_config;
+  worker_config.grid = {world, config_.grid_cell_size};
+  worker_config.world = world;
+  worker_config.monitor_tick = config_.monitor_tick;
+  worker_config.retention = config_.retention;
+  worker_config.summary_every_ticks = config_.summary_every_ticks;
+  for (WorkerId w : worker_ids_) {
+    auto worker = std::make_unique<WorkerNode>(
+        w, NodeId(kCoordinatorNode), worker_config);
+    network_.attach(*worker);
+    worker->start(network_);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+WorkerNode& Cluster::worker(WorkerId w) {
+  STCN_CHECK(w.value() >= 1 && w.value() <= workers_.size());
+  return *workers_[w.value() - 1];
+}
+
+void Cluster::ingest_all(std::span<const Detection> detections) {
+  for (const Detection& d : detections) {
+    // Keep virtual time in step with detection time, draining queued
+    // events along the way — jumping the clock past pending heartbeats
+    // would make the failure detector see artificial silences.
+    if (d.time > network_.now()) network_.run_until_idle(d.time);
+    coordinator_->ingest(d, network_);
+  }
+  coordinator_->flush_ingest(network_);
+  pump();
+}
+
+QueryResult Cluster::execute(const Query& query) {
+  std::uint64_t request = coordinator_->submit(query, network_);
+  while (!coordinator_->is_complete(request)) {
+    if (!network_.step()) break;  // should not happen: timers pend
+  }
+  auto result = coordinator_->poll(request);
+  STCN_CHECK(result.has_value());
+
+  // Query feedback refines the selectivity histogram (no stream scanning).
+  switch (query.kind) {
+    case QueryKind::kRange:
+      estimator_.observe(query.region, query.interval,
+                         result->detections.size());
+      break;
+    case QueryKind::kCircle:
+      estimator_.observe(query.circle.bounding_box(), query.interval,
+                         result->detections.size());
+      break;
+    case QueryKind::kHeatmap:
+      estimator_.observe(query.region, query.interval,
+                         result->total_count());
+      break;
+    default:
+      break;
+  }
+  return std::move(*result);
+}
+
+QueryResult Cluster::execute_knn_adaptive(Point center, std::uint32_t k,
+                                          const TimeInterval& interval) {
+  KnnPlanner planner(estimator_, world_);
+  KnnPlan plan = planner.plan(center, k, interval);
+  coordinator_->counters().add("knn_adaptive_plans");
+  if (plan.degenerate) coordinator_->counters().add("knn_adaptive_degenerate");
+
+  double radius = plan.initial_radius;
+  for (;;) {
+    coordinator_->counters().add("knn_adaptive_rounds");
+    QueryResult candidates = execute(Query::circle_query(
+        next_query_id(), {center, radius}, interval));
+    bool covers_world = radius >= planner.world_radius();
+    if (candidates.detections.size() >= k || covers_world) {
+      // The k nearest within the circle are the global k nearest (every
+      // point outside is farther than every point inside).
+      std::sort(candidates.detections.begin(), candidates.detections.end(),
+                [center](const Detection& a, const Detection& b) {
+                  double da = squared_distance(a.position, center);
+                  double db = squared_distance(b.position, center);
+                  if (da != db) return da < db;
+                  return a.id < b.id;
+                });
+      if (candidates.detections.size() > k) candidates.detections.resize(k);
+      return candidates;
+    }
+    radius = planner.grow(radius);
+  }
+}
+
+void Cluster::pump(Duration horizon) {
+  network_.run_until_idle(network_.now() + horizon);
+}
+
+void Cluster::advance_time(Duration d) {
+  network_.run_until_idle(network_.now() + d);
+}
+
+void Cluster::crash_worker(WorkerId w) {
+  network_.crash(NodeId(w.value()));
+  worker(w).lose_state();
+  coordinator_->counters().add("workers_crashed");
+}
+
+Duration Cluster::restart_worker(WorkerId w) {
+  TimePoint start = network_.now();
+  network_.restart(NodeId(w.value()));
+
+  // The restarted worker resyncs every partition it should hold (as primary
+  // or backup) from the other replica. Partitions left degraded by an
+  // earlier failover (primary == backup) are re-replicated onto the
+  // restarted worker, restoring single-failure tolerance.
+  PartitionMap& map = coordinator_->mutable_partition_map();
+  std::vector<std::pair<PartitionId, NodeId>> holders;
+  for (std::size_t i = 0; i < map.partition_count(); ++i) {
+    PartitionId p(i);
+    WorkerId primary = map.primary(p);
+    WorkerId backup = map.backup(p);
+    if (primary == w && backup != w) {
+      holders.emplace_back(p, NodeId(backup.value()));
+    } else if (backup == w && primary != w) {
+      holders.emplace_back(p, NodeId(primary.value()));
+    } else if (primary == backup && primary != w) {
+      map.set_backup(p, w);
+      holders.emplace_back(p, NodeId(primary.value()));
+      coordinator_->counters().add("partitions_rereplicated");
+    }
+  }
+  WorkerNode& node = worker(w);
+  node.restart_ticks(network_);
+  coordinator_->clear_suspicion(w);
+  node.start_resync(holders, network_);
+  while (!node.resync_complete()) {
+    if (!network_.step()) break;
+  }
+  coordinator_->counters().add("workers_restarted");
+  return network_.now() - start;
+}
+
+}  // namespace stcn

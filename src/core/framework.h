@@ -1,0 +1,172 @@
+// Cluster: the framework's top-level façade and public API.
+//
+// Wires together the simulated network, one coordinator, N workers, a
+// partition strategy, and a partition map, and exposes the operations a
+// downstream application uses:
+//
+//   Cluster cluster(world, std::make_unique<HybridStrategy>(...), config);
+//   cluster.ingest_all(trace.detections);
+//   QueryResult r = cluster.execute(
+//       Query::range(cluster.next_query_id(), region, interval));
+//
+// Everything is driven by the deterministic virtual clock; `execute` pumps
+// the network until the query completes (or fails over and completes
+// partially), so callers see a synchronous API over an asynchronous
+// distributed system.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/coordinator.h"
+#include "core/gateway.h"
+#include "core/worker.h"
+#include "net/sim_network.h"
+#include "partition/partition_map.h"
+#include "query/planner.h"
+#include "query/selectivity.h"
+#include "reid/reid_engine.h"
+#include "trace/camera.h"
+
+namespace stcn {
+
+struct ClusterConfig {
+  std::size_t worker_count = 4;
+  NetworkConfig network;
+  CoordinatorConfig coordinator;
+  /// Cell size of each worker's spatio-temporal grid index.
+  double grid_cell_size = 50.0;
+  Duration monitor_tick = Duration::seconds(1);
+  /// Worker-side retention window; Duration::max() disables eviction.
+  Duration retention = Duration::max();
+  /// Object-presence summary cadence in monitor ticks (0 disables).
+  std::uint32_t summary_every_ticks = 5;
+};
+
+class Cluster {
+ public:
+  Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
+          const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // -------------------------------------------------------------- ingest
+  /// Routes one detection into the cluster (delivery happens on pump()).
+  void ingest(const Detection& d) { coordinator_->ingest(d, network_); }
+  /// Ingests a full batch: routes, flushes, and pumps to delivery.
+  void ingest_all(std::span<const Detection> detections);
+  void flush_ingest() { coordinator_->flush_ingest(network_); }
+
+  /// Creates an edge gateway fleet attached to this cluster's network,
+  /// seeded with a snapshot of the current partition map. See gateway.h.
+  [[nodiscard]] GatewayFleet make_gateway_fleet(std::size_t gateway_count,
+                                                GatewayConfig config = {}) {
+    return GatewayFleet(gateway_count, NodeId(kCoordinatorNode), *strategy_,
+                        coordinator_->partition_map(), config, network_);
+  }
+
+  // ------------------------------------------------------------- queries
+  [[nodiscard]] QueryId next_query_id() { return QueryId(next_query_id_++); }
+
+  /// Executes a query to completion (synchronous over the virtual clock).
+  /// Range/circle/heatmap results feed the selectivity estimator as a side
+  /// effect (the framework's query-feedback loop).
+  QueryResult execute(const Query& query);
+
+  /// Planner-assisted k-NN: uses the selectivity estimator to run bounded
+  /// circle queries (prunable) instead of a cluster-wide broadcast,
+  /// expanding the radius only when the estimate under-shot. Exact: returns
+  /// the same answer as the broadcast plan.
+  QueryResult execute_knn_adaptive(Point center, std::uint32_t k,
+                                   const TimeInterval& interval);
+
+  [[nodiscard]] const SelectivityEstimator& selectivity() const {
+    return estimator_;
+  }
+
+  // --------------------------------------------------- continuous queries
+  void install_monitor(const ContinuousQuerySpec& spec) {
+    coordinator_->install_monitor(spec, network_);
+    pump();
+  }
+  std::vector<DeltaUpdate> drain_deltas(QueryId id) {
+    return coordinator_->drain_deltas(id);
+  }
+  [[nodiscard]] std::vector<Detection> live_answer(QueryId id) const {
+    return coordinator_->live_answer(id);
+  }
+
+  // ------------------------------------------------------------ failures
+  /// Crashes a worker: network partitions it away AND its in-memory state
+  /// is lost (real crash semantics).
+  void crash_worker(WorkerId w);
+  /// Restarts a crashed worker and resyncs its primary partitions from
+  /// their replicas. Returns once resync completes; the return value is the
+  /// virtual time the recovery took.
+  Duration restart_worker(WorkerId w);
+
+  // ------------------------------------------------------------ plumbing
+  /// Delivers all in-flight messages (bounded by `horizon` of virtual time
+  /// ahead of now, so recurring timers cannot spin forever).
+  void pump(Duration horizon = Duration::seconds(2));
+
+  /// Advances the virtual clock (drives monitor window expiry).
+  void advance_time(Duration d);
+
+  [[nodiscard]] SimNetwork& network() { return network_; }
+  [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
+  [[nodiscard]] const Coordinator& coordinator() const {
+    return *coordinator_;
+  }
+  [[nodiscard]] WorkerNode& worker(WorkerId w);
+  [[nodiscard]] const std::vector<WorkerId>& worker_ids() const {
+    return worker_ids_;
+  }
+  [[nodiscard]] const PartitionStrategy& strategy() const {
+    return *strategy_;
+  }
+  [[nodiscard]] TimePoint now() const { return network_.now(); }
+
+ private:
+  static constexpr std::uint64_t kCoordinatorNode = 1'000'000;
+
+  Rect world_;
+  ClusterConfig config_;
+  std::unique_ptr<PartitionStrategy> strategy_;
+  SimNetwork network_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::vector<WorkerId> worker_ids_;
+  std::uint64_t next_query_id_ = 1;
+  SelectivityEstimator estimator_;
+};
+
+/// CandidateSource backed by distributed camera-window queries — this is
+/// how the re-identification engine runs on the framework.
+class DistributedCandidateSource final : public CandidateSource {
+ public:
+  DistributedCandidateSource(Cluster& cluster, const CameraNetwork& cameras)
+      : cluster_(cluster), cameras_(cameras) {}
+
+  [[nodiscard]] std::vector<Detection> detections_at(
+      CameraId camera, const TimeInterval& window) const override {
+    Query q = Query::camera_window(cluster_.next_query_id(), camera, window);
+    return cluster_.execute(q).detections;
+  }
+
+  [[nodiscard]] std::vector<CameraId> all_cameras() const override {
+    std::vector<CameraId> out;
+    out.reserve(cameras_.size());
+    for (const Camera& cam : cameras_.cameras()) out.push_back(cam.id);
+    return out;
+  }
+
+ private:
+  Cluster& cluster_;
+  const CameraNetwork& cameras_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,81 @@
+// Real-thread parallel scatter-gather over local index shards.
+//
+// The simulated cluster executes workers serially on the driver thread; in
+// a real deployment each worker runs its fragment concurrently. This
+// utility provides that execution model for in-process use: a query is
+// executed against N index shards on a pool of std::threads and the
+// fragments merged. Results are bit-identical to sequential execution
+// (the merger dedups and canonically orders), so it doubles as a
+// thread-safety check on the read path of every index structure: queries
+// are const and shards are disjoint, so no synchronization beyond the
+// final merge is needed.
+//
+// Note for benchmarking: on a single-core host this demonstrates
+// correctness, not speedup; see DESIGN.md §5 on substituted hardware.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "query/executor.h"
+
+namespace stcn {
+
+class ParallelScatterGather {
+ public:
+  explicit ParallelScatterGather(std::size_t thread_count)
+      : thread_count_(thread_count) {
+    STCN_CHECK(thread_count_ > 0);
+  }
+
+  /// Executes `query` against every shard, fragments merged canonically.
+  [[nodiscard]] QueryResult execute(
+      std::span<const WorkerIndexes* const> shards,
+      const Query& query) const {
+    ResultMerger merger(query);
+    if (shards.empty()) return merger.take();
+
+    std::size_t workers = std::min(thread_count_, shards.size());
+    if (workers == 1) {
+      for (const WorkerIndexes* shard : shards) {
+        merger.add(LocalExecutor::execute(*shard, query));
+      }
+      return merger.take();
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex merge_mutex;
+    auto work = [&] {
+      // Batch fragments locally; take the merge lock once per thread.
+      std::vector<QueryResult> local;
+      for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards.size()) break;
+        local.push_back(LocalExecutor::execute(*shards[i], query));
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (QueryResult& fragment : local) {
+        merger.add(fragment);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back(work);
+    }
+    for (std::thread& t : pool) t.join();
+    return merger.take();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+
+ private:
+  std::size_t thread_count_;
+};
+
+}  // namespace stcn

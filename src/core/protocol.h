@@ -1,0 +1,279 @@
+// Wire protocol between coordinator and workers.
+//
+// Message types and their payload encodings. Every payload is produced with
+// BinaryWriter so the simulated network accounts real byte volumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "index/bloom.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+enum class MsgType : std::uint32_t {
+  kIngestBatch = 1,     // router → worker: detections for one partition
+  kQueryRequest = 2,    // coordinator → worker
+  kQueryResponse = 3,   // worker → coordinator
+  kInstallMonitor = 4,  // coordinator → worker: continuous query spec
+  kRemoveMonitor = 5,   // coordinator → worker
+  kDeltaBatch = 6,      // worker → coordinator: continuous query deltas
+  kSyncRequest = 7,     // recovering worker → backup: send partition data
+  kSyncResponse = 8,    // backup → recovering worker
+  kHeartbeat = 9,       // worker → coordinator: liveness
+  kIngestForward = 10,   // gateway → coordinator: relay-mode ingest
+  kObjectSummary = 11,   // worker → coordinator: per-partition object Bloom
+};
+
+// ------------------------------------------------------------ ingest batch
+
+struct IngestBatch {
+  PartitionId partition;
+  bool is_replica = false;  // replica copies do not drive monitors/deltas
+  std::vector<Detection> detections;
+};
+
+inline std::vector<std::uint8_t> encode(const IngestBatch& batch) {
+  BinaryWriter w;
+  w.write_id(batch.partition);
+  w.write_bool(batch.is_replica);
+  w.write_vector(batch.detections,
+                 [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+  return w.take();
+}
+
+inline IngestBatch decode_ingest_batch(BinaryReader& r) {
+  IngestBatch batch;
+  batch.partition = r.read_id<PartitionIdTag>();
+  batch.is_replica = r.read_bool();
+  batch.detections = r.read_vector<Detection>(
+      [](BinaryReader& br) { return deserialize_detection(br); });
+  return batch;
+}
+
+// ---------------------------------------------------------- ingest forward
+
+/// Relay-mode ingest: a gateway without routing knowledge ships raw
+/// detections to the coordinator for re-routing (ablation baseline).
+struct IngestForward {
+  std::vector<Detection> detections;
+};
+
+inline std::vector<std::uint8_t> encode(const IngestForward& fwd) {
+  BinaryWriter w;
+  w.write_vector(fwd.detections,
+                 [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+  return w.take();
+}
+
+inline IngestForward decode_ingest_forward(BinaryReader& r) {
+  IngestForward fwd;
+  fwd.detections = r.read_vector<Detection>(
+      [](BinaryReader& br) { return deserialize_detection(br); });
+  return fwd;
+}
+
+// ----------------------------------------------------------- query request
+
+struct QueryRequest {
+  std::uint64_t request_id = 0;
+  Query query;
+  std::vector<PartitionId> partitions;  // partitions this worker must serve
+};
+
+inline std::vector<std::uint8_t> encode(const QueryRequest& req) {
+  BinaryWriter w;
+  w.write_u64(req.request_id);
+  serialize(w, req.query);
+  w.write_vector(req.partitions, [](BinaryWriter& bw, PartitionId p) {
+    bw.write_id(p);
+  });
+  return w.take();
+}
+
+inline QueryRequest decode_query_request(BinaryReader& r) {
+  QueryRequest req;
+  req.request_id = r.read_u64();
+  req.query = deserialize_query(r);
+  req.partitions = r.read_vector<PartitionId>(
+      [](BinaryReader& br) { return br.read_id<PartitionIdTag>(); });
+  return req;
+}
+
+// ---------------------------------------------------------- query response
+
+struct QueryResponse {
+  std::uint64_t request_id = 0;
+  QueryResult result;
+};
+
+inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
+  BinaryWriter w;
+  w.write_u64(resp.request_id);
+  serialize(w, resp.result);
+  return w.take();
+}
+
+inline QueryResponse decode_query_response(BinaryReader& r) {
+  QueryResponse resp;
+  resp.request_id = r.read_u64();
+  resp.result = deserialize_query_result(r);
+  return resp;
+}
+
+// -------------------------------------------------------- monitor install
+
+struct MonitorInstall {
+  QueryId query;
+  Rect region;
+  Duration window;
+};
+
+inline std::vector<std::uint8_t> encode(const MonitorInstall& m) {
+  BinaryWriter w;
+  w.write_id(m.query);
+  w.write_double(m.region.min.x);
+  w.write_double(m.region.min.y);
+  w.write_double(m.region.max.x);
+  w.write_double(m.region.max.y);
+  w.write_duration(m.window);
+  return w.take();
+}
+
+inline MonitorInstall decode_monitor_install(BinaryReader& r) {
+  MonitorInstall m;
+  m.query = r.read_id<QueryIdTag>();
+  m.region.min.x = r.read_double();
+  m.region.min.y = r.read_double();
+  m.region.max.x = r.read_double();
+  m.region.max.y = r.read_double();
+  m.window = r.read_duration();
+  return m;
+}
+
+// ------------------------------------------------------------ delta batch
+
+struct WireDelta {
+  QueryId query;
+  bool positive = true;
+  Detection detection;
+};
+
+struct DeltaBatch {
+  std::vector<WireDelta> deltas;
+};
+
+inline std::vector<std::uint8_t> encode(const DeltaBatch& batch) {
+  BinaryWriter w;
+  w.write_vector(batch.deltas, [](BinaryWriter& bw, const WireDelta& d) {
+    bw.write_id(d.query);
+    bw.write_bool(d.positive);
+    serialize(bw, d.detection);
+  });
+  return w.take();
+}
+
+inline DeltaBatch decode_delta_batch(BinaryReader& r) {
+  DeltaBatch batch;
+  batch.deltas = r.read_vector<WireDelta>([](BinaryReader& br) {
+    WireDelta d;
+    d.query = br.read_id<QueryIdTag>();
+    d.positive = br.read_bool();
+    d.detection = deserialize_detection(br);
+    return d;
+  });
+  return batch;
+}
+
+// -------------------------------------------------------------- heartbeat
+
+struct Heartbeat {
+  WorkerId worker;
+  std::uint64_t stored_detections = 0;  // piggybacked load signal
+};
+
+inline std::vector<std::uint8_t> encode(const Heartbeat& hb) {
+  BinaryWriter w;
+  w.write_id(hb.worker);
+  w.write_u64(hb.stored_detections);
+  return w.take();
+}
+
+inline Heartbeat decode_heartbeat(BinaryReader& r) {
+  Heartbeat hb;
+  hb.worker = r.read_id<WorkerIdTag>();
+  hb.stored_detections = r.read_u64();
+  return hb;
+}
+
+// --------------------------------------------------------- object summary
+
+/// Per-partition Bloom filter of object ids present, covering all data the
+/// worker held at `as_of`. The coordinator may prune a trajectory query
+/// away from this partition ONLY for query intervals ending before
+/// `as_of` — data arriving after the summary is not covered by it.
+struct ObjectSummary {
+  PartitionId partition;
+  TimePoint as_of;
+  BloomFilter objects;
+};
+
+inline std::vector<std::uint8_t> encode(const ObjectSummary& summary) {
+  BinaryWriter w;
+  w.write_id(summary.partition);
+  w.write_time(summary.as_of);
+  summary.objects.serialize_to(w);
+  return w.take();
+}
+
+inline ObjectSummary decode_object_summary(BinaryReader& r) {
+  ObjectSummary summary{PartitionId(0), TimePoint(0), BloomFilter(64, 1)};
+  summary.partition = r.read_id<PartitionIdTag>();
+  summary.as_of = r.read_time();
+  summary.objects = BloomFilter::deserialize_from(r);
+  return summary;
+}
+
+// ------------------------------------------------------------------- sync
+
+struct SyncRequest {
+  PartitionId partition;
+};
+
+inline std::vector<std::uint8_t> encode(const SyncRequest& req) {
+  BinaryWriter w;
+  w.write_id(req.partition);
+  return w.take();
+}
+
+inline SyncRequest decode_sync_request(BinaryReader& r) {
+  return {r.read_id<PartitionIdTag>()};
+}
+
+struct SyncResponse {
+  PartitionId partition;
+  std::vector<Detection> detections;
+};
+
+inline std::vector<std::uint8_t> encode(const SyncResponse& resp) {
+  BinaryWriter w;
+  w.write_id(resp.partition);
+  w.write_vector(resp.detections,
+                 [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+  return w.take();
+}
+
+inline SyncResponse decode_sync_response(BinaryReader& r) {
+  SyncResponse resp;
+  resp.partition = r.read_id<PartitionIdTag>();
+  resp.detections = r.read_vector<Detection>(
+      [](BinaryReader& br) { return deserialize_detection(br); });
+  return resp;
+}
+
+}  // namespace stcn

@@ -1,0 +1,201 @@
+#include "core/worker.h"
+
+namespace stcn {
+
+namespace {
+// Timer tokens encode the tick generation so a chain armed before a crash
+// cannot double up with the chain re-armed after restart.
+constexpr std::uint64_t kMonitorTickBase = 1'000;
+}  // namespace
+
+WorkerIndexes& WorkerNode::partition(PartitionId p) {
+  auto it = partitions_.find(p);
+  if (it == partitions_.end()) {
+    it = partitions_
+             .emplace(p, std::make_unique<WorkerIndexes>(config_.grid))
+             .first;
+  }
+  return *it->second;
+}
+
+void WorkerNode::start(SimNetwork& network) {
+  if (started_) return;
+  started_ = true;
+  network.set_timer(node_id(), config_.monitor_tick,
+                    kMonitorTickBase + tick_generation_);
+}
+
+void WorkerNode::restart_ticks(SimNetwork& network) {
+  ++tick_generation_;
+  started_ = true;
+  network.set_timer(node_id(), config_.monitor_tick,
+                    kMonitorTickBase + tick_generation_);
+}
+
+void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
+  if (timer_token != kMonitorTickBase + tick_generation_) return;  // stale
+  monitors_.advance_to(network.now(), pending_deltas_);
+  flush_deltas(network);
+
+  if (config_.send_heartbeats) {
+    Heartbeat hb{id_, stored_detections()};
+    network.send({node_id(), coordinator_,
+                  static_cast<std::uint32_t>(MsgType::kHeartbeat),
+                  encode(hb), network.now()});
+  }
+
+  if (config_.summary_every_ticks > 0 &&
+      ++ticks_since_summary_ >= config_.summary_every_ticks) {
+    ticks_since_summary_ = 0;
+    for (const auto& [partition_id, indexes] : partitions_) {
+      ObjectSummary summary{partition_id, network.now(),
+                            BloomFilter(config_.summary_bloom_bits)};
+      for (ObjectId object : indexes->trajectories.object_ids()) {
+        summary.objects.insert(object.value());
+      }
+      network.send({node_id(), coordinator_,
+                    static_cast<std::uint32_t>(MsgType::kObjectSummary),
+                    encode(summary), network.now()});
+      counters_.add("summaries_published");
+    }
+  }
+
+  if (config_.retention != Duration::max() &&
+      ++ticks_since_compaction_ >= config_.compaction_every_ticks) {
+    ticks_since_compaction_ = 0;
+    TimePoint horizon = network.now() - config_.retention;
+    for (auto& [p, indexes] : partitions_) {
+      counters_.add("detections_evicted", indexes->compact(horizon));
+    }
+    counters_.add("compactions");
+  }
+  network.set_timer(node_id(), config_.monitor_tick, timer_token);
+}
+
+void WorkerNode::handle_message(const Message& message, SimNetwork& network) {
+  BinaryReader reader(message.payload);
+  switch (static_cast<MsgType>(message.type)) {
+    case MsgType::kIngestBatch:
+      on_ingest(decode_ingest_batch(reader), network);
+      break;
+    case MsgType::kQueryRequest:
+      on_query(decode_query_request(reader), message.from, network);
+      break;
+    case MsgType::kInstallMonitor: {
+      MonitorInstall m = decode_monitor_install(reader);
+      monitors_.install({m.query, m.region, m.window});
+      break;
+    }
+    case MsgType::kRemoveMonitor: {
+      MonitorInstall m = decode_monitor_install(reader);
+      monitors_.remove(m.query);
+      break;
+    }
+    case MsgType::kSyncRequest:
+      on_sync_request(decode_sync_request(reader), message.from, network);
+      break;
+    case MsgType::kSyncResponse:
+      on_sync_response(decode_sync_response(reader));
+      break;
+    default:
+      counters_.add("unknown_message");
+      break;
+  }
+}
+
+void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
+  WorkerIndexes& indexes = partition(batch.partition);
+  for (const Detection& d : batch.detections) {
+    indexes.ingest(d);
+    counters_.add(batch.is_replica ? "ingested_replica" : "ingested_primary");
+    if (!batch.is_replica) {
+      std::size_t tested = monitors_.on_detection(d, pending_deltas_);
+      counters_.add("monitors_tested", tested);
+    }
+  }
+  if (pending_deltas_.size() >= config_.delta_flush_threshold) {
+    flush_deltas(network);
+  }
+}
+
+void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
+                          SimNetwork& network) {
+  counters_.add("queries_served");
+  ResultMerger merger(request.query);
+  for (PartitionId p : request.partitions) {
+    auto it = partitions_.find(p);
+    if (it == partitions_.end()) continue;  // empty partition: no matches
+    merger.add(LocalExecutor::execute(*it->second, request.query));
+  }
+  QueryResponse response{request.request_id, merger.take()};
+  network.send({node_id(), reply_to,
+                static_cast<std::uint32_t>(MsgType::kQueryResponse),
+                encode(response), network.now()});
+}
+
+void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
+                                 SimNetwork& network) {
+  counters_.add("sync_requests_served");
+  SyncResponse response;
+  response.partition = request.partition;
+  auto it = partitions_.find(request.partition);
+  if (it != partitions_.end()) {
+    const DetectionStore& store = it->second->store;
+    response.detections.reserve(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      response.detections.push_back(
+          store.get(static_cast<DetectionRef>(i)));
+    }
+  }
+  network.send({node_id(), reply_to,
+                static_cast<std::uint32_t>(MsgType::kSyncResponse),
+                encode(response), network.now()});
+}
+
+void WorkerNode::on_sync_response(const SyncResponse& response) {
+  WorkerIndexes& indexes = partition(response.partition);
+  for (const Detection& d : response.detections) {
+    indexes.ingest(d);
+    counters_.add("ingested_resync");
+  }
+  if (pending_syncs_ > 0) --pending_syncs_;
+}
+
+void WorkerNode::flush_deltas(SimNetwork& network) {
+  if (pending_deltas_.empty()) return;
+  DeltaBatch batch;
+  batch.deltas.reserve(pending_deltas_.size());
+  for (const DeltaUpdate& d : pending_deltas_) {
+    batch.deltas.push_back({d.query, d.positive, d.detection});
+  }
+  pending_deltas_.clear();
+  network.send({node_id(), coordinator_,
+                static_cast<std::uint32_t>(MsgType::kDeltaBatch),
+                encode(batch), network.now()});
+}
+
+void WorkerNode::lose_state() {
+  partitions_.clear();
+  pending_deltas_.clear();
+  counters_.add("state_losses");
+}
+
+void WorkerNode::start_resync(
+    const std::vector<std::pair<PartitionId, NodeId>>& replica_holders,
+    SimNetwork& network) {
+  for (const auto& [partition_id, holder] : replica_holders) {
+    ++pending_syncs_;
+    SyncRequest request{partition_id};
+    network.send({node_id(), holder,
+                  static_cast<std::uint32_t>(MsgType::kSyncRequest),
+                  encode(request), network.now()});
+  }
+}
+
+std::size_t WorkerNode::stored_detections() const {
+  std::size_t total = 0;
+  for (const auto& [p, indexes] : partitions_) total += indexes->size();
+  return total;
+}
+
+}  // namespace stcn

@@ -1,0 +1,114 @@
+// Worker node: hosts partitions, executes query fragments, runs monitors.
+//
+// A worker owns one WorkerIndexes bundle per partition it hosts (primary or
+// backup replica — same storage either way; the role matters only for
+// monitor/delta emission, which only primaries do). Queries name the
+// partitions they want served, so a worker answers consistently regardless
+// of how many partitions it holds or gains via failover.
+//
+// Crash modeling: a real crash loses in-memory state. `lose_state` clears
+// every partition; on restart the framework triggers `start_resync`, which
+// fetches lost partitions back from their replicas.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/protocol.h"
+#include "net/node.h"
+#include "net/sim_network.h"
+#include "query/continuous.h"
+#include "query/executor.h"
+
+namespace stcn {
+
+struct WorkerConfig {
+  GridIndexConfig grid;
+  Rect world;
+  /// Monitor windows are advanced (negative deltas emitted) on this period.
+  Duration monitor_tick = Duration::seconds(1);
+  /// Deltas are flushed to the coordinator when this many accumulate or on
+  /// the monitor tick, whichever first.
+  std::size_t delta_flush_threshold = 64;
+  /// Detections older than this are evicted by periodic compaction.
+  /// Duration::max() (the default) disables retention entirely.
+  Duration retention = Duration::max();
+  /// Compaction runs every this-many monitor ticks (when retention is on).
+  std::uint32_t compaction_every_ticks = 30;
+  /// Emit a liveness heartbeat to the coordinator on every monitor tick.
+  bool send_heartbeats = true;
+  /// Publish per-partition object-presence Bloom summaries every
+  /// `summary_every_ticks` monitor ticks (0 disables). The coordinator
+  /// uses them to prune trajectory-query fan-out.
+  std::uint32_t summary_every_ticks = 5;
+  std::size_t summary_bloom_bits = 2048;
+};
+
+class WorkerNode final : public NetworkNode {
+ public:
+  WorkerNode(WorkerId id, NodeId coordinator, const WorkerConfig& config)
+      : id_(id), coordinator_(coordinator), config_(config),
+        monitors_(config.world) {}
+
+  [[nodiscard]] NodeId node_id() const override { return NodeId(id_.value()); }
+  [[nodiscard]] WorkerId worker_id() const { return id_; }
+
+  void handle_message(const Message& message, SimNetwork& network) override;
+  void handle_timer(std::uint64_t timer_token, SimNetwork& network) override;
+
+  /// Arms the recurring monitor tick. Call once after attaching.
+  void start(SimNetwork& network);
+
+  /// Re-arms the monitor tick after a crash+restart (a crash suppresses the
+  /// pending tick, breaking the re-arm chain). Stale chains from before the
+  /// restart are ignored via a generation counter.
+  void restart_ticks(SimNetwork& network);
+
+  /// Simulates state loss at crash time.
+  void lose_state();
+
+  /// Requests partition data back from `replica_holders` (partition →
+  /// worker node currently holding a copy).
+  void start_resync(
+      const std::vector<std::pair<PartitionId, NodeId>>& replica_holders,
+      SimNetwork& network);
+
+  [[nodiscard]] bool resync_complete() const {
+    return pending_syncs_ == 0;
+  }
+
+  /// Total detections stored across partitions (incl. replicas).
+  [[nodiscard]] std::size_t stored_detections() const;
+  [[nodiscard]] std::size_t partition_count() const {
+    return partitions_.size();
+  }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+
+ private:
+  WorkerIndexes& partition(PartitionId p);
+
+  void on_ingest(const IngestBatch& batch, SimNetwork& network);
+  void on_query(const QueryRequest& request, NodeId reply_to,
+                SimNetwork& network);
+  void on_sync_request(const SyncRequest& request, NodeId reply_to,
+                       SimNetwork& network);
+  void on_sync_response(const SyncResponse& response);
+  void flush_deltas(SimNetwork& network);
+
+  WorkerId id_;
+  NodeId coordinator_;
+  WorkerConfig config_;
+  std::unordered_map<PartitionId, std::unique_ptr<WorkerIndexes>> partitions_;
+  ContinuousQueryManager monitors_;
+  std::vector<DeltaUpdate> pending_deltas_;
+  std::size_t pending_syncs_ = 0;
+  bool started_ = false;
+  std::uint64_t tick_generation_ = 0;
+  std::uint32_t ticks_since_compaction_ = 0;
+  std::uint32_t ticks_since_summary_ = 0;
+  CounterSet counters_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,55 @@
+// Append-only arena for detections held by a worker.
+//
+// Indexes (grid, trajectory, temporal) reference detections by a compact
+// 32-bit handle into this store instead of duplicating the full record —
+// a detection can appear in several indexes at once.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/status.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+/// Handle into a DetectionStore. Only meaningful for the store that
+/// issued it.
+enum class DetectionRef : std::uint32_t {};
+
+[[nodiscard]] constexpr std::uint32_t to_index(DetectionRef ref) {
+  return static_cast<std::uint32_t>(ref);
+}
+
+class DetectionStore {
+ public:
+  /// Appends a detection; the returned handle is stable forever.
+  DetectionRef append(Detection d) {
+    STCN_CHECK(detections_.size() < UINT32_MAX);
+    detections_.push_back(std::move(d));
+    return static_cast<DetectionRef>(detections_.size() - 1);
+  }
+
+  [[nodiscard]] const Detection& get(DetectionRef ref) const {
+    STCN_CHECK(to_index(ref) < detections_.size());
+    return detections_[to_index(ref)];
+  }
+
+  [[nodiscard]] std::size_t size() const { return detections_.size(); }
+  [[nodiscard]] bool empty() const { return detections_.empty(); }
+
+  /// Approximate resident bytes (records only, not index structures).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t per_feature = detections_.empty()
+                                  ? 0
+                                  : detections_.front().appearance.values.size() *
+                                        sizeof(float);
+    return detections_.size() * (sizeof(Detection) + per_feature);
+  }
+
+ private:
+  // deque: stable growth without relocation spikes on the ingest path.
+  std::deque<Detection> detections_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,167 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace stcn {
+
+GridIndex::GridIndex(const GridIndexConfig& config) : config_(config) {
+  STCN_CHECK(!config.bounds.is_empty());
+  STCN_CHECK(config.cell_size > 0.0);
+  cols_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(
+             std::ceil(config.bounds.width() / config.cell_size)));
+  rows_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(
+             std::ceil(config.bounds.height() / config.cell_size)));
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
+}
+
+std::int32_t GridIndex::clamp_cx(double x) const {
+  auto c = static_cast<std::int32_t>(
+      std::floor((x - config_.bounds.min.x) / config_.cell_size));
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+std::int32_t GridIndex::clamp_cy(double y) const {
+  auto c = static_cast<std::int32_t>(
+      std::floor((y - config_.bounds.min.y) / config_.cell_size));
+  return std::clamp(c, 0, rows_ - 1);
+}
+
+void GridIndex::insert(const DetectionStore& store, DetectionRef ref) {
+  const Detection& d = store.get(ref);
+  Cell& cell = cells_[cell_index(clamp_cx(d.position.x), clamp_cy(d.position.y))];
+  Entry entry{d.time, ref};
+  // Near-time-ordered arrival: usually appended at the back.
+  if (cell.empty() || cell.back().time <= d.time) {
+    cell.push_back(entry);
+  } else {
+    auto it = std::upper_bound(
+        cell.begin(), cell.end(), d.time,
+        [](TimePoint t, const Entry& e) { return t < e.time; });
+    cell.insert(it, entry);
+  }
+  ++size_;
+}
+
+template <typename Pred>
+void GridIndex::scan_cell(const DetectionStore& store, const Cell& cell,
+                          const TimeInterval& interval, Pred&& keep,
+                          std::vector<DetectionRef>& out) const {
+  ++cells_probed_;
+  auto lo = std::lower_bound(
+      cell.begin(), cell.end(), interval.begin,
+      [](const Entry& e, TimePoint t) { return e.time < t; });
+  for (auto it = lo; it != cell.end() && it->time < interval.end; ++it) {
+    if (keep(store.get(it->ref))) out.push_back(it->ref);
+  }
+}
+
+std::vector<DetectionRef> GridIndex::query_range(
+    const DetectionStore& store, const Rect& region,
+    const TimeInterval& interval) const {
+  std::vector<DetectionRef> out;
+  if (region.is_empty() || interval.empty()) return out;
+  Rect clipped = region.intersection(config_.bounds);
+  if (clipped.is_empty() && !config_.bounds.overlaps(region)) return out;
+
+  std::int32_t cx0 = clamp_cx(region.min.x);
+  std::int32_t cx1 = clamp_cx(region.max.x);
+  std::int32_t cy0 = clamp_cy(region.min.y);
+  std::int32_t cy1 = clamp_cy(region.max.y);
+  for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+      scan_cell(store, cells_[cell_index(cx, cy)], interval,
+                [&region](const Detection& d) {
+                  return region.contains(d.position);
+                },
+                out);
+    }
+  }
+  return out;
+}
+
+std::vector<DetectionRef> GridIndex::query_circle(
+    const DetectionStore& store, const Circle& circle,
+    const TimeInterval& interval) const {
+  std::vector<DetectionRef> out;
+  if (interval.empty() || circle.radius < 0.0) return out;
+  Rect box = circle.bounding_box();
+  std::int32_t cx0 = clamp_cx(box.min.x);
+  std::int32_t cx1 = clamp_cx(box.max.x);
+  std::int32_t cy0 = clamp_cy(box.min.y);
+  std::int32_t cy1 = clamp_cy(box.max.y);
+  for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+      scan_cell(store, cells_[cell_index(cx, cy)], interval,
+                [&circle](const Detection& d) {
+                  return circle.contains(d.position);
+                },
+                out);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<DetectionRef, double>> GridIndex::query_knn(
+    const DetectionStore& store, Point center, std::size_t k,
+    const TimeInterval& interval) const {
+  std::vector<std::pair<DetectionRef, double>> best;  // max-heap by distance
+  if (k == 0 || interval.empty() || size_ == 0) return best;
+  auto cmp = [](const auto& a, const auto& b) { return a.second < b.second; };
+
+  std::int32_t ccx = clamp_cx(center.x);
+  std::int32_t ccy = clamp_cy(center.y);
+  std::int32_t max_ring = std::max(cols_, rows_);
+
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    // Once we hold k candidates, stop when even the nearest point of this
+    // ring's cells cannot beat the current k-th distance.
+    if (best.size() == k) {
+      double ring_min_dist =
+          (static_cast<double>(ring) - 1.0) * config_.cell_size;
+      if (ring_min_dist > best.front().second) break;
+    }
+    // Visit the cells forming the square ring at L∞ distance `ring`.
+    std::int32_t cx0 = ccx - ring;
+    std::int32_t cx1 = ccx + ring;
+    std::int32_t cy0 = ccy - ring;
+    std::int32_t cy1 = ccy + ring;
+    bool any_cell = false;
+    for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+      if (cy < 0 || cy >= rows_) continue;
+      for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+        if (cx < 0 || cx >= cols_) continue;
+        bool on_ring = (cy == cy0 || cy == cy1 || cx == cx0 || cx == cx1);
+        if (!on_ring) continue;
+        any_cell = true;
+        const Cell& cell = cells_[cell_index(cx, cy)];
+        ++cells_probed_;
+        auto lo = std::lower_bound(
+            cell.begin(), cell.end(), interval.begin,
+            [](const Entry& e, TimePoint t) { return e.time < t; });
+        for (auto it = lo; it != cell.end() && it->time < interval.end; ++it) {
+          double dist = distance(store.get(it->ref).position, center);
+          if (best.size() < k) {
+            best.emplace_back(it->ref, dist);
+            std::push_heap(best.begin(), best.end(), cmp);
+          } else if (dist < best.front().second) {
+            std::pop_heap(best.begin(), best.end(), cmp);
+            best.back() = {it->ref, dist};
+            std::push_heap(best.begin(), best.end(), cmp);
+          }
+        }
+      }
+    }
+    if (!any_cell && ring > 0 && (ccx - ring < 0 && ccx + ring >= cols_ &&
+                                  ccy - ring < 0 && ccy + ring >= rows_)) {
+      break;  // the whole grid has been exhausted
+    }
+  }
+  std::sort_heap(best.begin(), best.end(), cmp);
+  return best;
+}
+
+}  // namespace stcn

@@ -1,0 +1,88 @@
+// Spatio-temporal grid index.
+//
+// The workhorse per-worker index: a uniform spatial grid over the worker's
+// responsibility area; each cell keeps its detections ordered by time, so a
+// range query is (cells overlapping R) × (binary-searched time slice), and a
+// k-NN query expands outward ring by ring until the k-th best distance
+// proves no farther ring can contribute.
+//
+// Out-of-order arrival (network reordering) is handled by sorted insertion;
+// the common case — near-time-ordered arrival — costs O(1) amortized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "index/detection_store.h"
+
+namespace stcn {
+
+struct GridIndexConfig {
+  Rect bounds;
+  double cell_size = 100.0;
+};
+
+class GridIndex {
+ public:
+  explicit GridIndex(const GridIndexConfig& config);
+
+  /// Inserts the detection referenced by `ref`. Positions outside the index
+  /// bounds are clamped to the border cells (workers can receive events
+  /// marginally outside their nominal area because detection positions are
+  /// noisy).
+  void insert(const DetectionStore& store, DetectionRef ref);
+
+  /// All detections with position ∈ `region` and time ∈ `interval`.
+  [[nodiscard]] std::vector<DetectionRef> query_range(
+      const DetectionStore& store, const Rect& region,
+      const TimeInterval& interval) const;
+
+  /// All detections within `circle` during `interval`.
+  [[nodiscard]] std::vector<DetectionRef> query_circle(
+      const DetectionStore& store, const Circle& circle,
+      const TimeInterval& interval) const;
+
+  /// The k detections during `interval` nearest to `center`, nearest first.
+  /// Returns fewer than k if the index holds fewer matching detections.
+  [[nodiscard]] std::vector<std::pair<DetectionRef, double>> query_knn(
+      const DetectionStore& store, Point center, std::size_t k,
+      const TimeInterval& interval) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const Rect& bounds() const { return config_.bounds; }
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+  /// Number of cell probes performed since construction (pruning metric).
+  [[nodiscard]] std::uint64_t cells_probed() const { return cells_probed_; }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    DetectionRef ref;
+  };
+  using Cell = std::vector<Entry>;
+
+  [[nodiscard]] std::size_t cell_index(std::int32_t cx, std::int32_t cy) const {
+    return static_cast<std::size_t>(cy) * cols_ + static_cast<std::size_t>(cx);
+  }
+  [[nodiscard]] std::int32_t clamp_cx(double x) const;
+  [[nodiscard]] std::int32_t clamp_cy(double y) const;
+
+  /// Appends matching entries from one cell, filtering on region+interval.
+  template <typename Pred>
+  void scan_cell(const DetectionStore& store, const Cell& cell,
+                 const TimeInterval& interval, Pred&& keep,
+                 std::vector<DetectionRef>& out) const;
+
+  GridIndexConfig config_;
+  std::int32_t cols_ = 0;
+  std::int32_t rows_ = 0;
+  std::vector<Cell> cells_;
+  std::size_t size_ = 0;
+  mutable std::uint64_t cells_probed_ = 0;
+};
+
+}  // namespace stcn

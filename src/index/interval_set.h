@@ -1,0 +1,83 @@
+// Disjoint set of half-open time intervals.
+//
+// Tracks which time ranges of a partition a replica has caught up on
+// (replication/recovery) and which windows a continuous query has already
+// reported. Insertions merge adjacent/overlapping intervals.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/time.h"
+
+namespace stcn {
+
+class IntervalSet {
+ public:
+  /// Adds [iv.begin, iv.end), merging with existing intervals.
+  void add(TimeInterval iv) {
+    if (iv.empty()) return;
+    // Find all intervals that touch or overlap iv and fold them in.
+    auto first = std::lower_bound(
+        intervals_.begin(), intervals_.end(), iv.begin,
+        [](const TimeInterval& a, TimePoint t) { return a.end < t; });
+    auto last = first;
+    while (last != intervals_.end() && last->begin <= iv.end) {
+      iv.begin = std::min(iv.begin, last->begin);
+      iv.end = std::max(iv.end, last->end);
+      ++last;
+    }
+    auto pos = intervals_.erase(first, last);
+    intervals_.insert(pos, iv);
+  }
+
+  [[nodiscard]] bool contains(TimePoint t) const {
+    auto it = std::upper_bound(
+        intervals_.begin(), intervals_.end(), t,
+        [](TimePoint tp, const TimeInterval& a) { return tp < a.end; });
+    return it != intervals_.end() && it->contains(t);
+  }
+
+  /// True iff every instant of `iv` is covered.
+  [[nodiscard]] bool covers(const TimeInterval& iv) const {
+    if (iv.empty()) return true;
+    for (const TimeInterval& have : intervals_) {
+      if (have.begin <= iv.begin && iv.end <= have.end) return true;
+    }
+    return false;
+  }
+
+  /// Sub-intervals of `iv` NOT covered by this set, in time order.
+  [[nodiscard]] std::vector<TimeInterval> gaps(const TimeInterval& iv) const {
+    std::vector<TimeInterval> out;
+    if (iv.empty()) return out;
+    TimePoint cursor = iv.begin;
+    for (const TimeInterval& have : intervals_) {
+      if (have.end <= cursor) continue;
+      if (have.begin >= iv.end) break;
+      if (have.begin > cursor) {
+        out.push_back({cursor, std::min(have.begin, iv.end)});
+      }
+      cursor = std::max(cursor, have.end);
+      if (cursor >= iv.end) break;
+    }
+    if (cursor < iv.end) out.push_back({cursor, iv.end});
+    return out;
+  }
+
+  [[nodiscard]] Duration total_length() const {
+    Duration total = Duration::zero();
+    for (const TimeInterval& iv : intervals_) total = total + iv.length();
+    return total;
+  }
+
+  [[nodiscard]] const std::vector<TimeInterval>& intervals() const {
+    return intervals_;
+  }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+
+ private:
+  std::vector<TimeInterval> intervals_;  // sorted, disjoint, non-touching
+};
+
+}  // namespace stcn

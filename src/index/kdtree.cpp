@@ -1,0 +1,96 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+KdTree::KdTree(std::vector<Item> items) : items_(std::move(items)) {
+  if (!items_.empty()) build(0, items_.size(), 0);
+}
+
+void KdTree::build(std::size_t lo, std::size_t hi, int axis) {
+  if (hi - lo <= 1) return;
+  std::size_t mid = lo + (hi - lo) / 2;
+  auto cmp = [axis](const Item& a, const Item& b) {
+    return axis == 0 ? a.position.x < b.position.x
+                     : a.position.y < b.position.y;
+  };
+  std::nth_element(items_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   items_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   items_.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  build(lo, mid, 1 - axis);
+  build(mid + 1, hi, 1 - axis);
+}
+
+std::vector<std::pair<KdTree::Item, double>> KdTree::knn(
+    Point center, std::size_t k) const {
+  nodes_visited_ = 0;
+  std::vector<std::pair<Item, double>> heap;  // max-heap by distance
+  if (k == 0 || items_.empty()) return heap;
+  knn_recurse(0, items_.size(), 0, center, k, heap);
+  auto cmp = [](const auto& a, const auto& b) { return a.second < b.second; };
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+void KdTree::knn_recurse(std::size_t lo, std::size_t hi, int axis,
+                         Point center, std::size_t k,
+                         std::vector<std::pair<Item, double>>& heap) const {
+  if (lo >= hi) return;
+  ++nodes_visited_;
+  std::size_t mid = lo + (hi - lo) / 2;
+  const Item& item = items_[mid];
+  double dist = distance(item.position, center);
+  auto cmp = [](const auto& a, const auto& b) { return a.second < b.second; };
+  if (heap.size() < k) {
+    heap.emplace_back(item, dist);
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  } else if (dist < heap.front().second) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    heap.back() = {item, dist};
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  }
+
+  double center_coord = axis == 0 ? center.x : center.y;
+  double split_coord = axis == 0 ? item.position.x : item.position.y;
+  double plane_dist = center_coord - split_coord;
+  // Descend the near side first, then the far side only if the splitting
+  // plane is closer than the current k-th best.
+  if (plane_dist < 0) {
+    knn_recurse(lo, mid, 1 - axis, center, k, heap);
+    if (heap.size() < k || -plane_dist < heap.front().second) {
+      knn_recurse(mid + 1, hi, 1 - axis, center, k, heap);
+    }
+  } else {
+    knn_recurse(mid + 1, hi, 1 - axis, center, k, heap);
+    if (heap.size() < k || plane_dist < heap.front().second) {
+      knn_recurse(lo, mid, 1 - axis, center, k, heap);
+    }
+  }
+}
+
+std::vector<KdTree::Item> KdTree::range(const Rect& region) const {
+  nodes_visited_ = 0;
+  std::vector<Item> out;
+  if (!items_.empty()) range_recurse(0, items_.size(), 0, region, out);
+  return out;
+}
+
+void KdTree::range_recurse(std::size_t lo, std::size_t hi, int axis,
+                           const Rect& region, std::vector<Item>& out) const {
+  if (lo >= hi) return;
+  ++nodes_visited_;
+  std::size_t mid = lo + (hi - lo) / 2;
+  const Item& item = items_[mid];
+  if (region.contains(item.position)) out.push_back(item);
+
+  double split_coord = axis == 0 ? item.position.x : item.position.y;
+  double region_lo = axis == 0 ? region.min.x : region.min.y;
+  double region_hi = axis == 0 ? region.max.x : region.max.y;
+  if (region_lo < split_coord) range_recurse(lo, mid, 1 - axis, region, out);
+  if (region_hi > split_coord) {
+    range_recurse(mid + 1, hi, 1 - axis, region, out);
+  }
+}
+
+}  // namespace stcn

@@ -1,0 +1,55 @@
+// Static 2-d tree over points with 64-bit payloads.
+//
+// Used where a point set is built once and queried many times: the
+// centralized baseline's k-NN path and the index micro-benchmarks (E8/E10).
+// Median-split bulk build, O(n log n); k-NN and range queries with standard
+// bounding-box pruning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace stcn {
+
+class KdTree {
+ public:
+  struct Item {
+    Point position;
+    std::uint64_t payload = 0;
+  };
+
+  KdTree() = default;
+  /// Bulk-builds from `items` (copied; order not preserved).
+  explicit KdTree(std::vector<Item> items);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// The k items nearest to `center`, nearest first.
+  [[nodiscard]] std::vector<std::pair<Item, double>> knn(Point center,
+                                                         std::size_t k) const;
+
+  /// All items inside `region`.
+  [[nodiscard]] std::vector<Item> range(const Rect& region) const;
+
+  /// Nodes visited by the last query (pruning metric for E10).
+  [[nodiscard]] std::uint64_t last_nodes_visited() const {
+    return nodes_visited_;
+  }
+
+ private:
+  void build(std::size_t lo, std::size_t hi, int axis);
+  void knn_recurse(std::size_t lo, std::size_t hi, int axis, Point center,
+                   std::size_t k,
+                   std::vector<std::pair<Item, double>>& heap) const;
+  void range_recurse(std::size_t lo, std::size_t hi, int axis,
+                     const Rect& region, std::vector<Item>& out) const;
+
+  // Implicit tree: the median of [lo, hi) is the root of that span.
+  std::vector<Item> items_;
+  mutable std::uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace stcn

@@ -1,0 +1,78 @@
+// Time-ordered detection log with per-camera sub-logs.
+//
+// Supports "all detections at camera c during [t1, t2)" — the primitive the
+// re-identification engine issues after transition-graph pruning has chosen
+// candidate cameras — plus whole-log time slicing for replication catch-up.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "index/detection_store.h"
+
+namespace stcn {
+
+class TemporalStore {
+ public:
+  void insert(const DetectionStore& store, DetectionRef ref) {
+    const Detection& d = store.get(ref);
+    insert_sorted(log_, d.time, ref);
+    insert_sorted(by_camera_[d.camera], d.time, ref);
+  }
+
+  /// All detections during `interval`, time-ordered.
+  [[nodiscard]] std::vector<DetectionRef> query(
+      const TimeInterval& interval) const {
+    return slice(log_, interval);
+  }
+
+  /// Detections of one camera during `interval`, time-ordered.
+  [[nodiscard]] std::vector<DetectionRef> query_camera(
+      CameraId camera, const TimeInterval& interval) const {
+    auto it = by_camera_.find(camera);
+    if (it == by_camera_.end()) return {};
+    return slice(it->second, interval);
+  }
+
+  [[nodiscard]] std::size_t size() const { return log_.size(); }
+  [[nodiscard]] std::size_t camera_count() const { return by_camera_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    DetectionRef ref;
+  };
+
+  static void insert_sorted(std::vector<Entry>& log, TimePoint time,
+                            DetectionRef ref) {
+    Entry entry{time, ref};
+    if (log.empty() || log.back().time <= time) {
+      log.push_back(entry);
+    } else {
+      auto it = std::upper_bound(
+          log.begin(), log.end(), time,
+          [](TimePoint t, const Entry& e) { return t < e.time; });
+      log.insert(it, entry);
+    }
+  }
+
+  static std::vector<DetectionRef> slice(const std::vector<Entry>& log,
+                                         const TimeInterval& interval) {
+    std::vector<DetectionRef> out;
+    auto lo = std::lower_bound(
+        log.begin(), log.end(), interval.begin,
+        [](const Entry& e, TimePoint t) { return e.time < t; });
+    for (auto e = lo; e != log.end() && e->time < interval.end; ++e) {
+      out.push_back(e->ref);
+    }
+    return out;
+  }
+
+  std::vector<Entry> log_;
+  std::unordered_map<CameraId, std::vector<Entry>> by_camera_;
+};
+
+}  // namespace stcn

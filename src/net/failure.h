@@ -1,0 +1,86 @@
+// Failure injection schedules for resilience experiments (E9).
+//
+// A FailureSchedule is a deterministic script of crash/restart events that a
+// test or benchmark applies to a SimNetwork as virtual time advances.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/sim_network.h"
+
+namespace stcn {
+
+struct FailureEvent {
+  TimePoint at;
+  NodeId node;
+  enum class Kind { kCrash, kRestart } kind = Kind::kCrash;
+};
+
+class FailureSchedule {
+ public:
+  void add_crash(TimePoint at, NodeId node) {
+    events_.push_back({at, node, FailureEvent::Kind::kCrash});
+    sort();
+  }
+  void add_restart(TimePoint at, NodeId node) {
+    events_.push_back({at, node, FailureEvent::Kind::kRestart});
+    sort();
+  }
+
+  /// Random schedule: `count` crashes over [window.begin, window.end), each
+  /// followed by a restart after `downtime`.
+  static FailureSchedule random(Rng& rng, std::vector<NodeId> candidates,
+                                std::size_t count, TimeInterval window,
+                                Duration downtime) {
+    FailureSchedule schedule;
+    rng.shuffle(candidates);
+    count = std::min(count, candidates.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      auto span = static_cast<std::uint64_t>(window.length().count_micros());
+      TimePoint at =
+          window.begin +
+          Duration::micros(static_cast<std::int64_t>(rng.uniform_index(span)));
+      schedule.add_crash(at, candidates[i]);
+      schedule.add_restart(at + downtime, candidates[i]);
+    }
+    return schedule;
+  }
+
+  /// Applies all events scheduled before `until` that have not fired yet.
+  /// Returns the nodes whose state changed.
+  std::vector<FailureEvent> apply_until(TimePoint until, SimNetwork& network) {
+    std::vector<FailureEvent> fired;
+    while (next_ < events_.size() && events_[next_].at < until) {
+      const FailureEvent& e = events_[next_++];
+      if (e.kind == FailureEvent::Kind::kCrash) {
+        network.crash(e.node);
+      } else {
+        network.restart(e.node);
+      }
+      fired.push_back(e);
+    }
+    return fired;
+  }
+
+  [[nodiscard]] const std::vector<FailureEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool exhausted() const { return next_ >= events_.size(); }
+
+ private:
+  void sort() {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FailureEvent& a, const FailureEvent& b) {
+                       return a.at < b.at;
+                     });
+  }
+
+  std::vector<FailureEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace stcn

@@ -1,0 +1,35 @@
+// Wire message envelope for the simulated cluster.
+//
+// A Message is the only thing that crosses a node boundary. The payload is
+// opaque bytes (produced by BinaryWriter); `type` is an application-defined
+// discriminator so a node can dispatch without deserializing. The envelope
+// carries enough metadata for the network simulator to account bytes and
+// model transmission delay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace stcn {
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+  /// Simulation time at which the message was sent (stamped by the network).
+  TimePoint sent_at;
+
+  /// Bytes this message occupies on the wire: payload plus a fixed
+  /// envelope overhead (addresses, type, length — comparable to a UDP/IP
+  /// header plus framing).
+  [[nodiscard]] std::size_t wire_size() const {
+    constexpr std::size_t kEnvelopeOverhead = 42;
+    return payload.size() + kEnvelopeOverhead;
+  }
+};
+
+}  // namespace stcn

@@ -1,0 +1,31 @@
+// Interface implemented by every process on the simulated network.
+#pragma once
+
+#include "net/message.h"
+
+namespace stcn {
+
+class SimNetwork;
+
+/// A node (worker, coordinator, trace source) attached to a SimNetwork.
+///
+/// The network delivers messages by calling `handle_message`; the node may
+/// send further messages during handling (they are queued for future
+/// delivery, never delivered re-entrantly).
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+
+  [[nodiscard]] virtual NodeId node_id() const = 0;
+
+  /// Called by the network when a message addressed to this node arrives.
+  virtual void handle_message(const Message& message, SimNetwork& network) = 0;
+
+  /// Called when a timer set via SimNetwork::set_timer fires.
+  virtual void handle_timer(std::uint64_t timer_token, SimNetwork& network) {
+    (void)timer_token;
+    (void)network;
+  }
+};
+
+}  // namespace stcn

@@ -1,0 +1,78 @@
+#include "net/sim_network.h"
+
+namespace stcn {
+
+void SimNetwork::send(Message message) {
+  counters_.add("messages_sent");
+  counters_.add("bytes_sent", message.wire_size());
+  message.sent_at = now_;
+
+  if (crashed_.contains(message.to) || crashed_.contains(message.from)) {
+    counters_.add("messages_dropped_crashed");
+    return;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.bernoulli(config_.drop_probability)) {
+    counters_.add("messages_dropped_fabric");
+    return;
+  }
+
+  Event e;
+  e.at = now_ + transmission_delay(message.wire_size());
+  e.sequence = next_sequence_++;
+  e.is_timer = false;
+  e.message = std::move(message);
+  events_.push(std::move(e));
+}
+
+void SimNetwork::set_timer(NodeId node, Duration delay, std::uint64_t token) {
+  Event e;
+  e.at = now_ + delay;
+  e.sequence = next_sequence_++;
+  e.is_timer = true;
+  e.timer_node = node;
+  e.timer_token = token;
+  events_.push(std::move(e));
+}
+
+bool SimNetwork::step() {
+  if (events_.empty()) return false;
+  Event e = events_.top();
+  events_.pop();
+  // advance_clock_to may have pushed `now_` past queued events; virtual
+  // time never runs backwards.
+  if (e.at > now_) now_ = e.at;
+
+  if (e.is_timer) {
+    if (crashed_.contains(e.timer_node)) return true;
+    auto it = nodes_.find(e.timer_node);
+    if (it != nodes_.end()) it->second->handle_timer(e.timer_token, *this);
+    return true;
+  }
+
+  // A node crashed after the message was in flight still loses it.
+  if (crashed_.contains(e.message.to)) {
+    counters_.add("messages_dropped_crashed");
+    return true;
+  }
+  auto it = nodes_.find(e.message.to);
+  if (it == nodes_.end()) {
+    counters_.add("messages_dropped_unknown_node");
+    return true;
+  }
+  counters_.add("messages_delivered");
+  it->second->handle_message(e.message, *this);
+  return true;
+}
+
+std::size_t SimNetwork::run_until_idle(TimePoint deadline) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().at < deadline) {
+    step();
+    ++processed;
+  }
+  if (deadline != TimePoint::max() && now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace stcn

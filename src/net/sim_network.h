@@ -1,0 +1,140 @@
+// Deterministic discrete-event network simulator.
+//
+// The "cluster" the framework runs on. Nodes register themselves, send
+// messages, and set timers; the simulator delivers everything in virtual-time
+// order. Link behaviour is modeled as
+//
+//     delivery_time = now + base_latency + jitter + wire_size / bandwidth
+//
+// with optional per-message drop probability and per-node failure state.
+// Every byte and message is accounted in a CounterSet so benchmarks can
+// report network volume exactly.
+//
+// Determinism: with a fixed seed, identical send sequences produce identical
+// delivery schedules. Ties in delivery time are broken by send sequence
+// number.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "net/node.h"
+
+namespace stcn {
+
+/// Link-level behaviour knobs for the whole fabric.
+struct NetworkConfig {
+  Duration base_latency = Duration::micros(200);
+  Duration latency_jitter = Duration::micros(50);  // uniform [0, jitter)
+  double bandwidth_bytes_per_sec = 1.25e9;          // ~10 Gbit/s
+  double drop_probability = 0.0;
+  std::uint64_t seed = 42;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkConfig config = {})
+      : config_(config), rng_(config.seed) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Attaches a node. The node must outlive the network (nodes are owned by
+  /// the framework layer; the network only routes to them).
+  void attach(NetworkNode& node) {
+    STCN_CHECK(nodes_.emplace(node.node_id(), &node).second);
+  }
+
+  void detach(NodeId id) { nodes_.erase(id); }
+
+  /// Sends a message; it will be delivered at a future virtual time unless
+  /// the destination is crashed/unknown or the fabric drops it.
+  void send(Message message);
+
+  /// Schedules `handle_timer(token)` on `node` at now + delay.
+  void set_timer(NodeId node, Duration delay, std::uint64_t token);
+
+  /// Marks a node as crashed: messages to it are dropped (and counted).
+  void crash(NodeId id) { crashed_.insert(id); }
+  /// Heals a crashed node.
+  void restart(NodeId id) { crashed_.erase(id); }
+  [[nodiscard]] bool is_crashed(NodeId id) const {
+    return crashed_.contains(id);
+  }
+
+  /// Runs the event loop until no events remain or `deadline` is reached.
+  /// Returns the number of events processed.
+  std::size_t run_until_idle(TimePoint deadline = TimePoint::max());
+
+  /// Processes exactly one event (message delivery or timer). Returns false
+  /// when the queue is empty. Useful for pumping until a condition holds
+  /// when recurring timers keep the queue permanently non-empty.
+  bool step();
+
+  /// Runs until virtual time reaches `until` (events at exactly `until` are
+  /// not processed).
+  std::size_t run_until(TimePoint until) { return run_until_idle(until); }
+
+  /// Advances virtual time to at least `t` even with no pending events.
+  void advance_clock_to(TimePoint t) {
+    if (t > now_) now_ = t;
+  }
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+  /// Transport accounting: messages_sent, messages_delivered,
+  /// messages_dropped, bytes_sent.
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+  CounterSet& counters() { return counters_; }
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t sequence = 0;  // tie-break for determinism
+    bool is_timer = false;
+    Message message;       // when !is_timer
+    NodeId timer_node;     // when is_timer
+    std::uint64_t timer_token = 0;
+
+    // Min-heap on (at, sequence).
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  [[nodiscard]] Duration transmission_delay(std::size_t wire_bytes) {
+    double seconds =
+        static_cast<double>(wire_bytes) / config_.bandwidth_bytes_per_sec;
+    auto micros = static_cast<std::int64_t>(seconds * 1e6);
+    Duration jitter = Duration::zero();
+    if (config_.latency_jitter > Duration::zero()) {
+      jitter = Duration::micros(static_cast<std::int64_t>(rng_.uniform_index(
+          static_cast<std::uint64_t>(config_.latency_jitter.count_micros()))));
+    }
+    return config_.base_latency + jitter + Duration::micros(micros);
+  }
+
+  NetworkConfig config_;
+  Rng rng_;
+  TimePoint now_;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::unordered_map<NodeId, NetworkNode*> nodes_;
+  std::unordered_set<NodeId> crashed_;
+  CounterSet counters_;
+};
+
+}  // namespace stcn

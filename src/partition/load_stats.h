@@ -1,0 +1,65 @@
+// Load-balance metrics over a partition assignment (experiment E3).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "partition/partition_map.h"
+
+namespace stcn {
+
+/// Per-partition and per-worker event counts for one ingest run.
+class LoadStats {
+ public:
+  explicit LoadStats(std::size_t partition_count)
+      : per_partition_(partition_count, 0) {}
+
+  void record(PartitionId p, WorkerId w) {
+    STCN_CHECK(p.value() < per_partition_.size());
+    ++per_partition_[p.value()];
+    ++per_worker_[w];
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& per_partition() const {
+    return per_partition_;
+  }
+
+  /// Coefficient of variation of per-worker load over `workers` (workers
+  /// with zero load count as zero — an idle worker is imbalance too).
+  [[nodiscard]] double worker_load_cv(
+      const std::vector<WorkerId>& workers) const {
+    RunningStat stat;
+    for (WorkerId w : workers) {
+      auto it = per_worker_.find(w);
+      stat.add(it == per_worker_.end() ? 0.0
+                                       : static_cast<double>(it->second));
+    }
+    return stat.cv();
+  }
+
+  /// Max/mean per-worker load ratio (1.0 = perfectly balanced).
+  [[nodiscard]] double worker_max_over_mean(
+      const std::vector<WorkerId>& workers) const {
+    RunningStat stat;
+    for (WorkerId w : workers) {
+      auto it = per_worker_.find(w);
+      stat.add(it == per_worker_.end() ? 0.0
+                                       : static_cast<double>(it->second));
+    }
+    return stat.mean() > 0.0 ? stat.max() / stat.mean() : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : per_partition_) t += c;
+    return t;
+  }
+
+ private:
+  std::vector<std::uint64_t> per_partition_;
+  std::unordered_map<WorkerId, std::uint64_t> per_worker_;
+};
+
+}  // namespace stcn

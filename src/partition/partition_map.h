@@ -1,0 +1,118 @@
+// Partition map: how the detection space is divided across workers.
+//
+// A partition is the unit of placement, routing, and replication. A
+// PartitionStrategy decides (a) which partition an incoming detection
+// belongs to and (b) which partitions a query footprint can possibly touch —
+// the second is what lets the coordinator prune worker fan-out. The
+// PartitionMap assigns each partition a primary and a backup worker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace stcn {
+
+/// Strategy interface: pure routing logic, no ownership of data.
+class PartitionStrategy {
+ public:
+  virtual ~PartitionStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total number of partitions this strategy produces.
+  [[nodiscard]] virtual std::size_t partition_count() const = 0;
+
+  /// Partition owning a detection from `camera` at `position` / `time`.
+  [[nodiscard]] virtual PartitionId partition_of(CameraId camera,
+                                                 Point position,
+                                                 TimePoint time) const = 0;
+
+  /// Partitions that can hold detections with position ∈ region and time ∈
+  /// interval. Must be a superset of the truth (soundness); smaller is
+  /// better (pruning).
+  [[nodiscard]] virtual std::vector<PartitionId> partitions_for_region(
+      const Rect& region, const TimeInterval& interval) const = 0;
+
+  /// Partitions that can hold detections from `camera` during `interval`.
+  [[nodiscard]] virtual std::vector<PartitionId> partitions_for_camera(
+      CameraId camera, const TimeInterval& interval) const = 0;
+
+  /// All partitions (used for queries without a spatial footprint, e.g.
+  /// trajectory-by-object-id).
+  [[nodiscard]] std::vector<PartitionId> all_partitions() const {
+    std::vector<PartitionId> out;
+    out.reserve(partition_count());
+    for (std::size_t i = 0; i < partition_count(); ++i) {
+      out.emplace_back(i);
+    }
+    return out;
+  }
+};
+
+/// Placement of partitions on workers, with a replication factor of 2.
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+
+  /// Round-robin placement of `partition_count` partitions over `workers`,
+  /// with the backup on the next worker (distinct when worker_count > 1).
+  static PartitionMap round_robin(std::size_t partition_count,
+                                  const std::vector<WorkerId>& workers) {
+    STCN_CHECK(!workers.empty());
+    PartitionMap map;
+    map.primary_.resize(partition_count);
+    map.backup_.resize(partition_count);
+    for (std::size_t p = 0; p < partition_count; ++p) {
+      map.primary_[p] = workers[p % workers.size()];
+      map.backup_[p] = workers[(p + 1) % workers.size()];
+    }
+    return map;
+  }
+
+  [[nodiscard]] std::size_t partition_count() const {
+    return primary_.size();
+  }
+  [[nodiscard]] WorkerId primary(PartitionId p) const {
+    STCN_CHECK(p.value() < primary_.size());
+    return primary_[p.value()];
+  }
+  [[nodiscard]] WorkerId backup(PartitionId p) const {
+    STCN_CHECK(p.value() < backup_.size());
+    return backup_[p.value()];
+  }
+  [[nodiscard]] bool has_distinct_backup(PartitionId p) const {
+    return backup(p) != primary(p);
+  }
+
+  /// Re-points the primary of `p` (failover).
+  void set_primary(PartitionId p, WorkerId w) {
+    STCN_CHECK(p.value() < primary_.size());
+    primary_[p.value()] = w;
+  }
+  void set_backup(PartitionId p, WorkerId w) {
+    STCN_CHECK(p.value() < backup_.size());
+    backup_[p.value()] = w;
+  }
+
+  /// Partitions whose primary is `w`.
+  [[nodiscard]] std::vector<PartitionId> partitions_of(WorkerId w) const {
+    std::vector<PartitionId> out;
+    for (std::size_t p = 0; p < primary_.size(); ++p) {
+      if (primary_[p] == w) out.emplace_back(p);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<WorkerId> primary_;
+  std::vector<WorkerId> backup_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,130 @@
+#include "query/colocation.h"
+
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace stcn {
+namespace {
+
+struct BucketKey {
+  std::int64_t cx;
+  std::int64_t cy;
+  std::int64_t slab;
+  friend bool operator==(const BucketKey&, const BucketKey&) = default;
+};
+
+struct BucketKeyHash {
+  std::size_t operator()(const BucketKey& k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(k.cy) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= static_cast<std::uint64_t>(k.slab) * 0x165667b19e3779f9ULL;
+    return h;
+  }
+};
+
+struct PairKey {
+  std::uint64_t a;
+  std::uint64_t b;
+  friend auto operator<=>(const PairKey&, const PairKey&) = default;
+};
+
+}  // namespace
+
+std::vector<Meeting> find_meetings(const std::vector<Detection>& detections,
+                                   const CoLocationParams& params) {
+  // Bucket by (cell = max_distance, slab = max_gap); candidates for a
+  // detection live in its bucket and the 26 spatio-temporal neighbours.
+  const double cell = std::max(params.max_distance, 1e-6);
+  const std::int64_t slab_us = std::max<std::int64_t>(
+      params.max_gap.count_micros(), 1);
+
+  auto key_of = [&](const Detection& d) {
+    return BucketKey{
+        static_cast<std::int64_t>(std::floor(d.position.x / cell)),
+        static_cast<std::int64_t>(std::floor(d.position.y / cell)),
+        d.time.micros_since_origin() / slab_us};
+  };
+
+  std::unordered_map<BucketKey, std::vector<const Detection*>, BucketKeyHash>
+      buckets;
+  for (const Detection& d : detections) {
+    buckets[key_of(d)].push_back(&d);
+  }
+
+  struct PairStats {
+    std::size_t events = 0;
+    std::set<std::uint64_t> cameras;
+    TimePoint first = TimePoint::max();
+    TimePoint last = TimePoint(std::numeric_limits<std::int64_t>::min());
+    // Dedup: one event per (detection, detection) pair is natural, but a
+    // pair loitering together produces many; we count all qualifying
+    // detection pairs once each via ordered detection ids.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> counted;
+  };
+  std::map<PairKey, PairStats> pairs;
+
+  auto consider = [&](const Detection& x, const Detection& y) {
+    if (x.object == y.object) return;
+    Duration gap = x.time >= y.time ? x.time - y.time : y.time - x.time;
+    if (gap > params.max_gap) return;
+    if (distance(x.position, y.position) > params.max_distance) return;
+    PairKey key{std::min(x.object.value(), y.object.value()),
+                std::max(x.object.value(), y.object.value())};
+    PairStats& stats = pairs[key];
+    auto det_pair = std::make_pair(std::min(x.id.value(), y.id.value()),
+                                   std::max(x.id.value(), y.id.value()));
+    if (!stats.counted.insert(det_pair).second) return;
+    ++stats.events;
+    stats.cameras.insert(x.camera.value());
+    stats.cameras.insert(y.camera.value());
+    TimePoint t = std::min(x.time, y.time);
+    stats.first = std::min(stats.first, t);
+    stats.last = std::max(stats.last, std::max(x.time, y.time));
+  };
+
+  for (const auto& [key, members] : buckets) {
+    // Within the bucket.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        consider(*members[i], *members[j]);
+      }
+    }
+    // Against forward neighbours only (each unordered bucket pair visited
+    // once).
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t ds = -1; ds <= 1; ++ds) {
+          if (std::make_tuple(dx, dy, ds) <= std::make_tuple(0, 0, 0)) {
+            continue;
+          }
+          auto it = buckets.find({key.cx + dx, key.cy + dy, key.slab + ds});
+          if (it == buckets.end()) continue;
+          for (const Detection* x : members) {
+            for (const Detection* y : it->second) {
+              consider(*x, *y);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Meeting> meetings;
+  for (const auto& [key, stats] : pairs) {
+    if (stats.events < params.min_events) continue;
+    if (stats.cameras.size() < params.min_distinct_cameras) continue;
+    meetings.push_back({ObjectId(key.a), ObjectId(key.b), stats.events,
+                        stats.cameras.size(), stats.first, stats.last});
+  }
+  std::sort(meetings.begin(), meetings.end(),
+            [](const Meeting& a, const Meeting& b) {
+              if (a.events != b.events) return a.events > b.events;
+              if (a.a != b.a) return a.a < b.a;
+              return a.b < b.b;
+            });
+  return meetings;
+}
+
+}  // namespace stcn

@@ -1,0 +1,49 @@
+// Co-location ("meeting") detection.
+//
+// Finds pairs of objects repeatedly seen close together: detections of two
+// different objects within `max_distance` meters and `max_gap` of each
+// other count as one co-location event; pairs with at least `min_events`
+// events (at `min_distinct_cameras`+ distinct cameras, to filter out two
+// strangers caught once by the same camera) are reported as meetings.
+//
+// The computation runs coordinator-side over a spatio-temporal range query
+// (the distributed store supplies the detections; the join is local). The
+// join itself is grid-hashed: each detection is bucketed by (cell, time
+// slab) and only neighbouring buckets are compared — O(n · local density)
+// instead of O(n²).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/time.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+struct CoLocationParams {
+  double max_distance = 20.0;
+  Duration max_gap = Duration::seconds(5);
+  std::size_t min_events = 3;
+  std::size_t min_distinct_cameras = 1;
+};
+
+struct Meeting {
+  ObjectId a;  // a < b
+  ObjectId b;
+  std::size_t events = 0;
+  std::size_t distinct_cameras = 0;
+  TimePoint first_seen;
+  TimePoint last_seen;
+};
+
+/// Detects meetings among `detections` (any order). Returns meetings
+/// sorted by event count, most significant first.
+std::vector<Meeting> find_meetings(const std::vector<Detection>& detections,
+                                   const CoLocationParams& params);
+
+}  // namespace stcn

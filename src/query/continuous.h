@@ -1,0 +1,161 @@
+// Continuous (standing) queries with incremental +/- updates.
+//
+// A continuous range query monitors a region over a sliding time window.
+// Instead of re-evaluating on every tick, the monitor emits *deltas*: a
+// positive update when a matching detection arrives, a negative update when
+// a previously-reported detection ages out of the window. The coordinator
+// (or client) can replay the delta stream to maintain the live answer set.
+//
+// Workers host a ContinuousQueryManager: detections are tested against all
+// installed monitors (grid-bucketed so the common case tests only nearby
+// monitors), and `advance_to` retires expired detections.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+struct ContinuousQuerySpec {
+  QueryId id;
+  Rect region;
+  Duration window = Duration::minutes(1);
+};
+
+/// One incremental answer-set change.
+struct DeltaUpdate {
+  QueryId query;
+  bool positive = true;  // true: enters the answer set; false: leaves it
+  Detection detection;
+};
+
+class ContinuousQueryManager {
+ public:
+  /// `world` bounds the bucketing grid used to route detections to
+  /// monitors; `bucket_size` trades routing precision for memory.
+  ContinuousQueryManager(Rect world, double bucket_size = 250.0)
+      : world_(world), bucket_size_(bucket_size) {
+    STCN_CHECK(!world.is_empty());
+    STCN_CHECK(bucket_size > 0.0);
+    cols_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(world.width() / bucket_size)));
+    rows_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(world.height() / bucket_size)));
+    buckets_.resize(cols_ * rows_);
+  }
+
+  void install(const ContinuousQuerySpec& spec) {
+    STCN_CHECK(!monitors_.contains(spec.id));
+    monitors_.emplace(spec.id, Monitor{spec, {}});
+    for (std::size_t b : buckets_overlapping(spec.region)) {
+      buckets_[b].push_back(spec.id);
+    }
+  }
+
+  void remove(QueryId id) {
+    monitors_.erase(id);
+    for (auto& bucket : buckets_) {
+      std::erase(bucket, id);
+    }
+  }
+
+  [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+
+  /// Routes a new detection to matching monitors; appends the positive
+  /// deltas it generates to `out`. Returns the number of monitors *tested*
+  /// (the routing-efficiency metric for E7).
+  std::size_t on_detection(const Detection& d, std::vector<DeltaUpdate>& out) {
+    std::size_t tested = 0;
+    std::size_t bucket = bucket_of(d.position);
+    for (QueryId id : buckets_[bucket]) {
+      auto it = monitors_.find(id);
+      if (it == monitors_.end()) continue;
+      ++tested;
+      Monitor& m = it->second;
+      if (!m.spec.region.contains(d.position)) continue;
+      // Sorted insert: batched multi-partition delivery interleaves
+      // arrival order, and expiry pops from the front — an out-of-order
+      // entry behind a newer front would otherwise outlive its window.
+      if (m.window.empty() || m.window.back().time <= d.time) {
+        m.window.push_back(d);
+      } else {
+        auto pos = std::upper_bound(
+            m.window.begin(), m.window.end(), d.time,
+            [](TimePoint t, const Detection& e) { return t < e.time; });
+        m.window.insert(pos, d);
+      }
+      out.push_back({id, true, d});
+    }
+    return tested;
+  }
+
+  /// Retires detections older than each monitor's window at time `now`,
+  /// emitting negative deltas.
+  void advance_to(TimePoint now, std::vector<DeltaUpdate>& out) {
+    for (auto& [id, m] : monitors_) {
+      TimePoint horizon = now - m.spec.window;
+      while (!m.window.empty() && m.window.front().time < horizon) {
+        out.push_back({id, false, m.window.front()});
+        m.window.pop_front();
+      }
+    }
+  }
+
+  /// Current answer set of one monitor (for verification against
+  /// snapshot evaluation).
+  [[nodiscard]] std::vector<Detection> answer_set(QueryId id) const {
+    auto it = monitors_.find(id);
+    if (it == monitors_.end()) return {};
+    return {it->second.window.begin(), it->second.window.end()};
+  }
+
+ private:
+  struct Monitor {
+    ContinuousQuerySpec spec;
+    std::deque<Detection> window;  // time-ordered matching detections
+  };
+
+  [[nodiscard]] std::size_t bucket_of(Point p) const {
+    auto cx = static_cast<std::ptrdiff_t>(
+        (p.x - world_.min.x) / bucket_size_);
+    auto cy = static_cast<std::ptrdiff_t>(
+        (p.y - world_.min.y) / bucket_size_);
+    cx = std::clamp<std::ptrdiff_t>(cx, 0, static_cast<std::ptrdiff_t>(cols_) - 1);
+    cy = std::clamp<std::ptrdiff_t>(cy, 0, static_cast<std::ptrdiff_t>(rows_) - 1);
+    return static_cast<std::size_t>(cy) * cols_ + static_cast<std::size_t>(cx);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> buckets_overlapping(
+      const Rect& region) const {
+    std::vector<std::size_t> out;
+    std::size_t b0 = bucket_of(region.min);
+    std::size_t b1 = bucket_of({region.max.x, region.max.y});
+    std::size_t x0 = b0 % cols_, y0 = b0 / cols_;
+    std::size_t x1 = b1 % cols_, y1 = b1 / cols_;
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        out.push_back(y * cols_ + x);
+      }
+    }
+    return out;
+  }
+
+  Rect world_;
+  double bucket_size_;
+  std::size_t cols_ = 1;
+  std::size_t rows_ = 1;
+  std::vector<std::vector<QueryId>> buckets_;  // bucket → monitor ids
+  std::unordered_map<QueryId, Monitor> monitors_;
+};
+
+}  // namespace stcn

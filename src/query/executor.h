@@ -1,0 +1,140 @@
+// Per-worker local query execution.
+//
+// A LocalExecutor answers a Query against one worker's indexes. It is pure
+// with respect to the framework: given the store and indexes, it computes a
+// QueryResult fragment; the coordinator merges fragments across workers.
+#pragma once
+
+#include "index/detection_store.h"
+#include "index/grid_index.h"
+#include "index/temporal_store.h"
+#include "index/trajectory_store.h"
+#include "query/query.h"
+#include "query/result.h"
+
+namespace stcn {
+
+/// The bundle of per-worker storage a query executes against.
+struct WorkerIndexes {
+  GridIndexConfig grid_config;
+  DetectionStore store;
+  GridIndex grid;
+  TrajectoryStore trajectories;
+  TemporalStore temporal;
+
+  explicit WorkerIndexes(const GridIndexConfig& config)
+      : grid_config(config), grid(config) {}
+
+  /// Ingest one detection into every index.
+  DetectionRef ingest(Detection d) {
+    DetectionRef ref = store.append(std::move(d));
+    grid.insert(store, ref);
+    trajectories.insert(store, ref);
+    temporal.insert(store, ref);
+    return ref;
+  }
+
+  /// Retention compaction: rebuilds the store and every index keeping only
+  /// detections with time >= `horizon`. Returns the number evicted.
+  /// DetectionRefs issued before a compaction are invalidated.
+  std::size_t compact(TimePoint horizon) {
+    DetectionStore new_store;
+    GridIndex new_grid(grid_config);
+    TrajectoryStore new_trajectories;
+    TemporalStore new_temporal;
+    std::size_t evicted = 0;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      const Detection& d = store.get(static_cast<DetectionRef>(i));
+      if (d.time < horizon) {
+        ++evicted;
+        continue;
+      }
+      DetectionRef ref = new_store.append(d);
+      new_grid.insert(new_store, ref);
+      new_trajectories.insert(new_store, ref);
+      new_temporal.insert(new_store, ref);
+    }
+    store = std::move(new_store);
+    grid = std::move(new_grid);
+    trajectories = std::move(new_trajectories);
+    temporal = std::move(new_temporal);
+    return evicted;
+  }
+
+  [[nodiscard]] std::size_t size() const { return store.size(); }
+};
+
+class LocalExecutor {
+ public:
+  /// Executes `query` against `indexes`, producing a partial result.
+  [[nodiscard]] static QueryResult execute(const WorkerIndexes& indexes,
+                                           const Query& query) {
+    QueryResult result;
+    result.query = query.id;
+    switch (query.kind) {
+      case QueryKind::kRange: {
+        for (DetectionRef ref :
+             indexes.grid.query_range(indexes.store, query.region,
+                                      query.interval)) {
+          result.detections.push_back(indexes.store.get(ref));
+        }
+        break;
+      }
+      case QueryKind::kCircle: {
+        for (DetectionRef ref :
+             indexes.grid.query_circle(indexes.store, query.circle,
+                                       query.interval)) {
+          result.detections.push_back(indexes.store.get(ref));
+        }
+        break;
+      }
+      case QueryKind::kKnn: {
+        for (const auto& [ref, dist] :
+             indexes.grid.query_knn(indexes.store, query.center, query.k,
+                                    query.interval)) {
+          result.detections.push_back(indexes.store.get(ref));
+        }
+        break;
+      }
+      case QueryKind::kTrajectory: {
+        for (DetectionRef ref :
+             indexes.trajectories.query(query.object, query.interval)) {
+          result.detections.push_back(indexes.store.get(ref));
+        }
+        break;
+      }
+      case QueryKind::kCameraWindow: {
+        for (DetectionRef ref :
+             indexes.temporal.query_camera(query.camera, query.interval)) {
+          result.detections.push_back(indexes.store.get(ref));
+        }
+        break;
+      }
+      case QueryKind::kCount: {
+        auto refs = indexes.grid.query_range(indexes.store, query.region,
+                                             query.interval);
+        if (query.group_by == GroupBy::kCamera) {
+          for (DetectionRef ref : refs) {
+            ++result.counts[indexes.store.get(ref).camera.value()];
+          }
+        } else {
+          result.counts[0] = refs.size();
+        }
+        break;
+      }
+      case QueryKind::kHeatmap: {
+        if (query.cell_size <= 0.0) break;
+        for (DetectionRef ref :
+             indexes.grid.query_range(indexes.store, query.region,
+                                      query.interval)) {
+          ++result.counts[query.heatmap_cell(
+              indexes.store.get(ref).position)];
+        }
+        break;
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace stcn

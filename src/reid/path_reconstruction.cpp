@@ -1,0 +1,95 @@
+#include "reid/path_reconstruction.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+ReconstructedPath PathReconstructor::reconstruct(
+    const Detection& probe, const CandidateSource& source) const {
+  struct Hypothesis {
+    std::vector<Detection> hops;
+    double score = 0.0;
+    bool extendable = true;
+  };
+
+  std::vector<Hypothesis> beam{{{probe}, 0.0, true}};
+  std::uint64_t candidates_examined = 0;
+
+  for (std::size_t depth = 1; depth < params_.max_path_length; ++depth) {
+    std::vector<Hypothesis> next;
+    bool any_extended = false;
+    for (const Hypothesis& h : beam) {
+      if (!h.extendable) {
+        next.push_back(h);
+        continue;
+      }
+      const Detection& head = h.hops.back();
+      TimeInterval horizon{head.time, head.time + params_.hop_horizon};
+      ReidOutcome out = engine_.find_matches(head, horizon, source);
+      candidates_examined += out.candidates_examined;
+
+      bool extended = false;
+      for (const ReidMatch& m : out.matches) {
+        if (m.score < params_.min_hop_score) continue;
+        // No revisiting the exact same detection within one path.
+        bool cycle = std::any_of(h.hops.begin(), h.hops.end(),
+                                 [&m](const Detection& d) {
+                                   return d.id == m.detection.id;
+                                 });
+        if (cycle) continue;
+        Hypothesis ext = h;
+        ext.hops.push_back(m.detection);
+        ext.score += m.score;
+        next.push_back(std::move(ext));
+        extended = true;
+        any_extended = true;
+        if (next.size() > params_.beam_width * 4) break;
+      }
+      if (!extended) {
+        Hypothesis dead = h;
+        dead.extendable = false;
+        next.push_back(std::move(dead));
+      }
+    }
+    // Keep the top beam_width by score-per-hop-count-adjusted total. Longer
+    // correct paths accumulate more score, so plain total favors them.
+    std::sort(next.begin(), next.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.score > b.score;
+              });
+    if (next.size() > params_.beam_width) next.resize(params_.beam_width);
+    beam = std::move(next);
+    if (!any_extended) break;
+  }
+
+  const Hypothesis* best = nullptr;
+  for (const Hypothesis& h : beam) {
+    if (best == nullptr || h.score > best->score ||
+        (h.score == best->score && h.hops.size() > best->hops.size())) {
+      best = &h;
+    }
+  }
+  ReconstructedPath path;
+  if (best != nullptr) {
+    path.hops = best->hops;
+    path.score = best->score;
+  }
+  path.candidates_examined = candidates_examined;
+  return path;
+}
+
+double PathReconstructor::hop_accuracy(const ReconstructedPath& path,
+                                       ObjectId truth,
+                                       bool truth_has_continuation) {
+  if (path.hops.size() <= 1) {
+    return truth_has_continuation ? 0.0 : 1.0;
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 1; i < path.hops.size(); ++i) {
+    if (path.hops[i].object == truth) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(path.hops.size() - 1);
+}
+
+}  // namespace stcn

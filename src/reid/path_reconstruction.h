@@ -1,0 +1,56 @@
+// Multi-hop path reconstruction across non-overlapping cameras.
+//
+// Extends single-hop re-identification into a full path: starting from a
+// probe detection, a beam search repeatedly applies the cone-pruned matcher
+// to the current path head, chaining the most likely reappearances into a
+// trajectory hypothesis. The beam keeps the B best partial paths by
+// accumulated score; the final answer is the highest-scoring maximal path.
+//
+// Experiment E6 measures hop-level accuracy of the reconstructed path
+// against the trace's ground truth as appearance noise and path length vary.
+#pragma once
+
+#include <vector>
+
+#include "reid/reid_engine.h"
+
+namespace stcn {
+
+struct PathParams {
+  std::size_t beam_width = 4;
+  std::size_t max_path_length = 12;
+  /// Per-hop search horizon: how far past the path head to look.
+  Duration hop_horizon = Duration::minutes(3);
+  /// A hop must score at least this to extend a path (filters garbage
+  /// extensions when the true object left the camera network).
+  double min_hop_score = 0.0;
+};
+
+struct ReconstructedPath {
+  std::vector<Detection> hops;  // starts with the probe detection
+  double score = 0.0;
+  std::uint64_t candidates_examined = 0;
+};
+
+class PathReconstructor {
+ public:
+  PathReconstructor(const ReidEngine& engine, PathParams params)
+      : engine_(engine), params_(params) {}
+
+  [[nodiscard]] ReconstructedPath reconstruct(
+      const Detection& probe, const CandidateSource& source) const;
+
+  /// Fraction of reconstructed hops whose ground-truth object matches the
+  /// probe's (the probe itself is excluded from the denominator). Empty
+  /// reconstruction (no hops beyond the probe) scores 0 when the truth has
+  /// a continuation, 1 otherwise.
+  [[nodiscard]] static double hop_accuracy(const ReconstructedPath& path,
+                                           ObjectId truth,
+                                           bool truth_has_continuation);
+
+ private:
+  const ReidEngine& engine_;
+  PathParams params_;
+};
+
+}  // namespace stcn

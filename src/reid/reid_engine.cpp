@@ -1,0 +1,73 @@
+#include "reid/reid_engine.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+void ReidEngine::score_candidates(const Detection& probe, TimePoint probe_time,
+                                  const std::vector<Detection>& candidates,
+                                  std::uint32_t hops, double hop_log_prior,
+                                  ReidOutcome& outcome) const {
+  for (const Detection& d : candidates) {
+    ++outcome.candidates_examined;
+    if (d.id == probe.id) continue;
+    if (d.time <= probe_time) continue;
+    double sim = probe.appearance.similarity(d.appearance);
+    if (sim < params_.min_similarity) continue;
+    double score = params_.appearance_weight * sim + hop_log_prior;
+    outcome.matches.push_back({d, score, hops});
+  }
+}
+
+namespace {
+void finalize(ReidOutcome& outcome, std::size_t max_matches) {
+  std::sort(outcome.matches.begin(), outcome.matches.end(),
+            [](const ReidMatch& a, const ReidMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.detection.id < b.detection.id;
+            });
+  // One match per detection: a camera reachable via several hop counts can
+  // contribute duplicates.
+  std::vector<ReidMatch> unique;
+  unique.reserve(outcome.matches.size());
+  for (const ReidMatch& m : outcome.matches) {
+    bool seen = std::any_of(unique.begin(), unique.end(),
+                            [&m](const ReidMatch& u) {
+                              return u.detection.id == m.detection.id;
+                            });
+    if (!seen) unique.push_back(m);
+    if (unique.size() >= max_matches) break;
+  }
+  outcome.matches = std::move(unique);
+}
+}  // namespace
+
+ReidOutcome ReidEngine::find_matches(const Detection& probe,
+                                     const TimeInterval& horizon,
+                                     const CandidateSource& source) const {
+  ReidOutcome outcome;
+  auto cone = graph_.cone(probe.camera, probe.time, horizon, params_.cone);
+  for (const ConeEntry& entry : cone) {
+    ++outcome.cameras_queried;
+    auto candidates = source.detections_at(entry.camera, entry.window);
+    score_candidates(probe, probe.time, candidates, entry.hops,
+                     entry.log_prior, outcome);
+  }
+  finalize(outcome, params_.max_matches);
+  return outcome;
+}
+
+ReidOutcome ReidEngine::find_matches_full_scan(
+    const Detection& probe, const TimeInterval& horizon,
+    const CandidateSource& source) const {
+  ReidOutcome outcome;
+  for (CameraId camera : source.all_cameras()) {
+    ++outcome.cameras_queried;
+    auto candidates = source.detections_at(camera, horizon);
+    score_candidates(probe, probe.time, candidates, 0, 0.0, outcome);
+  }
+  finalize(outcome, params_.max_matches);
+  return outcome;
+}
+
+}  // namespace stcn

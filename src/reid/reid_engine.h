@@ -1,0 +1,86 @@
+// Re-identification engine.
+//
+// Given a probe detection ("this object was seen at camera a at time t"),
+// find where it reappears. The engine expands the transition-graph cone of
+// plausible (camera, time-window) pairs, fetches only those detections from
+// a CandidateSource (in the distributed framework this becomes a set of
+// camera-targeted remote queries), and ranks candidates by a combined
+// appearance + travel-time log-score.
+//
+// A full-scan mode (scan every camera over the whole horizon) serves as the
+// baseline for experiment E5; the contract is that cone mode examines far
+// fewer candidates at (near-)equal recall.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "reid/transition_graph.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+/// Abstract access to stored detections, keyed by camera and time. The
+/// distributed core implements this with scatter-gather queries; tests and
+/// the centralized baseline implement it over a local TemporalStore.
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+  [[nodiscard]] virtual std::vector<Detection> detections_at(
+      CameraId camera, const TimeInterval& window) const = 0;
+  /// All camera ids known to the source (for full-scan mode).
+  [[nodiscard]] virtual std::vector<CameraId> all_cameras() const = 0;
+};
+
+struct ReidParams {
+  TransitionGraph::ConeParams cone;
+  /// Minimum appearance cosine similarity for a candidate to be scored.
+  double min_similarity = 0.5;
+  /// Weight of appearance similarity vs. travel-time likelihood.
+  double appearance_weight = 4.0;
+  std::size_t max_matches = 10;
+};
+
+struct ReidMatch {
+  Detection detection;
+  double score = 0.0;
+  std::uint32_t hops = 0;
+};
+
+struct ReidOutcome {
+  std::vector<ReidMatch> matches;        // best first
+  std::uint64_t candidates_examined = 0;  // pruning metric (E5)
+  std::uint64_t cameras_queried = 0;
+};
+
+class ReidEngine {
+ public:
+  ReidEngine(const TransitionGraph& graph, ReidParams params)
+      : graph_(graph), params_(params) {}
+
+  /// Cone-pruned search for reappearances of `probe` within `horizon`.
+  [[nodiscard]] ReidOutcome find_matches(const Detection& probe,
+                                         const TimeInterval& horizon,
+                                         const CandidateSource& source) const;
+
+  /// Baseline: scan every camera over the entire horizon.
+  [[nodiscard]] ReidOutcome find_matches_full_scan(
+      const Detection& probe, const TimeInterval& horizon,
+      const CandidateSource& source) const;
+
+  [[nodiscard]] const ReidParams& params() const { return params_; }
+
+ private:
+  void score_candidates(const Detection& probe, TimePoint probe_time,
+                        const std::vector<Detection>& candidates,
+                        std::uint32_t hops, double hop_log_prior,
+                        ReidOutcome& outcome) const;
+
+  const TransitionGraph& graph_;
+  ReidParams params_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,150 @@
+#include "reid/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace stcn {
+
+bool OnlineTracker::score(const Track& t, const Detection& d,
+                          double& out_score) const {
+  const Detection& head = t.head();
+  Duration gap = d.time - head.time;
+  if (gap < Duration::zero()) return false;
+
+  double sim = t.centroid.similarity(d.appearance);
+  if (sim < config_.min_similarity) return false;
+
+  double transition_term = 0.0;
+  if (head.camera == d.camera) {
+    if (gap > config_.same_camera_window) return false;
+  } else if (!config_.use_transition_gate) {
+    if (gap > config_.max_silence) return false;
+  } else {
+    const auto* edges = graph_.edges_from(head.camera);
+    if (edges == nullptr) return false;
+    auto it = std::find_if(edges->begin(), edges->end(),
+                           [&d](const TransitionEdge& e) {
+                             return e.to == d.camera;
+                           });
+    if (it == edges->end()) return false;
+    if (it->count < config_.transition.min_edge_count) return false;
+    auto [lo_s, hi_s] = it->plausible_window_s(config_.transition.k_sigma,
+                                               config_.transition.slack_s);
+    double gap_s = gap.to_seconds();
+    if (gap_s < lo_s || gap_s > hi_s) return false;
+    transition_term = it->log_likelihood(gap_s);
+  }
+  out_score = config_.appearance_weight * sim + transition_term;
+  return out_score >= config_.min_score;
+}
+
+void OnlineTracker::fold_into_centroid(Track& t, const AppearanceFeature& f) {
+  // Running mean, re-normalized: stable identity even as per-detection
+  // noise varies.
+  auto n = static_cast<float>(t.detections.size());
+  if (t.centroid.values.size() != f.values.size()) {
+    t.centroid = f;
+    return;
+  }
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    t.centroid.values[i] =
+        (t.centroid.values[i] * (n - 1) + f.values[i]) / n;
+  }
+  t.centroid.normalize();
+}
+
+TrackId OnlineTracker::observe(const Detection& d) {
+  std::size_t best_index = 0;
+  double best_score = 0.0;
+  bool found = false;
+  for (std::size_t idx : active_) {
+    double s = 0.0;
+    if (score(tracks_[idx], d, s) && (!found || s > best_score)) {
+      best_score = s;
+      best_index = idx;
+      found = true;
+    }
+  }
+  if (found) {
+    Track& t = tracks_[best_index];
+    t.detections.push_back(d);
+    fold_into_centroid(t, d.appearance);
+    return t.id;
+  }
+  Track fresh;
+  fresh.id = TrackId(tracks_.size() + 1);
+  fresh.detections = {d};
+  fresh.centroid = d.appearance;
+  tracks_.push_back(std::move(fresh));
+  active_.push_back(tracks_.size() - 1);
+  return tracks_.back().id;
+}
+
+void OnlineTracker::advance_to(TimePoint now) {
+  TimePoint horizon = now - config_.max_silence;
+  std::erase_if(active_, [this, horizon](std::size_t idx) {
+    if (tracks_[idx].head().time < horizon) {
+      tracks_[idx].retired = true;
+      return true;
+    }
+    return false;
+  });
+}
+
+TrackingMetrics TrackingMetrics::evaluate(const std::vector<Track>& tracks) {
+  TrackingMetrics m;
+  m.tracks = tracks.size();
+  if (tracks.empty()) return m;
+
+  // Purity: per track, majority-object share.
+  double purity_sum = 0.0;
+  std::set<std::uint64_t> objects;
+  std::map<std::uint64_t, std::set<std::uint64_t>> object_tracks;
+  for (const Track& t : tracks) {
+    std::map<std::uint64_t, std::size_t> votes;
+    for (const Detection& d : t.detections) {
+      ++votes[d.object.value()];
+      objects.insert(d.object.value());
+      object_tracks[d.object.value()].insert(t.id.value());
+    }
+    std::size_t majority = 0;
+    for (const auto& [obj, n] : votes) majority = std::max(majority, n);
+    purity_sum += static_cast<double>(majority) /
+                  static_cast<double>(t.detections.size());
+  }
+  m.purity = purity_sum / static_cast<double>(tracks.size());
+  m.true_objects = objects.size();
+
+  double frag_sum = 0.0;
+  for (const auto& [obj, track_set] : object_tracks) {
+    frag_sum += static_cast<double>(track_set.size());
+  }
+  m.fragmentation =
+      objects.empty() ? 0.0 : frag_sum / static_cast<double>(objects.size());
+
+  // ID switches: order each object's detections by time; count where the
+  // assigned track changes.
+  struct Assigned {
+    TimePoint time;
+    std::uint64_t track;
+  };
+  std::map<std::uint64_t, std::vector<Assigned>> per_object;
+  for (const Track& t : tracks) {
+    for (const Detection& d : t.detections) {
+      per_object[d.object.value()].push_back({d.time, t.id.value()});
+    }
+  }
+  for (auto& [obj, seq] : per_object) {
+    std::sort(seq.begin(), seq.end(), [](const Assigned& a, const Assigned& b) {
+      return a.time < b.time;
+    });
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i].track != seq[i - 1].track) ++m.id_switches;
+    }
+  }
+  return m;
+}
+
+}  // namespace stcn

@@ -1,0 +1,105 @@
+// Online cross-camera track stitching.
+//
+// The streaming counterpart of offline re-identification: as detections
+// arrive (time-ordered), the tracker associates each with an active track
+// or opens a new one, maintaining city-wide object tracks in real time.
+//
+// Association gate for detection d against track T (head detection h):
+//   * same camera: |d.time - h.time| within the redetect window, or
+//   * different camera: the transition graph has an edge h.camera→d.camera
+//     whose plausible travel-time window contains (d.time - h.time);
+// score = appearance_weight × cosine(track centroid, d) + transition
+// log-likelihood (0 for same-camera). The best-scoring gated track above
+// `min_score` wins; otherwise a new track opens. Tracks silent longer than
+// `max_silence` retire.
+//
+// The tracker never sees ground-truth object ids; `TrackingMetrics`
+// evaluates its output against them (purity, fragmentation, ID switches).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "reid/transition_graph.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+struct TrackerConfig {
+  double min_similarity = 0.5;      // appearance gate
+  double appearance_weight = 4.0;
+  // Association threshold. Note the transition log-likelihood term is
+  // ≈ -1.6 even at the travel-time mean (normal pdf with the σ floor), so
+  // a cross-camera hop at peak plausibility needs cosine ≥
+  // (min_score + 1.6) / appearance_weight ≈ 0.65.
+  double min_score = 1.0;
+  Duration same_camera_window = Duration::seconds(10);
+  Duration max_silence = Duration::minutes(2);
+  TransitionGraph::ConeParams transition;  // k_sigma / slack reused
+  /// Ablation switch: when false, cross-camera association is gated by
+  /// appearance alone (no transition-graph plausibility check).
+  bool use_transition_gate = true;
+};
+
+struct Track {
+  TrackId id;
+  std::vector<Detection> detections;  // time-ordered
+  AppearanceFeature centroid;         // running normalized mean
+  bool retired = false;
+
+  [[nodiscard]] const Detection& head() const { return detections.back(); }
+};
+
+class OnlineTracker {
+ public:
+  OnlineTracker(const TransitionGraph& graph, TrackerConfig config)
+      : graph_(graph), config_(config) {}
+
+  /// Processes one detection (must be fed in non-decreasing time order).
+  /// Returns the track it was associated with (possibly newly opened).
+  TrackId observe(const Detection& d);
+
+  /// Retires tracks whose head is older than now - max_silence.
+  void advance_to(TimePoint now);
+
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] const std::vector<Track>& all_tracks() const {
+    return tracks_;
+  }
+  [[nodiscard]] const Track& track(TrackId id) const {
+    STCN_CHECK(id.value() >= 1 && id.value() <= tracks_.size());
+    return tracks_[id.value() - 1];
+  }
+
+ private:
+  /// Association score of d against track t; returns false if gated out.
+  [[nodiscard]] bool score(const Track& t, const Detection& d,
+                           double& out_score) const;
+  void fold_into_centroid(Track& t, const AppearanceFeature& f);
+
+  const TransitionGraph& graph_;
+  TrackerConfig config_;
+  std::vector<Track> tracks_;        // all tracks ever opened (1-based ids)
+  std::vector<std::size_t> active_;  // indexes into tracks_
+};
+
+/// Quality of a tracker run against ground truth.
+struct TrackingMetrics {
+  std::size_t tracks = 0;
+  std::size_t true_objects = 0;
+  /// Mean fraction of each track's detections belonging to its majority
+  /// ground-truth object (1.0 = every track is pure).
+  double purity = 0.0;
+  /// Mean number of tracks each true object was split across
+  /// (1.0 = no fragmentation).
+  double fragmentation = 0.0;
+  /// Detections whose predecessor (same true object) sits in a different
+  /// track — the classic identity-switch count.
+  std::size_t id_switches = 0;
+
+  static TrackingMetrics evaluate(const std::vector<Track>& tracks);
+};
+
+}  // namespace stcn

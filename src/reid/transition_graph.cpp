@@ -1,0 +1,147 @@
+#include "reid/transition_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+namespace stcn {
+
+double TransitionEdge::stddev_s() const {
+  if (count < 2) return 0.0;
+  return std::sqrt(m2_s / static_cast<double>(count - 1));
+}
+
+std::pair<double, double> TransitionEdge::plausible_window_s(
+    double k_sigma, double slack_s) const {
+  double sigma = stddev_s();
+  double lo = std::min(min_s, mean_s - k_sigma * sigma) - slack_s;
+  double hi = std::max(max_s, mean_s + k_sigma * sigma) + slack_s;
+  return {std::max(0.0, lo), hi};
+}
+
+double TransitionEdge::log_likelihood(double dt_s) const {
+  // Variance floor keeps single-observation edges usable.
+  double sigma = std::max(stddev_s(), 2.0);
+  double z = (dt_s - mean_s) / sigma;
+  return -0.5 * z * z - std::log(sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+void TransitionGraph::observe(CameraId from, CameraId to, Duration dt) {
+  auto& out_edges = edges_[from];
+  auto it = std::find_if(out_edges.begin(), out_edges.end(),
+                         [to](const TransitionEdge& e) { return e.to == to; });
+  double dt_s = dt.to_seconds();
+  if (it == out_edges.end()) {
+    out_edges.push_back(
+        {to, 1, dt_s, 0.0, dt_s, dt_s});
+    return;
+  }
+  ++it->count;
+  double delta = dt_s - it->mean_s;
+  it->mean_s += delta / static_cast<double>(it->count);
+  it->m2_s += delta * (dt_s - it->mean_s);
+  it->min_s = std::min(it->min_s, dt_s);
+  it->max_s = std::max(it->max_s, dt_s);
+}
+
+void TransitionGraph::learn(
+    const std::vector<Detection>& detections_time_ordered, Duration max_gap) {
+  // Last sighting per object.
+  std::unordered_map<ObjectId, const Detection*> last;
+  for (const Detection& d : detections_time_ordered) {
+    auto it = last.find(d.object);
+    if (it != last.end()) {
+      const Detection& prev = *it->second;
+      Duration gap = d.time - prev.time;
+      if (prev.camera != d.camera && gap <= max_gap &&
+          gap >= Duration::zero()) {
+        observe(prev.camera, d.camera, gap);
+      }
+    }
+    last[d.object] = &d;
+  }
+}
+
+std::size_t TransitionGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [from, out_edges] : edges_) n += out_edges.size();
+  return n;
+}
+
+std::vector<ConeEntry> TransitionGraph::cone(CameraId from, TimePoint t0,
+                                             const TimeInterval& horizon,
+                                             const ConeParams& params) const {
+  // BFS over edges, accumulating arrival windows. Per camera we keep the
+  // union of windows (earliest begin, latest end) with the fewest hops.
+  std::unordered_map<CameraId, ConeEntry> best;
+
+  struct Frontier {
+    CameraId camera;
+    TimeInterval window;  // plausible presence window at this camera
+    std::uint32_t hops;
+    double log_prior;
+  };
+  std::queue<Frontier> frontier;
+  frontier.push({from, {t0, t0}, 0, 0.0});
+
+  while (!frontier.empty()) {
+    Frontier cur = frontier.front();
+    frontier.pop();
+    if (cur.hops >= params.max_hops) continue;
+    const auto* out_edges = edges_from(cur.camera);
+    if (out_edges == nullptr) continue;
+
+    double total_out = 0.0;
+    for (const TransitionEdge& e : *out_edges) {
+      if (e.count >= params.min_edge_count) {
+        total_out += static_cast<double>(e.count);
+      }
+    }
+    if (total_out <= 0.0) continue;
+
+    for (const TransitionEdge& e : *out_edges) {
+      if (e.count < params.min_edge_count) continue;
+      auto [lo_s, hi_s] = e.plausible_window_s(params.k_sigma, params.slack_s);
+      TimeInterval window{
+          cur.window.begin + Duration::micros(static_cast<std::int64_t>(lo_s * 1e6)),
+          cur.window.end + Duration::micros(static_cast<std::int64_t>(hi_s * 1e6))};
+      window = window.intersection(horizon);
+      if (window.empty()) continue;
+      double log_prior =
+          cur.log_prior + std::log(static_cast<double>(e.count) / total_out);
+
+      auto it = best.find(e.to);
+      bool expand = false;
+      if (it == best.end()) {
+        best.emplace(e.to, ConeEntry{e.to, window, cur.hops + 1, log_prior});
+        expand = true;
+      } else {
+        ConeEntry& have = it->second;
+        TimeInterval merged{std::min(have.window.begin, window.begin),
+                            std::max(have.window.end, window.end)};
+        // Re-expand only if the window genuinely grew; prevents exponential
+        // re-traversal of dense graphs.
+        if (merged.begin < have.window.begin || merged.end > have.window.end) {
+          expand = true;
+        }
+        have.window = merged;
+        have.hops = std::min(have.hops, cur.hops + 1);
+        have.log_prior = std::max(have.log_prior, log_prior);
+      }
+      if (expand) {
+        frontier.push({e.to, window, cur.hops + 1, log_prior});
+      }
+    }
+  }
+
+  std::vector<ConeEntry> out;
+  out.reserve(best.size());
+  for (auto& [cam, entry] : best) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const ConeEntry& a, const ConeEntry& b) {
+    return a.camera < b.camera;
+  });
+  return out;
+}
+
+}  // namespace stcn

@@ -1,0 +1,90 @@
+// Camera transition graph.
+//
+// Nodes are cameras; a directed edge a→b records that objects have been
+// observed leaving camera a's view and next appearing at camera b, with the
+// empirical travel-time distribution. The graph is learned online from the
+// detection stream itself (no map needed) and is the framework's pruning
+// structure for re-identification: a probe at camera a at time t can only
+// reappear at cameras reachable within the elapsed time, i.e. inside a
+// spatio-temporal *cone* rooted at (a, t).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+/// Travel-time statistics of one directed camera-to-camera transition.
+struct TransitionEdge {
+  CameraId to;
+  std::uint64_t count = 0;
+  double mean_s = 0.0;   // mean travel time, seconds
+  double m2_s = 0.0;     // Welford accumulator
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  [[nodiscard]] double stddev_s() const;
+  /// Plausible travel-time window: [max(0, mean - k·σ) ∪ min, mean + k·σ ∪ max],
+  /// widened by `slack_s` to tolerate unseen-but-plausible speeds.
+  [[nodiscard]] std::pair<double, double> plausible_window_s(
+      double k_sigma, double slack_s) const;
+  /// Log-likelihood of observing travel time `dt_s` on this edge (normal
+  /// model with a variance floor).
+  [[nodiscard]] double log_likelihood(double dt_s) const;
+};
+
+struct ConeEntry {
+  CameraId camera;
+  TimeInterval window;  // when the object could appear there
+  std::uint32_t hops = 0;
+  double log_prior = 0.0;  // accumulated transition log-frequency
+};
+
+class TransitionGraph {
+ public:
+  /// Records one observed transition (object seen at `from`, next at `to`,
+  /// travel time `dt`).
+  void observe(CameraId from, CameraId to, Duration dt);
+
+  /// Learns from a full ground-truth-ordered detection list: consecutive
+  /// detections of the same object at different cameras within `max_gap`
+  /// become transition observations.
+  void learn(const std::vector<Detection>& detections_time_ordered,
+             Duration max_gap = Duration::minutes(3));
+
+  [[nodiscard]] const std::vector<TransitionEdge>* edges_from(
+      CameraId from) const {
+    auto it = edges_.find(from);
+    return it == edges_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t camera_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  struct ConeParams {
+    std::uint32_t max_hops = 3;
+    double k_sigma = 3.0;
+    double slack_s = 5.0;
+    /// Edges seen fewer than this many times are ignored (noise).
+    std::uint64_t min_edge_count = 2;
+  };
+
+  /// Expands the spatio-temporal cone rooted at (`from`, `t0`), bounded by
+  /// `horizon`: every camera the object could plausibly reach, with the
+  /// time window of plausible arrival. Windows of the same camera reached
+  /// via different hop counts are merged (union; min hops, max prior kept).
+  [[nodiscard]] std::vector<ConeEntry> cone(CameraId from, TimePoint t0,
+                                            const TimeInterval& horizon,
+                                            const ConeParams& params) const;
+
+ private:
+  std::unordered_map<CameraId, std::vector<TransitionEdge>> edges_;
+};
+
+}  // namespace stcn

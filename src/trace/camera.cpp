@@ -1,0 +1,80 @@
+#include "trace/camera.h"
+
+#include <cmath>
+
+namespace stcn {
+
+CameraNetwork CameraNetwork::place(const RoadNetwork& roads,
+                                   const CameraNetworkConfig& config) {
+  STCN_CHECK(roads.node_count() > 0);
+  CameraNetwork net;
+  net.cell_size_ = std::max(50.0, config.fov_range_m);
+  Rng rng(config.seed);
+
+  // Visit road nodes in a deterministic shuffled order so camera density is
+  // spatially uniform at any count.
+  std::vector<RoadNodeIndex> order(roads.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<RoadNodeIndex>(i);
+  }
+  rng.shuffle(order);
+
+  net.cameras_.reserve(config.camera_count);
+  for (std::size_t i = 0; i < config.camera_count; ++i) {
+    RoadNodeIndex node = order[i % order.size()];
+    Camera cam;
+    cam.id = CameraId(i + 1);
+    cam.mount_node = node;
+    cam.fov.apex = roads.node_position(node);
+    cam.fov.range = config.fov_range_m;
+    cam.fov.half_angle = config.fov_half_angle_rad;
+    const auto& nbrs = roads.neighbors(node);
+    if (!nbrs.empty()) {
+      RoadNodeIndex toward = nbrs[rng.uniform_index(nbrs.size())];
+      Point d = roads.node_position(toward) - roads.node_position(node);
+      cam.fov.heading = std::atan2(d.y, d.x);
+    } else {
+      cam.fov.heading = rng.uniform(-std::numbers::pi, std::numbers::pi);
+    }
+    net.cameras_.push_back(cam);
+  }
+  net.build_hash();
+  return net;
+}
+
+void CameraNetwork::build_hash() {
+  by_id_.clear();
+  hash_.clear();
+  world_ = Rect::empty();
+  for (std::size_t i = 0; i < cameras_.size(); ++i) {
+    const Camera& cam = cameras_[i];
+    by_id_[cam.id] = i;
+    Rect box = cam.fov.bounding_box();
+    world_ = world_.union_with(box);
+    CellKey lo = cell_of(box.min);
+    CellKey hi = cell_of(box.max);
+    for (std::int32_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      for (std::int32_t cx = lo.cx; cx <= hi.cx; ++cx) {
+        hash_[{cx, cy}].push_back(i);
+      }
+    }
+  }
+}
+
+const Camera& CameraNetwork::camera(CameraId id) const {
+  auto it = by_id_.find(id);
+  STCN_CHECK(it != by_id_.end());
+  return cameras_[it->second];
+}
+
+std::vector<CameraId> CameraNetwork::cameras_seeing(Point p) const {
+  std::vector<CameraId> out;
+  auto it = hash_.find(cell_of(p));
+  if (it == hash_.end()) return out;
+  for (std::size_t idx : it->second) {
+    if (cameras_[idx].fov.contains(p)) out.push_back(cameras_[idx].id);
+  }
+  return out;
+}
+
+}  // namespace stcn

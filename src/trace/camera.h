@@ -1,0 +1,84 @@
+// Camera network model: placement and visibility.
+//
+// Cameras sit at road intersections (the realistic placement for traffic /
+// surveillance cameras), each watching a wedge-shaped field of view oriented
+// along one of the incident road segments. A uniform spatial hash over
+// camera bounding boxes answers "which cameras can see point p" without
+// scanning the whole network.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "trace/road_network.h"
+
+namespace stcn {
+
+struct Camera {
+  CameraId id;
+  FieldOfView fov;
+  /// Road node this camera is mounted at (for transition-graph learning).
+  RoadNodeIndex mount_node = 0;
+};
+
+struct CameraNetworkConfig {
+  std::size_t camera_count = 64;
+  double fov_range_m = 60.0;
+  double fov_half_angle_rad = 0.6;  // ~34 degrees half-width
+  std::uint64_t seed = 2;
+};
+
+class CameraNetwork {
+ public:
+  /// Places `camera_count` cameras on distinct road nodes when possible
+  /// (round-robin over nodes if there are more cameras than intersections),
+  /// each oriented toward a random incident road direction.
+  static CameraNetwork place(const RoadNetwork& roads,
+                             const CameraNetworkConfig& config);
+
+  [[nodiscard]] std::size_t size() const { return cameras_.size(); }
+  [[nodiscard]] const std::vector<Camera>& cameras() const { return cameras_; }
+  [[nodiscard]] const Camera& camera(CameraId id) const;
+  [[nodiscard]] bool has_camera(CameraId id) const {
+    return by_id_.contains(id);
+  }
+
+  /// All cameras whose field of view contains `p`.
+  [[nodiscard]] std::vector<CameraId> cameras_seeing(Point p) const;
+
+  /// World bounding box covering every camera's field of view.
+  [[nodiscard]] Rect coverage_bounds() const { return world_; }
+
+ private:
+  struct CellKey {
+    std::int32_t cx;
+    std::int32_t cy;
+    friend bool operator==(const CellKey&, const CellKey&) = default;
+  };
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& k) const {
+      return std::hash<std::int64_t>{}(
+          (static_cast<std::int64_t>(k.cx) << 32) ^
+          static_cast<std::uint32_t>(k.cy));
+    }
+  };
+
+  [[nodiscard]] CellKey cell_of(Point p) const {
+    return {static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
+            static_cast<std::int32_t>(std::floor(p.y / cell_size_))};
+  }
+
+  void build_hash();
+
+  std::vector<Camera> cameras_;
+  std::unordered_map<CameraId, std::size_t> by_id_;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> hash_;
+  double cell_size_ = 100.0;
+  Rect world_ = Rect::empty();
+};
+
+}  // namespace stcn

@@ -1,0 +1,91 @@
+// Detection events — the framework's unit of input.
+//
+// A detection is what a camera's on-board analytics emits when an object
+// passes through its field of view: where, when, which camera, and an
+// appearance feature vector describing what the object looked like. The
+// ground-truth object id is carried for evaluation only; query code paths
+// other than trajectory-by-id treat it as opaque.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "common/time.h"
+
+namespace stcn {
+
+/// Appearance descriptor: an L2-normalized embedding, as produced by a
+/// re-identification feature extractor.
+struct AppearanceFeature {
+  std::vector<float> values;
+
+  /// Cosine similarity in [-1, 1] (vectors are unit-norm by construction).
+  [[nodiscard]] double similarity(const AppearanceFeature& other) const {
+    double s = 0.0;
+    std::size_t n = std::min(values.size(), other.values.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      s += static_cast<double>(values[i]) * other.values[i];
+    }
+    return s;
+  }
+
+  void normalize() {
+    double n2 = 0.0;
+    for (float v : values) n2 += static_cast<double>(v) * v;
+    if (n2 <= 0.0) return;
+    auto inv = static_cast<float>(1.0 / std::sqrt(n2));
+    for (float& v : values) v *= inv;
+  }
+
+  friend bool operator==(const AppearanceFeature&,
+                         const AppearanceFeature&) = default;
+};
+
+struct Detection {
+  DetectionId id;
+  CameraId camera;
+  ObjectId object;  // ground truth; for evaluation and trajectory-by-id
+  TimePoint time;
+  Point position;
+  AppearanceFeature appearance;
+  double confidence = 1.0;
+
+  friend bool operator==(const Detection&, const Detection&) = default;
+};
+
+inline void serialize(BinaryWriter& w, const Detection& d) {
+  w.write_id(d.id);
+  w.write_id(d.camera);
+  w.write_id(d.object);
+  w.write_time(d.time);
+  w.write_double(d.position.x);
+  w.write_double(d.position.y);
+  w.write_u32(static_cast<std::uint32_t>(d.appearance.values.size()));
+  for (float v : d.appearance.values) {
+    w.write_double(static_cast<double>(v));
+  }
+  w.write_double(d.confidence);
+}
+
+inline Detection deserialize_detection(BinaryReader& r) {
+  Detection d;
+  d.id = r.read_id<DetectionIdTag>();
+  d.camera = r.read_id<CameraIdTag>();
+  d.object = r.read_id<ObjectIdTag>();
+  d.time = r.read_time();
+  d.position.x = r.read_double();
+  d.position.y = r.read_double();
+  std::uint32_t n = r.read_u32();
+  d.appearance.values.reserve(n);
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    d.appearance.values.push_back(static_cast<float>(r.read_double()));
+  }
+  d.confidence = r.read_double();
+  return d;
+}
+
+}  // namespace stcn

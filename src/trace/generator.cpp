@@ -1,0 +1,117 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+AppearanceFeature TraceGenerator::random_embedding(Rng& rng,
+                                                   std::size_t dim) {
+  AppearanceFeature f;
+  f.values.resize(dim);
+  for (auto& v : f.values) v = static_cast<float>(rng.normal());
+  f.normalize();
+  return f;
+}
+
+AppearanceFeature TraceGenerator::noisy_embedding(
+    Rng& rng, const AppearanceFeature& truth, double sigma) {
+  AppearanceFeature f = truth;
+  for (auto& v : f.values) v += static_cast<float>(rng.normal(0.0, sigma));
+  f.normalize();
+  return f;
+}
+
+Trace TraceGenerator::generate(const TraceConfig& config) {
+  STCN_CHECK(config.tick > Duration::zero());
+  Trace trace;
+  trace.config = config;
+  trace.roads = RoadNetwork::build(config.roads);
+  trace.cameras = CameraNetwork::place(trace.roads, config.cameras);
+
+  Rng rng(config.seed);
+  Rng appearance_rng = rng.split(1);
+  Rng detector_rng = rng.split(2);
+  Rng failure_rng = rng.split(3);
+
+  MobilityModel mobility(trace.roads, config.mobility);
+
+  // Schedule permanent camera failures.
+  if (config.detection.camera_failure_fraction > 0.0) {
+    auto fail_count = static_cast<std::size_t>(
+        config.detection.camera_failure_fraction *
+        static_cast<double>(trace.cameras.size()));
+    std::vector<CameraId> all_cams;
+    for (const Camera& cam : trace.cameras.cameras()) {
+      all_cams.push_back(cam.id);
+    }
+    failure_rng.shuffle(all_cams);
+    for (std::size_t i = 0; i < fail_count && i < all_cams.size(); ++i) {
+      auto at = static_cast<std::int64_t>(failure_rng.uniform_index(
+          static_cast<std::uint64_t>(config.duration.count_micros())));
+      trace.camera_failures[all_cams[i]] = TimePoint(at);
+    }
+  }
+
+  for (std::size_t i = 0; i < mobility.object_count(); ++i) {
+    ObjectId id = mobility.object_id(i);
+    trace.true_appearance[id] =
+        random_embedding(appearance_rng, config.detection.feature_dim);
+  }
+
+  // Tracker-side dedup state: last emission time per (camera, object),
+  // keyed by a packed 64-bit pair (camera in the high bits).
+  std::unordered_map<std::uint64_t, TimePoint> last_emit;
+  auto pair_key = [](CameraId cam, ObjectId obj) {
+    return (cam.value() << 32) ^ obj.value();
+  };
+
+  std::uint64_t next_detection_id = 1;
+  for (TimePoint t = TimePoint::origin(); t < TimePoint::origin() + config.duration;
+       t = t + config.tick) {
+    mobility.advance_to(t);
+    for (std::size_t i = 0; i < mobility.object_count(); ++i) {
+      ObjectId obj = mobility.object_id(i);
+      Point pos = mobility.position(i);
+      trace.ground_truth[obj].push_back({t, pos});
+      // Motion-triggered detection: parked objects emit nothing.
+      if (mobility.is_dwelling(i)) continue;
+      for (CameraId cam : trace.cameras.cameras_seeing(pos)) {
+        if (auto dead = trace.camera_failures.find(cam);
+            dead != trace.camera_failures.end() && t >= dead->second) {
+          continue;  // this camera died earlier in the trace
+        }
+        std::uint64_t key = pair_key(cam, obj);
+        auto it = last_emit.find(key);
+        if (it != last_emit.end() &&
+            t - it->second < config.detection.redetect_interval) {
+          continue;
+        }
+        if (detector_rng.bernoulli(config.detection.miss_rate)) continue;
+        last_emit[key] = t;
+
+        Detection d;
+        d.id = DetectionId(next_detection_id++);
+        d.camera = cam;
+        d.object = obj;
+        d.time = t;
+        d.position = {
+            pos.x + detector_rng.normal(0.0, config.detection.position_noise_m),
+            pos.y + detector_rng.normal(0.0, config.detection.position_noise_m)};
+        d.appearance =
+            noisy_embedding(detector_rng, trace.true_appearance[obj],
+                            config.detection.appearance_noise);
+        d.confidence = std::clamp(detector_rng.normal(0.9, 0.05), 0.0, 1.0);
+        trace.detections.push_back(std::move(d));
+      }
+    }
+  }
+
+  std::sort(trace.detections.begin(), trace.detections.end(),
+            [](const Detection& a, const Detection& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.id < b.id;
+            });
+  return trace;
+}
+
+}  // namespace stcn

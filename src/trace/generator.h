@@ -1,0 +1,86 @@
+// End-to-end synthetic trace generation.
+//
+// Ties together road network, mobility, and camera placement into a
+// deterministic detection-event stream. This substitutes for real camera
+// feeds: the framework consumes detection events, and any production video
+// front-end reduces to exactly this schema (DESIGN.md §5).
+//
+// Detection model, per simulation tick and per (camera, object) pair with
+// the object inside the camera's field of view:
+//   * emitted with probability (1 - miss_rate), at most once per
+//     `redetect_interval` for the same pair (mimicking tracker-side
+//     deduplication of per-frame detections);
+//   * position = true position + Gaussian noise;
+//   * appearance = normalize(object's ground-truth embedding + Gaussian
+//     noise), modeling an imperfect re-id feature extractor.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "trace/camera.h"
+#include "trace/detection.h"
+#include "trace/mobility.h"
+#include "trace/road_network.h"
+
+namespace stcn {
+
+struct DetectionModelConfig {
+  double miss_rate = 0.05;
+  double position_noise_m = 1.5;
+  double appearance_noise = 0.15;  // sigma per embedding dimension
+  std::size_t feature_dim = 16;
+  Duration redetect_interval = Duration::seconds(2);
+  /// Fraction of cameras that fail permanently at a random time during
+  /// the trace (hardware dies, lens gets painted over, ...). Failed
+  /// cameras stop emitting; the record of when each failed is kept in
+  /// Trace::camera_failures for evaluation.
+  double camera_failure_fraction = 0.0;
+};
+
+struct TraceConfig {
+  RoadNetworkConfig roads;
+  CameraNetworkConfig cameras;
+  MobilityConfig mobility;
+  DetectionModelConfig detection;
+  Duration duration = Duration::minutes(10);
+  Duration tick = Duration::millis(500);
+  std::uint64_t seed = 7;
+};
+
+/// Ground-truth sample: where an object really was at a tick.
+struct TruthSample {
+  TimePoint time;
+  Point position;
+};
+
+/// A fully generated scenario: the world, the event stream, and the truth.
+struct Trace {
+  RoadNetwork roads;
+  CameraNetwork cameras;
+  std::vector<Detection> detections;  // sorted by (time, id)
+  std::unordered_map<ObjectId, std::vector<TruthSample>> ground_truth;
+  std::unordered_map<ObjectId, AppearanceFeature> true_appearance;
+  /// Cameras that died mid-trace and when (see DetectionModelConfig).
+  std::unordered_map<CameraId, TimePoint> camera_failures;
+  TraceConfig config;
+};
+
+class TraceGenerator {
+ public:
+  /// Generates a complete trace. Deterministic in `config`.
+  static Trace generate(const TraceConfig& config);
+
+  /// Draws a random L2-normalized embedding.
+  static AppearanceFeature random_embedding(Rng& rng, std::size_t dim);
+
+  /// Applies detector noise to a ground-truth embedding.
+  static AppearanceFeature noisy_embedding(Rng& rng,
+                                           const AppearanceFeature& truth,
+                                           double sigma);
+};
+
+}  // namespace stcn

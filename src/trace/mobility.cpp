@@ -1,0 +1,139 @@
+#include "trace/mobility.h"
+
+#include <limits>
+
+namespace stcn {
+
+MobilityModel::MobilityModel(const RoadNetwork& roads,
+                             const MobilityConfig& config)
+    : roads_(roads), config_(config), rng_(config.seed) {
+  STCN_CHECK(roads_.node_count() > 0);
+  hotspots_.reserve(config_.hotspot_count);
+  for (std::size_t i = 0; i < config_.hotspot_count; ++i) {
+    hotspots_.push_back(roads_.random_node(rng_));
+  }
+  objects_.resize(config_.object_count);
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    ObjectState& obj = objects_[i];
+    obj.rng = rng_.split(i + 1);
+    obj.speed = obj.rng.lognormal(config_.speed_lognormal_mu,
+                                  config_.speed_lognormal_sigma);
+    RoadNodeIndex start = roads_.random_node(obj.rng);
+    obj.position = roads_.node_position(start);
+    obj.route.points = {obj.position};
+    obj.route_length = 0.0;
+    obj.arc_position = 0.0;
+    // Stagger initial departures so objects do not all re-route in
+    // lock-step.
+    obj.dwell_until =
+        TimePoint(static_cast<std::int64_t>(obj.rng.exponential(
+            static_cast<double>(config_.dwell_mean.count_micros()))));
+  }
+}
+
+RoadNodeIndex MobilityModel::pick_destination(ObjectState& obj,
+                                              RoadNodeIndex from) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    RoadNodeIndex dest;
+    if (!hotspots_.empty() && obj.rng.bernoulli(config_.hotspot_fraction)) {
+      dest = hotspots_[obj.rng.uniform_index(hotspots_.size())];
+    } else {
+      dest = roads_.random_node(obj.rng);
+    }
+    if (dest != from) return dest;
+  }
+  return (from + 1) % static_cast<RoadNodeIndex>(roads_.node_count());
+}
+
+RoadNodeIndex MobilityModel::nearest_node(Point p) const {
+  RoadNodeIndex best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < roads_.node_count(); ++i) {
+    double d = squared_distance(p, roads_.node_position(
+                                       static_cast<RoadNodeIndex>(i)));
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<RoadNodeIndex>(i);
+    }
+  }
+  return best;
+}
+
+double MobilityModel::dwell_factor_at(TimePoint t) const {
+  if (config_.activity_period <= Duration::zero()) return 1.0;
+  std::int64_t period = config_.activity_period.count_micros();
+  std::int64_t phase = t.micros_since_origin() % period;
+  if (phase < 0) phase += period;
+  // First half of the period is "day" (active), second half "night".
+  return phase * 2 < period ? 1.0 : config_.quiet_dwell_factor;
+}
+
+void MobilityModel::assign_new_trip(ObjectState& obj) {
+  RoadNodeIndex from = nearest_node(obj.position);
+  RoadNodeIndex dest = pick_destination(obj, from);
+  auto path = roads_.shortest_path(from, dest);
+  if (path.size() < 2) {
+    obj.dwell_until = now_ + config_.dwell_mean;
+    return;
+  }
+  obj.route = roads_.path_polyline(path);
+  obj.route_length = obj.route.length();
+  obj.arc_position = 0.0;
+  obj.position = obj.route.points.front();
+}
+
+void MobilityModel::advance_to(TimePoint t) {
+  if (t <= now_) return;
+  for (auto& obj : objects_) {
+    TimePoint cursor = now_;
+    // An object may finish several trips within one advance window.
+    while (cursor < t) {
+      if (obj.dwell_until > cursor) {
+        // Parked: skip dwell (possibly past t).
+        if (obj.dwell_until >= t) {
+          cursor = t;
+          break;
+        }
+        cursor = obj.dwell_until;
+        // Quiet phase: most wake-ups go back to sleep instead of starting
+        // a trip — and the re-sleep is proportionally longer, so retries
+        // do not leak trips into a long quiet phase.
+        double factor = dwell_factor_at(cursor);
+        if (factor > 1.0 && obj.rng.bernoulli(1.0 - 1.0 / factor)) {
+          double resleep_mean =
+              static_cast<double>(config_.dwell_mean.count_micros()) *
+              std::max(1.0, factor / 4.0);
+          obj.dwell_until =
+              cursor + Duration::micros(static_cast<std::int64_t>(
+                           obj.rng.exponential(resleep_mean)));
+          continue;
+        }
+        assign_new_trip(obj);
+        continue;
+      }
+      double remaining_m = obj.route_length - obj.arc_position;
+      double budget_s = (t - cursor).to_seconds();
+      double travel_m = obj.speed * budget_s;
+      if (travel_m < remaining_m) {
+        obj.arc_position += travel_m;
+        obj.position = obj.route.at_arc_length(obj.arc_position);
+        cursor = t;
+      } else {
+        // Reach the destination, then dwell.
+        double used_s = obj.speed > 0 ? remaining_m / obj.speed : budget_s;
+        cursor = cursor + Duration::micros(
+                              static_cast<std::int64_t>(used_s * 1e6));
+        obj.arc_position = obj.route_length;
+        obj.position = obj.route.points.empty() ? obj.position
+                                                : obj.route.points.back();
+        obj.dwell_until =
+            cursor + Duration::micros(static_cast<std::int64_t>(
+                         obj.rng.exponential(static_cast<double>(
+                             config_.dwell_mean.count_micros()))));
+      }
+    }
+  }
+  now_ = t;
+}
+
+}  // namespace stcn

@@ -1,0 +1,94 @@
+// Object mobility over the road network.
+//
+// Each moving object performs a random-trip walk: pick a random destination
+// intersection, follow the shortest path at an object-specific speed, dwell
+// briefly, repeat. Speeds are log-normal (a mix of pedestrians and
+// vehicles); a configurable fraction of trips target a small set of
+// "hotspot" destinations, producing the spatial load skew that makes
+// partitioning interesting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "trace/road_network.h"
+
+namespace stcn {
+
+struct MobilityConfig {
+  std::size_t object_count = 100;
+  double speed_lognormal_mu = 2.2;     // exp(2.2) ≈ 9 m/s median
+  double speed_lognormal_sigma = 0.5;
+  Duration dwell_mean = Duration::seconds(5);
+  double hotspot_fraction = 0.3;   // fraction of trips to hotspot nodes
+  std::size_t hotspot_count = 3;
+  /// Diurnal activity cycle: when non-zero, each period's second half is
+  /// "quiet" — a parked object only starts a new trip there with
+  /// probability 1/quiet_dwell_factor per wake-up, producing the periodic
+  /// activity patterns real camera networks see (rush hours, quiet
+  /// nights). Trips already underway complete normally.
+  Duration activity_period = Duration::zero();
+  double quiet_dwell_factor = 8.0;
+  std::uint64_t seed = 3;
+};
+
+class MobilityModel {
+ public:
+  MobilityModel(const RoadNetwork& roads, const MobilityConfig& config);
+
+  /// Advances simulation time to `t` (monotonic; re-advancing to the past
+  /// is a no-op). Object positions after the call reflect time `t`.
+  ///
+  /// Invariant: trajectories are independent of call granularity — many
+  /// small advances land every object exactly where one big advance would
+  /// (each object draws from its own random stream).
+  void advance_to(TimePoint t);
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] ObjectId object_id(std::size_t i) const {
+    return ObjectId(i + 1);
+  }
+  [[nodiscard]] Point position(std::size_t i) const {
+    return objects_[i].position;
+  }
+  /// True while object i is parked (dwelling between trips). Cameras use
+  /// motion-triggered analytics, so dwelling objects emit no detections.
+  [[nodiscard]] bool is_dwelling(std::size_t i) const {
+    return objects_[i].dwell_until > now_;
+  }
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+ private:
+  struct ObjectState {
+    Polyline route;
+    double route_length = 0.0;
+    double arc_position = 0.0;  // meters along route
+    double speed = 1.0;         // m/s
+    TimePoint dwell_until;      // parked until this time
+    Point position;
+    // Per-object stream: keeps trajectories independent of how callers
+    // chunk advance_to (see MobilityModel invariant below).
+    Rng rng{0};
+  };
+
+  void assign_new_trip(ObjectState& obj);
+  [[nodiscard]] RoadNodeIndex pick_destination(ObjectState& obj,
+                                               RoadNodeIndex from);
+  /// Dwell-time multiplier at time `t` under the diurnal cycle (1.0 when
+  /// the cycle is disabled or during the active half).
+  [[nodiscard]] double dwell_factor_at(TimePoint t) const;
+  [[nodiscard]] RoadNodeIndex nearest_node(Point p) const;
+
+  const RoadNetwork& roads_;
+  MobilityConfig config_;
+  Rng rng_;
+  TimePoint now_;
+  std::vector<ObjectState> objects_;
+  std::vector<RoadNodeIndex> hotspots_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,152 @@
+#include "trace/road_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace stcn {
+namespace {
+
+// Union-find used to check connectivity while removing edges.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<RoadNodeIndex>(i);
+  }
+  RoadNodeIndex find(RoadNodeIndex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(RoadNodeIndex a, RoadNodeIndex b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<RoadNodeIndex> parent_;
+};
+
+}  // namespace
+
+RoadNetwork RoadNetwork::build(const RoadNetworkConfig& config) {
+  STCN_CHECK(config.grid_cols >= 2 && config.grid_rows >= 2);
+  RoadNetwork net;
+  const std::uint32_t cols = config.grid_cols;
+  const std::uint32_t rows = config.grid_rows;
+  net.positions_.reserve(static_cast<std::size_t>(cols) * rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      net.positions_.push_back(
+          {c * config.block_size_m, r * config.block_size_m});
+    }
+  }
+  auto index = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<RoadNodeIndex>(r * cols + c);
+  };
+
+  // Full grid edge list.
+  std::vector<std::pair<RoadNodeIndex, RoadNodeIndex>> edges;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(index(r, c), index(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(index(r, c), index(r + 1, c));
+    }
+  }
+
+  // Remove a random fraction of edges while preserving connectivity: keep a
+  // random spanning structure first (Kruskal over shuffled edges), then keep
+  // enough of the remaining edges to meet the removal target.
+  Rng rng(config.seed);
+  rng.shuffle(edges);
+  DisjointSet dsu(net.positions_.size());
+  std::vector<std::pair<RoadNodeIndex, RoadNodeIndex>> kept;
+  std::vector<std::pair<RoadNodeIndex, RoadNodeIndex>> optional;
+  for (auto [a, b] : edges) {
+    if (dsu.find(a) != dsu.find(b)) {
+      dsu.unite(a, b);
+      kept.push_back({a, b});
+    } else {
+      optional.push_back({a, b});
+    }
+  }
+  auto target_removed =
+      static_cast<std::size_t>(config.removal_fraction *
+                               static_cast<double>(edges.size()));
+  std::size_t removable = std::min(target_removed, optional.size());
+  kept.insert(kept.end(), optional.begin(), optional.end() - removable);
+
+  net.adjacency_.assign(net.positions_.size(), {});
+  for (auto [a, b] : kept) {
+    net.adjacency_[a].push_back(b);
+    net.adjacency_[b].push_back(a);
+  }
+  for (auto& adj : net.adjacency_) std::sort(adj.begin(), adj.end());
+  return net;
+}
+
+Rect RoadNetwork::bounds(double margin) const {
+  if (positions_.empty()) return Rect::empty();
+  Rect box{positions_.front(), positions_.front()};
+  for (Point p : positions_) {
+    box.min.x = std::min(box.min.x, p.x);
+    box.min.y = std::min(box.min.y, p.y);
+    box.max.x = std::max(box.max.x, p.x);
+    box.max.y = std::max(box.max.y, p.y);
+  }
+  box.min.x -= margin;
+  box.min.y -= margin;
+  box.max.x += margin;
+  box.max.y += margin;
+  return box;
+}
+
+std::vector<RoadNodeIndex> RoadNetwork::shortest_path(RoadNodeIndex from,
+                                                      RoadNodeIndex to) const {
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(positions_.size(), kInf);
+  std::vector<RoadNodeIndex> prev(positions_.size(),
+                                  std::numeric_limits<RoadNodeIndex>::max());
+  using QueueEntry = std::pair<double, RoadNodeIndex>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (RoadNodeIndex v : adjacency_[u]) {
+      double nd = d + distance(positions_[u], positions_[v]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[to] == kInf) return {};
+  std::vector<RoadNodeIndex> path;
+  for (RoadNodeIndex n = to;;) {
+    path.push_back(n);
+    if (n == from) break;
+    n = prev[n];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Polyline RoadNetwork::path_polyline(
+    const std::vector<RoadNodeIndex>& path) const {
+  Polyline line;
+  line.points.reserve(path.size());
+  for (RoadNodeIndex n : path) line.points.push_back(positions_[n]);
+  return line;
+}
+
+std::size_t RoadNetwork::edge_count() const {
+  std::size_t degree_sum = 0;
+  for (const auto& adj : adjacency_) degree_sum += adj.size();
+  return degree_sum / 2;
+}
+
+}  // namespace stcn

@@ -1,0 +1,69 @@
+// City road network: the substrate objects move on.
+//
+// A Manhattan-style grid of intersections connected by straight road
+// segments, with a fraction of segments randomly removed to create irregular
+// blocks and detours (so trajectories are not trivially predictable).
+// Provides shortest-path routing used by the mobility model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace stcn {
+
+using RoadNodeIndex = std::uint32_t;
+
+struct RoadNetworkConfig {
+  std::uint32_t grid_cols = 16;
+  std::uint32_t grid_rows = 16;
+  double block_size_m = 120.0;    // distance between adjacent intersections
+  double removal_fraction = 0.1;  // fraction of edges randomly removed
+  std::uint64_t seed = 1;
+};
+
+class RoadNetwork {
+ public:
+  /// Builds the grid network; guaranteed connected (removal skips bridges
+  /// by simply retrying the removal if it would disconnect the graph).
+  static RoadNetwork build(const RoadNetworkConfig& config);
+
+  [[nodiscard]] std::size_t node_count() const { return positions_.size(); }
+  [[nodiscard]] Point node_position(RoadNodeIndex n) const {
+    return positions_[n];
+  }
+  [[nodiscard]] const std::vector<RoadNodeIndex>& neighbors(
+      RoadNodeIndex n) const {
+    return adjacency_[n];
+  }
+
+  /// Bounding box of the whole network, with a margin so camera FOVs at
+  /// border intersections stay inside the world.
+  [[nodiscard]] Rect bounds(double margin = 100.0) const;
+
+  /// Shortest path (Euclidean edge weights, Dijkstra) from `from` to `to`.
+  /// Returns the node sequence including both endpoints; empty only if the
+  /// nodes are disconnected (cannot happen for built networks).
+  [[nodiscard]] std::vector<RoadNodeIndex> shortest_path(
+      RoadNodeIndex from, RoadNodeIndex to) const;
+
+  /// The polyline along a node path.
+  [[nodiscard]] Polyline path_polyline(
+      const std::vector<RoadNodeIndex>& path) const;
+
+  [[nodiscard]] RoadNodeIndex random_node(Rng& rng) const {
+    return static_cast<RoadNodeIndex>(rng.uniform_index(positions_.size()));
+  }
+
+  /// Total number of (undirected) road segments.
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<std::vector<RoadNodeIndex>> adjacency_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,119 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace stcn {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'C', 'N', 'T', 'R', 'C', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void encode_recorded(BinaryWriter& w, const RecordedTrace& trace) {
+  for (char c : kMagic) w.write_u8(static_cast<std::uint8_t>(c));
+  w.write_vector(trace.detections,
+                 [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+  w.write_u32(static_cast<std::uint32_t>(trace.ground_truth.size()));
+  for (const auto& [object, samples] : trace.ground_truth) {
+    w.write_id(object);
+    w.write_u32(static_cast<std::uint32_t>(samples.size()));
+    for (const TruthSample& s : samples) {
+      w.write_time(s.time);
+      w.write_double(s.position.x);
+      w.write_double(s.position.y);
+    }
+  }
+  w.write_u32(static_cast<std::uint32_t>(trace.true_appearance.size()));
+  for (const auto& [object, feature] : trace.true_appearance) {
+    w.write_id(object);
+    w.write_u32(static_cast<std::uint32_t>(feature.values.size()));
+    for (float v : feature.values) w.write_double(static_cast<double>(v));
+  }
+}
+
+}  // namespace
+
+Status save_trace(const RecordedTrace& trace, const std::string& path) {
+  BinaryWriter w;
+  encode_recorded(w, trace);
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    return Status::unavailable("cannot open for write: " + path);
+  }
+  const auto& bytes = w.bytes();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
+    return Status::internal("short write: " + path);
+  }
+  return Status::ok();
+}
+
+Status save_trace(const Trace& trace, const std::string& path) {
+  RecordedTrace recorded;
+  recorded.detections = trace.detections;
+  recorded.ground_truth = trace.ground_truth;
+  recorded.true_appearance = trace.true_appearance;
+  return save_trace(recorded, path);
+}
+
+Result<RecordedTrace> load_trace(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) {
+    return Status::not_found("cannot open: " + path);
+  }
+  std::fseek(file.get(), 0, SEEK_END);
+  long size = std::ftell(file.get());
+  std::fseek(file.get(), 0, SEEK_SET);
+  if (size < static_cast<long>(sizeof kMagic)) {
+    return Status::invalid_argument("not a trace file (too short): " + path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), file.get()) != bytes.size()) {
+    return Status::internal("short read: " + path);
+  }
+
+  BinaryReader r(bytes);
+  for (char expected : kMagic) {
+    if (r.read_u8() != static_cast<std::uint8_t>(expected)) {
+      return Status::invalid_argument("bad magic: " + path);
+    }
+  }
+  RecordedTrace trace;
+  trace.detections = r.read_vector<Detection>(
+      [](BinaryReader& br) { return deserialize_detection(br); });
+  std::uint32_t truth_objects = r.read_u32();
+  for (std::uint32_t i = 0; i < truth_objects && !r.failed(); ++i) {
+    ObjectId object = r.read_id<ObjectIdTag>();
+    std::uint32_t n = r.read_u32();
+    auto& samples = trace.ground_truth[object];
+    samples.reserve(n);
+    for (std::uint32_t s = 0; s < n && !r.failed(); ++s) {
+      TruthSample sample;
+      sample.time = r.read_time();
+      sample.position.x = r.read_double();
+      sample.position.y = r.read_double();
+      samples.push_back(sample);
+    }
+  }
+  std::uint32_t appearance_objects = r.read_u32();
+  for (std::uint32_t i = 0; i < appearance_objects && !r.failed(); ++i) {
+    ObjectId object = r.read_id<ObjectIdTag>();
+    std::uint32_t n = r.read_u32();
+    auto& feature = trace.true_appearance[object];
+    feature.values.reserve(n);
+    for (std::uint32_t v = 0; v < n && !r.failed(); ++v) {
+      feature.values.push_back(static_cast<float>(r.read_double()));
+    }
+  }
+  if (r.failed()) {
+    return Status::invalid_argument("corrupt trace file: " + path);
+  }
+  return trace;
+}
+
+}  // namespace stcn

@@ -1,0 +1,34 @@
+// Detection-stream persistence.
+//
+// Saves and loads detection streams (and the ground truth needed for
+// evaluation) in a simple length-prefixed binary container, so expensive
+// scenarios can be generated once and replayed across benchmark runs — and
+// so real deployments could feed recorded streams into the framework.
+//
+// File layout (little-endian):
+//   magic "STCNTRC1" | u32 detection_count | detections...
+//   | u32 truth_object_count | per object: object id, u32 n, samples...
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "trace/generator.h"
+
+namespace stcn {
+
+/// The persisted subset of a Trace: the event stream plus ground truth.
+struct RecordedTrace {
+  std::vector<Detection> detections;
+  std::unordered_map<ObjectId, std::vector<TruthSample>> ground_truth;
+  std::unordered_map<ObjectId, AppearanceFeature> true_appearance;
+};
+
+/// Writes `trace`'s stream and ground truth to `path`.
+Status save_trace(const Trace& trace, const std::string& path);
+Status save_trace(const RecordedTrace& trace, const std::string& path);
+
+/// Loads a stream previously written by save_trace.
+Result<RecordedTrace> load_trace(const std::string& path);
+
+}  // namespace stcn

@@ -1,0 +1,149 @@
+#include "query/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/centralized.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct AnalyticsScenario {
+  Trace trace;
+  Rect world;
+  CentralizedIndex oracle;
+  std::unique_ptr<Cluster> cluster;
+
+  AnalyticsScenario()
+      : trace(TraceGenerator::generate([] {
+          TraceConfig c;
+          c.roads.grid_cols = 6;
+          c.roads.grid_rows = 6;
+          c.cameras.camera_count = 20;
+          c.mobility.object_count = 15;
+          c.duration = Duration::minutes(4);
+          return c;
+        }())),
+        world(trace.roads.bounds(120.0)),
+        oracle(world) {
+    oracle.ingest_all(trace.detections);
+    ClusterConfig config;
+    config.worker_count = 4;
+    cluster = std::make_unique<Cluster>(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 3, 3, trace.cameras),
+        config);
+    cluster->ingest_all(trace.detections);
+  }
+};
+
+AnalyticsScenario& scenario() {
+  static AnalyticsScenario s;
+  return s;
+}
+
+TEST(ActivitySeries, BucketsPartitionWindowAndSumToTotal) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef exec(*s.cluster);
+  TimeInterval window{TimePoint::origin(),
+                      TimePoint::origin() + Duration::minutes(4)};
+  auto series = activity_series(exec, s.world, window, Duration::minutes(1));
+  ASSERT_EQ(series.size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].bucket.length(), Duration::minutes(1));
+    if (i > 0) {
+      EXPECT_EQ(series[i].bucket.begin, series[i - 1].bucket.end);
+    }
+    total += series[i].count;
+  }
+  EXPECT_EQ(total, s.trace.detections.size());
+}
+
+TEST(ActivitySeries, PartialFinalBucketClamped) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef exec(*s.cluster);
+  TimeInterval window{TimePoint::origin(),
+                      TimePoint::origin() + Duration::seconds(150)};
+  auto series = activity_series(exec, s.world, window, Duration::minutes(1));
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[2].bucket.length(), Duration::seconds(30));
+}
+
+TEST(ActivitySeries, DistributedMatchesCentralized) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef dist(*s.cluster);
+  QueryExecutorRef central(s.oracle);
+  TimeInterval window{TimePoint::origin(),
+                      TimePoint::origin() + Duration::minutes(4)};
+  Rect region = Rect::centered(s.world.center(), 400.0);
+  auto a = activity_series(dist, region, window, Duration::seconds(30));
+  auto b = activity_series(central, region, window, Duration::seconds(30));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].count, b[i].count) << "bucket " << i;
+  }
+}
+
+TEST(ActivitySeries, DegenerateInputs) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef exec(s.oracle);
+  EXPECT_TRUE(activity_series(exec, s.world,
+                              {TimePoint(5), TimePoint(5)},
+                              Duration::minutes(1))
+                  .empty());
+  EXPECT_TRUE(activity_series(exec, s.world,
+                              {TimePoint(0), TimePoint(10)}, Duration::zero())
+                  .empty());
+}
+
+TEST(CameraProfiles, TotalsMatchPerCameraCounts) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef exec(*s.cluster);
+  TimeInterval window{TimePoint::origin(),
+                      TimePoint::origin() + Duration::minutes(4)};
+  auto profiles = camera_profiles(exec, s.world, window, Duration::minutes(1));
+  ASSERT_FALSE(profiles.empty());
+  // Sorted busiest-first.
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GE(profiles[i - 1].total, profiles[i].total);
+  }
+  // Totals must match a direct per-camera count.
+  std::map<std::uint64_t, std::uint64_t> expected;
+  for (const Detection& d : s.trace.detections) {
+    ++expected[d.camera.value()];
+  }
+  std::uint64_t sum = 0;
+  for (const CameraProfile& p : profiles) {
+    EXPECT_EQ(p.total, expected.at(p.camera.value())) << p.camera;
+    EXPECT_GE(p.peak_count, 1u);
+    EXPECT_LE(p.peak_count, p.total);
+    sum += p.total;
+  }
+  EXPECT_EQ(sum, s.trace.detections.size());
+}
+
+TEST(BusiestRegions, TopCellsOrderedAndBounded) {
+  AnalyticsScenario& s = scenario();
+  QueryExecutorRef exec(*s.cluster);
+  TimeInterval window{TimePoint::origin(),
+                      TimePoint::origin() + Duration::minutes(4)};
+  auto hot = busiest_regions(exec, s.world, window, 300.0, 5);
+  ASSERT_FALSE(hot.empty());
+  EXPECT_LE(hot.size(), 5u);
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GE(hot[i - 1].count, hot[i].count);
+  }
+  // The top cell's count must equal a direct count query over its bounds.
+  QueryResult direct = s.cluster->execute(Query::count(
+      s.cluster->next_query_id(), hot[0].bounds.intersection(s.world),
+      window));
+  EXPECT_EQ(hot[0].count, direct.total_count());
+}
+
+}  // namespace
+}  // namespace stcn

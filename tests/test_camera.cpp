@@ -1,0 +1,126 @@
+#include "trace/camera.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stcn {
+namespace {
+
+RoadNetwork make_roads() {
+  RoadNetworkConfig c;
+  c.grid_cols = 6;
+  c.grid_rows = 6;
+  c.block_size_m = 120.0;
+  c.removal_fraction = 0.0;
+  c.seed = 1;
+  return RoadNetwork::build(c);
+}
+
+CameraNetworkConfig camera_config(std::size_t n) {
+  CameraNetworkConfig c;
+  c.camera_count = n;
+  c.fov_range_m = 60.0;
+  c.fov_half_angle_rad = 0.6;
+  c.seed = 5;
+  return c;
+}
+
+TEST(CameraNetwork, PlacesRequestedCount) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(20));
+  EXPECT_EQ(net.size(), 20u);
+  EXPECT_EQ(net.cameras().size(), 20u);
+}
+
+TEST(CameraNetwork, IdsAreSequentialAndLookupWorks) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(10));
+  for (std::size_t i = 1; i <= 10; ++i) {
+    CameraId id(i);
+    EXPECT_TRUE(net.has_camera(id));
+    EXPECT_EQ(net.camera(id).id, id);
+  }
+  EXPECT_FALSE(net.has_camera(CameraId(11)));
+  EXPECT_FALSE(net.has_camera(CameraId(0)));
+}
+
+TEST(CameraNetwork, CamerasSitOnRoadNodes) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(12));
+  for (const Camera& cam : net.cameras()) {
+    EXPECT_EQ(cam.fov.apex, roads.node_position(cam.mount_node));
+  }
+}
+
+TEST(CameraNetwork, DistinctNodesWhenEnoughIntersections) {
+  RoadNetwork roads = make_roads();  // 36 intersections
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(30));
+  std::set<RoadNodeIndex> nodes;
+  for (const Camera& cam : net.cameras()) nodes.insert(cam.mount_node);
+  EXPECT_EQ(nodes.size(), 30u);
+}
+
+TEST(CameraNetwork, MoreCamerasThanNodesWrapsAround) {
+  RoadNetwork roads = make_roads();  // 36 intersections
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(50));
+  EXPECT_EQ(net.size(), 50u);
+  std::set<RoadNodeIndex> nodes;
+  for (const Camera& cam : net.cameras()) nodes.insert(cam.mount_node);
+  EXPECT_EQ(nodes.size(), 36u);  // every node used at least once
+}
+
+TEST(CameraNetwork, CamerasSeeingMatchesFovContains) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(25));
+  Rng rng(7);
+  Rect world = roads.bounds(100.0);
+  for (int i = 0; i < 500; ++i) {
+    Point p{rng.uniform(world.min.x, world.max.x),
+            rng.uniform(world.min.y, world.max.y)};
+    std::set<std::uint64_t> via_hash;
+    for (CameraId id : net.cameras_seeing(p)) via_hash.insert(id.value());
+    std::set<std::uint64_t> via_scan;
+    for (const Camera& cam : net.cameras()) {
+      if (cam.fov.contains(p)) via_scan.insert(cam.id.value());
+    }
+    ASSERT_EQ(via_hash, via_scan) << "mismatch at " << p;
+  }
+}
+
+TEST(CameraNetwork, ApexSeenByItsOwnCamera) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(8));
+  for (const Camera& cam : net.cameras()) {
+    auto seeing = net.cameras_seeing(cam.fov.apex);
+    EXPECT_NE(std::find(seeing.begin(), seeing.end(), cam.id), seeing.end());
+  }
+}
+
+TEST(CameraNetwork, CoverageBoundsContainAllFovs) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork net = CameraNetwork::place(roads, camera_config(15));
+  Rect world = net.coverage_bounds();
+  for (const Camera& cam : net.cameras()) {
+    Rect box = cam.fov.bounding_box();
+    EXPECT_LE(world.min.x, box.min.x);
+    EXPECT_LE(world.min.y, box.min.y);
+    EXPECT_GE(world.max.x, box.max.x);
+    EXPECT_GE(world.max.y, box.max.y);
+  }
+}
+
+TEST(CameraNetwork, DeterministicPlacement) {
+  RoadNetwork roads = make_roads();
+  CameraNetwork a = CameraNetwork::place(roads, camera_config(10));
+  CameraNetwork b = CameraNetwork::place(roads, camera_config(10));
+  for (std::size_t i = 1; i <= 10; ++i) {
+    const Camera& ca = a.camera(CameraId(i));
+    const Camera& cb = b.camera(CameraId(i));
+    EXPECT_EQ(ca.fov.apex, cb.fov.apex);
+    EXPECT_DOUBLE_EQ(ca.fov.heading, cb.fov.heading);
+  }
+}
+
+}  // namespace
+}  // namespace stcn

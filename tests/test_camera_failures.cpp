@@ -1,0 +1,86 @@
+// Camera dropout modeling: cameras dying mid-trace.
+#include <gtest/gtest.h>
+
+#include "reid/transition_graph.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+TraceConfig config_with_failures(double fraction) {
+  TraceConfig c;
+  c.roads.grid_cols = 8;
+  c.roads.grid_rows = 8;
+  c.cameras.camera_count = 40;
+  c.mobility.object_count = 30;
+  c.duration = Duration::minutes(6);
+  c.detection.camera_failure_fraction = fraction;
+  c.seed = 4242;
+  return c;
+}
+
+TEST(CameraFailures, DisabledByDefault) {
+  Trace trace = TraceGenerator::generate(config_with_failures(0.0));
+  EXPECT_TRUE(trace.camera_failures.empty());
+}
+
+TEST(CameraFailures, RequestedFractionFails) {
+  Trace trace = TraceGenerator::generate(config_with_failures(0.3));
+  EXPECT_EQ(trace.camera_failures.size(), 12u);  // 30% of 40
+  for (const auto& [camera, at] : trace.camera_failures) {
+    EXPECT_TRUE(trace.cameras.has_camera(camera));
+    EXPECT_GE(at, TimePoint::origin());
+    EXPECT_LT(at, TimePoint::origin() + trace.config.duration);
+  }
+}
+
+TEST(CameraFailures, NoDetectionsAfterFailureTime) {
+  Trace trace = TraceGenerator::generate(config_with_failures(0.3));
+  for (const Detection& d : trace.detections) {
+    auto it = trace.camera_failures.find(d.camera);
+    if (it != trace.camera_failures.end()) {
+      EXPECT_LT(d.time, it->second)
+          << d.camera << " emitted after its failure";
+    }
+  }
+}
+
+TEST(CameraFailures, ReducesDetectionVolume) {
+  Trace healthy = TraceGenerator::generate(config_with_failures(0.0));
+  Trace degraded = TraceGenerator::generate(config_with_failures(0.4));
+  EXPECT_LT(degraded.detections.size(), healthy.detections.size());
+  EXPECT_GT(degraded.detections.size(), 0u);
+}
+
+TEST(CameraFailures, TransitionGraphStillLearnsFromSurvivors) {
+  // Re-id infrastructure degrades gracefully: the graph learned from a
+  // degraded network still has substantial structure.
+  Trace degraded = TraceGenerator::generate(config_with_failures(0.3));
+  TransitionGraph graph;
+  graph.learn(degraded.detections);
+  EXPECT_GT(graph.edge_count(), 10u);
+  // No learned edge may originate at a camera observed only before its
+  // failure and lead to arrivals after it — structurally impossible here,
+  // but transitions *into* dead cameras must also carry pre-failure times
+  // only; spot-check by replaying the learning invariant.
+  for (const Detection& d : degraded.detections) {
+    auto it = degraded.camera_failures.find(d.camera);
+    if (it != degraded.camera_failures.end()) {
+      ASSERT_LT(d.time, it->second);
+    }
+  }
+}
+
+TEST(CameraFailures, DeterministicSchedule) {
+  Trace a = TraceGenerator::generate(config_with_failures(0.25));
+  Trace b = TraceGenerator::generate(config_with_failures(0.25));
+  ASSERT_EQ(a.camera_failures.size(), b.camera_failures.size());
+  for (const auto& [camera, at] : a.camera_failures) {
+    auto it = b.camera_failures.find(camera);
+    ASSERT_NE(it, b.camera_failures.end());
+    EXPECT_EQ(it->second, at);
+  }
+}
+
+}  // namespace
+}  // namespace stcn

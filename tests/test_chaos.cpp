@@ -1,0 +1,145 @@
+// Chaos testing: randomized interleavings of ingest, queries, crashes,
+// restarts, and time advances. Invariants checked at every step:
+//   * the cluster never returns a detection the oracle doesn't have;
+//   * whenever every worker is up and resynced, answers are complete;
+//   * during failures, answers remain complete while each partition keeps
+//     at least one live replica;
+//   * the system never deadlocks (every operation terminates).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baseline/centralized.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosTest, InvariantsHoldUnderRandomOperations) {
+  TraceConfig tc;
+  tc.roads.grid_cols = 6;
+  tc.roads.grid_rows = 6;
+  tc.cameras.camera_count = 18;
+  tc.mobility.object_count = 15;
+  tc.duration = Duration::minutes(5);
+  tc.seed = GetParam();
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(120.0);
+
+  ClusterConfig config;
+  config.worker_count = 5;
+  config.coordinator.query_timeout = Duration::millis(20);
+  Cluster cluster(
+      world,
+      std::make_unique<SpatialGridStrategy>(world, 3, 3, trace.cameras),
+      config);
+  CentralizedIndex oracle(world);
+
+  Rng rng(GetParam() * 7919);
+  std::set<WorkerId> down;
+  std::size_t cursor = 0;
+  std::set<std::uint64_t> ingested_ids;
+
+  auto everything_replicated = [&] {
+    // With one worker down and replication 2, some partition may have its
+    // only live copy on the dead worker ONLY if both replicas are down.
+    if (down.size() >= 2) return false;
+    if (down.empty()) return true;
+    const PartitionMap& map = cluster.coordinator().partition_map();
+    for (std::size_t p = 0; p < map.partition_count(); ++p) {
+      bool primary_down = down.contains(map.primary(PartitionId(p)));
+      bool backup_down = down.contains(map.backup(PartitionId(p)));
+      if (primary_down && backup_down) return false;
+    }
+    return true;
+  };
+
+  for (int step = 0; step < 60; ++step) {
+    switch (rng.uniform_index(6)) {
+      case 0:
+      case 1: {  // ingest a batch
+        std::size_t n = std::min<std::size_t>(
+            30 + rng.uniform_index(60), trace.detections.size() - cursor);
+        if (n == 0) break;
+        cluster.ingest_all(std::span<const Detection>(
+            trace.detections.data() + cursor, n));
+        for (std::size_t i = 0; i < n; ++i) {
+          oracle.ingest(trace.detections[cursor + i]);
+          ingested_ids.insert(trace.detections[cursor + i].id.value());
+        }
+        cursor += n;
+        break;
+      }
+      case 2: {  // random range query
+        Rect region = Rect::centered(
+            {rng.uniform(world.min.x, world.max.x),
+             rng.uniform(world.min.y, world.max.y)},
+            rng.uniform(50.0, 800.0));
+        Query q = Query::range(cluster.next_query_id(), region,
+                               TimeInterval::all());
+        QueryResult got = cluster.execute(q);
+        std::set<std::uint64_t> got_ids;
+        for (const Detection& d : got.detections) {
+          got_ids.insert(d.id.value());
+          // Soundness: never invent detections.
+          ASSERT_TRUE(ingested_ids.contains(d.id.value()))
+              << "phantom detection at step " << step;
+        }
+        if (everything_replicated()) {
+          QueryResult want = oracle.execute(q);
+          std::set<std::uint64_t> want_ids;
+          for (const Detection& d : want.detections) {
+            want_ids.insert(d.id.value());
+          }
+          ASSERT_EQ(got_ids, want_ids) << "incomplete at step " << step
+                                       << " with " << down.size()
+                                       << " workers down";
+        }
+        break;
+      }
+      case 3: {  // crash a random up worker (keep at most one down)
+        if (!down.empty()) break;
+        WorkerId victim(1 + rng.uniform_index(config.worker_count));
+        cluster.crash_worker(victim);
+        down.insert(victim);
+        break;
+      }
+      case 4: {  // restart a down worker
+        if (down.empty()) break;
+        WorkerId w = *down.begin();
+        cluster.restart_worker(w);
+        down.erase(w);
+        break;
+      }
+      case 5: {  // let time pass (ticks, summaries, failure sweeps)
+        cluster.advance_time(
+            Duration::seconds(1 + static_cast<std::int64_t>(
+                                      rng.uniform_index(8))));
+        break;
+      }
+    }
+  }
+
+  // Final: restore everything, verify full consistency.
+  for (WorkerId w : down) cluster.restart_worker(w);
+  Query final_q = Query::range(cluster.next_query_id(), world,
+                               TimeInterval::all());
+  QueryResult got = cluster.execute(final_q);
+  QueryResult want = oracle.execute(final_q);
+  std::set<std::uint64_t> got_ids;
+  std::set<std::uint64_t> want_ids;
+  for (const Detection& d : got.detections) got_ids.insert(d.id.value());
+  for (const Detection& d : want.detections) want_ids.insert(d.id.value());
+  EXPECT_EQ(got_ids, want_ids) << "final state diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace stcn

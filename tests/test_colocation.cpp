@@ -1,0 +1,171 @@
+#include "query/colocation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace stcn {
+namespace {
+
+Detection det(std::uint64_t id, std::uint64_t object, Point pos,
+              std::int64_t t_seconds, std::uint64_t camera = 1) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.object = ObjectId(object);
+  d.camera = CameraId(camera);
+  d.position = pos;
+  d.time = TimePoint(t_seconds * 1'000'000);
+  return d;
+}
+
+CoLocationParams params(std::size_t min_events = 1) {
+  CoLocationParams p;
+  p.max_distance = 20.0;
+  p.max_gap = Duration::seconds(5);
+  p.min_events = min_events;
+  return p;
+}
+
+TEST(CoLocation, EmptyInput) {
+  EXPECT_TRUE(find_meetings({}, params()).empty());
+}
+
+TEST(CoLocation, DetectsOnePair) {
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10),
+      det(2, 8, {105, 100}, 12),  // 5 m, 2 s apart → co-located
+  };
+  auto meetings = find_meetings(ds, params());
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0].a, ObjectId(7));
+  EXPECT_EQ(meetings[0].b, ObjectId(8));
+  EXPECT_EQ(meetings[0].events, 1u);
+  EXPECT_EQ(meetings[0].first_seen, TimePoint(10'000'000));
+  EXPECT_EQ(meetings[0].last_seen, TimePoint(12'000'000));
+}
+
+TEST(CoLocation, TooFarApartIgnored) {
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10),
+      det(2, 8, {150, 100}, 12),  // 50 m: beyond max_distance
+  };
+  EXPECT_TRUE(find_meetings(ds, params()).empty());
+}
+
+TEST(CoLocation, TooLateIgnored) {
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10),
+      det(2, 8, {105, 100}, 30),  // 20 s: beyond max_gap
+  };
+  EXPECT_TRUE(find_meetings(ds, params()).empty());
+}
+
+TEST(CoLocation, SameObjectNeverMeetsItself) {
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10),
+      det(2, 7, {101, 100}, 11),
+  };
+  EXPECT_TRUE(find_meetings(ds, params()).empty());
+}
+
+TEST(CoLocation, MinEventsFilters) {
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10),
+      det(2, 8, {105, 100}, 11),
+  };
+  EXPECT_EQ(find_meetings(ds, params(1)).size(), 1u);
+  EXPECT_TRUE(find_meetings(ds, params(2)).empty());
+}
+
+TEST(CoLocation, RepeatedEncountersAccumulate) {
+  std::vector<Detection> ds;
+  std::uint64_t id = 1;
+  // Objects 7 and 8 walk together: 4 co-located sightings.
+  for (int i = 0; i < 4; ++i) {
+    double x = 100.0 + i * 50.0;
+    ds.push_back(det(id++, 7, {x, 100}, 10 + i * 20));
+    ds.push_back(det(id++, 8, {x + 4, 100}, 11 + i * 20,
+                     /*camera=*/static_cast<std::uint64_t>(1 + i)));
+  }
+  auto meetings = find_meetings(ds, params(3));
+  ASSERT_EQ(meetings.size(), 1u);
+  EXPECT_EQ(meetings[0].events, 4u);
+  EXPECT_GE(meetings[0].distinct_cameras, 4u);
+}
+
+TEST(CoLocation, MinDistinctCamerasFilters) {
+  // Two strangers caught once by the same camera pair.
+  std::vector<Detection> ds = {
+      det(1, 7, {100, 100}, 10, 1),
+      det(2, 8, {104, 100}, 11, 1),
+  };
+  CoLocationParams p = params(1);
+  p.min_distinct_cameras = 2;
+  EXPECT_TRUE(find_meetings(ds, p).empty());
+  p.min_distinct_cameras = 1;
+  EXPECT_EQ(find_meetings(ds, p).size(), 1u);
+}
+
+TEST(CoLocation, SortedByEventCount) {
+  std::vector<Detection> ds;
+  std::uint64_t id = 1;
+  // Pair (1,2): 3 events; pair (3,4): 1 event.
+  for (int i = 0; i < 3; ++i) {
+    ds.push_back(det(id++, 1, {100.0 + i * 100, 100}, i * 30));
+    ds.push_back(det(id++, 2, {103.0 + i * 100, 100}, i * 30 + 1));
+  }
+  ds.push_back(det(id++, 3, {500, 500}, 10));
+  ds.push_back(det(id++, 4, {503, 500}, 11));
+  auto meetings = find_meetings(ds, params(1));
+  ASSERT_EQ(meetings.size(), 2u);
+  EXPECT_EQ(meetings[0].events, 3u);
+  EXPECT_EQ(meetings[1].events, 1u);
+}
+
+// Property: the grid-hashed join must equal the O(n²) brute force.
+class CoLocationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoLocationProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<Detection> ds;
+  for (std::uint64_t i = 1; i <= 250; ++i) {
+    ds.push_back(det(i, 1 + rng.uniform_index(20),
+                     {rng.uniform(0, 500), rng.uniform(0, 500)},
+                     rng.uniform_int(0, 300),
+                     1 + rng.uniform_index(10)));
+  }
+  CoLocationParams p = params(1);
+
+  auto fast = find_meetings(ds, p);
+
+  // Brute force.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> brute;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      const Detection& x = ds[i];
+      const Detection& y = ds[j];
+      if (x.object == y.object) continue;
+      Duration gap = x.time >= y.time ? x.time - y.time : y.time - x.time;
+      if (gap > p.max_gap) continue;
+      if (distance(x.position, y.position) > p.max_distance) continue;
+      ++brute[{std::min(x.object.value(), y.object.value()),
+               std::max(x.object.value(), y.object.value())}];
+    }
+  }
+  ASSERT_EQ(fast.size(), brute.size());
+  for (const Meeting& m : fast) {
+    auto it = brute.find({m.a.value(), m.b.value()});
+    ASSERT_NE(it, brute.end());
+    EXPECT_EQ(m.events, it->second)
+        << "pair " << m.a << "," << m.b << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoLocationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace stcn

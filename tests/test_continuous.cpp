@@ -1,0 +1,177 @@
+#include "query/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace stcn {
+namespace {
+
+Detection make_detection(std::uint64_t id, Point pos, std::int64_t t) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(1);
+  d.object = ObjectId(1);
+  d.time = TimePoint(t);
+  d.position = pos;
+  return d;
+}
+
+Rect world() { return {{0, 0}, {1000, 1000}}; }
+
+TEST(ContinuousQueryManager, InstallAndRemove) {
+  ContinuousQueryManager manager(world());
+  EXPECT_EQ(manager.monitor_count(), 0u);
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::minutes(1)});
+  EXPECT_EQ(manager.monitor_count(), 1u);
+  manager.remove(QueryId(1));
+  EXPECT_EQ(manager.monitor_count(), 0u);
+}
+
+TEST(ContinuousQueryManager, PositiveDeltaOnMatchingDetection) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::minutes(1)});
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {50, 50}, 1000), deltas);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].query, QueryId(1));
+  EXPECT_TRUE(deltas[0].positive);
+  EXPECT_EQ(deltas[0].detection.id, DetectionId(1));
+}
+
+TEST(ContinuousQueryManager, NoDeltaOutsideRegion) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::minutes(1)});
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {500, 500}, 1000), deltas);
+  EXPECT_TRUE(deltas.empty());
+}
+
+TEST(ContinuousQueryManager, OverlappingMonitorsBothFire) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::minutes(1)});
+  manager.install({QueryId(2), {{40, 40}, {200, 200}}, Duration::minutes(1)});
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {50, 50}, 1000), deltas);
+  std::set<std::uint64_t> fired;
+  for (const DeltaUpdate& d : deltas) fired.insert(d.query.value());
+  EXPECT_EQ(fired, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST(ContinuousQueryManager, NegativeDeltaWhenWindowExpires) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::seconds(10)});
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {50, 50}, 0), deltas);
+  deltas.clear();
+
+  // Advance just before expiry: nothing.
+  manager.advance_to(TimePoint(9'000'000), deltas);
+  EXPECT_TRUE(deltas.empty());
+  // Past expiry: negative delta.
+  manager.advance_to(TimePoint(10'000'001), deltas);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_FALSE(deltas[0].positive);
+  EXPECT_EQ(deltas[0].detection.id, DetectionId(1));
+  // The answer set is now empty.
+  EXPECT_TRUE(manager.answer_set(QueryId(1)).empty());
+}
+
+TEST(ContinuousQueryManager, AnswerSetReflectsWindow) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::seconds(10)});
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {10, 10}, 0), deltas);
+  manager.on_detection(make_detection(2, {20, 20}, 5'000'000), deltas);
+  manager.on_detection(make_detection(3, {30, 30}, 12'000'000), deltas);
+  manager.advance_to(TimePoint(13'000'000), deltas);  // id 1 expired
+  auto answer = manager.answer_set(QueryId(1));
+  std::set<std::uint64_t> ids;
+  for (const Detection& d : answer) ids.insert(d.id.value());
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{2, 3}));
+}
+
+TEST(ContinuousQueryManager, RoutingOnlyTestsNearbyMonitors) {
+  ContinuousQueryManager manager(world(), /*bucket_size=*/100.0);
+  // 20 monitors spread across the left edge, 1 near the right edge.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    manager.install({QueryId(i + 1),
+                     Rect::centered({50, 25.0 + static_cast<double>(i) * 45}, 20),
+                     Duration::minutes(1)});
+  }
+  manager.install({QueryId(100), Rect::centered({950, 500}, 20),
+                   Duration::minutes(1)});
+  std::vector<DeltaUpdate> deltas;
+  std::size_t tested =
+      manager.on_detection(make_detection(1, {950, 500}, 0), deltas);
+  EXPECT_EQ(tested, 1u) << "far-away monitors must not be tested";
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].query, QueryId(100));
+}
+
+TEST(ContinuousQueryManager, RemovedMonitorStopsFiring) {
+  ContinuousQueryManager manager(world());
+  manager.install({QueryId(1), {{0, 0}, {100, 100}}, Duration::minutes(1)});
+  manager.remove(QueryId(1));
+  std::vector<DeltaUpdate> deltas;
+  manager.on_detection(make_detection(1, {50, 50}, 0), deltas);
+  EXPECT_TRUE(deltas.empty());
+}
+
+// Property: replaying the delta stream reproduces exactly the snapshot
+// answer set at any point in time.
+class ContinuousReplayProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContinuousReplayProperty, DeltaStreamMatchesSnapshot) {
+  Rng rng(GetParam());
+  ContinuousQueryManager manager(world());
+  Rect region = Rect::centered({500, 500}, 200);
+  Duration window = Duration::seconds(30);
+  manager.install({QueryId(1), region, window});
+
+  std::vector<Detection> everything;
+  std::set<std::uint64_t> replayed;  // live set built from deltas only
+  std::vector<DeltaUpdate> deltas;
+
+  std::int64_t now = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += rng.uniform_int(100'000, 1'000'000);
+    Detection d = make_detection(
+        static_cast<std::uint64_t>(step + 1),
+        {rng.uniform(0, 1000), rng.uniform(0, 1000)}, now);
+    everything.push_back(d);
+    manager.on_detection(d, deltas);
+    manager.advance_to(TimePoint(now), deltas);
+
+    for (const DeltaUpdate& delta : deltas) {
+      if (delta.positive) {
+        ASSERT_TRUE(replayed.insert(delta.detection.id.value()).second)
+            << "duplicate positive delta";
+      } else {
+        ASSERT_EQ(replayed.erase(delta.detection.id.value()), 1u)
+            << "negative delta for absent detection";
+      }
+    }
+    deltas.clear();
+
+    // Snapshot evaluation: everything in region with time in
+    // [now - window, now].
+    std::set<std::uint64_t> snapshot;
+    for (const Detection& e : everything) {
+      if (region.contains(e.position) && e.time >= TimePoint(now) - window &&
+          e.time <= TimePoint(now)) {
+        snapshot.insert(e.id.value());
+      }
+    }
+    ASSERT_EQ(replayed, snapshot) << "divergence at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContinuousReplayProperty,
+                         ::testing::Values(1, 2, 3, 7, 21));
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,182 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace stcn {
+namespace {
+
+TraceConfig small_trace_config() {
+  TraceConfig c;
+  c.roads.grid_cols = 8;
+  c.roads.grid_rows = 8;
+  c.roads.block_size_m = 100.0;
+  c.roads.seed = 3;
+  c.cameras.camera_count = 24;
+  c.cameras.seed = 4;
+  c.mobility.object_count = 20;
+  c.mobility.seed = 5;
+  c.duration = Duration::minutes(4);
+  c.tick = Duration::millis(500);
+  c.seed = 6;
+  return c;
+}
+
+TEST(TraceGenerator, ProducesDetections) {
+  Trace trace = TraceGenerator::generate(small_trace_config());
+  EXPECT_GT(trace.detections.size(), 50u)
+      << "a 4-minute trace over 24 cameras should see plenty of traffic";
+}
+
+TEST(TraceGenerator, DetectionsAreTimeOrdered) {
+  Trace trace = TraceGenerator::generate(small_trace_config());
+  for (std::size_t i = 1; i < trace.detections.size(); ++i) {
+    EXPECT_LE(trace.detections[i - 1].time, trace.detections[i].time);
+  }
+}
+
+TEST(TraceGenerator, DetectionIdsAreUnique) {
+  Trace trace = TraceGenerator::generate(small_trace_config());
+  std::set<std::uint64_t> ids;
+  for (const Detection& d : trace.detections) {
+    EXPECT_TRUE(ids.insert(d.id.value()).second)
+        << "duplicate detection id " << d.id;
+  }
+}
+
+TEST(TraceGenerator, DetectionsReferenceRealCamerasAndObjects) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  for (const Detection& d : trace.detections) {
+    EXPECT_TRUE(trace.cameras.has_camera(d.camera));
+    EXPECT_GE(d.object.value(), 1u);
+    EXPECT_LE(d.object.value(), config.mobility.object_count);
+    EXPECT_TRUE(trace.ground_truth.contains(d.object));
+    EXPECT_TRUE(trace.true_appearance.contains(d.object));
+  }
+}
+
+TEST(TraceGenerator, DetectionPositionsNearCameraFov) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  for (const Detection& d : trace.detections) {
+    const Camera& cam = trace.cameras.camera(d.camera);
+    // True position was inside the FOV; reported position adds Gaussian
+    // noise, so allow range + generous noise slack.
+    EXPECT_LE(distance(d.position, cam.fov.apex),
+              cam.fov.range + 8 * config.detection.position_noise_m);
+  }
+}
+
+TEST(TraceGenerator, DetectionTimesWithinDuration) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  for (const Detection& d : trace.detections) {
+    EXPECT_GE(d.time, TimePoint::origin());
+    EXPECT_LT(d.time, TimePoint::origin() + config.duration);
+  }
+}
+
+TEST(TraceGenerator, AppearanceFeaturesAreUnitNorm) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  for (const auto& [obj, feature] : trace.true_appearance) {
+    EXPECT_EQ(feature.values.size(), config.detection.feature_dim);
+    EXPECT_NEAR(feature.similarity(feature), 1.0, 1e-5);
+  }
+  for (const Detection& d : trace.detections) {
+    EXPECT_NEAR(d.appearance.similarity(d.appearance), 1.0, 1e-5);
+  }
+}
+
+TEST(TraceGenerator, NoisyEmbeddingsCorrelateWithTruth) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  double same_sum = 0.0;
+  std::size_t same_n = 0;
+  for (const Detection& d : trace.detections) {
+    same_sum += d.appearance.similarity(trace.true_appearance.at(d.object));
+    ++same_n;
+  }
+  ASSERT_GT(same_n, 0u);
+  // With sigma 0.15 per dim, expected cosine to truth is ~0.8+.
+  EXPECT_GT(same_sum / static_cast<double>(same_n), 0.7);
+}
+
+TEST(TraceGenerator, GroundTruthSampledEveryTick) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  auto expected_samples = static_cast<std::size_t>(
+      config.duration.count_micros() / config.tick.count_micros());
+  for (const auto& [obj, samples] : trace.ground_truth) {
+    EXPECT_EQ(samples.size(), expected_samples);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_EQ(samples[i].time - samples[i - 1].time, config.tick);
+    }
+  }
+}
+
+TEST(TraceGenerator, RedetectIntervalSuppressesDuplicates) {
+  TraceConfig config = small_trace_config();
+  Trace trace = TraceGenerator::generate(config);
+  // No two detections of the same (camera, object) pair closer than the
+  // redetect interval.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TimePoint> last;
+  for (const Detection& d : trace.detections) {
+    auto key = std::make_pair(d.camera.value(), d.object.value());
+    auto it = last.find(key);
+    if (it != last.end()) {
+      EXPECT_GE(d.time - it->second, config.detection.redetect_interval);
+    }
+    last[key] = d.time;
+  }
+}
+
+TEST(TraceGenerator, MissRateReducesVolume) {
+  TraceConfig reliable = small_trace_config();
+  reliable.detection.miss_rate = 0.0;
+  TraceConfig flaky = small_trace_config();
+  flaky.detection.miss_rate = 0.6;
+  Trace a = TraceGenerator::generate(reliable);
+  Trace b = TraceGenerator::generate(flaky);
+  EXPECT_GT(a.detections.size(), b.detections.size());
+}
+
+TEST(TraceGenerator, DeterministicForConfig) {
+  Trace a = TraceGenerator::generate(small_trace_config());
+  Trace b = TraceGenerator::generate(small_trace_config());
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i], b.detections[i]);
+  }
+}
+
+TEST(TraceGenerator, RandomEmbeddingIsNormalized) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    AppearanceFeature f = TraceGenerator::random_embedding(rng, 16);
+    EXPECT_EQ(f.values.size(), 16u);
+    EXPECT_NEAR(f.similarity(f), 1.0, 1e-5);
+  }
+}
+
+TEST(TraceGenerator, NoisyEmbeddingSimilarityDropsWithSigma) {
+  Rng rng(2);
+  AppearanceFeature truth = TraceGenerator::random_embedding(rng, 16);
+  double low_noise = 0.0;
+  double high_noise = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    low_noise += truth.similarity(
+        TraceGenerator::noisy_embedding(rng, truth, 0.05));
+    high_noise += truth.similarity(
+        TraceGenerator::noisy_embedding(rng, truth, 0.5));
+  }
+  EXPECT_GT(low_noise, high_noise);
+  EXPECT_GT(low_noise / 200.0, 0.95);
+}
+
+}  // namespace
+}  // namespace stcn

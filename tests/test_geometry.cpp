@@ -1,0 +1,212 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace stcn {
+namespace {
+
+TEST(Point, Arithmetic) {
+  Point a{1.0, 2.0};
+  Point b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+}
+
+TEST(Point, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2, 3}, {4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);
+}
+
+TEST(Point, Distances) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squared_norm({3, 4}), 25.0);
+}
+
+TEST(NormalizeAngle, WrapsIntoHalfOpenRange) {
+  EXPECT_NEAR(normalize_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(normalize_angle(2 * std::numbers::pi), 0.0, 1e-12);
+  EXPECT_NEAR(normalize_angle(3 * std::numbers::pi), -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(normalize_angle(-3 * std::numbers::pi), -std::numbers::pi,
+              1e-12);
+  EXPECT_NEAR(normalize_angle(std::numbers::pi / 2), std::numbers::pi / 2,
+              1e-12);
+  // Result always in [-pi, pi).
+  for (double a = -20.0; a < 20.0; a += 0.37) {
+    double n = normalize_angle(a);
+    EXPECT_GE(n, -std::numbers::pi);
+    EXPECT_LT(n, std::numbers::pi);
+  }
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9.999, 9.999}));
+  EXPECT_FALSE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains(Point{5, 10}));
+  EXPECT_FALSE(r.contains(Point{-0.001, 5}));
+}
+
+TEST(Rect, EmptyRect) {
+  EXPECT_TRUE(Rect::empty().is_empty());
+  EXPECT_DOUBLE_EQ(Rect::empty().area(), 0.0);
+  Rect inverted{{5, 5}, {1, 1}};
+  EXPECT_TRUE(inverted.is_empty());
+}
+
+TEST(Rect, Spanning) {
+  Rect r = Rect::spanning({5, 1}, {2, 7});
+  EXPECT_EQ(r.min, (Point{2, 1}));
+  EXPECT_EQ(r.max, (Point{5, 7}));
+}
+
+TEST(Rect, Centered) {
+  Rect r = Rect::centered({10, 10}, 3);
+  EXPECT_EQ(r.min, (Point{7, 7}));
+  EXPECT_EQ(r.max, (Point{13, 13}));
+  EXPECT_DOUBLE_EQ(r.area(), 36.0);
+}
+
+TEST(Rect, OverlapSymmetricAndHalfOpen) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{5, 5}, {15, 15}};
+  Rect c{{10, 0}, {20, 10}};  // touches a's max edge: no overlap (half-open)
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(Rect, Intersection) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{5, 5}, {15, 15}};
+  Rect i = a.intersection(b);
+  EXPECT_EQ(i.min, (Point{5, 5}));
+  EXPECT_EQ(i.max, (Point{10, 10}));
+  Rect disjoint{{20, 20}, {30, 30}};
+  EXPECT_TRUE(a.intersection(disjoint).is_empty());
+}
+
+TEST(Rect, UnionWith) {
+  Rect a{{0, 0}, {1, 1}};
+  Rect b{{5, 5}, {6, 7}};
+  Rect u = a.union_with(b);
+  EXPECT_EQ(u.min, (Point{0, 0}));
+  EXPECT_EQ(u.max, (Point{6, 7}));
+  EXPECT_EQ(Rect::empty().union_with(a), a);
+  EXPECT_EQ(a.union_with(Rect::empty()), a);
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer{{0, 0}, {10, 10}};
+  EXPECT_TRUE(outer.contains(Rect{{1, 1}, {9, 9}}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{{1, 1}, {11, 9}}));
+}
+
+TEST(Rect, DistanceTo) {
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(r.distance_to({5, 5}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.distance_to({15, 5}), 5.0);  // right of
+  EXPECT_DOUBLE_EQ(r.distance_to({13, 14}), 5.0); // diagonal (3,4,5)
+  EXPECT_DOUBLE_EQ(r.distance_to({-3, -4}), 5.0);
+}
+
+TEST(Circle, ContainsAndOverlaps) {
+  Circle c{{0, 0}, 5};
+  EXPECT_TRUE(c.contains({3, 4}));     // on the boundary
+  EXPECT_FALSE(c.contains({3.1, 4}));  // just outside
+  EXPECT_TRUE(c.overlaps(Rect{{3, 3}, {10, 10}}));   // corner at dist √18 < 5
+  EXPECT_FALSE(c.overlaps(Rect{{4, 4}, {10, 10}}));  // corner at dist √32 > 5
+  EXPECT_FALSE(c.overlaps(Rect{{10, 10}, {20, 20}}));
+  Rect bb = c.bounding_box();
+  EXPECT_EQ(bb.min, (Point{-5, -5}));
+  EXPECT_EQ(bb.max, (Point{5, 5}));
+}
+
+TEST(FieldOfView, ContainsRespectsRangeAndAngle) {
+  FieldOfView fov;
+  fov.apex = {0, 0};
+  fov.heading = 0.0;  // looking along +x
+  fov.half_angle = std::numbers::pi / 4;
+  fov.range = 10.0;
+
+  EXPECT_TRUE(fov.contains({5, 0}));
+  EXPECT_TRUE(fov.contains({5, 4.9}));    // within 45 degrees
+  EXPECT_FALSE(fov.contains({5, 5.1}));   // beyond 45 degrees
+  EXPECT_FALSE(fov.contains({11, 0}));    // beyond range
+  EXPECT_FALSE(fov.contains({-5, 0}));    // behind
+  EXPECT_TRUE(fov.contains({0, 0}));      // apex itself
+}
+
+TEST(FieldOfView, ContainsAcrossAngleWrap) {
+  FieldOfView fov;
+  fov.apex = {0, 0};
+  fov.heading = std::numbers::pi;  // looking along -x, wedge wraps ±pi
+  fov.half_angle = 0.5;
+  fov.range = 10.0;
+  EXPECT_TRUE(fov.contains({-5, 0.1}));
+  EXPECT_TRUE(fov.contains({-5, -0.1}));
+  EXPECT_FALSE(fov.contains({5, 0}));
+}
+
+TEST(FieldOfView, BoundingBoxContainsSampledWedgePoints) {
+  FieldOfView fov;
+  fov.apex = {100, 50};
+  fov.heading = 1.1;
+  fov.half_angle = 0.7;
+  fov.range = 40.0;
+  Rect box = fov.bounding_box();
+  // Sample strictly interior angles: the wedge edge itself is subject to
+  // floating-point boundary effects.
+  for (double a = fov.heading - fov.half_angle + 1e-6;
+       a <= fov.heading + fov.half_angle - 1e-6; a += 0.01) {
+    for (double r = 0.0; r <= fov.range - 1e-6; r += 5.0) {
+      Point p = fov.apex + Point{std::cos(a), std::sin(a)} * r;
+      ASSERT_TRUE(fov.contains(p)) << "sample must be inside the wedge";
+      EXPECT_TRUE(box.contains(p))
+          << "bbox must contain wedge point " << p;
+    }
+  }
+}
+
+TEST(Polyline, LengthAndArcSampling) {
+  Polyline line;
+  line.points = {{0, 0}, {3, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(line.length(), 7.0);
+  EXPECT_EQ(line.at_arc_length(-1.0), (Point{0, 0}));
+  EXPECT_EQ(line.at_arc_length(0.0), (Point{0, 0}));
+  EXPECT_EQ(line.at_arc_length(1.5), (Point{1.5, 0}));
+  EXPECT_EQ(line.at_arc_length(3.0), (Point{3, 0}));
+  EXPECT_EQ(line.at_arc_length(5.0), (Point{3, 2}));
+  EXPECT_EQ(line.at_arc_length(7.0), (Point{3, 4}));
+  EXPECT_EQ(line.at_arc_length(100.0), (Point{3, 4}));  // clamped
+}
+
+TEST(Polyline, DegenerateCases) {
+  Polyline empty;
+  EXPECT_DOUBLE_EQ(empty.length(), 0.0);
+  EXPECT_EQ(empty.at_arc_length(1.0), (Point{}));
+
+  Polyline single;
+  single.points = {{2, 3}};
+  EXPECT_DOUBLE_EQ(single.length(), 0.0);
+  EXPECT_EQ(single.at_arc_length(5.0), (Point{2, 3}));
+
+  Polyline repeated;
+  repeated.points = {{1, 1}, {1, 1}, {2, 1}};
+  EXPECT_DOUBLE_EQ(repeated.length(), 1.0);
+  EXPECT_EQ(repeated.at_arc_length(0.5), (Point{1.5, 1}));
+}
+
+}  // namespace
+}  // namespace stcn

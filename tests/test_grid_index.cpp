@@ -1,0 +1,272 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace stcn {
+namespace {
+
+Detection make_detection(std::uint64_t id, Point pos, std::int64_t t_micros,
+                         std::uint64_t object = 1,
+                         std::uint64_t camera = 1) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(camera);
+  d.object = ObjectId(object);
+  d.time = TimePoint(t_micros);
+  d.position = pos;
+  return d;
+}
+
+GridIndexConfig config_100x100() {
+  return {Rect{{0, 0}, {100, 100}}, 10.0};
+}
+
+class GridIndexFixture : public ::testing::Test {
+ protected:
+  DetectionStore store_;
+  GridIndex index_{config_100x100()};
+
+  DetectionRef add(std::uint64_t id, Point pos, std::int64_t t) {
+    DetectionRef ref = store_.append(make_detection(id, pos, t));
+    index_.insert(store_, ref);
+    return ref;
+  }
+};
+
+TEST_F(GridIndexFixture, EmptyIndexReturnsNothing) {
+  EXPECT_TRUE(index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 TimeInterval::all())
+                  .empty());
+  EXPECT_TRUE(
+      index_.query_knn(store_, {50, 50}, 3, TimeInterval::all()).empty());
+  EXPECT_EQ(index_.size(), 0u);
+}
+
+TEST_F(GridIndexFixture, RangeQueryFindsInsidePoints) {
+  add(1, {5, 5}, 100);
+  add(2, {50, 50}, 200);
+  add(3, {95, 95}, 300);
+  auto refs = index_.query_range(store_, {{0, 0}, {60, 60}},
+                                 TimeInterval::all());
+  std::set<std::uint64_t> ids;
+  for (DetectionRef r : refs) ids.insert(store_.get(r).id.value());
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST_F(GridIndexFixture, RangeQueryRespectsTimeInterval) {
+  add(1, {50, 50}, 100);
+  add(2, {50, 50}, 200);
+  add(3, {50, 50}, 300);
+  auto refs = index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 {TimePoint(150), TimePoint(300)});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(store_.get(refs[0]).id, DetectionId(2));
+}
+
+TEST_F(GridIndexFixture, TimeIntervalIsHalfOpen) {
+  add(1, {50, 50}, 100);
+  add(2, {50, 50}, 200);
+  auto refs = index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 {TimePoint(100), TimePoint(200)});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(store_.get(refs[0]).id, DetectionId(1));
+}
+
+TEST_F(GridIndexFixture, OutOfOrderInsertStillSortedPerCell) {
+  add(1, {50, 50}, 300);
+  add(2, {50, 50}, 100);  // arrives late
+  add(3, {50, 50}, 200);
+  auto refs = index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 {TimePoint(0), TimePoint(250)});
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(store_.get(refs[0]).time, TimePoint(100));
+  EXPECT_EQ(store_.get(refs[1]).time, TimePoint(200));
+}
+
+TEST_F(GridIndexFixture, PositionsOutsideBoundsClampToBorderCells) {
+  add(1, {-20, -20}, 100);  // clamped into cell (0,0)
+  add(2, {150, 150}, 100);  // clamped into the far corner cell
+  EXPECT_EQ(index_.size(), 2u);
+  // They are still findable by queries covering the border region.
+  auto low = index_.query_range(store_, {{-50, -50}, {5, 5}},
+                                TimeInterval::all());
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(store_.get(low[0]).id, DetectionId(1));
+}
+
+TEST_F(GridIndexFixture, CircleQueryUsesEuclideanDistance) {
+  add(1, {50, 50}, 100);
+  add(2, {57, 50}, 100);   // 7 m away
+  add(3, {50, 61}, 100);   // 11 m away
+  auto refs = index_.query_circle(store_, {{50, 50}, 10.0},
+                                  TimeInterval::all());
+  std::set<std::uint64_t> ids;
+  for (DetectionRef r : refs) ids.insert(store_.get(r).id.value());
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST_F(GridIndexFixture, KnnReturnsNearestInOrder) {
+  add(1, {10, 10}, 100);
+  add(2, {20, 10}, 100);
+  add(3, {90, 90}, 100);
+  add(4, {11, 10}, 100);
+  auto result = index_.query_knn(store_, {10, 10}, 3, TimeInterval::all());
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(store_.get(result[0].first).id, DetectionId(1));
+  EXPECT_EQ(store_.get(result[1].first).id, DetectionId(4));
+  EXPECT_EQ(store_.get(result[2].first).id, DetectionId(2));
+  EXPECT_DOUBLE_EQ(result[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(result[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(result[2].second, 10.0);
+}
+
+TEST_F(GridIndexFixture, KnnRespectsTimeFilter) {
+  add(1, {10, 10}, 100);
+  add(2, {12, 10}, 500);
+  auto result = index_.query_knn(store_, {10, 10}, 2,
+                                 {TimePoint(400), TimePoint(600)});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(store_.get(result[0].first).id, DetectionId(2));
+}
+
+TEST_F(GridIndexFixture, KnnWithKLargerThanPopulation) {
+  add(1, {10, 10}, 100);
+  add(2, {20, 20}, 100);
+  auto result = index_.query_knn(store_, {0, 0}, 10, TimeInterval::all());
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST_F(GridIndexFixture, KnnZeroKIsEmpty) {
+  add(1, {10, 10}, 100);
+  EXPECT_TRUE(index_.query_knn(store_, {0, 0}, 0, TimeInterval::all()).empty());
+}
+
+TEST_F(GridIndexFixture, EmptyRegionOrIntervalReturnsNothing) {
+  add(1, {10, 10}, 100);
+  EXPECT_TRUE(
+      index_.query_range(store_, Rect::empty(), TimeInterval::all()).empty());
+  EXPECT_TRUE(index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 {TimePoint(5), TimePoint(5)})
+                  .empty());
+}
+
+TEST_F(GridIndexFixture, ProbeCounterAdvances) {
+  add(1, {10, 10}, 100);
+  std::uint64_t before = index_.cells_probed();
+  (void)index_.query_range(store_, {{0, 0}, {100, 100}},
+                           TimeInterval::all());
+  EXPECT_GT(index_.cells_probed(), before);
+}
+
+// Property check: grid results must equal brute force over random data,
+// across a parameter sweep of seeds and query shapes.
+class GridIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridIndexProperty, RangeMatchesBruteForce) {
+  Rng rng(GetParam());
+  DetectionStore store;
+  GridIndex index(config_100x100());
+  std::vector<Detection> all;
+  for (std::uint64_t i = 1; i <= 400; ++i) {
+    Detection d = make_detection(
+        i, {rng.uniform(0, 100), rng.uniform(0, 100)},
+        rng.uniform_int(0, 10'000));
+    all.push_back(d);
+    index.insert(store, store.append(d));
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    Rect region = Rect::spanning({rng.uniform(0, 100), rng.uniform(0, 100)},
+                                 {rng.uniform(0, 100), rng.uniform(0, 100)});
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 5000)),
+                          TimePoint(rng.uniform_int(5000, 10'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : all) {
+      if (region.contains(d.position) && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    std::set<std::uint64_t> actual;
+    for (DetectionRef r : index.query_range(store, region, interval)) {
+      actual.insert(store.get(r).id.value());
+    }
+    ASSERT_EQ(actual, expected) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(GridIndexProperty, KnnMatchesBruteForce) {
+  Rng rng(GetParam() + 1000);
+  DetectionStore store;
+  GridIndex index(config_100x100());
+  std::vector<Detection> all;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    Detection d = make_detection(
+        i, {rng.uniform(0, 100), rng.uniform(0, 100)},
+        rng.uniform_int(0, 1000));
+    all.push_back(d);
+    index.insert(store, store.append(d));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Point center{rng.uniform(-10, 110), rng.uniform(-10, 110)};
+    std::size_t k = 1 + rng.uniform_index(12);
+    auto result = index.query_knn(store, center, k, TimeInterval::all());
+    ASSERT_EQ(result.size(), std::min(k, all.size()));
+    // Distances must be the k smallest overall and sorted.
+    std::vector<double> brute;
+    for (const Detection& d : all) brute.push_back(distance(d.position, center));
+    std::sort(brute.begin(), brute.end());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_NEAR(result[i].second, brute[i], 1e-9)
+          << "seed " << GetParam() << " trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST_P(GridIndexProperty, CircleMatchesBruteForce) {
+  Rng rng(GetParam() + 2000);
+  DetectionStore store;
+  GridIndex index(config_100x100());
+  std::vector<Detection> all;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    Detection d = make_detection(
+        i, {rng.uniform(0, 100), rng.uniform(0, 100)},
+        rng.uniform_int(0, 1000));
+    all.push_back(d);
+    index.insert(store, store.append(d));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Circle circle{{rng.uniform(0, 100), rng.uniform(0, 100)},
+                  rng.uniform(1, 40)};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : all) {
+      if (circle.contains(d.position)) expected.insert(d.id.value());
+    }
+    std::set<std::uint64_t> actual;
+    for (DetectionRef r :
+         index.query_circle(store, circle, TimeInterval::all())) {
+      actual.insert(store.get(r).id.value());
+    }
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1234));
+
+TEST(DetectionStore, AppendAndGet) {
+  DetectionStore store;
+  EXPECT_TRUE(store.empty());
+  DetectionRef a = store.append(make_detection(1, {0, 0}, 0));
+  DetectionRef b = store.append(make_detection(2, {1, 1}, 1));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get(a).id, DetectionId(1));
+  EXPECT_EQ(store.get(b).id, DetectionId(2));
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stcn

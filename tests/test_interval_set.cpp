@@ -1,0 +1,152 @@
+#include "index/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stcn {
+namespace {
+
+TimeInterval iv(std::int64_t a, std::int64_t b) {
+  return {TimePoint(a), TimePoint(b)};
+}
+
+TEST(IntervalSet, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(TimePoint(0)));
+  EXPECT_FALSE(s.covers(iv(0, 10)));
+  EXPECT_TRUE(s.covers(iv(5, 5)));  // empty interval trivially covered
+  auto gaps = s.gaps(iv(0, 10));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], iv(0, 10));
+}
+
+TEST(IntervalSet, AddAndContains) {
+  IntervalSet s;
+  s.add(iv(10, 20));
+  EXPECT_TRUE(s.contains(TimePoint(10)));
+  EXPECT_TRUE(s.contains(TimePoint(19)));
+  EXPECT_FALSE(s.contains(TimePoint(20)));  // half-open
+  EXPECT_FALSE(s.contains(TimePoint(9)));
+}
+
+TEST(IntervalSet, AddEmptyIsNoOp) {
+  IntervalSet s;
+  s.add(iv(5, 5));
+  s.add(iv(7, 3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.add(iv(0, 10));
+  s.add(iv(5, 15));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], iv(0, 15));
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet s;
+  s.add(iv(0, 10));
+  s.add(iv(10, 20));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], iv(0, 20));
+}
+
+TEST(IntervalSet, KeepsDisjointSeparate) {
+  IntervalSet s;
+  s.add(iv(0, 10));
+  s.add(iv(20, 30));
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.total_length(), Duration::micros(20));
+}
+
+TEST(IntervalSet, BridgingIntervalMergesAll) {
+  IntervalSet s;
+  s.add(iv(0, 10));
+  s.add(iv(20, 30));
+  s.add(iv(40, 50));
+  s.add(iv(5, 45));  // bridges all three
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], iv(0, 50));
+}
+
+TEST(IntervalSet, Covers) {
+  IntervalSet s;
+  s.add(iv(0, 10));
+  s.add(iv(20, 30));
+  EXPECT_TRUE(s.covers(iv(2, 8)));
+  EXPECT_TRUE(s.covers(iv(0, 10)));
+  EXPECT_FALSE(s.covers(iv(5, 25)));  // hole in the middle
+  EXPECT_FALSE(s.covers(iv(9, 11)));
+}
+
+TEST(IntervalSet, GapsInsideQueryWindow) {
+  IntervalSet s;
+  s.add(iv(10, 20));
+  s.add(iv(30, 40));
+  auto gaps = s.gaps(iv(0, 50));
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], iv(0, 10));
+  EXPECT_EQ(gaps[1], iv(20, 30));
+  EXPECT_EQ(gaps[2], iv(40, 50));
+}
+
+TEST(IntervalSet, GapsWhenFullyCovered) {
+  IntervalSet s;
+  s.add(iv(0, 100));
+  EXPECT_TRUE(s.gaps(iv(10, 90)).empty());
+}
+
+TEST(IntervalSet, GapsClippedToQuery) {
+  IntervalSet s;
+  s.add(iv(20, 30));
+  auto gaps = s.gaps(iv(25, 40));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], iv(30, 40));
+}
+
+// Property: after arbitrary adds, (covered ∪ gaps) == query window and they
+// are disjoint.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, GapsPartitionQueryWindow) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  for (int i = 0; i < 40; ++i) {
+    std::int64_t a = rng.uniform_int(0, 1000);
+    std::int64_t b = a + rng.uniform_int(0, 100);
+    s.add(iv(a, b));
+  }
+  // Invariants of the internal representation: sorted, disjoint,
+  // non-touching.
+  const auto& ivs = s.intervals();
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    ASSERT_LT(ivs[i - 1].end, ivs[i].begin);
+  }
+  TimeInterval window = iv(100, 900);
+  auto gaps = s.gaps(window);
+  // Each gap lies inside the window and is NOT covered.
+  Duration gap_total = Duration::zero();
+  for (const TimeInterval& g : gaps) {
+    ASSERT_FALSE(g.empty());
+    ASSERT_GE(g.begin, window.begin);
+    ASSERT_LE(g.end, window.end);
+    ASSERT_FALSE(s.contains(g.begin));
+    gap_total = gap_total + g.length();
+  }
+  // Covered length within the window + gap length == window length.
+  Duration covered = Duration::zero();
+  for (const TimeInterval& have : ivs) {
+    TimeInterval clipped = have.intersection(window);
+    if (!clipped.empty()) covered = covered + clipped.length();
+  }
+  EXPECT_EQ(covered + gap_total, window.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace stcn

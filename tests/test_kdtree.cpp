@@ -1,0 +1,128 @@
+#include "index/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace stcn {
+namespace {
+
+TEST(KdTree, EmptyTree) {
+  KdTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.knn({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.range({{0, 0}, {10, 10}}).empty());
+}
+
+TEST(KdTree, SingleItem) {
+  KdTree tree({{{5, 5}, 42}});
+  auto nn = tree.knn({0, 0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].first.payload, 42u);
+  EXPECT_NEAR(nn[0].second, distance({0, 0}, {5, 5}), 1e-12);
+}
+
+TEST(KdTree, KnnOrderedByDistance) {
+  KdTree tree({{{0, 0}, 1}, {{10, 0}, 2}, {{3, 4}, 3}, {{1, 1}, 4}});
+  auto nn = tree.knn({0, 0}, 4);
+  ASSERT_EQ(nn.size(), 4u);
+  EXPECT_EQ(nn[0].first.payload, 1u);
+  EXPECT_EQ(nn[1].first.payload, 4u);
+  EXPECT_EQ(nn[2].first.payload, 3u);
+  EXPECT_EQ(nn[3].first.payload, 2u);
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].second, nn[i].second);
+  }
+}
+
+TEST(KdTree, KLargerThanSize) {
+  KdTree tree({{{0, 0}, 1}, {{1, 1}, 2}});
+  EXPECT_EQ(tree.knn({0, 0}, 100).size(), 2u);
+}
+
+TEST(KdTree, RangeHalfOpenSemantics) {
+  KdTree tree({{{0, 0}, 1}, {{10, 10}, 2}, {{5, 5}, 3}});
+  auto in = tree.range({{0, 0}, {10, 10}});
+  std::set<std::uint64_t> payloads;
+  for (const auto& item : in) payloads.insert(item.payload);
+  // (10,10) is on the max corner → excluded by half-open contains.
+  EXPECT_EQ(payloads, (std::set<std::uint64_t>{1, 3}));
+}
+
+TEST(KdTree, DuplicatePositionsAllReturned) {
+  KdTree tree({{{5, 5}, 1}, {{5, 5}, 2}, {{5, 5}, 3}});
+  auto nn = tree.knn({5, 5}, 3);
+  std::set<std::uint64_t> payloads;
+  for (const auto& [item, dist] : nn) {
+    payloads.insert(item.payload);
+    EXPECT_DOUBLE_EQ(dist, 0.0);
+  }
+  EXPECT_EQ(payloads, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+class KdTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KdTreeProperty, KnnMatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<KdTree::Item> items;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    items.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, i});
+  }
+  KdTree tree(items);
+  for (int trial = 0; trial < 30; ++trial) {
+    Point center{rng.uniform(-100, 1100), rng.uniform(-100, 1100)};
+    std::size_t k = 1 + rng.uniform_index(20);
+    auto result = tree.knn(center, k);
+    std::vector<double> brute;
+    for (const auto& item : items) {
+      brute.push_back(distance(item.position, center));
+    }
+    std::sort(brute.begin(), brute.end());
+    ASSERT_EQ(result.size(), std::min(k, items.size()));
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_NEAR(result[i].second, brute[i], 1e-9);
+    }
+  }
+}
+
+TEST_P(KdTreeProperty, RangeMatchesBruteForce) {
+  Rng rng(GetParam() + 777);
+  std::vector<KdTree::Item> items;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    items.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, i});
+  }
+  KdTree tree(items);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rect region = Rect::spanning(
+        {rng.uniform(0, 1000), rng.uniform(0, 1000)},
+        {rng.uniform(0, 1000), rng.uniform(0, 1000)});
+    std::set<std::uint64_t> expected;
+    for (const auto& item : items) {
+      if (region.contains(item.position)) expected.insert(item.payload);
+    }
+    std::set<std::uint64_t> actual;
+    for (const auto& item : tree.range(region)) actual.insert(item.payload);
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+TEST_P(KdTreeProperty, KnnPrunesVsLinearScan) {
+  Rng rng(GetParam() + 999);
+  std::vector<KdTree::Item> items;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    items.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, i});
+  }
+  KdTree tree(items);
+  (void)tree.knn({500, 500}, 5);
+  // A balanced kd-tree should visit far fewer nodes than the full set.
+  EXPECT_LT(tree.last_nodes_visited(), items.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreeProperty,
+                         ::testing::Values(1, 2, 3, 10, 99));
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,138 @@
+#include "trace/mobility.h"
+
+#include <gtest/gtest.h>
+
+namespace stcn {
+namespace {
+
+RoadNetwork make_roads(std::uint64_t seed = 1) {
+  RoadNetworkConfig c;
+  c.grid_cols = 8;
+  c.grid_rows = 8;
+  c.block_size_m = 100.0;
+  c.removal_fraction = 0.1;
+  c.seed = seed;
+  return RoadNetwork::build(c);
+}
+
+MobilityConfig mobility_config(std::size_t n) {
+  MobilityConfig c;
+  c.object_count = n;
+  c.seed = 17;
+  return c;
+}
+
+TEST(MobilityModel, ObjectCountAndIds) {
+  RoadNetwork roads = make_roads();
+  MobilityModel model(roads, mobility_config(10));
+  EXPECT_EQ(model.object_count(), 10u);
+  EXPECT_EQ(model.object_id(0), ObjectId(1));
+  EXPECT_EQ(model.object_id(9), ObjectId(10));
+}
+
+TEST(MobilityModel, ObjectsStartOnRoadNodes) {
+  RoadNetwork roads = make_roads();
+  MobilityModel model(roads, mobility_config(20));
+  for (std::size_t i = 0; i < model.object_count(); ++i) {
+    Point p = model.position(i);
+    bool on_node = false;
+    for (std::size_t n = 0; n < roads.node_count(); ++n) {
+      if (distance(p, roads.node_position(static_cast<RoadNodeIndex>(n))) <
+          1e-9) {
+        on_node = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_node) << "object " << i << " at " << p;
+  }
+}
+
+TEST(MobilityModel, AdvanceIsMonotonicNoOpBackwards) {
+  RoadNetwork roads = make_roads();
+  MobilityModel model(roads, mobility_config(5));
+  model.advance_to(TimePoint(10'000'000));
+  Point p = model.position(0);
+  model.advance_to(TimePoint(5'000'000));  // going back: no-op
+  EXPECT_EQ(model.position(0), p);
+  EXPECT_EQ(model.now(), TimePoint(10'000'000));
+}
+
+TEST(MobilityModel, ObjectsMoveOverTime) {
+  RoadNetwork roads = make_roads();
+  MobilityModel model(roads, mobility_config(30));
+  std::vector<Point> start;
+  for (std::size_t i = 0; i < model.object_count(); ++i) {
+    start.push_back(model.position(i));
+  }
+  model.advance_to(TimePoint::origin() + Duration::minutes(5));
+  int moved = 0;
+  for (std::size_t i = 0; i < model.object_count(); ++i) {
+    if (distance(model.position(i), start[i]) > 10.0) ++moved;
+  }
+  // After five minutes nearly everyone should have gone somewhere.
+  EXPECT_GT(moved, 20);
+}
+
+TEST(MobilityModel, PositionsStayWithinWorldBounds) {
+  RoadNetwork roads = make_roads();
+  Rect world = roads.bounds(1.0);
+  MobilityModel model(roads, mobility_config(25));
+  for (int step = 1; step <= 60; ++step) {
+    model.advance_to(TimePoint::origin() + Duration::seconds(step * 10));
+    for (std::size_t i = 0; i < model.object_count(); ++i) {
+      EXPECT_TRUE(world.contains(model.position(i)))
+          << "object " << i << " escaped to " << model.position(i);
+    }
+  }
+}
+
+TEST(MobilityModel, SpeedBoundsRespected) {
+  RoadNetwork roads = make_roads();
+  MobilityConfig config = mobility_config(20);
+  MobilityModel model(roads, config);
+  // Sample positions at 1 s ticks; displacement per tick must not exceed a
+  // generous physical limit (lognormal(2.2, 0.5) rarely exceeds ~50 m/s).
+  std::vector<Point> prev;
+  for (std::size_t i = 0; i < model.object_count(); ++i) {
+    prev.push_back(model.position(i));
+  }
+  for (int step = 1; step <= 120; ++step) {
+    model.advance_to(TimePoint::origin() + Duration::seconds(step));
+    for (std::size_t i = 0; i < model.object_count(); ++i) {
+      Point cur = model.position(i);
+      EXPECT_LE(distance(cur, prev[i]), 120.0)
+          << "object " << i << " teleported at step " << step;
+      prev[i] = cur;
+    }
+  }
+}
+
+TEST(MobilityModel, DeterministicForSeed) {
+  RoadNetwork roads = make_roads();
+  MobilityModel a(roads, mobility_config(10));
+  MobilityModel b(roads, mobility_config(10));
+  a.advance_to(TimePoint::origin() + Duration::minutes(2));
+  b.advance_to(TimePoint::origin() + Duration::minutes(2));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+  }
+}
+
+TEST(MobilityModel, SteppedAdvanceMatchesCoarseAdvanceApproximately) {
+  // Advancing in many small steps vs one big step must land each object in
+  // the same place: the kinematics are deterministic and step-independent.
+  RoadNetwork roads = make_roads();
+  MobilityModel fine(roads, mobility_config(10));
+  MobilityModel coarse(roads, mobility_config(10));
+  for (int s = 1; s <= 600; ++s) {
+    fine.advance_to(TimePoint::origin() + Duration::millis(s * 100));
+  }
+  coarse.advance_to(TimePoint::origin() + Duration::seconds(60));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_LT(distance(fine.position(i), coarse.position(i)), 1e-6)
+        << "object " << i;
+  }
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,177 @@
+// Distributed continuous queries: the delta stream a cluster emits must
+// replay to exactly the answer a snapshot query over the same region and
+// window returns — for every partitioning strategy, including under
+// incremental (windowed) ingest.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baseline/broadcast_router.h"
+#include "core/framework.h"
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct MonitorScenario {
+  Trace trace;
+  Rect world;
+
+  MonitorScenario() {
+    TraceConfig c;
+    c.roads.grid_cols = 7;
+    c.roads.grid_rows = 7;
+    c.cameras.camera_count = 25;
+    c.mobility.object_count = 20;
+    c.duration = Duration::minutes(4);
+    c.seed = 31337;
+    trace = TraceGenerator::generate(c);
+    world = trace.roads.bounds(120.0);
+  }
+};
+
+enum class StrategyKind { kSpatial, kHash, kHybrid, kBroadcast };
+
+std::unique_ptr<PartitionStrategy> make_strategy(StrategyKind kind,
+                                                 const Rect& world,
+                                                 const CameraNetwork& cams) {
+  switch (kind) {
+    case StrategyKind::kSpatial:
+      return std::make_unique<SpatialGridStrategy>(world, 3, 3, cams);
+    case StrategyKind::kHash:
+      return std::make_unique<HashStrategy>(9);
+    case StrategyKind::kHybrid: {
+      HybridStrategy::Config config;
+      config.tiles_x = 3;
+      config.tiles_y = 3;
+      config.hot_camera_threshold = 4;
+      config.hot_split_factor = 2;
+      return std::make_unique<HybridStrategy>(world, cams, config);
+    }
+    case StrategyKind::kBroadcast:
+      return std::make_unique<BroadcastStrategy>(
+          std::make_unique<SpatialGridStrategy>(world, 3, 3, cams));
+  }
+  return nullptr;
+}
+
+class DistributedMonitor : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(DistributedMonitor, DeltaReplayEqualsSnapshotUnderWindowedIngest) {
+  MonitorScenario s;
+  ClusterConfig config;
+  config.worker_count = 5;
+  config.network.latency_jitter = Duration::zero();
+  Cluster cluster(s.world,
+                  make_strategy(GetParam(), s.world, s.trace.cameras),
+                  config);
+
+  QueryId monitor_id = cluster.next_query_id();
+  Rect region = Rect::centered(s.world.center(), 350.0);
+  Duration window = Duration::seconds(45);
+  cluster.install_monitor({monitor_id, region, window});
+
+  // Feed the stream in 30-second slices; after each slice, the live
+  // answer replayed from deltas must equal the snapshot range query over
+  // [now - window, now].
+  std::set<std::uint64_t> replayed;
+  std::size_t cursor = 0;
+  for (int slice = 1; slice <= 8; ++slice) {
+    TimePoint until = TimePoint::origin() + Duration::seconds(30 * slice);
+    std::size_t begin = cursor;
+    while (cursor < s.trace.detections.size() &&
+           s.trace.detections[cursor].time < until) {
+      ++cursor;
+    }
+    cluster.ingest_all(std::span<const Detection>(
+        s.trace.detections.data() + begin, cursor - begin));
+    // Let monitor ticks expire old entries and flush deltas; note this
+    // advances the clock ~2 s past `until`.
+    cluster.advance_time(Duration::seconds(2));
+    TimePoint now = cluster.now();
+
+    for (const DeltaUpdate& delta : cluster.drain_deltas(monitor_id)) {
+      if (delta.positive) {
+        ASSERT_TRUE(replayed.insert(delta.detection.id.value()).second);
+      } else {
+        ASSERT_EQ(replayed.erase(delta.detection.id.value()), 1u);
+      }
+    }
+
+    // Snapshot truth brackets: workers expire entries on their 1 s monitor
+    // tick, so the live set lags the instantaneous snapshot by at most one
+    // tick. The replayed set must contain everything a strict snapshot at
+    // `now` keeps, and nothing a snapshot one tick earlier would already
+    // have dropped.
+    auto snapshot_ids = [&](TimePoint horizon) {
+      QueryResult r = cluster.execute(Query::range(
+          cluster.next_query_id(), region, {horizon, TimePoint::max()}));
+      std::set<std::uint64_t> ids;
+      for (const Detection& d : r.detections) ids.insert(d.id.value());
+      return ids;
+    };
+    std::set<std::uint64_t> strict = snapshot_ids(now - window);
+    std::set<std::uint64_t> loose =
+        snapshot_ids(now - window - Duration::seconds(1));
+    for (std::uint64_t id : strict) {
+      ASSERT_TRUE(replayed.contains(id))
+          << "live set lost a current detection, slice " << slice;
+    }
+    for (std::uint64_t id : replayed) {
+      ASSERT_TRUE(loose.contains(id))
+          << "live set kept a detection expired for over a tick, slice "
+          << slice;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, DistributedMonitor,
+    ::testing::Values(StrategyKind::kSpatial, StrategyKind::kHash,
+                      StrategyKind::kHybrid, StrategyKind::kBroadcast),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      switch (info.param) {
+        case StrategyKind::kSpatial: return std::string("Spatial");
+        case StrategyKind::kHash: return std::string("Hash");
+        case StrategyKind::kHybrid: return std::string("Hybrid");
+        case StrategyKind::kBroadcast: return std::string("Broadcast");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(DistributedMonitor, MultipleMonitorsIndependentStreams) {
+  MonitorScenario s;
+  ClusterConfig config;
+  config.worker_count = 4;
+  Cluster cluster(
+      s.world,
+      std::make_unique<SpatialGridStrategy>(s.world, 3, 3, s.trace.cameras),
+      config);
+  QueryId left = cluster.next_query_id();
+  QueryId right = cluster.next_query_id();
+  Rect left_region{{s.world.min.x, s.world.min.y},
+                   {s.world.center().x, s.world.max.y}};
+  Rect right_region{{s.world.center().x, s.world.min.y},
+                    {s.world.max.x, s.world.max.y}};
+  cluster.install_monitor({left, left_region, Duration::minutes(10)});
+  cluster.install_monitor({right, right_region, Duration::minutes(10)});
+  cluster.ingest_all(s.trace.detections);
+  cluster.advance_time(Duration::seconds(3));
+
+  auto left_answer = cluster.live_answer(left);
+  auto right_answer = cluster.live_answer(right);
+  // Every detection lands in exactly one half (regions partition space).
+  EXPECT_EQ(left_answer.size() + right_answer.size(),
+            s.trace.detections.size());
+  for (const Detection& d : left_answer) {
+    EXPECT_TRUE(left_region.contains(d.position));
+  }
+  for (const Detection& d : right_answer) {
+    EXPECT_TRUE(right_region.contains(d.position));
+  }
+}
+
+}  // namespace
+}  // namespace stcn

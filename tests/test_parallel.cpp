@@ -1,0 +1,131 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct ShardedScenario {
+  Trace trace;
+  Rect world;
+  std::vector<std::unique_ptr<WorkerIndexes>> shards;
+  std::vector<const WorkerIndexes*> shard_ptrs;
+
+  explicit ShardedScenario(std::size_t shard_count) {
+    TraceConfig tc;
+    tc.roads.grid_cols = 8;
+    tc.roads.grid_rows = 8;
+    tc.cameras.camera_count = 25;
+    tc.mobility.object_count = 20;
+    tc.duration = Duration::minutes(4);
+    trace = TraceGenerator::generate(tc);
+    world = trace.roads.bounds(120.0);
+
+    HashStrategy strategy(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<WorkerIndexes>(
+          GridIndexConfig{world, 50.0}));
+    }
+    for (const Detection& d : trace.detections) {
+      std::size_t shard =
+          strategy.partition_of(d.camera, d.position, d.time).value();
+      shards[shard]->ingest(d);
+    }
+    for (const auto& s : shards) shard_ptrs.push_back(s.get());
+  }
+};
+
+std::set<std::uint64_t> ids_of(const QueryResult& r) {
+  std::set<std::uint64_t> ids;
+  for (const Detection& d : r.detections) ids.insert(d.id.value());
+  return ids;
+}
+
+class ParallelThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelThreads, RangeEqualsSequential) {
+  ShardedScenario s(7);
+  ParallelScatterGather sequential(1);
+  ParallelScatterGather parallel(GetParam());
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    Query q = Query::range(
+        QueryId(static_cast<std::uint64_t>(trial + 1)),
+        Rect::centered({rng.uniform(s.world.min.x, s.world.max.x),
+                        rng.uniform(s.world.min.y, s.world.max.y)},
+                       rng.uniform(50, 500)),
+        TimeInterval::all());
+    QueryResult a = sequential.execute(s.shard_ptrs, q);
+    QueryResult b = parallel.execute(s.shard_ptrs, q);
+    ASSERT_EQ(ids_of(a), ids_of(b));
+    // Canonical ordering must match exactly, not just set equality.
+    ASSERT_EQ(a.detections.size(), b.detections.size());
+    for (std::size_t i = 0; i < a.detections.size(); ++i) {
+      ASSERT_EQ(a.detections[i].id, b.detections[i].id);
+    }
+  }
+}
+
+TEST_P(ParallelThreads, KnnEqualsSequential) {
+  ShardedScenario s(5);
+  ParallelScatterGather sequential(1);
+  ParallelScatterGather parallel(GetParam());
+  Query q = Query::knn(QueryId(1), s.world.center(), 15, TimeInterval::all());
+  QueryResult a = sequential.execute(s.shard_ptrs, q);
+  QueryResult b = parallel.execute(s.shard_ptrs, q);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].id, b.detections[i].id) << "rank " << i;
+  }
+}
+
+TEST_P(ParallelThreads, CountsEqualSequential) {
+  ShardedScenario s(5);
+  ParallelScatterGather parallel(GetParam());
+  Query q = Query::count(QueryId(1), s.world, TimeInterval::all(),
+                         GroupBy::kCamera);
+  QueryResult r = parallel.execute(s.shard_ptrs, q);
+  EXPECT_EQ(r.total_count(), s.trace.detections.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelThreads,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(ParallelScatterGather, EmptyShardList) {
+  ParallelScatterGather runner(4);
+  Query q = Query::range(QueryId(1), {{0, 0}, {1, 1}}, TimeInterval::all());
+  QueryResult r = runner.execute({}, q);
+  EXPECT_TRUE(r.detections.empty());
+}
+
+TEST(ParallelScatterGather, MoreThreadsThanShards) {
+  ShardedScenario s(2);
+  ParallelScatterGather runner(16);
+  Query q = Query::range(QueryId(1), s.world, TimeInterval::all());
+  QueryResult r = runner.execute(s.shard_ptrs, q);
+  EXPECT_EQ(r.detections.size(), s.trace.detections.size());
+}
+
+TEST(ParallelScatterGather, RepeatedRunsDeterministic) {
+  ShardedScenario s(6);
+  ParallelScatterGather runner(8);
+  Query q = Query::range(QueryId(1), Rect::centered(s.world.center(), 400),
+                         TimeInterval::all());
+  QueryResult first = runner.execute(s.shard_ptrs, q);
+  for (int i = 0; i < 10; ++i) {
+    QueryResult again = runner.execute(s.shard_ptrs, q);
+    ASSERT_EQ(again.detections.size(), first.detections.size());
+    for (std::size_t d = 0; d < first.detections.size(); ++d) {
+      ASSERT_EQ(again.detections[d].id, first.detections[d].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,174 @@
+#include "reid/path_reconstruction.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/centralized.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct PathWorld {
+  Trace trace;
+  CentralizedIndex index;
+  TransitionGraph graph;
+
+  explicit PathWorld(const TraceConfig& config)
+      : trace(TraceGenerator::generate(config)),
+        index(trace.roads.bounds(150.0)) {
+    index.ingest_all(trace.detections);
+    graph.learn(trace.detections);
+  }
+};
+
+TraceConfig path_config(double appearance_noise = 0.08) {
+  TraceConfig c;
+  c.roads.grid_cols = 8;
+  c.roads.grid_rows = 8;
+  c.cameras.camera_count = 30;
+  c.mobility.object_count = 30;
+  c.duration = Duration::minutes(10);
+  c.detection.appearance_noise = appearance_noise;
+  c.seed = 99;
+  return c;
+}
+
+ReidParams engine_params() {
+  ReidParams p;
+  p.cone.max_hops = 2;
+  p.cone.min_edge_count = 2;
+  p.min_similarity = 0.6;
+  p.max_matches = 5;
+  return p;
+}
+
+PathParams path_params() {
+  PathParams p;
+  p.beam_width = 4;
+  p.max_path_length = 8;
+  p.hop_horizon = Duration::minutes(2);
+  return p;
+}
+
+/// Probe detections whose object is seen at ≥ 3 distinct cameras later.
+std::vector<const Detection*> multi_hop_probes(const Trace& trace,
+                                               std::size_t max_probes) {
+  std::vector<const Detection*> out;
+  std::unordered_map<ObjectId, std::vector<const Detection*>> by_object;
+  for (const Detection& d : trace.detections) {
+    by_object[d.object].push_back(&d);
+  }
+  for (const auto& [obj, dets] : by_object) {
+    if (dets.size() < 4) continue;
+    std::set<std::uint64_t> cameras;
+    for (const Detection* d : dets) cameras.insert(d->camera.value());
+    if (cameras.size() >= 3 && out.size() < max_probes) {
+      out.push_back(dets.front());
+    }
+  }
+  return out;
+}
+
+TEST(PathReconstructor, ProducesPathsStartingAtProbe) {
+  PathWorld world(path_config());
+  ReidEngine engine(world.graph, engine_params());
+  PathReconstructor reconstructor(engine, path_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = multi_hop_probes(world.trace, 10);
+  ASSERT_FALSE(probes.empty());
+  for (const Detection* probe : probes) {
+    ReconstructedPath path = reconstructor.reconstruct(*probe, source);
+    ASSERT_FALSE(path.hops.empty());
+    EXPECT_EQ(path.hops.front().id, probe->id);
+    // Hops strictly advance in time.
+    for (std::size_t i = 1; i < path.hops.size(); ++i) {
+      EXPECT_GT(path.hops[i].time, path.hops[i - 1].time);
+    }
+    // No duplicate detections.
+    std::set<std::uint64_t> ids;
+    for (const Detection& d : path.hops) {
+      EXPECT_TRUE(ids.insert(d.id.value()).second);
+    }
+  }
+}
+
+TEST(PathReconstructor, MostHopsMatchGroundTruthAtLowNoise) {
+  PathWorld world(path_config(0.05));
+  ReidEngine engine(world.graph, engine_params());
+  PathReconstructor reconstructor(engine, path_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = multi_hop_probes(world.trace, 15);
+  ASSERT_GT(probes.size(), 4u);
+  double accuracy_sum = 0.0;
+  std::size_t evaluated = 0;
+  for (const Detection* probe : probes) {
+    ReconstructedPath path = reconstructor.reconstruct(*probe, source);
+    if (path.hops.size() <= 1) continue;
+    accuracy_sum +=
+        PathReconstructor::hop_accuracy(path, probe->object, true);
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 0u);
+  EXPECT_GT(accuracy_sum / static_cast<double>(evaluated), 0.6);
+}
+
+TEST(PathReconstructor, AccuracyDegradesWithAppearanceNoise) {
+  auto run = [](double noise) {
+    PathWorld world(path_config(noise));
+    ReidEngine engine(world.graph, engine_params());
+    PathReconstructor reconstructor(engine, path_params());
+    LocalCandidateSource source(world.index, world.trace.cameras);
+    auto probes = multi_hop_probes(world.trace, 15);
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const Detection* probe : probes) {
+      ReconstructedPath path = reconstructor.reconstruct(*probe, source);
+      if (path.hops.size() <= 1) continue;
+      acc += PathReconstructor::hop_accuracy(path, probe->object, true);
+      ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+  };
+  double clean = run(0.03);
+  double noisy = run(0.45);
+  EXPECT_GT(clean, noisy) << "clean=" << clean << " noisy=" << noisy;
+}
+
+TEST(PathReconstructor, RespectsMaxPathLength) {
+  PathWorld world(path_config());
+  ReidEngine engine(world.graph, engine_params());
+  PathParams short_params = path_params();
+  short_params.max_path_length = 3;
+  PathReconstructor reconstructor(engine, short_params);
+  LocalCandidateSource source(world.index, world.trace.cameras);
+  for (const Detection* probe : multi_hop_probes(world.trace, 10)) {
+    ReconstructedPath path = reconstructor.reconstruct(*probe, source);
+    EXPECT_LE(path.hops.size(), 3u);
+  }
+}
+
+TEST(PathReconstructor, HopAccuracyEdgeCases) {
+  ReconstructedPath empty;
+  EXPECT_DOUBLE_EQ(
+      PathReconstructor::hop_accuracy(empty, ObjectId(1), true), 0.0);
+  EXPECT_DOUBLE_EQ(
+      PathReconstructor::hop_accuracy(empty, ObjectId(1), false), 1.0);
+
+  ReconstructedPath path;
+  Detection probe;
+  probe.object = ObjectId(1);
+  Detection good;
+  good.object = ObjectId(1);
+  Detection bad;
+  bad.object = ObjectId(2);
+  path.hops = {probe, good, bad};
+  EXPECT_DOUBLE_EQ(PathReconstructor::hop_accuracy(path, ObjectId(1), true),
+                   0.5);
+}
+
+}  // namespace
+}  // namespace stcn

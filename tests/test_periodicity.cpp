@@ -1,0 +1,130 @@
+// Diurnal activity cycles: mobility-side generation and analytics-side
+// period detection.
+#include <gtest/gtest.h>
+
+#include "baseline/centralized.h"
+#include "query/analytics.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+std::vector<SeriesPoint> synthetic_series(
+    const std::vector<std::uint64_t>& counts, Duration bucket) {
+  std::vector<SeriesPoint> series;
+  TimePoint t = TimePoint::origin();
+  for (std::uint64_t c : counts) {
+    series.push_back({{t, t + bucket}, c});
+    t = t + bucket;
+  }
+  return series;
+}
+
+TEST(PeriodEstimate, DetectsSquareWave) {
+  // Period 8 buckets: 4 high, 4 low, repeated 6 times.
+  std::vector<std::uint64_t> counts;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (int i = 0; i < 4; ++i) counts.push_back(100);
+    for (int i = 0; i < 4; ++i) counts.push_back(5);
+  }
+  auto est = estimate_period(synthetic_series(counts, Duration::seconds(30)));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->period, Duration::seconds(30) * 8);
+  EXPECT_GT(est->confidence, 0.5);
+}
+
+TEST(PeriodEstimate, FlatSeriesHasNoPeriod) {
+  std::vector<std::uint64_t> counts(40, 50);
+  EXPECT_FALSE(
+      estimate_period(synthetic_series(counts, Duration::seconds(30)))
+          .has_value());
+}
+
+TEST(PeriodEstimate, NoiseWithoutStructureRejected) {
+  Rng rng(5);
+  std::vector<std::uint64_t> counts;
+  for (int i = 0; i < 48; ++i) {
+    counts.push_back(static_cast<std::uint64_t>(50 + rng.uniform_int(-4, 4)));
+  }
+  auto est = estimate_period(synthetic_series(counts, Duration::seconds(30)));
+  if (est.has_value()) {
+    // White noise can fluke a weak correlation, but never a strong one.
+    EXPECT_LT(est->confidence, 0.55);
+  }
+}
+
+TEST(PeriodEstimate, TooShortSeriesRejected) {
+  std::vector<std::uint64_t> counts{1, 9, 1, 9, 1};
+  EXPECT_FALSE(
+      estimate_period(synthetic_series(counts, Duration::seconds(30)))
+          .has_value());
+}
+
+TEST(PeriodEstimate, HarmonicReducedToFundamental) {
+  // Strong period of 4 buckets; lag 8 correlates equally (harmonic).
+  std::vector<std::uint64_t> counts;
+  for (int rep = 0; rep < 12; ++rep) {
+    counts.push_back(100);
+    counts.push_back(60);
+    counts.push_back(5);
+    counts.push_back(60);
+  }
+  auto est = estimate_period(synthetic_series(counts, Duration::seconds(60)));
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->period, Duration::seconds(60) * 4);
+}
+
+TEST(DiurnalMobility, QuietPhaseReducesDetections) {
+  TraceConfig tc;
+  tc.roads.grid_cols = 7;
+  tc.roads.grid_rows = 7;
+  tc.cameras.camera_count = 30;
+  tc.mobility.object_count = 30;
+  tc.mobility.activity_period = Duration::minutes(4);
+  tc.mobility.quiet_dwell_factor = 30.0;
+  tc.duration = Duration::minutes(12);  // three full cycles
+  Trace trace = TraceGenerator::generate(tc);
+  ASSERT_GT(trace.detections.size(), 100u);
+
+  // Count detections in active vs quiet halves.
+  std::uint64_t active = 0;
+  std::uint64_t quiet = 0;
+  std::int64_t period = tc.mobility.activity_period.count_micros();
+  for (const Detection& d : trace.detections) {
+    std::int64_t phase = d.time.micros_since_origin() % period;
+    (phase * 2 < period ? active : quiet) += 1;
+  }
+  EXPECT_GT(active, quiet * 3 / 2)
+      << "active halves must see clearly more traffic (active=" << active
+      << " quiet=" << quiet << ")";
+}
+
+TEST(DiurnalMobility, EndToEndPeriodRecoveredFromQueries) {
+  TraceConfig tc;
+  tc.roads.grid_cols = 7;
+  tc.roads.grid_rows = 7;
+  tc.cameras.camera_count = 30;
+  tc.mobility.object_count = 30;
+  tc.mobility.activity_period = Duration::minutes(3);
+  tc.mobility.quiet_dwell_factor = 30.0;
+  tc.duration = Duration::minutes(12);  // four full cycles
+  Trace trace = TraceGenerator::generate(tc);
+  Rect world = trace.roads.bounds(120.0);
+  CentralizedIndex index(world);
+  index.ingest_all(trace.detections);
+
+  QueryExecutorRef exec(index);
+  auto series = activity_series(
+      exec, world, {TimePoint::origin(), TimePoint::origin() + tc.duration},
+      Duration::seconds(15));
+  auto est = estimate_period(series);
+  ASSERT_TRUE(est.has_value()) << "periodic traffic must be detectable";
+  // Within one bucket of the true 3-minute cycle (or a near-harmonic).
+  double ratio = est->period.to_seconds() / 180.0;
+  EXPECT_NEAR(ratio, std::round(ratio), 0.12)
+      << "detected " << est->period.to_seconds() << "s";
+  EXPECT_GE(est->period, Duration::seconds(150));
+}
+
+}  // namespace
+}  // namespace stcn

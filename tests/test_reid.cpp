@@ -1,0 +1,191 @@
+#include "reid/reid_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/centralized.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct ReidWorld {
+  Trace trace;
+  CentralizedIndex index;
+  TransitionGraph graph;
+
+  explicit ReidWorld(const TraceConfig& config)
+      : trace(TraceGenerator::generate(config)),
+        index(trace.roads.bounds(150.0)) {
+    index.ingest_all(trace.detections);
+    graph.learn(trace.detections);
+  }
+};
+
+TraceConfig reid_config() {
+  // Large enough that a 3-hop transition cone is a small neighbourhood of
+  // the whole network — that locality is what cone pruning exploits.
+  TraceConfig c;
+  c.roads.grid_cols = 14;
+  c.roads.grid_rows = 14;
+  c.cameras.camera_count = 80;
+  c.mobility.object_count = 60;
+  c.duration = Duration::minutes(8);
+  c.detection.appearance_noise = 0.10;
+  c.seed = 77;
+  return c;
+}
+
+ReidParams default_params() {
+  ReidParams p;
+  p.cone.max_hops = 3;
+  p.cone.min_edge_count = 2;
+  p.min_similarity = 0.5;
+  p.max_matches = 10;
+  return p;
+}
+
+/// Picks probe detections that have a true reappearance at another camera
+/// within the horizon.
+std::vector<std::pair<const Detection*, const Detection*>> probes_with_truth(
+    const Trace& trace, Duration horizon, std::size_t max_probes) {
+  std::vector<std::pair<const Detection*, const Detection*>> out;
+  std::unordered_map<ObjectId, const Detection*> last;
+  for (const Detection& d : trace.detections) {
+    auto it = last.find(d.object);
+    if (it != last.end() && it->second->camera != d.camera &&
+        d.time - it->second->time <= horizon && out.size() < max_probes) {
+      out.emplace_back(it->second, &d);
+    }
+    last[d.object] = &d;
+  }
+  return out;
+}
+
+TEST(ReidEngine, FindsTrueReappearanceAmongTopMatches) {
+  ReidWorld world(reid_config());
+  ReidEngine engine(world.graph, default_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 40);
+  ASSERT_GT(probes.size(), 10u);
+
+  std::size_t hits = 0;
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    ReidOutcome outcome = engine.find_matches(*probe, horizon, source);
+    for (const ReidMatch& m : outcome.matches) {
+      if (m.detection.object == probe->object) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  double recall = static_cast<double>(hits) / static_cast<double>(probes.size());
+  EXPECT_GT(recall, 0.7) << "cone re-id recall " << hits << "/"
+                         << probes.size();
+}
+
+TEST(ReidEngine, ConeExaminesFarFewerCandidatesThanFullScan) {
+  ReidWorld world(reid_config());
+  ReidEngine engine(world.graph, default_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 20);
+  ASSERT_GT(probes.size(), 5u);
+
+  std::uint64_t cone_candidates = 0;
+  std::uint64_t scan_candidates = 0;
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    cone_candidates +=
+        engine.find_matches(*probe, horizon, source).candidates_examined;
+    scan_candidates +=
+        engine.find_matches_full_scan(*probe, horizon, source)
+            .candidates_examined;
+  }
+  EXPECT_LT(cone_candidates * 2, scan_candidates)
+      << "cone pruning must cut candidates at least in half (got "
+      << cone_candidates << " vs " << scan_candidates << ")";
+}
+
+TEST(ReidEngine, ConeRecallComparableToFullScan) {
+  ReidWorld world(reid_config());
+  ReidEngine engine(world.graph, default_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 30);
+  std::size_t cone_hits = 0;
+  std::size_t scan_hits = 0;
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    auto hit = [&](const ReidOutcome& outcome) {
+      for (const ReidMatch& m : outcome.matches) {
+        if (m.detection.object == probe->object) return true;
+      }
+      return false;
+    };
+    if (hit(engine.find_matches(*probe, horizon, source))) ++cone_hits;
+    if (hit(engine.find_matches_full_scan(*probe, horizon, source))) {
+      ++scan_hits;
+    }
+  }
+  // The cone may lose a little recall to pruning but not collapse.
+  EXPECT_GE(cone_hits * 10, scan_hits * 7)
+      << "cone recall " << cone_hits << " vs full-scan " << scan_hits;
+}
+
+TEST(ReidEngine, MatchesAreSortedByScoreAndCapped) {
+  ReidWorld world(reid_config());
+  ReidParams params = default_params();
+  params.max_matches = 3;
+  ReidEngine engine(world.graph, params);
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 10);
+  ASSERT_FALSE(probes.empty());
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    ReidOutcome outcome = engine.find_matches(*probe, horizon, source);
+    EXPECT_LE(outcome.matches.size(), 3u);
+    for (std::size_t i = 1; i < outcome.matches.size(); ++i) {
+      EXPECT_GE(outcome.matches[i - 1].score, outcome.matches[i].score);
+    }
+    // No match may be the probe itself or precede it in time.
+    for (const ReidMatch& m : outcome.matches) {
+      EXPECT_NE(m.detection.id, probe->id);
+      EXPECT_GT(m.detection.time, probe->time);
+    }
+  }
+}
+
+TEST(ReidEngine, SimilarityThresholdFiltersImposters) {
+  ReidWorld world(reid_config());
+  ReidParams strict = default_params();
+  strict.min_similarity = 0.95;  // near-exact appearance match required
+  ReidEngine engine(world.graph, strict);
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 20);
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    ReidOutcome outcome = engine.find_matches(*probe, horizon, source);
+    for (const ReidMatch& m : outcome.matches) {
+      EXPECT_GE(probe->appearance.similarity(m.detection.appearance), 0.95);
+    }
+  }
+}
+
+TEST(ReidEngine, NoMatchesWhenHorizonEmpty) {
+  ReidWorld world(reid_config());
+  ReidEngine engine(world.graph, default_params());
+  LocalCandidateSource source(world.index, world.trace.cameras);
+  ASSERT_FALSE(world.trace.detections.empty());
+  const Detection& probe = world.trace.detections.front();
+  ReidOutcome outcome = engine.find_matches(
+      probe, {probe.time, probe.time}, source);
+  EXPECT_TRUE(outcome.matches.empty());
+  EXPECT_EQ(outcome.candidates_examined, 0u);
+}
+
+}  // namespace
+}  // namespace stcn

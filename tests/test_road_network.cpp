@@ -1,0 +1,150 @@
+#include "trace/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+namespace stcn {
+namespace {
+
+RoadNetworkConfig small_config() {
+  RoadNetworkConfig c;
+  c.grid_cols = 8;
+  c.grid_rows = 6;
+  c.block_size_m = 100.0;
+  c.removal_fraction = 0.15;
+  c.seed = 11;
+  return c;
+}
+
+std::size_t reachable_count(const RoadNetwork& net, RoadNodeIndex start) {
+  std::set<RoadNodeIndex> visited{start};
+  std::queue<RoadNodeIndex> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    RoadNodeIndex u = frontier.front();
+    frontier.pop();
+    for (RoadNodeIndex v : net.neighbors(u)) {
+      if (visited.insert(v).second) frontier.push(v);
+    }
+  }
+  return visited.size();
+}
+
+TEST(RoadNetwork, NodeCountAndPositions) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  EXPECT_EQ(net.node_count(), 48u);
+  EXPECT_EQ(net.node_position(0), (Point{0, 0}));
+  EXPECT_EQ(net.node_position(1), (Point{100, 0}));
+  EXPECT_EQ(net.node_position(8), (Point{0, 100}));
+}
+
+TEST(RoadNetwork, StaysConnectedAfterRemoval) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RoadNetworkConfig c = small_config();
+    c.seed = seed;
+    c.removal_fraction = 0.3;
+    RoadNetwork net = RoadNetwork::build(c);
+    EXPECT_EQ(reachable_count(net, 0), net.node_count())
+        << "seed " << seed << " produced a disconnected network";
+  }
+}
+
+TEST(RoadNetwork, RemovalActuallyRemovesEdges) {
+  RoadNetworkConfig keep_all = small_config();
+  keep_all.removal_fraction = 0.0;
+  RoadNetworkConfig remove_some = small_config();
+  remove_some.removal_fraction = 0.2;
+  RoadNetwork full = RoadNetwork::build(keep_all);
+  RoadNetwork pruned = RoadNetwork::build(remove_some);
+  EXPECT_GT(full.edge_count(), pruned.edge_count());
+  // Full grid: cols*(rows-1) + rows*(cols-1) edges.
+  EXPECT_EQ(full.edge_count(), 8u * 5u + 6u * 7u);
+}
+
+TEST(RoadNetwork, AdjacencyIsSymmetric) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  for (std::size_t u = 0; u < net.node_count(); ++u) {
+    for (RoadNodeIndex v : net.neighbors(static_cast<RoadNodeIndex>(u))) {
+      const auto& back = net.neighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(),
+                          static_cast<RoadNodeIndex>(u)),
+                back.end());
+    }
+  }
+}
+
+TEST(RoadNetwork, ShortestPathEndpointsAndContinuity) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  auto path = net.shortest_path(0, static_cast<RoadNodeIndex>(
+                                       net.node_count() - 1));
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), net.node_count() - 1);
+  // Consecutive path nodes must be adjacent.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto& nbrs = net.neighbors(path[i - 1]);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), path[i]), nbrs.end());
+  }
+}
+
+TEST(RoadNetwork, ShortestPathToSelf) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  auto path = net.shortest_path(5, 5);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 5u);
+}
+
+TEST(RoadNetwork, ShortestPathIsOptimalOnFullGrid) {
+  RoadNetworkConfig c = small_config();
+  c.removal_fraction = 0.0;
+  RoadNetwork net = RoadNetwork::build(c);
+  // On a full grid the shortest path between opposite corners has
+  // manhattan-distance + 1 nodes.
+  auto path = net.shortest_path(0, 47);  // (0,0) → (7,5)
+  EXPECT_EQ(path.size(), 7u + 5u + 1u);
+}
+
+TEST(RoadNetwork, PathPolylineMatchesNodePositions) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  auto path = net.shortest_path(0, 10);
+  Polyline line = net.path_polyline(path);
+  ASSERT_EQ(line.points.size(), path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_EQ(line.points[i], net.node_position(path[i]));
+  }
+}
+
+TEST(RoadNetwork, BoundsCoverAllNodesWithMargin) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  Rect bounds = net.bounds(50.0);
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    EXPECT_TRUE(
+        bounds.contains(net.node_position(static_cast<RoadNodeIndex>(i))));
+  }
+  EXPECT_LE(bounds.min.x, -50.0 + 1e-9);
+  EXPECT_GE(bounds.max.x, 700.0 + 50.0 - 1e-9);
+}
+
+TEST(RoadNetwork, DeterministicForSeed) {
+  RoadNetwork a = RoadNetwork::build(small_config());
+  RoadNetwork b = RoadNetwork::build(small_config());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.neighbors(static_cast<RoadNodeIndex>(i)),
+              b.neighbors(static_cast<RoadNodeIndex>(i)));
+  }
+}
+
+TEST(RoadNetwork, RandomNodeInRange) {
+  RoadNetwork net = RoadNetwork::build(small_config());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(net.random_node(rng), net.node_count());
+  }
+}
+
+}  // namespace
+}  // namespace stcn

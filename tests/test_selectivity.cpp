@@ -1,0 +1,91 @@
+#include "query/selectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace stcn {
+namespace {
+
+SelectivityConfig config() {
+  SelectivityConfig c;
+  c.world = {{0, 0}, {1600, 1600}};
+  c.grid_cols = 16;
+  c.grid_rows = 16;
+  c.time_bucket = Duration::minutes(1);
+  c.time_buckets = 8;
+  return c;
+}
+
+TimeInterval first_minute() {
+  return {TimePoint(0), TimePoint(60'000'000)};
+}
+
+TEST(SelectivityEstimator, StartsDark) {
+  SelectivityEstimator est(config());
+  EXPECT_DOUBLE_EQ(est.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(est.estimate({{0, 0}, {100, 100}}, first_minute()), 0.0);
+}
+
+TEST(SelectivityEstimator, LearnsFromFeedback) {
+  SelectivityEstimator est(config());
+  Rect region{{0, 0}, {100, 100}};  // exactly one grid cell
+  est.observe(region, first_minute(), 50);
+  EXPECT_GT(est.coverage(), 0.0);
+  EXPECT_NEAR(est.estimate(region, first_minute()), 50.0, 1.0);
+}
+
+TEST(SelectivityEstimator, EstimateScalesWithRegionFraction) {
+  SelectivityEstimator est(config());
+  Rect cell{{0, 0}, {100, 100}};
+  est.observe(cell, first_minute(), 100);
+  // Half the cell → roughly half the estimate.
+  Rect half{{0, 0}, {50, 100}};
+  EXPECT_NEAR(est.estimate(half, first_minute()), 50.0, 5.0);
+}
+
+TEST(SelectivityEstimator, UnlitRegionsUseLitPrior) {
+  SelectivityEstimator est(config());
+  est.observe({{0, 0}, {100, 100}}, first_minute(), 80);
+  // A never-observed cell gets the mean of lit cells as prior.
+  double unlit = est.estimate({{800, 800}, {900, 900}}, first_minute());
+  EXPECT_NEAR(unlit, 80.0, 8.0);
+}
+
+TEST(SelectivityEstimator, RepeatedFeedbackConverges) {
+  SelectivityEstimator est(config());
+  Rect region{{200, 200}, {300, 300}};
+  est.observe(region, first_minute(), 10);  // early noisy observation
+  for (int i = 0; i < 30; ++i) {
+    est.observe(region, first_minute(), 100);
+  }
+  EXPECT_NEAR(est.estimate(region, first_minute()), 100.0, 5.0);
+}
+
+TEST(SelectivityEstimator, MultiCellQueryDistributesDensity) {
+  SelectivityEstimator est(config());
+  Rect four_cells{{0, 0}, {200, 200}};
+  est.observe(four_cells, first_minute(), 400);
+  // Each covered cell learned ~100; a one-cell query estimates ~100.
+  EXPECT_NEAR(est.estimate({{0, 0}, {100, 100}}, first_minute()), 100.0,
+              10.0);
+  EXPECT_NEAR(est.estimate(four_cells, first_minute()), 400.0, 20.0);
+}
+
+TEST(SelectivityEstimator, TimeBucketsAreIndependent) {
+  SelectivityEstimator est(config());
+  TimeInterval minute0{TimePoint(0), TimePoint(60'000'000)};
+  TimeInterval minute1{TimePoint(60'000'000), TimePoint(120'000'000)};
+  Rect region{{0, 0}, {100, 100}};
+  est.observe(region, minute0, 200);
+  est.observe(region, minute1, 10);
+  EXPECT_GT(est.estimate(region, minute0), est.estimate(region, minute1));
+}
+
+TEST(SelectivityEstimator, RegionOutsideWorldIsZero) {
+  SelectivityEstimator est(config());
+  est.observe({{0, 0}, {100, 100}}, first_minute(), 50);
+  EXPECT_DOUBLE_EQ(
+      est.estimate({{5000, 5000}, {6000, 6000}}, first_minute()), 0.0);
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,256 @@
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/failure.h"
+
+namespace stcn {
+namespace {
+
+/// Records everything it receives.
+class RecorderNode final : public NetworkNode {
+ public:
+  explicit RecorderNode(NodeId id) : id_(id) {}
+  [[nodiscard]] NodeId node_id() const override { return id_; }
+
+  void handle_message(const Message& message, SimNetwork& network) override {
+    received.push_back(message);
+    received_at.push_back(network.now());
+  }
+  void handle_timer(std::uint64_t token, SimNetwork& network) override {
+    timer_tokens.push_back(token);
+    timer_at.push_back(network.now());
+  }
+
+  std::vector<Message> received;
+  std::vector<TimePoint> received_at;
+  std::vector<std::uint64_t> timer_tokens;
+  std::vector<TimePoint> timer_at;
+
+ private:
+  NodeId id_;
+};
+
+NetworkConfig quiet_config() {
+  NetworkConfig c;
+  c.latency_jitter = Duration::zero();
+  return c;
+}
+
+TEST(SimNetwork, DeliversMessageWithLatency) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  RecorderNode b(NodeId(2));
+  net.attach(a);
+  net.attach(b);
+
+  net.send({NodeId(1), NodeId(2), 7, {1, 2, 3}, {}});
+  EXPECT_TRUE(b.received.empty());  // nothing until the loop runs
+  net.run_until_idle();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].type, 7u);
+  EXPECT_EQ(b.received[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_GE(b.received_at[0], TimePoint::origin() + net.config().base_latency);
+}
+
+TEST(SimNetwork, FifoOrderPreservedForEqualSizes) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  RecorderNode b(NodeId(2));
+  net.attach(a);
+  net.attach(b);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    net.send({NodeId(1), NodeId(2), i, {}, {}});
+  }
+  net.run_until_idle();
+  ASSERT_EQ(b.received.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.received[i].type, i);
+  }
+}
+
+TEST(SimNetwork, LargerMessagesTakeLonger) {
+  NetworkConfig config = quiet_config();
+  config.bandwidth_bytes_per_sec = 1e6;  // slow link: 1 MB/s
+  SimNetwork net(config);
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+
+  Message small{NodeId(1), NodeId(2), 1, std::vector<std::uint8_t>(10), {}};
+  Message large{NodeId(1), NodeId(2), 2,
+                std::vector<std::uint8_t>(1'000'000), {}};
+  net.send(large);
+  net.send(small);
+  net.run_until_idle();
+  ASSERT_EQ(b.received.size(), 2u);
+  // The small message, although sent second, arrives first.
+  EXPECT_EQ(b.received[0].type, 1u);
+  EXPECT_EQ(b.received[1].type, 2u);
+  EXPECT_GT(b.received_at[1] - b.received_at[0], Duration::millis(500));
+}
+
+TEST(SimNetwork, CountersAccountBytesAndMessages) {
+  SimNetwork net(quiet_config());
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  net.send({NodeId(1), NodeId(2), 0, std::vector<std::uint8_t>(100), {}});
+  net.run_until_idle();
+  EXPECT_EQ(net.counters().get("messages_sent"), 1u);
+  EXPECT_EQ(net.counters().get("messages_delivered"), 1u);
+  EXPECT_EQ(net.counters().get("bytes_sent"), 142u);  // payload + envelope
+}
+
+TEST(SimNetwork, CrashedNodeDropsMessages) {
+  SimNetwork net(quiet_config());
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  net.crash(NodeId(2));
+  EXPECT_TRUE(net.is_crashed(NodeId(2)));
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.counters().get("messages_dropped_crashed"), 1u);
+
+  net.restart(NodeId(2));
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetwork, InFlightMessageLostWhenDestinationCrashesBeforeDelivery) {
+  SimNetwork net(quiet_config());
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.crash(NodeId(2));  // crash while the message is in flight
+  net.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimNetwork, UnknownDestinationCounted) {
+  SimNetwork net(quiet_config());
+  net.send({NodeId(1), NodeId(99), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_EQ(net.counters().get("messages_dropped_unknown_node"), 1u);
+}
+
+TEST(SimNetwork, DropProbabilityLosesMessages) {
+  NetworkConfig config = quiet_config();
+  config.drop_probability = 1.0;
+  SimNetwork net(config);
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  for (int i = 0; i < 10; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.counters().get("messages_dropped_fabric"), 10u);
+}
+
+TEST(SimNetwork, TimersFireAtRequestedTime) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  net.set_timer(NodeId(1), Duration::seconds(5), 42);
+  net.set_timer(NodeId(1), Duration::seconds(1), 7);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_tokens.size(), 2u);
+  EXPECT_EQ(a.timer_tokens[0], 7u);
+  EXPECT_EQ(a.timer_tokens[1], 42u);
+  EXPECT_EQ(a.timer_at[0], TimePoint::origin() + Duration::seconds(1));
+  EXPECT_EQ(a.timer_at[1], TimePoint::origin() + Duration::seconds(5));
+}
+
+TEST(SimNetwork, CrashedNodeTimersSuppressed) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  net.set_timer(NodeId(1), Duration::seconds(1), 1);
+  net.crash(NodeId(1));
+  net.run_until_idle();
+  EXPECT_TRUE(a.timer_tokens.empty());
+}
+
+TEST(SimNetwork, RunUntilRespectsDeadline) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  net.set_timer(NodeId(1), Duration::seconds(10), 1);
+  net.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_TRUE(a.timer_tokens.empty());
+  EXPECT_EQ(net.now(), TimePoint::origin() + Duration::seconds(5));
+  net.run_until(TimePoint::origin() + Duration::seconds(20));
+  EXPECT_EQ(a.timer_tokens.size(), 1u);
+}
+
+TEST(SimNetwork, StepProcessesOneEvent) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  net.set_timer(NodeId(1), Duration::seconds(1), 1);
+  net.set_timer(NodeId(1), Duration::seconds(2), 2);
+  EXPECT_TRUE(net.step());
+  EXPECT_EQ(a.timer_tokens.size(), 1u);
+  EXPECT_TRUE(net.step());
+  EXPECT_EQ(a.timer_tokens.size(), 2u);
+  EXPECT_FALSE(net.step());
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [] {
+    NetworkConfig config;
+    config.seed = 7;
+    config.latency_jitter = Duration::micros(100);
+    SimNetwork net(config);
+    RecorderNode b(NodeId(2));
+    net.attach(b);
+    for (int i = 0; i < 50; ++i) {
+      net.send({NodeId(1), NodeId(2), static_cast<std::uint32_t>(i),
+                std::vector<std::uint8_t>(static_cast<std::size_t>(i)), {}});
+    }
+    net.run_until_idle();
+    std::vector<std::int64_t> times;
+    for (TimePoint t : b.received_at) times.push_back(t.micros_since_origin());
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FailureSchedule, AppliesInOrder) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  FailureSchedule schedule;
+  schedule.add_crash(TimePoint(100), NodeId(1));
+  schedule.add_restart(TimePoint(200), NodeId(1));
+
+  auto fired = schedule.apply_until(TimePoint(150), net);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_TRUE(net.is_crashed(NodeId(1)));
+
+  fired = schedule.apply_until(TimePoint(300), net);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_FALSE(net.is_crashed(NodeId(1)));
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(FailureSchedule, RandomScheduleRespectsWindowAndCount) {
+  Rng rng(3);
+  std::vector<NodeId> nodes{NodeId(1), NodeId(2), NodeId(3), NodeId(4)};
+  TimeInterval window{TimePoint(1000), TimePoint(2000)};
+  FailureSchedule schedule = FailureSchedule::random(
+      rng, nodes, 3, window, Duration::micros(50));
+  std::size_t crashes = 0;
+  for (const FailureEvent& e : schedule.events()) {
+    if (e.kind == FailureEvent::Kind::kCrash) {
+      ++crashes;
+      EXPECT_TRUE(window.contains(e.at));
+    }
+  }
+  EXPECT_EQ(crashes, 3u);
+  EXPECT_EQ(schedule.events().size(), 6u);  // crash + restart each
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,108 @@
+#include "core/stats_report.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+struct ReportScenario {
+  Trace trace;
+  Rect world;
+  std::unique_ptr<Cluster> cluster;
+
+  ReportScenario() {
+    TraceConfig tc;
+    tc.roads.grid_cols = 6;
+    tc.roads.grid_rows = 6;
+    tc.cameras.camera_count = 18;
+    tc.mobility.object_count = 12;
+    tc.duration = Duration::minutes(3);
+    trace = TraceGenerator::generate(tc);
+    world = trace.roads.bounds(120.0);
+    ClusterConfig config;
+    config.worker_count = 4;
+    cluster = std::make_unique<Cluster>(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 3, 3, trace.cameras),
+        config);
+  }
+};
+
+TEST(StatsReport, FreshClusterIsAllZero) {
+  ReportScenario s;
+  ClusterStats stats = collect_stats(*s.cluster);
+  EXPECT_EQ(stats.events_ingested, 0u);
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.workers.size(), 4u);
+  for (const WorkerStats& w : stats.workers) {
+    EXPECT_EQ(w.stored_detections, 0u);
+  }
+}
+
+TEST(StatsReport, TracksIngestAndQueries) {
+  ReportScenario s;
+  s.cluster->ingest_all(s.trace.detections);
+  (void)s.cluster->execute(Query::range(s.cluster->next_query_id(), s.world,
+                                        TimeInterval::all()));
+  (void)s.cluster->execute(Query::count(s.cluster->next_query_id(), s.world,
+                                        TimeInterval::all()));
+  ClusterStats stats = collect_stats(*s.cluster);
+  EXPECT_EQ(stats.events_ingested, s.trace.detections.size());
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_GT(stats.mean_fanout, 0.0);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.messages_sent, 0u);
+
+  // Per-worker accounting sums to the whole (each event stored at primary
+  // and one replica).
+  std::uint64_t primary_sum = 0;
+  std::uint64_t replica_sum = 0;
+  for (const WorkerStats& w : stats.workers) {
+    primary_sum += w.primary_events;
+    replica_sum += w.replica_events;
+  }
+  EXPECT_EQ(primary_sum, s.trace.detections.size());
+  EXPECT_EQ(replica_sum, s.trace.detections.size());
+}
+
+TEST(StatsReport, TracksFailureHandling) {
+  ReportScenario s;
+  s.cluster->ingest_all(s.trace.detections);
+  s.cluster->crash_worker(WorkerId(2));
+  (void)s.cluster->execute(Query::range(s.cluster->next_query_id(), s.world,
+                                        TimeInterval::all()));
+  s.cluster->restart_worker(WorkerId(2));
+  ClusterStats stats = collect_stats(*s.cluster);
+  EXPECT_GT(stats.failover_retries, 0u);
+  EXPECT_GT(stats.partitions_failed_over + stats.partitions_rereplicated,
+            0u);
+}
+
+TEST(StatsReport, StorageImbalanceComputed) {
+  ReportScenario s;
+  s.cluster->ingest_all(s.trace.detections);
+  ClusterStats stats = collect_stats(*s.cluster);
+  EXPECT_GE(stats.storage_imbalance(), 1.0);
+  EXPECT_LT(stats.storage_imbalance(), 4.0);
+}
+
+TEST(StatsReport, PrintsHumanReadableReport) {
+  ReportScenario s;
+  s.cluster->ingest_all(s.trace.detections);
+  std::ostringstream os;
+  os << collect_stats(*s.cluster);
+  std::string report = os.str();
+  EXPECT_NE(report.find("cluster stats"), std::string::npos);
+  EXPECT_NE(report.find("ingest:"), std::string::npos);
+  EXPECT_NE(report.find("wrk/1"), std::string::npos);
+  EXPECT_NE(report.find("balance:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stcn

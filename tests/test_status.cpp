@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace stcn {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::invalid_argument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::deadline_exceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::internal("boom").message(), "boom");
+  EXPECT_FALSE(Status::internal("boom").is_ok());
+}
+
+TEST(Status, Streaming) {
+  std::ostringstream os;
+  os << Status::not_found("missing thing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing thing");
+  std::ostringstream ok;
+  ok << Status::ok();
+  EXPECT_EQ(ok.str(), "OK");
+}
+
+TEST(StatusCode, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_STREQ(to_string(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(to_string(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::not_found("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Result, MutableAndMoveAccess) {
+  Result<std::string> r(std::string("hello"));
+  r.value() += " world";
+  EXPECT_EQ(r.value(), "hello world");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello world");
+}
+
+TEST(Result, WorksWithMoveOnlyLikePayloads) {
+  struct Payload {
+    std::vector<int> data;
+  };
+  Result<Payload> r(Payload{{1, 2, 3}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().data.size(), 3u);
+}
+
+}  // namespace
+}  // namespace stcn

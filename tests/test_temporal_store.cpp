@@ -1,0 +1,82 @@
+#include "index/temporal_store.h"
+
+#include <gtest/gtest.h>
+
+namespace stcn {
+namespace {
+
+Detection make_detection(std::uint64_t id, std::uint64_t camera,
+                         std::int64_t t) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(camera);
+  d.object = ObjectId(1);
+  d.time = TimePoint(t);
+  return d;
+}
+
+class TemporalStoreFixture : public ::testing::Test {
+ protected:
+  DetectionStore store_;
+  TemporalStore temporal_;
+
+  void add(std::uint64_t id, std::uint64_t camera, std::int64_t t) {
+    temporal_.insert(store_, store_.append(make_detection(id, camera, t)));
+  }
+};
+
+TEST_F(TemporalStoreFixture, EmptyStore) {
+  EXPECT_EQ(temporal_.size(), 0u);
+  EXPECT_TRUE(temporal_.query(TimeInterval::all()).empty());
+  EXPECT_TRUE(
+      temporal_.query_camera(CameraId(1), TimeInterval::all()).empty());
+}
+
+TEST_F(TemporalStoreFixture, GlobalLogTimeOrdered) {
+  add(1, 1, 300);
+  add(2, 2, 100);
+  add(3, 1, 200);
+  auto refs = temporal_.query(TimeInterval::all());
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(store_.get(refs[0]).time, TimePoint(100));
+  EXPECT_EQ(store_.get(refs[1]).time, TimePoint(200));
+  EXPECT_EQ(store_.get(refs[2]).time, TimePoint(300));
+}
+
+TEST_F(TemporalStoreFixture, PerCameraFilter) {
+  add(1, 1, 100);
+  add(2, 2, 150);
+  add(3, 1, 200);
+  auto cam1 = temporal_.query_camera(CameraId(1), TimeInterval::all());
+  ASSERT_EQ(cam1.size(), 2u);
+  EXPECT_EQ(store_.get(cam1[0]).id, DetectionId(1));
+  EXPECT_EQ(store_.get(cam1[1]).id, DetectionId(3));
+  auto cam2 = temporal_.query_camera(CameraId(2), TimeInterval::all());
+  ASSERT_EQ(cam2.size(), 1u);
+  EXPECT_EQ(store_.get(cam2[0]).id, DetectionId(2));
+  EXPECT_TRUE(
+      temporal_.query_camera(CameraId(3), TimeInterval::all()).empty());
+}
+
+TEST_F(TemporalStoreFixture, IntervalHalfOpen) {
+  add(1, 1, 100);
+  add(2, 1, 200);
+  auto refs = temporal_.query({TimePoint(100), TimePoint(200)});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(store_.get(refs[0]).id, DetectionId(1));
+  auto cam = temporal_.query_camera(CameraId(1),
+                                    {TimePoint(150), TimePoint(250)});
+  ASSERT_EQ(cam.size(), 1u);
+  EXPECT_EQ(store_.get(cam[0]).id, DetectionId(2));
+}
+
+TEST_F(TemporalStoreFixture, CameraCount) {
+  add(1, 1, 100);
+  add(2, 2, 100);
+  add(3, 2, 200);
+  EXPECT_EQ(temporal_.camera_count(), 2u);
+  EXPECT_EQ(temporal_.size(), 3u);
+}
+
+}  // namespace
+}  // namespace stcn

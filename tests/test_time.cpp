@@ -1,0 +1,94 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stcn {
+namespace {
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::micros(5).count_micros(), 5);
+  EXPECT_EQ(Duration::millis(5).count_micros(), 5000);
+  EXPECT_EQ(Duration::seconds(2).count_micros(), 2'000'000);
+  EXPECT_EQ(Duration::minutes(1).count_micros(), 60'000'000);
+  EXPECT_EQ(Duration::zero().count_micros(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  Duration a = Duration::seconds(3);
+  Duration b = Duration::seconds(1);
+  EXPECT_EQ((a + b), Duration::seconds(4));
+  EXPECT_EQ((a - b), Duration::seconds(2));
+  EXPECT_EQ((a * 2), Duration::seconds(6));
+  EXPECT_EQ((a / 3), Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(a.to_seconds(), 3.0);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::millis(1), Duration::seconds(1));
+  EXPECT_EQ(Duration::millis(1000), Duration::seconds(1));
+  EXPECT_GT(Duration::zero(), Duration::micros(-5));
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  TimePoint t = TimePoint::origin() + Duration::seconds(10);
+  EXPECT_EQ(t.micros_since_origin(), 10'000'000);
+  EXPECT_EQ(t - Duration::seconds(4),
+            TimePoint::origin() + Duration::seconds(6));
+  EXPECT_EQ((t - TimePoint::origin()), Duration::seconds(10));
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 10.0);
+}
+
+TEST(TimeInterval, ContainsIsHalfOpen) {
+  TimeInterval iv{TimePoint(100), TimePoint(200)};
+  EXPECT_TRUE(iv.contains(TimePoint(100)));
+  EXPECT_TRUE(iv.contains(TimePoint(199)));
+  EXPECT_FALSE(iv.contains(TimePoint(200)));
+  EXPECT_FALSE(iv.contains(TimePoint(99)));
+}
+
+TEST(TimeInterval, EmptyAndLength) {
+  EXPECT_TRUE((TimeInterval{TimePoint(5), TimePoint(5)}).empty());
+  EXPECT_TRUE((TimeInterval{TimePoint(6), TimePoint(5)}).empty());
+  EXPECT_FALSE((TimeInterval{TimePoint(5), TimePoint(6)}).empty());
+  EXPECT_EQ((TimeInterval{TimePoint(5), TimePoint(15)}).length(),
+            Duration::micros(10));
+}
+
+TEST(TimeInterval, Overlaps) {
+  TimeInterval a{TimePoint(0), TimePoint(10)};
+  TimeInterval b{TimePoint(5), TimePoint(15)};
+  TimeInterval c{TimePoint(10), TimePoint(20)};  // touches: no overlap
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(TimeInterval, Intersection) {
+  TimeInterval a{TimePoint(0), TimePoint(10)};
+  TimeInterval b{TimePoint(5), TimePoint(15)};
+  TimeInterval i = a.intersection(b);
+  EXPECT_EQ(i.begin, TimePoint(5));
+  EXPECT_EQ(i.end, TimePoint(10));
+  TimeInterval disjoint{TimePoint(20), TimePoint(30)};
+  EXPECT_TRUE(a.intersection(disjoint).empty());
+}
+
+TEST(TimeInterval, AllCoversEverything) {
+  TimeInterval all = TimeInterval::all();
+  EXPECT_TRUE(all.contains(TimePoint(0)));
+  EXPECT_TRUE(all.contains(TimePoint(-1'000'000'000)));
+  EXPECT_TRUE(all.contains(TimePoint(1'000'000'000'000)));
+}
+
+TEST(TimeTypes, Streaming) {
+  std::ostringstream os;
+  os << Duration::micros(42) << " " << TimePoint(7) << " "
+     << TimeInterval{TimePoint(1), TimePoint(2)};
+  EXPECT_EQ(os.str(), "42us t+7us [t+1us, t+2us)");
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,104 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace stcn {
+namespace {
+
+class TraceIoFixture : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "stcn_trace_io_test.bin";
+};
+
+TraceConfig small_config() {
+  TraceConfig c;
+  c.roads.grid_cols = 5;
+  c.roads.grid_rows = 5;
+  c.cameras.camera_count = 12;
+  c.mobility.object_count = 8;
+  c.duration = Duration::minutes(2);
+  return c;
+}
+
+TEST_F(TraceIoFixture, RoundTripPreservesEverything) {
+  Trace trace = TraceGenerator::generate(small_config());
+  ASSERT_TRUE(save_trace(trace, path_).is_ok());
+
+  Result<RecordedTrace> loaded = load_trace(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const RecordedTrace& back = loaded.value();
+
+  ASSERT_EQ(back.detections.size(), trace.detections.size());
+  for (std::size_t i = 0; i < back.detections.size(); ++i) {
+    EXPECT_EQ(back.detections[i], trace.detections[i]);
+  }
+  ASSERT_EQ(back.ground_truth.size(), trace.ground_truth.size());
+  for (const auto& [object, samples] : trace.ground_truth) {
+    auto it = back.ground_truth.find(object);
+    ASSERT_NE(it, back.ground_truth.end());
+    ASSERT_EQ(it->second.size(), samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_EQ(it->second[i].time, samples[i].time);
+      EXPECT_EQ(it->second[i].position, samples[i].position);
+    }
+  }
+  ASSERT_EQ(back.true_appearance.size(), trace.true_appearance.size());
+  for (const auto& [object, feature] : trace.true_appearance) {
+    auto it = back.true_appearance.find(object);
+    ASSERT_NE(it, back.true_appearance.end());
+    EXPECT_EQ(it->second, feature);
+  }
+}
+
+TEST_F(TraceIoFixture, MissingFileIsNotFound) {
+  Result<RecordedTrace> r = load_trace("/nonexistent/nowhere.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceIoFixture, BadMagicRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a trace file, sorry", f);
+  std::fclose(f);
+  Result<RecordedTrace> r = load_trace(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoFixture, TruncatedFileRejected) {
+  Trace trace = TraceGenerator::generate(small_config());
+  ASSERT_TRUE(save_trace(trace, path_).is_ok());
+  // Truncate the file to 60% of its size.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  std::vector<char> head(static_cast<std::size_t>(size * 6 / 10));
+  f = std::fopen(path_.c_str(), "rb");
+  ASSERT_EQ(std::fread(head.data(), 1, head.size(), f), head.size());
+  std::fclose(f);
+  f = std::fopen(path_.c_str(), "wb");
+  std::fwrite(head.data(), 1, head.size(), f);
+  std::fclose(f);
+
+  Result<RecordedTrace> r = load_trace(path_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(TraceIoFixture, EmptyRecordedTraceRoundTrips) {
+  RecordedTrace empty;
+  ASSERT_TRUE(save_trace(empty, path_).is_ok());
+  Result<RecordedTrace> r = load_trace(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().detections.empty());
+  EXPECT_TRUE(r.value().ground_truth.empty());
+}
+
+}  // namespace
+}  // namespace stcn

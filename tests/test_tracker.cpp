@@ -1,0 +1,218 @@
+#include "reid/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+AppearanceFeature embedding(std::initializer_list<float> values) {
+  AppearanceFeature f;
+  f.values = values;
+  f.normalize();
+  return f;
+}
+
+Detection det(std::uint64_t id, std::uint64_t camera, std::uint64_t object,
+              std::int64_t t_seconds, AppearanceFeature appearance) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(camera);
+  d.object = ObjectId(object);
+  d.time = TimePoint(t_seconds * 1'000'000);
+  d.appearance = std::move(appearance);
+  return d;
+}
+
+TrackerConfig config() {
+  TrackerConfig c;
+  c.transition.min_edge_count = 1;
+  return c;
+}
+
+/// A graph where 1→2 takes ~10 s.
+TransitionGraph simple_graph() {
+  TransitionGraph g;
+  for (int s : {9, 10, 11}) {
+    g.observe(CameraId(1), CameraId(2), Duration::seconds(s));
+  }
+  return g;
+}
+
+TEST(OnlineTracker, FirstDetectionOpensTrack) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  TrackId t = tracker.observe(det(1, 1, 7, 0, embedding({1, 0, 0, 0})));
+  EXPECT_EQ(t, TrackId(1));
+  EXPECT_EQ(tracker.active_count(), 1u);
+  EXPECT_EQ(tracker.all_tracks().size(), 1u);
+}
+
+TEST(OnlineTracker, SameCameraRedetectionAssociates) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  AppearanceFeature f = embedding({1, 0, 0, 0});
+  TrackId a = tracker.observe(det(1, 1, 7, 0, f));
+  TrackId b = tracker.observe(det(2, 1, 7, 3, f));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tracker.track(a).detections.size(), 2u);
+}
+
+TEST(OnlineTracker, CrossCameraAssociatesViaTransitionEdge) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  AppearanceFeature f = embedding({1, 0, 0, 0});
+  TrackId a = tracker.observe(det(1, 1, 7, 0, f));
+  TrackId b = tracker.observe(det(2, 2, 7, 10, f));  // plausible travel
+  EXPECT_EQ(a, b);
+}
+
+TEST(OnlineTracker, ImplausibleTravelTimeOpensNewTrack) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  AppearanceFeature f = embedding({1, 0, 0, 0});
+  TrackId a = tracker.observe(det(1, 1, 7, 0, f));
+  // Arrives after 100 s on a ~10 s edge: gated out.
+  TrackId b = tracker.observe(det(2, 2, 7, 100, f));
+  EXPECT_NE(a, b);
+}
+
+TEST(OnlineTracker, NoTransitionEdgeOpensNewTrack) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  AppearanceFeature f = embedding({1, 0, 0, 0});
+  TrackId a = tracker.observe(det(1, 1, 7, 0, f));
+  TrackId b = tracker.observe(det(2, 9, 7, 10, f));  // camera 9 unknown
+  EXPECT_NE(a, b);
+}
+
+TEST(OnlineTracker, DissimilarAppearanceOpensNewTrack) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  TrackId a = tracker.observe(det(1, 1, 7, 0, embedding({1, 0, 0, 0})));
+  TrackId b =
+      tracker.observe(det(2, 2, 8, 10, embedding({0, 1, 0, 0})));
+  EXPECT_NE(a, b);
+}
+
+TEST(OnlineTracker, PicksBestScoringTrackAmongCandidates) {
+  TransitionGraph g = simple_graph();
+  OnlineTracker tracker(g, config());
+  // Two tracks at camera 1 with different appearances.
+  TrackId red = tracker.observe(det(1, 1, 1, 0, embedding({1, 0, 0, 0})));
+  TrackId blue = tracker.observe(det(2, 1, 2, 0, embedding({0, 1, 0, 0})));
+  // A red-looking detection at camera 2 after plausible travel.
+  TrackId chosen =
+      tracker.observe(det(3, 2, 1, 10, embedding({0.95f, 0.2f, 0, 0})));
+  EXPECT_EQ(chosen, red);
+  EXPECT_NE(chosen, blue);
+}
+
+TEST(OnlineTracker, RetiredTracksDoNotAssociate) {
+  TransitionGraph g = simple_graph();
+  TrackerConfig cfg = config();
+  cfg.max_silence = Duration::seconds(30);
+  OnlineTracker tracker(g, cfg);
+  AppearanceFeature f = embedding({1, 0, 0, 0});
+  TrackId a = tracker.observe(det(1, 1, 7, 0, f));
+  tracker.advance_to(TimePoint(60'000'000));  // a retires
+  EXPECT_EQ(tracker.active_count(), 0u);
+  TrackId b = tracker.observe(det(2, 1, 7, 61, f));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(tracker.track(a).retired);
+}
+
+TEST(OnlineTracker, EndToEndTracksAreMostlyPure) {
+  TraceConfig tc;
+  tc.roads.grid_cols = 8;
+  tc.roads.grid_rows = 8;
+  tc.cameras.camera_count = 30;
+  tc.mobility.object_count = 25;
+  tc.duration = Duration::minutes(8);
+  tc.detection.appearance_noise = 0.08;
+  Trace trace = TraceGenerator::generate(tc);
+
+  TransitionGraph graph;
+  graph.learn(trace.detections);
+
+  TrackerConfig cfg;
+  cfg.transition.min_edge_count = 2;
+  OnlineTracker tracker(graph, cfg);
+  for (const Detection& d : trace.detections) {
+    tracker.observe(d);
+    tracker.advance_to(d.time);
+  }
+  TrackingMetrics m = TrackingMetrics::evaluate(tracker.all_tracks());
+  EXPECT_GT(m.tracks, 0u);
+  EXPECT_EQ(m.true_objects, 25u);
+  EXPECT_GT(m.purity, 0.85) << "tracks should rarely mix objects";
+  // Fragmentation bounded: objects may split at unseen transitions, but
+  // not into dozens of fragments.
+  EXPECT_LT(m.fragmentation, 20.0);
+}
+
+TEST(OnlineTracker, MoreNoiseMorePureTracksTradeoff) {
+  auto run = [](double noise) {
+    TraceConfig tc;
+    tc.roads.grid_cols = 8;
+    tc.roads.grid_rows = 8;
+    tc.cameras.camera_count = 25;
+    tc.mobility.object_count = 20;
+    tc.duration = Duration::minutes(6);
+    tc.detection.appearance_noise = noise;
+    Trace trace = TraceGenerator::generate(tc);
+    TransitionGraph graph;
+    graph.learn(trace.detections);
+    TrackerConfig cfg;
+    cfg.transition.min_edge_count = 2;
+    OnlineTracker tracker(graph, cfg);
+    for (const Detection& d : trace.detections) {
+      tracker.observe(d);
+      tracker.advance_to(d.time);
+    }
+    return TrackingMetrics::evaluate(tracker.all_tracks());
+  };
+  TrackingMetrics clean = run(0.05);
+  TrackingMetrics noisy = run(0.5);
+  // Heavy appearance noise fragments tracks (associations fail the gate).
+  EXPECT_GT(noisy.fragmentation, clean.fragmentation);
+}
+
+TEST(TrackingMetrics, HandConstructedCases) {
+  // Perfect: one pure track per object.
+  Track t1;
+  t1.id = TrackId(1);
+  t1.detections = {det(1, 1, 7, 0, {}), det(2, 2, 7, 10, {})};
+  Track t2;
+  t2.id = TrackId(2);
+  t2.detections = {det(3, 1, 8, 0, {})};
+  TrackingMetrics perfect = TrackingMetrics::evaluate({t1, t2});
+  EXPECT_DOUBLE_EQ(perfect.purity, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.fragmentation, 1.0);
+  EXPECT_EQ(perfect.id_switches, 0u);
+
+  // Impure: a track mixing two objects + a switch.
+  Track mixed;
+  mixed.id = TrackId(1);
+  mixed.detections = {det(1, 1, 7, 0, {}), det(2, 2, 8, 10, {}),
+                      det(3, 2, 7, 20, {})};
+  Track other;
+  other.id = TrackId(2);
+  other.detections = {det(4, 3, 8, 30, {})};
+  TrackingMetrics m = TrackingMetrics::evaluate({mixed, other});
+  EXPECT_NEAR(m.purity, (2.0 / 3.0 + 1.0) / 2.0, 1e-9);
+  EXPECT_EQ(m.id_switches, 1u);  // object 8 moves track 1 → track 2
+  EXPECT_NEAR(m.fragmentation, 1.5, 1e-9);  // obj7: 1 track, obj8: 2 tracks
+}
+
+TEST(TrackingMetrics, EmptyInput) {
+  TrackingMetrics m = TrackingMetrics::evaluate({});
+  EXPECT_EQ(m.tracks, 0u);
+  EXPECT_DOUBLE_EQ(m.purity, 0.0);
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,81 @@
+#include "index/trajectory_store.h"
+
+#include <gtest/gtest.h>
+
+namespace stcn {
+namespace {
+
+Detection make_detection(std::uint64_t id, std::uint64_t object,
+                         std::int64_t t, Point pos = {0, 0}) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.object = ObjectId(object);
+  d.camera = CameraId(1);
+  d.time = TimePoint(t);
+  d.position = pos;
+  return d;
+}
+
+class TrajectoryStoreFixture : public ::testing::Test {
+ protected:
+  DetectionStore store_;
+  TrajectoryStore trajectories_;
+
+  void add(std::uint64_t id, std::uint64_t object, std::int64_t t) {
+    trajectories_.insert(store_,
+                         store_.append(make_detection(id, object, t)));
+  }
+};
+
+TEST_F(TrajectoryStoreFixture, EmptyStore) {
+  EXPECT_EQ(trajectories_.size(), 0u);
+  EXPECT_EQ(trajectories_.object_count(), 0u);
+  EXPECT_FALSE(trajectories_.has_object(ObjectId(1)));
+  EXPECT_TRUE(trajectories_.query(ObjectId(1), TimeInterval::all()).empty());
+}
+
+TEST_F(TrajectoryStoreFixture, QueryReturnsOnlyRequestedObject) {
+  add(1, 100, 10);
+  add(2, 200, 20);
+  add(3, 100, 30);
+  auto refs = trajectories_.query(ObjectId(100), TimeInterval::all());
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(store_.get(refs[0]).id, DetectionId(1));
+  EXPECT_EQ(store_.get(refs[1]).id, DetectionId(3));
+}
+
+TEST_F(TrajectoryStoreFixture, TimeOrderedEvenWithOutOfOrderInsert) {
+  add(1, 7, 300);
+  add(2, 7, 100);
+  add(3, 7, 200);
+  auto refs = trajectories_.query(ObjectId(7), TimeInterval::all());
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(store_.get(refs[0]).time, TimePoint(100));
+  EXPECT_EQ(store_.get(refs[1]).time, TimePoint(200));
+  EXPECT_EQ(store_.get(refs[2]).time, TimePoint(300));
+}
+
+TEST_F(TrajectoryStoreFixture, IntervalFilterHalfOpen) {
+  add(1, 7, 100);
+  add(2, 7, 200);
+  add(3, 7, 300);
+  auto refs = trajectories_.query(ObjectId(7),
+                                  {TimePoint(100), TimePoint(300)});
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(store_.get(refs[0]).id, DetectionId(1));
+  EXPECT_EQ(store_.get(refs[1]).id, DetectionId(2));
+}
+
+TEST_F(TrajectoryStoreFixture, CountsAndHasObject) {
+  add(1, 7, 100);
+  add(2, 8, 100);
+  add(3, 7, 200);
+  EXPECT_EQ(trajectories_.size(), 3u);
+  EXPECT_EQ(trajectories_.object_count(), 2u);
+  EXPECT_TRUE(trajectories_.has_object(ObjectId(7)));
+  EXPECT_TRUE(trajectories_.has_object(ObjectId(8)));
+  EXPECT_FALSE(trajectories_.has_object(ObjectId(9)));
+}
+
+}  // namespace
+}  // namespace stcn

@@ -1,0 +1,219 @@
+#include "reid/transition_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+Detection det(std::uint64_t id, std::uint64_t camera, std::uint64_t object,
+              std::int64_t t_seconds) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(camera);
+  d.object = ObjectId(object);
+  d.time = TimePoint(t_seconds * 1'000'000);
+  return d;
+}
+
+TEST(TransitionEdge, StatsAccumulate) {
+  TransitionGraph graph;
+  graph.observe(CameraId(1), CameraId(2), Duration::seconds(10));
+  graph.observe(CameraId(1), CameraId(2), Duration::seconds(20));
+  graph.observe(CameraId(1), CameraId(2), Duration::seconds(30));
+  const auto* edges = graph.edges_from(CameraId(1));
+  ASSERT_NE(edges, nullptr);
+  ASSERT_EQ(edges->size(), 1u);
+  const TransitionEdge& e = (*edges)[0];
+  EXPECT_EQ(e.to, CameraId(2));
+  EXPECT_EQ(e.count, 3u);
+  EXPECT_DOUBLE_EQ(e.mean_s, 20.0);
+  EXPECT_DOUBLE_EQ(e.min_s, 10.0);
+  EXPECT_DOUBLE_EQ(e.max_s, 30.0);
+  EXPECT_NEAR(e.stddev_s(), 10.0, 1e-9);
+}
+
+TEST(TransitionEdge, PlausibleWindowCoversObservations) {
+  TransitionGraph graph;
+  for (int s : {8, 10, 12, 9, 11}) {
+    graph.observe(CameraId(1), CameraId(2), Duration::seconds(s));
+  }
+  const TransitionEdge& e = (*graph.edges_from(CameraId(1)))[0];
+  auto [lo, hi] = e.plausible_window_s(3.0, 2.0);
+  EXPECT_LE(lo, 8.0);
+  EXPECT_GE(hi, 12.0);
+  EXPECT_GE(lo, 0.0);
+}
+
+TEST(TransitionEdge, LogLikelihoodPeaksAtMean) {
+  TransitionGraph graph;
+  for (int s : {10, 12, 14, 10, 14}) {
+    graph.observe(CameraId(1), CameraId(2), Duration::seconds(s));
+  }
+  const TransitionEdge& e = (*graph.edges_from(CameraId(1)))[0];
+  double at_mean = e.log_likelihood(12.0);
+  EXPECT_GT(at_mean, e.log_likelihood(30.0));
+  EXPECT_GT(at_mean, e.log_likelihood(1.0));
+}
+
+TEST(TransitionGraph, LearnsFromConsecutiveSightings) {
+  TransitionGraph graph;
+  std::vector<Detection> stream = {
+      det(1, /*cam=*/1, /*obj=*/7, 0),
+      det(2, 2, 7, 15),    // 1 → 2, 15 s
+      det(3, 3, 7, 40),    // 2 → 3, 25 s
+      det(4, 1, 8, 5),
+      det(5, 2, 8, 22),    // 1 → 2, 17 s
+  };
+  graph.learn(stream);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  const auto* from1 = graph.edges_from(CameraId(1));
+  ASSERT_NE(from1, nullptr);
+  ASSERT_EQ(from1->size(), 1u);
+  EXPECT_EQ((*from1)[0].count, 2u);
+  EXPECT_DOUBLE_EQ((*from1)[0].mean_s, 16.0);
+}
+
+TEST(TransitionGraph, LearnIgnoresSameCameraAndLongGaps) {
+  TransitionGraph graph;
+  std::vector<Detection> stream = {
+      det(1, 1, 7, 0),
+      det(2, 1, 7, 5),     // same camera: ignored
+      det(3, 2, 7, 500),   // gap > max_gap (3 min): ignored
+  };
+  graph.learn(stream);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(TransitionGraph, ConeRespectsHopLimit) {
+  TransitionGraph graph;
+  // Chain 1 → 2 → 3 → 4, each 10 s, seen often.
+  for (int i = 0; i < 5; ++i) {
+    graph.observe(CameraId(1), CameraId(2), Duration::seconds(10));
+    graph.observe(CameraId(2), CameraId(3), Duration::seconds(10));
+    graph.observe(CameraId(3), CameraId(4), Duration::seconds(10));
+  }
+  TransitionGraph::ConeParams params;
+  params.max_hops = 2;
+  TimeInterval horizon{TimePoint(0), TimePoint(600'000'000)};
+  auto cone = graph.cone(CameraId(1), TimePoint(0), horizon, params);
+  std::set<std::uint64_t> cams;
+  for (const ConeEntry& e : cone) cams.insert(e.camera.value());
+  EXPECT_EQ(cams, (std::set<std::uint64_t>{2, 3}));
+  for (const ConeEntry& e : cone) {
+    EXPECT_LE(e.hops, 2u);
+  }
+}
+
+TEST(TransitionGraph, ConeWindowsShiftWithHops) {
+  TransitionGraph graph;
+  for (int i = 0; i < 5; ++i) {
+    graph.observe(CameraId(1), CameraId(2), Duration::seconds(10));
+    graph.observe(CameraId(2), CameraId(3), Duration::seconds(10));
+  }
+  TransitionGraph::ConeParams params;
+  params.max_hops = 2;
+  params.slack_s = 1.0;
+  TimeInterval horizon{TimePoint(0), TimePoint(600'000'000)};
+  auto cone = graph.cone(CameraId(1), TimePoint(0), horizon, params);
+  ASSERT_EQ(cone.size(), 2u);
+  const ConeEntry* at2 = nullptr;
+  const ConeEntry* at3 = nullptr;
+  for (const ConeEntry& e : cone) {
+    if (e.camera == CameraId(2)) at2 = &e;
+    if (e.camera == CameraId(3)) at3 = &e;
+  }
+  ASSERT_NE(at2, nullptr);
+  ASSERT_NE(at3, nullptr);
+  // Two hops start later than one hop.
+  EXPECT_GT(at3->window.begin, at2->window.begin);
+  // One hop of ~10 s: window should start near 9 s, not at 0.
+  EXPECT_GT(at2->window.begin, TimePoint(4'000'000));
+}
+
+TEST(TransitionGraph, ConeClippedByHorizon) {
+  TransitionGraph graph;
+  for (int i = 0; i < 5; ++i) {
+    graph.observe(CameraId(1), CameraId(2), Duration::seconds(100));
+  }
+  TransitionGraph::ConeParams params;
+  // Horizon ends before any plausible arrival: empty cone.
+  TimeInterval horizon{TimePoint(0), TimePoint(10'000'000)};
+  auto cone = graph.cone(CameraId(1), TimePoint(0), horizon, params);
+  EXPECT_TRUE(cone.empty());
+}
+
+TEST(TransitionGraph, RareEdgesFilteredByMinCount) {
+  TransitionGraph graph;
+  graph.observe(CameraId(1), CameraId(2), Duration::seconds(10));  // once
+  for (int i = 0; i < 5; ++i) {
+    graph.observe(CameraId(1), CameraId(3), Duration::seconds(10));
+  }
+  TransitionGraph::ConeParams params;
+  params.min_edge_count = 2;
+  TimeInterval horizon{TimePoint(0), TimePoint(600'000'000)};
+  auto cone = graph.cone(CameraId(1), TimePoint(0), horizon, params);
+  ASSERT_EQ(cone.size(), 1u);
+  EXPECT_EQ(cone[0].camera, CameraId(3));
+}
+
+TEST(TransitionGraph, ConeFromUnknownCameraIsEmpty) {
+  TransitionGraph graph;
+  graph.observe(CameraId(1), CameraId(2), Duration::seconds(10));
+  TransitionGraph::ConeParams params;
+  auto cone = graph.cone(CameraId(99), TimePoint(0), TimeInterval::all(),
+                         params);
+  EXPECT_TRUE(cone.empty());
+}
+
+TEST(TransitionGraph, LearnedFromTraceCoversTrueTransitions) {
+  // On a generated trace, the cone from a probe camera must include the
+  // camera where the object truly reappears (for reasonable parameters).
+  TraceConfig tc;
+  tc.roads.grid_cols = 8;
+  tc.roads.grid_rows = 8;
+  tc.cameras.camera_count = 30;
+  tc.mobility.object_count = 40;
+  tc.duration = Duration::minutes(8);
+  Trace trace = TraceGenerator::generate(tc);
+  TransitionGraph graph;
+  graph.learn(trace.detections);
+  ASSERT_GT(graph.edge_count(), 0u);
+
+  TransitionGraph::ConeParams params;
+  params.max_hops = 2;
+  params.min_edge_count = 2;
+
+  // Evaluate recall of the cone against actual next sightings.
+  std::size_t total = 0;
+  std::size_t covered = 0;
+  std::unordered_map<ObjectId, const Detection*> last;
+  for (const Detection& d : trace.detections) {
+    auto it = last.find(d.object);
+    if (it != last.end() && it->second->camera != d.camera &&
+        d.time - it->second->time <= Duration::minutes(2)) {
+      const Detection& prev = *it->second;
+      auto cone = graph.cone(prev.camera, prev.time,
+                             {prev.time, prev.time + Duration::minutes(3)},
+                             params);
+      ++total;
+      for (const ConeEntry& e : cone) {
+        if (e.camera == d.camera && e.window.contains(d.time)) {
+          ++covered;
+          break;
+        }
+      }
+    }
+    last[d.object] = &d;
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.7)
+      << "cone recall too low: " << covered << "/" << total;
+}
+
+}  // namespace
+}  // namespace stcn
