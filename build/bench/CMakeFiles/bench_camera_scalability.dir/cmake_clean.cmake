@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_camera_scalability.dir/bench_camera_scalability.cpp.o"
+  "CMakeFiles/bench_camera_scalability.dir/bench_camera_scalability.cpp.o.d"
+  "bench_camera_scalability"
+  "bench_camera_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_camera_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

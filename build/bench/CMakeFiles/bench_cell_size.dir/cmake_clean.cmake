@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cell_size.dir/bench_cell_size.cpp.o"
+  "CMakeFiles/bench_cell_size.dir/bench_cell_size.cpp.o.d"
+  "bench_cell_size"
+  "bench_cell_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cell_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ingest_scalability.dir/bench_ingest_scalability.cpp.o"
+  "CMakeFiles/bench_ingest_scalability.dir/bench_ingest_scalability.cpp.o.d"
+  "bench_ingest_scalability"
+  "bench_ingest_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ingest_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

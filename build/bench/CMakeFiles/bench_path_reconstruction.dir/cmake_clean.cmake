@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_reconstruction.dir/bench_path_reconstruction.cpp.o"
+  "CMakeFiles/bench_path_reconstruction.dir/bench_path_reconstruction.cpp.o.d"
+  "bench_path_reconstruction"
+  "bench_path_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_periodicity.dir/bench_periodicity.cpp.o"
+  "CMakeFiles/bench_periodicity.dir/bench_periodicity.cpp.o.d"
+  "bench_periodicity"
+  "bench_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reid.dir/bench_reid.cpp.o"
+  "CMakeFiles/bench_reid.dir/bench_reid.cpp.o.d"
+  "bench_reid"
+  "bench_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_surveillance.dir/city_surveillance.cpp.o"
+  "CMakeFiles/city_surveillance.dir/city_surveillance.cpp.o.d"
+  "city_surveillance"
+  "city_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensic_search.dir/forensic_search.cpp.o"
+  "CMakeFiles/forensic_search.dir/forensic_search.cpp.o.d"
+  "forensic_search"
+  "forensic_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensic_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_common.dir/geometry.cpp.o"
+  "CMakeFiles/stcn_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/stcn_common.dir/rng.cpp.o"
+  "CMakeFiles/stcn_common.dir/rng.cpp.o.d"
+  "libstcn_common.a"
+  "libstcn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_core.dir/coordinator.cpp.o"
+  "CMakeFiles/stcn_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/stcn_core.dir/framework.cpp.o"
+  "CMakeFiles/stcn_core.dir/framework.cpp.o.d"
+  "CMakeFiles/stcn_core.dir/worker.cpp.o"
+  "CMakeFiles/stcn_core.dir/worker.cpp.o.d"
+  "libstcn_core.a"
+  "libstcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

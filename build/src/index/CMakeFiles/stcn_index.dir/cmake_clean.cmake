@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_index.dir/grid_index.cpp.o"
+  "CMakeFiles/stcn_index.dir/grid_index.cpp.o.d"
+  "CMakeFiles/stcn_index.dir/kdtree.cpp.o"
+  "CMakeFiles/stcn_index.dir/kdtree.cpp.o.d"
+  "libstcn_index.a"
+  "libstcn_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_net.dir/sim_network.cpp.o"
+  "CMakeFiles/stcn_net.dir/sim_network.cpp.o.d"
+  "libstcn_net.a"
+  "libstcn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_partition.dir/strategies.cpp.o"
+  "CMakeFiles/stcn_partition.dir/strategies.cpp.o.d"
+  "libstcn_partition.a"
+  "libstcn_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

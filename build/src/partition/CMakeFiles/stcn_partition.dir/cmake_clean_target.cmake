@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstcn_partition.a"
+)

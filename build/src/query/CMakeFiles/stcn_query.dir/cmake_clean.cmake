@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_query.dir/colocation.cpp.o"
+  "CMakeFiles/stcn_query.dir/colocation.cpp.o.d"
+  "libstcn_query.a"
+  "libstcn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reid/path_reconstruction.cpp" "src/reid/CMakeFiles/stcn_reid.dir/path_reconstruction.cpp.o" "gcc" "src/reid/CMakeFiles/stcn_reid.dir/path_reconstruction.cpp.o.d"
+  "/root/repo/src/reid/reid_engine.cpp" "src/reid/CMakeFiles/stcn_reid.dir/reid_engine.cpp.o" "gcc" "src/reid/CMakeFiles/stcn_reid.dir/reid_engine.cpp.o.d"
+  "/root/repo/src/reid/tracker.cpp" "src/reid/CMakeFiles/stcn_reid.dir/tracker.cpp.o" "gcc" "src/reid/CMakeFiles/stcn_reid.dir/tracker.cpp.o.d"
+  "/root/repo/src/reid/transition_graph.cpp" "src/reid/CMakeFiles/stcn_reid.dir/transition_graph.cpp.o" "gcc" "src/reid/CMakeFiles/stcn_reid.dir/transition_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stcn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/stcn_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

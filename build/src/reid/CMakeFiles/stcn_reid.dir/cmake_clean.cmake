@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_reid.dir/path_reconstruction.cpp.o"
+  "CMakeFiles/stcn_reid.dir/path_reconstruction.cpp.o.d"
+  "CMakeFiles/stcn_reid.dir/reid_engine.cpp.o"
+  "CMakeFiles/stcn_reid.dir/reid_engine.cpp.o.d"
+  "CMakeFiles/stcn_reid.dir/tracker.cpp.o"
+  "CMakeFiles/stcn_reid.dir/tracker.cpp.o.d"
+  "CMakeFiles/stcn_reid.dir/transition_graph.cpp.o"
+  "CMakeFiles/stcn_reid.dir/transition_graph.cpp.o.d"
+  "libstcn_reid.a"
+  "libstcn_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/camera.cpp" "src/trace/CMakeFiles/stcn_trace.dir/camera.cpp.o" "gcc" "src/trace/CMakeFiles/stcn_trace.dir/camera.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/stcn_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/stcn_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/mobility.cpp" "src/trace/CMakeFiles/stcn_trace.dir/mobility.cpp.o" "gcc" "src/trace/CMakeFiles/stcn_trace.dir/mobility.cpp.o.d"
+  "/root/repo/src/trace/road_network.cpp" "src/trace/CMakeFiles/stcn_trace.dir/road_network.cpp.o" "gcc" "src/trace/CMakeFiles/stcn_trace.dir/road_network.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/stcn_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/stcn_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stcn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcn_trace.dir/camera.cpp.o"
+  "CMakeFiles/stcn_trace.dir/camera.cpp.o.d"
+  "CMakeFiles/stcn_trace.dir/generator.cpp.o"
+  "CMakeFiles/stcn_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/stcn_trace.dir/mobility.cpp.o"
+  "CMakeFiles/stcn_trace.dir/mobility.cpp.o.d"
+  "CMakeFiles/stcn_trace.dir/road_network.cpp.o"
+  "CMakeFiles/stcn_trace.dir/road_network.cpp.o.d"
+  "CMakeFiles/stcn_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/stcn_trace.dir/trace_io.cpp.o.d"
+  "libstcn_trace.a"
+  "libstcn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camera_failures.dir/test_camera_failures.cpp.o"
+  "CMakeFiles/test_camera_failures.dir/test_camera_failures.cpp.o.d"
+  "test_camera_failures"
+  "test_camera_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camera_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

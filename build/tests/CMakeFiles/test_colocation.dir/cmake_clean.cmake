@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colocation.dir/test_colocation.cpp.o"
+  "CMakeFiles/test_colocation.dir/test_colocation.cpp.o.d"
+  "test_colocation"
+  "test_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

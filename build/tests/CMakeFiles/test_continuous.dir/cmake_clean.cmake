@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuous.dir/test_continuous.cpp.o"
+  "CMakeFiles/test_continuous.dir/test_continuous.cpp.o.d"
+  "test_continuous"
+  "test_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coordinator.dir/test_coordinator.cpp.o"
+  "CMakeFiles/test_coordinator.dir/test_coordinator.cpp.o.d"
+  "test_coordinator"
+  "test_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

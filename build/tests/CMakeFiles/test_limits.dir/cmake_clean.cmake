@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_limits.dir/test_limits.cpp.o"
+  "CMakeFiles/test_limits.dir/test_limits.cpp.o.d"
+  "test_limits"
+  "test_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

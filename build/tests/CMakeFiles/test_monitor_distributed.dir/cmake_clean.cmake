@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_distributed.dir/test_monitor_distributed.cpp.o"
+  "CMakeFiles/test_monitor_distributed.dir/test_monitor_distributed.cpp.o.d"
+  "test_monitor_distributed"
+  "test_monitor_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_reconstruction.dir/test_path_reconstruction.cpp.o"
+  "CMakeFiles/test_path_reconstruction.dir/test_path_reconstruction.cpp.o.d"
+  "test_path_reconstruction"
+  "test_path_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

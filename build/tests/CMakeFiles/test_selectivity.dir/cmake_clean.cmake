@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectivity.dir/test_selectivity.cpp.o"
+  "CMakeFiles/test_selectivity.dir/test_selectivity.cpp.o.d"
+  "test_selectivity"
+  "test_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summaries.dir/test_summaries.cpp.o"
+  "CMakeFiles/test_summaries.dir/test_summaries.cpp.o.d"
+  "test_summaries"
+  "test_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporal_store.dir/test_temporal_store.cpp.o"
+  "CMakeFiles/test_temporal_store.dir/test_temporal_store.cpp.o.d"
+  "test_temporal_store"
+  "test_temporal_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporal_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trajectory_store.dir/test_trajectory_store.cpp.o"
+  "CMakeFiles/test_trajectory_store.dir/test_trajectory_store.cpp.o.d"
+  "test_trajectory_store"
+  "test_trajectory_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trajectory_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
