@@ -1,11 +1,20 @@
 // E9 — Failure recovery (figure "failure recovery").
 //
-// Workers crash (losing in-memory state) and restart; restart triggers
-// resync of their partitions from surviving replicas. Reported per failure
-// count: virtual recovery time, resynced detections, resync bytes on the
-// wire, and whether whole-world queries stayed complete throughout (via
-// failover to backups). Expected shape: recovery time scales with the data
-// a worker holds; answers stay complete as long as one replica survives.
+// Part 1: workers crash (losing in-memory state) and restart; restart
+// triggers resync of their partitions from surviving replicas. Reported per
+// failure count: virtual recovery time, resynced detections, resync bytes
+// on the wire, and whether whole-world queries stayed complete throughout
+// (via failover to backups). Expected shape: recovery time scales with the
+// data a worker holds; answers stay complete as long as one replica
+// survives.
+//
+// Part 2: lossy-fabric sweep. The fabric drops 0–10% of messages (and
+// duplicates ~1%); the reliable channel retransmits until every ingest
+// batch and query frame is acked. Reported per drop rate: ingest goodput
+// (unique detections stored per virtual second), query completeness vs a
+// centralized oracle, and the transport/hedging counters. Expected shape:
+// 100% completeness at every drop rate — drops cost retransmissions and
+// virtual time, never data.
 #include <cinttypes>
 #include <memory>
 #include <set>
@@ -17,6 +26,87 @@
 
 namespace stcn {
 namespace {
+
+/// Pumps the network until every node's reliable channel has no frames in
+/// flight (acked or abandoned), so "stored" below means "acked".
+void quiesce(Cluster& cluster) {
+  auto settled = [&] {
+    if (cluster.coordinator().unacked_frames() != 0) return false;
+    for (WorkerId w : cluster.worker_ids()) {
+      if (cluster.worker(w).unacked_frames() != 0) return false;
+    }
+    return true;
+  };
+  while (!settled()) {
+    if (!cluster.network().step()) break;
+  }
+}
+
+/// Sums one counter across the coordinator and all workers.
+std::uint64_t cluster_counter(Cluster& cluster, const char* name) {
+  std::uint64_t total = cluster.coordinator().counters().get(name);
+  for (WorkerId w : cluster.worker_ids()) {
+    total += cluster.worker(w).counters().get(name);
+  }
+  return total;
+}
+
+void run_drop_sweep(const Trace& trace, const Rect& world,
+                    const std::set<std::uint64_t>& expected) {
+  bench::print_header(
+      "E9b lossy fabric sweep",
+      "8 workers, 1% duplication, reliable transport + hedged queries");
+  std::printf("%8s %12s %14s %12s %10s %8s %8s\n", "drop", "goodput_eps",
+              "completeness", "retransmits", "dup_supp", "hedged", "won");
+
+  for (double drop : {0.0, 0.02, 0.05, 0.10}) {
+    ClusterConfig config;
+    config.worker_count = 8;
+    config.network.drop_probability = drop;
+    config.network.duplicate_probability = 0.01;
+    config.network.seed = 42;
+    // Generous relative to the 10ms retransmit RTO: transient drops heal
+    // inside the channel instead of escalating into failover.
+    config.coordinator.query_timeout = Duration::millis(200);
+    // Ingest advances virtual time to detection timestamps, so frames must
+    // survive a long retransmission ladder.
+    config.reliable.max_attempts = 200;
+    Cluster cluster(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+        config);
+
+    TimePoint t0 = cluster.now();
+    cluster.ingest_all(trace.detections);
+    quiesce(cluster);
+    double elapsed_s = (cluster.now() - t0).to_seconds();
+
+    QueryResult result = cluster.execute(
+        Query::range(cluster.next_query_id(), world, TimeInterval::all()));
+    std::set<std::uint64_t> got;
+    for (const Detection& d : result.detections) got.insert(d.id.value());
+    std::size_t present = 0;
+    for (std::uint64_t id : expected) present += got.count(id);
+    double completeness =
+        expected.empty()
+            ? 100.0
+            : 100.0 * static_cast<double>(present) /
+                  static_cast<double>(expected.size());
+    double goodput =
+        elapsed_s > 0.0 ? static_cast<double>(present) / elapsed_s : 0.0;
+
+    std::printf("%7.0f%% %12.1f %13.2f%% %12" PRIu64 " %10" PRIu64
+                " %8" PRIu64 " %8" PRIu64 "\n",
+                drop * 100.0, goodput, completeness,
+                cluster_counter(cluster, "retransmits"),
+                cluster_counter(cluster, "dup_suppressed"),
+                cluster_counter(cluster, "hedges_issued"),
+                cluster_counter(cluster, "hedges_won"));
+  }
+  std::printf(
+      "\nexpected shape: completeness pinned at 100%% across the sweep;\n"
+      "drops surface as retransmissions (latency), never as lost data.\n");
+}
 
 void run() {
   TraceConfig tc = bench::scenario(1.5, Duration::minutes(4));
@@ -81,6 +171,8 @@ void run() {
   std::printf(
       "\nexpected shape: bounded recovery (proportional to per-worker\n"
       "data), complete answers throughout thanks to failover + resync.\n");
+
+  run_drop_sweep(trace, world, expected);
 }
 
 }  // namespace

@@ -51,6 +51,11 @@ class BinaryWriter {
   void write_time(TimePoint t) { write_i64(t.micros_since_origin()); }
   void write_duration(Duration d) { write_i64(d.count_micros()); }
 
+  /// Appends raw bytes verbatim (e.g. a nested, already-encoded payload).
+  void write_bytes(const std::vector<std::uint8_t>& bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
   /// Writes a vector of elements via a per-element callback.
   template <typename T, typename Fn>
   void write_vector(const std::vector<T>& v, Fn&& write_element) {
@@ -123,6 +128,20 @@ class BinaryReader {
 
   TimePoint read_time() { return TimePoint(read_i64()); }
   Duration read_duration() { return Duration(read_i64()); }
+
+  /// Reads `n` raw bytes (e.g. a nested, already-encoded payload).
+  std::vector<std::uint8_t> read_bytes(std::size_t n) {
+    std::vector<std::uint8_t> out;
+    if (n > remaining()) {
+      failed_ = true;
+      return out;
+    }
+    out.assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining_bytes() const { return remaining(); }
 
   template <typename T, typename Fn>
   std::vector<T> read_vector(Fn&& read_element) {

@@ -4,9 +4,18 @@
 
 namespace stcn {
 namespace {
-// Timer token reserved for the failure-detection sweep; query-timeout
-// timers use the (monotonically increasing, small) request id.
+// The net layer's channel framing is decoupled from the application MsgType
+// enum; make sure the defaults agree.
+static_assert(static_cast<std::uint32_t>(MsgType::kReliableData) ==
+              ReliableChannelConfig{}.data_type);
+static_assert(static_cast<std::uint32_t>(MsgType::kReliableAck) ==
+              ReliableChannelConfig{}.ack_type);
+
+// Timer token namespaces. Query-timeout timers use the (monotonically
+// increasing, small) request id directly; hedge timers set bit 61; the
+// reliable channel owns [2^62, 2^62 + 2^32); the failure sweep is all-ones.
 constexpr std::uint64_t kSweepToken = ~std::uint64_t{0};
+constexpr std::uint64_t kHedgeBit = 1ULL << 61;
 }  // namespace
 
 void Coordinator::start(SimNetwork& network) {
@@ -16,10 +25,26 @@ void Coordinator::start(SimNetwork& network) {
 }
 
 void Coordinator::handle_message(const Message& message, SimNetwork& network) {
+  switch (static_cast<MsgType>(message.type)) {
+    case MsgType::kReliableData: {
+      if (auto inner = channel_.on_data(message, network)) {
+        dispatch(*inner, network);
+      }
+      return;
+    }
+    case MsgType::kReliableAck:
+      channel_.on_ack(message);
+      return;
+    default:
+      dispatch(message, network);
+  }
+}
+
+void Coordinator::dispatch(const Message& message, SimNetwork& network) {
   BinaryReader reader(message.payload);
   switch (static_cast<MsgType>(message.type)) {
     case MsgType::kQueryResponse:
-      on_response(decode_query_response(reader), message.from);
+      on_response(decode_query_response(reader));
       break;
     case MsgType::kDeltaBatch:
       on_deltas(decode_delta_batch(reader));
@@ -56,6 +81,10 @@ void Coordinator::handle_message(const Message& message, SimNetwork& network) {
 
 void Coordinator::handle_timer(std::uint64_t timer_token,
                                SimNetwork& network) {
+  if (channel_.owns_timer(timer_token)) {
+    channel_.handle_timer(timer_token, network);
+    return;
+  }
   if (timer_token == kSweepToken) {
     // Failure-detection sweep: suspect every worker that has heartbeated
     // before but has now been silent past the timeout, and proactively
@@ -69,6 +98,10 @@ void Coordinator::handle_timer(std::uint64_t timer_token,
       }
     }
     network.set_timer(id_, config_.failure_sweep_period, kSweepToken);
+    return;
+  }
+  if (timer_token & kHedgeBit) {
+    hedge(timer_token & ~kHedgeBit, network);
     return;
   }
   failover_retry(timer_token, network);
@@ -88,9 +121,9 @@ void Coordinator::ingest(const Detection& d, SimNetwork& network) {
     if (buf.size() >= config_.ingest_batch_size) {
       IngestBatch batch{p, replica, std::move(buf)};
       buf.clear();
-      network.send({id_, worker_node(w),
+      channel_.send(worker_node(w),
                     static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                    encode(batch), network.now()});
+                    encode(batch), network);
     }
   };
 
@@ -106,9 +139,9 @@ void Coordinator::flush_ingest(SimNetwork& network) {
     IngestBatch batch{PartitionId(key.partition), key.replica,
                       std::move(buf)};
     buf.clear();
-    network.send({id_, NodeId(key.node),
+    channel_.send(NodeId(key.node),
                   static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                  encode(batch), network.now()});
+                  encode(batch), network);
   }
 }
 
@@ -152,13 +185,12 @@ std::vector<PartitionId> Coordinator::footprint(const Query& query) const {
 }
 
 void Coordinator::send_query_to(NodeId worker, std::uint64_t request_id,
-                                const Query& query,
+                                std::uint64_t sub_id, const Query& query,
                                 const std::vector<PartitionId>& partitions,
                                 SimNetwork& network) {
-  QueryRequest request{request_id, query, partitions};
-  network.send({id_, worker,
-                static_cast<std::uint32_t>(MsgType::kQueryRequest),
-                encode(request), network.now()});
+  QueryRequest request{request_id, sub_id, query, partitions};
+  channel_.send(worker, static_cast<std::uint32_t>(MsgType::kQueryRequest),
+                encode(request), network);
 }
 
 std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network) {
@@ -167,49 +199,86 @@ std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network) {
   pending.query = query;
   pending.retries_left = config_.max_retries;
 
+  std::unordered_map<NodeId, std::vector<PartitionId>> assignment;
   for (PartitionId p : footprint(query)) {
-    pending.assignment[worker_node(map_.primary(p))].push_back(p);
+    assignment[worker_node(map_.primary(p))].push_back(p);
   }
   counters_.add("queries_submitted");
-  counters_.add("query_fanout_total", pending.assignment.size());
+  counters_.add("query_fanout_total", assignment.size());
   counters_.add("query_partitions_total",
-                [&pending] {
+                [&assignment] {
                   std::size_t n = 0;
-                  for (const auto& [w, ps] : pending.assignment) {
-                    n += ps.size();
-                  }
+                  for (const auto& [w, ps] : assignment) n += ps.size();
                   return n;
                 }());
 
-  for (const auto& [worker, partitions] : pending.assignment) {
-    pending.awaiting.insert(worker);
-    send_query_to(worker, request_id, query, partitions, network);
+  for (auto& [worker, partitions] : assignment) {
+    std::uint64_t sub_id = next_sub_id_++;
+    send_query_to(worker, request_id, sub_id, query, partitions, network);
+    pending.fragments.emplace(sub_id,
+                              Fragment{worker, std::move(partitions), 0,
+                                       false});
+    ++pending.outstanding;
   }
-  bool empty = pending.awaiting.empty();
+  bool empty = pending.outstanding == 0;
   pending_.emplace(request_id, std::move(pending));
   if (!empty) {
     network.set_timer(id_, config_.query_timeout, request_id);
+    if (config_.hedge_queries && config_.hedge_delay_fraction > 0.0) {
+      auto delay = Duration::micros(static_cast<std::int64_t>(
+          static_cast<double>(config_.query_timeout.count_micros()) *
+          config_.hedge_delay_fraction));
+      network.set_timer(id_, delay, kHedgeBit | request_id);
+    }
   }
   return request_id;
 }
 
-void Coordinator::on_response(const QueryResponse& response, NodeId from) {
+void Coordinator::on_response(const QueryResponse& response) {
   auto it = pending_.find(response.request_id);
   if (it == pending_.end()) return;  // late response after completion
   PendingQuery& pending = it->second;
-  // Keep the fragment even from a worker we stopped awaiting (a slow
-  // primary racing its promoted backup): the merger dedups detections.
-  pending.fragments.push_back(response.result);
-  pending.awaiting.erase(from);
+  // Keep every fragment result — even from a fragment already retired by a
+  // faster hedge or failover re-issue: the merger dedups detections.
+  pending.results.push_back(response.result);
+
+  auto frag = pending.fragments.find(response.sub_id);
+  if (frag == pending.fragments.end()) return;  // pre-sub_id sender (tests)
+  if (frag->second.retired) return;
+  frag->second.retired = true;
+
+  if (frag->second.covers == 0) {
+    // Primary fragment answered directly.
+    if (pending.outstanding > 0) --pending.outstanding;
+    return;
+  }
+  // Hedge answer: credit the covered partitions to the primary fragment.
+  // A primary's partitions may back up to different workers, so it retires
+  // only once hedge answers cumulatively cover its whole partition set.
+  auto primary = pending.fragments.find(frag->second.covers);
+  if (primary == pending.fragments.end() || primary->second.retired) return;
+  for (PartitionId p : frag->second.partitions) {
+    primary->second.hedge_covered.insert(p.value());
+  }
+  bool fully_covered = std::all_of(
+      primary->second.partitions.begin(), primary->second.partitions.end(),
+      [&](PartitionId p) {
+        return primary->second.hedge_covered.contains(p.value());
+      });
+  if (fully_covered) {
+    primary->second.retired = true;
+    if (pending.outstanding > 0) --pending.outstanding;
+    counters_.add("hedges_won");
+  }
 }
 
 std::optional<QueryResult> Coordinator::poll(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return std::nullopt;
   PendingQuery& pending = it->second;
-  if (!pending.awaiting.empty()) return std::nullopt;
+  if (pending.outstanding > 0) return std::nullopt;
   ResultMerger merger(pending.query);
-  for (const QueryResult& fragment : pending.fragments) {
+  for (const QueryResult& fragment : pending.results) {
     merger.add(fragment);
   }
   QueryResult result = merger.take();
@@ -219,7 +288,49 @@ std::optional<QueryResult> Coordinator::poll(std::uint64_t request_id) {
 
 bool Coordinator::is_complete(std::uint64_t request_id) const {
   auto it = pending_.find(request_id);
-  return it == pending_.end() || it->second.awaiting.empty();
+  return it == pending_.end() || it->second.outstanding == 0;
+}
+
+void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
+  if (!config_.hedge_queries) return;
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // completed before the hedge deadline
+  PendingQuery& pending = it->second;
+  if (pending.outstanding == 0 || pending.hedged) return;
+  pending.hedged = true;  // one hedge round per query
+
+  // For every unanswered primary fragment, re-issue its partitions to their
+  // backups (grouped per backup worker). The hedge fragment records which
+  // primary it covers; whichever answer lands first retires the primary.
+  struct HedgePlan {
+    NodeId worker;
+    std::vector<PartitionId> partitions;
+    std::uint64_t covers;
+  };
+  std::vector<HedgePlan> plans;
+  for (const auto& [sub_id, frag] : pending.fragments) {
+    if (frag.retired || frag.covers != 0) continue;
+    std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
+    for (PartitionId p : frag.partitions) {
+      if (!map_.has_distinct_backup(p)) continue;
+      WorkerId backup = map_.backup(p);
+      if (worker_node(backup) == frag.worker) continue;
+      if (suspected_.contains(backup)) continue;
+      by_backup[worker_node(backup)].push_back(p);
+    }
+    for (auto& [worker, partitions] : by_backup) {
+      plans.push_back({worker, std::move(partitions), sub_id});
+    }
+  }
+  for (HedgePlan& plan : plans) {
+    std::uint64_t sub_id = next_sub_id_++;
+    send_query_to(plan.worker, request_id, sub_id, pending.query,
+                  plan.partitions, network);
+    pending.fragments.emplace(
+        sub_id, Fragment{plan.worker, std::move(plan.partitions),
+                         plan.covers, false});
+    counters_.add("hedges_issued");
+  }
 }
 
 void Coordinator::failover_retry(std::uint64_t request_id,
@@ -227,37 +338,49 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;  // completed before the deadline
   PendingQuery& pending = it->second;
-  if (pending.awaiting.empty()) return;
+  if (pending.outstanding == 0) return;
   if (pending.retries_left-- <= 0) {
     pending.partial = true;
-    pending.awaiting.clear();
+    for (auto& [sub_id, frag] : pending.fragments) frag.retired = true;
+    pending.outstanding = 0;
     counters_.add("queries_partial");
     return;
   }
   counters_.add("failover_retries");
 
-  // Re-route every unanswered worker's partitions to their backups and
-  // re-issue. Fragments already received stay; duplicates are deduped by
-  // the merger.
-  std::unordered_map<NodeId, std::vector<PartitionId>> retry_assignment;
-  for (NodeId dead : pending.awaiting) {
-    auto assigned = pending.assignment.find(dead);
-    if (assigned == pending.assignment.end()) continue;
-    for (PartitionId p : assigned->second) {
+  // Re-route every unanswered primary fragment's partitions to their
+  // backups and re-issue as fresh fragments. Results already received stay;
+  // duplicates are deduped by the merger.
+  struct RetryPlan {
+    NodeId worker;
+    std::vector<PartitionId> partitions;
+  };
+  std::vector<RetryPlan> plans;
+  for (auto& [sub_id, frag] : pending.fragments) {
+    if (frag.retired || frag.covers != 0) continue;
+    frag.retired = true;
+    if (pending.outstanding > 0) --pending.outstanding;
+    std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
+    for (PartitionId p : frag.partitions) {
       WorkerId backup = map_.backup(p);
-      if (worker_node(backup) == dead) continue;    // no usable replica
-      if (suspected_.contains(backup)) continue;    // replica also down
+      if (worker_node(backup) == frag.worker) continue;  // no usable replica
+      if (suspected_.contains(backup)) continue;         // replica also down
       map_.set_primary(p, backup);
-      retry_assignment[worker_node(backup)].push_back(p);
+      by_backup[worker_node(backup)].push_back(p);
+    }
+    for (auto& [worker, partitions] : by_backup) {
+      plans.push_back({worker, std::move(partitions)});
     }
   }
-  pending.awaiting.clear();
-  for (auto& [worker, partitions] : retry_assignment) {
-    pending.awaiting.insert(worker);
-    pending.assignment[worker] = partitions;
-    send_query_to(worker, request_id, pending.query, partitions, network);
+  for (RetryPlan& plan : plans) {
+    std::uint64_t sub_id = next_sub_id_++;
+    send_query_to(plan.worker, request_id, sub_id, pending.query,
+                  plan.partitions, network);
+    pending.fragments.emplace(
+        sub_id, Fragment{plan.worker, std::move(plan.partitions), 0, false});
+    ++pending.outstanding;
   }
-  if (!pending.awaiting.empty()) {
+  if (pending.outstanding > 0) {
     network.set_timer(id_, config_.query_timeout, request_id);
   } else {
     // No replica could take over any lost partition: the answer is partial.

@@ -2,13 +2,21 @@
 //
 // The coordinator is the client-facing brain of the framework:
 //  * Ingest — each detection is routed by the PartitionStrategy to its
-//    partition's primary (and backup replica), batched per destination.
+//    partition's primary (and backup replica), batched per destination, and
+//    shipped over the reliable channel so fabric loss cannot silently drop
+//    detections.
 //  * Queries — the strategy turns a query footprint into a partition set;
 //    partitions are grouped by owning worker; each worker gets one request
-//    naming exactly the partitions it must serve; fragments are merged.
-//    The per-query worker fan-out is the pruning metric of E2/E3.
-//  * Failover — if a worker misses the reply deadline, its partitions are
-//    re-pointed to their backups and the request is re-issued there.
+//    fragment (identified by a sub_id it echoes back) naming exactly the
+//    partitions it must serve; fragments are merged. The per-query worker
+//    fan-out is the pruning metric of E2/E3.
+//  * Hedging — a fragment unanswered after `hedge_delay_fraction *
+//    query_timeout` is speculatively re-issued to the partition backups;
+//    the first answer (original or hedge) wins. This masks gray failures
+//    (slow-but-alive workers) that heartbeat-based detection cannot see.
+//  * Failover — if a fragment misses the reply deadline outright, its
+//    partitions are re-pointed to their backups and the fragment is
+//    re-issued there.
 //  * Continuous queries — monitors are installed on every worker whose
 //    partitions overlap the region; delta batches stream back and are
 //    folded into live answer sets.
@@ -24,6 +32,7 @@
 #include "common/stats.h"
 #include "core/protocol.h"
 #include "net/node.h"
+#include "net/reliable_channel.h"
 #include "net/sim_network.h"
 #include "partition/partition_map.h"
 #include "query/continuous.h"
@@ -44,13 +53,22 @@ struct CoordinatorConfig {
   bool detect_failures = true;
   Duration heartbeat_timeout = Duration::seconds(5);
   Duration failure_sweep_period = Duration::seconds(2);
+  /// Hedged requests: when a query fragment is still unanswered after
+  /// `hedge_delay_fraction * query_timeout`, speculatively re-issue it to
+  /// the partition backups and take whichever answer lands first. One hedge
+  /// round per query.
+  bool hedge_queries = true;
+  double hedge_delay_fraction = 0.5;
+  /// Reliable-transport knobs for loss-sensitive traffic (ingest, queries).
+  ReliableChannelConfig channel;
 };
 
 class Coordinator final : public NetworkNode {
  public:
   Coordinator(NodeId id, const PartitionStrategy& strategy, PartitionMap map,
               CoordinatorConfig config)
-      : id_(id), strategy_(strategy), map_(std::move(map)), config_(config) {}
+      : id_(id), strategy_(strategy), map_(std::move(map)), config_(config),
+        channel_(id, counters_, config.channel) {}
 
   [[nodiscard]] NodeId node_id() const override { return id_; }
   void handle_message(const Message& message, SimNetwork& network) override;
@@ -87,7 +105,7 @@ class Coordinator final : public NetworkNode {
   /// exhausted → partial). nullopt while still pending.
   [[nodiscard]] std::optional<QueryResult> poll(std::uint64_t request_id);
 
-  /// True once the request is no longer awaiting any worker.
+  /// True once the request is no longer awaiting any fragment.
   [[nodiscard]] bool is_complete(std::uint64_t request_id) const;
 
   // --------------------------------------------------- continuous queries
@@ -110,6 +128,13 @@ class Coordinator final : public NetworkNode {
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
   CounterSet& counters() { return counters_; }
 
+  /// Reliable-transport state: frames sent but not yet acked. 0 means every
+  /// ingest batch and query fragment this node sent has been delivered (the
+  /// "acked" in the chaos invariant *no acked detection is ever lost*).
+  [[nodiscard]] std::size_t unacked_frames() const {
+    return channel_.unacked();
+  }
+
   /// Cumulative worker fan-out / query count (E2/E3 pruning metric).
   [[nodiscard]] double mean_fanout() const {
     auto q = counters_.get("queries_submitted");
@@ -119,23 +144,42 @@ class Coordinator final : public NetworkNode {
   }
 
  private:
+  /// One scatter unit of a query: a partition set sent to one worker. A
+  /// hedge fragment duplicates part of a primary fragment (`covers` names
+  /// it); the primary is satisfied when it answers itself, or when hedge
+  /// answers cumulatively cover every one of its partitions (its partitions
+  /// may back up to different workers, so one hedge answer is not enough).
+  struct Fragment {
+    NodeId worker;
+    std::vector<PartitionId> partitions;
+    std::uint64_t covers = 0;  // != 0 → hedge for that primary fragment
+    bool retired = false;      // answered, hedged-over, or abandoned
+    std::unordered_set<std::uint64_t> hedge_covered;  // partitions answered
+  };
+
   struct PendingQuery {
     Query query;
-    std::unordered_map<NodeId, std::vector<PartitionId>> assignment;
-    std::unordered_set<NodeId> awaiting;
-    std::vector<QueryResult> fragments;
+    std::unordered_map<std::uint64_t, Fragment> fragments;  // by sub_id
+    std::vector<QueryResult> results;
+    std::size_t outstanding = 0;  // unretired primary fragments
     int retries_left = 0;
+    bool hedged = false;
     bool partial = false;
   };
 
   static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
 
+  /// Application-level dispatch (after reliable-channel unwrapping).
+  void dispatch(const Message& message, SimNetwork& network);
+
   void send_query_to(NodeId worker, std::uint64_t request_id,
-                     const Query& query,
+                     std::uint64_t sub_id, const Query& query,
                      const std::vector<PartitionId>& partitions,
                      SimNetwork& network);
-  void on_response(const QueryResponse& response, NodeId from);
+  void on_response(const QueryResponse& response);
   void on_deltas(const DeltaBatch& batch);
+  /// Speculatively re-issues unanswered fragments to partition backups.
+  void hedge(std::uint64_t request_id, SimNetwork& network);
   /// Re-routes a timed-out request's unanswered partitions to backups.
   void failover_retry(std::uint64_t request_id, SimNetwork& network);
 
@@ -165,6 +209,7 @@ class Coordinator final : public NetworkNode {
       ingest_buffers_;
 
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_sub_id_ = 1;
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
 
   std::unordered_map<QueryId, std::vector<DeltaUpdate>> delta_log_;
@@ -181,6 +226,10 @@ class Coordinator final : public NetworkNode {
   // mutable: observability counters are updated from const query-planning
   // paths (e.g. footprint pruning).
   mutable CounterSet counters_;
+
+  // Reliable transport for ingest batches and query fragments. Declared
+  // after counters_ (it writes its accounting there).
+  ReliableChannel channel_;
 };
 
 }  // namespace stcn

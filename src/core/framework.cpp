@@ -22,9 +22,11 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
 
   PartitionMap map =
       PartitionMap::round_robin(strategy_->partition_count(), worker_ids_);
+  CoordinatorConfig coordinator_config = config_.coordinator;
+  coordinator_config.channel = config_.reliable;
   coordinator_ = std::make_unique<Coordinator>(
       NodeId(kCoordinatorNode), *strategy_, std::move(map),
-      config_.coordinator);
+      coordinator_config);
   network_.attach(*coordinator_);
   coordinator_->start(network_);
 
@@ -34,6 +36,7 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
   worker_config.monitor_tick = config_.monitor_tick;
   worker_config.retention = config_.retention;
   worker_config.summary_every_ticks = config_.summary_every_ticks;
+  worker_config.channel = config_.reliable;
   for (WorkerId w : worker_ids_) {
     auto worker = std::make_unique<WorkerNode>(
         w, NodeId(kCoordinatorNode), worker_config);
@@ -160,7 +163,11 @@ Duration Cluster::restart_worker(WorkerId w) {
   node.restart_ticks(network_);
   coordinator_->clear_suspicion(w);
   node.start_resync(holders, network_);
-  while (!node.resync_complete()) {
+  // Bounded by virtual time: under heavy loss a sync exchange can exhaust
+  // its retransmission ladder (e.g. the replica holder is also down), and
+  // recurring timers keep the queue non-empty forever.
+  TimePoint deadline = network_.now() + Duration::seconds(30);
+  while (!node.resync_complete() && network_.now() < deadline) {
     if (!network_.step()) break;
   }
   coordinator_->counters().add("workers_restarted");

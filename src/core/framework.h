@@ -43,6 +43,8 @@ struct ClusterConfig {
   Duration retention = Duration::max();
   /// Object-presence summary cadence in monitor ticks (0 disables).
   std::uint32_t summary_every_ticks = 5;
+  /// Reliable-transport knobs, applied to the coordinator and every worker.
+  ReliableChannelConfig reliable;
 };
 
 class Cluster {

@@ -28,6 +28,8 @@ enum class MsgType : std::uint32_t {
   kHeartbeat = 9,       // worker → coordinator: liveness
   kIngestForward = 10,   // gateway → coordinator: relay-mode ingest
   kObjectSummary = 11,   // worker → coordinator: per-partition object Bloom
+  kReliableData = 12,    // reliable-channel DATA frame (wraps another type)
+  kReliableAck = 13,     // reliable-channel ACK frame
 };
 
 // ------------------------------------------------------------ ingest batch
@@ -82,6 +84,10 @@ inline IngestForward decode_ingest_forward(BinaryReader& r) {
 
 struct QueryRequest {
   std::uint64_t request_id = 0;
+  /// Fragment id: identifies this (request, worker, partition-set) send so
+  /// the coordinator can tell a hedged duplicate's answer from the
+  /// original's. Workers echo it verbatim in the response.
+  std::uint64_t sub_id = 0;
   Query query;
   std::vector<PartitionId> partitions;  // partitions this worker must serve
 };
@@ -89,6 +95,7 @@ struct QueryRequest {
 inline std::vector<std::uint8_t> encode(const QueryRequest& req) {
   BinaryWriter w;
   w.write_u64(req.request_id);
+  w.write_u64(req.sub_id);
   serialize(w, req.query);
   w.write_vector(req.partitions, [](BinaryWriter& bw, PartitionId p) {
     bw.write_id(p);
@@ -99,6 +106,7 @@ inline std::vector<std::uint8_t> encode(const QueryRequest& req) {
 inline QueryRequest decode_query_request(BinaryReader& r) {
   QueryRequest req;
   req.request_id = r.read_u64();
+  req.sub_id = r.read_u64();
   req.query = deserialize_query(r);
   req.partitions = r.read_vector<PartitionId>(
       [](BinaryReader& br) { return br.read_id<PartitionIdTag>(); });
@@ -109,12 +117,14 @@ inline QueryRequest decode_query_request(BinaryReader& r) {
 
 struct QueryResponse {
   std::uint64_t request_id = 0;
+  std::uint64_t sub_id = 0;  // echoed from the QueryRequest fragment
   QueryResult result;
 };
 
 inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
   BinaryWriter w;
   w.write_u64(resp.request_id);
+  w.write_u64(resp.sub_id);
   serialize(w, resp.result);
   return w.take();
 }
@@ -122,6 +132,7 @@ inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
 inline QueryResponse decode_query_response(BinaryReader& r) {
   QueryResponse resp;
   resp.request_id = r.read_u64();
+  resp.sub_id = r.read_u64();
   resp.result = deserialize_query_result(r);
   return resp;
 }

@@ -4,7 +4,9 @@ namespace stcn {
 
 namespace {
 // Timer tokens encode the tick generation so a chain armed before a crash
-// cannot double up with the chain re-armed after restart.
+// cannot double up with the chain re-armed after restart. The reliable
+// channel owns its own token range ([2^62, 2^62 + 2^32)), far above any
+// plausible generation count.
 constexpr std::uint64_t kMonitorTickBase = 1'000;
 }  // namespace
 
@@ -33,11 +35,17 @@ void WorkerNode::restart_ticks(SimNetwork& network) {
 }
 
 void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
+  if (channel_.owns_timer(timer_token)) {
+    channel_.handle_timer(timer_token, network);
+    return;
+  }
   if (timer_token != kMonitorTickBase + tick_generation_) return;  // stale
   monitors_.advance_to(network.now(), pending_deltas_);
   flush_deltas(network);
 
   if (config_.send_heartbeats) {
+    // Best-effort on purpose: a heartbeat that needs retransmission is
+    // stale by the time it lands; the next tick supersedes it.
     Heartbeat hb{id_, stored_detections()};
     network.send({node_id(), coordinator_,
                   static_cast<std::uint32_t>(MsgType::kHeartbeat),
@@ -53,6 +61,8 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
       for (ObjectId object : indexes->trajectories.object_ids()) {
         summary.objects.insert(object.value());
       }
+      // Best-effort: summaries are advisory pruning hints, refreshed
+      // periodically; a lost one only costs pruning opportunity.
       network.send({node_id(), coordinator_,
                     static_cast<std::uint32_t>(MsgType::kObjectSummary),
                     encode(summary), network.now()});
@@ -73,13 +83,30 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
 }
 
 void WorkerNode::handle_message(const Message& message, SimNetwork& network) {
+  switch (static_cast<MsgType>(message.type)) {
+    case MsgType::kReliableData: {
+      if (auto inner = channel_.on_data(message, network)) {
+        dispatch(*inner, /*reliable=*/true, network);
+      }
+      return;
+    }
+    case MsgType::kReliableAck:
+      channel_.on_ack(message);
+      return;
+    default:
+      dispatch(message, /*reliable=*/false, network);
+  }
+}
+
+void WorkerNode::dispatch(const Message& message, bool reliable,
+                          SimNetwork& network) {
   BinaryReader reader(message.payload);
   switch (static_cast<MsgType>(message.type)) {
     case MsgType::kIngestBatch:
       on_ingest(decode_ingest_batch(reader), network);
       break;
     case MsgType::kQueryRequest:
-      on_query(decode_query_request(reader), message.from, network);
+      on_query(decode_query_request(reader), message.from, reliable, network);
       break;
     case MsgType::kInstallMonitor: {
       MonitorInstall m = decode_monitor_install(reader);
@@ -92,7 +119,8 @@ void WorkerNode::handle_message(const Message& message, SimNetwork& network) {
       break;
     }
     case MsgType::kSyncRequest:
-      on_sync_request(decode_sync_request(reader), message.from, network);
+      on_sync_request(decode_sync_request(reader), message.from, reliable,
+                      network);
       break;
     case MsgType::kSyncResponse:
       on_sync_response(decode_sync_response(reader));
@@ -105,7 +133,12 @@ void WorkerNode::handle_message(const Message& message, SimNetwork& network) {
 
 void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
   WorkerIndexes& indexes = partition(batch.partition);
+  auto& seen = ingested_ids_[batch.partition];
   for (const Detection& d : batch.detections) {
+    if (!seen.insert(d.id.value()).second) {
+      counters_.add("ingest_dups_skipped");
+      continue;
+    }
     indexes.ingest(d);
     counters_.add(batch.is_replica ? "ingested_replica" : "ingested_primary");
     if (!batch.is_replica) {
@@ -119,7 +152,7 @@ void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
 }
 
 void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
-                          SimNetwork& network) {
+                          bool reliable, SimNetwork& network) {
   counters_.add("queries_served");
   ResultMerger merger(request.query);
   for (PartitionId p : request.partitions) {
@@ -127,14 +160,20 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
     if (it == partitions_.end()) continue;  // empty partition: no matches
     merger.add(LocalExecutor::execute(*it->second, request.query));
   }
-  QueryResponse response{request.request_id, merger.take()};
-  network.send({node_id(), reply_to,
-                static_cast<std::uint32_t>(MsgType::kQueryResponse),
-                encode(response), network.now()});
+  QueryResponse response{request.request_id, request.sub_id, merger.take()};
+  if (reliable) {
+    channel_.send(reply_to,
+                  static_cast<std::uint32_t>(MsgType::kQueryResponse),
+                  encode(response), network);
+  } else {
+    network.send({node_id(), reply_to,
+                  static_cast<std::uint32_t>(MsgType::kQueryResponse),
+                  encode(response), network.now()});
+  }
 }
 
 void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
-                                 SimNetwork& network) {
+                                 bool reliable, SimNetwork& network) {
   counters_.add("sync_requests_served");
   SyncResponse response;
   response.partition = request.partition;
@@ -147,14 +186,25 @@ void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
           store.get(static_cast<DetectionRef>(i)));
     }
   }
-  network.send({node_id(), reply_to,
-                static_cast<std::uint32_t>(MsgType::kSyncResponse),
-                encode(response), network.now()});
+  if (reliable) {
+    channel_.send(reply_to,
+                  static_cast<std::uint32_t>(MsgType::kSyncResponse),
+                  encode(response), network);
+  } else {
+    network.send({node_id(), reply_to,
+                  static_cast<std::uint32_t>(MsgType::kSyncResponse),
+                  encode(response), network.now()});
+  }
 }
 
 void WorkerNode::on_sync_response(const SyncResponse& response) {
   WorkerIndexes& indexes = partition(response.partition);
+  auto& seen = ingested_ids_[response.partition];
   for (const Detection& d : response.detections) {
+    if (!seen.insert(d.id.value()).second) {
+      counters_.add("ingest_dups_skipped");
+      continue;
+    }
     indexes.ingest(d);
     counters_.add("ingested_resync");
   }
@@ -169,14 +219,16 @@ void WorkerNode::flush_deltas(SimNetwork& network) {
     batch.deltas.push_back({d.query, d.positive, d.detection});
   }
   pending_deltas_.clear();
-  network.send({node_id(), coordinator_,
+  channel_.send(coordinator_,
                 static_cast<std::uint32_t>(MsgType::kDeltaBatch),
-                encode(batch), network.now()});
+                encode(batch), network);
 }
 
 void WorkerNode::lose_state() {
   partitions_.clear();
   pending_deltas_.clear();
+  ingested_ids_.clear();
+  channel_.reset();
   counters_.add("state_losses");
 }
 
@@ -186,9 +238,8 @@ void WorkerNode::start_resync(
   for (const auto& [partition_id, holder] : replica_holders) {
     ++pending_syncs_;
     SyncRequest request{partition_id};
-    network.send({node_id(), holder,
-                  static_cast<std::uint32_t>(MsgType::kSyncRequest),
-                  encode(request), network.now()});
+    channel_.send(holder, static_cast<std::uint32_t>(MsgType::kSyncRequest),
+                  encode(request), network);
   }
 }
 

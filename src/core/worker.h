@@ -13,11 +13,13 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
 #include "core/protocol.h"
 #include "net/node.h"
+#include "net/reliable_channel.h"
 #include "net/sim_network.h"
 #include "query/continuous.h"
 #include "query/executor.h"
@@ -44,13 +46,16 @@ struct WorkerConfig {
   /// uses them to prune trajectory-query fan-out.
   std::uint32_t summary_every_ticks = 5;
   std::size_t summary_bloom_bits = 2048;
+  /// Reliable-transport knobs (delta batches, query replies, resync).
+  ReliableChannelConfig channel;
 };
 
 class WorkerNode final : public NetworkNode {
  public:
   WorkerNode(WorkerId id, NodeId coordinator, const WorkerConfig& config)
       : id_(id), coordinator_(coordinator), config_(config),
-        monitors_(config.world) {}
+        monitors_(config.world),
+        channel_(NodeId(id.value()), counters_, config.channel) {}
 
   [[nodiscard]] NodeId node_id() const override { return NodeId(id_.value()); }
   [[nodiscard]] WorkerId worker_id() const { return id_; }
@@ -85,15 +90,26 @@ class WorkerNode final : public NetworkNode {
     return partitions_.size();
   }
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
+  CounterSet& counters() { return counters_; }
+
+  /// Reliable-transport frames sent but not yet acked (0 == quiescent).
+  [[nodiscard]] std::size_t unacked_frames() const {
+    return channel_.unacked();
+  }
 
  private:
   WorkerIndexes& partition(PartitionId p);
 
+  /// Application-level dispatch; `reliable` records whether the message
+  /// arrived through the reliable channel, so replies mirror the
+  /// transport the requester chose.
+  void dispatch(const Message& message, bool reliable, SimNetwork& network);
+
   void on_ingest(const IngestBatch& batch, SimNetwork& network);
-  void on_query(const QueryRequest& request, NodeId reply_to,
+  void on_query(const QueryRequest& request, NodeId reply_to, bool reliable,
                 SimNetwork& network);
   void on_sync_request(const SyncRequest& request, NodeId reply_to,
-                       SimNetwork& network);
+                       bool reliable, SimNetwork& network);
   void on_sync_response(const SyncResponse& response);
   void flush_deltas(SimNetwork& network);
 
@@ -103,12 +119,19 @@ class WorkerNode final : public NetworkNode {
   std::unordered_map<PartitionId, std::unique_ptr<WorkerIndexes>> partitions_;
   ContinuousQueryManager monitors_;
   std::vector<DeltaUpdate> pending_deltas_;
+  // Per-partition ids already ingested: makes ingest idempotent so
+  // retransmission races, dead-incarnation redeliveries, and resync
+  // overlapping a live replica stream cannot double-count detections.
+  std::unordered_map<PartitionId, std::unordered_set<std::uint64_t>>
+      ingested_ids_;
   std::size_t pending_syncs_ = 0;
   bool started_ = false;
   std::uint64_t tick_generation_ = 0;
   std::uint32_t ticks_since_compaction_ = 0;
   std::uint32_t ticks_since_summary_ = 0;
   CounterSet counters_;
+  // Declared after counters_ (it writes its accounting there).
+  ReliableChannel channel_;
 };
 
 }  // namespace stcn

@@ -37,13 +37,21 @@ class FailureSchedule {
                                 std::size_t count, TimeInterval window,
                                 Duration downtime) {
     FailureSchedule schedule;
+    if (candidates.empty()) return schedule;
     rng.shuffle(candidates);
     count = std::min(count, candidates.size());
+    // A zero-length (or inverted) window degenerates to "everything fires
+    // at window.begin" instead of feeding 0 into uniform_index (UB).
+    auto span = window.length() > Duration::zero()
+                    ? static_cast<std::uint64_t>(
+                          window.length().count_micros())
+                    : 0;
     for (std::size_t i = 0; i < count; ++i) {
-      auto span = static_cast<std::uint64_t>(window.length().count_micros());
-      TimePoint at =
-          window.begin +
-          Duration::micros(static_cast<std::int64_t>(rng.uniform_index(span)));
+      Duration offset =
+          span == 0 ? Duration::zero()
+                    : Duration::micros(static_cast<std::int64_t>(
+                          rng.uniform_index(span)));
+      TimePoint at = window.begin + offset;
       schedule.add_crash(at, candidates[i]);
       schedule.add_restart(at + downtime, candidates[i]);
     }

@@ -1,6 +1,51 @@
 #include "net/sim_network.h"
 
+#include <algorithm>
+
 namespace stcn {
+
+Duration SimNetwork::delivery_delay(const Message& message) {
+  double seconds = static_cast<double>(message.wire_size()) /
+                   config_.bandwidth_bytes_per_sec;
+  auto transmission = static_cast<std::int64_t>(seconds * 1e6);
+  Duration jitter = Duration::zero();
+  if (config_.latency_jitter > Duration::zero()) {
+    jitter = Duration::micros(static_cast<std::int64_t>(rng_.uniform_index(
+        static_cast<std::uint64_t>(config_.latency_jitter.count_micros()))));
+  }
+  Duration base =
+      config_.base_latency + jitter + Duration::micros(transmission);
+
+  double multiplier = 1.0;
+  Duration extra = Duration::zero();
+  if (const LinkOverride* o = link(message.from, message.to)) {
+    multiplier *= o->latency_multiplier;
+    extra = extra + o->extra_latency;
+  }
+  // A slow endpoint (gray failure) stretches everything it sends or
+  // receives; with both endpoints slow the worse one dominates.
+  double slow = 1.0;
+  if (auto it = slow_.find(message.from); it != slow_.end()) {
+    slow = std::max(slow, it->second);
+  }
+  if (auto it = slow_.find(message.to); it != slow_.end()) {
+    slow = std::max(slow, it->second);
+  }
+  multiplier *= slow;
+
+  auto scaled = static_cast<std::int64_t>(
+      static_cast<double>(base.count_micros()) * multiplier);
+  return Duration::micros(scaled) + extra;
+}
+
+void SimNetwork::enqueue_delivery(const Message& message, Duration delay) {
+  Event e;
+  e.at = now_ + delay;
+  e.sequence = next_sequence_++;
+  e.is_timer = false;
+  e.message = message;
+  events_.push(std::move(e));
+}
 
 void SimNetwork::send(Message message) {
   counters_.add("messages_sent");
@@ -11,18 +56,65 @@ void SimNetwork::send(Message message) {
     counters_.add("messages_dropped_crashed");
     return;
   }
-  if (config_.drop_probability > 0.0 &&
-      rng_.bernoulli(config_.drop_probability)) {
+  if (partitioned(message.from, message.to)) {
+    counters_.add("messages_dropped_partition");
+    return;
+  }
+  double drop = config_.drop_probability;
+  if (const LinkOverride* o = link(message.from, message.to);
+      o != nullptr && o->drop_probability >= 0.0) {
+    drop = o->drop_probability;
+  }
+  if (drop > 0.0 && rng_.bernoulli(drop)) {
     counters_.add("messages_dropped_fabric");
     return;
   }
 
-  Event e;
-  e.at = now_ + transmission_delay(message.wire_size());
-  e.sequence = next_sequence_++;
-  e.is_timer = false;
-  e.message = std::move(message);
-  events_.push(std::move(e));
+  Duration delay = delivery_delay(message);
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(config_.duplicate_probability)) {
+    counters_.add("messages_duplicated");
+    enqueue_delivery(message, delivery_delay(message));
+  }
+  enqueue_delivery(message, delay);
+}
+
+void SimNetwork::partition(const std::vector<NodeId>& group_a,
+                           const std::vector<NodeId>& group_b) {
+  std::unordered_set<NodeId> a(group_a.begin(), group_a.end());
+  std::unordered_set<NodeId> b(group_b.begin(), group_b.end());
+  if (a.empty() || b.empty()) return;
+  partitions_.emplace_back(std::move(a), std::move(b));
+}
+
+bool SimNetwork::partitioned(NodeId a, NodeId b) const {
+  for (const auto& [left, right] : partitions_) {
+    if ((left.contains(a) && right.contains(b)) ||
+        (left.contains(b) && right.contains(a))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimNetwork::restart(NodeId id) {
+  crashed_.erase(id);
+  auto it = parked_timers_.find(id);
+  if (it == parked_timers_.end()) return;
+  // Re-queue every timer that came due during the outage. Firing "now"
+  // (never in the past) preserves the virtual-time monotonicity invariant
+  // while letting recurring chains re-arm themselves.
+  for (const ParkedTimer& parked : it->second) {
+    Event e;
+    e.at = parked.due > now_ ? parked.due : now_;
+    e.sequence = next_sequence_++;
+    e.is_timer = true;
+    e.timer_node = id;
+    e.timer_token = parked.token;
+    events_.push(std::move(e));
+    counters_.add("timers_resumed");
+  }
+  parked_timers_.erase(it);
 }
 
 void SimNetwork::set_timer(NodeId node, Duration delay, std::uint64_t token) {
@@ -44,7 +136,12 @@ bool SimNetwork::step() {
   if (e.at > now_) now_ = e.at;
 
   if (e.is_timer) {
-    if (crashed_.contains(e.timer_node)) return true;
+    if (crashed_.contains(e.timer_node)) {
+      // Park instead of discarding: the chain resumes on restart.
+      parked_timers_[e.timer_node].push_back({e.at, e.timer_token});
+      counters_.add("timers_parked");
+      return true;
+    }
     auto it = nodes_.find(e.timer_node);
     if (it != nodes_.end()) it->second->handle_timer(e.timer_token, *this);
     return true;
@@ -53,6 +150,11 @@ bool SimNetwork::step() {
   // A node crashed after the message was in flight still loses it.
   if (crashed_.contains(e.message.to)) {
     counters_.add("messages_dropped_crashed");
+    return true;
+  }
+  // Likewise a partition raised mid-flight cuts the message.
+  if (partitioned(e.message.from, e.message.to)) {
+    counters_.add("messages_dropped_partition");
     return true;
   }
   auto it = nodes_.find(e.message.to);

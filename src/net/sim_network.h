@@ -4,11 +4,33 @@
 // messages, and set timers; the simulator delivers everything in virtual-time
 // order. Link behaviour is modeled as
 //
-//     delivery_time = now + base_latency + jitter + wire_size / bandwidth
+//     delivery_time = now + (base_latency + jitter + wire_size / bandwidth)
+//                           * link_multiplier * slow_multiplier
+//                     + link_extra_latency
 //
 // with optional per-message drop probability and per-node failure state.
 // Every byte and message is accounted in a CounterSet so benchmarks can
 // report network volume exactly.
+//
+// Fault model (beyond clean crashes):
+//  * fabric loss        — `drop_probability` drops any message uniformly;
+//  * duplication        — `duplicate_probability` delivers a second copy of
+//                         a message with an independent delay;
+//  * partitions         — `partition(groupA, groupB)` drops every message
+//                         between the two groups, in both directions, until
+//                         `heal()`; partitions are cumulative;
+//  * link overrides     — `set_link` gives one directed link its own drop
+//                         probability and latency shaping (degraded link);
+//  * gray failures      — `set_slow(node, m)` multiplies the delivery
+//                         latency of every message to or from the node by
+//                         `m` without crashing it. Heartbeats still arrive,
+//                         so timeout-based failure detectors do not fire;
+//                         only latency-sensitive paths (hedging) notice.
+//
+// Crashes suppress timers but no longer lose them: a timer that comes due
+// while its node is crashed is parked and re-queued when the node restarts,
+// so recurring tick chains (heartbeat, monitor tick) survive a restart even
+// if nobody re-arms them explicitly.
 //
 // Determinism: with a fixed seed, identical send sequences produce identical
 // delivery schedules. Ties in delivery time are broken by send sequence
@@ -20,6 +42,7 @@
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -37,7 +60,18 @@ struct NetworkConfig {
   Duration latency_jitter = Duration::micros(50);  // uniform [0, jitter)
   double bandwidth_bytes_per_sec = 1.25e9;          // ~10 Gbit/s
   double drop_probability = 0.0;
+  /// Probability that a delivered message is delivered twice (the second
+  /// copy gets an independent delay). Models retransmitting middleboxes.
+  double duplicate_probability = 0.0;
   std::uint64_t seed = 42;
+};
+
+/// Per-directed-link behaviour override (degraded or asymmetric links).
+struct LinkOverride {
+  /// Negative means "inherit the fabric-wide drop_probability".
+  double drop_probability = -1.0;
+  Duration extra_latency = Duration::zero();
+  double latency_multiplier = 1.0;
 };
 
 class SimNetwork {
@@ -57,19 +91,59 @@ class SimNetwork {
   void detach(NodeId id) { nodes_.erase(id); }
 
   /// Sends a message; it will be delivered at a future virtual time unless
-  /// the destination is crashed/unknown or the fabric drops it.
+  /// the destination is crashed/unknown, a partition separates the
+  /// endpoints, or the fabric drops it.
   void send(Message message);
 
   /// Schedules `handle_timer(token)` on `node` at now + delay.
   void set_timer(NodeId node, Duration delay, std::uint64_t token);
 
-  /// Marks a node as crashed: messages to it are dropped (and counted).
+  /// Marks a node as crashed: messages to it are dropped (and counted) and
+  /// its timers are parked until restart.
   void crash(NodeId id) { crashed_.insert(id); }
-  /// Heals a crashed node.
-  void restart(NodeId id) { crashed_.erase(id); }
+  /// Heals a crashed node and re-queues any timers that came due while it
+  /// was down (recurring tick chains resume without outside help).
+  void restart(NodeId id);
   [[nodiscard]] bool is_crashed(NodeId id) const {
     return crashed_.contains(id);
   }
+
+  // ------------------------------------------------------------ partitions
+  /// Partitions the fabric: every message between a node in `group_a` and a
+  /// node in `group_b` is dropped, in both directions. Partitions stack; an
+  /// endpoint pair is cut if any active partition separates it.
+  void partition(const std::vector<NodeId>& group_a,
+                 const std::vector<NodeId>& group_b);
+  /// Heals all partitions.
+  void heal() { partitions_.clear(); }
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t active_partitions() const {
+    return partitions_.size();
+  }
+
+  // --------------------------------------------------------- link overrides
+  /// Overrides behaviour of the directed link `from` → `to`.
+  void set_link(NodeId from, NodeId to, LinkOverride link) {
+    links_[link_key(from, to)] = link;
+  }
+  /// Overrides both directions of a link.
+  void set_link_symmetric(NodeId a, NodeId b, LinkOverride link) {
+    set_link(a, b, link);
+    set_link(b, a, link);
+  }
+  void clear_link(NodeId from, NodeId to) { links_.erase(link_key(from, to)); }
+  void clear_links() { links_.clear(); }
+
+  // ----------------------------------------------------------- gray failure
+  /// Puts a node in "slow" mode: all its traffic (in and out) takes
+  /// `latency_multiplier` times longer to deliver. The node stays up —
+  /// heartbeats flow, so failure detectors do not trip. Requires >= 1.
+  void set_slow(NodeId id, double latency_multiplier) {
+    STCN_CHECK(latency_multiplier >= 1.0);
+    slow_[id] = latency_multiplier;
+  }
+  void clear_slow(NodeId id) { slow_.erase(id); }
+  [[nodiscard]] bool is_slow(NodeId id) const { return slow_.contains(id); }
 
   /// Runs the event loop until no events remain or `deadline` is reached.
   /// Returns the number of events processed.
@@ -93,7 +167,7 @@ class SimNetwork {
   [[nodiscard]] bool idle() const { return events_.empty(); }
 
   /// Transport accounting: messages_sent, messages_delivered,
-  /// messages_dropped, bytes_sent.
+  /// messages_dropped_*, messages_duplicated, bytes_sent, timers_parked.
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
   CounterSet& counters() { return counters_; }
 
@@ -115,17 +189,23 @@ class SimNetwork {
     }
   };
 
-  [[nodiscard]] Duration transmission_delay(std::size_t wire_bytes) {
-    double seconds =
-        static_cast<double>(wire_bytes) / config_.bandwidth_bytes_per_sec;
-    auto micros = static_cast<std::int64_t>(seconds * 1e6);
-    Duration jitter = Duration::zero();
-    if (config_.latency_jitter > Duration::zero()) {
-      jitter = Duration::micros(static_cast<std::int64_t>(rng_.uniform_index(
-          static_cast<std::uint64_t>(config_.latency_jitter.count_micros()))));
-    }
-    return config_.base_latency + jitter + Duration::micros(micros);
+  struct ParkedTimer {
+    TimePoint due;
+    std::uint64_t token = 0;
+  };
+
+  static std::uint64_t link_key(NodeId from, NodeId to) {
+    // Directed pair packed for hashing; node ids in this codebase are small.
+    return from.value() * 0x1'0000'0001ULL ^ (to.value() << 1);
   }
+
+  [[nodiscard]] const LinkOverride* link(NodeId from, NodeId to) const {
+    auto it = links_.find(link_key(from, to));
+    return it == links_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Duration delivery_delay(const Message& message);
+  void enqueue_delivery(const Message& message, Duration delay);
 
   NetworkConfig config_;
   Rng rng_;
@@ -134,6 +214,12 @@ class SimNetwork {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::unordered_map<NodeId, NetworkNode*> nodes_;
   std::unordered_set<NodeId> crashed_;
+  std::unordered_map<NodeId, std::vector<ParkedTimer>> parked_timers_;
+  std::vector<std::pair<std::unordered_set<NodeId>,
+                        std::unordered_set<NodeId>>>
+      partitions_;
+  std::unordered_map<std::uint64_t, LinkOverride> links_;
+  std::unordered_map<NodeId, double> slow_;
   CounterSet counters_;
 };
 

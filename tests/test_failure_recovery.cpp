@@ -41,6 +41,9 @@ ClusterConfig config_with_workers(std::size_t n) {
   c.worker_count = n;
   c.network.latency_jitter = Duration::zero();
   c.coordinator.query_timeout = Duration::millis(20);
+  // These tests exercise the timeout-driven failover path specifically;
+  // hedging would answer from the backups before the timeout ever fires.
+  c.coordinator.hedge_queries = false;
   return c;
 }
 

@@ -41,7 +41,7 @@ TEST(Protocol, IngestBatchRoundTrip) {
 
 TEST(Protocol, QueryRequestRoundTrip) {
   QueryRequest request{
-      42,
+      42, 17,
       Query::range(QueryId(7), {{0, 0}, {10, 10}},
                    {TimePoint(1), TimePoint(2)}),
       {PartitionId(1), PartitionId(3)}};
@@ -50,6 +50,7 @@ TEST(Protocol, QueryRequestRoundTrip) {
   QueryRequest back = decode_query_request(r);
   EXPECT_FALSE(r.failed());
   EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.sub_id, 17u);
   EXPECT_EQ(back.query.id, QueryId(7));
   ASSERT_EQ(back.partitions.size(), 2u);
   EXPECT_EQ(back.partitions[1], PartitionId(3));
@@ -58,6 +59,7 @@ TEST(Protocol, QueryRequestRoundTrip) {
 TEST(Protocol, QueryResponseRoundTrip) {
   QueryResponse response;
   response.request_id = 9;
+  response.sub_id = 23;
   response.result.query = QueryId(7);
   response.result.detections = {make_detection(5)};
   response.result.counts[3] = 14;
@@ -66,6 +68,7 @@ TEST(Protocol, QueryResponseRoundTrip) {
   QueryResponse back = decode_query_response(r);
   EXPECT_FALSE(r.failed());
   EXPECT_EQ(back.request_id, 9u);
+  EXPECT_EQ(back.sub_id, 23u);
   EXPECT_EQ(back.result.counts.at(3), 14u);
   ASSERT_EQ(back.result.detections.size(), 1u);
 }
@@ -165,7 +168,7 @@ TEST(ProtocolFuzz, IngestBatchDecoderRobust) {
 
 TEST(ProtocolFuzz, QueryRequestDecoderRobust) {
   QueryRequest request{
-      1, Query::knn(QueryId(1), {5, 5}, 10, TimeInterval::all()),
+      1, 1, Query::knn(QueryId(1), {5, 5}, 10, TimeInterval::all()),
       {PartitionId(0), PartitionId(1), PartitionId(2)}};
   fuzz_decoder(encode(request),
                [](BinaryReader& r) { return decode_query_request(r); }, 2);

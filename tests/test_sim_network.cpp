@@ -217,6 +217,141 @@ TEST(SimNetwork, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(SimNetwork, PartitionCutsBothDirectionsUntilHealed) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  RecorderNode b(NodeId(2));
+  RecorderNode c(NodeId(3));
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+
+  net.partition({NodeId(1)}, {NodeId(2)});
+  EXPECT_TRUE(net.partitioned(NodeId(1), NodeId(2)));
+  EXPECT_TRUE(net.partitioned(NodeId(2), NodeId(1)));
+  EXPECT_FALSE(net.partitioned(NodeId(1), NodeId(3)));
+
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(2), NodeId(1), 0, {}, {}});
+  net.send({NodeId(1), NodeId(3), 0, {}, {}});  // unaffected pair
+  net.run_until_idle();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(net.counters().get("messages_dropped_partition"), 2u);
+
+  net.heal();
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetwork, PartitionCutsMessageInFlight) {
+  // A message already in flight when the partition forms is lost too: the
+  // cut is checked again at delivery time.
+  SimNetwork net(quiet_config());
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.partition({NodeId(1)}, {NodeId(2)});
+  net.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimNetwork, PartitionsStack) {
+  SimNetwork net(quiet_config());
+  net.partition({NodeId(1)}, {NodeId(2)});
+  net.partition({NodeId(1)}, {NodeId(3)});
+  EXPECT_EQ(net.active_partitions(), 2u);
+  EXPECT_TRUE(net.partitioned(NodeId(1), NodeId(2)));
+  EXPECT_TRUE(net.partitioned(NodeId(1), NodeId(3)));
+  EXPECT_FALSE(net.partitioned(NodeId(2), NodeId(3)));
+  net.heal();
+  EXPECT_EQ(net.active_partitions(), 0u);
+}
+
+TEST(SimNetwork, DuplicateProbabilityDeliversTwice) {
+  NetworkConfig config = quiet_config();
+  config.duplicate_probability = 1.0;
+  SimNetwork net(config);
+  RecorderNode b(NodeId(2));
+  net.attach(b);
+  for (int i = 0; i < 5; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_EQ(b.received.size(), 10u);
+  EXPECT_EQ(net.counters().get("messages_duplicated"), 5u);
+  EXPECT_EQ(net.counters().get("messages_delivered"), 10u);
+}
+
+TEST(SimNetwork, LinkOverrideDropAndLatency) {
+  SimNetwork net(quiet_config());
+  RecorderNode b(NodeId(2));
+  RecorderNode c(NodeId(3));
+  net.attach(b);
+  net.attach(c);
+
+  // Directed override: 1→2 always drops; 2→1 unaffected.
+  net.set_link(NodeId(1), NodeId(2), {.drop_probability = 1.0});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  EXPECT_TRUE(b.received.empty());
+  net.clear_link(NodeId(1), NodeId(2));
+
+  // Latency shaping: +10ms extra on 1→3.
+  net.set_link(NodeId(1), NodeId(3),
+               {.extra_latency = Duration::millis(10)});
+  net.send({NodeId(1), NodeId(3), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.run_until_idle();
+  ASSERT_EQ(c.received.size(), 1u);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_GT(c.received_at[0] - b.received_at[0], Duration::millis(9));
+}
+
+TEST(SimNetwork, SlowNodeDelaysTrafficBothWays) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  RecorderNode b(NodeId(2));
+  RecorderNode c(NodeId(3));
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+
+  net.set_slow(NodeId(2), 100.0);
+  EXPECT_TRUE(net.is_slow(NodeId(2)));
+  net.send({NodeId(1), NodeId(2), 0, {}, {}});  // into the slow node
+  net.send({NodeId(2), NodeId(3), 0, {}, {}});  // out of the slow node
+  net.send({NodeId(1), NodeId(3), 0, {}, {}});  // healthy pair
+  net.run_until_idle();
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(c.received.size(), 2u);
+  // Healthy-pair delivery is ~base_latency; slow-node traffic is ~100x.
+  Duration healthy = c.received_at[0] - TimePoint::origin();
+  EXPECT_GT(b.received_at[0] - TimePoint::origin(), healthy * 50.0);
+
+  net.clear_slow(NodeId(2));
+  EXPECT_FALSE(net.is_slow(NodeId(2)));
+}
+
+TEST(SimNetwork, ParkedTimersResumeOnRestart) {
+  SimNetwork net(quiet_config());
+  RecorderNode a(NodeId(1));
+  net.attach(a);
+  net.set_timer(NodeId(1), Duration::seconds(1), 77);
+  net.crash(NodeId(1));
+  net.run_until(TimePoint::origin() + Duration::seconds(5));
+  EXPECT_TRUE(a.timer_tokens.empty());
+  EXPECT_EQ(net.counters().get("timers_parked"), 1u);
+
+  net.restart(NodeId(1));
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_tokens.size(), 1u);
+  EXPECT_EQ(a.timer_tokens[0], 77u);
+  // Fired at restart time (its original due time had already passed).
+  EXPECT_GE(a.timer_at[0], TimePoint::origin() + Duration::seconds(5));
+  EXPECT_EQ(net.counters().get("timers_resumed"), 1u);
+}
+
 TEST(FailureSchedule, AppliesInOrder) {
   SimNetwork net(quiet_config());
   RecorderNode a(NodeId(1));
@@ -250,6 +385,30 @@ TEST(FailureSchedule, RandomScheduleRespectsWindowAndCount) {
   }
   EXPECT_EQ(crashes, 3u);
   EXPECT_EQ(schedule.events().size(), 6u);  // crash + restart each
+}
+
+TEST(FailureSchedule, RandomWithNoCandidatesIsEmpty) {
+  Rng rng(3);
+  FailureSchedule schedule = FailureSchedule::random(
+      rng, {}, 3, {TimePoint(1000), TimePoint(2000)}, Duration::micros(50));
+  EXPECT_TRUE(schedule.events().empty());
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(FailureSchedule, RandomWithZeroLengthWindowPinsEventsToStart) {
+  Rng rng(3);
+  std::vector<NodeId> nodes{NodeId(1), NodeId(2)};
+  TimeInterval window{TimePoint(1000), TimePoint(1000)};
+  FailureSchedule schedule = FailureSchedule::random(
+      rng, nodes, 2, window, Duration::micros(50));
+  std::size_t crashes = 0;
+  for (const FailureEvent& e : schedule.events()) {
+    if (e.kind == FailureEvent::Kind::kCrash) {
+      ++crashes;
+      EXPECT_EQ(e.at, TimePoint(1000));
+    }
+  }
+  EXPECT_EQ(crashes, 2u);
 }
 
 }  // namespace

@@ -27,6 +27,9 @@ struct ReportScenario {
     world = trace.roads.bounds(120.0);
     ClusterConfig config;
     config.worker_count = 4;
+    // TracksFailureHandling asserts the timeout-driven failover counters;
+    // hedging would satisfy crashed-worker queries without them.
+    config.coordinator.hedge_queries = false;
     cluster = std::make_unique<Cluster>(
         world,
         std::make_unique<SpatialGridStrategy>(world, 3, 3, trace.cameras),

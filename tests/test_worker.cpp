@@ -29,13 +29,31 @@ WorkerConfig worker_config() {
   return c;
 }
 
-/// Coordinator stub capturing responses and deltas.
+/// Coordinator stub capturing responses and deltas. Workers send deltas
+/// (and replies to reliable requests) through the reliable channel, so the
+/// stub unwraps DATA frames — and acks them, else the worker retransmits
+/// forever.
 class CoordStub final : public NetworkNode {
  public:
+  CoordStub() : channel_(kCoord, counters_) {}
   [[nodiscard]] NodeId node_id() const override { return kCoord; }
-  void handle_message(const Message& message, SimNetwork&) override {
-    BinaryReader reader(message.payload);
+  void handle_message(const Message& message, SimNetwork& network) override {
+    Message inner = message;
     switch (static_cast<MsgType>(message.type)) {
+      case MsgType::kReliableData: {
+        auto unwrapped = channel_.on_data(message, network);
+        if (!unwrapped) return;
+        inner = std::move(*unwrapped);
+        break;
+      }
+      case MsgType::kReliableAck:
+        channel_.on_ack(message);
+        return;
+      default:
+        break;
+    }
+    BinaryReader reader(inner.payload);
+    switch (static_cast<MsgType>(inner.type)) {
       case MsgType::kQueryResponse:
         responses.push_back(decode_query_response(reader));
         break;
@@ -50,6 +68,10 @@ class CoordStub final : public NetworkNode {
   }
   std::vector<QueryResponse> responses;
   std::vector<WireDelta> deltas;
+
+ private:
+  CounterSet counters_;
+  ReliableChannel channel_;
 };
 
 class WorkerFixture : public ::testing::Test {
@@ -72,7 +94,7 @@ class WorkerFixture : public ::testing::Test {
   }
 
   QueryResult run_query(const Query& q, std::vector<PartitionId> parts) {
-    QueryRequest req{next_request_++, q, std::move(parts)};
+    QueryRequest req{next_request_++, 0, q, std::move(parts)};
     network_->send({kCoord, worker_.node_id(),
                     static_cast<std::uint32_t>(MsgType::kQueryRequest),
                     encode(req), network_->now()});
