@@ -61,7 +61,12 @@ void run() {
               "detections", "fanoutP", "msg/qP", "bytes/qP", "fanoutB",
               "msg/qB", "bytes/qB");
 
-  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+  bench::BenchReport report("camera_scalability");
+  std::vector<double> scales = bench::quick()
+                                   ? std::vector<double>{0.5}
+                                   : std::vector<double>{0.5, 1.0, 2.0, 4.0, 8.0};
+  std::size_t query_count = bench::quick() ? 10 : 60;
+  for (double scale : scales) {
     TraceConfig tc = bench::scenario(scale, Duration::minutes(2));
     Trace trace = TraceGenerator::generate(tc);
     Rect world = trace.roads.bounds(150.0);
@@ -80,28 +85,41 @@ void run() {
 
     Cluster pruned(world, make_inner(), config);
     pruned.ingest_all(trace.detections);
-    RunResult p = run_queries(pruned, world, 60);
+    RunResult p = run_queries(pruned, world, query_count);
 
     Cluster broadcast(world,
                       std::make_unique<BroadcastStrategy>(make_inner()),
                       config);
     broadcast.ingest_all(trace.detections);
-    RunResult b = run_queries(broadcast, world, 60);
+    RunResult b = run_queries(broadcast, world, query_count);
 
     std::printf("%9zu %11zu |  %8.2f %10.1f %12.0f  |  %8.2f %10.1f %12.0f\n",
                 trace.cameras.size(), trace.detections.size(), p.fanout,
                 p.msgs_per_query, p.bytes_per_query, b.fanout,
                 b.msgs_per_query, b.bytes_per_query);
+    std::string suffix = "_cams" + std::to_string(trace.cameras.size());
+    report.set("fanout_pruned" + suffix, p.fanout);
+    report.set("bytes_per_query_pruned" + suffix, p.bytes_per_query);
+    report.set("fanout_broadcast" + suffix, b.fanout);
+    report.set("bytes_per_query_broadcast" + suffix, b.bytes_per_query);
+    if (scale == scales.back()) {
+      report.add_histogram("query_latency_us",
+                           *pruned.coordinator().metrics().histograms().at(
+                               "query_latency_us"));
+      report.add_registry(pruned.metrics_snapshot());
+    }
   }
   std::printf(
       "\nexpected shape: pruned fan-out stays ~flat with network size;\n"
       "broadcast fans out to the whole fleet and moves more bytes/query.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

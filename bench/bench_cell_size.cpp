@@ -14,7 +14,9 @@ namespace stcn {
 namespace {
 
 void run() {
-  TraceConfig tc = bench::scenario(3.0, Duration::minutes(6));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 3.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(6));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -28,12 +30,19 @@ void run() {
 
   Rng rng(3);
   std::vector<Point> centers;
-  for (int i = 0; i < 200; ++i) {
+  int center_count = bench::quick() ? 40 : 200;
+  for (int i = 0; i < center_count; ++i) {
     centers.push_back({rng.uniform(world.min.x, world.max.x),
                        rng.uniform(world.min.y, world.max.y)});
   }
 
-  for (double cell : {12.5, 25.0, 50.0, 100.0, 200.0, 400.0}) {
+  bench::BenchReport report("cell_size");
+  report.set("detections", static_cast<double>(trace.detections.size()));
+  std::vector<double> cells =
+      bench::quick() ? std::vector<double>{25.0, 100.0}
+                     : std::vector<double>{12.5, 25.0, 50.0, 100.0, 200.0,
+                                           400.0};
+  for (double cell : cells) {
     DetectionStore store;
     GridIndex index(GridIndexConfig{world, cell});
 
@@ -69,16 +78,22 @@ void run() {
     std::printf("%10.1f %10zu %12.2f %14.1f %14.1f %12.1f %14.1f\n", cell,
                 index.cell_count(), insert_us, range100, range800, knn_us,
                 probes_per_query);
+    std::string suffix = "_cell" + std::to_string(static_cast<int>(cell));
+    report.set("insert_us" + suffix, insert_us);
+    report.set("range100_us" + suffix, range100);
+    report.set("knn10_us" + suffix, knn_us);
   }
   std::printf(
       "\nexpected shape: a U-curve — tiny cells pay per-cell overhead,\n"
       "huge cells pay scan cost; the default (50 m) sits near the bottom.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -52,14 +52,18 @@ std::uint64_t cluster_counter(Cluster& cluster, const char* name) {
 }
 
 void run_drop_sweep(const Trace& trace, const Rect& world,
-                    const std::set<std::uint64_t>& expected) {
+                    const std::set<std::uint64_t>& expected,
+                    bench::BenchReport& report) {
   bench::print_header(
       "E9b lossy fabric sweep",
       "8 workers, 1% duplication, reliable transport + hedged queries");
   std::printf("%8s %12s %14s %12s %10s %8s %8s\n", "drop", "goodput_eps",
               "completeness", "retransmits", "dup_supp", "hedged", "won");
 
-  for (double drop : {0.0, 0.02, 0.05, 0.10}) {
+  std::vector<double> drops = bench::quick()
+                                  ? std::vector<double>{0.0, 0.05}
+                                  : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+  for (double drop : drops) {
     ClusterConfig config;
     config.worker_count = 8;
     config.network.drop_probability = drop;
@@ -102,6 +106,15 @@ void run_drop_sweep(const Trace& trace, const Rect& world,
                 cluster_counter(cluster, "dup_suppressed"),
                 cluster_counter(cluster, "hedges_issued"),
                 cluster_counter(cluster, "hedges_won"));
+    std::string suffix =
+        "_drop" + std::to_string(static_cast<int>(drop * 100.0));
+    report.set("completeness_pct" + suffix, completeness);
+    report.set("goodput_eps" + suffix, goodput);
+    report.set("retransmits" + suffix,
+               static_cast<double>(cluster_counter(cluster, "retransmits")));
+    if (drop == drops.back()) {
+      report.add_registry(cluster.metrics_snapshot());
+    }
   }
   std::printf(
       "\nexpected shape: completeness pinned at 100%% across the sweep;\n"
@@ -109,7 +122,9 @@ void run_drop_sweep(const Trace& trace, const Rect& world,
 }
 
 void run() {
-  TraceConfig tc = bench::scenario(1.5, Duration::minutes(4));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 1.5,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(4));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -124,7 +139,12 @@ void run() {
   std::printf("%10s %16s %16s %16s %12s\n", "failures", "recovery_virt_ms",
               "resynced_events", "resync_bytes", "complete?");
 
-  for (std::size_t failures : {1, 2, 4}) {
+  bench::BenchReport report("failure_recovery");
+  report.set("detections", static_cast<double>(trace.detections.size()));
+  std::vector<std::size_t> failure_counts =
+      bench::quick() ? std::vector<std::size_t>{1}
+                     : std::vector<std::size_t>{1, 2, 4};
+  for (std::size_t failures : failure_counts) {
     ClusterConfig config;
     config.worker_count = 8;
     config.coordinator.query_timeout = Duration::millis(20);
@@ -167,18 +187,24 @@ void run() {
                 recovery_ms / static_cast<double>(failures),
                 resynced / failures, resync_bytes / failures,
                 all_complete ? "yes" : "NO");
+    std::string suffix = "_f" + std::to_string(failures);
+    report.set("recovery_virt_ms" + suffix,
+               recovery_ms / static_cast<double>(failures));
+    report.set("complete" + suffix, all_complete ? 1.0 : 0.0);
   }
   std::printf(
       "\nexpected shape: bounded recovery (proportional to per-worker\n"
       "data), complete answers throughout thanks to failover + resync.\n");
 
-  run_drop_sweep(trace, world, expected);
+  run_drop_sweep(trace, world, expected, report);
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -18,7 +18,9 @@ namespace stcn {
 namespace {
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 2.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(4));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -29,6 +31,8 @@ void run() {
   std::printf("%-22s %14s %12s %14s %18s\n", "architecture", "bytes_total",
               "messages", "bytes/event", "coord_forwards");
 
+  bench::BenchReport report("gateway");
+  report.set("detections", static_cast<double>(trace.detections.size()));
   for (bool relay : {false, true}) {
     ClusterConfig config;
     config.worker_count = 8;
@@ -56,16 +60,25 @@ void run() {
                 static_cast<double>(bytes) /
                     static_cast<double>(trace.detections.size()),
                 forwards);
+    std::string suffix = relay ? "_relay" : "_direct";
+    report.set("bytes_total" + suffix, static_cast<double>(bytes));
+    report.set("bytes_per_event" + suffix,
+               static_cast<double>(bytes) /
+                   static_cast<double>(trace.detections.size()));
+    report.set("coord_forwards" + suffix, static_cast<double>(forwards));
+    if (relay) report.add_registry(cluster.metrics_snapshot());
   }
   std::printf(
       "\nexpected shape: relay ≈ 2× the wire bytes of direct routing and\n"
       "funnels every event through the coordinator.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

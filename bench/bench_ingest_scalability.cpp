@@ -24,7 +24,9 @@ namespace {
 
 void run() {
   using bench::WallTimer;
-  TraceConfig tc = bench::scenario(4.0, Duration::minutes(8));
+  double scale = bench::quick() ? 0.5 : 4.0;
+  auto minutes = bench::quick() ? Duration::minutes(1) : Duration::minutes(8);
+  TraceConfig tc = bench::scenario(scale, minutes);
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -47,8 +49,15 @@ void run() {
   std::printf("%8s %18s %20s %14s %10s\n", "workers", "busiest_worker_ev",
               "modeled_events_per_s", "net_bytes/ev", "speedup");
 
+  bench::BenchReport report("ingest_scalability");
+  report.set("detections", static_cast<double>(trace.detections.size()));
+  report.set("unit_cost_us", unit_cost_us);
+
   double baseline_throughput = 0.0;
-  for (std::size_t workers : {1, 2, 4, 8, 16, 32}) {
+  std::vector<std::size_t> worker_sweep =
+      bench::quick() ? std::vector<std::size_t>{1, 4}
+                     : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+  for (std::size_t workers : worker_sweep) {
     HybridStrategy::Config hc;
     hc.tiles_x = 8;
     hc.tiles_y = 8;
@@ -80,13 +89,22 @@ void run() {
     std::printf("%8zu %18" PRIu64 " %20.0f %14.1f %9.2fx\n", workers, busiest,
                 throughput, bytes_per_event,
                 throughput / baseline_throughput);
+    std::string suffix = "_w" + std::to_string(workers);
+    report.set("modeled_events_per_s" + suffix, throughput);
+    report.set("bytes_per_event" + suffix, bytes_per_event);
+    report.set("speedup" + suffix, throughput / baseline_throughput);
+    if (workers == worker_sweep.back()) {
+      report.add_registry(cluster.metrics_snapshot());
+    }
   }
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -18,25 +18,40 @@ namespace stcn {
 namespace {
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  // --quick trims the sweep so CI can validate the bench (and its JSON
+  // report) in a couple of seconds.
+  double scale = bench::quick() ? 0.5 : 2.0;
+  auto minutes = bench::quick() ? Duration::minutes(1) : Duration::minutes(4);
+  int center_count = bench::quick() ? 8 : 40;
+  std::vector<std::uint32_t> ks =
+      bench::quick() ? std::vector<std::uint32_t>{1u, 10u}
+                     : std::vector<std::uint32_t>{1u, 10u, 100u};
+  std::vector<std::size_t> worker_sweep =
+      bench::quick() ? std::vector<std::size_t>{4}
+                     : std::vector<std::size_t>{1, 4, 16};
+
+  TraceConfig tc = bench::scenario(scale, minutes);
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
   bench::print_header(
       "E8 k-NN latency",
       std::to_string(trace.detections.size()) + " detections");
+  bench::BenchReport report("knn");
+  report.set("detections", static_cast<double>(trace.detections.size()));
 
-  std::printf("-- distributed stack: wall ms per query (40 queries/cell)\n");
+  std::printf("-- distributed stack: wall ms per query (%d queries/cell)\n",
+              center_count);
   std::printf("%10s %8s %8s %8s\n", "k \\ workers", "1", "4", "16");
   Rng rng(3);
   std::vector<Point> centers;
-  for (int i = 0; i < 40; ++i) {
+  for (int i = 0; i < center_count; ++i) {
     centers.push_back({rng.uniform(world.min.x, world.max.x),
                        rng.uniform(world.min.y, world.max.y)});
   }
-  for (std::uint32_t k : {1u, 10u, 100u}) {
+  for (std::uint32_t k : ks) {
     std::printf("%10u ", k);
-    for (std::size_t workers : {1, 4, 16}) {
+    for (std::size_t workers : worker_sweep) {
       ClusterConfig config;
       config.worker_count = workers;
       Cluster cluster(
@@ -49,7 +64,20 @@ void run() {
         (void)cluster.execute(
             Query::knn(cluster.next_query_id(), c, k, TimeInterval::all()));
       }
-      std::printf("%8.3f ", timer.elapsed_ms() / centers.size());
+      double wall_ms = timer.elapsed_ms() / centers.size();
+      std::printf("%8.3f ", wall_ms);
+      report.set("wall_ms_per_query_k" + std::to_string(k) + "_w" +
+                     std::to_string(workers),
+                 wall_ms);
+      // Virtual-clock quantiles + the full registry from the largest sweep
+      // point (the last cluster built).
+      if (k == ks.back() && workers == worker_sweep.back()) {
+        report.add_histogram(
+            "query_latency_us",
+            *cluster.coordinator().metrics().histograms().at(
+                "query_latency_us"));
+        report.add_registry(cluster.metrics_snapshot());
+      }
     }
     std::printf("\n");
   }
@@ -77,16 +105,20 @@ void run() {
     }
     double kd_us = kd_timer.elapsed_ms() * 1000.0 / centers.size();
     std::printf("%10zu %12.1f %12.1f\n", k, grid_us, kd_us);
+    report.set("grid_us_k" + std::to_string(k), grid_us);
+    report.set("kdtree_us_k" + std::to_string(k), kd_us);
   }
   std::printf(
       "\nexpected shape: latency grows mildly with k; k-NN cannot prune\n"
       "partitions, so more workers add fan-in cost rather than speedup.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -20,7 +20,7 @@ namespace {
 
 void evaluate(const std::string& label,
               std::unique_ptr<PartitionStrategy> strategy, const Trace& trace,
-              const Rect& world) {
+              const Rect& world, bench::BenchReport& report) {
   std::size_t partitions = strategy->partition_count();
   const PartitionStrategy& strategy_ref = *strategy;
   ClusterConfig config;
@@ -38,7 +38,7 @@ void evaluate(const std::string& label,
   // Query-side routing efficiency.
   Rng rng(5);
   auto bytes0 = cluster.network().counters().get("bytes_sent");
-  const int kQueries = 80;
+  const int kQueries = bench::quick() ? 15 : 80;
   for (int i = 0; i < kQueries; ++i) {
     Rect region = Rect::centered(
         {rng.uniform(world.min.x, world.max.x),
@@ -58,10 +58,15 @@ void evaluate(const std::string& label,
               partitions, load.worker_load_cv(cluster.worker_ids()),
               load.worker_max_over_mean(cluster.worker_ids()),
               cluster.coordinator().mean_fanout(), bytes_per_query);
+  report.set("load_cv_" + label, load.worker_load_cv(cluster.worker_ids()));
+  report.set("fanout_" + label, cluster.coordinator().mean_fanout());
+  report.set("bytes_per_query_" + label, bytes_per_query);
 }
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 2.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(4));
   tc.mobility.hotspot_fraction = 0.6;  // strong downtown skew
   tc.mobility.hotspot_count = 2;
   Trace trace = TraceGenerator::generate(tc);
@@ -74,13 +79,15 @@ void run() {
   std::printf("%-10s %11s %10s %10s %10s %14s\n", "strategy", "partitions",
               "load_cv", "max/mean", "fanout", "bytes/query");
 
+  bench::BenchReport report("partitioning");
+  report.set("detections", static_cast<double>(trace.detections.size()));
   evaluate("spatial",
            std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
-           trace, world);
-  evaluate("hash", std::make_unique<HashStrategy>(16), trace, world);
+           trace, world, report);
+  evaluate("hash", std::make_unique<HashStrategy>(16), trace, world, report);
   evaluate("temporal",
            std::make_unique<TemporalStrategy>(16, Duration::minutes(1)),
-           trace, world);
+           trace, world, report);
   HybridStrategy::Config hc;
   hc.tiles_x = 4;
   hc.tiles_y = 4;
@@ -88,18 +95,20 @@ void run() {
   hc.hot_split_factor = 4;
   evaluate("hybrid",
            std::make_unique<HybridStrategy>(world, trace.cameras, hc), trace,
-           world);
+           world, report);
 
   std::printf(
       "\nexpected shape: spatial prunes best but skews worst; hash balances\n"
       "but broadcasts; hybrid keeps fan-out near spatial with load_cv near "
       "hash.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

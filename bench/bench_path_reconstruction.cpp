@@ -39,8 +39,14 @@ void run() {
   std::printf("%8s %8s %12s %12s %14s %10s\n", "noise", "probes",
               "hop_accuracy", "path_len", "candidates", "ms/probe");
 
-  for (double noise : {0.05, 0.15, 0.30, 0.50}) {
-    TraceConfig tc = bench::scenario(1.5, Duration::minutes(8));
+  bench::BenchReport report("path_reconstruction");
+  std::vector<double> noises = bench::quick()
+                                   ? std::vector<double>{0.15}
+                                   : std::vector<double>{0.05, 0.15, 0.30, 0.50};
+  for (double noise : noises) {
+    TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 1.5,
+                                     bench::quick() ? Duration::minutes(2)
+                                                    : Duration::minutes(8));
     tc.detection.appearance_noise = noise;
     Trace trace = TraceGenerator::generate(tc);
     Rect world = trace.roads.bounds(150.0);
@@ -84,17 +90,24 @@ void run() {
     auto dn = static_cast<double>(n);
     std::printf("%8.2f %8zu %11.0f%% %12.1f %14.0f %10.2f\n", noise, n,
                 100.0 * accuracy / dn, length / dn, candidates / dn, ms / dn);
+    std::string suffix =
+        "_noise" + std::to_string(static_cast<int>(noise * 100));
+    report.set("hop_accuracy_pct" + suffix, 100.0 * accuracy / dn);
+    report.set("path_len" + suffix, length / dn);
+    report.set("candidates" + suffix, candidates / dn);
   }
   std::printf(
       "\nexpected shape: accuracy high at low noise, degrading gracefully\n"
       "as the detector worsens; candidates stay bounded (cone, not full "
       "scan).\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

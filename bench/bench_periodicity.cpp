@@ -23,7 +23,11 @@ void run() {
   std::printf("%12s %12s %14s %14s %12s\n", "true_period", "quiet_factor",
               "detections", "detected", "confidence");
 
-  for (std::int64_t period_min : {2, 3, 4}) {
+  bench::BenchReport report("periodicity");
+  std::vector<std::int64_t> periods = bench::quick()
+                                          ? std::vector<std::int64_t>{3}
+                                          : std::vector<std::int64_t>{2, 3, 4};
+  for (std::int64_t period_min : periods) {
     for (double quiet_factor : {1.0, 4.0, 30.0}) {
       TraceConfig tc = bench::scenario(1.0, Duration::minutes(4 * period_min));
       tc.mobility.activity_period = Duration::minutes(period_min);
@@ -39,13 +43,18 @@ void run() {
           {TimePoint::origin(), TimePoint::origin() + tc.duration},
           Duration::seconds(15));
       auto est = estimate_period(series);
+      std::string suffix = "_p" + std::to_string(period_min) + "_q" +
+                           std::to_string(static_cast<int>(quiet_factor));
       if (est.has_value()) {
         std::printf("%10" PRId64 "min %12.0f %14zu %12.0fs %12.2f\n",
                     period_min, quiet_factor, trace.detections.size(),
                     est->period.to_seconds(), est->confidence);
+        report.set("detected_period_s" + suffix, est->period.to_seconds());
+        report.set("confidence" + suffix, est->confidence);
       } else {
         std::printf("%10" PRId64 "min %12.0f %14zu %14s %12s\n", period_min,
                     quiet_factor, trace.detections.size(), "none", "-");
+        report.set("detected_period_s" + suffix, 0.0);
       }
     }
   }
@@ -56,12 +65,14 @@ void run() {
       "2-minute row: 60 s quiet halves vs 10–60 s trips) blur into the\n"
       "mobility shoulder and are correctly not reported rather than\n"
       "reported wrong.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

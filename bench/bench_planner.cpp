@@ -46,7 +46,9 @@ Cost measure(Cluster& cluster, std::size_t n, RunQuery&& run) {
 }
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 2.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(4));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -65,7 +67,8 @@ void run() {
 
   Rng rng(5);
   std::vector<Point> centers;
-  for (int i = 0; i < 40; ++i) {
+  int center_count = bench::quick() ? 10 : 40;
+  for (int i = 0; i < center_count; ++i) {
     centers.push_back({rng.uniform(world.min.x, world.max.x),
                        rng.uniform(world.min.y, world.max.y)});
   }
@@ -109,6 +112,20 @@ void run() {
   std::printf("%-22s %10.2f %10.1f %12.0f\n", "broadcast k-NN",
               broadcast.fanout, broadcast.msgs, broadcast.bytes);
 
+  bench::BenchReport report("planner");
+  report.set("detections", static_cast<double>(trace.detections.size()));
+  report.set("fanout_cold", cold.fanout);
+  report.set("fanout_warm", warm.fanout);
+  report.set("fanout_broadcast", broadcast.fanout);
+  report.set("bytes_per_query_cold", cold.bytes);
+  report.set("bytes_per_query_warm", warm.bytes);
+  report.set("bytes_per_query_broadcast", broadcast.bytes);
+  report.add_histogram("query_latency_us",
+                       *cluster.coordinator().metrics().histograms().at(
+                           "query_latency_us"));
+  report.add_registry(cluster.metrics_snapshot());
+  report.write();
+
   std::printf(
       "\nexpected shape: warm adaptive fan-out and bytes well below\n"
       "broadcast. The cold planner's FIRST query degenerates to a\n"
@@ -120,7 +137,8 @@ void run() {
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

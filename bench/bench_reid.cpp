@@ -30,7 +30,9 @@ std::vector<std::pair<const Detection*, const Detection*>> probes_with_truth(
 }
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(8));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 2.0,
+                                   bench::quick() ? Duration::minutes(2)
+                                                  : Duration::minutes(8));
   tc.detection.appearance_noise = 0.12;
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
@@ -59,7 +61,12 @@ void run() {
               "horizon_s", "probes", "camsC", "candC", "recallC", "msC",
               "camsF", "candF", "recallF", "msF");
 
-  for (std::int64_t horizon_s : {30, 60, 120, 300}) {
+  bench::BenchReport report("reid");
+  report.set("detections", static_cast<double>(trace.detections.size()));
+  std::vector<std::int64_t> horizons =
+      bench::quick() ? std::vector<std::int64_t>{60}
+                     : std::vector<std::int64_t>{30, 60, 120, 300};
+  for (std::int64_t horizon_s : horizons) {
     auto probes =
         probes_with_truth(trace, Duration::seconds(horizon_s), 60);
     if (probes.empty()) continue;
@@ -104,16 +111,27 @@ void run() {
         static_cast<double>(full.cameras) / n,
         static_cast<double>(full.candidates) / n,
         100.0 * static_cast<double>(full.hits) / n, full.ms / n);
+    std::string suffix = "_h" + std::to_string(horizon_s);
+    report.set("cone_candidates" + suffix,
+               static_cast<double>(cone.candidates) / n);
+    report.set("cone_recall_pct" + suffix,
+               100.0 * static_cast<double>(cone.hits) / n);
+    report.set("full_candidates" + suffix,
+               static_cast<double>(full.candidates) / n);
+    report.set("full_recall_pct" + suffix,
+               100.0 * static_cast<double>(full.hits) / n);
   }
   std::printf(
       "\nexpected shape: cone examines a small fraction of full-scan\n"
       "candidates at comparable recall; the factor grows with horizon.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -24,7 +24,9 @@ namespace stcn {
 namespace {
 
 void run() {
-  TraceConfig tc = bench::scenario(4.0, Duration::minutes(8));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 4.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(8));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
 
@@ -55,9 +57,15 @@ void run() {
   std::printf("%12s %10s %14s %12s %12s %12s\n", "region_m", "results",
               "dist_model_ms", "(net+cpu/W)", "central_ms", "est_err");
 
+  bench::BenchReport report("selectivity");
+  report.set("detections", static_cast<double>(trace.detections.size()));
   Rng rng(31);
-  for (double half_extent : {25.0, 75.0, 200.0, 500.0, 1200.0, 4000.0}) {
-    const int kQueries = 30;
+  std::vector<double> extents =
+      bench::quick() ? std::vector<double>{75.0, 1200.0}
+                     : std::vector<double>{25.0, 75.0, 200.0, 500.0, 1200.0,
+                                           4000.0};
+  for (double half_extent : extents) {
+    const int kQueries = bench::quick() ? 8 : 30;
     double dist_cpu_ms = 0.0;
     double dist_virtual_ms = 0.0;
     double central_ms = 0.0;
@@ -106,7 +114,18 @@ void run() {
                 half_extent * 2, results / kQueries, net_ms + cpu_ms, net_ms,
                 cpu_ms, central_ms / kQueries,
                 est_n ? 100.0 * est_err / est_n : 0.0);
+    std::string suffix =
+        "_region" + std::to_string(static_cast<int>(half_extent * 2));
+    report.set("dist_model_ms" + suffix, net_ms + cpu_ms);
+    report.set("central_ms" + suffix, central_ms / kQueries);
+    report.set("est_err_pct" + suffix,
+               est_n ? 100.0 * est_err / est_n : 0.0);
   }
+  report.add_histogram("query_latency_us",
+                       *cluster.coordinator().metrics().histograms().at(
+                           "query_latency_us"));
+  report.add_registry(cluster.metrics_snapshot());
+  report.write();
   std::printf(
       "\nexpected shape: centralized wins small regions (the network round\n"
       "trip dominates); distributed wins large scans (compute divides across\n"
@@ -116,7 +135,8 @@ void run() {
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

@@ -24,7 +24,9 @@ struct Cost {
 };
 
 void run() {
-  TraceConfig tc = bench::scenario(2.0, Duration::minutes(4));
+  TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 2.0,
+                                   bench::quick() ? Duration::minutes(1)
+                                                  : Duration::minutes(4));
   Trace trace = TraceGenerator::generate(tc);
   Rect world = trace.roads.bounds(150.0);
   TimeInterval covered{TimePoint::origin(),
@@ -37,6 +39,8 @@ void run() {
   std::printf("%-16s %10s %10s %12s %18s\n", "mode", "fanout", "msgs/q",
               "bytes/q", "summary_bytes");
 
+  bench::BenchReport report("summaries");
+  report.set("detections", static_cast<double>(trace.detections.size()));
   for (bool summaries : {true, false}) {
     ClusterConfig config;
     config.worker_count = 12;
@@ -63,7 +67,7 @@ void run() {
     auto f0 = cluster.coordinator().counters().get("query_fanout_total");
     auto m0 = cluster.network().counters().get("messages_sent");
     auto b0 = cluster.network().counters().get("bytes_sent");
-    const int kQueries = 50;
+    const int kQueries = bench::quick() ? 12 : 50;
     for (int i = 0; i < kQueries; ++i) {
       ObjectId object(1 + static_cast<std::uint64_t>(i) %
                               tc.mobility.object_count);
@@ -85,17 +89,23 @@ void run() {
     std::printf("%-16s %10.2f %10.1f %12.0f %18" PRIu64 "\n",
                 summaries ? "bloom-pruned" : "broadcast", c.fanout, c.msgs,
                 c.bytes, summary_bytes);
+    std::string suffix = summaries ? "_pruned" : "_broadcast";
+    report.set("fanout" + suffix, c.fanout);
+    report.set("bytes_per_query" + suffix, c.bytes);
+    report.set("summary_bytes" + suffix, static_cast<double>(summary_bytes));
   }
   std::printf(
       "\nexpected shape: pruned fan-out tracks the partitions an object\n"
       "actually visited (well below the fleet); summaries cost a small,\n"
       "constant background stream.\n");
+  report.write();
 }
 
 }  // namespace
 }  // namespace stcn
 
-int main() {
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
   stcn::run();
   return 0;
 }

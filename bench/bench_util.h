@@ -2,16 +2,42 @@
 //
 // Each bench binary regenerates one table/figure of the evaluation:
 // it builds a synthetic scenario, runs the framework and the relevant
-// baseline, and prints the rows EXPERIMENTS.md records.
+// baseline, and prints the rows EXPERIMENTS.md records. Besides the
+// human-readable tables, every bench emits a machine-readable
+// BENCH_<name>.json (BenchReport) with its key scalars, latency quantiles,
+// and optionally a full metrics-registry snapshot, so runs can be diffed
+// by tooling instead of by eyeball.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "trace/generator.h"
 
 namespace stcn::bench {
+
+/// --quick trims scenario sizes so CI can smoke-run a bench in seconds.
+inline bool& quick_flag() {
+  static bool quick = false;
+  return quick;
+}
+[[nodiscard]] inline bool quick() { return quick_flag(); }
+
+/// Recognizes shared bench flags (currently just --quick). Call first thing
+/// in main; unrecognized arguments are left for the bench to interpret.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick_flag() = true;
+  }
+}
 
 /// Wall-clock stopwatch (milliseconds).
 class WallTimer {
@@ -54,5 +80,111 @@ inline void print_header(const std::string& experiment,
   std::printf("%s — %s\n", experiment.c_str(), description.c_str());
   std::printf("================================================================\n");
 }
+
+/// Machine-readable bench output. Usage:
+///
+///   BenchReport report("knn");
+///   report.set("ingest_rate_eps", rate);
+///   report.add_histogram("query_latency_us", coordinator_latency_hist);
+///   report.add_registry(cluster.metrics_snapshot());
+///   report.write();   // → BENCH_knn.json in the working directory
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value) { scalars_[key] = value; }
+  void set(const std::string& key, const std::string& value) {
+    strings_[key] = value;
+  }
+
+  /// Records a histogram's summary: count, mean, min, max, p50/p95/p99.
+  void add_histogram(const std::string& name, const LatencyHistogram& h) {
+    histograms_.emplace_back(name, h);  // copies the fixed-size buckets
+  }
+
+  /// Attaches a full registry snapshot (typically Cluster::metrics_snapshot).
+  void add_registry(MetricsRegistry registry) {
+    registry_ = std::move(registry);
+  }
+
+  /// Serializes the report. Schema:
+  /// {"bench": name, "quick": bool, "scalars": {...}, "labels": {...},
+  ///  "histograms": {name: {count,mean,min,max,p50,p95,p99}},
+  ///  "metrics": <registry JSON>}
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value(name_);
+    w.key("quick");
+    w.value(quick());
+    w.key("scalars");
+    w.begin_object();
+    for (const auto& [k, v] : scalars_) {
+      w.key(k);
+      w.value(v);
+    }
+    w.end_object();
+    w.key("labels");
+    w.begin_object();
+    for (const auto& [k, v] : strings_) {
+      w.key(k);
+      w.value(v);
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+      w.key(name);
+      w.begin_object();
+      w.key("count");
+      w.value(h.count());
+      w.key("mean");
+      w.value(h.mean());
+      w.key("min");
+      w.value(h.min());
+      w.key("max");
+      w.value(h.max());
+      w.key("p50");
+      w.value(h.p50());
+      w.key("p95");
+      w.value(h.p95());
+      w.key("p99");
+      w.value(h.p99());
+      w.end_object();
+    }
+    w.end_object();
+    if (registry_.has_value()) {
+      w.key("metrics");
+      w.raw_value(registry_->to_json());
+    }
+    w.end_object();
+    return w.take();
+  }
+
+  /// Writes BENCH_<name>.json into the working directory. Returns false if
+  /// the file could not be opened (report printed a warning).
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::string json = to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[report] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::string> strings_;
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms_;
+  std::optional<MetricsRegistry> registry_;
+};
 
 }  // namespace stcn::bench

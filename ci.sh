@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, sanitizer build + tests, and an
+# observability smoke check (bench_knn --quick must emit a parseable
+# BENCH_knn.json with latency quantiles and a metrics snapshot).
+#
+# Usage: ./ci.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1 build =="
+cmake -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1 tests =="
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+  echo "== sanitizer build (ASan+UBSan) =="
+  cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DSTCN_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  echo "== sanitizer tests =="
+  ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+fi
+
+echo "== bench report smoke (bench_knn --quick) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(cd "$SMOKE_DIR" && "$OLDPWD/build/bench/bench_knn" --quick >/dev/null)
+python3 - "$SMOKE_DIR/BENCH_knn.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["bench"] == "knn", report
+assert report["quick"] is True, report
+hist = report["histograms"]["query_latency_us"]
+assert hist["count"] > 0, hist
+assert hist["p50"] <= hist["p95"] <= hist["p99"], hist
+metrics = report["metrics"]
+assert metrics["counters"]["net.messages_sent"] > 0, "missing net counters"
+assert any(k.startswith("coordinator.") for k in metrics["counters"])
+assert any(k.startswith("worker.") for k in metrics["counters"])
+print("BENCH_knn.json OK:", len(report["scalars"]), "scalars,",
+      f"query p50={hist['p50']:.0f}us p99={hist['p99']:.0f}us")
+PY
+
+echo "== ci.sh: all green =="

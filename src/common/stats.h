@@ -69,43 +69,101 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Exact-quantile sample recorder. Stores every sample; fine for the sample
-/// counts benchmarks produce (≤ millions).
+/// Quantile sample recorder. Exact up to `max_samples`, then switches to
+/// uniform reservoir sampling (deterministic, seeded) so memory stays
+/// bounded for arbitrarily long runs.
+///
+/// Interleaved add/query is cheap: the sorted prefix is maintained
+/// incrementally (sort the appended tail, merge), so a quantile() after a
+/// few add()s costs O(tail log tail + n) instead of a full re-sort — and a
+/// batch of quantiles costs one sort total via quantiles().
 class QuantileRecorder {
  public:
+  static constexpr std::size_t kDefaultMaxSamples = 1 << 16;
+
+  explicit QuantileRecorder(std::size_t max_samples = kDefaultMaxSamples,
+                            std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : max_samples_(max_samples == 0 ? 1 : max_samples), rng_state_(seed) {}
+
   void add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
+    ++n_;
+    sum_ += x;
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(x);
+      return;
+    }
+    // Reservoir: the new value displaces a uniformly random slot with
+    // probability max_samples / n, keeping a uniform sample of the stream.
+    std::uint64_t j = next_random() % n_;
+    if (j < max_samples_) {
+      samples_[j] = x;
+      sorted_prefix_ = 0;  // in-place overwrite invalidates the sort
+    }
   }
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// Total values added (not the retained sample count).
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] std::size_t retained() const { return samples_.size(); }
 
-  /// Quantile q in [0, 1]; nearest-rank. Returns 0 when empty.
+  /// Quantile q in [0, 1]; nearest-rank over the retained sample. Returns 0
+  /// when empty.
   [[nodiscard]] double quantile(double q) {
     if (samples_.empty()) return 0.0;
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
+    ensure_sorted();
+    return sorted_quantile(q);
+  }
+
+  /// All requested quantiles from a single sort.
+  [[nodiscard]] std::vector<double> quantiles(
+      std::initializer_list<double> qs) {
+    std::vector<double> out;
+    out.reserve(qs.size());
+    if (samples_.empty()) {
+      out.assign(qs.size(), 0.0);
+      return out;
     }
-    double rank = q * static_cast<double>(samples_.size() - 1);
-    auto idx = static_cast<std::size_t>(rank + 0.5);
-    idx = std::min(idx, samples_.size() - 1);
-    return samples_[idx];
+    ensure_sorted();
+    for (double q : qs) out.push_back(sorted_quantile(q));
+    return out;
   }
 
   [[nodiscard]] double median() { return quantile(0.5); }
   [[nodiscard]] double p99() { return quantile(0.99); }
 
   [[nodiscard]] double mean() const {
-    if (samples_.empty()) return 0.0;
-    double s = 0.0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
   }
 
  private:
+  void ensure_sorted() {
+    if (sorted_prefix_ == samples_.size()) return;
+    auto mid = samples_.begin() + static_cast<std::ptrdiff_t>(sorted_prefix_);
+    std::sort(mid, samples_.end());
+    std::inplace_merge(samples_.begin(), mid, samples_.end());
+    sorted_prefix_ = samples_.size();
+  }
+
+  [[nodiscard]] double sorted_quantile(double q) const {
+    double rank = q * static_cast<double>(samples_.size() - 1);
+    auto idx = static_cast<std::size_t>(rank + 0.5);
+    idx = std::min(idx, samples_.size() - 1);
+    return samples_[idx];
+  }
+
+  /// SplitMix64 step (inlined to keep this header dependency-free).
+  std::uint64_t next_random() {
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t max_samples_;
+  std::uint64_t rng_state_;
   std::vector<double> samples_;
-  bool sorted_ = true;
+  std::size_t sorted_prefix_ = 0;  // samples_[0, prefix) are sorted
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
 };
 
 /// Named monotonic counters, used for transport accounting and pruning
@@ -114,6 +172,12 @@ class CounterSet {
  public:
   void add(const std::string& name, std::uint64_t delta = 1) {
     counters_[name] += delta;
+  }
+
+  /// Overwrites a counter (used by the metrics-registry bridge, which
+  /// mirrors handle-backed counters into CounterSet views at read time).
+  void set(const std::string& name, std::uint64_t value) {
+    counters_[name] = value;
   }
 
   [[nodiscard]] std::uint64_t get(const std::string& name) const {

@@ -16,6 +16,19 @@ static_assert(static_cast<std::uint32_t>(MsgType::kReliableAck) ==
 // reliable channel owns [2^62, 2^62 + 2^32); the failure sweep is all-ones.
 constexpr std::uint64_t kSweepToken = ~std::uint64_t{0};
 constexpr std::uint64_t kHedgeBit = 1ULL << 61;
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange: return "range";
+    case QueryKind::kCount: return "count";
+    case QueryKind::kHeatmap: return "heatmap";
+    case QueryKind::kCircle: return "circle";
+    case QueryKind::kCameraWindow: return "camera_window";
+    case QueryKind::kTrajectory: return "trajectory";
+    case QueryKind::kKnn: return "knn";
+  }
+  return "unknown";
+}
 }  // namespace
 
 void Coordinator::start(SimNetwork& network) {
@@ -44,7 +57,7 @@ void Coordinator::dispatch(const Message& message, SimNetwork& network) {
   BinaryReader reader(message.payload);
   switch (static_cast<MsgType>(message.type)) {
     case MsgType::kQueryResponse:
-      on_response(decode_query_response(reader));
+      on_response(decode_query_response(reader), network.now());
       break;
     case MsgType::kDeltaBatch:
       on_deltas(decode_delta_batch(reader));
@@ -112,7 +125,7 @@ void Coordinator::handle_timer(std::uint64_t timer_token,
 void Coordinator::ingest(const Detection& d, SimNetwork& network) {
   PartitionId p = strategy_.partition_of(d.camera, d.position, d.time);
   WorkerId primary = map_.primary(p);
-  counters_.add("ingested");
+  ingested_.inc();
 
   auto buffer_to = [&](WorkerId w, bool replica) {
     BatchKey key{w.value(), p.value(), replica};
@@ -187,41 +200,56 @@ std::vector<PartitionId> Coordinator::footprint(const Query& query) const {
 void Coordinator::send_query_to(NodeId worker, std::uint64_t request_id,
                                 std::uint64_t sub_id, const Query& query,
                                 const std::vector<PartitionId>& partitions,
-                                SimNetwork& network) {
+                                SimNetwork& network, TraceContext ctx) {
   QueryRequest request{request_id, sub_id, query, partitions};
   channel_.send(worker, static_cast<std::uint32_t>(MsgType::kQueryRequest),
-                encode(request), network);
+                encode(request), network, ctx);
 }
 
-std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network) {
+std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
+                                  TraceContext parent) {
   std::uint64_t request_id = next_request_id_++;
   PendingQuery pending;
   pending.query = query;
   pending.retries_left = config_.max_retries;
+  pending.submitted_at = network.now();
+  if (tracer_ != nullptr) {
+    pending.root = tracer_->start_span("coordinator.fanout", parent,
+                                       id_.value(), network.now());
+    tracer_->tag(pending.root, "kind", query_kind_name(query.kind));
+    tracer_->tag(pending.root, "request_id", std::to_string(request_id));
+  }
 
   std::unordered_map<NodeId, std::vector<PartitionId>> assignment;
   for (PartitionId p : footprint(query)) {
     assignment[worker_node(map_.primary(p))].push_back(p);
   }
-  counters_.add("queries_submitted");
-  counters_.add("query_fanout_total", assignment.size());
-  counters_.add("query_partitions_total",
-                [&assignment] {
-                  std::size_t n = 0;
-                  for (const auto& [w, ps] : assignment) n += ps.size();
-                  return n;
-                }());
+  queries_submitted_.inc();
+  query_fanout_total_.add(assignment.size());
+  query_partitions_total_.add([&assignment] {
+    std::size_t n = 0;
+    for (const auto& [w, ps] : assignment) n += ps.size();
+    return n;
+  }());
 
   for (auto& [worker, partitions] : assignment) {
     std::uint64_t sub_id = next_sub_id_++;
-    send_query_to(worker, request_id, sub_id, query, partitions, network);
-    pending.fragments.emplace(sub_id,
-                              Fragment{worker, std::move(partitions), 0,
-                                       false});
+    TraceContext fspan;
+    if (tracer_ != nullptr) {
+      fspan = tracer_->start_span("fragment", pending.root, id_.value(),
+                                  network.now());
+      tracer_->tag(fspan, "worker", std::to_string(worker.value()));
+      tracer_->tag(fspan, "partitions", std::to_string(partitions.size()));
+    }
+    send_query_to(worker, request_id, sub_id, query, partitions, network,
+                  fspan);
+    pending.fragments.emplace(
+        sub_id,
+        Fragment{worker, std::move(partitions), 0, false, {}, fspan});
     ++pending.outstanding;
   }
   bool empty = pending.outstanding == 0;
-  pending_.emplace(request_id, std::move(pending));
+  auto [it, inserted] = pending_.emplace(request_id, std::move(pending));
   if (!empty) {
     network.set_timer(id_, config_.query_timeout, request_id);
     if (config_.hedge_queries && config_.hedge_delay_fraction > 0.0) {
@@ -230,11 +258,27 @@ std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network) {
           config_.hedge_delay_fraction));
       network.set_timer(id_, delay, kHedgeBit | request_id);
     }
+  } else {
+    maybe_finish(request_id, it->second, network.now());
   }
   return request_id;
 }
 
-void Coordinator::on_response(const QueryResponse& response) {
+void Coordinator::maybe_finish(std::uint64_t request_id,
+                               PendingQuery& pending, TimePoint now) {
+  if (pending.outstanding > 0 || pending.finished) return;
+  pending.finished = true;
+  Duration latency = now - pending.submitted_at;
+  query_latency_us_.observe(static_cast<double>(latency.count_micros()));
+  if (tracer_ != nullptr && pending.root.valid()) {
+    if (pending.partial) tracer_->tag(pending.root, "partial", "true");
+    tracer_->end_span(pending.root, now);
+    slow_log_.maybe_record(*tracer_, pending.root.trace_id, request_id,
+                           query_kind_name(pending.query.kind), latency);
+  }
+}
+
+void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
   auto it = pending_.find(response.request_id);
   if (it == pending_.end()) return;  // late response after completion
   PendingQuery& pending = it->second;
@@ -246,10 +290,12 @@ void Coordinator::on_response(const QueryResponse& response) {
   if (frag == pending.fragments.end()) return;  // pre-sub_id sender (tests)
   if (frag->second.retired) return;
   frag->second.retired = true;
+  if (tracer_ != nullptr) tracer_->end_span(frag->second.span, now);
 
   if (frag->second.covers == 0) {
     // Primary fragment answered directly.
     if (pending.outstanding > 0) --pending.outstanding;
+    maybe_finish(response.request_id, pending, now);
     return;
   }
   // Hedge answer: credit the covered partitions to the primary fragment.
@@ -269,6 +315,11 @@ void Coordinator::on_response(const QueryResponse& response) {
     primary->second.retired = true;
     if (pending.outstanding > 0) --pending.outstanding;
     counters_.add("hedges_won");
+    if (tracer_ != nullptr) {
+      tracer_->tag(primary->second.span, "hedged_over", "true");
+      tracer_->end_span(primary->second.span, now);
+    }
+    maybe_finish(response.request_id, pending, now);
   }
 }
 
@@ -306,6 +357,7 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
     NodeId worker;
     std::vector<PartitionId> partitions;
     std::uint64_t covers;
+    TraceContext parent;  // primary fragment's span
   };
   std::vector<HedgePlan> plans;
   for (const auto& [sub_id, frag] : pending.fragments) {
@@ -319,16 +371,25 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
       by_backup[worker_node(backup)].push_back(p);
     }
     for (auto& [worker, partitions] : by_backup) {
-      plans.push_back({worker, std::move(partitions), sub_id});
+      plans.push_back({worker, std::move(partitions), sub_id, frag.span});
     }
   }
   for (HedgePlan& plan : plans) {
     std::uint64_t sub_id = next_sub_id_++;
+    TraceContext hspan;
+    if (tracer_ != nullptr) {
+      // The hedge rides under the primary fragment it covers, so the trace
+      // shows which slow fragment triggered the speculative re-issue.
+      hspan = tracer_->start_span("fragment", plan.parent, id_.value(),
+                                  network.now());
+      tracer_->tag(hspan, "worker", std::to_string(plan.worker.value()));
+      tracer_->tag(hspan, "hedge", "true");
+    }
     send_query_to(plan.worker, request_id, sub_id, pending.query,
-                  plan.partitions, network);
+                  plan.partitions, network, hspan);
     pending.fragments.emplace(
         sub_id, Fragment{plan.worker, std::move(plan.partitions),
-                         plan.covers, false});
+                         plan.covers, false, {}, hspan});
     counters_.add("hedges_issued");
   }
 }
@@ -341,9 +402,16 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   if (pending.outstanding == 0) return;
   if (pending.retries_left-- <= 0) {
     pending.partial = true;
-    for (auto& [sub_id, frag] : pending.fragments) frag.retired = true;
+    for (auto& [sub_id, frag] : pending.fragments) {
+      if (tracer_ != nullptr && !frag.retired) {
+        tracer_->tag(frag.span, "timed_out", "true");
+        tracer_->end_span(frag.span, network.now());
+      }
+      frag.retired = true;
+    }
     pending.outstanding = 0;
     counters_.add("queries_partial");
+    maybe_finish(request_id, pending, network.now());
     return;
   }
   counters_.add("failover_retries");
@@ -359,6 +427,10 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   for (auto& [sub_id, frag] : pending.fragments) {
     if (frag.retired || frag.covers != 0) continue;
     frag.retired = true;
+    if (tracer_ != nullptr) {
+      tracer_->tag(frag.span, "timed_out", "true");
+      tracer_->end_span(frag.span, network.now());
+    }
     if (pending.outstanding > 0) --pending.outstanding;
     std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
     for (PartitionId p : frag.partitions) {
@@ -374,10 +446,19 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   }
   for (RetryPlan& plan : plans) {
     std::uint64_t sub_id = next_sub_id_++;
+    TraceContext rspan;
+    if (tracer_ != nullptr) {
+      rspan = tracer_->start_span("fragment", pending.root, id_.value(),
+                                  network.now());
+      tracer_->tag(rspan, "worker", std::to_string(plan.worker.value()));
+      tracer_->tag(rspan, "retry", "true");
+    }
     send_query_to(plan.worker, request_id, sub_id, pending.query,
-                  plan.partitions, network);
+                  plan.partitions, network, rspan);
     pending.fragments.emplace(
-        sub_id, Fragment{plan.worker, std::move(plan.partitions), 0, false});
+        sub_id,
+        Fragment{plan.worker, std::move(plan.partitions), 0, false, {},
+                 rspan});
     ++pending.outstanding;
   }
   if (pending.outstanding > 0) {
@@ -386,6 +467,7 @@ void Coordinator::failover_retry(std::uint64_t request_id,
     // No replica could take over any lost partition: the answer is partial.
     pending.partial = true;
     counters_.add("queries_partial");
+    maybe_finish(request_id, pending, network.now());
   }
 }
 
@@ -416,7 +498,7 @@ void Coordinator::install_monitor(const ContinuousQuerySpec& spec,
   for (std::uint64_t w : targets) {
     network.send({id_, NodeId(w),
                   static_cast<std::uint32_t>(MsgType::kInstallMonitor),
-                  payload, network.now()});
+                  payload, network.now(), {}});
   }
   counters_.add("monitors_installed");
   counters_.add("monitor_fanout_total", targets.size());
@@ -434,7 +516,7 @@ void Coordinator::remove_monitor(QueryId id, const Rect& region,
   for (std::uint64_t w : targets) {
     network.send({id_, NodeId(w),
                   static_cast<std::uint32_t>(MsgType::kRemoveMonitor),
-                  payload, network.now()});
+                  payload, network.now(), {}});
   }
   delta_log_.erase(id);
   live_answers_.erase(id);

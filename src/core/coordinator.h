@@ -34,6 +34,9 @@
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/tracer.h"
 #include "partition/partition_map.h"
 #include "query/continuous.h"
 #include "query/result.h"
@@ -59,6 +62,10 @@ struct CoordinatorConfig {
   /// round per query.
   bool hedge_queries = true;
   double hedge_delay_fraction = 0.5;
+  /// Queries slower than this get their full span tree captured in the
+  /// slow-query log (only effective when a tracer is attached).
+  Duration slow_query_threshold = Duration::millis(25);
+  std::size_t slow_query_log_capacity = 64;
   /// Reliable-transport knobs for loss-sensitive traffic (ingest, queries).
   ReliableChannelConfig channel;
 };
@@ -68,7 +75,16 @@ class Coordinator final : public NetworkNode {
   Coordinator(NodeId id, const PartitionStrategy& strategy, PartitionMap map,
               CoordinatorConfig config)
       : id_(id), strategy_(strategy), map_(std::move(map)), config_(config),
-        channel_(id, counters_, config.channel) {}
+        ingested_(metrics_.counter("ingested")),
+        queries_submitted_(metrics_.counter("queries_submitted")),
+        query_fanout_total_(metrics_.counter("query_fanout_total")),
+        query_partitions_total_(metrics_.counter("query_partitions_total")),
+        query_latency_us_(metrics_.histogram("query_latency_us")),
+        slow_log_(config.slow_query_threshold,
+                  config.slow_query_log_capacity),
+        channel_(id, counters_, config.channel) {
+    channel_.register_metrics(metrics_);
+  }
 
   [[nodiscard]] NodeId node_id() const override { return id_; }
   void handle_message(const Message& message, SimNetwork& network) override;
@@ -98,8 +114,10 @@ class Coordinator final : public NetworkNode {
 
   // ------------------------------------------------------------- queries
   /// Starts a query; returns a request handle. Completion is observed via
-  /// `poll` after pumping the network.
-  std::uint64_t submit(const Query& query, SimNetwork& network);
+  /// `poll` after pumping the network. A valid `parent` attaches the
+  /// query's span tree under the caller's span (gateway entry point).
+  std::uint64_t submit(const Query& query, SimNetwork& network,
+                       TraceContext parent = {});
 
   /// Result if the request completed (all fragments in, or retries
   /// exhausted → partial). nullopt while still pending.
@@ -125,8 +143,32 @@ class Coordinator final : public NetworkNode {
   /// Mutable access for recovery orchestration (re-replication after
   /// failover leaves a partition with primary == backup).
   [[nodiscard]] PartitionMap& mutable_partition_map() { return map_; }
-  [[nodiscard]] const CounterSet& counters() const { return counters_; }
-  CounterSet& counters() { return counters_; }
+
+  /// Counter view; registry-backed counters are mirrored in at read time.
+  [[nodiscard]] const CounterSet& counters() const {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+  CounterSet& counters() {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+
+  /// Pre-registered metric handles (counters, query-latency histogram).
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches the cluster-wide tracer (shared with the reliable channel).
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    channel_.set_tracer(tracer);
+  }
+
+  /// Span trees of queries that exceeded `slow_query_threshold`.
+  [[nodiscard]] const SlowQueryLog& slow_query_log() const {
+    return slow_log_;
+  }
+  SlowQueryLog& slow_query_log() { return slow_log_; }
 
   /// Reliable-transport state: frames sent but not yet acked. 0 means every
   /// ingest batch and query fragment this node sent has been delivered (the
@@ -137,8 +179,8 @@ class Coordinator final : public NetworkNode {
 
   /// Cumulative worker fan-out / query count (E2/E3 pruning metric).
   [[nodiscard]] double mean_fanout() const {
-    auto q = counters_.get("queries_submitted");
-    return q ? static_cast<double>(counters_.get("query_fanout_total")) /
+    auto q = queries_submitted_.value();
+    return q ? static_cast<double>(query_fanout_total_.value()) /
                    static_cast<double>(q)
              : 0.0;
   }
@@ -155,6 +197,7 @@ class Coordinator final : public NetworkNode {
     std::uint64_t covers = 0;  // != 0 → hedge for that primary fragment
     bool retired = false;      // answered, hedged-over, or abandoned
     std::unordered_set<std::uint64_t> hedge_covered;  // partitions answered
+    TraceContext span;  // fragment span (send → retire)
   };
 
   struct PendingQuery {
@@ -165,6 +208,9 @@ class Coordinator final : public NetworkNode {
     int retries_left = 0;
     bool hedged = false;
     bool partial = false;
+    TraceContext root;  // coordinator.fanout span
+    TimePoint submitted_at;
+    bool finished = false;  // latency observed, root span ended
   };
 
   static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
@@ -175,8 +221,11 @@ class Coordinator final : public NetworkNode {
   void send_query_to(NodeId worker, std::uint64_t request_id,
                      std::uint64_t sub_id, const Query& query,
                      const std::vector<PartitionId>& partitions,
-                     SimNetwork& network);
-  void on_response(const QueryResponse& response);
+                     SimNetwork& network, TraceContext ctx);
+  void on_response(const QueryResponse& response, TimePoint now);
+  /// Ends the root span and observes latency once all fragments resolve.
+  void maybe_finish(std::uint64_t request_id, PendingQuery& pending,
+                    TimePoint now);
   void on_deltas(const DeltaBatch& batch);
   /// Speculatively re-issues unanswered fragments to partition backups.
   void hedge(std::uint64_t request_id, SimNetwork& network);
@@ -224,11 +273,24 @@ class Coordinator final : public NetworkNode {
   std::unordered_map<PartitionId, ObjectSummary> summaries_;
 
   // mutable: observability counters are updated from const query-planning
-  // paths (e.g. footprint pruning).
+  // paths (e.g. footprint pruning), and registry-backed counters are
+  // mirrored in from const accessors.
   mutable CounterSet counters_;
 
+  // Pre-registered metric handles for hot paths; everything else still
+  // writes counters_ eagerly and both views meet in counters().
+  MetricsRegistry metrics_;
+  Counter& ingested_;
+  Counter& queries_submitted_;
+  Counter& query_fanout_total_;
+  Counter& query_partitions_total_;
+  LatencyHistogram& query_latency_us_;
+
+  Tracer* tracer_ = nullptr;
+  SlowQueryLog slow_log_;
+
   // Reliable transport for ingest batches and query fragments. Declared
-  // after counters_ (it writes its accounting there).
+  // after counters_/metrics_ (it writes its accounting there).
   ReliableChannel channel_;
 };
 

@@ -10,6 +10,7 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
       config_(config),
       strategy_(std::move(strategy)),
       network_(config.network),
+      tracer_(config.tracer),
       estimator_(SelectivityConfig{world, 16, 16, Duration::minutes(1), 32}) {
   STCN_CHECK(strategy_ != nullptr);
   STCN_CHECK(config_.worker_count > 0);
@@ -28,6 +29,7 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
       NodeId(kCoordinatorNode), *strategy_, std::move(map),
       coordinator_config);
   network_.attach(*coordinator_);
+  coordinator_->set_tracer(&tracer_);
   coordinator_->start(network_);
 
   WorkerConfig worker_config;
@@ -41,6 +43,7 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
     auto worker = std::make_unique<WorkerNode>(
         w, NodeId(kCoordinatorNode), worker_config);
     network_.attach(*worker);
+    worker->set_tracer(&tracer_);
     worker->start(network_);
     workers_.push_back(std::move(worker));
   }
@@ -64,12 +67,24 @@ void Cluster::ingest_all(std::span<const Detection> detections) {
 }
 
 QueryResult Cluster::execute(const Query& query) {
-  std::uint64_t request = coordinator_->submit(query, network_);
+  // The gateway span is the client-facing root: it covers submission, the
+  // network pump, and result assembly; the coordinator's fan-out nests
+  // under it. Node 0 = "the client side" (no simulated node has id 0).
+  TraceContext root;
+  if (tracer_.enabled()) {
+    root = tracer_.start_trace("gateway.execute", 0, network_.now());
+    last_trace_id_ = root.trace_id;
+  }
+  std::uint64_t request = coordinator_->submit(query, network_, root);
   while (!coordinator_->is_complete(request)) {
     if (!network_.step()) break;  // should not happen: timers pend
   }
   auto result = coordinator_->poll(request);
   STCN_CHECK(result.has_value());
+  if (root.valid()) {
+    tracer_.tag(root, "results", std::to_string(result->detections.size()));
+    tracer_.end_span(root, network_.now());
+  }
 
   // Query feedback refines the selectivity histogram (no stream scanning).
   switch (query.kind) {
@@ -119,6 +134,18 @@ QueryResult Cluster::execute_knn_adaptive(Point center, std::uint32_t k,
     }
     radius = planner.grow(radius);
   }
+}
+
+MetricsRegistry Cluster::metrics_snapshot() const {
+  MetricsRegistry snapshot;
+  network_.metrics().merge_into(snapshot, "net.");
+  coordinator_->metrics().merge_into(snapshot, "coordinator.");
+  snapshot.import_counter_set(coordinator_->counters(), "coordinator.");
+  for (const auto& worker : workers_) {
+    worker->metrics().merge_into(snapshot, "worker.");
+    snapshot.import_counter_set(worker->counters(), "worker.");
+  }
+  return snapshot;
 }
 
 void Cluster::pump(Duration horizon) {

@@ -24,6 +24,8 @@
 #include "core/gateway.h"
 #include "core/worker.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "partition/partition_map.h"
 #include "query/planner.h"
 #include "query/selectivity.h"
@@ -45,6 +47,8 @@ struct ClusterConfig {
   std::uint32_t summary_every_ticks = 5;
   /// Reliable-transport knobs, applied to the coordinator and every worker.
   ReliableChannelConfig reliable;
+  /// Distributed-tracing retention; max_traces = 0 disables tracing.
+  TracerConfig tracer;
 };
 
 class Cluster {
@@ -118,6 +122,22 @@ class Cluster {
   /// Advances the virtual clock (drives monitor window expiry).
   void advance_time(Duration d);
 
+  // ------------------------------------------------------- observability
+  /// Cluster-wide tracer (shared by coordinator, workers, channels).
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Trace id of the most recent `execute` call (0 if tracing is off).
+  [[nodiscard]] std::uint64_t last_trace_id() const {
+    return last_trace_id_;
+  }
+
+  /// One registry holding every node's metrics, namespaced: `net.*`,
+  /// `coordinator.*`, `worker.*` (summed across workers). Counter-only
+  /// node stats not yet on handles are imported too, so the snapshot is a
+  /// complete machine-readable view of the cluster.
+  [[nodiscard]] MetricsRegistry metrics_snapshot() const;
+
   [[nodiscard]] SimNetwork& network() { return network_; }
   [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
   [[nodiscard]] const Coordinator& coordinator() const {
@@ -139,10 +159,12 @@ class Cluster {
   ClusterConfig config_;
   std::unique_ptr<PartitionStrategy> strategy_;
   SimNetwork network_;
+  Tracer tracer_;
   std::unique_ptr<Coordinator> coordinator_;
   std::vector<std::unique_ptr<WorkerNode>> workers_;
   std::vector<WorkerId> worker_ids_;
   std::uint64_t next_query_id_ = 1;
+  std::uint64_t last_trace_id_ = 0;
   SelectivityEstimator estimator_;
 };
 

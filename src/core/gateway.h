@@ -73,7 +73,7 @@ class GatewayNode final : public NetworkNode {
       buffer.clear();
       network.send({id_, NodeId(key.node),
                     static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                    encode(batch), network.now()});
+                    encode(batch), network.now(), {}});
     }
     flush_relay(network);
   }
@@ -108,7 +108,7 @@ class GatewayNode final : public NetworkNode {
       buffer.clear();
       network.send({id_, node,
                     static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                    encode(batch), network.now()});
+                    encode(batch), network.now(), {}});
     }
   }
 
@@ -118,7 +118,7 @@ class GatewayNode final : public NetworkNode {
     relay_buffer_.clear();
     network.send({id_, coordinator_,
                   static_cast<std::uint32_t>(MsgType::kIngestForward),
-                  encode(forward), network.now()});
+                  encode(forward), network.now(), {}});
   }
 
   NodeId id_;

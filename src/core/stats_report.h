@@ -43,6 +43,12 @@ struct ClusterStats {
   // Network.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  // Reliable transport (coordinator + workers) and hedging.
+  std::uint64_t retransmits = 0;
+  std::uint64_t retransmit_exhausted = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
   // Balance.
   std::vector<WorkerStats> workers;
 
@@ -74,6 +80,10 @@ struct ClusterStats {
        << s.partitions_failed_over << " failed over, "
        << s.partitions_rereplicated << " re-replicated, "
        << s.failover_retries << " query retries\n"
+       << "  transport: " << s.retransmits << " retransmits ("
+       << s.retransmit_exhausted << " exhausted), " << s.dup_suppressed
+       << " dups suppressed, hedges " << s.hedges_issued << " issued / "
+       << s.hedges_won << " won\n"
        << "  balance:   storage max/mean " << s.storage_imbalance() << "\n";
     for (const WorkerStats& w : s.workers) {
       os << "    " << w.id << ": " << w.stored_detections << " stored ("
@@ -104,6 +114,13 @@ inline ClusterStats collect_stats(Cluster& cluster) {
   s.workers_suspected = c.get("workers_suspected");
   s.messages_sent = cluster.network().counters().get("messages_sent");
   s.bytes_sent = cluster.network().counters().get("bytes_sent");
+  // Transport accounting is per-channel: sum the coordinator's and every
+  // worker's reliable-channel counters for the cluster-wide picture.
+  s.retransmits = c.get("retransmits");
+  s.retransmit_exhausted = c.get("retransmit_exhausted");
+  s.dup_suppressed = c.get("dup_suppressed");
+  s.hedges_issued = c.get("hedges_issued");
+  s.hedges_won = c.get("hedges_won");
   for (WorkerId id : cluster.worker_ids()) {
     const WorkerNode& w = cluster.worker(id);
     WorkerStats ws;
@@ -115,6 +132,9 @@ inline ClusterStats collect_stats(Cluster& cluster) {
     ws.stored_detections = w.stored_detections();
     ws.partitions = w.partition_count();
     s.workers.push_back(ws);
+    s.retransmits += w.counters().get("retransmits");
+    s.retransmit_exhausted += w.counters().get("retransmit_exhausted");
+    s.dup_suppressed += w.counters().get("dup_suppressed");
   }
   return s;
 }

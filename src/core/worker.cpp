@@ -1,5 +1,7 @@
 #include "core/worker.h"
 
+#include <chrono>
+
 namespace stcn {
 
 namespace {
@@ -49,7 +51,7 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
     Heartbeat hb{id_, stored_detections()};
     network.send({node_id(), coordinator_,
                   static_cast<std::uint32_t>(MsgType::kHeartbeat),
-                  encode(hb), network.now()});
+                  encode(hb), network.now(), {}});
   }
 
   if (config_.summary_every_ticks > 0 &&
@@ -65,7 +67,7 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
       // periodically; a lost one only costs pruning opportunity.
       network.send({node_id(), coordinator_,
                     static_cast<std::uint32_t>(MsgType::kObjectSummary),
-                    encode(summary), network.now()});
+                    encode(summary), network.now(), {}});
       counters_.add("summaries_published");
     }
   }
@@ -106,7 +108,8 @@ void WorkerNode::dispatch(const Message& message, bool reliable,
       on_ingest(decode_ingest_batch(reader), network);
       break;
     case MsgType::kQueryRequest:
-      on_query(decode_query_request(reader), message.from, reliable, network);
+      on_query(decode_query_request(reader), message.from, reliable,
+               message.trace, network);
       break;
     case MsgType::kInstallMonitor: {
       MonitorInstall m = decode_monitor_install(reader);
@@ -136,14 +139,14 @@ void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
   auto& seen = ingested_ids_[batch.partition];
   for (const Detection& d : batch.detections) {
     if (!seen.insert(d.id.value()).second) {
-      counters_.add("ingest_dups_skipped");
+      ingest_dups_skipped_.inc();
       continue;
     }
     indexes.ingest(d);
-    counters_.add(batch.is_replica ? "ingested_replica" : "ingested_primary");
+    (batch.is_replica ? ingested_replica_ : ingested_primary_).inc();
     if (!batch.is_replica) {
       std::size_t tested = monitors_.on_detection(d, pending_deltas_);
-      counters_.add("monitors_tested", tested);
+      monitors_tested_.add(tested);
     }
   }
   if (pending_deltas_.size() >= config_.delta_flush_threshold) {
@@ -152,23 +155,71 @@ void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
 }
 
 void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
-                          bool reliable, SimNetwork& network) {
-  counters_.add("queries_served");
+                          bool reliable, TraceContext parent,
+                          SimNetwork& network) {
+  queries_served_.inc();
+  // Worker compute is instantaneous in virtual time; spans below all share
+  // one sim timestamp and carry `wall_us` tags for the real index cost.
+  TraceContext qspan;
+  if (tracer_ != nullptr && parent.valid()) {
+    qspan = tracer_->start_span("worker.query", parent,
+                                node_id().value(), network.now());
+    tracer_->tag(qspan, "sub_id", std::to_string(request.sub_id));
+  }
+  auto wall_start = std::chrono::steady_clock::now();
   ResultMerger merger(request.query);
   for (PartitionId p : request.partitions) {
+    auto scan_start = std::chrono::steady_clock::now();
     auto it = partitions_.find(p);
-    if (it == partitions_.end()) continue;  // empty partition: no matches
-    merger.add(LocalExecutor::execute(*it->second, request.query));
+    // One scan span per requested partition — including partitions this
+    // worker does not hold (the scan is a no-op, but the trace still shows
+    // that the fragment named it).
+    if (it != partitions_.end()) {
+      merger.add(LocalExecutor::execute(*it->second, request.query));
+    }
+    if (qspan.valid()) {
+      auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - scan_start)
+                         .count();
+      TraceContext scan = tracer_->instant("worker.scan", qspan,
+                                           node_id().value(), network.now());
+      tracer_->tag(scan, "partition", std::to_string(p.value()));
+      tracer_->tag(scan, "wall_us", std::to_string(wall_us));
+      if (it == partitions_.end()) tracer_->tag(scan, "absent", "true");
+    }
   }
   QueryResponse response{request.request_id, request.sub_id, merger.take()};
+  TraceContext sspan;
+  if (qspan.valid()) {
+    sspan = tracer_->start_span("worker.serialize", qspan,
+                                node_id().value(), network.now());
+  }
+  auto payload = encode(response);
+  if (sspan.valid()) {
+    tracer_->tag(sspan, "bytes", std::to_string(payload.size()));
+    tracer_->end_span(sspan, network.now());
+  }
+  auto total_wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  scan_wall_us_.observe(static_cast<double>(total_wall_us));
+  if (qspan.valid()) {
+    tracer_->tag(qspan, "wall_us", std::to_string(total_wall_us));
+    tracer_->end_span(qspan, network.now());
+  }
   if (reliable) {
     channel_.send(reply_to,
                   static_cast<std::uint32_t>(MsgType::kQueryResponse),
-                  encode(response), network);
+                  std::move(payload), network, qspan);
   } else {
-    network.send({node_id(), reply_to,
-                  static_cast<std::uint32_t>(MsgType::kQueryResponse),
-                  encode(response), network.now()});
+    Message reply;
+    reply.from = node_id();
+    reply.to = reply_to;
+    reply.type = static_cast<std::uint32_t>(MsgType::kQueryResponse);
+    reply.payload = std::move(payload);
+    reply.sent_at = network.now();
+    reply.trace = qspan;
+    network.send(std::move(reply));
   }
 }
 
@@ -193,7 +244,7 @@ void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
   } else {
     network.send({node_id(), reply_to,
                   static_cast<std::uint32_t>(MsgType::kSyncResponse),
-                  encode(response), network.now()});
+                  encode(response), network.now(), {}});
   }
 }
 
@@ -202,11 +253,11 @@ void WorkerNode::on_sync_response(const SyncResponse& response) {
   auto& seen = ingested_ids_[response.partition];
   for (const Detection& d : response.detections) {
     if (!seen.insert(d.id.value()).second) {
-      counters_.add("ingest_dups_skipped");
+      ingest_dups_skipped_.inc();
       continue;
     }
     indexes.ingest(d);
-    counters_.add("ingested_resync");
+    ingested_resync_.inc();
   }
   if (pending_syncs_ > 0) --pending_syncs_;
 }

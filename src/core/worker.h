@@ -21,6 +21,8 @@
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "query/continuous.h"
 #include "query/executor.h"
 
@@ -55,7 +57,16 @@ class WorkerNode final : public NetworkNode {
   WorkerNode(WorkerId id, NodeId coordinator, const WorkerConfig& config)
       : id_(id), coordinator_(coordinator), config_(config),
         monitors_(config.world),
-        channel_(NodeId(id.value()), counters_, config.channel) {}
+        ingested_primary_(metrics_.counter("ingested_primary")),
+        ingested_replica_(metrics_.counter("ingested_replica")),
+        ingested_resync_(metrics_.counter("ingested_resync")),
+        ingest_dups_skipped_(metrics_.counter("ingest_dups_skipped")),
+        monitors_tested_(metrics_.counter("monitors_tested")),
+        queries_served_(metrics_.counter("queries_served")),
+        scan_wall_us_(metrics_.histogram("scan_wall_us")),
+        channel_(NodeId(id.value()), counters_, config.channel) {
+    channel_.register_metrics(metrics_);
+  }
 
   [[nodiscard]] NodeId node_id() const override { return NodeId(id_.value()); }
   [[nodiscard]] WorkerId worker_id() const { return id_; }
@@ -89,8 +100,24 @@ class WorkerNode final : public NetworkNode {
   [[nodiscard]] std::size_t partition_count() const {
     return partitions_.size();
   }
-  [[nodiscard]] const CounterSet& counters() const { return counters_; }
-  CounterSet& counters() { return counters_; }
+  /// Counter view; registry-backed counters are mirrored in at read time.
+  [[nodiscard]] const CounterSet& counters() const {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+  CounterSet& counters() {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches the cluster-wide tracer (shared with the reliable channel).
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    channel_.set_tracer(tracer);
+  }
 
   /// Reliable-transport frames sent but not yet acked (0 == quiescent).
   [[nodiscard]] std::size_t unacked_frames() const {
@@ -107,7 +134,7 @@ class WorkerNode final : public NetworkNode {
 
   void on_ingest(const IngestBatch& batch, SimNetwork& network);
   void on_query(const QueryRequest& request, NodeId reply_to, bool reliable,
-                SimNetwork& network);
+                TraceContext parent, SimNetwork& network);
   void on_sync_request(const SyncRequest& request, NodeId reply_to,
                        bool reliable, SimNetwork& network);
   void on_sync_response(const SyncResponse& response);
@@ -129,8 +156,21 @@ class WorkerNode final : public NetworkNode {
   std::uint64_t tick_generation_ = 0;
   std::uint32_t ticks_since_compaction_ = 0;
   std::uint32_t ticks_since_summary_ = 0;
-  CounterSet counters_;
-  // Declared after counters_ (it writes its accounting there).
+  // mutable: registry-backed counters are mirrored in from const accessors.
+  mutable CounterSet counters_;
+  MetricsRegistry metrics_;
+  Counter& ingested_primary_;
+  Counter& ingested_replica_;
+  Counter& ingested_resync_;
+  Counter& ingest_dups_skipped_;
+  Counter& monitors_tested_;
+  Counter& queries_served_;
+  /// Real (wall-clock) scan cost per query fragment — virtual time treats
+  /// worker compute as instantaneous, so this is the only place the actual
+  /// index work shows up.
+  LatencyHistogram& scan_wall_us_;
+  Tracer* tracer_ = nullptr;
+  // Declared after counters_/metrics_ (it writes its accounting there).
   ReliableChannel channel_;
 };
 

@@ -12,6 +12,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/trace_context.h"
 
 namespace stcn {
 
@@ -22,13 +23,20 @@ struct Message {
   std::vector<std::uint8_t> payload;
   /// Simulation time at which the message was sent (stamped by the network).
   TimePoint sent_at;
+  /// Distributed-tracing context (trace id + parent span id). Invalid (all
+  /// zero) on untraced traffic; propagated end-to-end so worker-side spans
+  /// attach causally to the coordinator's fan-out span.
+  TraceContext trace;
 
   /// Bytes this message occupies on the wire: payload plus a fixed
   /// envelope overhead (addresses, type, length — comparable to a UDP/IP
-  /// header plus framing).
+  /// header plus framing). A valid trace context costs two extra u64s,
+  /// mirroring a real tracing header.
   [[nodiscard]] std::size_t wire_size() const {
     constexpr std::size_t kEnvelopeOverhead = 42;
-    return payload.size() + kEnvelopeOverhead;
+    constexpr std::size_t kTraceOverhead = 16;
+    return payload.size() + kEnvelopeOverhead +
+           (trace.valid() ? kTraceOverhead : 0);
   }
 };
 

@@ -31,15 +31,20 @@ std::vector<std::uint8_t> encode_ack(std::uint64_t epoch, std::uint64_t seq) {
 }  // namespace
 
 void ReliableChannel::transmit(const Pending& frame, SimNetwork& network) {
-  network.send({self_, frame.to, config_.data_type,
-                encode_data(epoch_, frame.seq, frame.inner_type,
-                            frame.payload),
-                network.now()});
+  Message data;
+  data.from = self_;
+  data.to = frame.to;
+  data.type = config_.data_type;
+  data.payload =
+      encode_data(epoch_, frame.seq, frame.inner_type, frame.payload);
+  data.sent_at = network.now();
+  data.trace = frame.trace;
+  network.send(std::move(data));
 }
 
 void ReliableChannel::send(NodeId to, std::uint32_t inner_type,
                            std::vector<std::uint8_t> payload,
-                           SimNetwork& network) {
+                           SimNetwork& network, TraceContext ctx) {
   Pending frame;
   frame.to = to;
   frame.seq = ++next_seq_[to];
@@ -47,8 +52,9 @@ void ReliableChannel::send(NodeId to, std::uint32_t inner_type,
   frame.payload = std::move(payload);
   frame.rto = config_.initial_rto;
   frame.attempts = 1;
+  frame.trace = ctx;
   transmit(frame, network);
-  counters_->add("reliable_frames_sent");
+  bump(frames_sent_, "reliable_frames_sent");
 
   std::uint64_t timer_id = next_timer_id_++;
   std::uint64_t token = config_.timer_token_base + (timer_id & 0xffffffffULL);
@@ -62,13 +68,25 @@ void ReliableChannel::handle_timer(std::uint64_t token, SimNetwork& network) {
   if (it == pending_.end()) return;  // acked before the timer fired
   Pending& frame = it->second;
   if (frame.attempts >= config_.max_attempts) {
-    counters_->add("retransmit_exhausted");
+    bump(retransmit_exhausted_, "retransmit_exhausted");
+    if (tracer_ != nullptr && frame.trace.valid()) {
+      TraceContext span = tracer_->instant("net.retransmit_exhausted",
+                                           frame.trace, self_.value(),
+                                           network.now());
+      tracer_->tag(span, "to", std::to_string(frame.to.value()));
+    }
     pending_by_dest_[frame.to.value()].erase(frame.seq);
     pending_.erase(it);
     return;
   }
   ++frame.attempts;
-  counters_->add("retransmits");
+  bump(retransmits_, "retransmits");
+  if (tracer_ != nullptr && frame.trace.valid()) {
+    TraceContext span = tracer_->instant("net.retransmit", frame.trace,
+                                         self_.value(), network.now());
+    tracer_->tag(span, "to", std::to_string(frame.to.value()));
+    tracer_->tag(span, "attempt", std::to_string(frame.attempts));
+  }
   transmit(frame, network);
   frame.rto = std::min(
       Duration::micros(static_cast<std::int64_t>(
@@ -87,14 +105,14 @@ std::optional<Message> ReliableChannel::on_data(const Message& frame,
   std::uint32_t inner_len = r.read_u32();
   std::vector<std::uint8_t> inner = r.read_bytes(inner_len);
   if (r.failed()) {
-    counters_->add("reliable_frames_malformed");
+    bump(frames_malformed_, "reliable_frames_malformed");
     return std::nullopt;
   }
 
   // Always ack — even duplicates: the previous ack may have been lost, and
   // only an ack stops the sender's retransmission ladder.
   network.send({self_, frame.from, config_.ack_type, encode_ack(epoch, seq),
-                network.now()});
+                network.now(), {}});
 
   RecvStream& stream = recv_[frame.from];
   if (stream.epoch != epoch) {
@@ -106,7 +124,7 @@ std::optional<Message> ReliableChannel::on_data(const Message& frame,
   bool duplicate =
       seq <= stream.contiguous || stream.ahead.contains(seq);
   if (duplicate) {
-    counters_->add("dup_suppressed");
+    bump(dup_suppressed_, "dup_suppressed");
     return std::nullopt;
   }
   stream.ahead.insert(seq);
@@ -120,6 +138,7 @@ std::optional<Message> ReliableChannel::on_data(const Message& frame,
   delivered.type = inner_type;
   delivered.payload = std::move(inner);
   delivered.sent_at = frame.sent_at;
+  delivered.trace = frame.trace;
   return delivered;
 }
 
@@ -136,7 +155,7 @@ void ReliableChannel::on_ack(const Message& frame) {
   if (entry == dest->second.end()) return;  // dup ack after completion
   pending_.erase(entry->second);
   dest->second.erase(entry);
-  counters_->add("reliable_frames_acked");
+  bump(frames_acked_, "reliable_frames_acked");
 }
 
 void ReliableChannel::reset() {

@@ -48,6 +48,9 @@
 #include "common/time.h"
 #include "net/message.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/trace_context.h"
+#include "obs/tracer.h"
 
 namespace stcn {
 
@@ -90,10 +93,30 @@ class ReliableChannel {
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
+  /// Migrates channel accounting onto pre-registered handles in `registry`
+  /// (same counter names). The CounterSet passed at construction stops
+  /// receiving eager writes; the owning node is expected to mirror the
+  /// registry back into it via MetricsRegistry::sync_counters_into.
+  void register_metrics(MetricsRegistry& registry) {
+    frames_sent_ = &registry.counter("reliable_frames_sent");
+    retransmits_ = &registry.counter("retransmits");
+    retransmit_exhausted_ = &registry.counter("retransmit_exhausted");
+    dup_suppressed_ = &registry.counter("dup_suppressed");
+    frames_acked_ = &registry.counter("reliable_frames_acked");
+    frames_malformed_ = &registry.counter("reliable_frames_malformed");
+  }
+
+  /// Attaches a tracer (may be null). Retransmissions of traced frames are
+  /// recorded as instant `net.retransmit` spans under the frame's context.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Sends `payload` (an already-encoded application message of
-  /// `inner_type`) reliably to `to`.
+  /// `inner_type`) reliably to `to`. A valid `ctx` rides in every DATA
+  /// frame (including retransmissions) and is restored on the delivered
+  /// inner message at the receiver.
   void send(NodeId to, std::uint32_t inner_type,
-            std::vector<std::uint8_t> payload, SimNetwork& network);
+            std::vector<std::uint8_t> payload, SimNetwork& network,
+            TraceContext ctx = {});
 
   /// True when `token` belongs to this channel's timer range.
   [[nodiscard]] bool owns_timer(std::uint64_t token) const {
@@ -125,6 +148,7 @@ class ReliableChannel {
     std::vector<std::uint8_t> payload;
     Duration rto;
     int attempts = 0;
+    TraceContext trace;
   };
 
   /// Per-source receive stream: contiguous watermark + out-of-order set,
@@ -145,9 +169,26 @@ class ReliableChannel {
 
   void transmit(const Pending& frame, SimNetwork& network);
 
+  /// Accounting indirection: registered handle when available, else the
+  /// construction-time CounterSet (keeps registry-less users working).
+  void bump(Counter* handle, const char* name, std::uint64_t delta = 1) {
+    if (handle != nullptr) {
+      handle->add(delta);
+    } else {
+      counters_->add(name, delta);
+    }
+  }
+
   NodeId self_;
   ReliableChannelConfig config_;
   CounterSet* counters_;
+  Tracer* tracer_ = nullptr;
+  Counter* frames_sent_ = nullptr;
+  Counter* retransmits_ = nullptr;
+  Counter* retransmit_exhausted_ = nullptr;
+  Counter* dup_suppressed_ = nullptr;
+  Counter* frames_acked_ = nullptr;
+  Counter* frames_malformed_ = nullptr;
   Rng rng_;
 
   std::uint64_t epoch_ = 0;  // sender incarnation; rotated by reset()

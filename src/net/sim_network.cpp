@@ -39,6 +39,8 @@ Duration SimNetwork::delivery_delay(const Message& message) {
 }
 
 void SimNetwork::enqueue_delivery(const Message& message, Duration delay) {
+  delivery_delay_us_.observe(
+      static_cast<double>(delay.count_micros()));
   Event e;
   e.at = now_ + delay;
   e.sequence = next_sequence_++;
@@ -48,16 +50,16 @@ void SimNetwork::enqueue_delivery(const Message& message, Duration delay) {
 }
 
 void SimNetwork::send(Message message) {
-  counters_.add("messages_sent");
-  counters_.add("bytes_sent", message.wire_size());
+  messages_sent_.inc();
+  bytes_sent_.add(message.wire_size());
   message.sent_at = now_;
 
   if (crashed_.contains(message.to) || crashed_.contains(message.from)) {
-    counters_.add("messages_dropped_crashed");
+    dropped_crashed_.inc();
     return;
   }
   if (partitioned(message.from, message.to)) {
-    counters_.add("messages_dropped_partition");
+    dropped_partition_.inc();
     return;
   }
   double drop = config_.drop_probability;
@@ -66,14 +68,14 @@ void SimNetwork::send(Message message) {
     drop = o->drop_probability;
   }
   if (drop > 0.0 && rng_.bernoulli(drop)) {
-    counters_.add("messages_dropped_fabric");
+    dropped_fabric_.inc();
     return;
   }
 
   Duration delay = delivery_delay(message);
   if (config_.duplicate_probability > 0.0 &&
       rng_.bernoulli(config_.duplicate_probability)) {
-    counters_.add("messages_duplicated");
+    messages_duplicated_.inc();
     enqueue_delivery(message, delivery_delay(message));
   }
   enqueue_delivery(message, delay);
@@ -112,7 +114,7 @@ void SimNetwork::restart(NodeId id) {
     e.timer_node = id;
     e.timer_token = parked.token;
     events_.push(std::move(e));
-    counters_.add("timers_resumed");
+    timers_resumed_.inc();
   }
   parked_timers_.erase(it);
 }
@@ -139,7 +141,7 @@ bool SimNetwork::step() {
     if (crashed_.contains(e.timer_node)) {
       // Park instead of discarding: the chain resumes on restart.
       parked_timers_[e.timer_node].push_back({e.at, e.timer_token});
-      counters_.add("timers_parked");
+      timers_parked_.inc();
       return true;
     }
     auto it = nodes_.find(e.timer_node);
@@ -149,20 +151,20 @@ bool SimNetwork::step() {
 
   // A node crashed after the message was in flight still loses it.
   if (crashed_.contains(e.message.to)) {
-    counters_.add("messages_dropped_crashed");
+    dropped_crashed_.inc();
     return true;
   }
   // Likewise a partition raised mid-flight cuts the message.
   if (partitioned(e.message.from, e.message.to)) {
-    counters_.add("messages_dropped_partition");
+    dropped_partition_.inc();
     return true;
   }
   auto it = nodes_.find(e.message.to);
   if (it == nodes_.end()) {
-    counters_.add("messages_dropped_unknown_node");
+    dropped_unknown_.inc();
     return true;
   }
-  counters_.add("messages_delivered");
+  messages_delivered_.inc();
   it->second->handle_message(e.message, *this);
   return true;
 }

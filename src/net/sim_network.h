@@ -51,6 +51,7 @@
 #include "common/time.h"
 #include "net/message.h"
 #include "net/node.h"
+#include "obs/metrics.h"
 
 namespace stcn {
 
@@ -77,7 +78,19 @@ struct LinkOverride {
 class SimNetwork {
  public:
   explicit SimNetwork(NetworkConfig config = {})
-      : config_(config), rng_(config.seed) {}
+      : config_(config),
+        rng_(config.seed),
+        messages_sent_(metrics_.counter("messages_sent")),
+        bytes_sent_(metrics_.counter("bytes_sent")),
+        messages_delivered_(metrics_.counter("messages_delivered")),
+        messages_duplicated_(metrics_.counter("messages_duplicated")),
+        dropped_crashed_(metrics_.counter("messages_dropped_crashed")),
+        dropped_partition_(metrics_.counter("messages_dropped_partition")),
+        dropped_fabric_(metrics_.counter("messages_dropped_fabric")),
+        dropped_unknown_(metrics_.counter("messages_dropped_unknown_node")),
+        timers_parked_(metrics_.counter("timers_parked")),
+        timers_resumed_(metrics_.counter("timers_resumed")),
+        delivery_delay_us_(metrics_.histogram("delivery_delay_us")) {}
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
@@ -168,8 +181,20 @@ class SimNetwork {
 
   /// Transport accounting: messages_sent, messages_delivered,
   /// messages_dropped_*, messages_duplicated, bytes_sent, timers_parked.
-  [[nodiscard]] const CounterSet& counters() const { return counters_; }
-  CounterSet& counters() { return counters_; }
+  /// Hot paths write pre-registered metric handles; this view mirrors the
+  /// registry into a CounterSet at read time for compatibility.
+  [[nodiscard]] const CounterSet& counters() const {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+  CounterSet& counters() {
+    metrics_.sync_counters_into(counters_);
+    return counters_;
+  }
+
+  /// Registry backing the counters above plus the delivery-delay histogram.
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
@@ -220,7 +245,20 @@ class SimNetwork {
       partitions_;
   std::unordered_map<std::uint64_t, LinkOverride> links_;
   std::unordered_map<NodeId, double> slow_;
-  CounterSet counters_;
+
+  MetricsRegistry metrics_;
+  mutable CounterSet counters_;  // lazily-synced view of metrics_
+  Counter& messages_sent_;
+  Counter& bytes_sent_;
+  Counter& messages_delivered_;
+  Counter& messages_duplicated_;
+  Counter& dropped_crashed_;
+  Counter& dropped_partition_;
+  Counter& dropped_fabric_;
+  Counter& dropped_unknown_;
+  Counter& timers_parked_;
+  Counter& timers_resumed_;
+  LatencyHistogram& delivery_delay_us_;
 };
 
 }  // namespace stcn

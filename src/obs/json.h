@@ -1,0 +1,138 @@
+// Minimal JSON support for the observability exporters.
+//
+// Two halves:
+//  * JsonWriter — a streaming writer with automatic comma/nesting handling
+//    and string escaping; every machine-readable export (metrics registry,
+//    Chrome trace events, slow-query log, BENCH_*.json) goes through it.
+//  * JsonValue  — a small recursive-descent parser over the same dialect
+//    (objects, arrays, strings, doubles, bools, null). Exists so exports
+//    can be round-trip tested and so tooling (ci smoke checks) can validate
+//    bench output without external dependencies.
+//
+// This is deliberately not a general-purpose JSON library: no comments, no
+// \u escapes beyond pass-through, numbers are always doubles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stcn::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Writes an object key; the next value/open call is its value.
+  void key(const std::string& k) {
+    comma();
+    write_string(k);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void value(const std::string& v) {
+    comma();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+
+  /// Embeds an already-serialized JSON fragment verbatim (e.g. a registry
+  /// dump produced by another writer). The caller vouches for validity.
+  void raw_value(const std::string& json) {
+    comma();
+    out_ += json;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    needs_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+  }
+  /// Emits a separating comma unless this is the first element at this
+  /// nesting level or the value completing a key.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ',';
+      needs_comma_.back() = true;
+    }
+  }
+  void write_string(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
+
+/// Parsed JSON value. Numbers are stored as doubles (sufficient for the
+/// counters and latencies the exporters emit; counter values stay exact up
+/// to 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  using Object = std::map<std::string, JsonValue>;
+  using Array = std::vector<JsonValue>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  [[nodiscard]] double number() const { return number_; }
+  [[nodiscard]] bool boolean() const { return bool_; }
+  [[nodiscard]] const std::string& string() const { return string_; }
+  [[nodiscard]] const Object& object() const { return object_; }
+  [[nodiscard]] const Array& array() const { return array_; }
+
+  [[nodiscard]] bool has(const std::string& k) const {
+    return object_.contains(k);
+  }
+  /// Member lookup; returns a null value when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& k) const;
+
+  /// Parses `text`; returns false (and sets *error when given) on malformed
+  /// input.
+  static bool parse(const std::string& text, JsonValue& out,
+                    std::string* error = nullptr);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Object object_;
+  Array array_;
+};
+
+}  // namespace stcn::obs

@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace stcn {
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)] == 0) continue;
+    double before = static_cast<double>(seen);
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) < target) continue;
+    double lower = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+    double upper = bucket_upper_bound(i);
+    double in_bucket =
+        static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    double frac = in_bucket > 0.0 ? (target - before) / in_bucket : 0.0;
+    double v = lower + frac * (upper - lower);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::sync_counters_into(CounterSet& sink) const {
+  for (const auto& [name, c] : counters_) sink.set(name, c->value());
+}
+
+void MetricsRegistry::merge_into(MetricsRegistry& dst,
+                                 const std::string& prefix) const {
+  for (const auto& [name, c] : counters_) {
+    dst.counter(prefix + name).add(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    dst.gauge(prefix + name).add(g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    dst.histogram(prefix + name).merge(*h);
+  }
+}
+
+void MetricsRegistry::import_counter_set(const CounterSet& counters,
+                                         const std::string& prefix) {
+  for (const auto& [name, value] : counters.all()) {
+    std::string full = prefix + name;
+    if (counters_.contains(full)) continue;
+    counter(full).add(value);
+  }
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& prefix,
+                            const std::string& name) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus(
+    const std::string& metric_prefix) const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string m = prometheus_name(metric_prefix, name);
+    out += "# TYPE " + m + " counter\n";
+    out += m + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string m = prometheus_name(metric_prefix, name);
+    out += "# TYPE " + m + " gauge\n";
+    out += m + " ";
+    append_number(out, g->value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string m = prometheus_name(metric_prefix, name);
+    out += "# TYPE " + m + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (h->bucket(i) == 0) continue;  // sparse: skip empty buckets
+      cumulative += h->bucket(i);
+      out += m + "_bucket{le=\"";
+      append_number(out, LatencyHistogram::bucket_upper_bound(i));
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += m + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += m + "_sum ";
+    append_number(out, h->sum());
+    out += "\n" + m + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g->value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h->count());
+    w.key("sum");
+    w.value(h->sum());
+    w.key("min");
+    w.value(h->min());
+    w.key("max");
+    w.value(h->max());
+    w.key("p50");
+    w.value(h->p50());
+    w.key("p95");
+    w.value(h->p95());
+    w.key("p99");
+    w.value(h->p99());
+    w.key("buckets");
+    w.begin_array();
+    // Sparse [index, count] pairs keep the dump small.
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (h->bucket(i) == 0) continue;
+      w.begin_array();
+      w.value(i);
+      w.value(h->bucket(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+bool metrics_registry_from_json(const std::string& json,
+                                MetricsRegistry& out) {
+  obs::JsonValue root;
+  if (!obs::JsonValue::parse(json, root) || !root.is_object()) return false;
+  for (const auto& [name, v] : root.at("counters").object()) {
+    if (!v.is_number()) return false;
+    out.counter(name).add(static_cast<std::uint64_t>(v.number()));
+  }
+  for (const auto& [name, v] : root.at("gauges").object()) {
+    if (!v.is_number()) return false;
+    out.gauge(name).set(v.number());
+  }
+  for (const auto& [name, v] : root.at("histograms").object()) {
+    if (!v.is_object()) return false;
+    LatencyHistogram& h = out.histogram(name);
+    for (const auto& pair : v.at("buckets").array()) {
+      if (!pair.is_array() || pair.array().size() != 2) return false;
+      int idx = static_cast<int>(pair.array()[0].number());
+      if (idx < 0 || idx >= LatencyHistogram::kBuckets) return false;
+      h.restore_bucket(idx,
+                       static_cast<std::uint64_t>(pair.array()[1].number()));
+    }
+    if (h.count() > 0) {
+      h.restore_summary(v.at("sum").number(), v.at("min").number(),
+                        v.at("max").number());
+    }
+  }
+  return true;
+}
+
+}  // namespace stcn

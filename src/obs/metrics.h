@@ -1,0 +1,191 @@
+// Metrics registry: pre-registered counters, gauges, and log-scale latency
+// histograms with machine-readable export.
+//
+// The legacy CounterSet costs a string hash + map lookup on every add —
+// fine for cold paths, measurable on per-message and per-detection paths.
+// The registry hands out *stable handles* at registration time:
+//
+//   Counter& ingested = registry.counter("ingested");
+//   ... hot loop: ingested.inc();              // one pointer write
+//
+// Histograms use fixed power-of-two buckets over microseconds, so p50/p95/
+// p99 are available without storing samples (O(1) memory, O(buckets)
+// quantile). Exporters: Prometheus text format and JSON; the JSON form
+// round-trips through metrics_registry_from_json so downstream tooling can
+// diff snapshots across runs.
+//
+// Compatibility: sync_counters_into() mirrors every registered counter into
+// a CounterSet, so existing stats plumbing and tests keep working while hot
+// paths migrate to handles.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+
+namespace stcn {
+
+/// Monotonic counter. Handle semantics: references returned by the registry
+/// stay valid for the registry's lifetime.
+class Counter {
+ public:
+  void inc() { ++value_; }
+  void add(std::uint64_t delta) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, map sizes).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket log2 histogram over non-negative values (canonically
+/// microseconds). Bucket 0 covers [0, 1); bucket i covers [2^(i-1), 2^i).
+/// Quantiles are interpolated within the owning bucket and clamped to the
+/// observed [min, max], so p50/p95/p99 are available without retaining
+/// samples.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 42;  // 2^41 us ≈ 25 days: plenty of range
+
+  void observe(double v) {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+
+  /// Inclusive upper bound of bucket i.
+  [[nodiscard]] static double bucket_upper_bound(int i) {
+    return std::ldexp(1.0, i);  // 2^i
+  }
+
+  static int bucket_index(double v) {
+    if (!(v >= 1.0)) return 0;  // also catches NaN / negatives
+    int exp = static_cast<int>(std::floor(std::log2(v))) + 1;
+    return exp >= kBuckets ? kBuckets - 1 : exp;
+  }
+
+  /// Quantile q in [0, 1], interpolated within the owning bucket.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void merge(const LatencyHistogram& other);
+
+  /// State restoration for the JSON importer: adds `n` observations to
+  /// bucket `i` without touching sum/min/max.
+  void restore_bucket(int i, std::uint64_t n) {
+    buckets_[static_cast<std::size_t>(i)] += n;
+    count_ += n;
+  }
+  /// Overwrites the summary moments (JSON importer; exact round-trip).
+  void restore_summary(double sum, double min, double max) {
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named metrics, one instance per node (plus merged cluster snapshots).
+/// Names are dot-separated ("query_latency_us", "net.bytes_sent"); the
+/// Prometheus exporter mangles dots to underscores.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  // Movable so snapshots can be returned by value. Handles into the
+  // moved-from registry keep working (the unique_ptr targets move with it).
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  /// Registers (or finds) a metric; the returned reference is stable.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string,
+                               std::unique_ptr<LatencyHistogram>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// Mirrors every registered counter into `sink` (set semantics), bridging
+  /// handle-based hot paths into legacy CounterSet consumers.
+  void sync_counters_into(CounterSet& sink) const;
+
+  /// Adds this registry's metrics into `dst` under `prefix` (counters and
+  /// histograms accumulate; gauges accumulate too, which makes merged
+  /// worker gauges totals).
+  void merge_into(MetricsRegistry& dst, const std::string& prefix) const;
+
+  /// Imports CounterSet entries as counters under `prefix`, skipping names
+  /// already present in this registry (handle-backed counters win — they
+  /// are mirrored into CounterSets by sync_counters_into, so importing them
+  /// again would double-count).
+  void import_counter_set(const CounterSet& counters,
+                          const std::string& prefix);
+
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string to_prometheus(
+      const std::string& metric_prefix = "stcn_") const;
+
+  /// JSON dump; round-trips through metrics_registry_from_json.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Rebuilds a registry from MetricsRegistry::to_json output. Returns false
+/// on malformed input.
+bool metrics_registry_from_json(const std::string& json,
+                                MetricsRegistry& out);
+
+}  // namespace stcn

@@ -1,0 +1,119 @@
+// Slow-query log: full span trees for queries that exceeded a threshold.
+//
+// The coordinator feeds it on query completion; the log snapshots the span
+// tree from the shared tracer (so the trace survives even after the
+// tracer's FIFO retention evicts it). Bounded: keeps the most recent
+// `max_entries` slow queries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
+
+namespace stcn {
+
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    std::uint64_t request_id = 0;
+    std::string description;  // query kind + salient tags
+    Duration latency;
+    std::vector<SpanRecord> spans;
+  };
+
+  explicit SlowQueryLog(Duration threshold = Duration::millis(25),
+                        std::size_t max_entries = 64)
+      : threshold_(threshold), max_entries_(max_entries) {}
+
+  [[nodiscard]] Duration threshold() const { return threshold_; }
+  void set_threshold(Duration t) { threshold_ = t; }
+
+  /// Records the query if it was slower than the threshold. Returns true
+  /// when an entry was added.
+  bool maybe_record(const Tracer& tracer, std::uint64_t trace_id,
+                    std::uint64_t request_id, std::string description,
+                    Duration latency) {
+    if (latency < threshold_) return false;
+    while (entries_.size() >= max_entries_) entries_.pop_front();
+    Entry e;
+    e.trace_id = trace_id;
+    e.request_id = request_id;
+    e.description = std::move(description);
+    e.latency = latency;
+    e.spans = tracer.trace(trace_id);
+    entries_.push_back(std::move(e));
+    return true;
+  }
+
+  [[nodiscard]] const std::deque<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Human-readable dump: one span tree per slow query.
+  [[nodiscard]] std::string render() const {
+    std::string out;
+    for (const Entry& e : entries_) {
+      out += "slow query request=" + std::to_string(e.request_id) + " " +
+             e.description + " latency=" +
+             std::to_string(e.latency.count_micros()) + "us\n";
+      out += SpanTree(e.spans).render();
+    }
+    return out;
+  }
+
+  /// Machine-readable dump (array of {request, latency_us, spans}).
+  [[nodiscard]] std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_array();
+    for (const Entry& e : entries_) {
+      w.begin_object();
+      w.key("trace_id");
+      w.value(e.trace_id);
+      w.key("request_id");
+      w.value(e.request_id);
+      w.key("description");
+      w.value(e.description);
+      w.key("latency_us");
+      w.value(e.latency.count_micros());
+      w.key("spans");
+      w.begin_array();
+      for (const SpanRecord& span : e.spans) {
+        w.begin_object();
+        w.key("span_id");
+        w.value(span.span_id);
+        w.key("parent_id");
+        w.value(span.parent_id);
+        w.key("name");
+        w.value(span.name);
+        w.key("node");
+        w.value(span.node);
+        w.key("start_us");
+        w.value(span.start.micros_since_origin());
+        w.key("duration_us");
+        w.value(span.duration().count_micros());
+        for (const auto& [k, v] : span.tags) {
+          w.key(k);
+          w.value(v);
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    return w.take();
+  }
+
+ private:
+  Duration threshold_;
+  std::size_t max_entries_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace stcn

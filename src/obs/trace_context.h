@@ -1,0 +1,28 @@
+// Trace-context propagation token.
+//
+// A TraceContext names one span of one distributed trace. It is the only
+// piece of the observability layer that crosses a node boundary: every
+// Message carries one (16 bytes on the wire when set), so a worker-side
+// span can attach causally to the coordinator-side span that caused the
+// message. Kept dependency-free so the net layer can embed it without
+// pulling in the tracer itself.
+#pragma once
+
+#include <cstdint>
+
+namespace stcn {
+
+struct TraceContext {
+  /// Identifies the whole trace (one end-to-end request). 0 = untraced.
+  std::uint64_t trace_id = 0;
+  /// Identifies the span that is "current" where this context was captured;
+  /// spans started from this context become its children.
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return trace_id != 0; }
+
+  friend constexpr bool operator==(const TraceContext&,
+                                   const TraceContext&) = default;
+};
+
+}  // namespace stcn

@@ -1,0 +1,324 @@
+// Observability layer: JSON writer/parser, metrics registry (handles,
+// histogram quantiles, export round-trips), tracer span trees, and the
+// slow-query log.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/tracer.h"
+
+namespace stcn {
+namespace {
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, WriterParserRoundTrip) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("cluster \"a\"\n");
+  w.key("count");
+  w.value(std::uint64_t{42});
+  w.key("ratio");
+  w.value(0.5);
+  w.key("ok");
+  w.value(true);
+  w.key("items");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.key("nested");
+  w.raw_value("{\"x\":7}");
+  w.end_object();
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(w.str(), v, &error)) << error;
+  EXPECT_EQ(v.at("name").string(), "cluster \"a\"\n");
+  EXPECT_DOUBLE_EQ(v.at("count").number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("ratio").number(), 0.5);
+  EXPECT_TRUE(v.at("ok").boolean());
+  ASSERT_EQ(v.at("items").array().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("nested").at("x").number(), 7.0);
+}
+
+TEST(Json, ParserRejectsMalformed) {
+  obs::JsonValue v;
+  EXPECT_FALSE(obs::JsonValue::parse("{\"a\":}", v));
+  EXPECT_FALSE(obs::JsonValue::parse("[1,2", v));
+  EXPECT_FALSE(obs::JsonValue::parse("", v));
+  EXPECT_FALSE(obs::JsonValue::parse("{} trailing", v));
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(LatencyHistogram, BucketsAndQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.5), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1.0), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2.0), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e30), LatencyHistogram::kBuckets - 1);
+
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Log-bucket interpolation is coarse; quantiles must land in the right
+  // bucket neighbourhood and be monotone.
+  double p50 = h.p50();
+  double p95 = h.p95();
+  double p99 = h.p99();
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+}
+
+TEST(LatencyHistogram, MergeAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.observe(10.0);
+  b.observe(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSynced) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  c.inc();
+  c.add(4);
+  EXPECT_EQ(registry.counter("events").value(), 5u);  // same handle
+
+  registry.gauge("depth").set(3.5);
+  registry.histogram("lat_us").observe(12.0);
+
+  CounterSet sink;
+  sink.add("preexisting", 7);
+  registry.sync_counters_into(sink);
+  EXPECT_EQ(sink.get("events"), 5u);
+  EXPECT_EQ(sink.get("preexisting"), 7u);  // untouched
+}
+
+TEST(MetricsRegistry, JsonRoundTripIsExact) {
+  MetricsRegistry registry;
+  registry.counter("messages_sent").add(12345);
+  registry.counter("bytes_sent").add(987654321);
+  registry.gauge("queue_depth").set(17.25);
+  LatencyHistogram& h = registry.histogram("query_latency_us");
+  h.observe(3.0);
+  h.observe(250.0);
+  h.observe(90000.0);
+
+  MetricsRegistry restored;
+  ASSERT_TRUE(metrics_registry_from_json(registry.to_json(), restored));
+
+  EXPECT_EQ(restored.counter("messages_sent").value(), 12345u);
+  EXPECT_EQ(restored.counter("bytes_sent").value(), 987654321u);
+  EXPECT_DOUBLE_EQ(restored.gauge("queue_depth").value(), 17.25);
+  const LatencyHistogram& rh = restored.histogram("query_latency_us");
+  EXPECT_EQ(rh.count(), h.count());
+  EXPECT_DOUBLE_EQ(rh.sum(), h.sum());
+  EXPECT_DOUBLE_EQ(rh.min(), h.min());
+  EXPECT_DOUBLE_EQ(rh.max(), h.max());
+  EXPECT_DOUBLE_EQ(rh.p50(), h.p50());
+  EXPECT_DOUBLE_EQ(rh.p95(), h.p95());
+  EXPECT_DOUBLE_EQ(rh.p99(), h.p99());
+
+  // Second generation must serialize identically (fixed point).
+  EXPECT_EQ(registry.to_json(), restored.to_json());
+}
+
+TEST(MetricsRegistry, RejectsMalformedJson) {
+  MetricsRegistry out;
+  EXPECT_FALSE(metrics_registry_from_json("not json", out));
+  EXPECT_FALSE(metrics_registry_from_json("[]", out));
+}
+
+TEST(MetricsRegistry, PrometheusExport) {
+  MetricsRegistry registry;
+  registry.counter("net.messages_sent").add(3);
+  registry.histogram("query_latency_us").observe(100.0);
+  std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("stcn_net_messages_sent 3"), std::string::npos);
+  EXPECT_NE(text.find("stcn_query_latency_us"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergeAndImportSkipHandleBackedNames) {
+  MetricsRegistry worker;
+  worker.counter("ingested").add(10);
+  worker.histogram("scan_wall_us").observe(5.0);
+
+  MetricsRegistry snapshot;
+  worker.merge_into(snapshot, "worker.");
+  worker.merge_into(snapshot, "worker.");  // second worker with same names
+  EXPECT_EQ(snapshot.counter("worker.ingested").value(), 20u);
+  EXPECT_EQ(snapshot.histogram("worker.scan_wall_us").count(), 2u);
+
+  // import_counter_set must not double-count names the registry already
+  // mirrors into the CounterSet.
+  CounterSet legacy;
+  worker.sync_counters_into(legacy);
+  legacy.add("eager_only", 3);
+  MetricsRegistry merged;
+  worker.merge_into(merged, "");
+  merged.import_counter_set(legacy, "");
+  EXPECT_EQ(merged.counter("ingested").value(), 10u);
+  EXPECT_EQ(merged.counter("eager_only").value(), 3u);
+}
+
+// ------------------------------------------------------ quantile recorder
+
+TEST(QuantileRecorder, BatchQuantilesMatchSingleCalls) {
+  QuantileRecorder r;
+  for (int i = 1000; i >= 1; --i) r.add(i);
+  auto qs = r.quantiles({0.5, 0.95, 0.99});
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], r.quantile(0.5));
+  EXPECT_DOUBLE_EQ(qs[1], r.quantile(0.95));
+  EXPECT_DOUBLE_EQ(qs[2], r.quantile(0.99));
+  EXPECT_NEAR(qs[0], 500.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 500.5);
+}
+
+TEST(QuantileRecorder, ReservoirCapsMemoryButCountsAll) {
+  QuantileRecorder r(/*max_samples=*/128);
+  for (int i = 0; i < 100000; ++i) r.add(static_cast<double>(i % 1000));
+  EXPECT_EQ(r.count(), 100000u);
+  EXPECT_EQ(r.retained(), 128u);
+  // The reservoir is a uniform sample of [0, 1000); the median estimate
+  // must land well inside the central band.
+  double p50 = r.quantile(0.5);
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 750.0);
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(Tracer, SpanTreeStructureAndTags) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  ASSERT_TRUE(root.valid());
+  TraceContext fanout = tracer.start_span("coordinator.fanout", root,
+                                          1'000'000, t0);
+  tracer.tag(fanout, "kind", "range");
+  TraceContext frag =
+      tracer.start_span("fragment", fanout, 1'000'000, t0);
+  tracer.instant("net.retransmit", frag, 1'000'000,
+                 t0 + Duration::millis(10));
+  tracer.end_span(frag, t0 + Duration::millis(12));
+  tracer.end_span(fanout, t0 + Duration::millis(12));
+  tracer.end_span(root, t0 + Duration::millis(13));
+
+  SpanTree tree(tracer.trace(root.trace_id));
+  ASSERT_EQ(tree.roots().size(), 1u);
+  const SpanRecord& root_span = tree.spans()[tree.roots()[0]];
+  EXPECT_EQ(root_span.name, "gateway.execute");
+  EXPECT_EQ(root_span.duration(), Duration::millis(13));
+
+  auto fanouts = tree.named("coordinator.fanout");
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_TRUE(fanouts[0]->has_tag("kind", "range"));
+  EXPECT_EQ(fanouts[0]->parent_id, root_span.span_id);
+
+  auto retransmits = tree.named("net.retransmit");
+  ASSERT_EQ(retransmits.size(), 1u);
+  EXPECT_EQ(retransmits[0]->duration(), Duration::zero());
+
+  EXPECT_FALSE(tree.render().empty());
+}
+
+TEST(Tracer, FifoEvictionBoundsRetention) {
+  TracerConfig config;
+  config.max_traces = 2;
+  Tracer tracer(config);
+  TimePoint t0 = TimePoint::origin();
+  TraceContext a = tracer.start_trace("a", 0, t0);
+  TraceContext b = tracer.start_trace("b", 0, t0);
+  TraceContext c = tracer.start_trace("c", 0, t0);
+  EXPECT_EQ(tracer.trace_count(), 2u);
+  EXPECT_FALSE(tracer.has_trace(a.trace_id));
+  EXPECT_TRUE(tracer.has_trace(b.trace_id));
+  EXPECT_TRUE(tracer.has_trace(c.trace_id));
+}
+
+TEST(Tracer, DisabledTracerIsNoop) {
+  TracerConfig config;
+  config.max_traces = 0;
+  Tracer tracer(config);
+  TraceContext ctx =
+      tracer.start_trace("x", 0, TimePoint::origin());
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(tracer.trace_count(), 0u);
+}
+
+TEST(Tracer, ChromeJsonExportParses) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  TraceContext child = tracer.start_span("worker.query", root, 7, t0);
+  tracer.tag(child, "sub_id", "3");
+  tracer.end_span(child, t0 + Duration::millis(2));
+  tracer.end_span(root, t0 + Duration::millis(3));
+
+  std::string json = tracer.to_chrome_json(root.trace_id);
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(json, v, &error)) << error;
+  const auto& events = v.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_worker = false;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").string(), "X");
+    if (e.at("name").string() == "worker.query") {
+      saw_worker = true;
+      EXPECT_EQ(e.at("args").at("sub_id").string(), "3");
+      EXPECT_DOUBLE_EQ(e.at("dur").number(), 2000.0);
+    }
+  }
+  EXPECT_TRUE(saw_worker);
+}
+
+// ---------------------------------------------------------- slow queries
+
+TEST(SlowQueryLog, RecordsOnlyAboveThreshold) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  tracer.end_span(root, t0 + Duration::millis(40));
+
+  SlowQueryLog log(Duration::millis(25), /*max_entries=*/2);
+  EXPECT_FALSE(log.maybe_record(tracer, root.trace_id, 1, "range",
+                                Duration::millis(10)));
+  EXPECT_TRUE(log.maybe_record(tracer, root.trace_id, 2, "range",
+                               Duration::millis(40)));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries().front().request_id, 2u);
+  EXPECT_FALSE(log.entries().front().spans.empty());
+
+  // Bounded retention.
+  log.maybe_record(tracer, root.trace_id, 3, "range", Duration::millis(30));
+  log.maybe_record(tracer, root.trace_id, 4, "range", Duration::millis(30));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries().front().request_id, 3u);
+
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonValue::parse(log.to_json(), v));
+  EXPECT_EQ(v.array().size(), 2u);
+  EXPECT_FALSE(log.render().empty());
+}
+
+}  // namespace
+}  // namespace stcn

@@ -46,7 +46,7 @@ TEST(SimNetwork, DeliversMessageWithLatency) {
   net.attach(a);
   net.attach(b);
 
-  net.send({NodeId(1), NodeId(2), 7, {1, 2, 3}, {}});
+  net.send({NodeId(1), NodeId(2), 7, {1, 2, 3}, {}, {}});
   EXPECT_TRUE(b.received.empty());  // nothing until the loop runs
   net.run_until_idle();
   ASSERT_EQ(b.received.size(), 1u);
@@ -62,7 +62,7 @@ TEST(SimNetwork, FifoOrderPreservedForEqualSizes) {
   net.attach(a);
   net.attach(b);
   for (std::uint32_t i = 0; i < 10; ++i) {
-    net.send({NodeId(1), NodeId(2), i, {}, {}});
+    net.send({NodeId(1), NodeId(2), i, {}, {}, {}});
   }
   net.run_until_idle();
   ASSERT_EQ(b.received.size(), 10u);
@@ -78,9 +78,9 @@ TEST(SimNetwork, LargerMessagesTakeLonger) {
   RecorderNode b(NodeId(2));
   net.attach(b);
 
-  Message small{NodeId(1), NodeId(2), 1, std::vector<std::uint8_t>(10), {}};
+  Message small{NodeId(1), NodeId(2), 1, std::vector<std::uint8_t>(10), {}, {}};
   Message large{NodeId(1), NodeId(2), 2,
-                std::vector<std::uint8_t>(1'000'000), {}};
+                std::vector<std::uint8_t>(1'000'000), {}, {}};
   net.send(large);
   net.send(small);
   net.run_until_idle();
@@ -95,7 +95,7 @@ TEST(SimNetwork, CountersAccountBytesAndMessages) {
   SimNetwork net(quiet_config());
   RecorderNode b(NodeId(2));
   net.attach(b);
-  net.send({NodeId(1), NodeId(2), 0, std::vector<std::uint8_t>(100), {}});
+  net.send({NodeId(1), NodeId(2), 0, std::vector<std::uint8_t>(100), {}, {}});
   net.run_until_idle();
   EXPECT_EQ(net.counters().get("messages_sent"), 1u);
   EXPECT_EQ(net.counters().get("messages_delivered"), 1u);
@@ -108,13 +108,13 @@ TEST(SimNetwork, CrashedNodeDropsMessages) {
   net.attach(b);
   net.crash(NodeId(2));
   EXPECT_TRUE(net.is_crashed(NodeId(2)));
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(net.counters().get("messages_dropped_crashed"), 1u);
 
   net.restart(NodeId(2));
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_EQ(b.received.size(), 1u);
 }
@@ -123,7 +123,7 @@ TEST(SimNetwork, InFlightMessageLostWhenDestinationCrashesBeforeDelivery) {
   SimNetwork net(quiet_config());
   RecorderNode b(NodeId(2));
   net.attach(b);
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.crash(NodeId(2));  // crash while the message is in flight
   net.run_until_idle();
   EXPECT_TRUE(b.received.empty());
@@ -131,7 +131,7 @@ TEST(SimNetwork, InFlightMessageLostWhenDestinationCrashesBeforeDelivery) {
 
 TEST(SimNetwork, UnknownDestinationCounted) {
   SimNetwork net(quiet_config());
-  net.send({NodeId(1), NodeId(99), 0, {}, {}});
+  net.send({NodeId(1), NodeId(99), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_EQ(net.counters().get("messages_dropped_unknown_node"), 1u);
 }
@@ -142,7 +142,7 @@ TEST(SimNetwork, DropProbabilityLosesMessages) {
   SimNetwork net(config);
   RecorderNode b(NodeId(2));
   net.attach(b);
-  for (int i = 0; i < 10; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  for (int i = 0; i < 10; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(net.counters().get("messages_dropped_fabric"), 10u);
@@ -207,7 +207,7 @@ TEST(SimNetwork, DeterministicAcrossRuns) {
     net.attach(b);
     for (int i = 0; i < 50; ++i) {
       net.send({NodeId(1), NodeId(2), static_cast<std::uint32_t>(i),
-                std::vector<std::uint8_t>(static_cast<std::size_t>(i)), {}});
+                std::vector<std::uint8_t>(static_cast<std::size_t>(i)), {}, {}});
     }
     net.run_until_idle();
     std::vector<std::int64_t> times;
@@ -231,9 +231,9 @@ TEST(SimNetwork, PartitionCutsBothDirectionsUntilHealed) {
   EXPECT_TRUE(net.partitioned(NodeId(2), NodeId(1)));
   EXPECT_FALSE(net.partitioned(NodeId(1), NodeId(3)));
 
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
-  net.send({NodeId(2), NodeId(1), 0, {}, {}});
-  net.send({NodeId(1), NodeId(3), 0, {}, {}});  // unaffected pair
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
+  net.send({NodeId(2), NodeId(1), 0, {}, {}, {}});
+  net.send({NodeId(1), NodeId(3), 0, {}, {}, {}});  // unaffected pair
   net.run_until_idle();
   EXPECT_TRUE(a.received.empty());
   EXPECT_TRUE(b.received.empty());
@@ -241,7 +241,7 @@ TEST(SimNetwork, PartitionCutsBothDirectionsUntilHealed) {
   EXPECT_EQ(net.counters().get("messages_dropped_partition"), 2u);
 
   net.heal();
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_EQ(b.received.size(), 1u);
 }
@@ -252,7 +252,7 @@ TEST(SimNetwork, PartitionCutsMessageInFlight) {
   SimNetwork net(quiet_config());
   RecorderNode b(NodeId(2));
   net.attach(b);
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.partition({NodeId(1)}, {NodeId(2)});
   net.run_until_idle();
   EXPECT_TRUE(b.received.empty());
@@ -276,7 +276,7 @@ TEST(SimNetwork, DuplicateProbabilityDeliversTwice) {
   SimNetwork net(config);
   RecorderNode b(NodeId(2));
   net.attach(b);
-  for (int i = 0; i < 5; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  for (int i = 0; i < 5; ++i) net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_EQ(b.received.size(), 10u);
   EXPECT_EQ(net.counters().get("messages_duplicated"), 5u);
@@ -292,7 +292,7 @@ TEST(SimNetwork, LinkOverrideDropAndLatency) {
 
   // Directed override: 1→2 always drops; 2→1 unaffected.
   net.set_link(NodeId(1), NodeId(2), {.drop_probability = 1.0});
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   EXPECT_TRUE(b.received.empty());
   net.clear_link(NodeId(1), NodeId(2));
@@ -300,8 +300,8 @@ TEST(SimNetwork, LinkOverrideDropAndLatency) {
   // Latency shaping: +10ms extra on 1→3.
   net.set_link(NodeId(1), NodeId(3),
                {.extra_latency = Duration::millis(10)});
-  net.send({NodeId(1), NodeId(3), 0, {}, {}});
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});
+  net.send({NodeId(1), NodeId(3), 0, {}, {}, {}});
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});
   net.run_until_idle();
   ASSERT_EQ(c.received.size(), 1u);
   ASSERT_EQ(b.received.size(), 1u);
@@ -319,9 +319,9 @@ TEST(SimNetwork, SlowNodeDelaysTrafficBothWays) {
 
   net.set_slow(NodeId(2), 100.0);
   EXPECT_TRUE(net.is_slow(NodeId(2)));
-  net.send({NodeId(1), NodeId(2), 0, {}, {}});  // into the slow node
-  net.send({NodeId(2), NodeId(3), 0, {}, {}});  // out of the slow node
-  net.send({NodeId(1), NodeId(3), 0, {}, {}});  // healthy pair
+  net.send({NodeId(1), NodeId(2), 0, {}, {}, {}});  // into the slow node
+  net.send({NodeId(2), NodeId(3), 0, {}, {}, {}});  // out of the slow node
+  net.send({NodeId(1), NodeId(3), 0, {}, {}, {}});  // healthy pair
   net.run_until_idle();
   ASSERT_EQ(b.received.size(), 1u);
   ASSERT_EQ(c.received.size(), 2u);
