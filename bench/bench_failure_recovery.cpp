@@ -121,6 +121,84 @@ void run_drop_sweep(const Trace& trace, const Rect& world,
       "drops surface as retransmissions (latency), never as lost data.\n");
 }
 
+/// Gray-failure health monitoring: a worker turns slow (not dead — it still
+/// answers, late), the continuous health monitor must flag it `suspect`
+/// from the coordinator's per-peer signals, and healing must resolve the
+/// alert. The full monitor snapshot lands in the report ("health" section).
+void run_gray_health(const Trace& trace, const Rect& world,
+                     bench::BenchReport& report) {
+  bench::print_header(
+      "E9c gray-failure health monitoring",
+      "one worker 40x slow; rule-based alerting on the sim clock");
+
+  ClusterConfig config;
+  config.worker_count = 8;
+  config.health.enabled = true;
+  config.health.sample_period = Duration::millis(250);
+  Cluster cluster(
+      world,
+      std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+      config);
+  cluster.ingest_all(trace.detections);
+
+  WorkerId victim = cluster.worker_ids()[1];
+  std::string subject = "worker." + std::to_string(victim.value());
+  HealthMonitor& monitor = cluster.health_monitor();
+
+  auto victim_flagged = [&] {
+    return monitor.is_firing("hedge_win_spike", subject) ||
+           monitor.is_firing("latency_burn", subject);
+  };
+  auto run_queries = [&](int n) {
+    Rng rng(19);
+    for (int i = 0; i < n; ++i) {
+      Rect region = Rect::centered(
+          {rng.uniform(world.min.x, world.max.x),
+           rng.uniform(world.min.y, world.max.y)},
+          rng.uniform(200.0, 800.0));
+      (void)cluster.execute(Query::range(cluster.next_query_id(), region,
+                                         TimeInterval::all()));
+      cluster.advance_time(Duration::millis(100));
+    }
+  };
+
+  cluster.network().set_slow(NodeId(victim.value()), 40.0);
+  std::uint64_t fire_budget = monitor.samples_taken() + 200;
+  std::uint64_t fired_at = 0;
+  while (!victim_flagged() && monitor.samples_taken() < fire_budget) {
+    run_queries(5);
+  }
+  bool fired = victim_flagged();
+  fired_at = monitor.samples_taken();
+  bool suspect =
+      cluster.health().status(subject) == HealthStatus::kSuspect;
+
+  cluster.network().clear_slow(NodeId(victim.value()));
+  std::uint64_t resolve_budget = monitor.samples_taken() + 200;
+  while (victim_flagged() && monitor.samples_taken() < resolve_budget) {
+    run_queries(5);
+  }
+  bool resolved = !victim_flagged() &&
+                  cluster.health().status(subject) == HealthStatus::kHealthy;
+
+  std::printf("victim=%s  alert fired: %s (sample %" PRIu64
+              ", suspect: %s)  resolved after heal: %s\n",
+              subject.c_str(), fired ? "yes" : "NO", fired_at,
+              suspect ? "yes" : "NO", resolved ? "yes" : "NO");
+  std::printf("%s", monitor.events().render().c_str());
+  std::printf(
+      "expected shape: a suspect alert fires within a bounded number of\n"
+      "samples of the slowdown and resolves shortly after healing.\n");
+
+  report.set("health_gray_alert_fired", fired ? 1.0 : 0.0);
+  report.set("health_gray_victim_suspect", suspect ? 1.0 : 0.0);
+  report.set("health_gray_alert_resolved", resolved ? 1.0 : 0.0);
+  report.set("health_samples", static_cast<double>(monitor.samples_taken()));
+  report.set("health_events",
+             static_cast<double>(monitor.events().total()));
+  report.add_section("health", monitor.to_json());
+}
+
 void run() {
   TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 1.5,
                                    bench::quick() ? Duration::minutes(1)
@@ -197,6 +275,7 @@ void run() {
       "data), complete answers throughout thanks to failover + resync.\n");
 
   run_drop_sweep(trace, world, expected, report);
+  run_gray_health(trace, world, report);
   report.write();
 }
 

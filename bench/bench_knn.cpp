@@ -111,6 +111,54 @@ void run() {
   std::printf(
       "\nexpected shape: latency grows mildly with k; k-NN cannot prune\n"
       "partitions, so more workers add fan-in cost rather than speedup.\n");
+
+  // -- EXPLAIN/ANALYZE showcase: one planner-assisted k-NN, profiled.
+  // Range queries warm the selectivity estimator first so the plan carries
+  // real estimates; the profile lands in the report ("explain" section)
+  // with the coordinator's planner-calibration quantiles alongside.
+  {
+    ClusterConfig config;
+    config.worker_count = 4;
+    Cluster cluster(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+        config);
+    cluster.ingest_all(trace.detections);
+    Rng warm_rng(11);
+    for (int i = 0; i < 12; ++i) {
+      Rect region = Rect::centered(
+          {warm_rng.uniform(world.min.x, world.max.x),
+           warm_rng.uniform(world.min.y, world.max.y)},
+          warm_rng.uniform(100.0, 600.0));
+      (void)cluster.execute(
+          Query::range(cluster.next_query_id(), region, TimeInterval::all()));
+    }
+    Cluster::ExplainResult explained = cluster.explain(Query::knn(
+        cluster.next_query_id(), centers.front(), 10, TimeInterval::all()));
+    std::printf("\n-- EXPLAIN ANALYZE: adaptive k-NN, k=10\n%s",
+                explained.profile.render().c_str());
+    report.add_section("explain", explained.profile.to_json());
+    report.set("explain_stage_count",
+               static_cast<double>(explained.profile.stages.size()));
+    report.set("explain_total_pruned",
+               static_cast<double>(explained.profile.total_pruned()));
+    report.set("explain_worst_q_error", explained.profile.worst_q_error());
+    const LatencyHistogram& est =
+        *cluster.coordinator().metrics().histograms().at(
+            "estimate_q_error_x100");
+    report.set("estimate_q_error_p50", est.p50() / 100.0);
+    report.set("estimate_q_error_p95", est.p95() / 100.0);
+    const LatencyHistogram& plan =
+        *cluster.coordinator().metrics().histograms().at(
+            "knn_plan_q_error_x100");
+    report.set("knn_plan_q_error_p50", plan.p50() / 100.0);
+    report.set("knn_plan_q_error_p95", plan.p95() / 100.0);
+    std::printf(
+        "planner calibration: estimate q-error p50=%.2f p95=%.2f, "
+        "k-NN plan q-error p50=%.2f p95=%.2f\n",
+        est.p50() / 100.0, est.p95() / 100.0, plan.p50() / 100.0,
+        plan.p95() / 100.0);
+  }
   report.write();
 }
 

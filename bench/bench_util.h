@@ -107,10 +107,17 @@ class BenchReport {
     registry_ = std::move(registry);
   }
 
+  /// Embeds a pre-serialized JSON value under `key` (an EXPLAIN profile,
+  /// a health-monitor snapshot, ...). `raw_json` must be valid JSON; it is
+  /// emitted verbatim as a top-level section of the report.
+  void add_section(const std::string& key, std::string raw_json) {
+    sections_[key] = std::move(raw_json);
+  }
+
   /// Serializes the report. Schema:
   /// {"bench": name, "quick": bool, "scalars": {...}, "labels": {...},
   ///  "histograms": {name: {count,mean,min,max,p50,p95,p99}},
-  ///  "metrics": <registry JSON>}
+  ///  <sections...>, "metrics": <registry JSON>}
   [[nodiscard]] std::string to_json() const {
     obs::JsonWriter w;
     w.begin_object();
@@ -154,6 +161,10 @@ class BenchReport {
       w.end_object();
     }
     w.end_object();
+    for (const auto& [key, raw] : sections_) {
+      w.key(key);
+      w.raw_value(raw);
+    }
     if (registry_.has_value()) {
       w.key("metrics");
       w.raw_value(registry_->to_json());
@@ -184,6 +195,7 @@ class BenchReport {
   std::map<std::string, double> scalars_;
   std::map<std::string, std::string> strings_;
   std::vector<std::pair<std::string, LatencyHistogram>> histograms_;
+  std::map<std::string, std::string> sections_;  // key → raw JSON
   std::optional<MetricsRegistry> registry_;
 };
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, sanitizer build + tests, and an
-# observability smoke check (bench_knn --quick must emit a parseable
-# BENCH_knn.json with latency quantiles and a metrics snapshot).
+# CI entry point: tier-1 build + tests, sanitizer build + tests, and
+# observability smoke checks: bench_knn --quick must emit a parseable
+# BENCH_knn.json with latency quantiles, a metrics snapshot, and an EXPLAIN
+# profile with nonzero pruning; bench_failure_recovery --quick must show the
+# gray-failure health alert firing and resolving in its "health" section.
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -31,6 +33,11 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   cmake --build build-asan -j "$JOBS"
   echo "== sanitizer tests =="
   ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+  echo "== sanitizer health-alert chaos rerun =="
+  # The chaos health test exercises the ticker, wildcard rules, and the
+  # hysteresis state machine under ASan+UBSan explicitly.
+  ./build-asan/tests/test_health_alerts \
+      --gtest_filter='ChaosHealth.*' >/dev/null
 fi
 
 echo "== bench report smoke (bench_knn --quick) =="
@@ -49,8 +56,44 @@ metrics = report["metrics"]
 assert metrics["counters"]["net.messages_sent"] > 0, "missing net counters"
 assert any(k.startswith("coordinator.") for k in metrics["counters"])
 assert any(k.startswith("worker.") for k in metrics["counters"])
+
+# EXPLAIN section: per-stage estimated-vs-actual with nonzero pruning.
+explain = report["explain"]
+stages = explain["stages"]
+assert stages, "explain profile has no stages"
+names = {s["name"] for s in stages}
+for required in ("knn.plan", "knn.round", "partition_selection",
+                 "worker.scan"):
+    assert required in names, f"missing explain stage {required}: {names}"
+assert any(s.get("pruned", 0) > 0 for s in stages), "nothing pruned"
+assert any("estimated" in s and "actual" in s for s in stages), \
+    "no stage recorded both estimate and actual"
+scalars = report["scalars"]
+assert scalars["knn_plan_q_error_p50"] >= 1.0, scalars
+assert scalars["estimate_q_error_p50"] >= 1.0, scalars
 print("BENCH_knn.json OK:", len(report["scalars"]), "scalars,",
-      f"query p50={hist['p50']:.0f}us p99={hist['p99']:.0f}us")
+      f"query p50={hist['p50']:.0f}us p99={hist['p99']:.0f}us,",
+      len(stages), "explain stages")
+PY
+
+echo "== health report smoke (bench_failure_recovery --quick) =="
+(cd "$SMOKE_DIR" && "$OLDPWD/build/bench/bench_failure_recovery" --quick >/dev/null)
+python3 - "$SMOKE_DIR/BENCH_failure_recovery.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+scalars = report["scalars"]
+assert scalars["health_gray_alert_fired"] == 1.0, scalars
+assert scalars["health_gray_victim_suspect"] == 1.0, scalars
+assert scalars["health_gray_alert_resolved"] == 1.0, scalars
+health = report["health"]
+assert health["samples"] > 0, health
+events = health["events"]
+assert any(e["kind"] == "firing" and e["subject"].startswith("worker.")
+           for e in events), events
+assert any(e["kind"] == "resolved" for e in events), events
+assert health["nodes"], "health rollup has no nodes"
+print("BENCH_failure_recovery.json OK:", len(events), "health events,",
+      f"{int(scalars['health_samples'])} samples")
 PY
 
 echo "== ci.sh: all green =="

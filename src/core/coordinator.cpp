@@ -16,19 +16,6 @@ static_assert(static_cast<std::uint32_t>(MsgType::kReliableAck) ==
 // reliable channel owns [2^62, 2^62 + 2^32); the failure sweep is all-ones.
 constexpr std::uint64_t kSweepToken = ~std::uint64_t{0};
 constexpr std::uint64_t kHedgeBit = 1ULL << 61;
-
-const char* query_kind_name(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kRange: return "range";
-    case QueryKind::kCount: return "count";
-    case QueryKind::kHeatmap: return "heatmap";
-    case QueryKind::kCircle: return "circle";
-    case QueryKind::kCameraWindow: return "camera_window";
-    case QueryKind::kTrajectory: return "trajectory";
-    case QueryKind::kKnn: return "knn";
-  }
-  return "unknown";
-}
 }  // namespace
 
 void Coordinator::start(SimNetwork& network) {
@@ -106,7 +93,7 @@ void Coordinator::handle_timer(std::uint64_t timer_token,
       if (suspected_.contains(worker)) continue;
       if (network.now() - last_seen > config_.heartbeat_timeout) {
         suspected_.insert(worker);
-        counters_.add("workers_suspected");
+        workers_suspected_.inc();
         promote_backups_of(worker);
       }
     }
@@ -185,7 +172,7 @@ std::vector<PartitionId> Coordinator::footprint(const Query& query) const {
         if (must_ask) {
           pruned.push_back(p);
         } else {
-          counters_.add("trajectory_partitions_pruned");
+          trajectory_partitions_pruned_.inc();
         }
       }
       return pruned;
@@ -207,7 +194,8 @@ void Coordinator::send_query_to(NodeId worker, std::uint64_t request_id,
 }
 
 std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
-                                  TraceContext parent) {
+                                  TraceContext parent,
+                                  double estimated_rows) {
   std::uint64_t request_id = next_request_id_++;
   PendingQuery pending;
   pending.query = query;
@@ -220,17 +208,33 @@ std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
     tracer_->tag(pending.root, "request_id", std::to_string(request_id));
   }
 
+  std::vector<PartitionId> selected = footprint(query);
   std::unordered_map<NodeId, std::vector<PartitionId>> assignment;
-  for (PartitionId p : footprint(query)) {
+  for (PartitionId p : selected) {
     assignment[worker_node(map_.primary(p))].push_back(p);
   }
   queries_submitted_.inc();
   query_fanout_total_.add(assignment.size());
-  query_partitions_total_.add([&assignment] {
-    std::size_t n = 0;
-    for (const auto& [w, ps] : assignment) n += ps.size();
-    return n;
-  }());
+  std::size_t total_partitions = 0;
+  for (const auto& [w, ps] : assignment) total_partitions += ps.size();
+  query_partitions_total_.add(total_partitions);
+
+  bool profiling = profiler_ != nullptr && profiler_->active();
+  if (profiling) {
+    profiled_request_ = request_id;
+    profiler_->set_request(request_id);
+    std::size_t stage = profiler_->open_stage("partition_selection",
+                                              network.now());
+    ExplainStage& s = profiler_->stage(stage);
+    s.considered = map_.partition_count();
+    s.actual = static_cast<std::int64_t>(selected.size());
+    s.pruned = map_.partition_count() >= selected.size()
+                   ? map_.partition_count() - selected.size()
+                   : 0;
+    s.note("kind", query_kind_name(query.kind));
+    s.note("fanout", std::to_string(assignment.size()));
+    profiler_->close_stage(stage, network.now());
+  }
 
   for (auto& [worker, partitions] : assignment) {
     std::uint64_t sub_id = next_sub_id_++;
@@ -241,11 +245,19 @@ std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
       tracer_->tag(fspan, "worker", std::to_string(worker.value()));
       tracer_->tag(fspan, "partitions", std::to_string(partitions.size()));
     }
+    // Apportion the caller's cardinality estimate by partition share: with
+    // no better signal, a fragment serving half the partitions is expected
+    // to return half the rows.
+    double est = -1.0;
+    if (estimated_rows >= 0.0 && total_partitions > 0) {
+      est = estimated_rows * static_cast<double>(partitions.size()) /
+            static_cast<double>(total_partitions);
+    }
     send_query_to(worker, request_id, sub_id, query, partitions, network,
                   fspan);
     pending.fragments.emplace(
-        sub_id,
-        Fragment{worker, std::move(partitions), 0, false, {}, fspan});
+        sub_id, Fragment{worker, std::move(partitions), 0, false, {}, fspan,
+                         est, network.now()});
     ++pending.outstanding;
   }
   bool empty = pending.outstanding == 0;
@@ -292,6 +304,35 @@ void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
   frag->second.retired = true;
   if (tracer_ != nullptr) tracer_->end_span(frag->second.span, now);
 
+  // Per-peer health signal: end-to-end fragment latency against the worker
+  // that answered (a gray-slow worker shows as a per-peer latency burn).
+  peer_stats(frag->second.worker)
+      .latency->observe(static_cast<double>(
+          (now - frag->second.sent_at).count_micros()));
+
+  if (profiler_ != nullptr && profiler_->active() &&
+      profiled_request_ == response.request_id) {
+    std::size_t stage = profiler_->open_stage("worker.scan", now);
+    ExplainStage& s = profiler_->stage(stage);
+    if (frag->second.est_rows >= 0.0) s.estimated = frag->second.est_rows;
+    s.actual = static_cast<std::int64_t>(
+        response.result.detections.empty() && !response.result.counts.empty()
+            ? response.result.total_count()
+            : response.result.detections.size());
+    s.considered = response.rows_scanned;
+    s.pruned = response.rows_scanned >= static_cast<std::uint64_t>(s.actual)
+                   ? response.rows_scanned -
+                         static_cast<std::uint64_t>(s.actual)
+                   : 0;
+    s.wall_us = static_cast<std::int64_t>(response.scan_wall_us);
+    s.sim_time = now - frag->second.sent_at;
+    s.start = frag->second.sent_at;
+    s.note("worker", std::to_string(frag->second.worker.value()));
+    s.note("partitions", std::to_string(frag->second.partitions.size()));
+    if (frag->second.covers != 0) s.note("hedge", "true");
+    profiler_->close_stage(stage, now);
+  }
+
   if (frag->second.covers == 0) {
     // Primary fragment answered directly.
     if (pending.outstanding > 0) --pending.outstanding;
@@ -314,7 +355,10 @@ void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
   if (fully_covered) {
     primary->second.retired = true;
     if (pending.outstanding > 0) --pending.outstanding;
-    counters_.add("hedges_won");
+    hedges_won_.inc();
+    // Attribute the win to the *slow* peer the hedge raced (the primary
+    // fragment's worker): a per-peer hedge-win spike marks it gray.
+    peer_stats(primary->second.worker).hedge_wins->inc();
     if (tracer_ != nullptr) {
       tracer_->tag(primary->second.span, "hedged_over", "true");
       tracer_->end_span(primary->second.span, now);
@@ -362,6 +406,8 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
   std::vector<HedgePlan> plans;
   for (const auto& [sub_id, frag] : pending.fragments) {
     if (frag.retired || frag.covers != 0) continue;
+    // The unanswered fragment's worker is the peer being hedged against.
+    peer_stats(frag.worker).hedged->inc();
     std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
     for (PartitionId p : frag.partitions) {
       if (!map_.has_distinct_backup(p)) continue;
@@ -387,10 +433,20 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
     }
     send_query_to(plan.worker, request_id, sub_id, pending.query,
                   plan.partitions, network, hspan);
+    std::size_t hedge_partitions = plan.partitions.size();
     pending.fragments.emplace(
         sub_id, Fragment{plan.worker, std::move(plan.partitions),
-                         plan.covers, false, {}, hspan});
-    counters_.add("hedges_issued");
+                         plan.covers, false, {}, hspan, -1.0,
+                         network.now()});
+    hedges_issued_.inc();
+    if (profiler_ != nullptr && profiler_->active() &&
+        profiled_request_ == request_id) {
+      std::size_t stage = profiler_->open_stage("hedge", network.now());
+      ExplainStage& s = profiler_->stage(stage);
+      s.considered = hedge_partitions;
+      s.note("backup", std::to_string(plan.worker.value()));
+      profiler_->close_stage(stage, network.now());
+    }
   }
 }
 
@@ -410,11 +466,11 @@ void Coordinator::failover_retry(std::uint64_t request_id,
       frag.retired = true;
     }
     pending.outstanding = 0;
-    counters_.add("queries_partial");
+    queries_partial_.inc();
     maybe_finish(request_id, pending, network.now());
     return;
   }
-  counters_.add("failover_retries");
+  failover_retries_.inc();
 
   // Re-route every unanswered primary fragment's partitions to their
   // backups and re-issue as fresh fragments. Results already received stay;
@@ -427,6 +483,7 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   for (auto& [sub_id, frag] : pending.fragments) {
     if (frag.retired || frag.covers != 0) continue;
     frag.retired = true;
+    peer_stats(frag.worker).timeouts->inc();
     if (tracer_ != nullptr) {
       tracer_->tag(frag.span, "timed_out", "true");
       tracer_->end_span(frag.span, network.now());
@@ -455,20 +512,42 @@ void Coordinator::failover_retry(std::uint64_t request_id,
     }
     send_query_to(plan.worker, request_id, sub_id, pending.query,
                   plan.partitions, network, rspan);
+    std::size_t retry_partitions = plan.partitions.size();
     pending.fragments.emplace(
         sub_id,
         Fragment{plan.worker, std::move(plan.partitions), 0, false, {},
-                 rspan});
+                 rspan, -1.0, network.now()});
     ++pending.outstanding;
+    if (profiler_ != nullptr && profiler_->active() &&
+        profiled_request_ == request_id) {
+      std::size_t stage = profiler_->open_stage("failover_retry",
+                                                network.now());
+      ExplainStage& s = profiler_->stage(stage);
+      s.considered = retry_partitions;
+      s.note("backup", std::to_string(plan.worker.value()));
+      profiler_->close_stage(stage, network.now());
+    }
   }
   if (pending.outstanding > 0) {
     network.set_timer(id_, config_.query_timeout, request_id);
   } else {
     // No replica could take over any lost partition: the answer is partial.
     pending.partial = true;
-    counters_.add("queries_partial");
+    queries_partial_.inc();
     maybe_finish(request_id, pending, network.now());
   }
+}
+
+Coordinator::PeerStats& Coordinator::peer_stats(NodeId worker) {
+  auto [it, inserted] = peer_stats_.try_emplace(worker.value());
+  if (inserted) {
+    std::string prefix = "peer." + std::to_string(worker.value()) + ".";
+    it->second.hedged = &metrics_.counter(prefix + "hedged");
+    it->second.hedge_wins = &metrics_.counter(prefix + "hedge_wins");
+    it->second.timeouts = &metrics_.counter(prefix + "timeouts");
+    it->second.latency = &metrics_.histogram(prefix + "fragment_latency_us");
+  }
+  return it->second;
 }
 
 void Coordinator::promote_backups_of(WorkerId worker) {

@@ -34,6 +34,7 @@
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/tracer.h"
@@ -80,6 +81,15 @@ class Coordinator final : public NetworkNode {
         query_fanout_total_(metrics_.counter("query_fanout_total")),
         query_partitions_total_(metrics_.counter("query_partitions_total")),
         query_latency_us_(metrics_.histogram("query_latency_us")),
+        hedges_issued_(metrics_.counter("hedges_issued")),
+        hedges_won_(metrics_.counter("hedges_won")),
+        failover_retries_(metrics_.counter("failover_retries")),
+        queries_partial_(metrics_.counter("queries_partial")),
+        workers_suspected_(metrics_.counter("workers_suspected")),
+        trajectory_partitions_pruned_(
+            metrics_.counter("trajectory_partitions_pruned")),
+        estimate_q_error_x100_(metrics_.histogram("estimate_q_error_x100")),
+        knn_plan_q_error_x100_(metrics_.histogram("knn_plan_q_error_x100")),
         slow_log_(config.slow_query_threshold,
                   config.slow_query_log_capacity),
         channel_(id, counters_, config.channel) {
@@ -116,8 +126,12 @@ class Coordinator final : public NetworkNode {
   /// Starts a query; returns a request handle. Completion is observed via
   /// `poll` after pumping the network. A valid `parent` attaches the
   /// query's span tree under the caller's span (gateway entry point).
+  /// `estimated_rows` (>= 0) is the caller's pre-submit cardinality
+  /// estimate; it is apportioned across fragments so EXPLAIN's per-worker
+  /// scan stages carry estimated-vs-actual pairs.
   std::uint64_t submit(const Query& query, SimNetwork& network,
-                       TraceContext parent = {});
+                       TraceContext parent = {},
+                       double estimated_rows = -1.0);
 
   /// Result if the request completed (all fragments in, or retries
   /// exhausted → partial). nullopt while still pending.
@@ -170,6 +184,20 @@ class Coordinator final : public NetworkNode {
   }
   SlowQueryLog& slow_query_log() { return slow_log_; }
 
+  /// Attaches an EXPLAIN/ANALYZE profiler (may be null). While the profiler
+  /// has an active profile, submit/on_response record planning and
+  /// per-worker scan stages into it.
+  void set_profiler(QueryProfiler* profiler) { profiler_ = profiler; }
+
+  /// Feeds a realized estimate-vs-actual pair into the planner-calibration
+  /// histograms (stored as q-error × 100 for bucket resolution).
+  void observe_estimate_error(double estimated, double actual) {
+    estimate_q_error_x100_.observe(q_error(estimated, actual) * 100.0);
+  }
+  void observe_knn_plan_error(double estimated, double actual) {
+    knn_plan_q_error_x100_.observe(q_error(estimated, actual) * 100.0);
+  }
+
   /// Reliable-transport state: frames sent but not yet acked. 0 means every
   /// ingest batch and query fragment this node sent has been delivered (the
   /// "acked" in the chaos invariant *no acked detection is ever lost*).
@@ -198,6 +226,10 @@ class Coordinator final : public NetworkNode {
     bool retired = false;      // answered, hedged-over, or abandoned
     std::unordered_set<std::uint64_t> hedge_covered;  // partitions answered
     TraceContext span;  // fragment span (send → retire)
+    /// EXPLAIN: caller's estimate apportioned to this fragment, or -1.
+    double est_rows = -1.0;
+    /// When the fragment was (re-)issued; answers observe per-peer latency.
+    TimePoint sent_at;
   };
 
   struct PendingQuery {
@@ -214,6 +246,18 @@ class Coordinator final : public NetworkNode {
   };
 
   static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
+
+  /// Per-peer health signals: hedges issued against / won from a worker,
+  /// fragment timeouts, and end-to-end fragment latency. Registered lazily
+  /// under `peer.<node>.` so the health monitor's wildcard rules can watch
+  /// every worker without enumeration.
+  struct PeerStats {
+    Counter* hedged = nullptr;
+    Counter* hedge_wins = nullptr;
+    Counter* timeouts = nullptr;
+    LatencyHistogram* latency = nullptr;
+  };
+  PeerStats& peer_stats(NodeId worker);
 
   /// Application-level dispatch (after reliable-channel unwrapping).
   void dispatch(const Message& message, SimNetwork& network);
@@ -285,9 +329,24 @@ class Coordinator final : public NetworkNode {
   Counter& query_fanout_total_;
   Counter& query_partitions_total_;
   LatencyHistogram& query_latency_us_;
+  Counter& hedges_issued_;
+  Counter& hedges_won_;
+  Counter& failover_retries_;
+  Counter& queries_partial_;
+  Counter& workers_suspected_;
+  // Reference member: bumped from the const footprint() planning path.
+  Counter& trajectory_partitions_pruned_;
+  // Planner calibration: q-error × 100 per realized estimate.
+  LatencyHistogram& estimate_q_error_x100_;
+  LatencyHistogram& knn_plan_q_error_x100_;
+  std::unordered_map<std::uint64_t, PeerStats> peer_stats_;  // by node id
 
   Tracer* tracer_ = nullptr;
   SlowQueryLog slow_log_;
+  QueryProfiler* profiler_ = nullptr;
+  // Request the active profile belongs to; responses for other requests
+  // (late monitors, unrelated traffic) do not record stages.
+  std::uint64_t profiled_request_ = 0;
 
   // Reliable transport for ingest batches and query fragments. Declared
   // after counters_/metrics_ (it writes its accounting there).

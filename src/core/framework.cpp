@@ -11,7 +11,8 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
       strategy_(std::move(strategy)),
       network_(config.network),
       tracer_(config.tracer),
-      estimator_(SelectivityConfig{world, 16, 16, Duration::minutes(1), 32}) {
+      estimator_(SelectivityConfig{world, 16, 16, Duration::minutes(1), 32}),
+      health_monitor_(config.health.monitor) {
   STCN_CHECK(strategy_ != nullptr);
   STCN_CHECK(config_.worker_count > 0);
   STCN_CHECK(!world.is_empty());
@@ -30,6 +31,7 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
       coordinator_config);
   network_.attach(*coordinator_);
   coordinator_->set_tracer(&tracer_);
+  coordinator_->set_profiler(&profiler_);
   coordinator_->start(network_);
 
   WorkerConfig worker_config;
@@ -46,6 +48,27 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
     worker->set_tracer(&tracer_);
     worker->start(network_);
     workers_.push_back(std::move(worker));
+  }
+
+  // Health monitoring: every node's registry is a sample source; worker
+  // source names match the subjects the coordinator's per-peer rules
+  // indict ("worker.<node id>"), so both observation paths agree on who is
+  // unhealthy.
+  health_monitor_.add_source("net", &network_.metrics());
+  health_monitor_.add_source("coordinator", &coordinator_->metrics());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    health_monitor_.add_source(
+        "worker." + std::to_string(worker_ids_[i].value()),
+        &workers_[i]->metrics());
+  }
+  if (config_.health.install_default_rules) {
+    health_monitor_.add_default_rules(config_.health.thresholds);
+  }
+  if (config_.health.enabled) {
+    health_ticker_ = std::make_unique<HealthTicker>(
+        NodeId(kHealthNode), health_monitor_, config_.health.sample_period);
+    network_.attach(*health_ticker_);
+    health_ticker_->start(network_);
   }
 }
 
@@ -75,7 +98,43 @@ QueryResult Cluster::execute(const Query& query) {
     root = tracer_.start_trace("gateway.execute", 0, network_.now());
     last_trace_id_ = root.trace_id;
   }
-  std::uint64_t request = coordinator_->submit(query, network_, root);
+
+  // Pre-submit cardinality estimate for the kinds the feedback loop also
+  // observes, so every such query yields an estimate-vs-actual pair for
+  // the planner-calibration histograms (and an EXPLAIN stage when
+  // profiling).
+  double estimated = -1.0;
+  switch (query.kind) {
+    case QueryKind::kRange:
+      estimated = estimator_.estimate(query.region, query.interval);
+      break;
+    case QueryKind::kCircle:
+      estimated =
+          estimator_.estimate(query.circle.bounding_box(), query.interval);
+      break;
+    case QueryKind::kHeatmap:
+      estimated = estimator_.estimate(query.region, query.interval);
+      break;
+    default:
+      break;
+  }
+
+  bool profiling = profiler_.active();
+  std::size_t sel_stage = QueryProfiler::kNoStage;
+  if (profiling) {
+    profiler_.set_time(network_.now());
+    if (root.valid()) profiler_.set_trace(root.trace_id);
+    if (estimated >= 0.0) {
+      sel_stage = profiler_.open_stage("selectivity.estimate",
+                                       network_.now());
+      ExplainStage& s = profiler_.stage(sel_stage);
+      s.estimated = estimated;
+      s.note("kind", query_kind_name(query.kind));
+    }
+  }
+
+  std::uint64_t request =
+      coordinator_->submit(query, network_, root, estimated);
   while (!coordinator_->is_complete(request)) {
     if (!network_.step()) break;  // should not happen: timers pend
   }
@@ -85,6 +144,19 @@ QueryResult Cluster::execute(const Query& query) {
     tracer_.tag(root, "results", std::to_string(result->detections.size()));
     tracer_.end_span(root, network_.now());
   }
+
+  double actual = query.kind == QueryKind::kHeatmap
+                      ? static_cast<double>(result->total_count())
+                      : static_cast<double>(result->detections.size());
+  if (estimated >= 0.0) {
+    coordinator_->observe_estimate_error(estimated, actual);
+  }
+  if (sel_stage != QueryProfiler::kNoStage) {
+    ExplainStage& s = profiler_.stage(sel_stage);
+    s.actual = static_cast<std::int64_t>(actual);
+    profiler_.close_stage(sel_stage, network_.now());
+  }
+  if (profiling) profiler_.set_time(network_.now());
 
   // Query feedback refines the selectivity histogram (no stream scanning).
   switch (query.kind) {
@@ -108,16 +180,45 @@ QueryResult Cluster::execute(const Query& query) {
 
 QueryResult Cluster::execute_knn_adaptive(Point center, std::uint32_t k,
                                           const TimeInterval& interval) {
+  bool profiling = profiler_.active();
+  if (profiling) profiler_.set_time(network_.now());
   KnnPlanner planner(estimator_, world_);
-  KnnPlan plan = planner.plan(center, k, interval);
+  KnnPlan plan =
+      planner.plan(center, k, interval, profiling ? &profiler_ : nullptr);
   coordinator_->counters().add("knn_adaptive_plans");
   if (plan.degenerate) coordinator_->counters().add("knn_adaptive_degenerate");
 
   double radius = plan.initial_radius;
+  bool first_round = true;
   for (;;) {
     coordinator_->counters().add("knn_adaptive_rounds");
+    std::size_t round_stage = QueryProfiler::kNoStage;
+    if (profiling) {
+      round_stage = profiler_.open_stage("knn.round", network_.now());
+      ExplainStage& s = profiler_.stage(round_stage);
+      s.estimated = first_round ? plan.estimated_count
+                                : estimator_.estimate(
+                                      Rect::centered(center, radius),
+                                      interval);
+      s.note("radius", std::to_string(radius));
+      profiler_.push_depth();
+    }
     QueryResult candidates = execute(Query::circle_query(
         next_query_id(), {center, radius}, interval));
+    if (round_stage != QueryProfiler::kNoStage) {
+      profiler_.pop_depth();
+      ExplainStage& s = profiler_.stage(round_stage);
+      s.actual = static_cast<std::int64_t>(candidates.detections.size());
+      profiler_.close_stage(round_stage, network_.now());
+    }
+    if (first_round) {
+      // Plan calibration: how close was the planner's estimate for its
+      // chosen initial radius to what that circle actually held?
+      coordinator_->observe_knn_plan_error(
+          plan.estimated_count,
+          static_cast<double>(candidates.detections.size()));
+      first_round = false;
+    }
     bool covers_world = radius >= planner.world_radius();
     if (candidates.detections.size() >= k || covers_world) {
       // The k nearest within the circle are the global k nearest (every
@@ -136,14 +237,43 @@ QueryResult Cluster::execute_knn_adaptive(Point center, std::uint32_t k,
   }
 }
 
+Cluster::ExplainResult Cluster::explain(const Query& query) {
+  profiler_.begin(std::string("query kind=") + query_kind_name(query.kind),
+                  network_.now());
+  ExplainResult out;
+  out.result =
+      query.kind == QueryKind::kKnn
+          ? execute_knn_adaptive(query.center, query.k, query.interval)
+          : execute(query);
+  out.profile = profiler_.finish(network_.now());
+  // The slow-query log records by request id in maybe_finish; if this query
+  // qualified, enrich its entry with the plan profile.
+  coordinator_->slow_query_log().attach_profile(out.profile);
+  return out;
+}
+
+Cluster::ExplainPathResult Cluster::explain_path(
+    const ReidEngine& engine, const PathParams& params,
+    const Detection& probe, const CandidateSource& source) {
+  profiler_.begin("path_reconstruction", network_.now());
+  PathReconstructor reconstructor(engine, params);
+  ExplainPathResult out;
+  out.path = reconstructor.reconstruct(probe, source, &profiler_);
+  out.profile = profiler_.finish(network_.now());
+  coordinator_->slow_query_log().attach_profile(out.profile);
+  return out;
+}
+
 MetricsRegistry Cluster::metrics_snapshot() const {
   MetricsRegistry snapshot;
   network_.metrics().merge_into(snapshot, "net.");
   coordinator_->metrics().merge_into(snapshot, "coordinator.");
-  snapshot.import_counter_set(coordinator_->counters(), "coordinator.");
+  snapshot.import_counter_set(coordinator_->counters(), "coordinator.",
+                              &coordinator_->metrics());
   for (const auto& worker : workers_) {
     worker->metrics().merge_into(snapshot, "worker.");
-    snapshot.import_counter_set(worker->counters(), "worker.");
+    snapshot.import_counter_set(worker->counters(), "worker.",
+                                &worker->metrics());
   }
   return snapshot;
 }

@@ -24,15 +24,29 @@
 #include "core/gateway.h"
 #include "core/worker.h"
 #include "net/sim_network.h"
+#include "obs/explain.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "partition/partition_map.h"
 #include "query/planner.h"
 #include "query/selectivity.h"
+#include "reid/path_reconstruction.h"
 #include "reid/reid_engine.h"
 #include "trace/camera.h"
 
 namespace stcn {
+
+/// Continuous health monitoring. The monitor and its sources are always
+/// wired (manual `sample_health` works regardless); `enabled` additionally
+/// attaches a ticker node that samples on the sim clock.
+struct ClusterHealthConfig {
+  bool enabled = false;
+  Duration sample_period = Duration::millis(500);
+  bool install_default_rules = true;
+  HealthThresholds thresholds;
+  HealthMonitorConfig monitor;
+};
 
 struct ClusterConfig {
   std::size_t worker_count = 4;
@@ -49,6 +63,30 @@ struct ClusterConfig {
   ReliableChannelConfig reliable;
   /// Distributed-tracing retention; max_traces = 0 disables tracing.
   TracerConfig tracer;
+  /// Continuous cluster health monitoring (see ClusterHealthConfig).
+  ClusterHealthConfig health;
+};
+
+/// Dedicated node that drives HealthMonitor::sample on a recurring timer,
+/// so health sampling advances with the virtual clock like every other
+/// periodic process in the simulation.
+class HealthTicker final : public NetworkNode {
+ public:
+  HealthTicker(NodeId id, HealthMonitor& monitor, Duration period)
+      : id_(id), monitor_(monitor), period_(period) {}
+
+  [[nodiscard]] NodeId node_id() const override { return id_; }
+  void handle_message(const Message&, SimNetwork&) override {}
+  void handle_timer(std::uint64_t, SimNetwork& network) override {
+    monitor_.sample(network.now());
+    network.set_timer(id_, period_, 0);
+  }
+  void start(SimNetwork& network) { network.set_timer(id_, period_, 0); }
+
+ private:
+  NodeId id_;
+  HealthMonitor& monitor_;
+  Duration period_;
 };
 
 class Cluster {
@@ -88,6 +126,32 @@ class Cluster {
   /// the same answer as the broadcast plan.
   QueryResult execute_knn_adaptive(Point center, std::uint32_t k,
                                    const TimeInterval& interval);
+
+  // ------------------------------------------------------ EXPLAIN/ANALYZE
+  struct ExplainResult {
+    QueryResult result;
+    QueryProfile profile;
+  };
+  struct ExplainPathResult {
+    ReconstructedPath path;
+    QueryProfile profile;
+  };
+
+  /// Executes `query` with the profiler armed: the returned profile holds
+  /// every planning/execution stage with estimated vs actual cardinalities.
+  /// k-NN queries route through the adaptive planner (that is the plan
+  /// worth explaining). The profile is also attached to the slow-query log
+  /// entry when the query qualified.
+  ExplainResult explain(const Query& query);
+
+  /// Profiled multi-hop path reconstruction: per-hop stages with the
+  /// distributed camera-window queries they issued nested under them.
+  ExplainPathResult explain_path(const ReidEngine& engine,
+                                 const PathParams& params,
+                                 const Detection& probe,
+                                 const CandidateSource& source);
+
+  [[nodiscard]] QueryProfiler& profiler() { return profiler_; }
 
   [[nodiscard]] const SelectivityEstimator& selectivity() const {
     return estimator_;
@@ -138,6 +202,20 @@ class Cluster {
   /// complete machine-readable view of the cluster.
   [[nodiscard]] MetricsRegistry metrics_snapshot() const;
 
+  /// Continuous health monitor over every node's registry. Sources and
+  /// rules are wired at construction; sampling runs on the sim clock when
+  /// `config.health.enabled`, or manually via sample_health().
+  [[nodiscard]] HealthMonitor& health_monitor() { return health_monitor_; }
+  [[nodiscard]] const HealthMonitor& health_monitor() const {
+    return health_monitor_;
+  }
+  /// Per-node healthy/degraded/suspect rollup as of the last sample.
+  [[nodiscard]] ClusterHealth health() const {
+    return health_monitor_.health();
+  }
+  /// Takes one health sample now (manual drive for tests).
+  void sample_health() { health_monitor_.sample(network_.now()); }
+
   [[nodiscard]] SimNetwork& network() { return network_; }
   [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
   [[nodiscard]] const Coordinator& coordinator() const {
@@ -154,6 +232,8 @@ class Cluster {
 
  private:
   static constexpr std::uint64_t kCoordinatorNode = 1'000'000;
+  // Gateways occupy [2'000'000, …); the health ticker sits above them.
+  static constexpr std::uint64_t kHealthNode = 3'000'000;
 
   Rect world_;
   ClusterConfig config_;
@@ -166,6 +246,9 @@ class Cluster {
   std::uint64_t next_query_id_ = 1;
   std::uint64_t last_trace_id_ = 0;
   SelectivityEstimator estimator_;
+  QueryProfiler profiler_;
+  HealthMonitor health_monitor_;
+  std::unique_ptr<HealthTicker> health_ticker_;
 };
 
 /// CandidateSource backed by distributed camera-window queries — this is

@@ -119,6 +119,10 @@ struct QueryResponse {
   std::uint64_t request_id = 0;
   std::uint64_t sub_id = 0;  // echoed from the QueryRequest fragment
   QueryResult result;
+  /// EXPLAIN/ANALYZE scan stats: rows the worker's indexes yielded before
+  /// merging, and the real microseconds the scan loop took.
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t scan_wall_us = 0;
 };
 
 inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
@@ -126,6 +130,8 @@ inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
   w.write_u64(resp.request_id);
   w.write_u64(resp.sub_id);
   serialize(w, resp.result);
+  w.write_u64(resp.rows_scanned);
+  w.write_u64(resp.scan_wall_us);
   return w.take();
 }
 
@@ -134,6 +140,8 @@ inline QueryResponse decode_query_response(BinaryReader& r) {
   resp.request_id = r.read_u64();
   resp.sub_id = r.read_u64();
   resp.result = deserialize_query_result(r);
+  resp.rows_scanned = r.read_u64();
+  resp.scan_wall_us = r.read_u64();
   return resp;
 }
 

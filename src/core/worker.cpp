@@ -168,6 +168,7 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   }
   auto wall_start = std::chrono::steady_clock::now();
   ResultMerger merger(request.query);
+  ScanStats scan_stats;
   for (PartitionId p : request.partitions) {
     auto scan_start = std::chrono::steady_clock::now();
     auto it = partitions_.find(p);
@@ -175,7 +176,8 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
     // worker does not hold (the scan is a no-op, but the trace still shows
     // that the fragment named it).
     if (it != partitions_.end()) {
-      merger.add(LocalExecutor::execute(*it->second, request.query));
+      merger.add(LocalExecutor::execute(*it->second, request.query,
+                                        &scan_stats));
     }
     if (qspan.valid()) {
       auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -188,7 +190,15 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
       if (it == partitions_.end()) tracer_->tag(scan, "absent", "true");
     }
   }
+  // Scan-loop wall time, measured before serialization so EXPLAIN's
+  // `wall_us` reflects index cost only (the histogram below keeps the
+  // serialize-inclusive total).
+  auto scan_only_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
   QueryResponse response{request.request_id, request.sub_id, merger.take()};
+  response.rows_scanned = scan_stats.rows_scanned;
+  response.scan_wall_us = static_cast<std::uint64_t>(scan_only_us);
   TraceContext sspan;
   if (qspan.valid()) {
     sspan = tracer_->start_span("worker.serialize", qspan,

@@ -61,6 +61,7 @@ void ReliableChannel::send(NodeId to, std::uint32_t inner_type,
   network.set_timer(self_, jittered(frame.rto), token);
   pending_by_dest_[to.value()][frame.seq] = token;
   pending_.emplace(token, std::move(frame));
+  update_unacked_gauge();
 }
 
 void ReliableChannel::handle_timer(std::uint64_t token, SimNetwork& network) {
@@ -77,6 +78,7 @@ void ReliableChannel::handle_timer(std::uint64_t token, SimNetwork& network) {
     }
     pending_by_dest_[frame.to.value()].erase(frame.seq);
     pending_.erase(it);
+    update_unacked_gauge();
     return;
   }
   ++frame.attempts;
@@ -156,6 +158,7 @@ void ReliableChannel::on_ack(const Message& frame) {
   pending_.erase(entry->second);
   dest->second.erase(entry);
   bump(frames_acked_, "reliable_frames_acked");
+  update_unacked_gauge();
 }
 
 void ReliableChannel::reset() {
@@ -164,6 +167,7 @@ void ReliableChannel::reset() {
   pending_by_dest_.clear();
   recv_.clear();
   epoch_ = rng_.next_u64();
+  update_unacked_gauge();
 }
 
 }  // namespace stcn

@@ -104,6 +104,7 @@ class ReliableChannel {
     dup_suppressed_ = &registry.counter("dup_suppressed");
     frames_acked_ = &registry.counter("reliable_frames_acked");
     frames_malformed_ = &registry.counter("reliable_frames_malformed");
+    unacked_gauge_ = &registry.gauge("unacked_frames");
   }
 
   /// Attaches a tracer (may be null). Retransmissions of traced frames are
@@ -169,6 +170,13 @@ class ReliableChannel {
 
   void transmit(const Pending& frame, SimNetwork& network);
 
+  /// Publishes the send-queue depth (health monitor queue-buildup signal).
+  void update_unacked_gauge() {
+    if (unacked_gauge_ != nullptr) {
+      unacked_gauge_->set(static_cast<double>(pending_.size()));
+    }
+  }
+
   /// Accounting indirection: registered handle when available, else the
   /// construction-time CounterSet (keeps registry-less users working).
   void bump(Counter* handle, const char* name, std::uint64_t delta = 1) {
@@ -189,6 +197,7 @@ class ReliableChannel {
   Counter* dup_suppressed_ = nullptr;
   Counter* frames_acked_ = nullptr;
   Counter* frames_malformed_ = nullptr;
+  Gauge* unacked_gauge_ = nullptr;
   Rng rng_;
 
   std::uint64_t epoch_ = 0;  // sender incarnation; rotated by reset()

@@ -1,0 +1,102 @@
+// Structured health-event log: bounded record of alert state transitions.
+//
+// The HealthMonitor appends one event per firing/resolved transition; the
+// log keeps the most recent `capacity` events (plus a total counter, so
+// tests can assert "exactly one transition happened" even after eviction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/time.h"
+#include "obs/json.h"
+
+namespace stcn {
+
+struct HealthEvent {
+  TimePoint at;
+  std::string kind;      // "firing" | "resolved"
+  std::string rule;
+  std::string source;    // registry the sample came from
+  std::string subject;   // node the alert attributes to
+  std::string severity;  // "degraded" | "suspect"
+  double value = 0.0;    // observed value at the transition
+  double threshold = 0.0;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  void append(HealthEvent e) {
+    ++total_;
+    while (entries_.size() >= capacity_ && !entries_.empty()) {
+      entries_.pop_front();
+    }
+    if (capacity_ > 0) entries_.push_back(std::move(e));
+  }
+
+  [[nodiscard]] const std::deque<HealthEvent>& events() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Events ever appended (>= size() once eviction kicks in).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  void clear() { entries_.clear(); }
+
+  /// Events matching kind and/or rule ("" matches anything).
+  [[nodiscard]] std::size_t count(const std::string& kind,
+                                  const std::string& rule = "") const {
+    std::size_t n = 0;
+    for (const HealthEvent& e : entries_) {
+      if (!kind.empty() && e.kind != kind) continue;
+      if (!rule.empty() && e.rule != rule) continue;
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out;
+    for (const HealthEvent& e : entries_) {
+      out += "[" + std::to_string(e.at.micros_since_origin()) + "us] " +
+             e.kind + " " + e.rule + " subject=" + e.subject + " (" +
+             e.severity + ") value=" + std::to_string(e.value) +
+             " threshold=" + std::to_string(e.threshold) + "\n";
+    }
+    return out;
+  }
+
+  void append_json(obs::JsonWriter& w) const {
+    w.begin_array();
+    for (const HealthEvent& e : entries_) {
+      w.begin_object();
+      w.key("at_us");
+      w.value(e.at.micros_since_origin());
+      w.key("kind");
+      w.value(e.kind);
+      w.key("rule");
+      w.value(e.rule);
+      w.key("source");
+      w.value(e.source);
+      w.key("subject");
+      w.value(e.subject);
+      w.key("severity");
+      w.value(e.severity);
+      w.key("value");
+      w.value(e.value);
+      w.key("threshold");
+      w.value(e.threshold);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::deque<HealthEvent> entries_;
+};
+
+}  // namespace stcn

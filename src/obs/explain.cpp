@@ -1,0 +1,202 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+
+namespace stcn {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const ExplainStage* QueryProfile::stage(const std::string& name) const {
+  for (const ExplainStage& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ExplainStage*> QueryProfile::stages_named(
+    const std::string& name) const {
+  std::vector<const ExplainStage*> out;
+  for (const ExplainStage& s : stages) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+double QueryProfile::worst_q_error() const {
+  double worst = 0.0;
+  for (const ExplainStage& s : stages) {
+    double q = s.stage_q_error();
+    if (q > worst) worst = q;
+  }
+  return worst;
+}
+
+std::uint64_t QueryProfile::total_pruned() const {
+  std::uint64_t total = 0;
+  for (const ExplainStage& s : stages) total += s.pruned;
+  return total;
+}
+
+std::string QueryProfile::render() const {
+  std::string out = "EXPLAIN " + description;
+  out += "  latency=" + std::to_string(latency.count_micros()) + "us";
+  out += "  request=" + std::to_string(request_id);
+  if (trace_id != 0) out += "  trace=" + std::to_string(trace_id);
+  out += '\n';
+  for (const ExplainStage& s : stages) {
+    out.append(2 + static_cast<std::size_t>(s.depth) * 2, ' ');
+    out += "-> " + s.name;
+    if (s.has_estimate()) {
+      out += "  est=";
+      append_double(out, s.estimated);
+    }
+    if (s.has_actual()) out += "  act=" + std::to_string(s.actual);
+    if (s.has_estimate() && s.has_actual()) {
+      out += "  qerr=";
+      append_double(out, s.stage_q_error());
+    }
+    if (s.considered != 0) {
+      out += "  considered=" + std::to_string(s.considered);
+    }
+    if (s.pruned != 0) out += "  pruned=" + std::to_string(s.pruned);
+    if (s.sim_time != Duration::zero()) {
+      out += "  sim=" + std::to_string(s.sim_time.count_micros()) + "us";
+    }
+    if (s.wall_us >= 0) out += "  wall=" + std::to_string(s.wall_us) + "us";
+    if (!s.notes.empty()) {
+      out += "  {";
+      bool first = true;
+      for (const auto& [k, v] : s.notes) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + "=" + v;
+      }
+      out += '}';
+    }
+    out += '\n';
+  }
+  if (stages_dropped != 0) {
+    out += "  (+" + std::to_string(stages_dropped) + " stages dropped)\n";
+  }
+  return out;
+}
+
+void QueryProfile::append_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.key("description");
+  w.value(description);
+  w.key("request_id");
+  w.value(request_id);
+  w.key("trace_id");
+  w.value(trace_id);
+  w.key("started_us");
+  w.value(started.micros_since_origin());
+  w.key("latency_us");
+  w.value(latency.count_micros());
+  w.key("worst_q_error");
+  w.value(worst_q_error());
+  w.key("total_pruned");
+  w.value(total_pruned());
+  w.key("stages_dropped");
+  w.value(stages_dropped);
+  w.key("stages");
+  w.begin_array();
+  for (const ExplainStage& s : stages) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("depth");
+    w.value(s.depth);
+    if (s.has_estimate()) {
+      w.key("estimated");
+      w.value(s.estimated);
+    }
+    if (s.has_actual()) {
+      w.key("actual");
+      w.value(s.actual);
+    }
+    if (s.has_estimate() && s.has_actual()) {
+      w.key("q_error");
+      w.value(s.stage_q_error());
+    }
+    w.key("considered");
+    w.value(s.considered);
+    w.key("pruned");
+    w.value(s.pruned);
+    w.key("start_us");
+    w.value(s.start.micros_since_origin());
+    w.key("sim_us");
+    w.value(s.sim_time.count_micros());
+    if (s.wall_us >= 0) {
+      w.key("wall_us");
+      w.value(s.wall_us);
+    }
+    if (!s.notes.empty()) {
+      w.key("notes");
+      w.begin_object();
+      for (const auto& [k, v] : s.notes) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string QueryProfile::to_json() const {
+  obs::JsonWriter w;
+  append_json(w);
+  return w.take();
+}
+
+void QueryProfiler::begin(std::string description, TimePoint now) {
+  profile_ = QueryProfile{};
+  profile_.description = std::move(description);
+  profile_.started = now;
+  last_time_ = now;
+  depth_ = 0;
+  active_ = true;
+}
+
+std::size_t QueryProfiler::open_stage(std::string name, TimePoint now) {
+  if (!active_) return kNoStage;
+  last_time_ = now;
+  if (profile_.stages.size() >= kMaxStages) {
+    ++profile_.stages_dropped;
+    scratch_ = ExplainStage{};
+    return kNoStage;
+  }
+  ExplainStage s;
+  s.name = std::move(name);
+  s.depth = depth_;
+  s.start = now;
+  profile_.stages.push_back(std::move(s));
+  return profile_.stages.size() - 1;
+}
+
+void QueryProfiler::close_stage(std::size_t handle, TimePoint now) {
+  last_time_ = now;
+  if (handle == kNoStage || handle >= profile_.stages.size()) return;
+  ExplainStage& s = profile_.stages[handle];
+  s.sim_time = now - s.start;
+}
+
+QueryProfile QueryProfiler::finish(TimePoint now) {
+  profile_.latency = now - profile_.started;
+  active_ = false;
+  depth_ = 0;
+  return std::move(profile_);
+}
+
+}  // namespace stcn

@@ -1,0 +1,161 @@
+// EXPLAIN/ANALYZE: per-query plan profiles.
+//
+// A QueryProfile is the planner-and-execution counterpart of a trace: where
+// spans record *when* things happened, explain stages record *why* — what
+// each planning step estimated, what actually came back, and how many
+// candidates it pruned. Stages are recorded by the coordinator (partition
+// selection, per-worker scans), the framework (selectivity estimates, k-NN
+// planning rounds), and the re-id layer (transition-cone pruning, path
+// hops); nesting depth mirrors the call structure, so a path-reconstruction
+// profile shows each hop's inner camera-window queries indented under it.
+//
+// The profiler is deliberately single-query: the simulation executes one
+// explain'd query at a time (Cluster::execute is synchronous over the
+// virtual clock), so one active profile plus a depth counter suffices.
+// Recording sites hold a QueryProfiler* and no-op when it is null or
+// inactive, so the instrumented paths cost one branch when not explaining.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/json.h"
+
+namespace stcn {
+
+/// Planner calibration metric: how far off an estimate was, as a ratio
+/// >= 1 (1 == perfect). +1 smoothing keeps zero counts finite.
+[[nodiscard]] inline double q_error(double estimated, double actual) {
+  double e = estimated + 1.0;
+  double a = actual + 1.0;
+  return e > a ? e / a : a / e;
+}
+
+/// One planning or execution step of a profiled query. Estimated/actual use
+/// -1 as "not recorded" so a stage can carry either, both, or neither.
+struct ExplainStage {
+  std::string name;
+  int depth = 0;
+  /// Planner's cardinality estimate for this step (rows), or -1.
+  double estimated = -1.0;
+  /// Rows actually produced/returned by this step, or -1.
+  std::int64_t actual = -1;
+  /// Candidates this step looked at before filtering (rows scanned,
+  /// cameras considered, ...). 0 when not meaningful.
+  std::uint64_t considered = 0;
+  /// Candidates this step ruled out without scanning them.
+  std::uint64_t pruned = 0;
+  TimePoint start;
+  /// Virtual-clock time the step covered (0 for instantaneous planning).
+  Duration sim_time = Duration::zero();
+  /// Real (host) microseconds, where measured (worker scans), or -1.
+  std::int64_t wall_us = -1;
+  /// Free-form key/value annotations (radius guesses, worker ids, ...).
+  std::vector<std::pair<std::string, std::string>> notes;
+
+  [[nodiscard]] bool has_estimate() const { return estimated >= 0.0; }
+  [[nodiscard]] bool has_actual() const { return actual >= 0; }
+  /// q-error when both sides were recorded, else 0.
+  [[nodiscard]] double stage_q_error() const {
+    if (!has_estimate() || !has_actual()) return 0.0;
+    return q_error(estimated, static_cast<double>(actual));
+  }
+  void note(std::string key, std::string value) {
+    notes.emplace_back(std::move(key), std::move(value));
+  }
+};
+
+/// A completed EXPLAIN/ANALYZE run: stages in recording order plus query
+/// identity, renderable as an indented text tree or JSON.
+struct QueryProfile {
+  std::uint64_t request_id = 0;  // last coordinator request id involved
+  std::uint64_t trace_id = 0;    // companion trace, when tracing is on
+  std::string description;
+  TimePoint started;
+  Duration latency = Duration::zero();
+  std::vector<ExplainStage> stages;
+  /// Stages dropped once the bounded buffer filled (deep path searches).
+  std::uint64_t stages_dropped = 0;
+
+  /// First stage with this name, or nullptr.
+  [[nodiscard]] const ExplainStage* stage(const std::string& name) const;
+  [[nodiscard]] std::vector<const ExplainStage*> stages_named(
+      const std::string& name) const;
+  /// Worst q-error across stages that recorded both sides (0 if none did).
+  [[nodiscard]] double worst_q_error() const;
+  [[nodiscard]] std::uint64_t total_pruned() const;
+
+  /// Indented text tree (the `EXPLAIN` output).
+  [[nodiscard]] std::string render() const;
+  /// JSON object; embeds under bench reports and the slow-query log.
+  [[nodiscard]] std::string to_json() const;
+  void append_json(obs::JsonWriter& w) const;
+};
+
+/// Assembles one QueryProfile at a time. Recording sites open a stage, fill
+/// its fields through the returned index, and close it; push/pop_depth
+/// indents everything recorded by nested work (k-NN rounds, re-id hops).
+///
+/// Stage handles are indices, not references: the stage vector reallocates
+/// as nested work records more stages.
+class QueryProfiler {
+ public:
+  /// More stages than this and further open_stage calls are counted but
+  /// not stored (beam searches fan out; profiles stay bounded).
+  static constexpr std::size_t kMaxStages = 384;
+  static constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  void begin(std::string description, TimePoint now);
+
+  /// Opens a stage at the current depth; returns its handle (kNoStage once
+  /// the profile is full — all accessors tolerate it).
+  std::size_t open_stage(std::string name, TimePoint now);
+  /// Opens a stage stamped with the last time the profiler saw (recording
+  /// sites without clock access, e.g. the re-id engine).
+  std::size_t open_stage(std::string name) {
+    return open_stage(std::move(name), last_time_);
+  }
+
+  /// Mutable access to an open (or closed) stage. The reference is only
+  /// valid until the next open_stage call.
+  [[nodiscard]] ExplainStage& stage(std::size_t handle) {
+    if (handle == kNoStage || handle >= profile_.stages.size()) {
+      return scratch_;
+    }
+    return profile_.stages[handle];
+  }
+
+  void close_stage(std::size_t handle, TimePoint now);
+  void close_stage(std::size_t handle) { close_stage(handle, last_time_); }
+
+  /// Nested work recorded after push_depth indents one level deeper.
+  void push_depth() { ++depth_; }
+  void pop_depth() {
+    if (depth_ > 0) --depth_;
+  }
+
+  /// Latest virtual time observed (refreshed by any timestamped call).
+  void set_time(TimePoint now) { last_time_ = now; }
+
+  void set_request(std::uint64_t request_id) {
+    profile_.request_id = request_id;
+  }
+  void set_trace(std::uint64_t trace_id) { profile_.trace_id = trace_id; }
+
+  /// Ends the profile and hands it over; the profiler goes inactive.
+  QueryProfile finish(TimePoint now);
+
+ private:
+  bool active_ = false;
+  int depth_ = 0;
+  TimePoint last_time_;
+  QueryProfile profile_;
+  ExplainStage scratch_;  // sink for writes once the profile is full
+};
+
+}  // namespace stcn

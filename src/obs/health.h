@@ -1,0 +1,275 @@
+// Continuous cluster health monitoring with rule-based alerting.
+//
+// A HealthMonitor samples a set of live MetricsRegistry sources ("net",
+// "coordinator", "worker.<id>") on the sim clock. Each sample derives a
+// per-metric value — counter *rate* (delta / dt), gauge *level*, or
+// histogram windowed mean / cumulative p99 — into a fixed-size ring-buffer
+// time series, then evaluates declarative AlertRules against it.
+//
+// Rules are hysteretic: a rule must breach for `for_samples` consecutive
+// samples to fire, and clear for `resolve_samples` consecutive samples to
+// resolve; each transition appends a structured HealthEvent. A one-`*`
+// wildcard in the metric name fans a rule out across matching metrics
+// (e.g. the coordinator's per-peer `peer.*.fragment_latency_us`), with the
+// captured segment naming the alert's subject node — that is how a
+// coordinator-side observation ("worker 3's fragments got slow") indicts
+// the worker rather than the coordinator.
+//
+// ClusterHealth reduces firing alerts to a per-node status
+// (healthy/degraded/suspect) that chaos tests assert against: gray-failure
+// injection must drive the victim to `suspect` within a bounded number of
+// samples, and healing must return it to `healthy`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace stcn {
+
+enum class HealthStatus { kHealthy = 0, kDegraded = 1, kSuspect = 2 };
+
+[[nodiscard]] inline const char* health_status_name(HealthStatus s) {
+  switch (s) {
+    case HealthStatus::kHealthy: return "healthy";
+    case HealthStatus::kDegraded: return "degraded";
+    case HealthStatus::kSuspect: return "suspect";
+  }
+  return "unknown";
+}
+
+enum class AlertSeverity { kDegraded, kSuspect };
+
+[[nodiscard]] inline const char* alert_severity_name(AlertSeverity s) {
+  return s == AlertSeverity::kSuspect ? "suspect" : "degraded";
+}
+
+/// How a sampled metric becomes the rule's evaluated value.
+enum class MetricKind {
+  kCounterRate,     // (raw - prev) / dt, per second
+  kGaugeLevel,      // instantaneous gauge value
+  kHistogramMean,   // windowed mean: delta(sum) / delta(count)
+  kHistogramP99,    // cumulative p99 level
+};
+
+enum class AlertComparison { kAbove, kBelow };
+
+struct AlertRule {
+  std::string name;
+  /// Metric to watch. At most one '*' wildcard, matching one name segment
+  /// or more ("peer.*.hedge_wins"); the capture becomes the subject.
+  std::string metric;
+  MetricKind kind = MetricKind::kCounterRate;
+  AlertComparison compare = AlertComparison::kAbove;
+  double threshold = 0.0;
+  /// Consecutive breaching samples before the alert fires.
+  int for_samples = 2;
+  /// Consecutive clear samples before a firing alert resolves.
+  int resolve_samples = 2;
+  AlertSeverity severity = AlertSeverity::kDegraded;
+  /// Restrict to sources with this exact name, or prefix when it ends with
+  /// '*' ("worker.*"). Empty = every source.
+  std::string source_filter;
+  /// Subject = subject_prefix + wildcard capture (or the source name when
+  /// the metric has no wildcard).
+  std::string subject_prefix;
+};
+
+/// Tuning knobs for the default rule set.
+struct HealthThresholds {
+  double retransmit_rate_per_s = 50.0;
+  double hedge_win_rate_per_s = 0.5;
+  double queue_depth_frames = 64.0;
+  double ingest_stall_rate_per_s = 1.0;
+  double fragment_latency_mean_us = 5'000.0;
+};
+
+/// The rule set the ISSUE/DESIGN describe: retransmit storm, hedge-win
+/// spike, worker queue buildup, ingest stall, per-node latency burn.
+[[nodiscard]] std::vector<AlertRule> default_health_rules(
+    const HealthThresholds& t = {});
+
+/// Per-(rule, source, metric) alert state machine.
+struct AlertState {
+  std::string rule;
+  std::string source;
+  std::string metric;   // concrete (wildcard-expanded) name
+  std::string subject;
+  AlertSeverity severity = AlertSeverity::kDegraded;
+  bool firing = false;
+  int breach_streak = 0;
+  int clear_streak = 0;
+  double last_value = 0.0;
+  std::uint64_t times_fired = 0;
+  TimePoint last_transition;
+};
+
+/// Per-node health rollup derived from firing alerts.
+struct ClusterHealth {
+  TimePoint as_of;
+  std::map<std::string, HealthStatus> nodes;
+
+  [[nodiscard]] HealthStatus status(const std::string& node) const {
+    auto it = nodes.find(node);
+    return it == nodes.end() ? HealthStatus::kHealthy : it->second;
+  }
+  [[nodiscard]] HealthStatus overall() const {
+    HealthStatus worst = HealthStatus::kHealthy;
+    for (const auto& [node, s] : nodes) {
+      if (static_cast<int>(s) > static_cast<int>(worst)) worst = s;
+    }
+    return worst;
+  }
+  [[nodiscard]] std::string render() const {
+    std::string out;
+    for (const auto& [node, s] : nodes) {
+      out += node + ": " + health_status_name(s) + "\n";
+    }
+    return out;
+  }
+};
+
+/// Fixed-capacity ring buffer of (time, value) samples. at(0) is the oldest
+/// retained sample, at(size()-1) the newest.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity)
+      : values_(capacity), times_(capacity) {}
+
+  void push(TimePoint t, double v) {
+    if (values_.empty()) return;
+    std::size_t slot = (head_ + count_) % values_.size();
+    if (count_ == values_.size()) {
+      head_ = (head_ + 1) % values_.size();
+      slot = (head_ + count_ - 1) % values_.size();
+    } else {
+      ++count_;
+    }
+    values_[slot] = v;
+    times_[slot] = t;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return values_.size(); }
+  [[nodiscard]] double at(std::size_t i) const {
+    return values_[(head_ + i) % values_.size()];
+  }
+  [[nodiscard]] TimePoint time_at(std::size_t i) const {
+    return times_[(head_ + i) % values_.size()];
+  }
+  [[nodiscard]] double back() const { return at(count_ - 1); }
+
+ private:
+  std::vector<double> values_;
+  std::vector<TimePoint> times_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+struct HealthMonitorConfig {
+  /// Ring-buffer capacity per sampled series.
+  std::size_t ring_capacity = 128;
+  std::size_t event_capacity = 256;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthMonitorConfig config = {})
+      : config_(config), events_(config.event_capacity) {}
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Registers a live registry to sample. `registry` must outlive the
+  /// monitor. Source names double as node names in ClusterHealth.
+  void add_source(std::string name, const MetricsRegistry* registry) {
+    sources_.push_back({std::move(name), registry});
+  }
+  void add_rule(AlertRule rule) { rules_.push_back(std::move(rule)); }
+  void add_default_rules(const HealthThresholds& t = {}) {
+    for (AlertRule& r : default_health_rules(t)) add_rule(std::move(r));
+  }
+
+  /// Takes one sample of every source: derives series values, evaluates
+  /// every rule, records firing/resolved transitions.
+  void sample(TimePoint now);
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] const EventLog& events() const { return events_; }
+  [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
+
+  /// All alert states ever instantiated (firing or not).
+  [[nodiscard]] std::vector<const AlertState*> alerts() const;
+  [[nodiscard]] std::vector<const AlertState*> firing() const;
+  /// True when any instance of `rule` is firing (optionally restricted to
+  /// one subject).
+  [[nodiscard]] bool is_firing(const std::string& rule,
+                               const std::string& subject = "") const;
+
+  /// Per-node status rollup: every source starts healthy; firing alerts
+  /// bump their subject to the rule severity.
+  [[nodiscard]] ClusterHealth health() const;
+
+  /// Sampled series for (source, metric, kind), or nullptr.
+  [[nodiscard]] const TimeSeries* series(const std::string& source,
+                                         const std::string& metric,
+                                         MetricKind kind) const;
+
+  /// {"samples", "nodes", "alerts", "events"} snapshot for bench reports.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Source {
+    std::string name;
+    const MetricsRegistry* registry;
+  };
+  struct SeriesState {
+    TimeSeries series;
+    double prev_a = 0.0;  // counter raw / histogram count
+    double prev_b = 0.0;  // histogram sum
+    bool has_prev = false;
+    /// kBelow rules only arm after the raw value has been nonzero once, so
+    /// an idle cluster does not page for a stream that never started.
+    bool armed = false;
+
+    explicit SeriesState(std::size_t capacity) : series(capacity) {}
+  };
+
+  /// Matches `pattern` (at most one '*') against `name`; on success stores
+  /// the wildcard capture (empty when the pattern is literal).
+  static bool wildcard_match(const std::string& pattern,
+                             const std::string& name, std::string* capture);
+  static bool source_matches(const std::string& filter,
+                             const std::string& source);
+
+  void evaluate(const AlertRule& rule, const Source& src,
+                const std::string& metric, const std::string& capture,
+                double value, TimePoint now);
+  void sample_rule(const AlertRule& rule, const Source& src, TimePoint now,
+                   double dt_seconds);
+
+  SeriesState& series_state(const std::string& key) {
+    auto it = series_.find(key);
+    if (it == series_.end()) {
+      it = series_.emplace(key, SeriesState(config_.ring_capacity)).first;
+    }
+    return it->second;
+  }
+
+  HealthMonitorConfig config_;
+  std::vector<Source> sources_;
+  std::vector<AlertRule> rules_;
+  std::map<std::string, SeriesState> series_;  // source \x1f metric \x1f kind
+  std::map<std::string, AlertState> alerts_;   // rule \x1f source \x1f metric
+  EventLog events_;
+  TimePoint last_sample_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace stcn

@@ -53,12 +53,16 @@ void JsonWriter::write_string(const std::string& s) {
       case '\n': out_ += "\\n"; break;
       case '\t': out_ += "\\t"; break;
       case '\r': out_ += "\\r"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out_ += buf;
         } else {
+          // Non-ASCII bytes (UTF-8 sequences) pass through verbatim.
           out_ += c;
         }
     }
@@ -213,8 +217,19 @@ class JsonParser {
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
             else return fail("bad \\u escape");
           }
-          // Exporters only emit \u00xx control escapes; keep it simple.
-          out += static_cast<char>(code & 0xff);
+          // Decode the BMP code point to UTF-8 (surrogate pairs are not
+          // paired up — exporters never emit them; a lone surrogate decodes
+          // as its raw code point).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
           break;
         }
         default: return fail("bad escape");

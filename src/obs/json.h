@@ -9,8 +9,9 @@
 //    can be round-trip tested and so tooling (ci smoke checks) can validate
 //    bench output without external dependencies.
 //
-// This is deliberately not a general-purpose JSON library: no comments, no
-// \u escapes beyond pass-through, numbers are always doubles.
+// This is deliberately not a general-purpose JSON library: no comments,
+// numbers are always doubles, \u escapes decode to UTF-8 (BMP only; no
+// surrogate-pair combining).
 #pragma once
 
 #include <cstdint>

@@ -82,8 +82,14 @@ void MetricsRegistry::merge_into(MetricsRegistry& dst,
 }
 
 void MetricsRegistry::import_counter_set(const CounterSet& counters,
-                                         const std::string& prefix) {
+                                         const std::string& prefix,
+                                         const MetricsRegistry* handle_owner) {
   for (const auto& [name, value] : counters.all()) {
+    if (handle_owner != nullptr) {
+      if (handle_owner->counters_.contains(name)) continue;
+      counter(prefix + name).add(value);
+      continue;
+    }
     std::string full = prefix + name;
     if (counters_.contains(full)) continue;
     counter(full).add(value);

@@ -163,12 +163,22 @@ class MetricsRegistry {
   /// worker gauges totals).
   void merge_into(MetricsRegistry& dst, const std::string& prefix) const;
 
-  /// Imports CounterSet entries as counters under `prefix`, skipping names
-  /// already present in this registry (handle-backed counters win — they
-  /// are mirrored into CounterSets by sync_counters_into, so importing them
-  /// again would double-count).
+  /// Imports CounterSet entries as counters under `prefix`.
+  ///
+  /// With `handle_owner` given (the registry of the node the CounterSet
+  /// belongs to), only names that registry owns are skipped: those are
+  /// handle-backed counters already merged via merge_into, and the
+  /// CounterSet mirrors them (sync_counters_into), so importing them again
+  /// would double-count. Eager-only names always accumulate — importing a
+  /// second node's CounterSet under the same prefix sums, it does not drop.
+  ///
+  /// Without `handle_owner` the legacy behavior applies: any name already
+  /// present in *this* registry under `prefix` is skipped. That guard also
+  /// swallows the second node's eager counters, so multi-node snapshot
+  /// assembly must pass the owner registry.
   void import_counter_set(const CounterSet& counters,
-                          const std::string& prefix);
+                          const std::string& prefix,
+                          const MetricsRegistry* handle_owner = nullptr);
 
   /// Prometheus text exposition format.
   [[nodiscard]] std::string to_prometheus(

@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "obs/explain.h"
 #include "obs/json.h"
 #include "obs/tracer.h"
 
@@ -25,6 +27,9 @@ class SlowQueryLog {
     std::string description;  // query kind + salient tags
     Duration latency;
     std::vector<SpanRecord> spans;
+    /// EXPLAIN profile, when the query ran under Cluster::explain (the
+    /// profile completes after the log entry, so it is attached post-hoc).
+    std::optional<QueryProfile> profile;
   };
 
   explicit SlowQueryLog(Duration threshold = Duration::millis(25),
@@ -51,6 +56,19 @@ class SlowQueryLog {
     return true;
   }
 
+  /// Attaches an EXPLAIN profile to the entry recorded for its request id
+  /// (searched newest-first). Returns false when no entry matches — the
+  /// query was faster than the threshold.
+  bool attach_profile(const QueryProfile& profile) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->request_id == profile.request_id) {
+        it->profile = profile;
+        return true;
+      }
+    }
+    return false;
+  }
+
   [[nodiscard]] const std::deque<Entry>& entries() const { return entries_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
@@ -63,6 +81,7 @@ class SlowQueryLog {
              e.description + " latency=" +
              std::to_string(e.latency.count_micros()) + "us\n";
       out += SpanTree(e.spans).render();
+      if (e.profile.has_value()) out += e.profile->render();
     }
     return out;
   }
@@ -104,6 +123,10 @@ class SlowQueryLog {
         w.end_object();
       }
       w.end_array();
+      if (e.profile.has_value()) {
+        w.key("profile");
+        e.profile->append_json(w);
+      }
       w.end_object();
     }
     w.end_array();

@@ -64,18 +64,28 @@ struct WorkerIndexes {
   [[nodiscard]] std::size_t size() const { return store.size(); }
 };
 
+/// EXPLAIN/ANALYZE accounting for one local execution: how many rows the
+/// indexes yielded (for counts/heatmaps this exceeds the result rows).
+struct ScanStats {
+  std::uint64_t rows_scanned = 0;
+};
+
 class LocalExecutor {
  public:
-  /// Executes `query` against `indexes`, producing a partial result.
+  /// Executes `query` against `indexes`, producing a partial result. When
+  /// `stats` is given, scan accounting accumulates into it.
   [[nodiscard]] static QueryResult execute(const WorkerIndexes& indexes,
-                                           const Query& query) {
+                                           const Query& query,
+                                           ScanStats* stats = nullptr) {
     QueryResult result;
     result.query = query.id;
+    std::uint64_t scanned = 0;
     switch (query.kind) {
       case QueryKind::kRange: {
         for (DetectionRef ref :
              indexes.grid.query_range(indexes.store, query.region,
                                       query.interval)) {
+          ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
         break;
@@ -84,6 +94,7 @@ class LocalExecutor {
         for (DetectionRef ref :
              indexes.grid.query_circle(indexes.store, query.circle,
                                        query.interval)) {
+          ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
         break;
@@ -92,6 +103,7 @@ class LocalExecutor {
         for (const auto& [ref, dist] :
              indexes.grid.query_knn(indexes.store, query.center, query.k,
                                     query.interval)) {
+          ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
         break;
@@ -99,6 +111,7 @@ class LocalExecutor {
       case QueryKind::kTrajectory: {
         for (DetectionRef ref :
              indexes.trajectories.query(query.object, query.interval)) {
+          ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
         break;
@@ -106,6 +119,7 @@ class LocalExecutor {
       case QueryKind::kCameraWindow: {
         for (DetectionRef ref :
              indexes.temporal.query_camera(query.camera, query.interval)) {
+          ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
         break;
@@ -113,6 +127,7 @@ class LocalExecutor {
       case QueryKind::kCount: {
         auto refs = indexes.grid.query_range(indexes.store, query.region,
                                              query.interval);
+        scanned += refs.size();
         if (query.group_by == GroupBy::kCamera) {
           for (DetectionRef ref : refs) {
             ++result.counts[indexes.store.get(ref).camera.value()];
@@ -127,12 +142,14 @@ class LocalExecutor {
         for (DetectionRef ref :
              indexes.grid.query_range(indexes.store, query.region,
                                       query.interval)) {
+          ++scanned;
           ++result.counts[query.heatmap_cell(
               indexes.store.get(ref).position)];
         }
         break;
       }
     }
+    if (stats != nullptr) stats->rows_scanned += scanned;
     return result;
   }
 };

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/geometry.h"
 #include "common/time.h"
+#include "obs/explain.h"
 #include "query/selectivity.h"
 
 namespace stcn {
@@ -45,17 +47,34 @@ class KnnPlanner {
              KnnPlannerParams params = {})
       : estimator_(estimator), world_(world), params_(params) {}
 
-  /// Plans the initial radius for a k-NN at `center` over `interval`.
+  /// Plans the initial radius for a k-NN at `center` over `interval`. When
+  /// `profiler` is profiling, the radius ladder is recorded as a
+  /// `knn.plan` EXPLAIN stage (one note per guess) so the query profile
+  /// shows why this radius was chosen.
   [[nodiscard]] KnnPlan plan(Point center, std::uint32_t k,
-                             const TimeInterval& interval) const {
+                             const TimeInterval& interval,
+                             QueryProfiler* profiler = nullptr) const {
     KnnPlan plan;
+    std::size_t stage = QueryProfiler::kNoStage;
+    if (profiler != nullptr && profiler->active()) {
+      stage = profiler->open_stage("knn.plan");
+      profiler->stage(stage).note("k", std::to_string(k));
+    }
     double world_radius =
         std::max(world_.width(), world_.height());
     double target = static_cast<double>(k) * params_.overshoot_factor;
     double radius = params_.min_radius;
+    int guesses = 0;
     while (radius < world_radius) {
       plan.estimated_count =
           estimator_.estimate(Rect::centered(center, radius), interval);
+      ++guesses;
+      if (stage != QueryProfiler::kNoStage) {
+        profiler->stage(stage).note(
+            "guess_" + std::to_string(guesses),
+            "r=" + std::to_string(radius) +
+                " est=" + std::to_string(plan.estimated_count));
+      }
       if (plan.estimated_count >= target) break;
       radius *= params_.growth;
     }
@@ -64,6 +83,15 @@ class KnnPlanner {
       radius = world_radius;
     }
     plan.initial_radius = radius;
+    if (stage != QueryProfiler::kNoStage) {
+      ExplainStage& s = profiler->stage(stage);
+      s.estimated = plan.estimated_count;
+      s.considered = static_cast<std::uint64_t>(guesses);
+      s.note("target", std::to_string(target));
+      s.note("radius", std::to_string(radius));
+      if (plan.degenerate) s.note("degenerate", "true");
+      profiler->close_stage(stage);
+    }
     return plan;
   }
 

@@ -37,6 +37,19 @@ enum class QueryKind : std::uint8_t {
   kHeatmap = 6,
 };
 
+[[nodiscard]] inline const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange: return "range";
+    case QueryKind::kCount: return "count";
+    case QueryKind::kHeatmap: return "heatmap";
+    case QueryKind::kCircle: return "circle";
+    case QueryKind::kCameraWindow: return "camera_window";
+    case QueryKind::kTrajectory: return "trajectory";
+    case QueryKind::kKnn: return "knn";
+  }
+  return "unknown";
+}
+
 enum class GroupBy : std::uint8_t {
   kNone = 0,
   kCamera = 1,

@@ -1,21 +1,32 @@
 #include "reid/path_reconstruction.h"
 
 #include <algorithm>
+#include <string>
 
 namespace stcn {
 
 ReconstructedPath PathReconstructor::reconstruct(
-    const Detection& probe, const CandidateSource& source) const {
+    const Detection& probe, const CandidateSource& source,
+    QueryProfiler* profiler) const {
   struct Hypothesis {
     std::vector<Detection> hops;
     double score = 0.0;
     bool extendable = true;
   };
 
+  bool profiling = profiler != nullptr && profiler->active();
   std::vector<Hypothesis> beam{{{probe}, 0.0, true}};
   std::uint64_t candidates_examined = 0;
 
   for (std::size_t depth = 1; depth < params_.max_path_length; ++depth) {
+    std::size_t hop_stage = QueryProfiler::kNoStage;
+    std::uint64_t hop_candidates = 0;
+    std::uint64_t hop_extensions = 0;
+    if (profiling) {
+      hop_stage = profiler->open_stage("path.hop");
+      profiler->stage(hop_stage).note("depth", std::to_string(depth));
+      profiler->push_depth();
+    }
     std::vector<Hypothesis> next;
     bool any_extended = false;
     for (const Hypothesis& h : beam) {
@@ -25,8 +36,9 @@ ReconstructedPath PathReconstructor::reconstruct(
       }
       const Detection& head = h.hops.back();
       TimeInterval horizon{head.time, head.time + params_.hop_horizon};
-      ReidOutcome out = engine_.find_matches(head, horizon, source);
+      ReidOutcome out = engine_.find_matches(head, horizon, source, profiler);
       candidates_examined += out.candidates_examined;
+      hop_candidates += out.candidates_examined;
 
       bool extended = false;
       for (const ReidMatch& m : out.matches) {
@@ -43,6 +55,7 @@ ReconstructedPath PathReconstructor::reconstruct(
         next.push_back(std::move(ext));
         extended = true;
         any_extended = true;
+        ++hop_extensions;
         if (next.size() > params_.beam_width * 4) break;
       }
       if (!extended) {
@@ -59,6 +72,16 @@ ReconstructedPath PathReconstructor::reconstruct(
               });
     if (next.size() > params_.beam_width) next.resize(params_.beam_width);
     beam = std::move(next);
+    if (hop_stage != QueryProfiler::kNoStage) {
+      profiler->pop_depth();
+      ExplainStage& s = profiler->stage(hop_stage);
+      s.considered = hop_candidates;
+      s.actual = static_cast<std::int64_t>(hop_extensions);
+      s.pruned = hop_candidates >= hop_extensions
+                     ? hop_candidates - hop_extensions
+                     : 0;
+      profiler->close_stage(hop_stage);
+    }
     if (!any_extended) break;
   }
 

@@ -37,8 +37,12 @@ class PathReconstructor {
   PathReconstructor(const ReidEngine& engine, PathParams params)
       : engine_(engine), params_(params) {}
 
+  /// With an active `profiler`, each beam depth records a `path.hop` stage
+  /// (candidates examined vs extensions kept), with the matcher's cone/scan
+  /// stages nested under it.
   [[nodiscard]] ReconstructedPath reconstruct(
-      const Detection& probe, const CandidateSource& source) const;
+      const Detection& probe, const CandidateSource& source,
+      QueryProfiler* profiler = nullptr) const;
 
   /// Fraction of reconstructed hops whose ground-truth object matches the
   /// probe's (the probe itself is excluded from the denominator). Empty

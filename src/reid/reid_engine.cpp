@@ -1,6 +1,8 @@
 #include "reid/reid_engine.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 namespace stcn {
 
@@ -44,9 +46,32 @@ void finalize(ReidOutcome& outcome, std::size_t max_matches) {
 
 ReidOutcome ReidEngine::find_matches(const Detection& probe,
                                      const TimeInterval& horizon,
-                                     const CandidateSource& source) const {
+                                     const CandidateSource& source,
+                                     QueryProfiler* profiler) const {
   ReidOutcome outcome;
   auto cone = graph_.cone(probe.camera, probe.time, horizon, params_.cone);
+  bool profiling = profiler != nullptr && profiler->active();
+  std::size_t scan_stage = QueryProfiler::kNoStage;
+  if (profiling) {
+    // Transition-graph window pruning: of every camera in the network, how
+    // many (camera, window) pairs did the cone keep?
+    std::size_t all_cameras = source.all_cameras().size();
+    std::unordered_set<std::uint64_t> cone_cameras;
+    for (const ConeEntry& entry : cone) {
+      cone_cameras.insert(entry.camera.value());
+    }
+    std::size_t cone_stage = profiler->open_stage("reid.cone");
+    ExplainStage& s = profiler->stage(cone_stage);
+    s.considered = all_cameras;
+    s.actual = static_cast<std::int64_t>(cone.size());
+    s.pruned = all_cameras >= cone_cameras.size()
+                   ? all_cameras - cone_cameras.size()
+                   : 0;
+    s.note("probe_camera", std::to_string(probe.camera.value()));
+    profiler->close_stage(cone_stage);
+    scan_stage = profiler->open_stage("reid.scan");
+    profiler->push_depth();
+  }
   for (const ConeEntry& entry : cone) {
     ++outcome.cameras_queried;
     auto candidates = source.detections_at(entry.camera, entry.window);
@@ -54,6 +79,16 @@ ReidOutcome ReidEngine::find_matches(const Detection& probe,
                      entry.log_prior, outcome);
   }
   finalize(outcome, params_.max_matches);
+  if (scan_stage != QueryProfiler::kNoStage) {
+    profiler->pop_depth();
+    ExplainStage& s = profiler->stage(scan_stage);
+    s.considered = outcome.candidates_examined;
+    s.actual = static_cast<std::int64_t>(outcome.matches.size());
+    s.pruned = outcome.candidates_examined >= outcome.matches.size()
+                   ? outcome.candidates_examined - outcome.matches.size()
+                   : 0;
+    profiler->close_stage(scan_stage);
+  }
   return outcome;
 }
 

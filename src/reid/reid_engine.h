@@ -18,6 +18,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/explain.h"
 #include "reid/transition_graph.h"
 #include "trace/detection.h"
 
@@ -62,9 +63,13 @@ class ReidEngine {
       : graph_(graph), params_(params) {}
 
   /// Cone-pruned search for reappearances of `probe` within `horizon`.
-  [[nodiscard]] ReidOutcome find_matches(const Detection& probe,
-                                         const TimeInterval& horizon,
-                                         const CandidateSource& source) const;
+  /// With an active `profiler`, records `reid.cone` (window pruning:
+  /// cameras considered vs cone entries kept) and `reid.scan` (candidates
+  /// examined vs matches) stages; candidate fetches nest one level deeper.
+  [[nodiscard]] ReidOutcome find_matches(
+      const Detection& probe, const TimeInterval& horizon,
+      const CandidateSource& source,
+      QueryProfiler* profiler = nullptr) const;
 
   /// Baseline: scan every camera over the entire horizon.
   [[nodiscard]] ReidOutcome find_matches_full_scan(

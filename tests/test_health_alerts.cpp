@@ -1,0 +1,350 @@
+// Continuous health monitoring: ring-buffer series, rule evaluation with
+// hysteresis, wildcard fan-out with subject attribution, and the
+// end-to-end chaos contract — a gray-slow worker must drive a `suspect`
+// alert within a bounded number of samples, and healing must resolve it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/framework.h"
+#include "partition/strategies.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+TimePoint at(int seconds) {
+  return TimePoint::origin() + Duration::seconds(seconds);
+}
+
+// ----------------------------------------------------------- time series
+
+TEST(TimeSeries, RingKeepsNewestSamples) {
+  TimeSeries ts(4);
+  EXPECT_EQ(ts.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    ts.push(at(i), static_cast<double>(i));
+  }
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.at(0), 2.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(ts.at(3), 5.0);
+  EXPECT_DOUBLE_EQ(ts.back(), 5.0);
+  EXPECT_EQ(ts.time_at(0), at(2));
+  EXPECT_EQ(ts.time_at(3), at(5));
+}
+
+TEST(TimeSeries, ZeroCapacityIsInert) {
+  TimeSeries ts(0);
+  ts.push(at(0), 1.0);
+  EXPECT_EQ(ts.size(), 0u);
+}
+
+// ------------------------------------------------------- rule evaluation
+
+AlertRule rate_rule(std::string name, std::string metric, double threshold) {
+  AlertRule r;
+  r.name = std::move(name);
+  r.metric = std::move(metric);
+  r.kind = MetricKind::kCounterRate;
+  r.threshold = threshold;
+  r.for_samples = 2;
+  r.resolve_samples = 2;
+  return r;
+}
+
+TEST(HealthMonitor, CounterRateRuleFiresWithHysteresisAndResolves) {
+  MetricsRegistry reg;
+  Counter& retransmits = reg.counter("retransmits");
+  HealthMonitor monitor;
+  monitor.add_source("net", &reg);
+  monitor.add_rule(rate_rule("storm", "retransmits", 10.0));
+
+  monitor.sample(at(0));  // first sample: no dt, rates not ready
+  EXPECT_FALSE(monitor.is_firing("storm"));
+
+  retransmits.add(100);
+  monitor.sample(at(1));  // rate 100/s: breach 1 of 2
+  EXPECT_FALSE(monitor.is_firing("storm"));
+
+  retransmits.add(100);
+  monitor.sample(at(2));  // breach 2 of 2: fires
+  EXPECT_TRUE(monitor.is_firing("storm"));
+  EXPECT_TRUE(monitor.is_firing("storm", "net"));  // subject = source name
+  EXPECT_EQ(monitor.events().count("firing", "storm"), 1u);
+  EXPECT_EQ(monitor.health().status("net"), HealthStatus::kDegraded);
+
+  monitor.sample(at(3));  // rate 0: clear 1 of 2, still firing
+  EXPECT_TRUE(monitor.is_firing("storm"));
+  monitor.sample(at(4));  // clear 2 of 2: resolves
+  EXPECT_FALSE(monitor.is_firing("storm"));
+  EXPECT_EQ(monitor.events().count("resolved", "storm"), 1u);
+  EXPECT_EQ(monitor.health().status("net"), HealthStatus::kHealthy);
+
+  const TimeSeries* series =
+      monitor.series("net", "retransmits", MetricKind::kCounterRate);
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(series->size(), 0u);
+}
+
+TEST(HealthMonitor, WildcardRuleIndictsCapturedSubject) {
+  MetricsRegistry coord;
+  Counter& wins3 = coord.counter("peer.3.hedge_wins");
+  coord.counter("peer.5.hedge_wins");
+  MetricsRegistry w3;
+  MetricsRegistry w5;
+
+  HealthMonitor monitor;
+  monitor.add_source("coordinator", &coord);
+  monitor.add_source("worker.3", &w3);
+  monitor.add_source("worker.5", &w5);
+  AlertRule rule = rate_rule("hedge_spike", "peer.*.hedge_wins", 0.5);
+  rule.severity = AlertSeverity::kSuspect;
+  rule.source_filter = "coordinator";
+  rule.subject_prefix = "worker.";
+  monitor.add_rule(rule);
+
+  monitor.sample(at(0));
+  wins3.add(10);
+  monitor.sample(at(1));
+  wins3.add(10);
+  monitor.sample(at(2));
+
+  // The coordinator-side observation indicts worker 3, not the coordinator.
+  EXPECT_TRUE(monitor.is_firing("hedge_spike", "worker.3"));
+  EXPECT_FALSE(monitor.is_firing("hedge_spike", "worker.5"));
+  ClusterHealth health = monitor.health();
+  EXPECT_EQ(health.status("worker.3"), HealthStatus::kSuspect);
+  EXPECT_EQ(health.status("worker.5"), HealthStatus::kHealthy);
+  EXPECT_EQ(health.status("coordinator"), HealthStatus::kHealthy);
+  EXPECT_EQ(health.overall(), HealthStatus::kSuspect);
+  EXPECT_NE(health.render().find("worker.3: suspect"), std::string::npos);
+}
+
+TEST(HealthMonitor, BelowRuleArmsOnlyAfterTrafficSeen) {
+  MetricsRegistry reg;
+  Counter& ingested = reg.counter("ingested");
+  HealthMonitor monitor;
+  monitor.add_source("coordinator", &reg);
+  AlertRule rule = rate_rule("ingest_stall", "ingested", 1.0);
+  rule.compare = AlertComparison::kBelow;
+  monitor.add_rule(rule);
+
+  // An idle cluster that never ingested must not page.
+  for (int i = 0; i < 5; ++i) monitor.sample(at(i));
+  EXPECT_FALSE(monitor.is_firing("ingest_stall"));
+
+  ingested.add(100);
+  monitor.sample(at(5));  // rate 100/s: armed, no breach
+  EXPECT_FALSE(monitor.is_firing("ingest_stall"));
+  monitor.sample(at(6));  // stalled: breach 1
+  monitor.sample(at(7));  // stalled: breach 2, fires
+  EXPECT_TRUE(monitor.is_firing("ingest_stall"));
+}
+
+TEST(HealthMonitor, GaugeLevelAndHistogramMeanRules) {
+  MetricsRegistry reg;
+  Gauge& queue = reg.gauge("unacked_frames");
+  LatencyHistogram& lat = reg.histogram("fragment_latency_us");
+
+  HealthMonitor monitor;
+  monitor.add_source("worker.1", &reg);
+  AlertRule gauge_rule;
+  gauge_rule.name = "queue_buildup";
+  gauge_rule.metric = "unacked_frames";
+  gauge_rule.kind = MetricKind::kGaugeLevel;
+  gauge_rule.threshold = 64.0;
+  gauge_rule.for_samples = 2;
+  gauge_rule.resolve_samples = 2;
+  monitor.add_rule(gauge_rule);
+  AlertRule mean_rule;
+  mean_rule.name = "latency_burn";
+  mean_rule.metric = "fragment_latency_us";
+  mean_rule.kind = MetricKind::kHistogramMean;
+  mean_rule.threshold = 5'000.0;
+  mean_rule.for_samples = 2;
+  mean_rule.resolve_samples = 2;
+  mean_rule.severity = AlertSeverity::kSuspect;
+  monitor.add_rule(mean_rule);
+
+  queue.set(100.0);
+  lat.observe(20'000.0);
+  monitor.sample(at(0));  // gauge breach 1; histogram window not ready
+  lat.observe(20'000.0);
+  monitor.sample(at(1));  // gauge fires; histogram mean 20ms breach 1
+  EXPECT_TRUE(monitor.is_firing("queue_buildup"));
+  lat.observe(20'000.0);
+  monitor.sample(at(2));  // histogram breach 2: fires
+  EXPECT_TRUE(monitor.is_firing("latency_burn"));
+  // Both alerts target the same node; the worse severity wins the rollup.
+  EXPECT_EQ(monitor.health().status("worker.1"), HealthStatus::kSuspect);
+
+  // No new observations: the windowed mean has no data, which freezes the
+  // streaks instead of resolving a possibly-still-sick node.
+  monitor.sample(at(3));
+  monitor.sample(at(4));
+  EXPECT_TRUE(monitor.is_firing("latency_burn"));
+
+  // Healthy traffic resumes: fast samples resolve the burn, and the gauge
+  // dropping resolves the buildup.
+  queue.set(0.0);
+  lat.observe(100.0);
+  monitor.sample(at(5));
+  lat.observe(100.0);
+  monitor.sample(at(6));
+  EXPECT_FALSE(monitor.is_firing("latency_burn"));
+  EXPECT_FALSE(monitor.is_firing("queue_buildup"));
+  EXPECT_EQ(monitor.health().status("worker.1"), HealthStatus::kHealthy);
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(monitor.to_json(), v, &error)) << error;
+  EXPECT_GE(v.at("events").array().size(), 4u);  // 2 firing + 2 resolved
+}
+
+// --------------------------------------------------------- cluster wiring
+
+struct Scenario {
+  Trace trace;
+  Rect world;
+
+  Scenario()
+      : trace(TraceGenerator::generate([] {
+          TraceConfig c;
+          c.roads.grid_cols = 6;
+          c.roads.grid_rows = 6;
+          c.cameras.camera_count = 20;
+          c.mobility.object_count = 20;
+          c.duration = Duration::minutes(3);
+          c.seed = 777;
+          return c;
+        }())),
+        world(trace.roads.bounds(120.0)) {}
+};
+
+Scenario& scenario() {
+  static Scenario s;
+  return s;
+}
+
+std::unique_ptr<Cluster> make_cluster(ClusterConfig config = {}) {
+  Scenario& s = scenario();
+  config.worker_count = 4;
+  auto cluster = std::make_unique<Cluster>(
+      s.world,
+      std::make_unique<SpatialGridStrategy>(s.world, 2, 2, s.trace.cameras),
+      config);
+  cluster->ingest_all(s.trace.detections);
+  return cluster;
+}
+
+TEST(ClusterHealthWiring, SourcesRulesAndSnapshotNamespacing) {
+  auto cluster = make_cluster();
+  HealthMonitor& monitor = cluster->health_monitor();
+  EXPECT_GE(monitor.rules().size(), 5u);  // the default rule set
+
+  cluster->sample_health();
+  cluster->advance_time(Duration::millis(500));
+  cluster->sample_health();
+  EXPECT_EQ(monitor.samples_taken(), 2u);
+
+  // Every node appears in the rollup, healthy on an unperturbed cluster.
+  ClusterHealth health = cluster->health();
+  EXPECT_EQ(health.status("net"), HealthStatus::kHealthy);
+  EXPECT_EQ(health.status("coordinator"), HealthStatus::kHealthy);
+  for (WorkerId w : cluster->worker_ids()) {
+    EXPECT_EQ(health.status("worker." + std::to_string(w.value())),
+              HealthStatus::kHealthy);
+  }
+  EXPECT_EQ(health.overall(), HealthStatus::kHealthy);
+
+  // metrics_snapshot namespaces every node's registry without collisions:
+  // per-node counters survive under their prefix and workers sum.
+  MetricsRegistry snapshot = cluster->metrics_snapshot();
+  EXPECT_GT(snapshot.counter("net.messages_sent").value(), 0u);
+  EXPECT_EQ(snapshot.counter("coordinator.ingested").value(),
+            scenario().trace.detections.size());
+  EXPECT_EQ(snapshot.counter("worker.ingested_primary").value(),
+            scenario().trace.detections.size());
+}
+
+TEST(ClusterHealthWiring, TickerSamplesOnSimClock) {
+  ClusterConfig config;
+  config.health.enabled = true;
+  config.health.sample_period = Duration::millis(250);
+  auto cluster = make_cluster(config);
+
+  std::uint64_t before = cluster->health_monitor().samples_taken();
+  cluster->advance_time(Duration::seconds(2));
+  EXPECT_GT(cluster->health_monitor().samples_taken(), before + 3);
+}
+
+// ------------------------------------------------------------ chaos: gray
+
+TEST(ChaosHealth, GraySlowWorkerFiresSuspectAndHealingResolves) {
+  ClusterConfig config;
+  config.health.enabled = true;
+  config.health.sample_period = Duration::millis(250);
+  auto cluster = make_cluster(config);
+  Scenario& s = scenario();
+
+  WorkerId victim = cluster->worker_ids()[1];
+  std::string subject = "worker." + std::to_string(victim.value());
+  cluster->network().set_slow(NodeId(victim.value()), 40.0);
+
+  auto run_queries = [&](int n) {
+    Rng rng(91);
+    for (int i = 0; i < n; ++i) {
+      Rect region = Rect::centered(
+          {rng.uniform(s.world.min.x, s.world.max.x),
+           rng.uniform(s.world.min.y, s.world.max.y)},
+          rng.uniform(200.0, 600.0));
+      cluster->execute(Query::range(cluster->next_query_id(), region,
+                                    TimeInterval::all()));
+      cluster->advance_time(Duration::millis(100));
+    }
+  };
+
+  // The coordinator's per-peer stats (hedge wins raced against the slow
+  // primary, fragment latency) must indict the victim within a bounded
+  // number of samples.
+  bool fired = false;
+  std::uint64_t sample_budget =
+      cluster->health_monitor().samples_taken() + 200;
+  while (!fired && cluster->health_monitor().samples_taken() < sample_budget) {
+    run_queries(5);
+    fired = cluster->health_monitor().is_firing("hedge_win_spike", subject) ||
+            cluster->health_monitor().is_firing("latency_burn", subject);
+  }
+  ASSERT_TRUE(fired) << "gray-slow worker never flagged;\n"
+                     << cluster->health_monitor().events().render();
+  EXPECT_EQ(cluster->health().status(subject), HealthStatus::kSuspect);
+  EXPECT_GE(cluster->health_monitor().events().count("firing"), 1u);
+
+  // Healing: the slowdown clears, traffic continues, the alert resolves and
+  // the node returns to healthy.
+  cluster->network().clear_slow(NodeId(victim.value()));
+  bool resolved = false;
+  sample_budget = cluster->health_monitor().samples_taken() + 200;
+  while (!resolved &&
+         cluster->health_monitor().samples_taken() < sample_budget) {
+    run_queries(5);
+    resolved =
+        !cluster->health_monitor().is_firing("hedge_win_spike", subject) &&
+        !cluster->health_monitor().is_firing("latency_burn", subject);
+  }
+  ASSERT_TRUE(resolved) << cluster->health_monitor().events().render();
+  EXPECT_EQ(cluster->health().status(subject), HealthStatus::kHealthy);
+  EXPECT_GE(cluster->health_monitor().events().count("resolved"), 1u);
+
+  // The whole episode is visible in the machine-readable snapshot.
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(
+      obs::JsonValue::parse(cluster->health_monitor().to_json(), v, &error))
+      << error;
+  EXPECT_GE(v.at("events").array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stcn

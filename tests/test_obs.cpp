@@ -47,6 +47,62 @@ TEST(Json, WriterParserRoundTrip) {
   EXPECT_DOUBLE_EQ(v.at("nested").at("x").number(), 7.0);
 }
 
+TEST(Json, EscapesControlCharsAndRoundTrips) {
+  // Every ASCII control character must be escaped (a raw 0x01 in output
+  // would break downstream parsers); UTF-8 passes through verbatim.
+  std::string nasty;
+  for (char c = 1; c < 0x20; ++c) nasty += c;
+  nasty += '\0';
+  nasty += "caf\xC3\xA9 \xE2\x82\xAC";  // café €
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value(nasty);
+  w.end_object();
+  std::string text = w.take();
+  for (char c : text) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte leaked into JSON output";
+  }
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\\u0000"), std::string::npos);
+  EXPECT_NE(text.find("caf\xC3\xA9"), std::string::npos);
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(text, v, &error)) << error;
+  EXPECT_EQ(v.at("s").string(), nasty);
+}
+
+TEST(Json, NonAsciiMetricNamesSurviveRegistryRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("zone/\xC3\xBC" "ber\tcamera\x01").add(7);
+  MetricsRegistry restored;
+  ASSERT_TRUE(metrics_registry_from_json(registry.to_json(), restored));
+  EXPECT_EQ(restored.counter("zone/\xC3\xBC" "ber\tcamera\x01").value(), 7u);
+  EXPECT_EQ(registry.to_json(), restored.to_json());
+}
+
+TEST(Json, ControlCharTagsSurviveChromeTraceExport) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("q\x02uery", 0, t0);
+  tracer.tag(root, "label", std::string("a\x1f") + "b");
+  tracer.end_span(root, t0 + Duration::millis(1));
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(
+      obs::JsonValue::parse(tracer.to_chrome_json(root.trace_id), v, &error))
+      << error;
+  const auto& events = v.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").string(), "q\x02uery");
+  EXPECT_EQ(events[0].at("args").at("label").string(),
+            std::string("a\x1f") + "b");
+}
+
 TEST(Json, ParserRejectsMalformed) {
   obs::JsonValue v;
   EXPECT_FALSE(obs::JsonValue::parse("{\"a\":}", v));
@@ -176,6 +232,32 @@ TEST(MetricsRegistry, MergeAndImportSkipHandleBackedNames) {
   merged.import_counter_set(legacy, "");
   EXPECT_EQ(merged.counter("ingested").value(), 10u);
   EXPECT_EQ(merged.counter("eager_only").value(), 3u);
+}
+
+TEST(MetricsRegistry, ImportCounterSetSumsEagerNamesAcrossOwners) {
+  // Two nodes whose CounterSets mirror their handle-backed counters
+  // (sync_counters_into) and also hold eager-only counters. Snapshot
+  // assembly must skip the mirrored names (already merged via merge_into)
+  // but SUM the eager names — the old prefix-collision guard dropped the
+  // second node's eager counters entirely.
+  MetricsRegistry w1;
+  MetricsRegistry w2;
+  w1.counter("ingested").add(10);
+  w2.counter("ingested").add(5);
+  CounterSet c1;
+  CounterSet c2;
+  w1.sync_counters_into(c1);
+  w2.sync_counters_into(c2);
+  c1.add("frames", 3);
+  c2.add("frames", 4);
+
+  MetricsRegistry snapshot;
+  w1.merge_into(snapshot, "worker.");
+  w2.merge_into(snapshot, "worker.");
+  snapshot.import_counter_set(c1, "worker.", &w1);
+  snapshot.import_counter_set(c2, "worker.", &w2);
+  EXPECT_EQ(snapshot.counter("worker.ingested").value(), 15u);  // no dupes
+  EXPECT_EQ(snapshot.counter("worker.frames").value(), 7u);     // summed
 }
 
 // ------------------------------------------------------ quantile recorder
@@ -318,6 +400,99 @@ TEST(SlowQueryLog, RecordsOnlyAboveThreshold) {
   ASSERT_TRUE(obs::JsonValue::parse(log.to_json(), v));
   EXPECT_EQ(v.array().size(), 2u);
   EXPECT_FALSE(log.render().empty());
+}
+
+TEST(SlowQueryLog, ThresholdBoundaryIsInclusive) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  tracer.end_span(root, t0 + Duration::millis(25));
+
+  SlowQueryLog log(Duration::millis(25));
+  // Exactly at the threshold records; one microsecond under does not.
+  EXPECT_FALSE(log.maybe_record(tracer, root.trace_id, 1, "range",
+                                Duration::millis(25) - Duration::micros(1)));
+  EXPECT_TRUE(log.maybe_record(tracer, root.trace_id, 2, "range",
+                               Duration::millis(25)));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(SlowQueryLog, EvictsOldestFirst) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  tracer.end_span(root, t0 + Duration::millis(40));
+
+  SlowQueryLog log(Duration::millis(1), /*max_entries=*/3);
+  for (std::uint64_t request = 1; request <= 5; ++request) {
+    log.maybe_record(tracer, root.trace_id, request, "range",
+                     Duration::millis(30));
+  }
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.entries().front().request_id, 3u);  // oldest surviving
+  EXPECT_EQ(log.entries().back().request_id, 5u);   // newest
+}
+
+TEST(SlowQueryLog, SpanTreesSurviveTracerEviction) {
+  TracerConfig config;
+  config.max_traces = 1;
+  Tracer tracer(config);
+  TimePoint t0 = TimePoint::origin();
+  TraceContext slow = tracer.start_trace("gateway.execute", 0, t0);
+  TraceContext child = tracer.start_span("fragment", slow, 1, t0);
+  tracer.end_span(child, t0 + Duration::millis(20));
+  tracer.end_span(slow, t0 + Duration::millis(30));
+
+  SlowQueryLog log(Duration::millis(1));
+  ASSERT_TRUE(log.maybe_record(tracer, slow.trace_id, 1, "range",
+                               Duration::millis(30)));
+
+  // A new trace evicts the recorded one from the tracer's FIFO retention;
+  // the log's snapshot must be unaffected.
+  tracer.start_trace("gateway.execute", 0, t0 + Duration::millis(40));
+  ASSERT_FALSE(tracer.has_trace(slow.trace_id));
+  ASSERT_EQ(log.entries().front().spans.size(), 2u);
+  std::string text = log.render();
+  EXPECT_NE(text.find("fragment"), std::string::npos);
+}
+
+TEST(SlowQueryLog, AttachProfileMatchesNewestEntryByRequest) {
+  Tracer tracer;
+  TimePoint t0 = TimePoint::origin();
+  TraceContext root = tracer.start_trace("gateway.execute", 0, t0);
+  tracer.end_span(root, t0 + Duration::millis(40));
+
+  SlowQueryLog log(Duration::millis(1));
+  log.maybe_record(tracer, root.trace_id, 7, "range", Duration::millis(30));
+  log.maybe_record(tracer, root.trace_id, 8, "knn", Duration::millis(35));
+
+  QueryProfile profile;
+  profile.request_id = 8;
+  ExplainStage stage;
+  stage.name = "partition_selection";
+  stage.pruned = 6;
+  profile.stages.push_back(stage);
+  ASSERT_TRUE(log.attach_profile(profile));
+  EXPECT_FALSE(log.entries().front().profile.has_value());
+  ASSERT_TRUE(log.entries().back().profile.has_value());
+  EXPECT_EQ(log.entries().back().profile->total_pruned(), 6u);
+
+  // The profile embeds in both renderings.
+  EXPECT_NE(log.render().find("partition_selection"), std::string::npos);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::JsonValue::parse(log.to_json(), v));
+  EXPECT_EQ(v.array()
+                .back()
+                .at("profile")
+                .at("stages")
+                .array()
+                .size(),
+            1u);
+
+  // No matching request: nothing to attach.
+  QueryProfile orphan;
+  orphan.request_id = 99;
+  EXPECT_FALSE(log.attach_profile(orphan));
 }
 
 }  // namespace
