@@ -1,16 +1,31 @@
 // E10 — Index micro-benchmarks (table "index microbench").
 //
-// google-benchmark timings of the substrate data structures: grid-index
-// insert and queries at several selectivities, kd-tree build/k-NN,
-// temporal-store camera windows, trajectory lookup, and the wire codecs.
+// Two parts:
+//  * A before/after "columnar" section comparing the block-skipping
+//    DetectionStore scan against a retained reference scan over the
+//    array-of-structs layout it replaced, plus the batched appearance
+//    kernel against the scalar per-pair dot. Emits speedups and the
+//    blocks_skipped_ratio into BENCH_index_micro.json (--quick runs only
+//    this part, at reduced size, for CI).
+//  * google-benchmark timings of the substrate data structures: grid-index
+//    insert and queries at several selectivities, kd-tree build/k-NN,
+//    temporal-store camera windows, trajectory lookup, and the wire codecs.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/appearance_kernel.h"
 #include "common/rng.h"
 #include "core/protocol.h"
 #include "index/grid_index.h"
 #include "index/kdtree.h"
 #include "index/temporal_store.h"
 #include "index/trajectory_store.h"
+#include "obs/json.h"
 
 namespace stcn {
 namespace {
@@ -178,7 +193,212 @@ void BM_DetectionDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectionDecode);
 
+// ------------------------------------------------------ columnar section
+//
+// Before/after comparison against the layout the columnar store replaced:
+// an array-of-structs vector<Detection> scanned record by record. The
+// workload is selective range queries (narrow time window over
+// near-time-ordered ingest), where zone maps skip most blocks wholesale.
+
+struct ColumnarReport {
+  double ref_ms = 0;
+  double col_ms = 0;
+  double scan_speedup = 0;
+  double blocks_skipped_ratio = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
+  double kernel_scalar_ms = 0;
+  double kernel_batched_ms = 0;
+  double kernel_speedup = 0;
+  std::size_t rows = 0;
+  std::size_t queries = 0;
+  std::size_t matched = 0;
+};
+
+ColumnarReport run_columnar_section() {
+  ColumnarReport rep;
+  rep.rows = bench::quick() ? 16 * kDetectionBlockRows
+                            : 64 * kDetectionBlockRows;
+  rep.queries = bench::quick() ? 200 : 500;
+  const std::int64_t time_span = 600'000'000;  // 10 simulated minutes
+  const std::int64_t step = time_span / static_cast<std::int64_t>(rep.rows);
+
+  // Near-time-ordered ingest (the realistic arrival pattern: bounded
+  // reordering from network jitter), random positions.
+  Rng rng(7);
+  DetectionStore store;
+  std::vector<Detection> reference;  // the pre-change AoS layout, retained
+  reference.reserve(rep.rows);
+  for (std::size_t i = 0; i < rep.rows; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1 + rng.uniform_index(100));
+    d.object = ObjectId(1 + rng.uniform_index(500));
+    d.time = TimePoint(static_cast<std::int64_t>(i) * step +
+                       rng.uniform_int(0, 4 * step));
+    d.position = {rng.uniform(0, 2000), rng.uniform(0, 2000)};
+    d.appearance.values.resize(16);
+    for (auto& v : d.appearance.values) v = static_cast<float>(rng.normal());
+    d.appearance.normalize();
+    reference.push_back(d);
+    (void)store.append(d);
+  }
+
+  // Selective workload: ~1% time window, 400 m square — the "find what
+  // happened near X in that minute" query shape.
+  std::vector<Rect> regions;
+  std::vector<TimeInterval> windows;
+  Rng qrng(21);
+  for (std::size_t q = 0; q < rep.queries; ++q) {
+    regions.push_back(Rect::centered(
+        {qrng.uniform(200, 1800), qrng.uniform(200, 1800)}, 200));
+    std::int64_t begin = qrng.uniform_int(0, time_span - time_span / 100);
+    windows.push_back(
+        {TimePoint(begin), TimePoint(begin + time_span / 100)});
+  }
+
+  // Before: naive reference scan over the AoS records.
+  std::size_t ref_matched = 0;
+  bench::WallTimer ref_timer;
+  for (std::size_t q = 0; q < rep.queries; ++q) {
+    for (const Detection& d : reference) {
+      if (regions[q].contains(d.position) && windows[q].contains(d.time)) {
+        ++ref_matched;
+      }
+    }
+  }
+  rep.ref_ms = ref_timer.elapsed_ms();
+
+  // After: columnar scan with zone-map block skipping.
+  std::size_t col_matched = 0;
+  bench::WallTimer col_timer;
+  for (std::size_t q = 0; q < rep.queries; ++q) {
+    col_matched += store.scan_range(regions[q], windows[q]).size();
+  }
+  rep.col_ms = col_timer.elapsed_ms();
+  if (col_matched != ref_matched) {
+    std::fprintf(stderr, "MISMATCH: columnar %zu vs reference %zu\n",
+                 col_matched, ref_matched);
+  }
+  rep.matched = col_matched;
+  rep.scan_speedup = rep.col_ms > 0 ? rep.ref_ms / rep.col_ms : 0;
+  rep.blocks_scanned = store.blocks_scanned();
+  rep.blocks_skipped = store.blocks_skipped();
+  std::uint64_t visited = rep.blocks_scanned + rep.blocks_skipped;
+  rep.blocks_skipped_ratio =
+      visited > 0 ? static_cast<double>(rep.blocks_skipped) /
+                        static_cast<double>(visited)
+                  : 0;
+
+  // Kernel before/after: scalar per-pair similarity vs one batched pass
+  // over the candidates (the re-id scoring hot loop).
+  const std::size_t dim = 16;
+  const std::size_t rounds = bench::quick() ? 20 : 50;
+  AppearanceFeature probe = reference[0].appearance;
+  double scalar_sum = 0;
+  bench::WallTimer scalar_timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const Detection& d : reference) {
+      scalar_sum += probe.similarity(d.appearance);
+    }
+  }
+  rep.kernel_scalar_ms = scalar_timer.elapsed_ms();
+  std::vector<const float*> ptrs;
+  ptrs.reserve(reference.size());
+  for (const Detection& d : reference) {
+    ptrs.push_back(d.appearance.values.data());
+  }
+  std::vector<double> sims(reference.size());
+  double batched_sum = 0;
+  bench::WallTimer batched_timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    appearance_score_batch(probe.values.data(), dim, ptrs.data(),
+                           ptrs.size(), sims.data());
+    for (double s : sims) batched_sum += s;
+  }
+  rep.kernel_batched_ms = batched_timer.elapsed_ms();
+  if (std::abs(scalar_sum - batched_sum) >
+      1e-6 * static_cast<double>(rounds * reference.size())) {
+    std::fprintf(stderr, "KERNEL MISMATCH: %f vs %f\n", scalar_sum,
+                 batched_sum);
+  }
+  rep.kernel_speedup = rep.kernel_batched_ms > 0
+                           ? rep.kernel_scalar_ms / rep.kernel_batched_ms
+                           : 0;
+  return rep;
+}
+
+void write_columnar_report(const ColumnarReport& rep) {
+  bench::print_header("E10", "columnar store vs reference scan");
+  std::printf("rows %zu, %zu selective range queries (%zu matches)\n",
+              rep.rows, rep.queries, rep.matched);
+  std::printf("  reference AoS scan : %9.2f ms\n", rep.ref_ms);
+  std::printf("  columnar + zonemap : %9.2f ms   (%.1fx)\n", rep.col_ms,
+              rep.scan_speedup);
+  std::printf("  blocks scanned %llu / skipped %llu (ratio %.3f)\n",
+              static_cast<unsigned long long>(rep.blocks_scanned),
+              static_cast<unsigned long long>(rep.blocks_skipped),
+              rep.blocks_skipped_ratio);
+  std::printf("  kernel scalar %.2f ms vs batched %.2f ms (%.2fx)\n",
+              rep.kernel_scalar_ms, rep.kernel_batched_ms,
+              rep.kernel_speedup);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("rows");
+  w.value(static_cast<double>(rep.rows));
+  w.key("queries");
+  w.value(static_cast<double>(rep.queries));
+  w.key("matched");
+  w.value(static_cast<double>(rep.matched));
+  w.key("reference_scan_ms");
+  w.value(rep.ref_ms);
+  w.key("columnar_scan_ms");
+  w.value(rep.col_ms);
+  w.key("scan_speedup");
+  w.value(rep.scan_speedup);
+  w.key("blocks_scanned");
+  w.value(static_cast<double>(rep.blocks_scanned));
+  w.key("blocks_skipped");
+  w.value(static_cast<double>(rep.blocks_skipped));
+  w.key("blocks_skipped_ratio");
+  w.value(rep.blocks_skipped_ratio);
+  w.key("kernel_scalar_ms");
+  w.value(rep.kernel_scalar_ms);
+  w.key("kernel_batched_ms");
+  w.value(rep.kernel_batched_ms);
+  w.key("kernel_speedup");
+  w.value(rep.kernel_speedup);
+  w.end_object();
+
+  bench::BenchReport report("index_micro");
+  report.set("scan_speedup", rep.scan_speedup);
+  report.set("blocks_skipped_ratio", rep.blocks_skipped_ratio);
+  report.set("kernel_speedup", rep.kernel_speedup);
+  report.add_section("columnar", w.take());
+  report.write();
+}
+
 }  // namespace
 }  // namespace stcn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  stcn::bench::parse_args(argc, argv);
+  stcn::write_columnar_report(stcn::run_columnar_section());
+  if (stcn::bench::quick()) return 0;  // CI smoke: skip the gbench suites
+
+  // Strip --quick before handing argv to google-benchmark (it rejects
+  // arguments it does not recognize).
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) != "--quick") filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,6 +40,30 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
       --gtest_filter='ChaosHealth.*' >/dev/null
 fi
 
+echo "== columnar scan smoke (Release -O3, bench_index_micro --quick) =="
+# The zone-map speedup claim is an -O3 claim; the RelWithDebInfo tier-1
+# build is not the configuration the numbers are quoted from.
+cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" --target bench_index_micro
+COLUMNAR_DIR="$(mktemp -d)"
+(cd "$COLUMNAR_DIR" && "$OLDPWD/build-release/bench/bench_index_micro" --quick)
+python3 - "$COLUMNAR_DIR/BENCH_index_micro.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["bench"] == "index_micro", report
+col = report["columnar"]
+assert col["blocks_skipped_ratio"] > 0, col
+assert col["blocks_scanned"] > 0, col
+assert col["scan_speedup"] > 1.0, col
+assert col["matched"] > 0, col
+assert report["scalars"]["blocks_skipped_ratio"] == col["blocks_skipped_ratio"]
+print("BENCH_index_micro.json OK:",
+      f"scan_speedup={col['scan_speedup']:.1f}x,",
+      f"blocks_skipped_ratio={col['blocks_skipped_ratio']:.3f},",
+      f"kernel_speedup={col['kernel_speedup']:.2f}x")
+PY
+rm -rf "$COLUMNAR_DIR"
+
 echo "== bench report smoke (bench_knn --quick) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT

@@ -31,6 +31,11 @@ class BinaryWriter {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
+  /// Pre-sizes the buffer for `n` additional bytes. Encoders that know
+  /// their payload size up front (detection batches are the big one) call
+  /// this once instead of letting the vector double its way up.
+  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
   void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
   void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }

@@ -329,6 +329,8 @@ void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
     s.start = frag->second.sent_at;
     s.note("worker", std::to_string(frag->second.worker.value()));
     s.note("partitions", std::to_string(frag->second.partitions.size()));
+    s.note("blocks_scanned", std::to_string(response.blocks_scanned));
+    s.note("blocks_skipped", std::to_string(response.blocks_skipped));
     if (frag->second.covers != 0) s.note("hedge", "true");
     profiler_->close_stage(stage, now);
   }

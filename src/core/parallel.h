@@ -3,24 +3,30 @@
 // The simulated cluster executes workers serially on the driver thread; in
 // a real deployment each worker runs its fragment concurrently. This
 // utility provides that execution model for in-process use: a query is
-// executed against N index shards on a pool of std::threads and the
+// executed against N index shards on a persistent TaskPool and the
 // fragments merged. Results are bit-identical to sequential execution
 // (the merger dedups and canonically orders), so it doubles as a
 // thread-safety check on the read path of every index structure: queries
 // are const and shards are disjoint, so no synchronization beyond the
 // final merge is needed.
 //
+// The pool threads are created once in the constructor and reused across
+// execute() calls; the old implementation spawned and joined fresh
+// std::threads per query, which dominated latency for cheap selective
+// queries.
+//
 // Note for benchmarking: on a single-core host this demonstrates
 // correctness, not speedup; see DESIGN.md §5 on substituted hardware.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "core/thread_pool.h"
 #include "query/executor.h"
 
 namespace stcn {
@@ -30,6 +36,7 @@ class ParallelScatterGather {
   explicit ParallelScatterGather(std::size_t thread_count)
       : thread_count_(thread_count) {
     STCN_CHECK(thread_count_ > 0);
+    if (thread_count_ > 1) pool_ = std::make_unique<TaskPool>(thread_count_);
   }
 
   /// Executes `query` against every shard, fragments merged canonically.
@@ -49,7 +56,7 @@ class ParallelScatterGather {
 
     std::atomic<std::size_t> next{0};
     std::mutex merge_mutex;
-    auto work = [&] {
+    pool_->run(workers, [&](std::size_t /*slot*/) {
       // Batch fragments locally; take the merge lock once per thread.
       std::vector<QueryResult> local;
       for (;;) {
@@ -61,14 +68,7 @@ class ParallelScatterGather {
       for (QueryResult& fragment : local) {
         merger.add(fragment);
       }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) {
-      pool.emplace_back(work);
-    }
-    for (std::thread& t : pool) t.join();
+    });
     return merger.take();
   }
 
@@ -76,6 +76,7 @@ class ParallelScatterGather {
 
  private:
   std::size_t thread_count_;
+  std::unique_ptr<TaskPool> pool_;  // null when thread_count_ == 1
 };
 
 }  // namespace stcn

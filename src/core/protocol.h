@@ -40,8 +40,18 @@ struct IngestBatch {
   std::vector<Detection> detections;
 };
 
+/// Exact encoded size of a detection vector (length prefix + elements),
+/// for BinaryWriter::reserve before batch encodes.
+[[nodiscard]] inline std::size_t wire_size(
+    const std::vector<Detection>& detections) {
+  std::size_t n = 4;
+  for (const Detection& d : detections) n += wire_size(d);
+  return n;
+}
+
 inline std::vector<std::uint8_t> encode(const IngestBatch& batch) {
   BinaryWriter w;
+  w.reserve(8 + 1 + wire_size(batch.detections));
   w.write_id(batch.partition);
   w.write_bool(batch.is_replica);
   w.write_vector(batch.detections,
@@ -68,6 +78,7 @@ struct IngestForward {
 
 inline std::vector<std::uint8_t> encode(const IngestForward& fwd) {
   BinaryWriter w;
+  w.reserve(wire_size(fwd.detections));
   w.write_vector(fwd.detections,
                  [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
   return w.take();
@@ -123,6 +134,10 @@ struct QueryResponse {
   /// merging, and the real microseconds the scan loop took.
   std::uint64_t rows_scanned = 0;
   std::uint64_t scan_wall_us = 0;
+  /// Columnar zone-map stats: detection-store blocks whose rows were
+  /// actually examined vs. skipped wholesale by their zone maps.
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
 };
 
 inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
@@ -132,6 +147,8 @@ inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
   serialize(w, resp.result);
   w.write_u64(resp.rows_scanned);
   w.write_u64(resp.scan_wall_us);
+  w.write_u64(resp.blocks_scanned);
+  w.write_u64(resp.blocks_skipped);
   return w.take();
 }
 
@@ -142,6 +159,8 @@ inline QueryResponse decode_query_response(BinaryReader& r) {
   resp.result = deserialize_query_result(r);
   resp.rows_scanned = r.read_u64();
   resp.scan_wall_us = r.read_u64();
+  resp.blocks_scanned = r.read_u64();
+  resp.blocks_skipped = r.read_u64();
   return resp;
 }
 
@@ -281,6 +300,7 @@ struct SyncResponse {
 
 inline std::vector<std::uint8_t> encode(const SyncResponse& resp) {
   BinaryWriter w;
+  w.reserve(8 + wire_size(resp.detections));
   w.write_id(resp.partition);
   w.write_vector(resp.detections,
                  [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });

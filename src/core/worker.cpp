@@ -45,6 +45,14 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
   monitors_.advance_to(network.now(), pending_deltas_);
   flush_deltas(network);
 
+  // Exact columnar footprint (capacity-based columns + arena + zones),
+  // refreshed per tick for dashboards and load accounting.
+  double resident = 0;
+  for (const auto& [p, indexes] : partitions_) {
+    resident += static_cast<double>(indexes->store.memory_bytes());
+  }
+  store_memory_bytes_.set(resident);
+
   if (config_.send_heartbeats) {
     // Best-effort on purpose: a heartbeat that needs retransmission is
     // stale by the time it lands; the next tick supersedes it.
@@ -199,6 +207,10 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   QueryResponse response{request.request_id, request.sub_id, merger.take()};
   response.rows_scanned = scan_stats.rows_scanned;
   response.scan_wall_us = static_cast<std::uint64_t>(scan_only_us);
+  response.blocks_scanned = scan_stats.blocks_scanned;
+  response.blocks_skipped = scan_stats.blocks_skipped;
+  store_blocks_scanned_.add(scan_stats.blocks_scanned);
+  store_blocks_skipped_.add(scan_stats.blocks_skipped);
   TraceContext sspan;
   if (qspan.valid()) {
     sspan = tracer_->start_span("worker.serialize", qspan,

@@ -63,6 +63,9 @@ class WorkerNode final : public NetworkNode {
         ingest_dups_skipped_(metrics_.counter("ingest_dups_skipped")),
         monitors_tested_(metrics_.counter("monitors_tested")),
         queries_served_(metrics_.counter("queries_served")),
+        store_blocks_scanned_(metrics_.counter("store_blocks_scanned")),
+        store_blocks_skipped_(metrics_.counter("store_blocks_skipped")),
+        store_memory_bytes_(metrics_.gauge("store_memory_bytes")),
         scan_wall_us_(metrics_.histogram("scan_wall_us")),
         channel_(NodeId(id.value()), counters_, config.channel) {
     channel_.register_metrics(metrics_);
@@ -165,6 +168,9 @@ class WorkerNode final : public NetworkNode {
   Counter& ingest_dups_skipped_;
   Counter& monitors_tested_;
   Counter& queries_served_;
+  Counter& store_blocks_scanned_;
+  Counter& store_blocks_skipped_;
+  Gauge& store_memory_bytes_;
   /// Real (wall-clock) scan cost per query fragment — virtual time treats
   /// worker compute as instantaneous, so this is the only place the actual
   /// index work shows up.

@@ -1,14 +1,31 @@
-// Append-only arena for detections held by a worker.
+// Columnar, block-structured arena for detections held by a worker.
 //
 // Indexes (grid, trajectory, temporal) reference detections by a compact
 // 32-bit handle into this store instead of duplicating the full record —
 // a detection can appear in several indexes at once.
+//
+// Layout: hot columns (time, x, y, camera, confidence, ids) live in
+// contiguous per-column arrays; appearance embeddings live in one flattened
+// float arena addressed by cumulative offsets, so nothing on the scan path
+// chases a per-record heap pointer. Rows are chunked into fixed-size blocks
+// (kDetectionBlockRows), each carrying a zone map — time min/max, position
+// bounding rect, camera-id min/max plus a 64-bit camera fingerprint — so
+// selective scans skip whole blocks without touching a row (the
+// small-materialized-aggregates / data-skipping design from the analytics
+// literature). Skip effectiveness is observable via blocks_scanned() /
+// blocks_skipped().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
 
+#include "common/geometry.h"
 #include "common/status.h"
+#include "common/time.h"
 #include "trace/detection.h"
 
 namespace stcn {
@@ -21,35 +38,318 @@ enum class DetectionRef : std::uint32_t {};
   return static_cast<std::uint32_t>(ref);
 }
 
+/// Rows per block. 4096 rows × ~56 hot-column bytes ≈ 224 KiB per block —
+/// a few L2-sized strips; zone-map overhead is ~90 bytes per block.
+inline constexpr std::size_t kDetectionBlockRows = 4096;
+
+/// Per-block small materialized aggregates. All bounds are inclusive over
+/// the rows of the block; `camera_bits` is a 64-bit fingerprint with bit
+/// (camera % 64) set for every camera seen in the block.
+struct DetectionBlockZone {
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  std::uint64_t camera_min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t camera_max = 0;
+  std::uint64_t camera_bits = 0;
+
+  /// Could any row of this block fall inside `interval`?
+  [[nodiscard]] bool overlaps(const TimeInterval& interval) const {
+    return t_max >= interval.begin.micros_since_origin() &&
+           t_min < interval.end.micros_since_origin();
+  }
+  /// Could any row's position fall inside `region` (half-open max edges)?
+  [[nodiscard]] bool overlaps(const Rect& region) const {
+    return x_max >= region.min.x && x_min < region.max.x &&
+           y_max >= region.min.y && y_min < region.max.y;
+  }
+  /// Every row's time is inside `interval`.
+  [[nodiscard]] bool within(const TimeInterval& interval) const {
+    return t_min >= interval.begin.micros_since_origin() &&
+           t_max < interval.end.micros_since_origin();
+  }
+  /// Every row's position is inside `region`.
+  [[nodiscard]] bool within(const Rect& region) const {
+    return x_min >= region.min.x && x_max < region.max.x &&
+           y_min >= region.min.y && y_max < region.max.y;
+  }
+  [[nodiscard]] bool may_contain(CameraId camera) const {
+    std::uint64_t v = camera.value();
+    return v >= camera_min && v <= camera_max &&
+           (camera_bits & (std::uint64_t{1} << (v % 64))) != 0;
+  }
+};
+
 class DetectionStore {
  public:
+  /// Exact resident-byte accounting, split by component. All figures are
+  /// capacity-based (what the allocator actually holds, not just live rows).
+  struct MemoryBreakdown {
+    std::size_t column_bytes = 0;  // hot columns + embedding offsets
+    std::size_t arena_bytes = 0;   // flattened embedding floats
+    std::size_t zone_bytes = 0;    // per-block zone maps
+    [[nodiscard]] std::size_t total() const {
+      return column_bytes + arena_bytes + zone_bytes;
+    }
+  };
+
   /// Appends a detection; the returned handle is stable forever.
-  DetectionRef append(Detection d) {
-    STCN_CHECK(detections_.size() < UINT32_MAX);
-    detections_.push_back(std::move(d));
-    return static_cast<DetectionRef>(detections_.size() - 1);
+  DetectionRef append(const Detection& d) {
+    STCN_CHECK(ids_.size() < UINT32_MAX);
+    auto row = static_cast<std::uint32_t>(ids_.size());
+    ids_.push_back(d.id.value());
+    cameras_.push_back(d.camera.value());
+    objects_.push_back(d.object.value());
+    times_.push_back(d.time.micros_since_origin());
+    xs_.push_back(d.position.x);
+    ys_.push_back(d.position.y);
+    confidences_.push_back(d.confidence);
+    arena_.insert(arena_.end(), d.appearance.values.begin(),
+                  d.appearance.values.end());
+    emb_offsets_.push_back(arena_.size());
+    grow_zone(row);
+    return static_cast<DetectionRef>(row);
   }
 
-  [[nodiscard]] const Detection& get(DetectionRef ref) const {
-    STCN_CHECK(to_index(ref) < detections_.size());
-    return detections_[to_index(ref)];
+  /// Appends a copy of `src`'s row `ref` without materializing a Detection
+  /// (no per-record heap allocation; used by retention compaction).
+  DetectionRef append_copy(const DetectionStore& src, DetectionRef ref) {
+    STCN_CHECK(ids_.size() < UINT32_MAX);
+    std::uint32_t i = to_index(ref);
+    STCN_CHECK(i < src.ids_.size());
+    auto row = static_cast<std::uint32_t>(ids_.size());
+    ids_.push_back(src.ids_[i]);
+    cameras_.push_back(src.cameras_[i]);
+    objects_.push_back(src.objects_[i]);
+    times_.push_back(src.times_[i]);
+    xs_.push_back(src.xs_[i]);
+    ys_.push_back(src.ys_[i]);
+    confidences_.push_back(src.confidences_[i]);
+    std::span<const float> emb = src.embedding(ref);
+    arena_.insert(arena_.end(), emb.begin(), emb.end());
+    emb_offsets_.push_back(arena_.size());
+    grow_zone(row);
+    return static_cast<DetectionRef>(row);
   }
 
-  [[nodiscard]] std::size_t size() const { return detections_.size(); }
-  [[nodiscard]] bool empty() const { return detections_.empty(); }
+  // ----------------------------------------------------- column accessors
+  // The scan-path API: one contiguous-array load each, no record assembly.
 
-  /// Approximate resident bytes (records only, not index structures).
+  [[nodiscard]] TimePoint time_of(DetectionRef ref) const {
+    return TimePoint(times_[checked(ref)]);
+  }
+  [[nodiscard]] Point position_of(DetectionRef ref) const {
+    std::uint32_t i = checked(ref);
+    return {xs_[i], ys_[i]};
+  }
+  [[nodiscard]] CameraId camera_of(DetectionRef ref) const {
+    return CameraId(cameras_[checked(ref)]);
+  }
+  [[nodiscard]] ObjectId object_of(DetectionRef ref) const {
+    return ObjectId(objects_[checked(ref)]);
+  }
+  [[nodiscard]] DetectionId id_of(DetectionRef ref) const {
+    return DetectionId(ids_[checked(ref)]);
+  }
+  [[nodiscard]] double confidence_of(DetectionRef ref) const {
+    return confidences_[checked(ref)];
+  }
+  /// The row's embedding as a view into the flattened arena.
+  [[nodiscard]] std::span<const float> embedding(DetectionRef ref) const {
+    std::uint32_t i = checked(ref);
+    std::size_t begin = i == 0 ? 0 : emb_offsets_[i - 1];
+    return {arena_.data() + begin, emb_offsets_[i] - begin};
+  }
+
+  /// Materializes the full record (cold path: result assembly, wire
+  /// serialization, resync). Scan paths should use the column accessors.
+  [[nodiscard]] Detection get(DetectionRef ref) const {
+    std::uint32_t i = checked(ref);
+    Detection d;
+    d.id = DetectionId(ids_[i]);
+    d.camera = CameraId(cameras_[i]);
+    d.object = ObjectId(objects_[i]);
+    d.time = TimePoint(times_[i]);
+    d.position = {xs_[i], ys_[i]};
+    d.confidence = confidences_[i];
+    std::span<const float> emb = embedding(ref);
+    d.appearance.values.assign(emb.begin(), emb.end());
+    return d;
+  }
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+
+  // ------------------------------------------------------------- blocks
+
+  [[nodiscard]] std::size_t block_count() const { return zones_.size(); }
+  [[nodiscard]] const DetectionBlockZone& zone(std::size_t block) const {
+    return zones_[block];
+  }
+  /// Half-open row range [first, last) of `block`.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> block_rows(
+      std::size_t block) const {
+    auto first = static_cast<std::uint32_t>(block * kDetectionBlockRows);
+    auto last = static_cast<std::uint32_t>(
+        std::min(size(), (block + 1) * kDetectionBlockRows));
+    return {first, last};
+  }
+
+  /// Full-store scan with block skipping: every row with position ∈
+  /// `region` and time ∈ `interval`, in row (arrival) order. When a block's
+  /// zone map proves it fully inside both predicates, its rows are emitted
+  /// without per-row checks.
+  [[nodiscard]] std::vector<DetectionRef> scan_range(
+      const Rect& region, const TimeInterval& interval) const {
+    std::vector<DetectionRef> out;
+    if (region.is_empty() || interval.empty()) return out;
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (!z.overlaps(interval) || !z.overlaps(region)) {
+        ++blocks_skipped_;
+        continue;
+      }
+      ++blocks_scanned_;
+      auto [first, last] = block_rows(b);
+      bool all_time = z.within(interval);
+      bool all_space = z.within(region);
+      for (std::uint32_t i = first; i < last; ++i) {
+        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
+                           times_[i] < interval.end.micros_since_origin())) {
+          continue;
+        }
+        if (!all_space && !region.contains(Point{xs_[i], ys_[i]})) continue;
+        out.push_back(static_cast<DetectionRef>(i));
+      }
+    }
+    return out;
+  }
+
+  /// Full-store scan with block skipping: rows inside `circle` during
+  /// `interval`, in row order.
+  [[nodiscard]] std::vector<DetectionRef> scan_circle(
+      const Circle& circle, const TimeInterval& interval) const {
+    std::vector<DetectionRef> out;
+    if (interval.empty() || circle.radius < 0.0) return out;
+    Rect box = circle.bounding_box();
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (!z.overlaps(interval) || !z.overlaps(box)) {
+        ++blocks_skipped_;
+        continue;
+      }
+      ++blocks_scanned_;
+      auto [first, last] = block_rows(b);
+      bool all_time = z.within(interval);
+      for (std::uint32_t i = first; i < last; ++i) {
+        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
+                           times_[i] < interval.end.micros_since_origin())) {
+          continue;
+        }
+        if (!circle.contains(Point{xs_[i], ys_[i]})) continue;
+        out.push_back(static_cast<DetectionRef>(i));
+      }
+    }
+    return out;
+  }
+
+  /// Full-store scan with block skipping on the camera fingerprint: rows of
+  /// `camera` during `interval`, in row order.
+  [[nodiscard]] std::vector<DetectionRef> scan_camera(
+      CameraId camera, const TimeInterval& interval) const {
+    std::vector<DetectionRef> out;
+    if (interval.empty()) return out;
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (!z.overlaps(interval) || !z.may_contain(camera)) {
+        ++blocks_skipped_;
+        continue;
+      }
+      ++blocks_scanned_;
+      auto [first, last] = block_rows(b);
+      bool all_time = z.within(interval);
+      for (std::uint32_t i = first; i < last; ++i) {
+        if (cameras_[i] != camera.value()) continue;
+        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
+                           times_[i] < interval.end.micros_since_origin())) {
+          continue;
+        }
+        out.push_back(static_cast<DetectionRef>(i));
+      }
+    }
+    return out;
+  }
+
+  /// Cumulative zone-map accounting across every block-skipping scan.
+  [[nodiscard]] std::uint64_t blocks_scanned() const { return blocks_scanned_; }
+  [[nodiscard]] std::uint64_t blocks_skipped() const { return blocks_skipped_; }
+
+  // ------------------------------------------------------------- memory
+
+  /// Exact resident bytes: hot columns + embedding arena + zone maps,
+  /// capacity-based (counts allocator slack, unlike the old AoS estimate
+  /// that ignored per-vector heap blocks entirely).
   [[nodiscard]] std::size_t memory_bytes() const {
-    std::size_t per_feature = detections_.empty()
-                                  ? 0
-                                  : detections_.front().appearance.values.size() *
-                                        sizeof(float);
-    return detections_.size() * (sizeof(Detection) + per_feature);
+    return memory_breakdown().total();
+  }
+
+  [[nodiscard]] MemoryBreakdown memory_breakdown() const {
+    MemoryBreakdown m;
+    m.column_bytes = ids_.capacity() * sizeof(std::uint64_t) +
+                     cameras_.capacity() * sizeof(std::uint64_t) +
+                     objects_.capacity() * sizeof(std::uint64_t) +
+                     times_.capacity() * sizeof(std::int64_t) +
+                     xs_.capacity() * sizeof(double) +
+                     ys_.capacity() * sizeof(double) +
+                     confidences_.capacity() * sizeof(double) +
+                     emb_offsets_.capacity() * sizeof(std::uint64_t);
+    m.arena_bytes = arena_.capacity() * sizeof(float);
+    m.zone_bytes = zones_.capacity() * sizeof(DetectionBlockZone);
+    return m;
   }
 
  private:
-  // deque: stable growth without relocation spikes on the ingest path.
-  std::deque<Detection> detections_;
+  [[nodiscard]] std::uint32_t checked(DetectionRef ref) const {
+    std::uint32_t i = to_index(ref);
+    STCN_CHECK(i < ids_.size());
+    return i;
+  }
+
+  void grow_zone(std::uint32_t row) {
+    if (row % kDetectionBlockRows == 0) zones_.emplace_back();
+    DetectionBlockZone& z = zones_.back();
+    std::int64_t t = times_[row];
+    z.t_min = std::min(z.t_min, t);
+    z.t_max = std::max(z.t_max, t);
+    z.x_min = std::min(z.x_min, xs_[row]);
+    z.x_max = std::max(z.x_max, xs_[row]);
+    z.y_min = std::min(z.y_min, ys_[row]);
+    z.y_max = std::max(z.y_max, ys_[row]);
+    std::uint64_t cam = cameras_[row];
+    z.camera_min = std::min(z.camera_min, cam);
+    z.camera_max = std::max(z.camera_max, cam);
+    z.camera_bits |= std::uint64_t{1} << (cam % 64);
+  }
+
+  // Hot columns: one contiguous array per attribute, indexed by row.
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::uint64_t> cameras_;
+  std::vector<std::uint64_t> objects_;
+  std::vector<std::int64_t> times_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> confidences_;
+  // Embedding arena: row i's floats live at [emb_offsets_[i-1],
+  // emb_offsets_[i]) (cumulative offsets tolerate ragged dimensions; with
+  // uniform dims the arena is a dense row-major matrix).
+  std::vector<float> arena_;
+  std::vector<std::uint64_t> emb_offsets_;
+  std::vector<DetectionBlockZone> zones_;
+  mutable std::uint64_t blocks_scanned_ = 0;
+  mutable std::uint64_t blocks_skipped_ = 0;
 };
 
 }  // namespace stcn

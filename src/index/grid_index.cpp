@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace stcn {
 
@@ -31,31 +30,40 @@ std::int32_t GridIndex::clamp_cy(double y) const {
 }
 
 void GridIndex::insert(const DetectionStore& store, DetectionRef ref) {
-  const Detection& d = store.get(ref);
-  Cell& cell = cells_[cell_index(clamp_cx(d.position.x), clamp_cy(d.position.y))];
-  Entry entry{d.time, ref};
+  Point p = store.position_of(ref);
+  TimePoint time = store.time_of(ref);
+  Cell& cell = cells_[cell_index(clamp_cx(p.x), clamp_cy(p.y))];
+  cell.x_min = std::min(cell.x_min, p.x);
+  cell.x_max = std::max(cell.x_max, p.x);
+  cell.y_min = std::min(cell.y_min, p.y);
+  cell.y_max = std::max(cell.y_max, p.y);
+  Entry entry{time, ref};
   // Near-time-ordered arrival: usually appended at the back.
-  if (cell.empty() || cell.back().time <= d.time) {
-    cell.push_back(entry);
+  if (cell.entries.empty() || cell.entries.back().time <= time) {
+    cell.entries.push_back(entry);
   } else {
     auto it = std::upper_bound(
-        cell.begin(), cell.end(), d.time,
+        cell.entries.begin(), cell.entries.end(), time,
         [](TimePoint t, const Entry& e) { return t < e.time; });
-    cell.insert(it, entry);
+    cell.entries.insert(it, entry);
   }
   ++size_;
 }
 
 template <typename Pred>
 void GridIndex::scan_cell(const DetectionStore& store, const Cell& cell,
-                          const TimeInterval& interval, Pred&& keep,
+                          const TimeInterval& interval,
+                          bool skip_position_checks, Pred&& keep,
                           std::vector<DetectionRef>& out) const {
   ++cells_probed_;
   auto lo = std::lower_bound(
-      cell.begin(), cell.end(), interval.begin,
+      cell.entries.begin(), cell.entries.end(), interval.begin,
       [](const Entry& e, TimePoint t) { return e.time < t; });
-  for (auto it = lo; it != cell.end() && it->time < interval.end; ++it) {
-    if (keep(store.get(it->ref))) out.push_back(it->ref);
+  for (auto it = lo; it != cell.entries.end() && it->time < interval.end;
+       ++it) {
+    if (skip_position_checks || keep(store.position_of(it->ref))) {
+      out.push_back(it->ref);
+    }
   }
 }
 
@@ -64,6 +72,16 @@ std::vector<DetectionRef> GridIndex::query_range(
     const TimeInterval& interval) const {
   std::vector<DetectionRef> out;
   if (region.is_empty() || interval.empty()) return out;
+  // Full-area query: every cell would be probed anyway, and border cells
+  // hold clamped out-of-bounds rows that still need exact filtering — the
+  // store's block-skipping columnar scan does the same work with
+  // sequential column reads and zone-map skipping.
+  if (region.min.x <= config_.bounds.min.x &&
+      region.min.y <= config_.bounds.min.y &&
+      region.max.x >= config_.bounds.max.x &&
+      region.max.y >= config_.bounds.max.y) {
+    return store.scan_range(region, interval);
+  }
   Rect clipped = region.intersection(config_.bounds);
   if (clipped.is_empty() && !config_.bounds.overlaps(region)) return out;
 
@@ -73,11 +91,9 @@ std::vector<DetectionRef> GridIndex::query_range(
   std::int32_t cy1 = clamp_cy(region.max.y);
   for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
     for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
-      scan_cell(store, cells_[cell_index(cx, cy)], interval,
-                [&region](const Detection& d) {
-                  return region.contains(d.position);
-                },
-                out);
+      const Cell& cell = cells_[cell_index(cx, cy)];
+      scan_cell(store, cell, interval, cell.within(region),
+                [&region](Point p) { return region.contains(p); }, out);
     }
   }
   return out;
@@ -95,11 +111,9 @@ std::vector<DetectionRef> GridIndex::query_circle(
   std::int32_t cy1 = clamp_cy(box.max.y);
   for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
     for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
-      scan_cell(store, cells_[cell_index(cx, cy)], interval,
-                [&circle](const Detection& d) {
-                  return circle.contains(d.position);
-                },
-                out);
+      const Cell& cell = cells_[cell_index(cx, cy)];
+      scan_cell(store, cell, interval, cell.within(circle),
+                [&circle](Point p) { return circle.contains(p); }, out);
     }
   }
   return out;
@@ -140,10 +154,11 @@ std::vector<std::pair<DetectionRef, double>> GridIndex::query_knn(
         const Cell& cell = cells_[cell_index(cx, cy)];
         ++cells_probed_;
         auto lo = std::lower_bound(
-            cell.begin(), cell.end(), interval.begin,
+            cell.entries.begin(), cell.entries.end(), interval.begin,
             [](const Entry& e, TimePoint t) { return e.time < t; });
-        for (auto it = lo; it != cell.end() && it->time < interval.end; ++it) {
-          double dist = distance(store.get(it->ref).position, center);
+        for (auto it = lo;
+             it != cell.entries.end() && it->time < interval.end; ++it) {
+          double dist = distance(store.position_of(it->ref), center);
           if (best.size() < k) {
             best.emplace_back(it->ref, dist);
             std::push_heap(best.begin(), best.end(), cmp);

@@ -6,11 +6,18 @@
 // k-NN query expands outward ring by ring until the k-th best distance
 // proves no farther ring can contribute.
 //
+// Scans read the store's columns directly (no record materialization), and
+// each cell carries a zone map — the bounding rect of the positions actually
+// inserted — so a cell wholly inside the query region skips its per-row
+// position checks. Queries covering the entire index bounds bypass the grid
+// and run the store's block-skipping columnar scan instead.
+//
 // Out-of-order arrival (network reordering) is handled by sorted insertion;
 // the common case — near-time-ordered arrival — costs O(1) amortized.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/geometry.h"
@@ -63,7 +70,31 @@ class GridIndex {
     TimePoint time;
     DetectionRef ref;
   };
-  using Cell = std::vector<Entry>;
+  /// A cell's time-sorted entries plus the observed position bounding box
+  /// (border cells hold clamped out-of-bounds positions, so the observed
+  /// box — not the nominal cell rect — is the sound zone map).
+  struct Cell {
+    std::vector<Entry> entries;
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -std::numeric_limits<double>::infinity();
+    double y_min = std::numeric_limits<double>::infinity();
+    double y_max = -std::numeric_limits<double>::infinity();
+
+    /// Every observed position inside `region` (half-open max edges)?
+    [[nodiscard]] bool within(const Rect& region) const {
+      return !entries.empty() && x_min >= region.min.x &&
+             x_max < region.max.x && y_min >= region.min.y &&
+             y_max < region.max.y;
+    }
+    /// Every observed position inside `circle`? (The observed box's corners
+    /// inside a convex shape imply the whole box is.)
+    [[nodiscard]] bool within(const Circle& circle) const {
+      return !entries.empty() && circle.contains({x_min, y_min}) &&
+             circle.contains({x_min, y_max}) &&
+             circle.contains({x_max, y_min}) &&
+             circle.contains({x_max, y_max});
+    }
+  };
 
   [[nodiscard]] std::size_t cell_index(std::int32_t cx, std::int32_t cy) const {
     return static_cast<std::size_t>(cy) * cols_ + static_cast<std::size_t>(cx);
@@ -71,11 +102,12 @@ class GridIndex {
   [[nodiscard]] std::int32_t clamp_cx(double x) const;
   [[nodiscard]] std::int32_t clamp_cy(double y) const;
 
-  /// Appends matching entries from one cell, filtering on region+interval.
+  /// Appends matching entries from one cell, filtering on interval and —
+  /// unless `skip_position_checks` — the per-row `keep` predicate.
   template <typename Pred>
   void scan_cell(const DetectionStore& store, const Cell& cell,
-                 const TimeInterval& interval, Pred&& keep,
-                 std::vector<DetectionRef>& out) const;
+                 const TimeInterval& interval, bool skip_position_checks,
+                 Pred&& keep, std::vector<DetectionRef>& out) const;
 
   GridIndexConfig config_;
   std::int32_t cols_ = 0;

@@ -18,9 +18,9 @@ namespace stcn {
 class TemporalStore {
  public:
   void insert(const DetectionStore& store, DetectionRef ref) {
-    const Detection& d = store.get(ref);
-    insert_sorted(log_, d.time, ref);
-    insert_sorted(by_camera_[d.camera], d.time, ref);
+    TimePoint time = store.time_of(ref);
+    insert_sorted(log_, time, ref);
+    insert_sorted(by_camera_[store.camera_of(ref)], time, ref);
   }
 
   /// All detections during `interval`, time-ordered.

@@ -18,14 +18,14 @@ namespace stcn {
 class TrajectoryStore {
  public:
   void insert(const DetectionStore& store, DetectionRef ref) {
-    const Detection& d = store.get(ref);
-    auto& track = tracks_[d.object];
-    Entry entry{d.time, ref};
-    if (track.empty() || track.back().time <= d.time) {
+    TimePoint time = store.time_of(ref);
+    auto& track = tracks_[store.object_of(ref)];
+    Entry entry{time, ref};
+    if (track.empty() || track.back().time <= time) {
       track.push_back(entry);
     } else {
       auto it = std::upper_bound(
-          track.begin(), track.end(), d.time,
+          track.begin(), track.end(), time,
           [](TimePoint t, const Entry& e) { return t < e.time; });
       track.insert(it, entry);
     }

@@ -37,22 +37,36 @@ struct WorkerIndexes {
   /// Retention compaction: rebuilds the store and every index keeping only
   /// detections with time >= `horizon`. Returns the number evicted.
   /// DetectionRefs issued before a compaction are invalidated.
+  ///
+  /// Block-wise: a block whose zone map proves every row older than the
+  /// horizon is evicted wholesale; a block proven entirely fresh skips the
+  /// per-row time test. Surviving rows are copied column-to-column
+  /// (append_copy), never materialized into Detection records.
   std::size_t compact(TimePoint horizon) {
     DetectionStore new_store;
     GridIndex new_grid(grid_config);
     TrajectoryStore new_trajectories;
     TemporalStore new_temporal;
     std::size_t evicted = 0;
-    for (std::size_t i = 0; i < store.size(); ++i) {
-      const Detection& d = store.get(static_cast<DetectionRef>(i));
-      if (d.time < horizon) {
-        ++evicted;
+    for (std::size_t b = 0; b < store.block_count(); ++b) {
+      const DetectionBlockZone& z = store.zone(b);
+      auto [first, last] = store.block_rows(b);
+      if (TimePoint(z.t_max) < horizon) {  // whole block expired
+        evicted += last - first;
         continue;
       }
-      DetectionRef ref = new_store.append(d);
-      new_grid.insert(new_store, ref);
-      new_trajectories.insert(new_store, ref);
-      new_temporal.insert(new_store, ref);
+      bool all_fresh = TimePoint(z.t_min) >= horizon;
+      for (std::uint32_t i = first; i < last; ++i) {
+        auto old_ref = static_cast<DetectionRef>(i);
+        if (!all_fresh && store.time_of(old_ref) < horizon) {
+          ++evicted;
+          continue;
+        }
+        DetectionRef ref = new_store.append_copy(store, old_ref);
+        new_grid.insert(new_store, ref);
+        new_trajectories.insert(new_store, ref);
+        new_temporal.insert(new_store, ref);
+      }
     }
     store = std::move(new_store);
     grid = std::move(new_grid);
@@ -65,9 +79,12 @@ struct WorkerIndexes {
 };
 
 /// EXPLAIN/ANALYZE accounting for one local execution: how many rows the
-/// indexes yielded (for counts/heatmaps this exceeds the result rows).
+/// indexes yielded (for counts/heatmaps this exceeds the result rows) and
+/// how the store's zone maps fared when a columnar block scan ran.
 struct ScanStats {
   std::uint64_t rows_scanned = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
 };
 
 class LocalExecutor {
@@ -80,6 +97,8 @@ class LocalExecutor {
     QueryResult result;
     result.query = query.id;
     std::uint64_t scanned = 0;
+    std::uint64_t blocks_scanned0 = indexes.store.blocks_scanned();
+    std::uint64_t blocks_skipped0 = indexes.store.blocks_skipped();
     switch (query.kind) {
       case QueryKind::kRange: {
         for (DetectionRef ref :
@@ -130,7 +149,7 @@ class LocalExecutor {
         scanned += refs.size();
         if (query.group_by == GroupBy::kCamera) {
           for (DetectionRef ref : refs) {
-            ++result.counts[indexes.store.get(ref).camera.value()];
+            ++result.counts[indexes.store.camera_of(ref).value()];
           }
         } else {
           result.counts[0] = refs.size();
@@ -143,13 +162,18 @@ class LocalExecutor {
              indexes.grid.query_range(indexes.store, query.region,
                                       query.interval)) {
           ++scanned;
-          ++result.counts[query.heatmap_cell(
-              indexes.store.get(ref).position)];
+          ++result.counts[query.heatmap_cell(indexes.store.position_of(ref))];
         }
         break;
       }
     }
-    if (stats != nullptr) stats->rows_scanned += scanned;
+    if (stats != nullptr) {
+      stats->rows_scanned += scanned;
+      stats->blocks_scanned +=
+          indexes.store.blocks_scanned() - blocks_scanned0;
+      stats->blocks_skipped +=
+          indexes.store.blocks_skipped() - blocks_skipped0;
+    }
     return result;
   }
 };

@@ -33,6 +33,9 @@ struct QueryResult {
 };
 
 inline void serialize(BinaryWriter& w, const QueryResult& r) {
+  std::size_t payload = 8 + 4 + 4 + 16 * r.counts.size();
+  for (const Detection& d : r.detections) payload += wire_size(d);
+  w.reserve(payload);
   w.write_id(r.query);
   w.write_vector(r.detections, [](BinaryWriter& bw, const Detection& d) {
     serialize(bw, d);

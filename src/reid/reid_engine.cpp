@@ -4,20 +4,51 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/appearance_kernel.h"
+
 namespace stcn {
 
 void ReidEngine::score_candidates(const Detection& probe, TimePoint probe_time,
                                   const std::vector<Detection>& candidates,
                                   std::uint32_t hops, double hop_log_prior,
                                   ReidOutcome& outcome) const {
-  for (const Detection& d : candidates) {
-    ++outcome.candidates_examined;
-    if (d.id == probe.id) continue;
-    if (d.time <= probe_time) continue;
-    double sim = probe.appearance.similarity(d.appearance);
-    if (sim < params_.min_similarity) continue;
-    double score = params_.appearance_weight * sim + hop_log_prior;
-    outcome.matches.push_back({d, score, hops});
+  outcome.candidates_examined += candidates.size();
+  // Batched scoring: gather the embedding pointers of every candidate that
+  // survives the cheap gates and shares the probe's dimension, dot them
+  // through the SIMD-friendly kernel in one pass, then apply the
+  // similarity gate. Dimension-mismatched candidates (rare: mixed feature
+  // extractors) fall back to the scalar min-prefix dot.
+  const std::size_t dim = probe.appearance.values.size();
+  std::vector<const float*> batch;
+  std::vector<std::uint32_t> batch_rows;
+  batch.reserve(candidates.size());
+  batch_rows.reserve(candidates.size());
+  auto admit = [&](const Detection& d) {
+    return d.id != probe.id && d.time > probe_time;
+  };
+  for (std::uint32_t i = 0; i < candidates.size(); ++i) {
+    const Detection& d = candidates[i];
+    if (!admit(d)) continue;
+    if (dim > 0 && d.appearance.values.size() == dim) {
+      batch.push_back(d.appearance.values.data());
+      batch_rows.push_back(i);
+    } else {
+      double sim = probe.appearance.similarity(d.appearance);
+      if (sim < params_.min_similarity) continue;
+      outcome.matches.push_back(
+          {d, params_.appearance_weight * sim + hop_log_prior, hops});
+    }
+  }
+  std::vector<double> sims(batch.size());
+  appearance_score_batch(probe.appearance.values.data(), dim, batch.data(),
+                         batch.size(), sims.data());
+  outcome.batched_scores += batch.size();
+  if (batched_scores_ != nullptr) batched_scores_->add(batch.size());
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    if (sims[b] < params_.min_similarity) continue;
+    outcome.matches.push_back(
+        {candidates[batch_rows[b]],
+         params_.appearance_weight * sims[b] + hop_log_prior, hops});
   }
 }
 

@@ -19,6 +19,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "obs/explain.h"
+#include "obs/metrics.h"
 #include "reid/transition_graph.h"
 #include "trace/detection.h"
 
@@ -55,6 +56,9 @@ struct ReidOutcome {
   std::vector<ReidMatch> matches;        // best first
   std::uint64_t candidates_examined = 0;  // pruning metric (E5)
   std::uint64_t cameras_queried = 0;
+  /// Similarities computed through the batched appearance kernel (the
+  /// remainder fell back to scalar dots on dimension mismatch).
+  std::uint64_t batched_scores = 0;
 };
 
 class ReidEngine {
@@ -78,6 +82,12 @@ class ReidEngine {
 
   [[nodiscard]] const ReidParams& params() const { return params_; }
 
+  /// Binds the engine's `reid_batched_scores` counter into `registry`
+  /// (cumulative batched-kernel similarity count across all searches).
+  void register_metrics(MetricsRegistry& registry) {
+    batched_scores_ = &registry.counter("reid_batched_scores");
+  }
+
  private:
   void score_candidates(const Detection& probe, TimePoint probe_time,
                         const std::vector<Detection>& candidates,
@@ -86,6 +96,7 @@ class ReidEngine {
 
   const TransitionGraph& graph_;
   ReidParams params_;
+  Counter* batched_scores_ = nullptr;  // optional registry hookup
 };
 
 }  // namespace stcn

@@ -5,15 +5,16 @@
 #include <map>
 #include <set>
 
+#include "common/appearance_kernel.h"
+
 namespace stcn {
 
-bool OnlineTracker::score(const Track& t, const Detection& d,
+bool OnlineTracker::score(const Track& t, const Detection& d, double sim,
                           double& out_score) const {
   const Detection& head = t.head();
   Duration gap = d.time - head.time;
   if (gap < Duration::zero()) return false;
 
-  double sim = t.centroid.similarity(d.appearance);
   if (sim < config_.min_similarity) return false;
 
   double transition_term = 0.0;
@@ -56,12 +57,35 @@ void OnlineTracker::fold_into_centroid(Track& t, const AppearanceFeature& f) {
 }
 
 TrackId OnlineTracker::observe(const Detection& d) {
+  // Centroid matching runs through the batched appearance kernel: gather
+  // every dimension-matched active centroid, score in one pass, then gate.
+  const std::size_t dim = d.appearance.values.size();
+  std::vector<double> sims(active_.size());
+  std::vector<const float*> batch;
+  batch.reserve(active_.size());
+  bool uniform = dim > 0;
+  for (std::size_t idx : active_) {
+    if (tracks_[idx].centroid.values.size() != dim) {
+      uniform = false;
+      break;
+    }
+    batch.push_back(tracks_[idx].centroid.values.data());
+  }
+  if (uniform) {
+    appearance_score_batch(d.appearance.values.data(), dim, batch.data(),
+                           batch.size(), sims.data());
+  } else {
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      sims[a] = tracks_[active_[a]].centroid.similarity(d.appearance);
+    }
+  }
   std::size_t best_index = 0;
   double best_score = 0.0;
   bool found = false;
-  for (std::size_t idx : active_) {
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    std::size_t idx = active_[a];
     double s = 0.0;
-    if (score(tracks_[idx], d, s) && (!found || s > best_score)) {
+    if (score(tracks_[idx], d, sims[a], s) && (!found || s > best_score)) {
       best_score = s;
       best_index = idx;
       found = true;

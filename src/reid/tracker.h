@@ -74,8 +74,10 @@ class OnlineTracker {
   }
 
  private:
-  /// Association score of d against track t; returns false if gated out.
-  [[nodiscard]] bool score(const Track& t, const Detection& d,
+  /// Association score of d against track t given the precomputed
+  /// centroid–appearance cosine `sim` (batched over all active tracks by
+  /// observe()); returns false if gated out.
+  [[nodiscard]] bool score(const Track& t, const Detection& d, double sim,
                            double& out_score) const;
   void fold_into_centroid(Track& t, const AppearanceFeature& f);
 

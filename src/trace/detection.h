@@ -57,6 +57,13 @@ struct Detection {
   friend bool operator==(const Detection&, const Detection&) = default;
 };
 
+/// Exact encoded size of one detection: 3 ids + time (8 bytes each), two
+/// position doubles, a u32 embedding length, the embedding as doubles, and
+/// the confidence double. Batch encoders sum this to reserve() up front.
+[[nodiscard]] inline std::size_t wire_size(const Detection& d) {
+  return 8 * 3 + 8 + 8 * 2 + 4 + 8 * d.appearance.values.size() + 8;
+}
+
 inline void serialize(BinaryWriter& w, const Detection& d) {
   w.write_id(d.id);
   w.write_id(d.camera);

@@ -1,0 +1,259 @@
+// Differential tests for the columnar DetectionStore: zone-map block
+// skipping must be invisible to results. A naive reference scan over a
+// plain vector<Detection> (the layout the columnar store replaced) defines
+// the expected answer for every query shape; the store and the grid index
+// on top of it must agree exactly, including on adversarial inputs —
+// out-of-order arrival times (zone maps cannot assume sorted blocks) and
+// positions clamped to the region borders (half-open edge semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/appearance_kernel.h"
+#include "common/rng.h"
+#include "index/detection_store.h"
+#include "index/grid_index.h"
+
+namespace stcn {
+namespace {
+
+constexpr double kWorld = 1000.0;
+
+Detection random_detection(Rng& rng, std::uint64_t id) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(1 + rng.uniform_index(40));
+  d.object = ObjectId(1 + rng.uniform_index(200));
+  // Out-of-order arrival: time is independent of append order.
+  d.time = TimePoint(rng.uniform_int(0, 1'000'000));
+  d.position = {rng.uniform(0, kWorld), rng.uniform(0, kWorld)};
+  // A slice of positions clamped exactly onto the borders, where the
+  // half-open contains() semantics bite.
+  if (rng.uniform_index(10) == 0) {
+    d.position.x = rng.uniform_index(2) == 0 ? 0.0 : kWorld;
+  }
+  if (rng.uniform_index(10) == 0) {
+    d.position.y = rng.uniform_index(2) == 0 ? 0.0 : kWorld;
+  }
+  d.confidence = rng.uniform(0, 1);
+  return d;
+}
+
+std::set<std::uint64_t> ids_of(const DetectionStore& store,
+                               const std::vector<DetectionRef>& refs) {
+  std::set<std::uint64_t> out;
+  for (DetectionRef r : refs) out.insert(store.id_of(r).value());
+  return out;
+}
+
+class ColumnarDifferential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    for (std::uint64_t i = 1; i <= 10'000; ++i) {
+      Detection d = random_detection(rng, i);
+      reference_.push_back(d);
+      index_.insert(store_, store_.append(d));
+    }
+  }
+
+  DetectionStore store_;
+  GridIndex index_{{Rect{{0, 0}, {kWorld, kWorld}}, 25.0}};
+  std::vector<Detection> reference_;  // naive row-store mirror
+};
+
+TEST_P(ColumnarDifferential, RangeMatchesReferenceScan) {
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rect region =
+        Rect::spanning({rng.uniform(0, kWorld), rng.uniform(0, kWorld)},
+                       {rng.uniform(0, kWorld), rng.uniform(0, kWorld)});
+    if (trial % 5 == 0) region = Rect{{0, 0}, {kWorld, kWorld}};  // full
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (region.contains(d.position) && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_range(region, interval)), expected)
+        << "store scan, trial " << trial;
+    EXPECT_EQ(ids_of(store_, index_.query_range(store_, region, interval)),
+              expected)
+        << "grid query, trial " << trial;
+  }
+}
+
+TEST_P(ColumnarDifferential, CircleMatchesReferenceScan) {
+  Rng rng(GetParam() + 31);
+  for (int trial = 0; trial < 30; ++trial) {
+    Circle circle{{rng.uniform(0, kWorld), rng.uniform(0, kWorld)},
+                  rng.uniform(5, 200)};
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (circle.contains(d.position) && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_circle(circle, interval)), expected)
+        << "store scan, trial " << trial;
+    EXPECT_EQ(ids_of(store_, index_.query_circle(store_, circle, interval)),
+              expected)
+        << "grid query, trial " << trial;
+  }
+}
+
+TEST_P(ColumnarDifferential, CameraMatchesReferenceScan) {
+  Rng rng(GetParam() + 47);
+  for (int trial = 0; trial < 30; ++trial) {
+    CameraId camera(1 + rng.uniform_index(40));
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (d.camera == camera && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_camera(camera, interval)), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(ColumnarDifferential, KnnMatchesReferenceScan) {
+  Rng rng(GetParam() + 63);
+  for (int trial = 0; trial < 20; ++trial) {
+    Point center{rng.uniform(-50, kWorld + 50), rng.uniform(-50, kWorld + 50)};
+    std::size_t k = 1 + rng.uniform_index(25);
+    auto result = index_.query_knn(store_, center, k, TimeInterval::all());
+    ASSERT_EQ(result.size(), std::min(k, reference_.size()));
+    std::vector<double> brute;
+    brute.reserve(reference_.size());
+    for (const Detection& d : reference_) {
+      brute.push_back(distance(d.position, center));
+    }
+    std::sort(brute.begin(), brute.end());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_NEAR(result[i].second, brute[i], 1e-9)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarDifferential,
+                         ::testing::Values(7, 99, 20260806));
+
+// Zone maps must actually fire: near-time-ordered ingest (the realistic
+// arrival pattern) plus a selective time window leaves most blocks provably
+// outside the window.
+TEST(ColumnarStore, SelectiveScanSkipsBlocks) {
+  DetectionStore store;
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 8 * kDetectionBlockRows; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1 + i % 16);
+    d.object = ObjectId(1);
+    d.time = TimePoint(static_cast<std::int64_t>(i * 100) +
+                       rng.uniform_int(0, 50));
+    d.position = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    (void)store.append(d);
+  }
+  ASSERT_EQ(store.block_count(), 8u);
+  // A window covering ~1/8 of the time axis.
+  TimeInterval narrow{TimePoint(0), TimePoint(100 * kDetectionBlockRows)};
+  auto refs = store.scan_range(Rect{{0, 0}, {100, 100}}, narrow);
+  EXPECT_GT(refs.size(), 0u);
+  EXPECT_GT(store.blocks_skipped(), 0u);
+  EXPECT_LT(store.blocks_scanned(), store.block_count());
+}
+
+TEST(ColumnarStore, MemoryAccountingIsExact) {
+  DetectionStore store;
+  Rng rng(11);
+  constexpr std::size_t kRows = 5000;
+  constexpr std::size_t kDim = 32;
+  for (std::uint64_t i = 1; i <= kRows; ++i) {
+    Detection d = random_detection(rng, i);
+    d.appearance.values.assign(kDim, 0.5f);
+    (void)store.append(d);
+  }
+  auto m = store.memory_breakdown();
+  EXPECT_EQ(store.memory_bytes(), m.total());
+  // Lower bounds from live data alone (capacity ≥ size): 8 u64/i64/double
+  // columns, the float arena, and one zone per block.
+  EXPECT_GE(m.column_bytes, kRows * 8 * sizeof(std::uint64_t));
+  EXPECT_GE(m.arena_bytes, kRows * kDim * sizeof(float));
+  EXPECT_GE(m.zone_bytes, store.block_count() * sizeof(DetectionBlockZone));
+  // And the total is not wildly above the live data (allocator slack from
+  // doubling is at most ~2x).
+  std::size_t live = kRows * 8 * sizeof(std::uint64_t) +
+                     kRows * kDim * sizeof(float) +
+                     store.block_count() * sizeof(DetectionBlockZone);
+  EXPECT_LE(m.total(), 2 * live + 4096);
+}
+
+TEST(ColumnarStore, AppendCopyPreservesRows) {
+  DetectionStore src;
+  Rng rng(13);
+  std::vector<Detection> originals;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    Detection d = random_detection(rng, i);
+    d.appearance.values = {0.1f * static_cast<float>(i), 0.5f, -0.25f};
+    originals.push_back(d);
+    (void)src.append(d);
+  }
+  DetectionStore dst;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    DetectionRef ref = dst.append_copy(src, static_cast<DetectionRef>(i));
+    EXPECT_EQ(dst.get(ref), originals[i]);
+  }
+}
+
+// Batched kernel vs the scalar AppearanceFeature::similarity: identical to
+// well under the 1e-6 differential budget (both accumulate in double).
+TEST(AppearanceKernel, BatchedMatchesScalar) {
+  Rng rng(17);
+  for (std::size_t dim : {1u, 3u, 4u, 7u, 31u, 128u, 257u}) {
+    AppearanceFeature query;
+    query.values.resize(dim);
+    for (float& v : query.values) v = static_cast<float>(rng.normal(0, 1));
+    query.normalize();
+    constexpr std::size_t kN = 64;
+    std::vector<AppearanceFeature> candidates(kN);
+    std::vector<const float*> ptrs(kN);
+    std::vector<float> contiguous;
+    for (std::size_t c = 0; c < kN; ++c) {
+      candidates[c].values.resize(dim);
+      for (float& v : candidates[c].values) {
+        v = static_cast<float>(rng.normal(0, 1));
+      }
+      candidates[c].normalize();
+      ptrs[c] = candidates[c].values.data();
+      contiguous.insert(contiguous.end(), candidates[c].values.begin(),
+                        candidates[c].values.end());
+    }
+    std::vector<double> batched(kN);
+    appearance_score_batch(query.values.data(), dim, ptrs.data(), kN,
+                           batched.data());
+    std::vector<double> dense(kN);
+    appearance_score_batch_contiguous(query.values.data(), dim,
+                                      contiguous.data(), kN, dense.data());
+    for (std::size_t c = 0; c < kN; ++c) {
+      double scalar = query.similarity(candidates[c]);
+      EXPECT_NEAR(batched[c], scalar, 1e-6) << "dim " << dim << " cand " << c;
+      EXPECT_NEAR(dense[c], scalar, 1e-6) << "dim " << dim << " cand " << c;
+      EXPECT_NEAR(appearance_dot(query.values.data(), ptrs[c], dim), scalar,
+                  1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcn

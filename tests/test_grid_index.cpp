@@ -158,9 +158,20 @@ TEST_F(GridIndexFixture, EmptyRegionOrIntervalReturnsNothing) {
 TEST_F(GridIndexFixture, ProbeCounterAdvances) {
   add(1, {10, 10}, 100);
   std::uint64_t before = index_.cells_probed();
-  (void)index_.query_range(store_, {{0, 0}, {100, 100}},
-                           TimeInterval::all());
+  // Partial region: a region covering the full grid bounds bypasses the
+  // cells entirely (it delegates to the store's columnar scan).
+  (void)index_.query_range(store_, {{0, 0}, {50, 50}}, TimeInterval::all());
   EXPECT_GT(index_.cells_probed(), before);
+}
+
+TEST_F(GridIndexFixture, FullBoundsRangeDelegatesToStoreScan) {
+  add(1, {10, 10}, 100);
+  add(2, {90, 90}, 200);
+  std::uint64_t probed_before = index_.cells_probed();
+  auto refs = index_.query_range(store_, {{0, 0}, {100, 100}},
+                                 TimeInterval::all());
+  EXPECT_EQ(refs.size(), 2u);
+  EXPECT_EQ(index_.cells_probed(), probed_before);  // no cells touched
 }
 
 // Property check: grid results must equal brute force over random data,

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "partition/strategies.h"
 #include "trace/generator.h"
@@ -110,6 +113,39 @@ TEST(ParallelScatterGather, MoreThreadsThanShards) {
   Query q = Query::range(QueryId(1), s.world, TimeInterval::all());
   QueryResult r = runner.execute(s.shard_ptrs, q);
   EXPECT_EQ(r.detections.size(), s.trace.detections.size());
+}
+
+TEST(TaskPool, ReusesThreadsAcrossRounds) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::mutex m;
+  std::set<std::thread::id> first_round;
+  pool.run(4, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(m);
+    first_round.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(first_round.size(), 4u);
+  // Every later round must run on the SAME threads — no per-call spawning.
+  for (int round = 0; round < 50; ++round) {
+    pool.run(4, [&](std::size_t) {
+      std::lock_guard<std::mutex> lock(m);
+      EXPECT_TRUE(first_round.count(std::this_thread::get_id()) == 1);
+    });
+  }
+}
+
+TEST(TaskPool, PartialFanOutAndSlotIds) {
+  TaskPool pool(8);
+  std::atomic<std::uint64_t> slot_mask{0};
+  std::atomic<int> calls{0};
+  pool.run(3, [&](std::size_t slot) {
+    slot_mask.fetch_or(std::uint64_t{1} << slot);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(slot_mask.load(), 0b111u);
+  pool.run(0, [&](std::size_t) { calls.fetch_add(100); });
+  EXPECT_EQ(calls.load(), 3);  // fan_out 0 is a no-op
 }
 
 TEST(ParallelScatterGather, RepeatedRunsDeterministic) {

@@ -63,6 +63,10 @@ TEST(Protocol, QueryResponseRoundTrip) {
   response.result.query = QueryId(7);
   response.result.detections = {make_detection(5)};
   response.result.counts[3] = 14;
+  response.rows_scanned = 100;
+  response.scan_wall_us = 250;
+  response.blocks_scanned = 4;
+  response.blocks_skipped = 12;
   auto bytes = encode(response);
   BinaryReader r(bytes);
   QueryResponse back = decode_query_response(r);
@@ -71,6 +75,10 @@ TEST(Protocol, QueryResponseRoundTrip) {
   EXPECT_EQ(back.sub_id, 23u);
   EXPECT_EQ(back.result.counts.at(3), 14u);
   ASSERT_EQ(back.result.detections.size(), 1u);
+  EXPECT_EQ(back.rows_scanned, 100u);
+  EXPECT_EQ(back.scan_wall_us, 250u);
+  EXPECT_EQ(back.blocks_scanned, 4u);
+  EXPECT_EQ(back.blocks_skipped, 12u);
 }
 
 TEST(Protocol, MonitorInstallRoundTrip) {

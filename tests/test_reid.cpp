@@ -85,6 +85,26 @@ TEST(ReidEngine, FindsTrueReappearanceAmongTopMatches) {
                          << probes.size();
 }
 
+TEST(ReidEngine, BatchedScoringFeedsRegistryCounter) {
+  ReidWorld world(reid_config());
+  ReidEngine engine(world.graph, default_params());
+  MetricsRegistry registry;
+  engine.register_metrics(registry);
+  LocalCandidateSource source(world.index, world.trace.cameras);
+
+  auto probes = probes_with_truth(world.trace, Duration::minutes(2), 10);
+  ASSERT_GT(probes.size(), 3u);
+  std::uint64_t batched = 0;
+  for (const auto& [probe, truth_next] : probes) {
+    TimeInterval horizon{probe->time, probe->time + Duration::minutes(3)};
+    ReidOutcome outcome = engine.find_matches(*probe, horizon, source);
+    batched += outcome.batched_scores;
+    EXPECT_LE(outcome.batched_scores, outcome.candidates_examined);
+  }
+  EXPECT_GT(batched, 0u);
+  EXPECT_EQ(registry.counter("reid_batched_scores").value(), batched);
+}
+
 TEST(ReidEngine, ConeExaminesFarFewerCandidatesThanFullScan) {
   ReidWorld world(reid_config());
   ReidEngine engine(world.graph, default_params());
