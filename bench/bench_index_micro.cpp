@@ -1,24 +1,32 @@
 // E10 — Index micro-benchmarks (table "index microbench").
 //
-// Two parts:
+// Three parts:
 //  * A before/after "columnar" section comparing the block-skipping
 //    DetectionStore scan against a retained reference scan over the
 //    array-of-structs layout it replaced, plus the batched appearance
 //    kernel against the scalar per-pair dot. Emits speedups and the
 //    blocks_skipped_ratio into BENCH_index_micro.json (--quick runs only
-//    this part, at reduced size, for CI).
+//    the report sections, at reduced size, for CI).
+//  * A "vectorized" section comparing the morsel-driven vectorized scan
+//    and dense heatmap aggregation against the per-row scalar paths they
+//    replaced (vectorized_scan_speedup / heatmap_speedup).
 //  * google-benchmark timings of the substrate data structures: grid-index
 //    insert and queries at several selectivities, kd-tree build/k-NN,
 //    temporal-store camera windows, trajectory lookup, and the wire codecs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/appearance_kernel.h"
+#include "common/filter_kernel.h"
 #include "common/rng.h"
 #include "core/protocol.h"
 #include "index/grid_index.h"
@@ -328,7 +336,185 @@ ColumnarReport run_columnar_section() {
   return rep;
 }
 
-void write_columnar_report(const ColumnarReport& rep) {
+// ---------------------------------------------------- vectorized section
+//
+// Before/after comparison inside the columnar store itself: the per-row
+// scalar block scan this change replaced (retained as scan_range_scalar,
+// the differential-test reference) against the morsel-driven vectorized
+// scan, and the old per-row std::map heatmap aggregation (the executor's
+// previous behaviour: materialize refs, then tree-insert per row) against
+// the selection-vector dense-grid aggregation the executor now uses.
+//
+// The scan workload is zone-selective (time windows prune ~3/4 of blocks
+// over near-time-ordered ingest) with an unpredictable spatial residue,
+// so surviving morsels split between the fully-inside fast path and the
+// branch-free filter kernels.
+
+struct VectorizedReport {
+  std::size_t rows = 0;
+  std::size_t scan_queries = 0;
+  std::size_t heatmap_queries = 0;
+  std::size_t matched = 0;
+  double scalar_scan_ms = 0;
+  double vectorized_scan_ms = 0;
+  double vectorized_scan_speedup = 0;
+  double heatmap_map_ms = 0;
+  double heatmap_dense_ms = 0;
+  double heatmap_speedup = 0;
+  std::uint64_t rows_evaluated = 0;
+  std::uint64_t rows_selected = 0;
+  std::uint64_t zone_fast_path = 0;
+  std::uint64_t morsels = 0;
+  std::uint64_t heatmap_rows = 0;
+};
+
+VectorizedReport run_vectorized_section() {
+  VectorizedReport rep;
+  const std::size_t blocks = bench::quick() ? 16 : 64;
+  rep.rows = blocks * kDetectionBlockRows;
+  rep.scan_queries = bench::quick() ? 150 : 400;
+  rep.heatmap_queries = bench::quick() ? 20 : 50;
+  const std::int64_t time_span = 600'000'000;
+  const std::int64_t step = time_span / static_cast<std::int64_t>(rep.rows);
+  const Rect world{{0, 0}, {2000, 2000}};
+
+  // Same near-time-ordered arrival pattern as the columnar section; the
+  // scan path never touches appearance features, so none are generated.
+  Rng rng(7);
+  DetectionStore store;
+  for (std::size_t i = 0; i < rep.rows; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1 + rng.uniform_index(100));
+    d.object = ObjectId(1 + rng.uniform_index(500));
+    d.time = TimePoint(static_cast<std::int64_t>(i) * step +
+                       rng.uniform_int(0, 4 * step));
+    d.position = {rng.uniform(0, 2000), rng.uniform(0, 2000)};
+    (void)store.append(d);
+  }
+
+  // Zone-selective scan workload: time windows covering 1/4 of the span,
+  // so zone maps skip ~3/4 of blocks either way. Two in three queries
+  // carry a random sub-rect whose per-row pass rate (~10–80%) the scalar
+  // scan's per-row branch cannot predict — the selectivity regime the
+  // branch-free kernels serve — and every third query is spatially
+  // unbounded, exercising the fully-inside fast path.
+  const std::int64_t width = time_span / 4;
+  std::vector<Rect> regions;
+  std::vector<TimeInterval> windows;
+  Rng qrng(33);
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    std::int64_t begin = qrng.uniform_int(0, time_span - width);
+    windows.push_back({TimePoint(begin), TimePoint(begin + width)});
+    if (q % 3 == 0) {
+      regions.push_back(world);
+    } else {
+      regions.push_back(Rect::centered(
+          {qrng.uniform(400, 1600), qrng.uniform(400, 1600)},
+          qrng.uniform(300, 900)));
+    }
+  }
+  const std::size_t warmup = std::min<std::size_t>(8, rep.scan_queries);
+
+  // Before: the per-row scalar block scan (pre-change code path).
+  std::size_t scalar_matched = 0;
+  for (std::size_t q = 0; q < warmup; ++q) {
+    (void)store.scan_range_scalar(regions[q], windows[q]).size();
+  }
+  bench::WallTimer scalar_timer;
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    scalar_matched += store.scan_range_scalar(regions[q], windows[q]).size();
+  }
+  rep.scalar_scan_ms = scalar_timer.elapsed_ms();
+
+  // After: the morsel-driven vectorized scan.
+  std::size_t vec_matched = 0;
+  MorselStats ms;
+  for (std::size_t q = 0; q < warmup; ++q) {
+    (void)store.scan_range(regions[q], windows[q]).size();
+  }
+  bench::WallTimer vec_timer;
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    vec_matched += store.scan_range(regions[q], windows[q], &ms).size();
+  }
+  rep.vectorized_scan_ms = vec_timer.elapsed_ms();
+  if (vec_matched != scalar_matched) {
+    std::fprintf(stderr, "VECTORIZED MISMATCH: %zu vs scalar %zu\n",
+                 vec_matched, scalar_matched);
+  }
+  rep.matched = vec_matched;
+  rep.vectorized_scan_speedup =
+      rep.vectorized_scan_ms > 0 ? rep.scalar_scan_ms / rep.vectorized_scan_ms
+                                 : 0;
+  rep.rows_evaluated = ms.rows_evaluated;
+  rep.rows_selected = ms.rows_selected;
+  rep.zone_fast_path = ms.zone_fast_path;
+  rep.morsels = ms.morsels;
+
+  // Heatmap workload: broad aggregations (full world, 25% time windows)
+  // into a 40x40 cell grid — the query shape the dense selection-vector
+  // aggregation serves.
+  const double cell = 50.0;
+  const std::uint64_t cols = 40;
+  const std::uint64_t grid_rows = 40;
+  std::vector<TimeInterval> hwindows;
+  for (std::size_t q = 0; q < rep.heatmap_queries; ++q) {
+    std::int64_t begin = qrng.uniform_int(0, time_span - time_span / 4);
+    hwindows.push_back({TimePoint(begin), TimePoint(begin + time_span / 4)});
+  }
+  std::span<const double> xs = store.x_column();
+  std::span<const double> ys = store.y_column();
+
+  // Before: materialize refs, then per-row tree inserts into a std::map
+  // keyed by cell (the executor's previous aggregation).
+  std::vector<std::map<std::uint64_t, std::uint64_t>> map_results;
+  bench::WallTimer map_timer;
+  for (std::size_t q = 0; q < rep.heatmap_queries; ++q) {
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (DetectionRef r : store.scan_range_scalar(world, hwindows[q])) {
+      std::size_t row = to_index(r);
+      auto cx = static_cast<std::uint64_t>(xs[row] / cell);
+      auto cy = static_cast<std::uint64_t>(ys[row] / cell);
+      ++counts[cy * cols + cx];
+    }
+    map_results.push_back(std::move(counts));
+  }
+  rep.heatmap_map_ms = map_timer.elapsed_ms();
+
+  // After: block-granular scan into selection vectors, accumulated into a
+  // dense cell grid, folded to the sparse result at the end.
+  bool heatmap_parity = true;
+  std::vector<std::uint64_t> dense(cols * grid_rows);
+  std::uint32_t sel[kDetectionBlockRows];
+  bench::WallTimer dense_timer;
+  for (std::size_t q = 0; q < rep.heatmap_queries; ++q) {
+    std::fill(dense.begin(), dense.end(), 0);
+    MorselStats hms;
+    for (std::size_t b = 0; b < store.block_count(); ++b) {
+      std::uint32_t n = store.scan_range_block(b, world, hwindows[q], sel, hms);
+      heatmap_accumulate(xs.data(), ys.data(), sel, n, {0, 0}, cell, cols,
+                         dense.data());
+    }
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (std::uint64_t c = 0; c < dense.size(); ++c) {
+      if (dense[c] != 0) {
+        counts[c] = dense[c];
+        rep.heatmap_rows += dense[c];
+      }
+    }
+    heatmap_parity = heatmap_parity && counts == map_results[q];
+  }
+  rep.heatmap_dense_ms = dense_timer.elapsed_ms();
+  if (!heatmap_parity) {
+    std::fprintf(stderr, "HEATMAP MISMATCH: dense != map aggregation\n");
+  }
+  rep.heatmap_speedup = rep.heatmap_dense_ms > 0
+                            ? rep.heatmap_map_ms / rep.heatmap_dense_ms
+                            : 0;
+  return rep;
+}
+
+void write_report(const ColumnarReport& rep, const VectorizedReport& vec) {
   bench::print_header("E10", "columnar store vs reference scan");
   std::printf("rows %zu, %zu selective range queries (%zu matches)\n",
               rep.rows, rep.queries, rep.matched);
@@ -342,6 +528,21 @@ void write_columnar_report(const ColumnarReport& rep) {
   std::printf("  kernel scalar %.2f ms vs batched %.2f ms (%.2fx)\n",
               rep.kernel_scalar_ms, rep.kernel_batched_ms,
               rep.kernel_speedup);
+
+  bench::print_header("E10b", "vectorized morsel scan vs scalar block scan");
+  std::printf("rows %zu, %zu zone-selective scans (%zu matches)\n", vec.rows,
+              vec.scan_queries, vec.matched);
+  std::printf("  scalar block scan  : %9.2f ms\n", vec.scalar_scan_ms);
+  std::printf("  vectorized morsels : %9.2f ms   (%.1fx)\n",
+              vec.vectorized_scan_ms, vec.vectorized_scan_speedup);
+  std::printf("  morsels %llu, fast-path %llu, evaluated %llu / selected %llu\n",
+              static_cast<unsigned long long>(vec.morsels),
+              static_cast<unsigned long long>(vec.zone_fast_path),
+              static_cast<unsigned long long>(vec.rows_evaluated),
+              static_cast<unsigned long long>(vec.rows_selected));
+  std::printf("  heatmap map %.2f ms vs dense %.2f ms (%.1fx, %zu queries)\n",
+              vec.heatmap_map_ms, vec.heatmap_dense_ms, vec.heatmap_speedup,
+              vec.heatmap_queries);
 
   obs::JsonWriter w;
   w.begin_object();
@@ -371,11 +572,46 @@ void write_columnar_report(const ColumnarReport& rep) {
   w.value(rep.kernel_speedup);
   w.end_object();
 
+  obs::JsonWriter vw;
+  vw.begin_object();
+  vw.key("rows");
+  vw.value(static_cast<double>(vec.rows));
+  vw.key("scan_queries");
+  vw.value(static_cast<double>(vec.scan_queries));
+  vw.key("matched");
+  vw.value(static_cast<double>(vec.matched));
+  vw.key("scalar_scan_ms");
+  vw.value(vec.scalar_scan_ms);
+  vw.key("vectorized_scan_ms");
+  vw.value(vec.vectorized_scan_ms);
+  vw.key("vectorized_scan_speedup");
+  vw.value(vec.vectorized_scan_speedup);
+  vw.key("morsels");
+  vw.value(static_cast<double>(vec.morsels));
+  vw.key("zone_fast_path");
+  vw.value(static_cast<double>(vec.zone_fast_path));
+  vw.key("rows_evaluated");
+  vw.value(static_cast<double>(vec.rows_evaluated));
+  vw.key("rows_selected");
+  vw.value(static_cast<double>(vec.rows_selected));
+  vw.key("heatmap_queries");
+  vw.value(static_cast<double>(vec.heatmap_queries));
+  vw.key("heatmap_map_ms");
+  vw.value(vec.heatmap_map_ms);
+  vw.key("heatmap_dense_ms");
+  vw.value(vec.heatmap_dense_ms);
+  vw.key("heatmap_speedup");
+  vw.value(vec.heatmap_speedup);
+  vw.end_object();
+
   bench::BenchReport report("index_micro");
   report.set("scan_speedup", rep.scan_speedup);
   report.set("blocks_skipped_ratio", rep.blocks_skipped_ratio);
   report.set("kernel_speedup", rep.kernel_speedup);
+  report.set("vectorized_scan_speedup", vec.vectorized_scan_speedup);
+  report.set("heatmap_speedup", vec.heatmap_speedup);
   report.add_section("columnar", w.take());
+  report.add_section("vectorized", vw.take());
   report.write();
 }
 
@@ -384,7 +620,7 @@ void write_columnar_report(const ColumnarReport& rep) {
 
 int main(int argc, char** argv) {
   stcn::bench::parse_args(argc, argv);
-  stcn::write_columnar_report(stcn::run_columnar_section());
+  stcn::write_report(stcn::run_columnar_section(), stcn::run_vectorized_section());
   if (stcn::bench::quick()) return 0;  // CI smoke: skip the gbench suites
 
   // Strip --quick before handing argv to google-benchmark (it rejects

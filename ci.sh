@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, sanitizer build + tests, and
+# CI entry point: tier-1 build + tests, sanitizer build + tests, a
+# Release bench_index_micro --quick gate (vectorized-scan and heatmap
+# speedup floors, plus a 20% drift band against the committed
+# bench/baselines/BENCH_index_micro.json invariants), and
 # observability smoke checks: bench_knn --quick must emit a parseable
 # BENCH_knn.json with latency quantiles, a metrics snapshot, and an EXPLAIN
 # profile with nonzero pruning; bench_failure_recovery --quick must show the
@@ -47,7 +50,8 @@ cmake -B build-release -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$JOBS" --target bench_index_micro
 COLUMNAR_DIR="$(mktemp -d)"
 (cd "$COLUMNAR_DIR" && "$OLDPWD/build-release/bench/bench_index_micro" --quick)
-python3 - "$COLUMNAR_DIR/BENCH_index_micro.json" <<'PY'
+python3 - "$COLUMNAR_DIR/BENCH_index_micro.json" \
+    bench/baselines/BENCH_index_micro.json <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
 assert report["bench"] == "index_micro", report
@@ -57,10 +61,37 @@ assert col["blocks_scanned"] > 0, col
 assert col["scan_speedup"] > 1.0, col
 assert col["matched"] > 0, col
 assert report["scalars"]["blocks_skipped_ratio"] == col["blocks_skipped_ratio"]
+
+# Vectorized-section floors: the morsel scan must beat the scalar block
+# scan it replaced by >=3x on the zone-selective workload, and the dense
+# aggregation must beat the per-row map heatmap by >=5x.
+vec = report["vectorized"]
+assert vec["matched"] > 0, vec
+assert vec["zone_fast_path"] > 0, vec
+assert vec["rows_evaluated"] > 0, vec
+assert vec["rows_selected"] > 0, vec
+assert vec["vectorized_scan_speedup"] >= 3.0, vec
+assert vec["heatmap_speedup"] >= 5.0, vec
+
+# Regression gate: the deterministic columnar invariants (matched rows,
+# blocks visited/skipped) must stay within 20% of the committed baseline.
+# Timings are machine-dependent and are gated by the absolute floors above
+# instead.
+baseline = json.load(open(sys.argv[2]))["columnar"]
+for key in ("matched", "blocks_scanned", "blocks_skipped",
+            "blocks_skipped_ratio"):
+    expect, got = baseline[key], col[key]
+    assert expect > 0, (key, baseline)
+    drift = abs(got - expect) / expect
+    assert drift <= 0.20, \
+        f"columnar {key} drifted {drift:.1%} from baseline: {got} vs {expect}"
+
 print("BENCH_index_micro.json OK:",
       f"scan_speedup={col['scan_speedup']:.1f}x,",
       f"blocks_skipped_ratio={col['blocks_skipped_ratio']:.3f},",
-      f"kernel_speedup={col['kernel_speedup']:.2f}x")
+      f"kernel_speedup={col['kernel_speedup']:.2f}x,",
+      f"vectorized={vec['vectorized_scan_speedup']:.1f}x,",
+      f"heatmap={vec['heatmap_speedup']:.1f}x")
 PY
 rm -rf "$COLUMNAR_DIR"
 

@@ -1,0 +1,177 @@
+// Branch-free filter kernels over columnar data.
+//
+// The vectorized scan path evaluates predicates over whole 4096-row blocks
+// ("morsels") instead of row-at-a-time callbacks. Each kernel walks one
+// contiguous column and emits the surviving row ids into a `uint32_t`
+// selection vector using the standard data-parallel compaction idiom
+//
+//   out[n] = i;  n += predicate(i);
+//
+// — an unconditional store plus a predicated increment, no branches in the
+// loop body, so the compiler can vectorize the comparisons and the hot loop
+// never mispredicts on selectivity transitions. `filter_*` kernels scan a
+// full row range; `refine_*` kernels compact an existing selection vector
+// in place, so multi-predicate evaluation runs the most selective predicate
+// over the full morsel once and every later predicate only over survivors
+// (selectivity-ordered evaluation, see DetectionBlockZone selectivity
+// estimates).
+//
+// Aggregation kernels consume selection vectors directly: heatmap cells
+// accumulate into a dense per-cell array (one multiply-free index
+// computation + increment per row) instead of a per-row ordered-map insert.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace stcn {
+
+/// Emits every row id in [first, last) — the fully-inside zone-map fast
+/// path, where predicate evaluation is skipped entirely.
+inline std::uint32_t fill_identity(std::uint32_t first, std::uint32_t last,
+                                   std::uint32_t* out) {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = first; i < last; ++i) out[n++] = i;
+  return n;
+}
+
+/// Rows in [first, last) with times[i] in [t0, t1).
+inline std::uint32_t filter_time(const std::int64_t* times,
+                                 std::uint32_t first, std::uint32_t last,
+                                 std::int64_t t0, std::int64_t t1,
+                                 std::uint32_t* out) {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = first; i < last; ++i) {
+    out[n] = i;
+    n += static_cast<std::uint32_t>(times[i] >= t0) &
+         static_cast<std::uint32_t>(times[i] < t1);
+  }
+  return n;
+}
+
+/// In-place compaction of `sel` to rows with times in [t0, t1).
+inline std::uint32_t refine_time(const std::int64_t* times, std::int64_t t0,
+                                 std::int64_t t1, std::uint32_t* sel,
+                                 std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(times[row] >= t0) &
+         static_cast<std::uint32_t>(times[row] < t1);
+  }
+  return m;
+}
+
+/// Rows in [first, last) with (xs[i], ys[i]) inside `region` (half-open max
+/// edges, matching Rect::contains).
+inline std::uint32_t filter_rect(const double* xs, const double* ys,
+                                 std::uint32_t first, std::uint32_t last,
+                                 const Rect& region, std::uint32_t* out) {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = first; i < last; ++i) {
+    out[n] = i;
+    n += static_cast<std::uint32_t>(xs[i] >= region.min.x) &
+         static_cast<std::uint32_t>(xs[i] < region.max.x) &
+         static_cast<std::uint32_t>(ys[i] >= region.min.y) &
+         static_cast<std::uint32_t>(ys[i] < region.max.y);
+  }
+  return n;
+}
+
+/// In-place compaction of `sel` to rows inside `region`.
+inline std::uint32_t refine_rect(const double* xs, const double* ys,
+                                 const Rect& region, std::uint32_t* sel,
+                                 std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(xs[row] >= region.min.x) &
+         static_cast<std::uint32_t>(xs[row] < region.max.x) &
+         static_cast<std::uint32_t>(ys[row] >= region.min.y) &
+         static_cast<std::uint32_t>(ys[row] < region.max.y);
+  }
+  return m;
+}
+
+/// Rows in [first, last) within distance `radius` of `center` (inclusive,
+/// matching Circle::contains).
+inline std::uint32_t filter_circle(const double* xs, const double* ys,
+                                   std::uint32_t first, std::uint32_t last,
+                                   Point center, double radius,
+                                   std::uint32_t* out) {
+  double r2 = radius * radius;
+  std::uint32_t n = 0;
+  for (std::uint32_t i = first; i < last; ++i) {
+    double dx = xs[i] - center.x;
+    double dy = ys[i] - center.y;
+    out[n] = i;
+    n += static_cast<std::uint32_t>(dx * dx + dy * dy <= r2);
+  }
+  return n;
+}
+
+/// In-place compaction of `sel` to rows within the circle.
+inline std::uint32_t refine_circle(const double* xs, const double* ys,
+                                   Point center, double radius,
+                                   std::uint32_t* sel, std::uint32_t n) {
+  double r2 = radius * radius;
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    double dx = xs[row] - center.x;
+    double dy = ys[row] - center.y;
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(dx * dx + dy * dy <= r2);
+  }
+  return m;
+}
+
+/// Rows in [first, last) belonging to `camera`.
+inline std::uint32_t filter_camera(const std::uint64_t* cameras,
+                                   std::uint32_t first, std::uint32_t last,
+                                   std::uint64_t camera, std::uint32_t* out) {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = first; i < last; ++i) {
+    out[n] = i;
+    n += static_cast<std::uint32_t>(cameras[i] == camera);
+  }
+  return n;
+}
+
+/// In-place compaction of `sel` to rows of `camera`.
+inline std::uint32_t refine_camera(const std::uint64_t* cameras,
+                                   std::uint64_t camera, std::uint32_t* sel,
+                                   std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(cameras[row] == camera);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------- aggregation
+
+/// Accumulates heatmap cell counts for the selected rows into the dense
+/// `cells` array (size cols × rows of the heatmap grid). Positions are
+/// guaranteed inside the heatmap region by the preceding filter, so the
+/// cell computation needs no clamping. Divides by `cell` (rather than
+/// multiplying by a precomputed reciprocal) so cell assignment is
+/// bit-identical to the scalar Query::heatmap_cell.
+inline void heatmap_accumulate(const double* xs, const double* ys,
+                               const std::uint32_t* sel, std::uint32_t n,
+                               Point origin, double cell, std::uint64_t cols,
+                               std::uint64_t* cells) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    auto cx = static_cast<std::uint64_t>((xs[row] - origin.x) / cell);
+    auto cy = static_cast<std::uint64_t>((ys[row] - origin.y) / cell);
+    ++cells[cy * cols + cx];
+  }
+}
+
+}  // namespace stcn

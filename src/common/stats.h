@@ -144,9 +144,17 @@ class QuantileRecorder {
   }
 
   [[nodiscard]] double sorted_quantile(double q) const {
-    double rank = q * static_cast<double>(samples_.size() - 1);
-    auto idx = static_cast<std::size_t>(rank + 0.5);
-    idx = std::min(idx, samples_.size() - 1);
+    // Nearest-rank: the smallest element with cumulative frequency ≥ q,
+    // i.e. index ⌈q·n⌉ - 1. The previous formula (round(q·(n-1))) sat one
+    // rank too high whenever q·n landed on an integer below the rounding
+    // midpoint — the median of n=2 returned the larger sample and the
+    // median of 1..100 returned 51 — an off-by-one most visible at small
+    // sample counts.
+    std::size_t n = samples_.size();
+    if (q <= 0.0) return samples_.front();
+    auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n))) - 1;
+    idx = std::min(idx, n - 1);
     return samples_[idx];
   }
 

@@ -331,6 +331,12 @@ void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
     s.note("partitions", std::to_string(frag->second.partitions.size()));
     s.note("blocks_scanned", std::to_string(response.blocks_scanned));
     s.note("blocks_skipped", std::to_string(response.blocks_skipped));
+    if (response.vectorized_morsels != 0) {
+      s.note("rows_evaluated", std::to_string(response.rows_evaluated));
+      s.note("rows_selected", std::to_string(response.rows_selected));
+      s.note("vectorized_morsels",
+             std::to_string(response.vectorized_morsels));
+    }
     if (frag->second.covers != 0) s.note("hedge", "true");
     profiler_->close_stage(stage, now);
   }

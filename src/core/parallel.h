@@ -79,4 +79,106 @@ class ParallelScatterGather {
   std::unique_ptr<TaskPool> pool_;  // null when thread_count_ == 1
 };
 
+/// Morsel-driven parallel scans over one DetectionStore: whole 4096-row
+/// blocks are the unit of work, handed to the persistent TaskPool. Each
+/// thread claims blocks off an atomic cursor, runs the vectorized block
+/// entry into its own selection buffer, and stashes per-block results;
+/// outputs are concatenated in block order afterwards so the row order is
+/// identical to the single-threaded scan. The block entries only write
+/// caller-owned MorselStats (never the store's mutable counters), which is
+/// what makes concurrent morsels over one store safe; the merged stats are
+/// folded back on the calling thread.
+class MorselScanner {
+ public:
+  explicit MorselScanner(std::size_t thread_count)
+      : thread_count_(thread_count) {
+    STCN_CHECK(thread_count_ > 0);
+    if (thread_count_ > 1) pool_ = std::make_unique<TaskPool>(thread_count_);
+  }
+
+  [[nodiscard]] std::vector<DetectionRef> scan_range(
+      const DetectionStore& store, const Rect& region,
+      const TimeInterval& interval, MorselStats* stats = nullptr) const {
+    if (region.is_empty() || interval.empty()) return {};
+    return scan(store, stats,
+                [&](std::size_t b, std::uint32_t* sel, MorselStats& ms) {
+                  return store.scan_range_block(b, region, interval, sel, ms);
+                });
+  }
+
+  [[nodiscard]] std::vector<DetectionRef> scan_circle(
+      const DetectionStore& store, const Circle& circle,
+      const TimeInterval& interval, MorselStats* stats = nullptr) const {
+    if (interval.empty() || circle.radius < 0.0) return {};
+    return scan(store, stats,
+                [&](std::size_t b, std::uint32_t* sel, MorselStats& ms) {
+                  return store.scan_circle_block(b, circle, interval, sel, ms);
+                });
+  }
+
+  [[nodiscard]] std::vector<DetectionRef> scan_camera(
+      const DetectionStore& store, CameraId camera,
+      const TimeInterval& interval, MorselStats* stats = nullptr) const {
+    if (interval.empty()) return {};
+    return scan(store, stats,
+                [&](std::size_t b, std::uint32_t* sel, MorselStats& ms) {
+                  return store.scan_camera_block(b, camera, interval, sel, ms);
+                });
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+
+ private:
+  template <typename BlockFn>
+  [[nodiscard]] std::vector<DetectionRef> scan(const DetectionStore& store,
+                                               MorselStats* stats,
+                                               const BlockFn& block_fn) const {
+    std::size_t blocks = store.block_count();
+    MorselStats merged;
+    std::vector<std::vector<DetectionRef>> per_block(blocks);
+    std::size_t workers = pool_ ? std::min(thread_count_, blocks) : 1;
+    if (workers <= 1) {
+      std::vector<std::uint32_t> sel(kDetectionBlockRows);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        std::uint32_t n = block_fn(b, sel.data(), merged);
+        store_refs(sel.data(), n, per_block[b]);
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::mutex merge_mutex;
+      pool_->run(workers, [&](std::size_t /*slot*/) {
+        std::vector<std::uint32_t> sel(kDetectionBlockRows);
+        MorselStats local;
+        for (;;) {
+          std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+          if (b >= blocks) break;
+          std::uint32_t n = block_fn(b, sel.data(), local);
+          store_refs(sel.data(), n, per_block[b]);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        merged.merge(local);
+      });
+    }
+    store.note_scan(merged);
+    if (stats != nullptr) stats->merge(merged);
+    std::size_t total = 0;
+    for (const auto& v : per_block) total += v.size();
+    std::vector<DetectionRef> out;
+    out.reserve(total);
+    for (const auto& v : per_block) out.insert(out.end(), v.begin(), v.end());
+    return out;
+  }
+
+  static void store_refs(const std::uint32_t* sel, std::uint32_t n,
+                         std::vector<DetectionRef>& out) {
+    out.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out[i] = static_cast<DetectionRef>(sel[i]);
+    }
+  }
+
+  std::size_t thread_count_;
+  std::unique_ptr<TaskPool> pool_;  // null when thread_count_ == 1
+};
+
 }  // namespace stcn

@@ -138,6 +138,12 @@ struct QueryResponse {
   /// actually examined vs. skipped wholesale by their zone maps.
   std::uint64_t blocks_scanned = 0;
   std::uint64_t blocks_skipped = 0;
+  /// Vectorized-scan stats: rows the filter kernels evaluated vs rows that
+  /// survived into selection vectors, and how many 4096-row morsels went
+  /// through the vectorized path (0 ⇒ the query used a non-columnar index).
+  std::uint64_t rows_evaluated = 0;
+  std::uint64_t rows_selected = 0;
+  std::uint64_t vectorized_morsels = 0;
 };
 
 inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
@@ -149,6 +155,9 @@ inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
   w.write_u64(resp.scan_wall_us);
   w.write_u64(resp.blocks_scanned);
   w.write_u64(resp.blocks_skipped);
+  w.write_u64(resp.rows_evaluated);
+  w.write_u64(resp.rows_selected);
+  w.write_u64(resp.vectorized_morsels);
   return w.take();
 }
 
@@ -161,6 +170,9 @@ inline QueryResponse decode_query_response(BinaryReader& r) {
   resp.scan_wall_us = r.read_u64();
   resp.blocks_scanned = r.read_u64();
   resp.blocks_skipped = r.read_u64();
+  resp.rows_evaluated = r.read_u64();
+  resp.rows_selected = r.read_u64();
+  resp.vectorized_morsels = r.read_u64();
   return resp;
 }
 

@@ -1,0 +1,102 @@
+// Persistent condition-variable task pool.
+//
+// ParallelScatterGather and the morsel-driven scan layer need to fan short
+// tasks out to real threads on every query; spawning std::threads per call
+// costs more than the scans themselves for selective queries. The pool
+// creates its threads once and reuses them: run(count, fn) wakes the first
+// `count` workers, each executes fn(slot) exactly once for its slot, and
+// run() returns when every slot has finished. Calls are serialized by the
+// caller (one run() at a time), which is the only usage pattern the query
+// path needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stcn {
+
+class TaskPool {
+ public:
+  explicit TaskPool(std::size_t threads) {
+    STCN_CHECK(threads > 0);
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~TaskPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Executes fn(0) ... fn(count-1), one slot per pool thread, and blocks
+  /// until all have returned. `count` must not exceed thread_count().
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    STCN_CHECK(count <= workers_.size());
+    if (count == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &fn;
+      active_ = count;
+      remaining_ = count;
+      ++generation_;
+    }
+    wake_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop(std::size_t slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this, &seen] {
+          return stopping_ || generation_ != seen;
+        });
+        if (stopping_) return;
+        seen = generation_;
+        if (slot >= active_) continue;  // not needed this round
+        task = task_;
+      }
+      (*task)(slot);
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last = --remaining_ == 0;
+      }
+      if (last) done_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t active_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stcn

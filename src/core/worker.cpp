@@ -209,8 +209,12 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   response.scan_wall_us = static_cast<std::uint64_t>(scan_only_us);
   response.blocks_scanned = scan_stats.blocks_scanned;
   response.blocks_skipped = scan_stats.blocks_skipped;
+  response.rows_evaluated = scan_stats.rows_evaluated;
+  response.rows_selected = scan_stats.rows_selected;
+  response.vectorized_morsels = scan_stats.vectorized_morsels;
   store_blocks_scanned_.add(scan_stats.blocks_scanned);
   store_blocks_skipped_.add(scan_stats.blocks_skipped);
+  vectorized_morsels_.add(scan_stats.vectorized_morsels);
   TraceContext sspan;
   if (qspan.valid()) {
     sspan = tracer_->start_span("worker.serialize", qspan,

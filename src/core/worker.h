@@ -65,6 +65,7 @@ class WorkerNode final : public NetworkNode {
         queries_served_(metrics_.counter("queries_served")),
         store_blocks_scanned_(metrics_.counter("store_blocks_scanned")),
         store_blocks_skipped_(metrics_.counter("store_blocks_skipped")),
+        vectorized_morsels_(metrics_.counter("vectorized_morsels")),
         store_memory_bytes_(metrics_.gauge("store_memory_bytes")),
         scan_wall_us_(metrics_.histogram("scan_wall_us")),
         channel_(NodeId(id.value()), counters_, config.channel) {
@@ -170,6 +171,8 @@ class WorkerNode final : public NetworkNode {
   Counter& queries_served_;
   Counter& store_blocks_scanned_;
   Counter& store_blocks_skipped_;
+  /// 4096-row morsels this worker pushed through the vectorized scan path.
+  Counter& vectorized_morsels_;
   Gauge& store_memory_bytes_;
   /// Real (wall-clock) scan cost per query fragment — virtual time treats
   /// worker compute as instantaneous, so this is the only place the actual

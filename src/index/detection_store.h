@@ -17,12 +17,14 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/filter_kernel.h"
 #include "common/geometry.h"
 #include "common/status.h"
 #include "common/time.h"
@@ -76,10 +78,82 @@ struct DetectionBlockZone {
     return x_min >= region.min.x && x_max < region.max.x &&
            y_min >= region.min.y && y_max < region.max.y;
   }
+  /// Every row's position is inside `circle`. The observed bbox is inside a
+  /// convex region iff all four of its corners are — comparing the bbox
+  /// against the circle's *bounding box* instead would wrongly admit corner
+  /// positions inside the box but outside the circle, which is exactly
+  /// where border-clamped positions land.
+  [[nodiscard]] bool within(const Circle& circle) const {
+    return circle.contains({x_min, y_min}) && circle.contains({x_min, y_max}) &&
+           circle.contains({x_max, y_min}) && circle.contains({x_max, y_max});
+  }
   [[nodiscard]] bool may_contain(CameraId camera) const {
     std::uint64_t v = camera.value();
     return v >= camera_min && v <= camera_max &&
            (camera_bits & (std::uint64_t{1} << (v % 64))) != 0;
+  }
+  /// Every row belongs to `camera`.
+  [[nodiscard]] bool only_camera(CameraId camera) const {
+    return camera_min == camera_max && camera_min == camera.value();
+  }
+
+  // Zone-based selectivity estimates in [0, 1]: the fraction of this
+  // block's rows expected to pass the predicate, assuming uniform spread
+  // over the zone bounds. Multi-predicate block scans evaluate the most
+  // selective predicate over the full morsel and refine survivors with the
+  // rest, so the estimates only order work — they never affect results.
+
+  [[nodiscard]] double time_selectivity(const TimeInterval& interval) const {
+    if (within(interval)) return 1.0;
+    double span = static_cast<double>(t_max - t_min) + 1.0;
+    double lo = std::max<double>(static_cast<double>(t_min),
+                                 static_cast<double>(
+                                     interval.begin.micros_since_origin()));
+    double hi = std::min<double>(static_cast<double>(t_max) + 1.0,
+                                 static_cast<double>(
+                                     interval.end.micros_since_origin()));
+    return hi > lo ? (hi - lo) / span : 0.0;
+  }
+
+  [[nodiscard]] double space_selectivity(const Rect& region) const {
+    double area = (x_max - x_min) * (y_max - y_min);
+    if (!(area > 0.0)) return 1.0;  // degenerate bbox: all rows colinear
+    double ix = std::min(x_max, region.max.x) - std::max(x_min, region.min.x);
+    double iy = std::min(y_max, region.max.y) - std::max(y_min, region.min.y);
+    if (ix <= 0.0 || iy <= 0.0) return 0.0;
+    return std::min(1.0, ix * iy / area);
+  }
+
+  [[nodiscard]] double camera_selectivity() const {
+    int cameras_seen = std::popcount(camera_bits);
+    return cameras_seen > 0 ? 1.0 / static_cast<double>(cameras_seen) : 1.0;
+  }
+};
+
+/// Accounting for the vectorized (selection-vector) scan path. Unlike the
+/// store's cumulative blocks_scanned()/blocks_skipped() counters, a
+/// MorselStats is plain caller-owned state, so block-granular scans are
+/// safe to run concurrently over disjoint morsels of one store.
+struct MorselStats {
+  /// Row-predicate evaluations performed (a row counts once per predicate
+  /// actually applied to it; zone fast paths evaluate nothing).
+  std::uint64_t rows_evaluated = 0;
+  /// Rows that passed every predicate (== selection-vector sizes).
+  std::uint64_t rows_selected = 0;
+  /// Non-skipped 4096-row morsels processed through selection vectors.
+  std::uint64_t morsels = 0;
+  /// Morsels emitted wholesale by the fully-inside zone fast path.
+  std::uint64_t zone_fast_path = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
+
+  void merge(const MorselStats& o) {
+    rows_evaluated += o.rows_evaluated;
+    rows_selected += o.rows_selected;
+    morsels += o.morsels;
+    zone_fast_path += o.zone_fast_path;
+    blocks_scanned += o.blocks_scanned;
+    blocks_skipped += o.blocks_skipped;
   }
 };
 
@@ -135,8 +209,56 @@ class DetectionStore {
     return static_cast<DetectionRef>(row);
   }
 
+  /// Appends rows [first, last) of `src` in one column-wise pass (retention
+  /// compaction's bulk path; last > first required). Returns the ref of the
+  /// first copied row; the rest follow contiguously. Destination zone maps
+  /// are recomputed tightly from the copied rows — source-block zone bounds
+  /// are never carried over, since a filtered or re-packed copy would
+  /// inherit stale-wide min/max and defeat block skipping after compaction.
+  DetectionRef append_rows(const DetectionStore& src, std::uint32_t first,
+                           std::uint32_t last) {
+    STCN_CHECK(first < last && last <= src.ids_.size());
+    STCN_CHECK(ids_.size() + (last - first) < UINT32_MAX);
+    auto row0 = static_cast<std::uint32_t>(ids_.size());
+    ids_.insert(ids_.end(), src.ids_.begin() + first, src.ids_.begin() + last);
+    cameras_.insert(cameras_.end(), src.cameras_.begin() + first,
+                    src.cameras_.begin() + last);
+    objects_.insert(objects_.end(), src.objects_.begin() + first,
+                    src.objects_.begin() + last);
+    times_.insert(times_.end(), src.times_.begin() + first,
+                  src.times_.begin() + last);
+    xs_.insert(xs_.end(), src.xs_.begin() + first, src.xs_.begin() + last);
+    ys_.insert(ys_.end(), src.ys_.begin() + first, src.ys_.begin() + last);
+    confidences_.insert(confidences_.end(), src.confidences_.begin() + first,
+                        src.confidences_.begin() + last);
+    std::size_t emb_begin = first == 0 ? 0 : src.emb_offsets_[first - 1];
+    std::size_t rebase = arena_.size() - emb_begin;
+    arena_.insert(arena_.end(), src.arena_.begin() + emb_begin,
+                  src.arena_.begin() + src.emb_offsets_[last - 1]);
+    for (std::uint32_t i = first; i < last; ++i) {
+      emb_offsets_.push_back(src.emb_offsets_[i] + rebase);
+    }
+    for (std::uint32_t r = row0; r < row0 + (last - first); ++r) {
+      grow_zone(r);
+    }
+    return static_cast<DetectionRef>(row0);
+  }
+
   // ----------------------------------------------------- column accessors
   // The scan-path API: one contiguous-array load each, no record assembly.
+
+  // Whole-column views for the vectorized filter kernels.
+  [[nodiscard]] std::span<const std::int64_t> time_column() const {
+    return times_;
+  }
+  [[nodiscard]] std::span<const double> x_column() const { return xs_; }
+  [[nodiscard]] std::span<const double> y_column() const { return ys_; }
+  [[nodiscard]] std::span<const std::uint64_t> camera_column() const {
+    return cameras_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> object_column() const {
+    return objects_;
+  }
 
   [[nodiscard]] TimePoint time_of(DetectionRef ref) const {
     return TimePoint(times_[checked(ref)]);
@@ -198,11 +320,218 @@ class DetectionStore {
     return {first, last};
   }
 
+  // ------------------------------------------- vectorized block scans
+  //
+  // The production scan path: one block (4096-row morsel) at a time, each
+  // predicate evaluated branch-free over whole columns into a `uint32_t`
+  // selection vector (common/filter_kernel.h). A zone map proving the block
+  // fully inside every predicate emits the morsel wholesale without
+  // evaluating anything; otherwise predicates run most-selective-first
+  // (zone-estimated), so later predicates only touch survivors. Block
+  // entries write all accounting into the caller's MorselStats and never
+  // touch the store's mutable counters, so disjoint morsels of one store
+  // can be scanned from many threads (see MorselScanner).
+
+  /// Scans block `b` for rows with position ∈ `region`, time ∈ `interval`.
+  /// Appends at most kDetectionBlockRows row ids into `sel`; returns how
+  /// many were selected.
+  std::uint32_t scan_range_block(std::size_t b, const Rect& region,
+                                 const TimeInterval& interval,
+                                 std::uint32_t* sel, MorselStats& ms) const {
+    const DetectionBlockZone& z = zones_[b];
+    if (!z.overlaps(interval) || !z.overlaps(region)) {
+      ++ms.blocks_skipped;
+      return 0;
+    }
+    ++ms.blocks_scanned;
+    ++ms.morsels;
+    auto [first, last] = block_rows(b);
+    std::int64_t t0 = interval.begin.micros_since_origin();
+    std::int64_t t1 = interval.end.micros_since_origin();
+    bool all_time = z.within(interval);
+    bool all_space = z.within(region);
+    std::uint32_t n;
+    if (all_time && all_space) {
+      n = fill_identity(first, last, sel);
+      ++ms.zone_fast_path;
+    } else if (all_space) {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += last - first;
+    } else if (all_time) {
+      n = filter_rect(xs_.data(), ys_.data(), first, last, region, sel);
+      ms.rows_evaluated += last - first;
+    } else if (z.space_selectivity(region) <= z.time_selectivity(interval)) {
+      n = filter_rect(xs_.data(), ys_.data(), first, last, region, sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_time(times_.data(), t0, t1, sel, n);
+    } else {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_rect(xs_.data(), ys_.data(), region, sel, n);
+    }
+    ms.rows_selected += n;
+    return n;
+  }
+
+  /// Scans block `b` for rows inside `circle` during `interval`.
+  std::uint32_t scan_circle_block(std::size_t b, const Circle& circle,
+                                  const TimeInterval& interval,
+                                  std::uint32_t* sel, MorselStats& ms) const {
+    const DetectionBlockZone& z = zones_[b];
+    Rect box = circle.bounding_box();
+    if (!z.overlaps(interval) || !z.overlaps(box)) {
+      ++ms.blocks_skipped;
+      return 0;
+    }
+    ++ms.blocks_scanned;
+    ++ms.morsels;
+    auto [first, last] = block_rows(b);
+    std::int64_t t0 = interval.begin.micros_since_origin();
+    std::int64_t t1 = interval.end.micros_since_origin();
+    bool all_time = z.within(interval);
+    bool all_space = z.within(circle);  // corner containment, not bbox-in-box
+    std::uint32_t n;
+    if (all_time && all_space) {
+      n = fill_identity(first, last, sel);
+      ++ms.zone_fast_path;
+    } else if (all_space) {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += last - first;
+    } else if (all_time) {
+      n = filter_circle(xs_.data(), ys_.data(), first, last, circle.center,
+                        circle.radius, sel);
+      ms.rows_evaluated += last - first;
+    } else if (z.space_selectivity(box) <= z.time_selectivity(interval)) {
+      n = filter_circle(xs_.data(), ys_.data(), first, last, circle.center,
+                        circle.radius, sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_time(times_.data(), t0, t1, sel, n);
+    } else {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_circle(xs_.data(), ys_.data(), circle.center, circle.radius,
+                        sel, n);
+    }
+    ms.rows_selected += n;
+    return n;
+  }
+
+  /// Scans block `b` for rows of `camera` during `interval`.
+  std::uint32_t scan_camera_block(std::size_t b, CameraId camera,
+                                  const TimeInterval& interval,
+                                  std::uint32_t* sel, MorselStats& ms) const {
+    const DetectionBlockZone& z = zones_[b];
+    if (!z.overlaps(interval) || !z.may_contain(camera)) {
+      ++ms.blocks_skipped;
+      return 0;
+    }
+    ++ms.blocks_scanned;
+    ++ms.morsels;
+    auto [first, last] = block_rows(b);
+    std::int64_t t0 = interval.begin.micros_since_origin();
+    std::int64_t t1 = interval.end.micros_since_origin();
+    bool all_time = z.within(interval);
+    bool all_camera = z.only_camera(camera);
+    std::uint32_t n;
+    if (all_time && all_camera) {
+      n = fill_identity(first, last, sel);
+      ++ms.zone_fast_path;
+    } else if (all_camera) {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += last - first;
+    } else if (all_time) {
+      n = filter_camera(cameras_.data(), first, last, camera.value(), sel);
+      ms.rows_evaluated += last - first;
+    } else if (z.camera_selectivity() <= z.time_selectivity(interval)) {
+      n = filter_camera(cameras_.data(), first, last, camera.value(), sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_time(times_.data(), t0, t1, sel, n);
+    } else {
+      n = filter_time(times_.data(), first, last, t0, t1, sel);
+      ms.rows_evaluated += (last - first) + n;
+      n = refine_camera(cameras_.data(), camera.value(), sel, n);
+    }
+    ms.rows_selected += n;
+    return n;
+  }
+
   /// Full-store scan with block skipping: every row with position ∈
-  /// `region` and time ∈ `interval`, in row (arrival) order. When a block's
-  /// zone map proves it fully inside both predicates, its rows are emitted
-  /// without per-row checks.
+  /// `region` and time ∈ `interval`, in row (arrival) order. Vectorized:
+  /// each surviving block runs through the selection-vector kernels; a
+  /// block proven fully inside both predicates is emitted without per-row
+  /// checks. Accounting accumulates into `stats` when given.
   [[nodiscard]] std::vector<DetectionRef> scan_range(
+      const Rect& region, const TimeInterval& interval,
+      MorselStats* stats = nullptr) const {
+    std::vector<DetectionRef> out;
+    if (region.is_empty() || interval.empty()) return out;
+    MorselStats ms;
+    std::uint32_t sel[kDetectionBlockRows];
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (z.within(interval) && z.within(region)) {
+        append_identity_block(b, ms, out);
+        continue;
+      }
+      std::uint32_t n = scan_range_block(b, region, interval, sel, ms);
+      append_refs(sel, n, out);
+    }
+    finish_scan(ms, stats);
+    return out;
+  }
+
+  /// Full-store scan with block skipping: rows inside `circle` during
+  /// `interval`, in row order. Vectorized (see scan_range).
+  [[nodiscard]] std::vector<DetectionRef> scan_circle(
+      const Circle& circle, const TimeInterval& interval,
+      MorselStats* stats = nullptr) const {
+    std::vector<DetectionRef> out;
+    if (interval.empty() || circle.radius < 0.0) return out;
+    MorselStats ms;
+    std::uint32_t sel[kDetectionBlockRows];
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (z.within(interval) && z.within(circle)) {
+        append_identity_block(b, ms, out);
+        continue;
+      }
+      std::uint32_t n = scan_circle_block(b, circle, interval, sel, ms);
+      append_refs(sel, n, out);
+    }
+    finish_scan(ms, stats);
+    return out;
+  }
+
+  /// Full-store scan with block skipping on the camera fingerprint: rows of
+  /// `camera` during `interval`, in row order. Vectorized (see scan_range).
+  [[nodiscard]] std::vector<DetectionRef> scan_camera(
+      CameraId camera, const TimeInterval& interval,
+      MorselStats* stats = nullptr) const {
+    std::vector<DetectionRef> out;
+    if (interval.empty()) return out;
+    MorselStats ms;
+    std::uint32_t sel[kDetectionBlockRows];
+    for (std::size_t b = 0; b < zones_.size(); ++b) {
+      const DetectionBlockZone& z = zones_[b];
+      if (z.within(interval) && z.only_camera(camera)) {
+        append_identity_block(b, ms, out);
+        continue;
+      }
+      std::uint32_t n = scan_camera_block(b, camera, interval, sel, ms);
+      append_refs(sel, n, out);
+    }
+    finish_scan(ms, stats);
+    return out;
+  }
+
+  // --------------------------------------------- scalar reference scans
+  //
+  // The row-at-a-time paths the vectorized layer replaced, retained as the
+  // differential-testing reference and the bench before/after baseline.
+  // Same zone-map block skipping, but predicates branch per row and there
+  // is no selectivity-ordered evaluation.
+
+  [[nodiscard]] std::vector<DetectionRef> scan_range_scalar(
       const Rect& region, const TimeInterval& interval) const {
     std::vector<DetectionRef> out;
     if (region.is_empty() || interval.empty()) return out;
@@ -228,9 +557,7 @@ class DetectionStore {
     return out;
   }
 
-  /// Full-store scan with block skipping: rows inside `circle` during
-  /// `interval`, in row order.
-  [[nodiscard]] std::vector<DetectionRef> scan_circle(
+  [[nodiscard]] std::vector<DetectionRef> scan_circle_scalar(
       const Circle& circle, const TimeInterval& interval) const {
     std::vector<DetectionRef> out;
     if (interval.empty() || circle.radius < 0.0) return out;
@@ -256,9 +583,7 @@ class DetectionStore {
     return out;
   }
 
-  /// Full-store scan with block skipping on the camera fingerprint: rows of
-  /// `camera` during `interval`, in row order.
-  [[nodiscard]] std::vector<DetectionRef> scan_camera(
+  [[nodiscard]] std::vector<DetectionRef> scan_camera_scalar(
       CameraId camera, const TimeInterval& interval) const {
     std::vector<DetectionRef> out;
     if (interval.empty()) return out;
@@ -287,6 +612,13 @@ class DetectionStore {
   [[nodiscard]] std::uint64_t blocks_scanned() const { return blocks_scanned_; }
   [[nodiscard]] std::uint64_t blocks_skipped() const { return blocks_skipped_; }
 
+  /// Folds externally-driven block-scan accounting (e.g. a MorselScanner
+  /// run) into the cumulative counters. Call from one thread, after joins.
+  void note_scan(const MorselStats& ms) const {
+    blocks_scanned_ += ms.blocks_scanned;
+    blocks_skipped_ += ms.blocks_skipped;
+  }
+
   // ------------------------------------------------------------- memory
 
   /// Exact resident bytes: hot columns + embedding arena + zone maps,
@@ -312,6 +644,41 @@ class DetectionStore {
   }
 
  private:
+  static void append_refs(const std::uint32_t* sel, std::uint32_t n,
+                          std::vector<DetectionRef>& out) {
+    std::size_t base = out.size();
+    out.resize(base + n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out[base + i] = static_cast<DetectionRef>(sel[i]);
+    }
+  }
+
+  /// Fully-inside fast path for the single-threaded wrappers: the zone
+  /// proved every row of block `b` qualifies, so the identity row range is
+  /// appended in one pass — no selection vector, no per-row predicate.
+  /// Accounting matches scan_*_block's fast-path case exactly.
+  void append_identity_block(std::size_t b, MorselStats& ms,
+                             std::vector<DetectionRef>& out) const {
+    auto [first, last] = block_rows(b);
+    ++ms.blocks_scanned;
+    ++ms.morsels;
+    ++ms.zone_fast_path;
+    ms.rows_selected += last - first;
+    std::size_t base = out.size();
+    out.resize(base + (last - first));
+    DetectionRef* p = out.data() + base;
+    for (std::uint32_t i = first; i < last; ++i) {
+      *p++ = static_cast<DetectionRef>(i);
+    }
+  }
+
+  /// Folds a scan's caller-owned MorselStats into the store's cumulative
+  /// counters (calling thread only) and into `stats` when given.
+  void finish_scan(const MorselStats& ms, MorselStats* stats) const {
+    note_scan(ms);
+    if (stats != nullptr) stats->merge(ms);
+  }
+
   [[nodiscard]] std::uint32_t checked(DetectionRef ref) const {
     std::uint32_t i = to_index(ref);
     STCN_CHECK(i < ids_.size());

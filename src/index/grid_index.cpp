@@ -69,7 +69,7 @@ void GridIndex::scan_cell(const DetectionStore& store, const Cell& cell,
 
 std::vector<DetectionRef> GridIndex::query_range(
     const DetectionStore& store, const Rect& region,
-    const TimeInterval& interval) const {
+    const TimeInterval& interval, MorselStats* stats) const {
   std::vector<DetectionRef> out;
   if (region.is_empty() || interval.empty()) return out;
   // Full-area query: every cell would be probed anyway, and border cells
@@ -80,7 +80,7 @@ std::vector<DetectionRef> GridIndex::query_range(
       region.min.y <= config_.bounds.min.y &&
       region.max.x >= config_.bounds.max.x &&
       region.max.y >= config_.bounds.max.y) {
-    return store.scan_range(region, interval);
+    return store.scan_range(region, interval, stats);
   }
   Rect clipped = region.intersection(config_.bounds);
   if (clipped.is_empty() && !config_.bounds.overlaps(region)) return out;
@@ -101,10 +101,18 @@ std::vector<DetectionRef> GridIndex::query_range(
 
 std::vector<DetectionRef> GridIndex::query_circle(
     const DetectionStore& store, const Circle& circle,
-    const TimeInterval& interval) const {
+    const TimeInterval& interval, MorselStats* stats) const {
   std::vector<DetectionRef> out;
   if (interval.empty() || circle.radius < 0.0) return out;
   Rect box = circle.bounding_box();
+  // Bounding box swallowing the whole index area: the grid walk would
+  // probe every cell with per-row distance checks anyway; the store's
+  // vectorized circle scan gets zone-map skipping plus the fully-inside
+  // corner-containment fast path.
+  if (box.min.x <= config_.bounds.min.x && box.min.y <= config_.bounds.min.y &&
+      box.max.x >= config_.bounds.max.x && box.max.y >= config_.bounds.max.y) {
+    return store.scan_circle(circle, interval, stats);
+  }
   std::int32_t cx0 = clamp_cx(box.min.x);
   std::int32_t cx1 = clamp_cx(box.max.x);
   std::int32_t cy0 = clamp_cy(box.min.y);

@@ -42,15 +42,20 @@ class GridIndex {
   /// noisy).
   void insert(const DetectionStore& store, DetectionRef ref);
 
-  /// All detections with position ∈ `region` and time ∈ `interval`.
+  /// All detections with position ∈ `region` and time ∈ `interval`. When
+  /// the query covers the whole index bounds the store's vectorized block
+  /// scan answers instead of the grid walk; `stats`, when given, receives
+  /// that scan's morsel accounting.
   [[nodiscard]] std::vector<DetectionRef> query_range(
       const DetectionStore& store, const Rect& region,
-      const TimeInterval& interval) const;
+      const TimeInterval& interval, MorselStats* stats = nullptr) const;
 
-  /// All detections within `circle` during `interval`.
+  /// All detections within `circle` during `interval`. Circles covering the
+  /// whole index bounds delegate to the store's vectorized scan (see
+  /// query_range).
   [[nodiscard]] std::vector<DetectionRef> query_circle(
       const DetectionStore& store, const Circle& circle,
-      const TimeInterval& interval) const;
+      const TimeInterval& interval, MorselStats* stats = nullptr) const;
 
   /// The k detections during `interval` nearest to `center`, nearest first.
   /// Returns fewer than k if the index holds fewer matching detections.

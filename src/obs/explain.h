@@ -16,6 +16,8 @@
 // inactive, so the instrumented paths cost one branch when not explaining.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -26,12 +28,22 @@
 
 namespace stcn {
 
+/// Upper bound on reported q-error. An estimator that guesses thousands of
+/// rows against an actual of 0 is "maximally wrong" — the histogram needs a
+/// finite bucket for that, not an unbounded (or, with hostile inputs,
+/// infinite/NaN) ratio that poisons every aggregate downstream.
+inline constexpr double kMaxQError = 1e6;
+
 /// Planner calibration metric: how far off an estimate was, as a ratio
-/// >= 1 (1 == perfect). +1 smoothing keeps zero counts finite.
+/// >= 1 (1 == perfect). +1 smoothing keeps zero counts finite; negative
+/// inputs (the -1 "not recorded" sentinel) are treated as 0 rather than
+/// driving a denominator to 0; the result is clamped to kMaxQError.
 [[nodiscard]] inline double q_error(double estimated, double actual) {
-  double e = estimated + 1.0;
-  double a = actual + 1.0;
-  return e > a ? e / a : a / e;
+  double e = std::max(estimated, 0.0) + 1.0;
+  double a = std::max(actual, 0.0) + 1.0;
+  double r = e > a ? e / a : a / e;
+  if (!std::isfinite(r) || r > kMaxQError) return kMaxQError;
+  return r;
 }
 
 /// One planning or execution step of a profiled query. Estimated/actual use

@@ -5,10 +5,14 @@
 // QueryResult fragment; the coordinator merges fragments across workers.
 #pragma once
 
+#include <vector>
+
+#include "common/filter_kernel.h"
 #include "index/detection_store.h"
 #include "index/grid_index.h"
 #include "index/temporal_store.h"
 #include "index/trajectory_store.h"
+#include "query/planner.h"
 #include "query/query.h"
 #include "query/result.h"
 
@@ -39,14 +43,26 @@ struct WorkerIndexes {
   /// DetectionRefs issued before a compaction are invalidated.
   ///
   /// Block-wise: a block whose zone map proves every row older than the
-  /// horizon is evicted wholesale; a block proven entirely fresh skips the
-  /// per-row time test. Surviving rows are copied column-to-column
-  /// (append_copy), never materialized into Detection records.
+  /// horizon is evicted wholesale; a block proven entirely fresh is copied
+  /// column-to-column in one bulk append_rows (which recomputes the
+  /// destination zone maps tightly from the surviving rows — merged blocks
+  /// must not inherit stale-wide source bounds, or block skipping degrades
+  /// after every compaction). Mixed blocks fall back to per-row
+  /// append_copy; no path materializes Detection records.
   std::size_t compact(TimePoint horizon) {
     DetectionStore new_store;
     GridIndex new_grid(grid_config);
     TrajectoryStore new_trajectories;
     TemporalStore new_temporal;
+    auto index_from = [&](std::uint32_t first_new) {
+      for (std::uint32_t i = first_new;
+           i < static_cast<std::uint32_t>(new_store.size()); ++i) {
+        auto ref = static_cast<DetectionRef>(i);
+        new_grid.insert(new_store, ref);
+        new_trajectories.insert(new_store, ref);
+        new_temporal.insert(new_store, ref);
+      }
+    };
     std::size_t evicted = 0;
     for (std::size_t b = 0; b < store.block_count(); ++b) {
       const DetectionBlockZone& z = store.zone(b);
@@ -55,18 +71,20 @@ struct WorkerIndexes {
         evicted += last - first;
         continue;
       }
-      bool all_fresh = TimePoint(z.t_min) >= horizon;
-      for (std::uint32_t i = first; i < last; ++i) {
-        auto old_ref = static_cast<DetectionRef>(i);
-        if (!all_fresh && store.time_of(old_ref) < horizon) {
-          ++evicted;
-          continue;
+      auto first_new = static_cast<std::uint32_t>(new_store.size());
+      if (TimePoint(z.t_min) >= horizon) {  // whole block fresh: bulk copy
+        (void)new_store.append_rows(store, first, last);
+      } else {
+        for (std::uint32_t i = first; i < last; ++i) {
+          auto old_ref = static_cast<DetectionRef>(i);
+          if (store.time_of(old_ref) < horizon) {
+            ++evicted;
+            continue;
+          }
+          (void)new_store.append_copy(store, old_ref);
         }
-        DetectionRef ref = new_store.append_copy(store, old_ref);
-        new_grid.insert(new_store, ref);
-        new_trajectories.insert(new_store, ref);
-        new_temporal.insert(new_store, ref);
       }
+      index_from(first_new);
     }
     store = std::move(new_store);
     grid = std::move(new_grid);
@@ -79,31 +97,44 @@ struct WorkerIndexes {
 };
 
 /// EXPLAIN/ANALYZE accounting for one local execution: how many rows the
-/// indexes yielded (for counts/heatmaps this exceeds the result rows) and
-/// how the store's zone maps fared when a columnar block scan ran.
+/// indexes yielded (for counts/heatmaps this exceeds the result rows), how
+/// the store's zone maps fared when a columnar block scan ran, and — when
+/// the vectorized morsel path executed — how many rows the filter kernels
+/// actually evaluated vs selected (the gap is the work the zone-map fast
+/// paths and selectivity-ordered evaluation avoided).
 struct ScanStats {
   std::uint64_t rows_scanned = 0;
   std::uint64_t blocks_scanned = 0;
   std::uint64_t blocks_skipped = 0;
+  std::uint64_t rows_evaluated = 0;
+  std::uint64_t rows_selected = 0;
+  std::uint64_t vectorized_morsels = 0;
 };
 
 class LocalExecutor {
  public:
   /// Executes `query` against `indexes`, producing a partial result. When
   /// `stats` is given, scan accounting accumulates into it.
+  ///
+  /// Aggregate kinds (count, group-by, heatmap) choose their access path:
+  /// regions covering most of the worker's area run the store's vectorized
+  /// morsel scan and aggregate straight off the selection vectors; small
+  /// regions keep the spatially-pruning grid walk. Both paths return
+  /// identical results (pinned by the differential tests).
   [[nodiscard]] static QueryResult execute(const WorkerIndexes& indexes,
                                            const Query& query,
                                            ScanStats* stats = nullptr) {
     QueryResult result;
     result.query = query.id;
     std::uint64_t scanned = 0;
+    MorselStats ms;  // vectorized-path accounting for this execution
     std::uint64_t blocks_scanned0 = indexes.store.blocks_scanned();
     std::uint64_t blocks_skipped0 = indexes.store.blocks_skipped();
     switch (query.kind) {
       case QueryKind::kRange: {
         for (DetectionRef ref :
              indexes.grid.query_range(indexes.store, query.region,
-                                      query.interval)) {
+                                      query.interval, &ms)) {
           ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
@@ -112,7 +143,7 @@ class LocalExecutor {
       case QueryKind::kCircle: {
         for (DetectionRef ref :
              indexes.grid.query_circle(indexes.store, query.circle,
-                                       query.interval)) {
+                                       query.interval, &ms)) {
           ++scanned;
           result.detections.push_back(indexes.store.get(ref));
         }
@@ -144,25 +175,34 @@ class LocalExecutor {
         break;
       }
       case QueryKind::kCount: {
-        auto refs = indexes.grid.query_range(indexes.store, query.region,
-                                             query.interval);
-        scanned += refs.size();
-        if (query.group_by == GroupBy::kCamera) {
-          for (DetectionRef ref : refs) {
-            ++result.counts[indexes.store.camera_of(ref).value()];
-          }
+        if (prefer_columnar_scan(query.region, indexes.grid.bounds())) {
+          scanned += count_from_store(indexes.store, query, result, ms);
         } else {
-          result.counts[0] = refs.size();
+          auto refs = indexes.grid.query_range(indexes.store, query.region,
+                                               query.interval, &ms);
+          scanned += refs.size();
+          if (query.group_by == GroupBy::kCamera) {
+            for (DetectionRef ref : refs) {
+              ++result.counts[indexes.store.camera_of(ref).value()];
+            }
+          } else {
+            result.counts[0] = refs.size();
+          }
         }
         break;
       }
       case QueryKind::kHeatmap: {
         if (query.cell_size <= 0.0) break;
-        for (DetectionRef ref :
-             indexes.grid.query_range(indexes.store, query.region,
-                                      query.interval)) {
-          ++scanned;
-          ++result.counts[query.heatmap_cell(indexes.store.position_of(ref))];
+        if (prefer_columnar_scan(query.region, indexes.grid.bounds())) {
+          scanned += heatmap_from_store(indexes.store, query, result, ms);
+        } else {
+          for (DetectionRef ref :
+               indexes.grid.query_range(indexes.store, query.region,
+                                        query.interval, &ms)) {
+            ++scanned;
+            ++result.counts[query.heatmap_cell(
+                indexes.store.position_of(ref))];
+          }
         }
         break;
       }
@@ -173,8 +213,87 @@ class LocalExecutor {
           indexes.store.blocks_scanned() - blocks_scanned0;
       stats->blocks_skipped +=
           indexes.store.blocks_skipped() - blocks_skipped0;
+      stats->rows_evaluated += ms.rows_evaluated;
+      stats->rows_selected += ms.rows_selected;
+      stats->vectorized_morsels += ms.morsels;
     }
     return result;
+  }
+
+ private:
+  /// Count / group-by-camera straight off the vectorized block scan: no
+  /// DetectionRef vector is materialized; each morsel's selection vector
+  /// is consumed in place (per-camera counts read the camera column by
+  /// selected row id).
+  static std::uint64_t count_from_store(const DetectionStore& store,
+                                        const Query& query,
+                                        QueryResult& result, MorselStats& ms) {
+    if (query.region.is_empty() || query.interval.empty()) {
+      if (query.group_by != GroupBy::kCamera) result.counts[0] = 0;
+      return 0;
+    }
+    MorselStats local;
+    std::vector<std::uint32_t> sel(kDetectionBlockRows);
+    const std::uint64_t* cameras = store.camera_column().data();
+    bool by_camera = query.group_by == GroupBy::kCamera;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < store.block_count(); ++b) {
+      std::uint32_t n = store.scan_range_block(b, query.region, query.interval,
+                                               sel.data(), local);
+      total += n;
+      if (by_camera) {
+        for (std::uint32_t i = 0; i < n; ++i) ++result.counts[cameras[sel[i]]];
+      }
+    }
+    if (!by_camera) result.counts[0] = total;
+    store.note_scan(local);
+    ms.merge(local);
+    return total;
+  }
+
+  /// Heatmap aggregation from selection vectors into a dense cell array
+  /// (one index computation + increment per selected row), folded into the
+  /// sparse result map at the end. Grids too large to hold densely fall
+  /// back to per-row map inserts — same results, no memory blowup.
+  static std::uint64_t heatmap_from_store(const DetectionStore& store,
+                                          const Query& query,
+                                          QueryResult& result,
+                                          MorselStats& ms) {
+    if (query.region.is_empty() || query.interval.empty()) return 0;
+    MorselStats local;
+    std::vector<std::uint32_t> sel(kDetectionBlockRows);
+    const double* xs = store.x_column().data();
+    const double* ys = store.y_column().data();
+    std::size_t cols = query.heatmap_cols();
+    std::size_t rows = query.heatmap_rows();
+    constexpr std::size_t kMaxDenseCells = std::size_t{1} << 22;  // 32 MiB
+    std::uint64_t total = 0;
+    if (cols > 0 && rows > 0 && cols <= kMaxDenseCells / rows) {
+      std::vector<std::uint64_t> cells(cols * rows, 0);
+      for (std::size_t b = 0; b < store.block_count(); ++b) {
+        std::uint32_t n = store.scan_range_block(
+            b, query.region, query.interval, sel.data(), local);
+        total += n;
+        heatmap_accumulate(xs, ys, sel.data(), n, query.region.min,
+                           query.cell_size, cols, cells.data());
+      }
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cells[c] != 0) result.counts[c] += cells[c];
+      }
+    } else {
+      for (std::size_t b = 0; b < store.block_count(); ++b) {
+        std::uint32_t n = store.scan_range_block(
+            b, query.region, query.interval, sel.data(), local);
+        total += n;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          std::uint32_t row = sel[i];
+          ++result.counts[query.heatmap_cell(Point{xs[row], ys[row]})];
+        }
+      }
+    }
+    store.note_scan(local);
+    ms.merge(local);
+    return total;
   }
 };
 

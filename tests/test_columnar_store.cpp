@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "index/detection_store.h"
 #include "index/grid_index.h"
+#include "query/executor.h"
 
 namespace stcn {
 namespace {
@@ -213,6 +214,150 @@ TEST(ColumnarStore, AppendCopyPreservesRows) {
   for (std::uint32_t i = 0; i < 100; ++i) {
     DetectionRef ref = dst.append_copy(src, static_cast<DetectionRef>(i));
     EXPECT_EQ(dst.get(ref), originals[i]);
+  }
+}
+
+TEST(ColumnarStore, AppendRowsPreservesRowsAndRecomputesZonesTightly) {
+  DetectionStore src;
+  Rng rng(19);
+  std::vector<Detection> originals;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    Detection d = random_detection(rng, i);
+    d.appearance.values = {0.25f * static_cast<float>(i % 7), -1.5f};
+    // Rows 100..199 sit in a narrow time/position band; the rest are wide.
+    if (i >= 100 && i < 200) {
+      d.time = TimePoint(500'000 + static_cast<std::int64_t>(i));
+      d.position = {400.0 + static_cast<double>(i % 50), 250.0};
+    }
+    originals.push_back(d);
+    (void)src.append(d);
+  }
+  DetectionStore dst;
+  DetectionRef first_ref = dst.append_rows(src, 99, 199);
+  ASSERT_EQ(dst.size(), 100u);
+  EXPECT_EQ(to_index(first_ref), 0u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dst.get(static_cast<DetectionRef>(i)), originals[99 + i]);
+  }
+  // The destination zone must be recomputed tightly from the copied rows,
+  // not inherited from the source block (whose bounds span the full wide
+  // distribution).
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+  double x_min = 1e18;
+  double x_max = -1e18;
+  for (std::uint32_t i = 99; i < 199; ++i) {
+    const Detection& d = originals[i];
+    t_min = std::min(t_min, d.time.micros_since_origin());
+    t_max = std::max(t_max, d.time.micros_since_origin());
+    x_min = std::min(x_min, d.position.x);
+    x_max = std::max(x_max, d.position.x);
+  }
+  ASSERT_EQ(dst.block_count(), 1u);
+  EXPECT_EQ(dst.zone(0).t_min, t_min);
+  EXPECT_EQ(dst.zone(0).t_max, t_max);
+  EXPECT_DOUBLE_EQ(dst.zone(0).x_min, x_min);
+  EXPECT_DOUBLE_EQ(dst.zone(0).x_max, x_max);
+}
+
+// Retention compaction must not degrade block skipping: the rebuilt
+// store's zone maps are recomputed from the surviving rows, so a selective
+// scan skips the same fraction of blocks before and after a no-op
+// compaction (and still skips after a real eviction).
+TEST(ColumnarStore, CompactionKeepsSkipRatioParity) {
+  WorkerIndexes indexes({Rect{{0, 0}, {100, 100}}, 25.0});
+  Rng rng(23);
+  for (std::uint64_t i = 0; i < 8 * kDetectionBlockRows; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1 + i % 16);
+    d.object = ObjectId(1 + i % 64);
+    d.time = TimePoint(static_cast<std::int64_t>(i * 100) +
+                       rng.uniform_int(0, 50));
+    d.position = {rng.uniform(0, 100), rng.uniform(0, 100)};
+    (void)indexes.ingest(d);
+  }
+  ASSERT_EQ(indexes.store.block_count(), 8u);
+  TimeInterval narrow{TimePoint(0), TimePoint(100 * kDetectionBlockRows)};
+  Rect all{{0, 0}, {100, 100}};
+
+  MorselStats before;
+  auto refs_before = indexes.store.scan_range(all, narrow, &before);
+  ASSERT_GT(before.blocks_skipped, 0u);
+
+  // No-op compaction (horizon before every row): same rows, rebuilt blocks.
+  ASSERT_EQ(indexes.compact(TimePoint(0)), 0u);
+  MorselStats after;
+  auto refs_after = indexes.store.scan_range(all, narrow, &after);
+  EXPECT_EQ(ids_of(indexes.store, refs_after),
+            ids_of(indexes.store, refs_before));
+  EXPECT_EQ(after.blocks_skipped, before.blocks_skipped);
+  EXPECT_EQ(after.blocks_scanned, before.blocks_scanned);
+
+  // Real eviction: drop the first half of the time axis, then a window over
+  // the evicted range must skip every remaining block.
+  TimePoint horizon(100 * 4 * static_cast<std::int64_t>(kDetectionBlockRows));
+  std::size_t evicted = indexes.compact(horizon);
+  EXPECT_GT(evicted, 0u);
+  MorselStats stale;
+  auto refs_stale = indexes.store.scan_range(
+      all, TimeInterval{TimePoint(0), TimePoint(100)}, &stale);
+  EXPECT_TRUE(refs_stale.empty());
+  EXPECT_EQ(stale.blocks_scanned, 0u);
+  EXPECT_EQ(stale.blocks_skipped, indexes.store.block_count());
+}
+
+// Positions clamped exactly onto the world border, probed with circles
+// whose fully-inside fast path would wrongly fire if the containment check
+// compared bounding boxes instead of testing the zone's corners against
+// the circle. The AoS reference defines truth; the vectorized scan and the
+// scalar block scan must both match it.
+TEST(ColumnarStore, CircleFastPathExcludesClampedBorderPositions) {
+  constexpr double kW = 1000.0;
+  DetectionStore store;
+  std::vector<Detection> reference;
+  Rng rng(29);
+  for (std::uint64_t i = 1; i <= 6000; ++i) {
+    Detection d;
+    d.id = DetectionId(i);
+    d.camera = CameraId(1 + i % 8);
+    d.object = ObjectId(1 + i % 32);
+    d.time = TimePoint(static_cast<std::int64_t>(i));
+    // Every position sits exactly on a clamp boundary: x pinned to 0 or
+    // kW, y uniform (and a slice with y pinned too).
+    d.position.x = (i % 2 == 0) ? 0.0 : kW;
+    d.position.y = rng.uniform(0, kW);
+    if (i % 10 == 0) d.position.y = (i % 20 == 0) ? 0.0 : kW;
+    reference.push_back(d);
+    (void)store.append(d);
+  }
+  // Circles centered on and near the border, radii chosen so some zones
+  // are fully inside (legitimate fast path), some straddle the boundary
+  // (fast path must NOT fire), and the boundary rows land exactly on the
+  // radius (Circle::contains is inclusive).
+  std::vector<Circle> circles = {
+      {{kW, kW / 2}, kW / 4},   {{0.0, kW / 2}, kW / 4},
+      {{kW, kW}, 1.0},          {{kW / 2, kW / 2}, kW / 2},
+      {{kW, kW / 2}, kW / 2},   {{kW / 2, kW / 2}, std::sqrt(2.0) * kW / 2},
+  };
+  for (const Circle& circle : circles) {
+    for (TimeInterval interval :
+         {TimeInterval::all(),
+          TimeInterval{TimePoint(1000), TimePoint(4000)}}) {
+      std::set<std::uint64_t> expected;
+      for (const Detection& d : reference) {
+        if (circle.contains(d.position) && interval.contains(d.time)) {
+          expected.insert(d.id.value());
+        }
+      }
+      EXPECT_EQ(ids_of(store, store.scan_circle(circle, interval)), expected)
+          << "vectorized, circle (" << circle.center.x << ","
+          << circle.center.y << ") r=" << circle.radius;
+      EXPECT_EQ(ids_of(store, store.scan_circle_scalar(circle, interval)),
+                expected)
+          << "scalar, circle (" << circle.center.x << "," << circle.center.y
+          << ") r=" << circle.radius;
+    }
   }
 }
 

@@ -5,6 +5,8 @@
 // multi-hop path reconstruction (transition-cone pruning per hop).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -82,6 +84,24 @@ TEST(QError, RatioIsSymmetricAndSmoothed) {
   EXPECT_DOUBLE_EQ(q_error(9.0, 4.0), 2.0);
   EXPECT_DOUBLE_EQ(q_error(4.0, 9.0), 2.0);  // symmetric
   EXPECT_GT(q_error(0.0, 99.0), 10.0);       // zero estimate stays finite
+}
+
+TEST(QError, ClampedAndDefinedOnDegenerateInputs) {
+  // Nonzero estimate against an actual of 0: finite, defined, clamped.
+  EXPECT_DOUBLE_EQ(q_error(99.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(q_error(1e12, 0.0), kMaxQError);
+  EXPECT_DOUBLE_EQ(q_error(0.0, 1e12), kMaxQError);
+  // The -1 "not recorded" sentinel must not drive a denominator to 0
+  // (est=-1 ⇒ e=0 ⇒ a/e = inf before the clamp).
+  EXPECT_DOUBLE_EQ(q_error(-1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q_error(-1.0, 9.0), 10.0);
+  EXPECT_DOUBLE_EQ(q_error(9.0, -1.0), 10.0);
+  // Hostile floats stay inside [1, kMaxQError].
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(q_error(inf, 10.0), kMaxQError);
+  EXPECT_DOUBLE_EQ(q_error(std::nan(""), 10.0), kMaxQError);
+  EXPECT_GE(q_error(123.0, 456.0), 1.0);
+  EXPECT_LE(q_error(123.0, 456.0), kMaxQError);
 }
 
 TEST(QueryProfiler, InactiveProfilerSwallowsWrites) {

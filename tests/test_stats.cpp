@@ -88,6 +88,43 @@ TEST(QuantileRecorder, Quantiles) {
   EXPECT_DOUBLE_EQ(q.mean(), 50.5);
 }
 
+// Exact nearest-rank semantics (index ⌈q·n⌉ - 1) at the sample counts
+// where the old rounding formula sat one rank too high.
+TEST(QuantileRecorder, ExactNearestRankSingleSample) {
+  QuantileRecorder q;
+  q.add(42.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(q.median(), 42.0);
+  EXPECT_DOUBLE_EQ(q.p99(), 42.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 42.0);
+}
+
+TEST(QuantileRecorder, ExactNearestRankTwoSamples) {
+  QuantileRecorder q;
+  q.add(10.0);
+  q.add(20.0);
+  // ⌈0.5·2⌉-1 = 0: the nearest-rank median of two samples is the lower
+  // one (the old formula returned 20).
+  EXPECT_DOUBLE_EQ(q.median(), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.51), 20.0);
+  EXPECT_DOUBLE_EQ(q.p99(), 20.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 20.0);
+}
+
+TEST(QuantileRecorder, ExactNearestRankHundredSamples) {
+  QuantileRecorder q;
+  for (int i = 1; i <= 100; ++i) q.add(static_cast<double>(i));
+  // ⌈q·100⌉-1 picks the q·100-th smallest exactly.
+  EXPECT_DOUBLE_EQ(q.quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(q.median(), 50.0);  // old formula returned 51
+  EXPECT_DOUBLE_EQ(q.quantile(0.75), 75.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.90), 90.0);
+  EXPECT_DOUBLE_EQ(q.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+}
+
 TEST(QuantileRecorder, EmptyReturnsZero) {
   QuantileRecorder q;
   EXPECT_DOUBLE_EQ(q.median(), 0.0);
