@@ -199,6 +199,98 @@ void run_gray_health(const Trace& trace, const Rect& world,
   report.add_section("health", monitor.to_json());
 }
 
+/// E9d — recovery cost vs snapshot age. A restarted worker installs its
+/// last snapshot and delta-resyncs only the post-watermark tail from the
+/// surviving holder's replay log; the fresher the snapshot, the less data
+/// is replayed. The no-snapshot column is the full-resync baseline every
+/// snapshot age must beat (bytes and replayed rows).
+void run_snapshot_age(const Trace& trace, const Rect& world,
+                      const std::set<std::uint64_t>& expected,
+                      bench::BenchReport& report) {
+  bench::print_header(
+      "E9d recovery vs snapshot age",
+      "snapshot install + replay-log delta resync vs full re-copy");
+  std::printf("%10s %16s %14s %14s %12s\n", "snap_age", "recovery_virt_ms",
+              "replayed", "resync_bytes", "complete?");
+
+  constexpr double kNoSnapshot = -1.0;
+  std::vector<double> ages =
+      bench::quick() ? std::vector<double>{0.0, 5.0, kNoSnapshot}
+                     : std::vector<double>{0.0, 5.0, 30.0, kNoSnapshot};
+  TimePoint end_time = trace.detections.back().time;
+  for (double age : ages) {
+    ClusterConfig config;
+    config.worker_count = 8;
+    config.coordinator.query_timeout = Duration::millis(20);
+    // Snapshots are taken manually so the age at crash time is exact, and
+    // the replay log is sized to retain the whole run (no pruning), so the
+    // delta path is always serveable and the comparison isolates age.
+    config.snapshot_every_ticks = 0;
+    config.replay_log_max_bytes = 64 * 1024 * 1024;
+    Cluster cluster(
+        world,
+        std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
+        config);
+
+    WorkerId victim(1);
+    if (age >= 0.0) {
+      TimePoint cut =
+          end_time - Duration::seconds(static_cast<std::int64_t>(age));
+      std::size_t split = 0;
+      while (split < trace.detections.size() &&
+             trace.detections[split].time <= cut) {
+        ++split;
+      }
+      cluster.ingest_all(
+          std::span<const Detection>(trace.detections.data(), split));
+      quiesce(cluster);
+      cluster.worker(victim).take_snapshots(cluster.now());
+      cluster.ingest_all(std::span<const Detection>(
+          trace.detections.data() + split, trace.detections.size() - split));
+    } else {
+      cluster.ingest_all(trace.detections);
+    }
+    quiesce(cluster);
+
+    std::uint64_t bytes0 = cluster.network().counters().get("bytes_sent");
+    cluster.crash_worker(victim);
+    Cluster::RecoveryReport rep = cluster.restart_worker(victim);
+    std::uint64_t bytes =
+        cluster.network().counters().get("bytes_sent") - bytes0;
+    std::uint64_t replayed =
+        cluster.worker(victim).counters().get("replayed_detections") +
+        cluster.worker(victim).counters().get("ingested_resync");
+
+    QueryResult r = cluster.execute(
+        Query::range(cluster.next_query_id(), world, TimeInterval::all()));
+    std::set<std::uint64_t> got;
+    for (const Detection& d : r.detections) got.insert(d.id.value());
+    bool complete = rep.completed && got == expected;
+
+    char label[32];
+    if (age >= 0.0) {
+      std::snprintf(label, sizeof label, "%.0fs", age);
+    } else {
+      std::snprintf(label, sizeof label, "none");
+    }
+    std::printf("%10s %16.2f %14" PRIu64 " %14" PRIu64 " %12s\n", label,
+                rep.duration.to_seconds() * 1000.0, replayed, bytes,
+                complete ? "yes" : "NO");
+    std::string suffix =
+        age >= 0.0
+            ? "_age" + std::to_string(static_cast<int>(age))
+            : "_nosnap";
+    report.set("e9d_recovery_ms" + suffix,
+               rep.duration.to_seconds() * 1000.0);
+    report.set("e9d_bytes" + suffix, static_cast<double>(bytes));
+    report.set("e9d_replayed" + suffix, static_cast<double>(replayed));
+    report.set("e9d_complete" + suffix, complete ? 1.0 : 0.0);
+  }
+  std::printf(
+      "\nexpected shape: replayed rows and resync bytes grow with snapshot\n"
+      "age; every snapshot age beats the no-snapshot (full resync) column.\n");
+}
+
 void run() {
   TraceConfig tc = bench::scenario(bench::quick() ? 0.5 : 1.5,
                                    bench::quick() ? Duration::minutes(1)
@@ -248,8 +340,9 @@ void run() {
       for (const Detection& d : during.detections) got.insert(d.id.value());
       all_complete = all_complete && (got == expected);
 
-      Duration recovery = cluster.restart_worker(victim);
-      recovery_ms += recovery.to_seconds() * 1000.0;
+      Cluster::RecoveryReport recovery = cluster.restart_worker(victim);
+      all_complete = all_complete && recovery.completed;
+      recovery_ms += recovery.duration.to_seconds() * 1000.0;
       resynced += cluster.worker(victim).counters().get("ingested_resync");
 
       // Query after recovery.
@@ -276,6 +369,7 @@ void run() {
 
   run_drop_sweep(trace, world, expected, report);
   run_gray_health(trace, world, report);
+  run_snapshot_age(trace, world, expected, report);
   report.write();
 }
 

@@ -41,6 +41,11 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   # hysteresis state machine under ASan+UBSan explicitly.
   ./build-asan/tests/test_health_alerts \
       --gtest_filter='ChaosHealth.*' >/dev/null
+  echo "== sanitizer recovery chaos rerun =="
+  # Crash/recovery interleavings (holder death mid-resync, double crash,
+  # snapshot install racing the live replica stream) under ASan+UBSan.
+  ./build-asan/tests/test_failure_recovery \
+      --gtest_filter='RecoveryChaos.*' >/dev/null
 fi
 
 echo "== columnar scan smoke (Release -O3, bench_index_micro --quick) =="
@@ -131,9 +136,10 @@ print("BENCH_knn.json OK:", len(report["scalars"]), "scalars,",
       len(stages), "explain stages")
 PY
 
-echo "== health report smoke (bench_failure_recovery --quick) =="
+echo "== health + recovery report smoke (bench_failure_recovery --quick) =="
 (cd "$SMOKE_DIR" && "$OLDPWD/build/bench/bench_failure_recovery" --quick >/dev/null)
-python3 - "$SMOKE_DIR/BENCH_failure_recovery.json" <<'PY'
+python3 - "$SMOKE_DIR/BENCH_failure_recovery.json" \
+    bench/baselines/BENCH_failure_recovery.json <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
 scalars = report["scalars"]
@@ -147,8 +153,39 @@ assert any(e["kind"] == "firing" and e["subject"].startswith("worker.")
            for e in events), events
 assert any(e["kind"] == "resolved" for e in events), events
 assert health["nodes"], "health rollup has no nodes"
+
+# E9d gate: recovery cost must be monotone in snapshot age — a fresher
+# snapshot means strictly less replayed data, and every snapshot age must
+# beat the full-resync (no snapshot) column on bytes and replayed rows.
+# Recovery time is monotone too, but delta exchanges can tie at this scale,
+# so that check is non-strict.
+ages = ["age0", "age5", "nosnap"]
+for a in ages:
+    assert scalars[f"e9d_complete_{a}"] == 1.0, \
+        f"recovery at {a} lost data: {scalars}"
+replayed = [scalars[f"e9d_replayed_{a}"] for a in ages]
+bytes_ = [scalars[f"e9d_bytes_{a}"] for a in ages]
+times = [scalars[f"e9d_recovery_ms_{a}"] for a in ages]
+assert replayed[0] < replayed[1] < replayed[2], \
+    f"replayed rows not strictly monotone in snapshot age: {replayed}"
+assert bytes_[0] < bytes_[2] and bytes_[1] < bytes_[2], \
+    f"a snapshot age failed to beat full resync on bytes: {bytes_}"
+assert times[0] <= times[2] and times[1] <= times[2], \
+    f"a snapshot age failed to beat full resync on time: {times}"
+
+# Drift gate against the committed baseline: the full-resync replay volume
+# is deterministic for the fixed seed; 20% tolerates batch-layout tweaks.
+baseline = json.load(open(sys.argv[2]))["scalars"]
+for key in ("e9d_replayed_nosnap", "e9d_bytes_nosnap"):
+    expect, got = baseline[key], scalars[key]
+    assert expect > 0, (key, baseline)
+    drift = abs(got - expect) / expect
+    assert drift <= 0.20, \
+        f"{key} drifted {drift:.1%} from baseline: {got} vs {expect}"
+
 print("BENCH_failure_recovery.json OK:", len(events), "health events,",
-      f"{int(scalars['health_samples'])} samples")
+      f"{int(scalars['health_samples'])} samples,",
+      f"E9d replayed {[int(r) for r in replayed]} (age0/age5/full)")
 PY
 
 echo "== ci.sh: all green =="

@@ -95,9 +95,12 @@ int main() {
                    {window_end - window, window_end});
 
     if (frame == 1) {
-      Duration recovery = cluster.restart_worker(WorkerId(2));
-      std::printf("*** worker 2 restarted; resync took %.2f virtual ms ***\n",
-                  recovery.to_seconds() * 1000.0);
+      Cluster::RecoveryReport recovery = cluster.restart_worker(WorkerId(2));
+      std::printf(
+          "*** worker 2 restarted; recovered %zu/%zu partitions in "
+          "%.2f virtual ms ***\n",
+          recovery.partitions_recovered, recovery.partitions_total,
+          recovery.duration.to_seconds() * 1000.0);
     }
   }
 

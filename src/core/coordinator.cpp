@@ -73,6 +73,9 @@ void Coordinator::dispatch(const Message& message, SimNetwork& network) {
       flush_ingest(network);
       break;
     }
+    case MsgType::kRecoveryDone:
+      on_recovery_done(decode_recovery_done(reader));
+      break;
     default:
       counters_.add("unknown_message");
       break;
@@ -111,37 +114,37 @@ void Coordinator::handle_timer(std::uint64_t timer_token,
 
 void Coordinator::ingest(const Detection& d, SimNetwork& network) {
   PartitionId p = strategy_.partition_of(d.camera, d.position, d.time);
-  WorkerId primary = map_.primary(p);
   ingested_.inc();
+  auto& buf = ingest_buffers_[p.value()];
+  buf.push_back(d);
+  if (buf.size() >= config_.ingest_batch_size) {
+    flush_partition_buffer(p, buf, network);
+  }
+}
 
-  auto buffer_to = [&](WorkerId w, bool replica) {
-    BatchKey key{w.value(), p.value(), replica};
-    auto& buf = ingest_buffers_[key];
-    buf.push_back(d);
-    if (buf.size() >= config_.ingest_batch_size) {
-      IngestBatch batch{p, replica, std::move(buf)};
-      buf.clear();
-      channel_.send(worker_node(w),
-                    static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                    encode(batch), network);
-    }
-  };
-
-  buffer_to(primary, false);
+void Coordinator::flush_partition_buffer(PartitionId p,
+                                         std::vector<Detection>& buffer,
+                                         SimNetwork& network) {
+  if (buffer.empty()) return;
+  // One pbid per flushed batch; the primary and backup copies carry the
+  // same pbid over identical contents, which is what makes per-source
+  // watermarks comparable across holders during recovery.
+  IngestBatch batch{p, false, std::move(buffer), ++ingest_pbids_[p.value()]};
+  buffer.clear();
+  channel_.send(worker_node(map_.primary(p)),
+                static_cast<std::uint32_t>(MsgType::kIngestBatch),
+                encode(batch), network);
   if (config_.replicate && map_.has_distinct_backup(p)) {
-    buffer_to(map_.backup(p), true);
+    batch.is_replica = true;
+    channel_.send(worker_node(map_.backup(p)),
+                  static_cast<std::uint32_t>(MsgType::kIngestBatch),
+                  encode(batch), network);
   }
 }
 
 void Coordinator::flush_ingest(SimNetwork& network) {
-  for (auto& [key, buf] : ingest_buffers_) {
-    if (buf.empty()) continue;
-    IngestBatch batch{PartitionId(key.partition), key.replica,
-                      std::move(buf)};
-    buf.clear();
-    channel_.send(NodeId(key.node),
-                  static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                  encode(batch), network);
+  for (auto& [partition, buf] : ingest_buffers_) {
+    flush_partition_buffer(PartitionId(partition), buf, network);
   }
 }
 
@@ -418,6 +421,13 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
     peer_stats(frag.worker).hedged->inc();
     std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
     for (PartitionId p : frag.partitions) {
+      if (recovering_.contains(p)) {
+        // The backup is the mid-resync rejoiner: hedging to it would race
+        // an incomplete partition. The surviving holder (the primary we
+        // already asked) is the only correct source.
+        counters_.add("hedges_suppressed_recovering");
+        continue;
+      }
       if (!map_.has_distinct_backup(p)) continue;
       WorkerId backup = map_.backup(p);
       if (worker_node(backup) == frag.worker) continue;
@@ -499,6 +509,7 @@ void Coordinator::failover_retry(std::uint64_t request_id,
     if (pending.outstanding > 0) --pending.outstanding;
     std::unordered_map<NodeId, std::vector<PartitionId>> by_backup;
     for (PartitionId p : frag.partitions) {
+      if (recovering_.contains(p)) continue;  // backup is mid-resync
       WorkerId backup = map_.backup(p);
       if (worker_node(backup) == frag.worker) continue;  // no usable replica
       if (suspected_.contains(backup)) continue;         // replica also down
@@ -561,12 +572,79 @@ Coordinator::PeerStats& Coordinator::peer_stats(NodeId worker) {
 void Coordinator::promote_backups_of(WorkerId worker) {
   for (std::size_t i = 0; i < map_.partition_count(); ++i) {
     PartitionId p(i);
+    if (recovering_.contains(p)) continue;  // backup is mid-resync
     if (map_.primary(p) == worker && map_.has_distinct_backup(p) &&
         !suspected_.contains(map_.backup(p))) {
       map_.set_primary(p, map_.backup(p));
       counters_.add("partitions_failed_over");
     }
   }
+}
+
+// ---------------------------------------------------------------- recovery
+
+Coordinator::RecoveryPlan Coordinator::begin_worker_recovery(WorkerId w) {
+  // Stale RECOVERING entries for the same target mean the previous
+  // recovery never completed (the worker re-crashed, or the exchange gave
+  // up); replan them from the current map.
+  std::erase_if(recovering_,
+                [&](const auto& kv) { return kv.second.target == w; });
+  RecoveryPlan plan;
+  plan.recovery_id = next_recovery_id_++;
+  for (std::size_t i = 0; i < map_.partition_count(); ++i) {
+    PartitionId p(i);
+    WorkerId primary = map_.primary(p);
+    WorkerId backup = map_.backup(p);
+    if (primary == w && backup != w) {
+      // The rejoiner was primary: serve from the surviving backup while it
+      // recovers, and keep the rejoiner as backup so the live replica
+      // stream warms it during the catch-up window.
+      map_.set_primary(p, backup);
+      map_.set_backup(p, w);
+      recovering_[p] = {w, backup, /*restore_primary=*/true,
+                        plan.recovery_id};
+      plan.specs.push_back({p, worker_node(backup)});
+    } else if (backup == w && primary != w) {
+      recovering_[p] = {w, primary, /*restore_primary=*/false,
+                        plan.recovery_id};
+      plan.specs.push_back({p, worker_node(primary)});
+    } else if (primary == backup && primary != w) {
+      // Failover earlier collapsed this partition onto one holder;
+      // re-replicate onto the rejoining worker.
+      map_.set_backup(p, w);
+      recovering_[p] = {w, primary, /*restore_primary=*/false,
+                        plan.recovery_id};
+      plan.specs.push_back({p, worker_node(primary)});
+      counters_.add("partitions_rereplicated");
+    } else if (primary == w && backup == w) {
+      // No surviving holder anywhere: recovery is local-only (vault
+      // snapshot or nothing). Not marked RECOVERING — queries against it
+      // answer from whatever the snapshot restores, or go partial.
+      plan.specs.push_back({p, NodeId(0)});
+    }
+  }
+  if (recovering_count_for(w) > 0) counters_.add("recoveries_started");
+  partitions_recovering_.set(static_cast<double>(recovering_.size()));
+  return plan;
+}
+
+void Coordinator::on_recovery_done(const RecoveryDone& done) {
+  auto it = recovering_.find(done.partition);
+  if (it == recovering_.end() ||
+      it->second.recovery_id != done.recovery_id) {
+    // Stale completion from a previous incarnation (the worker re-crashed
+    // and a new plan superseded this one): must not flip routing.
+    counters_.add("recovery_done_stale");
+    return;
+  }
+  RecoveringPartition r = it->second;
+  recovering_.erase(it);
+  if (r.restore_primary) {
+    map_.set_primary(done.partition, r.target);
+    map_.set_backup(done.partition, r.holder);
+  }
+  counters_.add("partitions_recovered");
+  partitions_recovering_.set(static_cast<double>(recovering_.size()));
 }
 
 // ---------------------------------------------------- continuous queries

@@ -31,6 +31,7 @@
 #include "common/ids.h"
 #include "common/stats.h"
 #include "core/protocol.h"
+#include "core/recovery.h"
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
@@ -86,6 +87,7 @@ class Coordinator final : public NetworkNode {
         failover_retries_(metrics_.counter("failover_retries")),
         queries_partial_(metrics_.counter("queries_partial")),
         workers_suspected_(metrics_.counter("workers_suspected")),
+        partitions_recovering_(metrics_.gauge("partitions_recovering")),
         trajectory_partitions_pruned_(
             metrics_.counter("trajectory_partitions_pruned")),
         estimate_q_error_x100_(metrics_.histogram("estimate_q_error_x100")),
@@ -152,6 +154,38 @@ class Coordinator final : public NetworkNode {
   // -------------------------------------------------------------- failover
   /// Promotes backups for every partition whose primary is `worker`.
   void promote_backups_of(WorkerId worker);
+
+  // -------------------------------------------------------------- recovery
+
+  /// The routing plan for one worker's restart: which holder each lost
+  /// partition recovers from, tagged with a recovery id so stale
+  /// completions from a previous incarnation are ignored.
+  struct RecoveryPlan {
+    std::uint64_t recovery_id = 0;
+    std::vector<RecoverySpec> specs;
+  };
+
+  /// Flips routing *before* any data moves: every partition `w` held is
+  /// pointed at its surviving holder (the recovering worker rides along as
+  /// backup so the live replica stream warms it), marked RECOVERING, and
+  /// given a recovery spec. Partitions with no surviving holder get a
+  /// local-only spec (holder NodeId(0)) and are not marked — there is
+  /// nothing to wait for, and queries against them go partial rather than
+  /// silently empty.
+  [[nodiscard]] RecoveryPlan begin_worker_recovery(WorkerId w);
+
+  /// Partitions currently marked RECOVERING with `w` as the rejoining
+  /// target (0 == recovery complete from the router's point of view).
+  [[nodiscard]] std::size_t recovering_count_for(WorkerId w) const {
+    std::size_t n = 0;
+    for (const auto& [p, r] : recovering_) {
+      if (r.target == w) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] bool partition_recovering(PartitionId p) const {
+    return recovering_.contains(p);
+  }
 
   [[nodiscard]] const PartitionMap& partition_map() const { return map_; }
   /// Mutable access for recovery orchestration (re-replication after
@@ -271,6 +305,7 @@ class Coordinator final : public NetworkNode {
   void maybe_finish(std::uint64_t request_id, PendingQuery& pending,
                     TimePoint now);
   void on_deltas(const DeltaBatch& batch);
+  void on_recovery_done(const RecoveryDone& done);
   /// Speculatively re-issues unanswered fragments to partition backups.
   void hedge(std::uint64_t request_id, SimNetwork& network);
   /// Re-routes a timed-out request's unanswered partitions to backups.
@@ -284,22 +319,29 @@ class Coordinator final : public NetworkNode {
   PartitionMap map_;
   CoordinatorConfig config_;
 
-  // Ingest batching: (worker node, partition, is_replica) → buffered batch.
-  struct BatchKey {
-    std::uint64_t node;
-    std::uint64_t partition;
-    bool replica;
-    friend bool operator==(const BatchKey&, const BatchKey&) = default;
+  /// Flushes one partition's buffer: assigns the batch its pbid and sends
+  /// the identical detection set to the primary and (distinct) backup.
+  void flush_partition_buffer(PartitionId p, std::vector<Detection>& buffer,
+                              SimNetwork& network);
+
+  // Ingest batching: per partition, so one pbid covers the identical batch
+  // sent to both holders (that is what makes watermarks comparable across
+  // replicas).
+  std::unordered_map<std::uint64_t, std::vector<Detection>> ingest_buffers_;
+  // Next batch id per partition (pbid 0 is reserved for "unsequenced").
+  std::unordered_map<std::uint64_t, std::uint64_t> ingest_pbids_;
+
+  /// RECOVERING bookkeeping for one partition: who is rejoining, who is
+  /// serving meanwhile, and whether the rejoiner was the primary (so roles
+  /// are restored on completion).
+  struct RecoveringPartition {
+    WorkerId target;
+    WorkerId holder;
+    bool restore_primary = false;
+    std::uint64_t recovery_id = 0;
   };
-  struct BatchKeyHash {
-    std::size_t operator()(const BatchKey& k) const {
-      return std::hash<std::uint64_t>{}(k.node * 0x9e3779b97f4a7c15ULL ^
-                                        (k.partition << 1) ^
-                                        (k.replica ? 1 : 0));
-    }
-  };
-  std::unordered_map<BatchKey, std::vector<Detection>, BatchKeyHash>
-      ingest_buffers_;
+  std::unordered_map<PartitionId, RecoveringPartition> recovering_;
+  std::uint64_t next_recovery_id_ = 1;
 
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_sub_id_ = 1;
@@ -334,6 +376,7 @@ class Coordinator final : public NetworkNode {
   Counter& failover_retries_;
   Counter& queries_partial_;
   Counter& workers_suspected_;
+  Gauge& partitions_recovering_;
   // Reference member: bumped from the const footprint() planning path.
   Counter& trajectory_partitions_pruned_;
   // Planner calibration: q-error × 100 per realized estimate.

@@ -41,6 +41,10 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
   worker_config.retention = config_.retention;
   worker_config.summary_every_ticks = config_.summary_every_ticks;
   worker_config.channel = config_.reliable;
+  worker_config.snapshot_every_ticks = config_.snapshot_every_ticks;
+  worker_config.replay_log_max_bytes = config_.replay_log_max_bytes;
+  worker_config.resync_retry_timeout = config_.resync_retry_timeout;
+  worker_config.resync_max_attempts = config_.resync_max_attempts;
   for (WorkerId w : worker_ids_) {
     auto worker = std::make_unique<WorkerNode>(
         w, NodeId(kCoordinatorNode), worker_config);
@@ -292,43 +296,61 @@ void Cluster::crash_worker(WorkerId w) {
   coordinator_->counters().add("workers_crashed");
 }
 
-Duration Cluster::restart_worker(WorkerId w) {
+Cluster::RecoveryReport Cluster::restart_worker(WorkerId w) {
   TimePoint start = network_.now();
   network_.restart(NodeId(w.value()));
 
-  // The restarted worker resyncs every partition it should hold (as primary
-  // or backup) from the other replica. Partitions left degraded by an
-  // earlier failover (primary == backup) are re-replicated onto the
-  // restarted worker, restoring single-failure tolerance.
-  PartitionMap& map = coordinator_->mutable_partition_map();
-  std::vector<std::pair<PartitionId, NodeId>> holders;
-  for (std::size_t i = 0; i < map.partition_count(); ++i) {
-    PartitionId p(i);
-    WorkerId primary = map.primary(p);
-    WorkerId backup = map.backup(p);
-    if (primary == w && backup != w) {
-      holders.emplace_back(p, NodeId(backup.value()));
-    } else if (backup == w && primary != w) {
-      holders.emplace_back(p, NodeId(primary.value()));
-    } else if (primary == backup && primary != w) {
-      map.set_backup(p, w);
-      holders.emplace_back(p, NodeId(primary.value()));
-      coordinator_->counters().add("partitions_rereplicated");
-    }
-  }
   WorkerNode& node = worker(w);
   node.restart_ticks(network_);
   coordinator_->clear_suspicion(w);
-  node.start_resync(holders, network_);
-  // Bounded by virtual time: under heavy loss a sync exchange can exhaust
-  // its retransmission ladder (e.g. the replica holder is also down), and
-  // recurring timers keep the queue non-empty forever.
-  TimePoint deadline = network_.now() + Duration::seconds(30);
-  while (!node.resync_complete() && network_.now() < deadline) {
+
+  TraceContext rspan;
+  if (tracer_.enabled()) {
+    rspan = tracer_.start_trace("recovery", w.value(), network_.now());
+    tracer_.tag(rspan, "worker", std::to_string(w.value()));
+    last_trace_id_ = rspan.trace_id;
+  }
+
+  // Routing flips before any data moves: the surviving holder serves as
+  // primary while the rejoiner rides as backup (warmed by the live replica
+  // stream), and per-partition RECOVERING state gates hedging/failover
+  // until RecoveryDone flips roles back.
+  Coordinator::RecoveryPlan plan = coordinator_->begin_worker_recovery(w);
+  node.start_recovery(plan.recovery_id, plan.specs, rspan, network_);
+
+  RecoveryReport report;
+  report.partitions_total = plan.specs.size();
+
+  // Bounded by virtual time: each sync exchange has its own retry/backoff
+  // ladder, but recurring timers keep the queue non-empty forever, so the
+  // pump itself needs a deadline too.
+  TimePoint deadline = network_.now() + config_.resync_timeout;
+  while (network_.now() < deadline) {
+    if (node.resync_complete() &&
+        coordinator_->recovering_count_for(w) <= node.recovery_failed_count()) {
+      break;
+    }
     if (!network_.step()) break;
   }
+
+  report.duration = network_.now() - start;
+  report.partitions_recovered = node.recovery_recovered_count();
+  report.partitions_failed = node.recovery_failed_count();
+  report.completed =
+      node.resync_complete() && coordinator_->recovering_count_for(w) == 0 &&
+      report.partitions_failed == 0;
+  if (!report.completed && network_.now() >= deadline) {
+    coordinator_->counters().add("resync_timeout");
+  }
+  if (rspan.valid()) {
+    tracer_.tag(rspan, "partitions", std::to_string(report.partitions_total));
+    tracer_.tag(rspan, "recovered",
+                std::to_string(report.partitions_recovered));
+    tracer_.tag(rspan, "outcome", report.completed ? "ok" : "incomplete");
+    tracer_.end_span(rspan, network_.now());
+  }
   coordinator_->counters().add("workers_restarted");
-  return network_.now() - start;
+  return report;
 }
 
 }  // namespace stcn

@@ -61,6 +61,16 @@ struct ClusterConfig {
   std::uint32_t summary_every_ticks = 5;
   /// Reliable-transport knobs, applied to the coordinator and every worker.
   ReliableChannelConfig reliable;
+  /// Snapshot cadence in monitor ticks (0 disables the snapshot ticker).
+  std::uint32_t snapshot_every_ticks = 10;
+  /// Per-partition replay-log retention budget on each worker.
+  std::size_t replay_log_max_bytes = 4 * 1024 * 1024;
+  /// First retry timeout of a recovery sync exchange (doubles per attempt).
+  Duration resync_retry_timeout = Duration::millis(500);
+  /// Attempts per sync exchange before the partition is declared failed.
+  std::uint32_t resync_max_attempts = 6;
+  /// Overall restart_worker deadline (virtual time).
+  Duration resync_timeout = Duration::seconds(30);
   /// Distributed-tracing retention; max_traces = 0 disables tracing.
   TracerConfig tracer;
   /// Continuous cluster health monitoring (see ClusterHealthConfig).
@@ -171,12 +181,28 @@ class Cluster {
 
   // ------------------------------------------------------------ failures
   /// Crashes a worker: network partitions it away AND its in-memory state
-  /// is lost (real crash semantics).
+  /// is lost (real crash semantics). Snapshots persist (local disk model).
   void crash_worker(WorkerId w);
-  /// Restarts a crashed worker and resyncs its primary partitions from
-  /// their replicas. Returns once resync completes; the return value is the
-  /// virtual time the recovery took.
-  Duration restart_worker(WorkerId w);
+
+  /// Outcome of restart_worker: how long recovery took (virtual time) and
+  /// whether every partition actually caught up. `completed == false`
+  /// means the deadline expired or some exchange exhausted its retry
+  /// ladder — the coordinator keeps routing those partitions to the
+  /// surviving holder, so queries stay correct either way.
+  struct RecoveryReport {
+    Duration duration = Duration::zero();
+    bool completed = false;
+    std::size_t partitions_total = 0;
+    std::size_t partitions_recovered = 0;
+    std::size_t partitions_failed = 0;
+  };
+
+  /// Restarts a crashed worker and recovers the partitions it should hold
+  /// via snapshot install + replay-log delta resync (full copy when no
+  /// usable snapshot/log survives). Routing flips to the surviving holder
+  /// before any data moves and flips back per partition on catch-up, so
+  /// serving stays correct throughout.
+  RecoveryReport restart_worker(WorkerId w);
 
   // ------------------------------------------------------------ plumbing
   /// Delivers all in-flight messages (bounded by `horizon` of virtual time

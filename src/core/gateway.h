@@ -59,21 +59,16 @@ class GatewayNode final : public NetworkNode {
       if (relay_buffer_.size() >= config_.batch_size) flush_relay(network);
       return;
     }
-    buffer_to(worker_node(map_.primary(p)), p, false, d, network);
-    if (config_.replicate && map_.has_distinct_backup(p)) {
-      buffer_to(worker_node(map_.backup(p)), p, true, d, network);
+    auto& buffer = buffers_[p.value()];
+    buffer.push_back(d);
+    if (buffer.size() >= config_.batch_size) {
+      flush_partition(p, buffer, network);
     }
   }
 
   void flush(SimNetwork& network) {
-    for (auto& [key, buffer] : buffers_) {
-      if (buffer.empty()) continue;
-      IngestBatch batch{PartitionId(key.partition), key.replica,
-                        std::move(buffer)};
-      buffer.clear();
-      network.send({id_, NodeId(key.node),
-                    static_cast<std::uint32_t>(MsgType::kIngestBatch),
-                    encode(batch), network.now(), {}});
+    for (auto& [partition, buffer] : buffers_) {
+      flush_partition(PartitionId(partition), buffer, network);
     }
     flush_relay(network);
   }
@@ -82,31 +77,23 @@ class GatewayNode final : public NetworkNode {
   void refresh_map(const PartitionMap& live) { map_ = live; }
 
  private:
-  struct BufferKey {
-    std::uint64_t node;
-    std::uint64_t partition;
-    bool replica;
-    friend bool operator==(const BufferKey&, const BufferKey&) = default;
-  };
-  struct BufferKeyHash {
-    std::size_t operator()(const BufferKey& k) const {
-      return std::hash<std::uint64_t>{}(k.node * 0x9e3779b97f4a7c15ULL ^
-                                        (k.partition << 1) ^
-                                        (k.replica ? 1 : 0));
-    }
-  };
-
   static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
 
-  void buffer_to(NodeId node, PartitionId p, bool replica,
-                 const Detection& d, SimNetwork& network) {
-    BufferKey key{node.value(), p.value(), replica};
-    auto& buffer = buffers_[key];
-    buffer.push_back(d);
-    if (buffer.size() >= config_.batch_size) {
-      IngestBatch batch{p, replica, std::move(buffer)};
-      buffer.clear();
-      network.send({id_, node,
+  /// Per-partition flush: assigns the batch its pbid (the gateway is one
+  /// ingest *source*; the coordinator is another) and sends the identical
+  /// set to the primary and distinct backup, so recovery watermarks stay
+  /// comparable across holders.
+  void flush_partition(PartitionId p, std::vector<Detection>& buffer,
+                       SimNetwork& network) {
+    if (buffer.empty()) return;
+    IngestBatch batch{p, false, std::move(buffer), ++next_pbid_[p.value()]};
+    buffer.clear();
+    network.send({id_, worker_node(map_.primary(p)),
+                  static_cast<std::uint32_t>(MsgType::kIngestBatch),
+                  encode(batch), network.now(), {}});
+    if (config_.replicate && map_.has_distinct_backup(p)) {
+      batch.is_replica = true;
+      network.send({id_, worker_node(map_.backup(p)),
                     static_cast<std::uint32_t>(MsgType::kIngestBatch),
                     encode(batch), network.now(), {}});
     }
@@ -126,8 +113,10 @@ class GatewayNode final : public NetworkNode {
   const PartitionStrategy& strategy_;
   PartitionMap map_;
   GatewayConfig config_;
-  std::unordered_map<BufferKey, std::vector<Detection>, BufferKeyHash>
-      buffers_;
+  // Per-partition buffers keyed by raw partition id; one pbid sequence per
+  // partition (pbid 0 is reserved for "unsequenced").
+  std::unordered_map<std::uint64_t, std::vector<Detection>> buffers_;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_pbid_;
   std::vector<Detection> relay_buffer_;
 };
 

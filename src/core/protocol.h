@@ -9,6 +9,7 @@
 
 #include "common/ids.h"
 #include "common/serialize.h"
+#include "core/recovery.h"
 #include "index/bloom.h"
 #include "query/query.h"
 #include "query/result.h"
@@ -30,6 +31,9 @@ enum class MsgType : std::uint32_t {
   kObjectSummary = 11,   // worker → coordinator: per-partition object Bloom
   kReliableData = 12,    // reliable-channel DATA frame (wraps another type)
   kReliableAck = 13,     // reliable-channel ACK frame
+  kDeltaSyncRequest = 14,   // recovering worker → holder: post-watermark data
+  kDeltaSyncResponse = 15,  // holder → recovering worker: replay-log entries
+  kRecoveryDone = 16,       // worker → coordinator: partition caught up
 };
 
 // ------------------------------------------------------------ ingest batch
@@ -38,6 +42,12 @@ struct IngestBatch {
   PartitionId partition;
   bool is_replica = false;  // replica copies do not drive monitors/deltas
   std::vector<Detection> detections;
+  /// Per-(source, partition) monotonically increasing batch id, assigned by
+  /// the sender at flush time. The same pbid is stamped on the primary and
+  /// replica copies (identical contents), so watermarks are comparable
+  /// across holders. 0 = unsequenced (direct test sends): never advances a
+  /// watermark, always included in delta replays.
+  std::uint64_t pbid = 0;
 };
 
 /// Exact encoded size of a detection vector (length prefix + elements),
@@ -51,9 +61,10 @@ struct IngestBatch {
 
 inline std::vector<std::uint8_t> encode(const IngestBatch& batch) {
   BinaryWriter w;
-  w.reserve(8 + 1 + wire_size(batch.detections));
+  w.reserve(8 + 1 + 8 + wire_size(batch.detections));
   w.write_id(batch.partition);
   w.write_bool(batch.is_replica);
+  w.write_u64(batch.pbid);
   w.write_vector(batch.detections,
                  [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
   return w.take();
@@ -63,6 +74,7 @@ inline IngestBatch decode_ingest_batch(BinaryReader& r) {
   IngestBatch batch;
   batch.partition = r.read_id<PartitionIdTag>();
   batch.is_replica = r.read_bool();
+  batch.pbid = r.read_u64();
   batch.detections = r.read_vector<Detection>(
       [](BinaryReader& br) { return deserialize_detection(br); });
   return batch;
@@ -308,6 +320,14 @@ inline SyncRequest decode_sync_request(BinaryReader& r) {
 struct SyncResponse {
   PartitionId partition;
   std::vector<Detection> detections;
+  /// Holder's contiguous per-source watermark for this partition: the
+  /// receiver adopts it as its own floor (everything at or below is in
+  /// `detections`), so future delta syncs start from here.
+  Watermark watermark;
+  /// Replay-log entries past `watermark` — rows delivered out of order that
+  /// the contiguous watermark does not cover. Receivers append them to
+  /// their own log under the true (source, pbid) identity.
+  std::vector<ReplayEntry> tail;
 };
 
 inline std::vector<std::uint8_t> encode(const SyncResponse& resp) {
@@ -316,6 +336,10 @@ inline std::vector<std::uint8_t> encode(const SyncResponse& resp) {
   w.write_id(resp.partition);
   w.write_vector(resp.detections,
                  [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+  write_watermark(w, resp.watermark);
+  w.write_vector(resp.tail, [](BinaryWriter& bw, const ReplayEntry& e) {
+    write_replay_entry(bw, e);
+  });
   return w.take();
 }
 
@@ -324,7 +348,91 @@ inline SyncResponse decode_sync_response(BinaryReader& r) {
   resp.partition = r.read_id<PartitionIdTag>();
   resp.detections = r.read_vector<Detection>(
       [](BinaryReader& br) { return deserialize_detection(br); });
+  resp.watermark = read_watermark(r);
+  resp.tail = r.read_vector<ReplayEntry>(
+      [](BinaryReader& br) { return read_replay_entry(br); });
   return resp;
+}
+
+// ----------------------------------------------------------- delta sync
+
+/// Recovering worker → holder: "I have everything up to `since`; send what
+/// I'm missing." Served from the holder's replay log iff the log still
+/// retains every batch past `since`; otherwise the holder refuses and the
+/// requester falls back to a full SyncRequest.
+struct DeltaSyncRequest {
+  PartitionId partition;
+  Watermark since;
+};
+
+inline std::vector<std::uint8_t> encode(const DeltaSyncRequest& req) {
+  BinaryWriter w;
+  w.write_id(req.partition);
+  write_watermark(w, req.since);
+  return w.take();
+}
+
+inline DeltaSyncRequest decode_delta_sync_request(BinaryReader& r) {
+  DeltaSyncRequest req;
+  req.partition = r.read_id<PartitionIdTag>();
+  req.since = read_watermark(r);
+  return req;
+}
+
+struct DeltaSyncResponse {
+  PartitionId partition;
+  bool ok = false;  // false: log pruned past `since` — do a full sync
+  Watermark watermark;
+  std::vector<ReplayEntry> entries;
+};
+
+inline std::vector<std::uint8_t> encode(const DeltaSyncResponse& resp) {
+  BinaryWriter w;
+  w.write_id(resp.partition);
+  w.write_bool(resp.ok);
+  write_watermark(w, resp.watermark);
+  w.write_vector(resp.entries, [](BinaryWriter& bw, const ReplayEntry& e) {
+    write_replay_entry(bw, e);
+  });
+  return w.take();
+}
+
+inline DeltaSyncResponse decode_delta_sync_response(BinaryReader& r) {
+  DeltaSyncResponse resp;
+  resp.partition = r.read_id<PartitionIdTag>();
+  resp.ok = r.read_bool();
+  resp.watermark = read_watermark(r);
+  resp.entries = r.read_vector<ReplayEntry>(
+      [](BinaryReader& br) { return read_replay_entry(br); });
+  return resp;
+}
+
+// ---------------------------------------------------------- recovery done
+
+/// Worker → coordinator: one partition's recovery exchange finished and the
+/// partition is caught up. `recovery_id` identifies the restart_worker
+/// plan that started it, so a stale completion from a previous incarnation
+/// (worker re-crashed mid-recovery) cannot flip routing back early.
+struct RecoveryDone {
+  std::uint64_t recovery_id = 0;
+  PartitionId partition;
+  std::uint64_t detections = 0;  // rows held at completion time
+};
+
+inline std::vector<std::uint8_t> encode(const RecoveryDone& done) {
+  BinaryWriter w;
+  w.write_u64(done.recovery_id);
+  w.write_id(done.partition);
+  w.write_u64(done.detections);
+  return w.take();
+}
+
+inline RecoveryDone decode_recovery_done(BinaryReader& r) {
+  RecoveryDone done;
+  done.recovery_id = r.read_u64();
+  done.partition = r.read_id<PartitionIdTag>();
+  done.detections = r.read_u64();
+  return done;
 }
 
 }  // namespace stcn

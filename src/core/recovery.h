@@ -1,0 +1,221 @@
+// Incremental crash recovery: watermarks, replay logs, and snapshots.
+//
+// Every ingest sender (the coordinator, each gateway) stamps the batches it
+// emits with a per-partition monotonically increasing batch id (`pbid`).
+// Workers track, per (partition, source), the highest *contiguous* pbid they
+// have applied — the watermark. A snapshot is a serialized DetectionStore
+// keyed by the watermark at capture time; a replay log retains recent
+// batches past the watermark so a restarted peer can fetch only the delta
+// instead of re-copying the whole partition.
+//
+// Soundness invariant: every row in a holder's store either arrived in a
+// batch with pbid <= floor[source] (covered by any watermark >= floor), or
+// is still present in a retained log entry. A holder can therefore serve a
+// delta request `since` iff floor[source] <= since[source] for every source
+// it has pruned — everything older is already covered by the requester's
+// contiguous watermark, everything newer is in the log.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "common/time.h"
+#include "trace/detection.h"
+
+namespace stcn {
+
+/// Per-source contiguous batch watermark. std::map so wire encoding is
+/// deterministic across runs (the sim is fully deterministic).
+using Watermark = std::map<std::uint64_t, std::uint64_t>;
+
+inline void write_watermark(BinaryWriter& w, const Watermark& mark) {
+  w.write_u32(static_cast<std::uint32_t>(mark.size()));
+  for (const auto& [source, pbid] : mark) {
+    w.write_u64(source);
+    w.write_u64(pbid);
+  }
+}
+
+inline Watermark read_watermark(BinaryReader& r) {
+  Watermark mark;
+  std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    std::uint64_t source = r.read_u64();
+    mark[source] = r.read_u64();
+  }
+  return mark;
+}
+
+/// Tracks the highest contiguous pbid seen from one source. The reliable
+/// channel can deliver batches out of order, so pbids ahead of the
+/// contiguous frontier are parked until the gap fills.
+struct PbidTracker {
+  std::uint64_t contig = 0;
+  std::set<std::uint64_t> ahead;
+
+  void note(std::uint64_t pbid) {
+    if (pbid == 0 || pbid <= contig) return;
+    if (pbid == contig + 1) {
+      ++contig;
+      drain();
+    } else {
+      ahead.insert(pbid);
+    }
+  }
+
+  /// Adopt a remote watermark (snapshot install / full sync): everything up
+  /// to `w` is known-applied regardless of what we saw arrive directly.
+  void advance_to(std::uint64_t w) {
+    if (w <= contig) return;
+    contig = w;
+    ahead.erase(ahead.begin(), ahead.upper_bound(w));
+    drain();
+  }
+
+ private:
+  void drain() {
+    while (!ahead.empty() && *ahead.begin() == contig + 1) {
+      ++contig;
+      ahead.erase(ahead.begin());
+    }
+  }
+};
+
+/// One retained ingest batch: the (source, pbid) identity plus its payload.
+struct ReplayEntry {
+  std::uint64_t source = 0;
+  std::uint64_t pbid = 0;  // 0 = unsequenced (direct test sends)
+  std::vector<Detection> detections;
+};
+
+inline void write_replay_entry(BinaryWriter& w, const ReplayEntry& e) {
+  w.write_u64(e.source);
+  w.write_u64(e.pbid);
+  w.write_vector(e.detections,
+                 [](BinaryWriter& bw, const Detection& d) { serialize(bw, d); });
+}
+
+inline ReplayEntry read_replay_entry(BinaryReader& r) {
+  ReplayEntry e;
+  e.source = r.read_u64();
+  e.pbid = r.read_u64();
+  e.detections = r.read_vector<Detection>(
+      [](BinaryReader& br) { return deserialize_detection(br); });
+  return e;
+}
+
+/// Bounded per-partition log of recent ingest batches. Holders keep it so a
+/// restarted peer can replay only post-watermark data. Pruning records the
+/// highest discarded pbid per source (the floor); a delta request older
+/// than the floor cannot be served and falls back to a full sync.
+class ReplayLog {
+ public:
+  void set_max_bytes(std::size_t max_bytes) { max_bytes_ = max_bytes; }
+
+  void append(std::uint64_t source, std::uint64_t pbid,
+              const std::vector<Detection>& detections) {
+    bytes_ += entry_cost(detections);
+    entries_.push_back({source, pbid, detections});
+    while (bytes_ > max_bytes_ && entries_.size() > 1) {
+      const ReplayEntry& front = entries_.front();
+      bytes_ -= entry_cost(front.detections);
+      if (front.pbid == 0) {
+        unsequenced_pruned_ = true;
+      } else {
+        std::uint64_t& f = floor_[front.source];
+        if (front.pbid > f) f = front.pbid;
+      }
+      entries_.pop_front();
+    }
+  }
+
+  /// Can this log cover everything a peer at watermark `since` is missing?
+  [[nodiscard]] bool can_serve(const Watermark& since) const {
+    if (unsequenced_pruned_) return false;
+    for (const auto& [source, floor] : floor_) {
+      auto it = since.find(source);
+      std::uint64_t have = it == since.end() ? 0 : it->second;
+      if (floor > have) return false;
+    }
+    return true;
+  }
+
+  /// Entries the peer at `since` has not applied (plus all unsequenced).
+  [[nodiscard]] std::vector<ReplayEntry> collect(const Watermark& since) const {
+    std::vector<ReplayEntry> out;
+    for (const ReplayEntry& e : entries_) {
+      if (e.pbid == 0) {
+        out.push_back(e);
+        continue;
+      }
+      auto it = since.find(e.source);
+      std::uint64_t have = it == since.end() ? 0 : it->second;
+      if (e.pbid > have) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Max-merge a remote watermark into the floor: after adopting a snapshot
+  /// or full sync at watermark `w`, rows at or below `w` live only in the
+  /// store, so this log cannot serve peers older than `w`.
+  void set_floor(const Watermark& w) {
+    for (const auto& [source, pbid] : w) {
+      std::uint64_t& f = floor_[source];
+      if (pbid > f) f = pbid;
+    }
+  }
+
+  [[nodiscard]] const Watermark& floor() const { return floor_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  void clear() {
+    entries_.clear();
+    floor_.clear();
+    bytes_ = 0;
+    unsequenced_pruned_ = false;
+  }
+
+ private:
+  static std::size_t entry_cost(const std::vector<Detection>& detections) {
+    return 16 + wire_size_of(detections);
+  }
+  static std::size_t wire_size_of(const std::vector<Detection>& detections) {
+    std::size_t n = 4;
+    for (const Detection& d : detections) n += wire_size(d);
+    return n;
+  }
+
+  std::deque<ReplayEntry> entries_;
+  Watermark floor_;
+  std::size_t bytes_ = 0;
+  std::size_t max_bytes_ = 4u << 20;
+  bool unsequenced_pruned_ = false;
+};
+
+/// One partition's recovery source: fetch from `holder`, or rebuild from the
+/// local snapshot vault alone when no holder survives (holder NodeId(0)).
+struct RecoverySpec {
+  PartitionId partition;
+  NodeId holder;
+};
+
+/// A versioned, watermark-keyed capture of one partition: the serialized
+/// columnar store plus the log tail past the watermark at capture time.
+/// Lives in the worker's vault, which survives lose_state() — it models
+/// a checkpoint on local disk that a process crash does not erase.
+struct PartitionSnapshot {
+  std::uint64_t version = 0;
+  TimePoint taken_at;
+  Watermark watermark;
+  std::vector<std::uint8_t> store_bytes;
+  std::vector<ReplayEntry> tail;
+  std::size_t rows = 0;
+};
+
+}  // namespace stcn

@@ -127,7 +127,11 @@ inline ClusterStats collect_stats(Cluster& cluster) {
     ws.id = id;
     ws.primary_events = w.counters().get("ingested_primary");
     ws.replica_events = w.counters().get("ingested_replica");
-    ws.resync_events = w.counters().get("ingested_resync");
+    // Rows re-acquired through any recovery path: snapshot install,
+    // replay-log replay, or holder-to-holder resync transfer.
+    ws.resync_events = w.counters().get("ingested_resync") +
+                       w.counters().get("replayed_detections") +
+                       w.counters().get("snapshot_rows_installed");
     ws.queries_served = w.counters().get("queries_served");
     ws.stored_detections = w.stored_detections();
     ws.partitions = w.partition_count();

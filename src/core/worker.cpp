@@ -10,6 +10,14 @@ namespace {
 // channel owns its own token range ([2^62, 2^62 + 2^32)), far above any
 // plausible generation count.
 constexpr std::uint64_t kMonitorTickBase = 1'000;
+// Snapshot ticker chain: same generation scheme, disjoint base (far above
+// any plausible monitor-tick generation).
+constexpr std::uint64_t kSnapshotTickBase = 500'000'000;
+// Recovery exchange retry timers: base + a task token that is monotonic
+// across restarts, so a timer parked by a crash can never alias a live
+// task after the worker rejoins.
+constexpr std::uint64_t kRecoveryTimerBase = 1'000'000'000;
+constexpr std::uint64_t kRecoveryTimerSpan = std::uint64_t{1} << 32;
 }  // namespace
 
 WorkerIndexes& WorkerNode::partition(PartitionId p) {
@@ -27,6 +35,12 @@ void WorkerNode::start(SimNetwork& network) {
   started_ = true;
   network.set_timer(node_id(), config_.monitor_tick,
                     kMonitorTickBase + tick_generation_);
+  if (config_.snapshot_every_ticks > 0) {
+    network.set_timer(node_id(),
+                      config_.monitor_tick *
+                          static_cast<std::int64_t>(config_.snapshot_every_ticks),
+                      kSnapshotTickBase + tick_generation_);
+  }
 }
 
 void WorkerNode::restart_ticks(SimNetwork& network) {
@@ -34,11 +48,57 @@ void WorkerNode::restart_ticks(SimNetwork& network) {
   started_ = true;
   network.set_timer(node_id(), config_.monitor_tick,
                     kMonitorTickBase + tick_generation_);
+  if (config_.snapshot_every_ticks > 0) {
+    network.set_timer(node_id(),
+                      config_.monitor_tick *
+                          static_cast<std::int64_t>(config_.snapshot_every_ticks),
+                      kSnapshotTickBase + tick_generation_);
+  }
 }
 
 void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
   if (channel_.owns_timer(timer_token)) {
     channel_.handle_timer(timer_token, network);
+    return;
+  }
+  if (timer_token >= kRecoveryTimerBase &&
+      timer_token < kRecoveryTimerBase + kRecoveryTimerSpan) {
+    auto it = recovery_tasks_.find(timer_token);
+    if (it == recovery_tasks_.end()) return;  // stale incarnation / finished
+    RecoveryTask& task = it->second;
+    // The doubling ladder gives up on the `resync_max_attempts`-th timer
+    // fire (0.5+1+2+4+8+16 s ≈ 31.5 s at the defaults); restart_worker's
+    // own deadline may report resync_timeout slightly earlier — both are
+    // explicit outcomes, never a silent hang.
+    if (++task.attempts >= config_.resync_max_attempts) {
+      recovery_failed_.inc();
+      counters_.add("recovery_failed_partitions");
+      if (task.span.valid()) {
+        tracer_->tag(task.span, "outcome", "failed");
+        tracer_->tag(task.span, "attempts", std::to_string(task.attempts - 1));
+        tracer_->end_span(task.span, network.now());
+      }
+      task_by_partition_.erase(task.partition);
+      recovery_tasks_.erase(it);
+      ++failed_last_;
+      return;
+    }
+    resync_retries_.inc();
+    if (tracer_ != nullptr && task.span.valid()) {
+      TraceContext retry = tracer_->instant("recovery.retry", task.span,
+                                            node_id().value(), network.now());
+      tracer_->tag(retry, "attempt", std::to_string(task.attempts));
+    }
+    task.rto = task.rto * 2;
+    send_recovery_request(task, network);
+    return;
+  }
+  if (timer_token == kSnapshotTickBase + tick_generation_) {
+    take_snapshots(network.now());
+    network.set_timer(node_id(),
+                      config_.monitor_tick *
+                          static_cast<std::int64_t>(config_.snapshot_every_ticks),
+                      timer_token);
     return;
   }
   if (timer_token != kMonitorTickBase + tick_generation_) return;  // stale
@@ -52,6 +112,7 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
     resident += static_cast<double>(indexes->store.memory_bytes());
   }
   store_memory_bytes_.set(resident);
+  update_recovery_gauges();
 
   if (config_.send_heartbeats) {
     // Best-effort on purpose: a heartbeat that needs retransmission is
@@ -113,7 +174,7 @@ void WorkerNode::dispatch(const Message& message, bool reliable,
   BinaryReader reader(message.payload);
   switch (static_cast<MsgType>(message.type)) {
     case MsgType::kIngestBatch:
-      on_ingest(decode_ingest_batch(reader), network);
+      on_ingest(decode_ingest_batch(reader), message.from, network);
       break;
     case MsgType::kQueryRequest:
       on_query(decode_query_request(reader), message.from, reliable,
@@ -134,7 +195,14 @@ void WorkerNode::dispatch(const Message& message, bool reliable,
                       network);
       break;
     case MsgType::kSyncResponse:
-      on_sync_response(decode_sync_response(reader));
+      on_sync_response(decode_sync_response(reader), network);
+      break;
+    case MsgType::kDeltaSyncRequest:
+      on_delta_sync_request(decode_delta_sync_request(reader), message.from,
+                            reliable, network);
+      break;
+    case MsgType::kDeltaSyncResponse:
+      on_delta_sync_response(decode_delta_sync_response(reader), network);
       break;
     default:
       counters_.add("unknown_message");
@@ -142,7 +210,8 @@ void WorkerNode::dispatch(const Message& message, bool reliable,
   }
 }
 
-void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
+void WorkerNode::on_ingest(const IngestBatch& batch, NodeId source,
+                           SimNetwork& network) {
   WorkerIndexes& indexes = partition(batch.partition);
   auto& seen = ingested_ids_[batch.partition];
   for (const Detection& d : batch.detections) {
@@ -157,6 +226,14 @@ void WorkerNode::on_ingest(const IngestBatch& batch, SimNetwork& network) {
       monitors_tested_.add(tested);
     }
   }
+  // Watermark + replay log: track the batch under its (source, pbid)
+  // identity even when every row deduplicated away — the watermark records
+  // batches *applied*, and a dup batch is applied by definition.
+  if (batch.pbid != 0) {
+    watermarks_[batch.partition][source.value()].note(batch.pbid);
+  }
+  replay_log(batch.partition).append(source.value(), batch.pbid,
+                                     batch.detections);
   if (pending_deltas_.size() >= config_.delta_flush_threshold) {
     flush_deltas(network);
   }
@@ -262,6 +339,10 @@ void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
       response.detections.push_back(
           store.get(static_cast<DetectionRef>(i)));
     }
+    // Full transfers still carry the watermark + out-of-order tail so the
+    // receiver can serve and request *delta* syncs later.
+    response.watermark = watermark_of(request.partition);
+    response.tail = replay_log(request.partition).collect(response.watermark);
   }
   if (reliable) {
     channel_.send(reply_to,
@@ -274,7 +355,8 @@ void WorkerNode::on_sync_request(const SyncRequest& request, NodeId reply_to,
   }
 }
 
-void WorkerNode::on_sync_response(const SyncResponse& response) {
+void WorkerNode::on_sync_response(const SyncResponse& response,
+                                  SimNetwork& network) {
   WorkerIndexes& indexes = partition(response.partition);
   auto& seen = ingested_ids_[response.partition];
   for (const Detection& d : response.detections) {
@@ -285,7 +367,72 @@ void WorkerNode::on_sync_response(const SyncResponse& response) {
     indexes.ingest(d);
     ingested_resync_.inc();
   }
-  if (pending_syncs_ > 0) --pending_syncs_;
+  // Adopt the holder's watermark: everything at or below it arrived in
+  // `detections`, so this partition can serve delta requests from here on
+  // — but nothing older (those rows live only in the store now).
+  auto& trackers = watermarks_[response.partition];
+  for (const auto& [src, pbid] : response.watermark) {
+    trackers[src].advance_to(pbid);
+  }
+  replay_log(response.partition).set_floor(response.watermark);
+  apply_replay_entries(response.partition, response.tail);
+  auto task_it = task_by_partition_.find(response.partition);
+  if (task_it != task_by_partition_.end()) {
+    finish_task(task_it->second, network);
+  }
+}
+
+void WorkerNode::on_delta_sync_request(const DeltaSyncRequest& request,
+                                       NodeId reply_to, bool reliable,
+                                       SimNetwork& network) {
+  DeltaSyncResponse response;
+  response.partition = request.partition;
+  if (partitions_.contains(request.partition) &&
+      replay_log(request.partition).can_serve(request.since)) {
+    response.ok = true;
+    response.watermark = watermark_of(request.partition);
+    response.entries = replay_log(request.partition).collect(request.since);
+    delta_syncs_served_.inc();
+  } else {
+    counters_.add("delta_syncs_refused");
+  }
+  if (reliable) {
+    channel_.send(reply_to,
+                  static_cast<std::uint32_t>(MsgType::kDeltaSyncResponse),
+                  encode(response), network);
+  } else {
+    network.send({node_id(), reply_to,
+                  static_cast<std::uint32_t>(MsgType::kDeltaSyncResponse),
+                  encode(response), network.now(), {}});
+  }
+}
+
+void WorkerNode::on_delta_sync_response(const DeltaSyncResponse& response,
+                                        SimNetwork& network) {
+  auto task_it = task_by_partition_.find(response.partition);
+  if (task_it == task_by_partition_.end()) return;  // stale / finished
+  RecoveryTask& task = recovery_tasks_.at(task_it->second);
+  if (!task.delta) return;  // already fell back; ignore the late delta
+  if (!response.ok) {
+    // Holder pruned its log past our snapshot watermark: fall back to a
+    // full sync with a fresh retry ladder.
+    delta_sync_fallback_.inc();
+    task.delta = false;
+    task.attempts = 0;
+    task.rto = config_.resync_retry_timeout;
+    if (tracer_ != nullptr && task.span.valid()) {
+      tracer_->instant("recovery.fallback_full", task.span,
+                       node_id().value(), network.now());
+    }
+    send_recovery_request(task, network);
+    return;
+  }
+  apply_replay_entries(response.partition, response.entries);
+  auto& trackers = watermarks_[response.partition];
+  for (const auto& [src, pbid] : response.watermark) {
+    trackers[src].advance_to(pbid);
+  }
+  finish_task(task_it->second, network);
 }
 
 void WorkerNode::flush_deltas(SimNetwork& network) {
@@ -305,19 +452,228 @@ void WorkerNode::lose_state() {
   partitions_.clear();
   pending_deltas_.clear();
   ingested_ids_.clear();
+  watermarks_.clear();
+  replay_logs_.clear();
+  recovery_tasks_.clear();
+  task_by_partition_.clear();
+  // vault_ survives: snapshots model a checkpoint on local disk, which a
+  // process crash does not erase. next_task_token_ also survives so stale
+  // parked timers can never alias a post-restart task.
   channel_.reset();
   counters_.add("state_losses");
+}
+
+ReplayLog& WorkerNode::replay_log(PartitionId p) {
+  auto [it, inserted] = replay_logs_.try_emplace(p);
+  if (inserted) it->second.set_max_bytes(config_.replay_log_max_bytes);
+  return it->second;
+}
+
+bool WorkerNode::dedup_ingest(PartitionId p, const Detection& d) {
+  auto& seen = ingested_ids_[p];
+  if (!seen.insert(d.id.value()).second) {
+    ingest_dups_skipped_.inc();
+    return false;
+  }
+  partition(p).ingest(d);
+  return true;
+}
+
+Watermark WorkerNode::watermark_of(PartitionId p) const {
+  Watermark mark;
+  auto it = watermarks_.find(p);
+  if (it == watermarks_.end()) return mark;
+  for (const auto& [src, tracker] : it->second) {
+    if (tracker.contig > 0) mark[src] = tracker.contig;
+  }
+  return mark;
+}
+
+void WorkerNode::take_snapshots(TimePoint now) {
+  for (const auto& [p, indexes] : partitions_) {
+    PartitionSnapshot snap;
+    snap.version = ++snapshot_version_;
+    snap.taken_at = now;
+    snap.watermark = watermark_of(p);
+    snap.rows = indexes->store.size();
+    BinaryWriter w;
+    indexes->store.serialize_to(w);
+    snap.store_bytes = w.take();
+    // Rows the contiguous watermark does not cover (delivered out of
+    // order) ride along as replay entries under their true identity.
+    snap.tail = replay_log(p).collect(snap.watermark);
+    vault_[p] = std::move(snap);
+    snapshots_taken_.inc();
+  }
+  update_recovery_gauges();
+}
+
+bool WorkerNode::install_snapshot(PartitionId p) {
+  auto it = vault_.find(p);
+  if (it == vault_.end()) return false;
+  const PartitionSnapshot& snap = it->second;
+  BinaryReader r(snap.store_bytes);
+  DetectionStore decoded = DetectionStore::deserialize_from(r);
+  if (r.failed()) {
+    counters_.add("snapshot_corrupt");
+    return false;
+  }
+  WorkerIndexes& indexes = partition(p);
+  auto& seen = ingested_ids_[p];
+  if (indexes.store.empty()) {
+    // Bulk path: adopt the decoded columns wholesale and index from them.
+    indexes.store = std::move(decoded);
+    for (std::size_t i = 0; i < indexes.store.size(); ++i) {
+      auto ref = static_cast<DetectionRef>(i);
+      indexes.grid.insert(indexes.store, ref);
+      indexes.trajectories.insert(indexes.store, ref);
+      indexes.temporal.insert(indexes.store, ref);
+      seen.insert(indexes.store.id_of(ref).value());
+    }
+    snapshot_rows_installed_.add(indexes.store.size());
+  } else {
+    // A live replica stream beat the install: merge row-by-row through the
+    // dedup gate so nothing double-counts.
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      if (dedup_ingest(p, decoded.get(static_cast<DetectionRef>(i)))) {
+        snapshot_rows_installed_.inc();
+      }
+    }
+  }
+  auto& trackers = watermarks_[p];
+  for (const auto& [src, pbid] : snap.watermark) {
+    trackers[src].advance_to(pbid);
+  }
+  replay_log(p).set_floor(snap.watermark);
+  apply_replay_entries(p, snap.tail);
+  snapshots_installed_.inc();
+  return true;
+}
+
+void WorkerNode::apply_replay_entries(
+    PartitionId p, const std::vector<ReplayEntry>& entries) {
+  auto& trackers = watermarks_[p];
+  ReplayLog& log = replay_log(p);
+  for (const ReplayEntry& e : entries) {
+    for (const Detection& d : e.detections) {
+      if (dedup_ingest(p, d)) replayed_detections_.inc();
+    }
+    log.append(e.source, e.pbid, e.detections);
+    if (e.pbid != 0) trackers[e.source].note(e.pbid);
+  }
+}
+
+void WorkerNode::send_recovery_request(RecoveryTask& task,
+                                       SimNetwork& network) {
+  if (task.delta) {
+    DeltaSyncRequest request{task.partition, watermark_of(task.partition)};
+    channel_.send(task.holder,
+                  static_cast<std::uint32_t>(MsgType::kDeltaSyncRequest),
+                  encode(request), network, task.span);
+  } else {
+    SyncRequest request{task.partition};
+    channel_.send(task.holder,
+                  static_cast<std::uint32_t>(MsgType::kSyncRequest),
+                  encode(request), network, task.span);
+  }
+  network.set_timer(node_id(), task.rto, task.token);
+}
+
+void WorkerNode::finish_task(std::uint64_t token, SimNetwork& network) {
+  auto it = recovery_tasks_.find(token);
+  if (it == recovery_tasks_.end()) return;
+  RecoveryTask task = std::move(it->second);
+  recovery_tasks_.erase(it);
+  task_by_partition_.erase(task.partition);
+  ++recovered_last_;
+  counters_.add("partitions_resynced");
+  if (tracer_ != nullptr && task.span.valid()) {
+    tracer_->tag(task.span, "outcome", "ok");
+    tracer_->tag(task.span, "mode", task.delta ? "delta" : "full");
+    tracer_->end_span(task.span, network.now());
+  }
+  if (task.recovery_id != 0) {
+    std::size_t rows = 0;
+    auto pit = partitions_.find(task.partition);
+    if (pit != partitions_.end()) rows = pit->second->size();
+    RecoveryDone done{task.recovery_id, task.partition,
+                      static_cast<std::uint64_t>(rows)};
+    channel_.send(coordinator_,
+                  static_cast<std::uint32_t>(MsgType::kRecoveryDone),
+                  encode(done), network, task.span);
+  }
+}
+
+void WorkerNode::update_recovery_gauges() {
+  double log_bytes = 0;
+  for (const auto& [p, log] : replay_logs_) {
+    log_bytes += static_cast<double>(log.bytes());
+  }
+  replay_log_bytes_.set(log_bytes);
+  double snap_bytes = 0;
+  for (const auto& [p, snap] : vault_) {
+    snap_bytes += static_cast<double>(snap.store_bytes.size());
+  }
+  snapshot_bytes_.set(snap_bytes);
+}
+
+void WorkerNode::start_recovery(std::uint64_t recovery_id,
+                                const std::vector<RecoverySpec>& specs,
+                                TraceContext parent, SimNetwork& network) {
+  // Supersede any tasks from a previous incarnation that never finished
+  // (e.g. the worker re-crashed mid-recovery, or an earlier manual resync
+  // stalled): their parked retry timers become no-ops once erased.
+  for (auto& [token, task] : recovery_tasks_) {
+    if (tracer_ != nullptr && task.span.valid()) {
+      tracer_->tag(task.span, "outcome", "superseded");
+      tracer_->end_span(task.span, network.now());
+    }
+  }
+  recovery_tasks_.clear();
+  task_by_partition_.clear();
+  recovered_last_ = 0;
+  failed_last_ = 0;
+  for (const RecoverySpec& spec : specs) {
+    bool installed = install_snapshot(spec.partition);
+    if (spec.holder == NodeId(0)) {
+      // No surviving holder: the vault snapshot is the best obtainable
+      // state. No exchange, no completion message — the coordinator knew
+      // there was nothing to wait for when it built this spec.
+      counters_.add(installed ? "recovered_local_only"
+                              : "recovery_no_source");
+      continue;
+    }
+    std::uint64_t token = kRecoveryTimerBase + (next_task_token_++ %
+                                                kRecoveryTimerSpan);
+    RecoveryTask task;
+    task.partition = spec.partition;
+    task.holder = spec.holder;
+    task.recovery_id = recovery_id;
+    task.rto = config_.resync_retry_timeout;
+    task.delta = installed;
+    task.token = token;
+    if (tracer_ != nullptr && parent.valid()) {
+      task.span = tracer_->start_span("recovery.partition", parent,
+                                      node_id().value(), network.now());
+      tracer_->tag(task.span, "partition",
+                   std::to_string(spec.partition.value()));
+      tracer_->tag(task.span, "mode", installed ? "delta" : "full");
+    }
+    task_by_partition_[spec.partition] = token;
+    auto it = recovery_tasks_.emplace(token, std::move(task)).first;
+    send_recovery_request(it->second, network);
+  }
 }
 
 void WorkerNode::start_resync(
     const std::vector<std::pair<PartitionId, NodeId>>& replica_holders,
     SimNetwork& network) {
+  std::vector<RecoverySpec> specs;
+  specs.reserve(replica_holders.size());
   for (const auto& [partition_id, holder] : replica_holders) {
-    ++pending_syncs_;
-    SyncRequest request{partition_id};
-    channel_.send(holder, static_cast<std::uint32_t>(MsgType::kSyncRequest),
-                  encode(request), network);
+    specs.push_back({partition_id, holder});
   }
+  start_recovery(0, specs, {}, network);
 }
 
 std::size_t WorkerNode::stored_detections() const {

@@ -7,10 +7,14 @@
 // of how many partitions it holds or gains via failover.
 //
 // Crash modeling: a real crash loses in-memory state. `lose_state` clears
-// every partition; on restart the framework triggers `start_resync`, which
-// fetches lost partitions back from their replicas.
+// every partition; on restart the framework triggers `start_recovery`,
+// which installs the local snapshot (the vault survives a process crash,
+// like a checkpoint on disk) and fetches only post-watermark data back from
+// the surviving holders — falling back to a full copy when the holders'
+// replay logs have been pruned past the snapshot's watermark.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,6 +22,7 @@
 
 #include "common/ids.h"
 #include "core/protocol.h"
+#include "core/recovery.h"
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
@@ -48,6 +53,16 @@ struct WorkerConfig {
   /// uses them to prune trajectory-query fan-out.
   std::uint32_t summary_every_ticks = 5;
   std::size_t summary_bloom_bits = 2048;
+  /// Snapshot every partition every this-many monitor ticks (0 disables
+  /// the ticker; take_snapshots() can still be driven manually).
+  std::uint32_t snapshot_every_ticks = 10;
+  /// Per-partition replay-log budget; oldest batches are pruned past it,
+  /// raising the delta-serving floor.
+  std::size_t replay_log_max_bytes = 4u << 20;
+  /// Recovery exchange retry ladder: first retry after this timeout,
+  /// doubling per attempt, giving up after `resync_max_attempts`.
+  Duration resync_retry_timeout = Duration::millis(500);
+  int resync_max_attempts = 6;
   /// Reliable-transport knobs (delta batches, query replies, resync).
   ReliableChannelConfig channel;
 };
@@ -66,7 +81,17 @@ class WorkerNode final : public NetworkNode {
         store_blocks_scanned_(metrics_.counter("store_blocks_scanned")),
         store_blocks_skipped_(metrics_.counter("store_blocks_skipped")),
         vectorized_morsels_(metrics_.counter("vectorized_morsels")),
+        snapshots_taken_(metrics_.counter("snapshots_taken")),
+        snapshots_installed_(metrics_.counter("snapshots_installed")),
+        snapshot_rows_installed_(metrics_.counter("snapshot_rows_installed")),
+        delta_syncs_served_(metrics_.counter("delta_syncs_served")),
+        replayed_detections_(metrics_.counter("replayed_detections")),
+        delta_sync_fallback_(metrics_.counter("delta_sync_fallback_full")),
+        resync_retries_(metrics_.counter("resync_exchange_retries")),
+        recovery_failed_(metrics_.counter("recovery_failed")),
         store_memory_bytes_(metrics_.gauge("store_memory_bytes")),
+        snapshot_bytes_(metrics_.gauge("snapshot_bytes")),
+        replay_log_bytes_(metrics_.gauge("replay_log_bytes")),
         scan_wall_us_(metrics_.histogram("scan_wall_us")),
         channel_(NodeId(id.value()), counters_, config.channel) {
     channel_.register_metrics(metrics_);
@@ -86,17 +111,47 @@ class WorkerNode final : public NetworkNode {
   /// restart are ignored via a generation counter.
   void restart_ticks(SimNetwork& network);
 
-  /// Simulates state loss at crash time.
+  /// Simulates state loss at crash time. The snapshot vault deliberately
+  /// survives — it models a checkpoint on local disk.
   void lose_state();
 
-  /// Requests partition data back from `replica_holders` (partition →
-  /// worker node currently holding a copy).
+  /// Captures a versioned snapshot of every held partition: the serialized
+  /// columnar store keyed by the current watermark, plus the replay-log
+  /// tail past it. Also driven periodically by the snapshot ticker.
+  void take_snapshots(TimePoint now);
+
+  /// Starts incremental recovery for `specs`: install each partition's
+  /// vault snapshot, then fetch the post-watermark delta from its holder
+  /// (full sync when no snapshot or the holder's log can't serve it).
+  /// Each exchange retries on a doubling ladder and gives up after
+  /// `resync_max_attempts`, surfacing `recovery_failed`. `recovery_id`
+  /// ties completions back to the coordinator's routing plan (0 = none).
+  void start_recovery(std::uint64_t recovery_id,
+                      const std::vector<RecoverySpec>& specs,
+                      TraceContext parent, SimNetwork& network);
+
+  /// Legacy entry point: full-resync semantics via start_recovery with no
+  /// coordinator plan attached.
   void start_resync(
       const std::vector<std::pair<PartitionId, NodeId>>& replica_holders,
       SimNetwork& network);
 
   [[nodiscard]] bool resync_complete() const {
-    return pending_syncs_ == 0;
+    return recovery_tasks_.empty();
+  }
+  /// Partitions whose recovery exchange finished / gave up since the last
+  /// start_recovery call.
+  [[nodiscard]] std::size_t recovery_recovered_count() const {
+    return recovered_last_;
+  }
+  [[nodiscard]] std::size_t recovery_failed_count() const {
+    return failed_last_;
+  }
+  /// Contiguous per-source ingest watermark for one partition.
+  [[nodiscard]] Watermark watermark_of(PartitionId p) const;
+  [[nodiscard]] const std::unordered_map<PartitionId, PartitionSnapshot>&
+  snapshot_vault() const {
+    return vault_;
   }
 
   /// Total detections stored across partitions (incl. replicas).
@@ -136,13 +191,44 @@ class WorkerNode final : public NetworkNode {
   /// transport the requester chose.
   void dispatch(const Message& message, bool reliable, SimNetwork& network);
 
-  void on_ingest(const IngestBatch& batch, SimNetwork& network);
+  void on_ingest(const IngestBatch& batch, NodeId source,
+                 SimNetwork& network);
   void on_query(const QueryRequest& request, NodeId reply_to, bool reliable,
                 TraceContext parent, SimNetwork& network);
   void on_sync_request(const SyncRequest& request, NodeId reply_to,
                        bool reliable, SimNetwork& network);
-  void on_sync_response(const SyncResponse& response);
+  void on_sync_response(const SyncResponse& response, SimNetwork& network);
+  void on_delta_sync_request(const DeltaSyncRequest& request, NodeId reply_to,
+                             bool reliable, SimNetwork& network);
+  void on_delta_sync_response(const DeltaSyncResponse& response,
+                              SimNetwork& network);
   void flush_deltas(SimNetwork& network);
+
+  // ----------------------------------------------------------- recovery
+
+  /// One in-flight recovery exchange (per partition being recovered).
+  struct RecoveryTask {
+    PartitionId partition;
+    NodeId holder;
+    std::uint64_t recovery_id = 0;
+    int attempts = 0;
+    Duration rto;
+    bool delta = false;  // true: DeltaSyncRequest; false: full SyncRequest
+    std::uint64_t token = 0;
+    TraceContext span;
+  };
+
+  ReplayLog& replay_log(PartitionId p);
+  /// Ingests `d` unless already present; returns true if it was new.
+  bool dedup_ingest(PartitionId p, const Detection& d);
+  /// Installs the vault snapshot for `p` (no-op without one). Returns true
+  /// iff a snapshot was applied, enabling delta-mode recovery.
+  bool install_snapshot(PartitionId p);
+  void send_recovery_request(RecoveryTask& task, SimNetwork& network);
+  void finish_task(std::uint64_t token, SimNetwork& network);
+  void apply_replay_entries(PartitionId p,
+                            const std::vector<ReplayEntry>& entries);
+  void update_recovery_gauges();
 
   WorkerId id_;
   NodeId coordinator_;
@@ -155,7 +241,21 @@ class WorkerNode final : public NetworkNode {
   // overlapping a live replica stream cannot double-count detections.
   std::unordered_map<PartitionId, std::unordered_set<std::uint64_t>>
       ingested_ids_;
-  std::size_t pending_syncs_ = 0;
+  // Per-(partition, source) contiguous batch watermarks; the map key is the
+  // raw source node id.
+  std::unordered_map<PartitionId, std::map<std::uint64_t, PbidTracker>>
+      watermarks_;
+  std::unordered_map<PartitionId, ReplayLog> replay_logs_;
+  // Snapshot vault: survives lose_state() (checkpoint on local disk).
+  std::unordered_map<PartitionId, PartitionSnapshot> vault_;
+  std::uint64_t snapshot_version_ = 0;
+  std::unordered_map<std::uint64_t, RecoveryTask> recovery_tasks_;
+  std::unordered_map<PartitionId, std::uint64_t> task_by_partition_;
+  // Monotonic across restarts so a parked timer from a dead incarnation
+  // can never alias a live task's token.
+  std::uint64_t next_task_token_ = 0;
+  std::size_t recovered_last_ = 0;
+  std::size_t failed_last_ = 0;
   bool started_ = false;
   std::uint64_t tick_generation_ = 0;
   std::uint32_t ticks_since_compaction_ = 0;
@@ -173,7 +273,17 @@ class WorkerNode final : public NetworkNode {
   Counter& store_blocks_skipped_;
   /// 4096-row morsels this worker pushed through the vectorized scan path.
   Counter& vectorized_morsels_;
+  Counter& snapshots_taken_;
+  Counter& snapshots_installed_;
+  Counter& snapshot_rows_installed_;
+  Counter& delta_syncs_served_;
+  Counter& replayed_detections_;
+  Counter& delta_sync_fallback_;
+  Counter& resync_retries_;
+  Counter& recovery_failed_;
   Gauge& store_memory_bytes_;
+  Gauge& snapshot_bytes_;
+  Gauge& replay_log_bytes_;
   /// Real (wall-clock) scan cost per query fragment — virtual time treats
   /// worker compute as instantaneous, so this is the only place the actual
   /// index work shows up.

@@ -643,6 +643,89 @@ class DetectionStore {
     return m;
   }
 
+  // ----------------------------------------------------------- snapshots
+  //
+  // Column-wise wire image for recovery checkpoints: row count, then each
+  // hot column contiguously, then the embedding arena (floats as raw bits —
+  // snapshots must round-trip exactly, unlike the double-widened per-record
+  // wire form). Zone maps are not serialized; decode rebuilds them
+  // deterministically from the columns.
+
+  void serialize_to(BinaryWriter& w) const {
+    auto n = static_cast<std::uint32_t>(ids_.size());
+    w.reserve(4 + static_cast<std::size_t>(n) * 64 + 8 +
+              arena_.size() * 4);
+    w.write_u32(n);
+    for (std::uint64_t v : ids_) w.write_u64(v);
+    for (std::uint64_t v : cameras_) w.write_u64(v);
+    for (std::uint64_t v : objects_) w.write_u64(v);
+    for (std::int64_t v : times_) w.write_i64(v);
+    for (double v : xs_) w.write_double(v);
+    for (double v : ys_) w.write_double(v);
+    for (double v : confidences_) w.write_double(v);
+    for (std::uint64_t v : emb_offsets_) w.write_u64(v);
+    w.write_u64(arena_.size());
+    for (float v : arena_) w.write_u32(std::bit_cast<std::uint32_t>(v));
+  }
+
+  /// Decodes a serialize_to image. On truncated or inconsistent input the
+  /// reader is left failed() and the returned store is empty.
+  [[nodiscard]] static DetectionStore deserialize_from(BinaryReader& r) {
+    DetectionStore s;
+    std::uint32_t n = r.read_u32();
+    // Eight fixed-width 8-byte columns per row: a row count the payload
+    // cannot possibly hold is corrupt — poison the reader before reserving.
+    if (r.failed() || static_cast<std::uint64_t>(n) * 64 > r.remaining()) {
+      r.read_bytes(r.remaining() + 1);
+      return s;
+    }
+    s.ids_.reserve(n);
+    s.cameras_.reserve(n);
+    s.objects_.reserve(n);
+    s.times_.reserve(n);
+    s.xs_.reserve(n);
+    s.ys_.reserve(n);
+    s.confidences_.reserve(n);
+    s.emb_offsets_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) s.ids_.push_back(r.read_u64());
+    for (std::uint32_t i = 0; i < n; ++i) s.cameras_.push_back(r.read_u64());
+    for (std::uint32_t i = 0; i < n; ++i) s.objects_.push_back(r.read_u64());
+    for (std::uint32_t i = 0; i < n; ++i) s.times_.push_back(r.read_i64());
+    for (std::uint32_t i = 0; i < n; ++i) s.xs_.push_back(r.read_double());
+    for (std::uint32_t i = 0; i < n; ++i) s.ys_.push_back(r.read_double());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      s.confidences_.push_back(r.read_double());
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      s.emb_offsets_.push_back(r.read_u64());
+    }
+    std::uint64_t arena_n = r.read_u64();
+    if (r.failed() || arena_n * 4 > r.remaining()) {
+      r.read_bytes(r.remaining() + 1);
+      return DetectionStore{};
+    }
+    s.arena_.reserve(arena_n);
+    for (std::uint64_t i = 0; i < arena_n; ++i) {
+      s.arena_.push_back(std::bit_cast<float>(r.read_u32()));
+    }
+    // Offsets must be non-decreasing and end exactly at the arena size, or
+    // embedding() would hand out views past the arena.
+    std::uint64_t prev = 0;
+    for (std::uint64_t off : s.emb_offsets_) {
+      if (off < prev) {
+        r.read_bytes(r.remaining() + 1);
+        return DetectionStore{};
+      }
+      prev = off;
+    }
+    if (r.failed() || (n > 0 && s.emb_offsets_.back() != arena_n)) {
+      r.read_bytes(r.remaining() + 1);
+      return DetectionStore{};
+    }
+    for (std::uint32_t row = 0; row < n; ++row) s.grow_zone(row);
+    return s;
+  }
+
  private:
   static void append_refs(const std::uint32_t* sel, std::uint32_t n,
                           std::vector<DetectionRef>& out) {

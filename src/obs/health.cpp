@@ -69,6 +69,32 @@ std::vector<AlertRule> default_health_rules(const HealthThresholds& t) {
   stall.source_filter = "coordinator";
   rules.push_back(std::move(stall));
 
+  // Recovery stalled: the coordinator still has partitions parked in the
+  // RECOVERING state after several samples — a rejoining worker is not
+  // catching up (holder down, lossy link, or exchange ladder burning).
+  AlertRule stalled;
+  stalled.name = "recovery_stalled";
+  stalled.metric = "partitions_recovering";
+  stalled.kind = MetricKind::kGaugeLevel;
+  stalled.threshold = t.partitions_recovering_level;
+  stalled.for_samples = 6;
+  stalled.severity = AlertSeverity::kDegraded;
+  stalled.source_filter = "coordinator";
+  rules.push_back(std::move(stalled));
+
+  // Resync retry storm: a recovering worker's sync exchanges keep timing
+  // out and walking their backoff ladder — the delta/full resync path is
+  // fighting loss or a dead holder.
+  AlertRule resync;
+  resync.name = "resync_retry_storm";
+  resync.metric = "resync_exchange_retries";
+  resync.kind = MetricKind::kCounterRate;
+  resync.threshold = t.resync_retry_rate_per_s;
+  resync.for_samples = 3;
+  resync.severity = AlertSeverity::kDegraded;
+  resync.source_filter = "worker.*";
+  rules.push_back(std::move(resync));
+
   return rules;
 }
 

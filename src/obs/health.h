@@ -88,6 +88,8 @@ struct HealthThresholds {
   double queue_depth_frames = 64.0;
   double ingest_stall_rate_per_s = 1.0;
   double fragment_latency_mean_us = 5'000.0;
+  double partitions_recovering_level = 0.5;
+  double resync_retry_rate_per_s = 2.0;
 };
 
 /// The rule set the ISSUE/DESIGN describe: retransmit storm, hedge-win

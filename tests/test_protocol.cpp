@@ -118,6 +118,69 @@ TEST(Protocol, SyncMessagesRoundTrip) {
   ASSERT_EQ(back.detections.size(), 1u);
 }
 
+TEST(Protocol, IngestBatchPbidRoundTrip) {
+  IngestBatch batch{PartitionId(3), false, {make_detection(9)}, 77};
+  auto bytes = encode(batch);
+  BinaryReader r(bytes);
+  IngestBatch back = decode_ingest_batch(r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(back.pbid, 77u);
+}
+
+TEST(Protocol, SyncResponseWatermarkAndTailRoundTrip) {
+  SyncResponse response{PartitionId(6), {make_detection(1)}};
+  response.watermark[1'000'000] = 41;
+  response.watermark[2'000'003] = 7;
+  response.tail.push_back({1'000'000, 42, {make_detection(2)}});
+  response.tail.push_back({2'000'003, 8, {}});
+  auto bytes = encode(response);
+  BinaryReader r(bytes);
+  SyncResponse back = decode_sync_response(r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(back.watermark.at(1'000'000), 41u);
+  EXPECT_EQ(back.watermark.at(2'000'003), 7u);
+  ASSERT_EQ(back.tail.size(), 2u);
+  EXPECT_EQ(back.tail[0].source, 1'000'000u);
+  EXPECT_EQ(back.tail[0].pbid, 42u);
+  ASSERT_EQ(back.tail[0].detections.size(), 1u);
+  EXPECT_EQ(back.tail[0].detections[0], make_detection(2));
+  EXPECT_TRUE(back.tail[1].detections.empty());
+}
+
+TEST(Protocol, DeltaSyncMessagesRoundTrip) {
+  DeltaSyncRequest request{PartitionId(5), {}};
+  request.since[1'000'000] = 12;
+  auto req_bytes = encode(request);
+  BinaryReader rr(req_bytes);
+  DeltaSyncRequest req_back = decode_delta_sync_request(rr);
+  EXPECT_FALSE(rr.failed());
+  EXPECT_EQ(req_back.partition, PartitionId(5));
+  EXPECT_EQ(req_back.since.at(1'000'000), 12u);
+
+  DeltaSyncResponse response{PartitionId(5), true, {}, {}};
+  response.watermark[1'000'000] = 20;
+  response.entries.push_back({1'000'000, 13, {make_detection(4)}});
+  auto resp_bytes = encode(response);
+  BinaryReader pr(resp_bytes);
+  DeltaSyncResponse resp_back = decode_delta_sync_response(pr);
+  EXPECT_FALSE(pr.failed());
+  EXPECT_EQ(resp_back.partition, PartitionId(5));
+  EXPECT_TRUE(resp_back.ok);
+  EXPECT_EQ(resp_back.watermark.at(1'000'000), 20u);
+  ASSERT_EQ(resp_back.entries.size(), 1u);
+  EXPECT_EQ(resp_back.entries[0].pbid, 13u);
+}
+
+TEST(Protocol, RecoveryDoneRoundTrip) {
+  auto bytes = encode(RecoveryDone{99, PartitionId(2), 1234});
+  BinaryReader r(bytes);
+  RecoveryDone back = decode_recovery_done(r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(back.recovery_id, 99u);
+  EXPECT_EQ(back.partition, PartitionId(2));
+  EXPECT_EQ(back.detections, 1234u);
+}
+
 TEST(Protocol, HeartbeatRoundTrip) {
   auto bytes = encode(Heartbeat{WorkerId(3), 12345});
   BinaryReader r(bytes);
@@ -210,6 +273,19 @@ TEST(ProtocolFuzz, SyncResponseDecoderRobust) {
   }
   fuzz_decoder(encode(response),
                [](BinaryReader& r) { return decode_sync_response(r); }, 5);
+}
+
+TEST(ProtocolFuzz, DeltaSyncResponseDecoderRobust) {
+  DeltaSyncResponse response{PartitionId(2), true, {}, {}};
+  response.watermark[1] = 5;
+  response.watermark[2] = 9;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    response.entries.push_back(
+        {i % 2, 10 + i, {make_detection(i), make_detection(100 + i)}});
+  }
+  fuzz_decoder(encode(response),
+               [](BinaryReader& r) { return decode_delta_sync_response(r); },
+               6);
 }
 
 }  // namespace
