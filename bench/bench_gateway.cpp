@@ -11,7 +11,9 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "core/framework.h"
+#include "obs/cost.h"
 #include "partition/strategies.h"
 
 namespace stcn {
@@ -66,6 +68,62 @@ void run() {
                static_cast<double>(bytes) /
                    static_cast<double>(trace.detections.size()));
     report.set("coord_forwards" + suffix, static_cast<double>(forwards));
+
+    if (!relay) {
+      // Tenant-attributed query phase on the direct-routing cluster: each
+      // gateway stands in for one tenant issuing range scans. The resource
+      // ledger attributes every finished query, and ci.sh asserts the
+      // conservation invariant on the emitted scalars: per-tenant
+      // rows_evaluated must sum exactly to the cluster total.
+      const int kTenants = 8;
+      const int kQueriesPerTenant = bench::quick() ? 3 : 10;
+      Rng rng(0xC057);
+      const std::int64_t span_us = tc.duration.count_micros();
+      for (int t = 1; t <= kTenants; ++t) {
+        for (int q = 0; q < kQueriesPerTenant; ++q) {
+          // Full-region scans with a random bounded time slice: the time
+          // predicate forces the per-row filter kernels to run (a fully
+          // covering region with an unbounded window takes the zone fast
+          // path and would report zero rows evaluated).
+          std::int64_t start_us =
+              static_cast<std::int64_t>(rng.uniform(0.0, 0.5) * span_us);
+          std::int64_t len_us =
+              static_cast<std::int64_t>(rng.uniform(0.3, 0.5) * span_us);
+          TimeInterval slice{TimePoint::origin() + Duration::micros(start_us),
+                             TimePoint::origin() +
+                                 Duration::micros(start_us + len_us)};
+          (void)cluster.execute(Query::range(cluster.next_query_id(), world,
+                                             slice)
+                                    .with_tenant(static_cast<std::uint32_t>(t)));
+        }
+      }
+      const ResourceLedger& ledger = cluster.cost_ledger();
+      std::printf(
+          "\ncost ledger: %" PRIu64 " queries, %" PRIu64
+          " rows evaluated, %" PRIu64 " wire bytes in\n",
+          ledger.queries(), ledger.totals().rows_evaluated,
+          ledger.totals().bytes_in);
+      report.set("cost_queries", static_cast<double>(ledger.queries()));
+      report.set("cost_rows_evaluated_total",
+                 static_cast<double>(ledger.totals().rows_evaluated));
+      report.set("cost_bytes_in_total",
+                 static_cast<double>(ledger.totals().bytes_in));
+      double tenant_rows = 0.0;
+      for (const auto& row : ledger.by_tenant().top()) {
+        report.set("cost_rows_evaluated_" + row.key,
+                   static_cast<double>(row.cost.rows_evaluated));
+        tenant_rows += static_cast<double>(row.cost.rows_evaluated);
+      }
+      report.set("cost_rows_evaluated_tenant_sum", tenant_rows);
+      const auto& hists = cluster.coordinator().metrics().histograms();
+      auto lat = hists.find("query_latency_us");
+      report.set("exemplar_buckets",
+                 lat == hists.end()
+                     ? 0.0
+                     : static_cast<double>(lat->second->exemplar_count()));
+      report.add_section("cost", ledger.to_json());
+    }
+
     if (relay) report.add_registry(cluster.metrics_snapshot());
   }
   std::printf(

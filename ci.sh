@@ -29,6 +29,11 @@ cmake --build build -j "$JOBS"
 echo "== tier-1 tests =="
 ctest --test-dir build -j "$JOBS" --output-on-failure
 
+echo "== metrics doc lint (tools/metrics_doc --check) =="
+# Every registered metric must carry a help string and appear in
+# docs/METRICS.md (regenerate with ./build/tools/metrics_doc > docs/METRICS.md).
+./build/tools/metrics_doc --check docs/METRICS.md
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   echo "== sanitizer build (ASan+UBSan) =="
   cmake -B build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -186,6 +191,61 @@ for key in ("e9d_replayed_nosnap", "e9d_bytes_nosnap"):
 print("BENCH_failure_recovery.json OK:", len(events), "health events,",
       f"{int(scalars['health_samples'])} samples,",
       f"E9d replayed {[int(r) for r in replayed]} (age0/age5/full)")
+PY
+
+echo "== cost ledger smoke (bench_gateway --quick) =="
+(cd "$SMOKE_DIR" && "$OLDPWD/build/bench/bench_gateway" --quick >/dev/null)
+python3 - "$SMOKE_DIR/BENCH_gateway.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+scalars = report["scalars"]
+assert scalars["cost_queries"] > 0, scalars
+
+# Conservation invariant: the space-saving sketch folds evicted rows into
+# their replacements, so per-tenant rows_evaluated must sum EXACTLY to the
+# cluster total the ledger counted.
+total = scalars["cost_rows_evaluated_total"]
+tenant_sum = scalars["cost_rows_evaluated_tenant_sum"]
+assert total > 0, scalars
+assert tenant_sum == total, \
+    f"cost conservation violated: per-tenant sum {tenant_sum} != total {total}"
+
+cost = report["cost"]
+assert cost["queries"] == scalars["cost_queries"], cost
+by_tenant = cost["by_tenant"]
+assert by_tenant, "no tenant attribution rows"
+assert sum(r["cost"]["rows_evaluated"] for r in by_tenant) == total
+by_kind = cost["by_kind"]
+assert by_kind and by_kind[0]["key"] == "range", by_kind
+assert scalars["exemplar_buckets"] > 0, "no latency exemplars pinned"
+print("BENCH_gateway.json OK:",
+      f"{int(scalars['cost_queries'])} queries attributed,",
+      f"{len(by_tenant)} tenants conserve {int(total)} rows_evaluated,",
+      f"{int(scalars['exemplar_buckets'])} exemplar buckets")
+PY
+
+echo "== flight recorder chaos bundle =="
+# The chaos test freezes a postmortem bundle when the injected gray-slow
+# worker pages, and dumps it when STCN_BUNDLE_OUT is set. Validate the
+# bundle is complete: trigger, burn-rate series, exemplar span trees that
+# reach the slow partition, and top-K cost rows.
+STCN_BUNDLE_OUT="$SMOKE_DIR/bundle.json" ./build/tests/test_health_alerts \
+    --gtest_filter='ChaosHealth.SlowWorkerFreezesPostmortemBundle' >/dev/null
+python3 - "$SMOKE_DIR/bundle.json" <<'PY'
+import json, sys
+bundle = json.load(open(sys.argv[1]))
+trigger = bundle["trigger"]
+assert trigger["rule"], trigger
+assert trigger["kind"] in ("alert", "slo", "recovery_failed"), trigger
+slos = bundle["slo"]
+assert any(s.get("burn_series") for s in slos), "no burn-rate series"
+exemplars = bundle["exemplars"]
+assert any(e.get("spans") for e in exemplars), "no exemplar span trees"
+cost = bundle["cost"]
+assert cost["by_kind"] and cost["by_tenant"], cost
+assert bundle["frames"], "no cluster-state frames in the bundle"
+print("bundle.json OK:", f"trigger={trigger['kind']}:{trigger['rule']},",
+      f"{len(exemplars)} exemplars, {len(bundle['frames'])} frames")
 PY
 
 echo "== ci.sh: all green =="

@@ -22,7 +22,7 @@ using namespace stcn;
 namespace {
 
 void render_heatmap(Cluster& cluster, const Rect& world,
-                    const TimeInterval& window) {
+                    const TimeInterval& window, std::uint32_t tenant) {
   constexpr int kCells = 12;
   double cw = world.width() / kCells;
   double ch = world.height() / kCells;
@@ -34,7 +34,8 @@ void render_heatmap(Cluster& cluster, const Rect& world,
       Rect cell{{world.min.x + col * cw, world.min.y + row * ch},
                 {world.min.x + (col + 1) * cw, world.min.y + (row + 1) * ch}};
       QueryResult r = cluster.execute(
-          Query::count(cluster.next_query_id(), cell, window));
+          Query::count(cluster.next_query_id(), cell, window)
+              .with_tenant(tenant));
       std::uint64_t n = r.total_count();
       const char* glyph = n == 0   ? "  "
                           : n < 3  ? ". "
@@ -46,6 +47,42 @@ void render_heatmap(Cluster& cluster, const Rect& world,
     std::printf("|\n");
   }
   std::printf("   +%s+\n", std::string(kCells * 2, '-').c_str());
+}
+
+// The operator panels under the heat-map: error-budget burn per objective
+// and the ledger's heavy hitters per attribution dimension.
+void render_slo_table(Cluster& cluster) {
+  std::printf("\n--- SLO burn rates (5m/1h windows, sim clock) ---\n");
+  std::printf("   %-20s %10s %10s %10s %8s\n", "objective", "target",
+              "burn_5m", "burn_1h", "state");
+  for (const SloEngine::Status& st : cluster.slo_engine().status()) {
+    std::printf("   %-20s %9.2f%% %10.2f %10.2f %8s\n", st.name.c_str(),
+                st.objective * 100.0, st.short_burn, st.long_burn,
+                st.firing ? "FIRING" : "ok");
+  }
+}
+
+void render_heavy_hitters(Cluster& cluster) {
+  const ResourceLedger& ledger = cluster.cost_ledger();
+  std::printf("\n--- query cost: %llu queries, top consumers ---\n",
+              static_cast<unsigned long long>(ledger.queries()));
+  auto table = [](const char* dim, const TopKSketch& sketch) {
+    auto rows = sketch.top();
+    if (rows.empty()) return;
+    std::printf("   by %-8s %-14s %8s %14s %12s\n", dim, "key", "queries",
+                "rows_evaluated", "bytes_in");
+    std::size_t shown = 0;
+    for (const auto& r : rows) {
+      if (++shown > 3) break;
+      std::printf("   %-11s %-14s %8llu %14llu %12llu\n", "",
+                  r.key.c_str(), static_cast<unsigned long long>(r.count),
+                  static_cast<unsigned long long>(r.cost.rows_evaluated),
+                  static_cast<unsigned long long>(r.cost.bytes_in));
+    }
+  };
+  table("kind", ledger.by_kind());
+  table("tenant", ledger.by_tenant());
+  table("camera", ledger.by_camera());
 }
 
 }  // namespace
@@ -64,6 +101,7 @@ int main() {
   ClusterConfig cluster_config;
   cluster_config.worker_count = 6;
   cluster_config.coordinator.query_timeout = Duration::millis(20);
+  cluster_config.health.enabled = true;  // SLO burn rates on the sim clock
   Cluster cluster(
       world,
       std::make_unique<SpatialGridStrategy>(world, 4, 4, trace.cameras),
@@ -91,8 +129,8 @@ int main() {
     std::printf("\n=== window %d: t in [%lds, %lds), %zu new detections ===\n",
                 frame, static_cast<long>((window_end - window).to_seconds()),
                 static_cast<long>(window_end.to_seconds()), cursor - begin);
-    render_heatmap(cluster, world,
-                   {window_end - window, window_end});
+    render_heatmap(cluster, world, {window_end - window, window_end},
+                   static_cast<std::uint32_t>(frame + 1));
 
     if (frame == 1) {
       Cluster::RecoveryReport recovery = cluster.restart_worker(WorkerId(2));
@@ -109,6 +147,9 @@ int main() {
       Query::count(cluster.next_query_id(), world, TimeInterval::all()));
   std::printf("\ntotal detections queryable: %llu (ingested %zu)\n",
               static_cast<unsigned long long>(all.total_count()), cursor);
+
+  render_slo_table(cluster);
+  render_heavy_hitters(cluster);
   std::printf("\n");
   std::cout << collect_stats(cluster);
   return 0;

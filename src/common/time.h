@@ -26,6 +26,7 @@ class Duration {
     return Duration(n * 1'000'000);
   }
   static constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+  static constexpr Duration hours(std::int64_t n) { return minutes(n * 60); }
   static constexpr Duration zero() { return Duration(0); }
   static constexpr Duration max() {
     return Duration(std::numeric_limits<std::int64_t>::max());

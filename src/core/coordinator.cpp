@@ -44,7 +44,8 @@ void Coordinator::dispatch(const Message& message, SimNetwork& network) {
   BinaryReader reader(message.payload);
   switch (static_cast<MsgType>(message.type)) {
     case MsgType::kQueryResponse:
-      on_response(decode_query_response(reader), network.now());
+      on_response(decode_query_response(reader), message.payload.size(),
+                  network.now());
       break;
     case MsgType::kDeltaBatch:
       on_deltas(decode_delta_batch(reader));
@@ -187,13 +188,16 @@ std::vector<PartitionId> Coordinator::footprint(const Query& query) const {
   return strategy_.all_partitions();
 }
 
-void Coordinator::send_query_to(NodeId worker, std::uint64_t request_id,
-                                std::uint64_t sub_id, const Query& query,
-                                const std::vector<PartitionId>& partitions,
-                                SimNetwork& network, TraceContext ctx) {
+std::size_t Coordinator::send_query_to(
+    NodeId worker, std::uint64_t request_id, std::uint64_t sub_id,
+    const Query& query, const std::vector<PartitionId>& partitions,
+    SimNetwork& network, TraceContext ctx) {
   QueryRequest request{request_id, sub_id, query, partitions};
+  std::vector<std::uint8_t> payload = encode(request);
+  std::size_t bytes = payload.size();
   channel_.send(worker, static_cast<std::uint32_t>(MsgType::kQueryRequest),
-                encode(request), network, ctx);
+                std::move(payload), network, ctx);
+  return bytes;
 }
 
 std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
@@ -256,8 +260,10 @@ std::uint64_t Coordinator::submit(const Query& query, SimNetwork& network,
       est = estimated_rows * static_cast<double>(partitions.size()) /
             static_cast<double>(total_partitions);
     }
-    send_query_to(worker, request_id, sub_id, query, partitions, network,
-                  fspan);
+    pending.cost.bytes_out += send_query_to(worker, request_id, sub_id,
+                                            query, partitions, network,
+                                            fspan);
+    ++pending.cost.fragments;
     pending.fragments.emplace(
         sub_id, Fragment{worker, std::move(partitions), 0, false, {}, fspan,
                          est, network.now()});
@@ -284,22 +290,91 @@ void Coordinator::maybe_finish(std::uint64_t request_id,
   if (pending.outstanding > 0 || pending.finished) return;
   pending.finished = true;
   Duration latency = now - pending.submitted_at;
-  query_latency_us_.observe(static_cast<double>(latency.count_micros()));
+  double latency_us = static_cast<double>(latency.count_micros());
+  query_latency_us_.observe(latency_us);
+
+  // Commit the accumulated cost vector to the ledger, attributed to query
+  // kind, originating tenant, and the camera that dominated the answer.
+  pending.cost.sim_latency_us =
+      static_cast<std::uint64_t>(latency.count_micros());
+  if (tracer_ != nullptr && pending.root.valid()) {
+    // Retransmits are recorded as instant spans under the frames that
+    // carried this query's fragments, so the trace is the per-query view
+    // of what the channel-level counter only shows in aggregate.
+    for (const SpanRecord& s : tracer_->trace(pending.root.trace_id)) {
+      if (s.name == "net.retransmit") ++pending.cost.retransmits;
+    }
+  }
+  CostRecord rec;
+  rec.request_id = request_id;
+  rec.trace_id = pending.root.trace_id;
+  rec.kind = query_kind_name(pending.query.kind);
+  rec.tenant = pending.query.tenant;
+  rec.partial = pending.partial;
+  if (pending.query.kind == QueryKind::kCameraWindow) {
+    rec.hottest_camera = pending.query.camera.value();
+  } else {
+    std::uint64_t best_cam = CostRecord::kNoCamera;
+    std::uint64_t best_n = 0;
+    for (const auto& [cam, n] : pending.camera_counts) {
+      // Smallest id wins ties, keeping attribution deterministic across
+      // unordered_map iteration orders.
+      if (n > best_n || (n == best_n && n > 0 && cam < best_cam)) {
+        best_cam = cam;
+        best_n = n;
+      }
+    }
+    rec.hottest_camera = best_cam;
+  }
+  rec.cost = pending.cost;
+  ledger_.record(rec);
+
+  std::string cost_summary = rec.cost.summary();
+  query_latency_us_.set_exemplar(latency_us, rec.trace_id, cost_summary);
+
+  if (profiler_ != nullptr && profiler_->active() &&
+      profiled_request_ == request_id) {
+    std::size_t stage = profiler_->open_stage("query.cost", now);
+    ExplainStage& s = profiler_->stage(stage);
+    s.note("summary", cost_summary);
+    s.note("tenant", std::to_string(pending.query.tenant));
+    if (rec.hottest_camera != CostRecord::kNoCamera) {
+      s.note("hottest_camera", std::to_string(rec.hottest_camera));
+    }
+    profiler_->close_stage(stage, now);
+  }
+
   if (tracer_ != nullptr && pending.root.valid()) {
     if (pending.partial) tracer_->tag(pending.root, "partial", "true");
     tracer_->end_span(pending.root, now);
     slow_log_.maybe_record(*tracer_, pending.root.trace_id, request_id,
-                           query_kind_name(pending.query.kind), latency);
+                           query_kind_name(pending.query.kind), latency,
+                           cost_summary);
   }
 }
 
-void Coordinator::on_response(const QueryResponse& response, TimePoint now) {
+void Coordinator::on_response(const QueryResponse& response,
+                              std::size_t wire_bytes, TimePoint now) {
   auto it = pending_.find(response.request_id);
   if (it == pending_.end()) return;  // late response after completion
   PendingQuery& pending = it->second;
   // Keep every fragment result — even from a fragment already retired by a
   // faster hedge or failover re-issue: the merger dedups detections.
   pending.results.push_back(response.result);
+
+  // Cost accrues for every answer that arrived, retired fragment or not:
+  // a hedged-over primary's scan still happened and still gets billed.
+  pending.cost.rows_scanned += response.rows_scanned;
+  pending.cost.rows_returned += response.result.detections.size();
+  pending.cost.blocks_scanned += response.blocks_scanned;
+  pending.cost.blocks_skipped += response.blocks_skipped;
+  pending.cost.rows_evaluated += response.rows_evaluated;
+  pending.cost.morsels += response.vectorized_morsels;
+  pending.cost.scan_wall_us += response.scan_wall_us;
+  pending.cost.bytes_in += wire_bytes;
+  for (const Detection& d : response.result.detections) {
+    ++pending.camera_counts[d.camera.value()];
+  }
 
   auto frag = pending.fragments.find(response.sub_id);
   if (frag == pending.fragments.end()) return;  // pre-sub_id sender (tests)
@@ -449,8 +524,11 @@ void Coordinator::hedge(std::uint64_t request_id, SimNetwork& network) {
       tracer_->tag(hspan, "worker", std::to_string(plan.worker.value()));
       tracer_->tag(hspan, "hedge", "true");
     }
-    send_query_to(plan.worker, request_id, sub_id, pending.query,
-                  plan.partitions, network, hspan);
+    pending.cost.bytes_out +=
+        send_query_to(plan.worker, request_id, sub_id, pending.query,
+                      plan.partitions, network, hspan);
+    ++pending.cost.fragments;
+    ++pending.cost.hedges;
     std::size_t hedge_partitions = plan.partitions.size();
     pending.fragments.emplace(
         sub_id, Fragment{plan.worker, std::move(plan.partitions),
@@ -529,8 +607,10 @@ void Coordinator::failover_retry(std::uint64_t request_id,
       tracer_->tag(rspan, "worker", std::to_string(plan.worker.value()));
       tracer_->tag(rspan, "retry", "true");
     }
-    send_query_to(plan.worker, request_id, sub_id, pending.query,
-                  plan.partitions, network, rspan);
+    pending.cost.bytes_out +=
+        send_query_to(plan.worker, request_id, sub_id, pending.query,
+                      plan.partitions, network, rspan);
+    ++pending.cost.fragments;
     std::size_t retry_partitions = plan.partitions.size();
     pending.fragments.emplace(
         sub_id,
@@ -557,14 +637,60 @@ void Coordinator::failover_retry(std::uint64_t request_id,
   }
 }
 
+void Coordinator::register_event_counter_help() {
+  metrics_.set_help("workers_unsuspected",
+                    "Suspected workers cleared after a heartbeat resumed");
+  metrics_.set_help("ingest_forwards",
+                    "Detections routed to workers by the ingest path");
+  metrics_.set_help("unknown_message",
+                    "Messages dropped for an unrecognized type");
+  metrics_.set_help("hedges_suppressed_recovering",
+                    "Hedges skipped because the backup was still recovering");
+  metrics_.set_help("partitions_failed_over",
+                    "Partitions re-pointed at a replica after a crash");
+  metrics_.set_help("partitions_rereplicated",
+                    "Partitions assigned a new replica after failover");
+  metrics_.set_help("recoveries_started",
+                    "Worker restarts that began partition resync");
+  metrics_.set_help("recovery_done_stale",
+                    "Recovery completions for an already-superseded plan");
+  metrics_.set_help("partitions_recovered",
+                    "Partitions fully resynced onto a restarted worker");
+  metrics_.set_help("monitors_installed",
+                    "Continuous monitors installed across workers");
+  metrics_.set_help("monitor_fanout_total",
+                    "Worker installations summed over all monitors");
+  metrics_.set_help("deltas_positive",
+                    "Continuous-monitor delta notifications with new rows");
+  metrics_.set_help("deltas_negative",
+                    "Continuous-monitor delta notifications retracting rows");
+  metrics_.set_help("knn_adaptive_plans",
+                    "kNN queries planned with the adaptive radius ladder");
+  metrics_.set_help("knn_adaptive_degenerate",
+                    "Adaptive kNN plans that fell back to a full-space probe");
+  metrics_.set_help("knn_adaptive_rounds",
+                    "Radius-expansion rounds issued by adaptive kNN");
+  metrics_.set_help("workers_crashed", "Worker crashes injected or observed");
+  metrics_.set_help("workers_restarted",
+                    "Worker restarts driven through the cluster");
+  metrics_.set_help("resync_timeout",
+                    "Recovery resyncs abandoned after the drain deadline");
+}
+
 Coordinator::PeerStats& Coordinator::peer_stats(NodeId worker) {
   auto [it, inserted] = peer_stats_.try_emplace(worker.value());
   if (inserted) {
     std::string prefix = "peer." + std::to_string(worker.value()) + ".";
-    it->second.hedged = &metrics_.counter(prefix + "hedged");
-    it->second.hedge_wins = &metrics_.counter(prefix + "hedge_wins");
-    it->second.timeouts = &metrics_.counter(prefix + "timeouts");
-    it->second.latency = &metrics_.histogram(prefix + "fragment_latency_us");
+    it->second.hedged = &metrics_.counter(
+        prefix + "hedged", "Hedges issued against this worker's fragments");
+    it->second.hedge_wins = &metrics_.counter(
+        prefix + "hedge_wins",
+        "This worker's fragments beaten by a backup's hedge answer");
+    it->second.timeouts = &metrics_.counter(
+        prefix + "timeouts", "Fragments this worker failed to answer in time");
+    it->second.latency = &metrics_.histogram(
+        prefix + "fragment_latency_us",
+        "Fragment round-trip latency against this worker (sim us)");
   }
   return it->second;
 }

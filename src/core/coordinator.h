@@ -35,6 +35,7 @@
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
+#include "obs/cost.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
@@ -70,6 +71,8 @@ struct CoordinatorConfig {
   std::size_t slow_query_log_capacity = 64;
   /// Reliable-transport knobs for loss-sensitive traffic (ingest, queries).
   ReliableChannelConfig channel;
+  /// Per-query cost accounting (top-K heavy-hitter capacity, recent ring).
+  ResourceLedgerConfig ledger;
 };
 
 class Coordinator final : public NetworkNode {
@@ -77,25 +80,51 @@ class Coordinator final : public NetworkNode {
   Coordinator(NodeId id, const PartitionStrategy& strategy, PartitionMap map,
               CoordinatorConfig config)
       : id_(id), strategy_(strategy), map_(std::move(map)), config_(config),
-        ingested_(metrics_.counter("ingested")),
-        queries_submitted_(metrics_.counter("queries_submitted")),
-        query_fanout_total_(metrics_.counter("query_fanout_total")),
-        query_partitions_total_(metrics_.counter("query_partitions_total")),
-        query_latency_us_(metrics_.histogram("query_latency_us")),
-        hedges_issued_(metrics_.counter("hedges_issued")),
-        hedges_won_(metrics_.counter("hedges_won")),
-        failover_retries_(metrics_.counter("failover_retries")),
-        queries_partial_(metrics_.counter("queries_partial")),
-        workers_suspected_(metrics_.counter("workers_suspected")),
-        partitions_recovering_(metrics_.gauge("partitions_recovering")),
-        trajectory_partitions_pruned_(
-            metrics_.counter("trajectory_partitions_pruned")),
-        estimate_q_error_x100_(metrics_.histogram("estimate_q_error_x100")),
-        knn_plan_q_error_x100_(metrics_.histogram("knn_plan_q_error_x100")),
+        ingested_(metrics_.counter(
+            "ingested", "Detections routed into the cluster by this node")),
+        queries_submitted_(metrics_.counter(
+            "queries_submitted", "Queries accepted for scatter-gather")),
+        query_fanout_total_(metrics_.counter(
+            "query_fanout_total",
+            "Worker fragments issued, summed over queries (pruning metric)")),
+        query_partitions_total_(metrics_.counter(
+            "query_partitions_total",
+            "Partitions selected by query footprints, summed over queries")),
+        query_latency_us_(metrics_.histogram(
+            "query_latency_us",
+            "End-to-end query latency, submit to last fragment (sim us)")),
+        hedges_issued_(metrics_.counter(
+            "hedges_issued",
+            "Speculative backup fragments sent for slow primaries")),
+        hedges_won_(metrics_.counter(
+            "hedges_won", "Primary fragments retired by hedge answers")),
+        failover_retries_(metrics_.counter(
+            "failover_retries",
+            "Query timeout rounds that re-routed fragments to backups")),
+        queries_partial_(metrics_.counter(
+            "queries_partial",
+            "Queries answered incompletely after exhausting retries")),
+        workers_suspected_(metrics_.counter(
+            "workers_suspected",
+            "Workers declared dead by the heartbeat failure detector")),
+        partitions_recovering_(metrics_.gauge(
+            "partitions_recovering",
+            "Partitions currently mid-resync (routing points at survivor)")),
+        trajectory_partitions_pruned_(metrics_.counter(
+            "trajectory_partitions_pruned",
+            "Trajectory fragments skipped via object-presence summaries")),
+        estimate_q_error_x100_(metrics_.histogram(
+            "estimate_q_error_x100",
+            "Selectivity q-error per realized estimate, x100")),
+        knn_plan_q_error_x100_(metrics_.histogram(
+            "knn_plan_q_error_x100",
+            "kNN planner initial-radius q-error per plan, x100")),
         slow_log_(config.slow_query_threshold,
                   config.slow_query_log_capacity),
+        ledger_(config.ledger),
         channel_(id, counters_, config.channel) {
     channel_.register_metrics(metrics_);
+    register_event_counter_help();
   }
 
   [[nodiscard]] NodeId node_id() const override { return id_; }
@@ -218,6 +247,10 @@ class Coordinator final : public NetworkNode {
   }
   SlowQueryLog& slow_query_log() { return slow_log_; }
 
+  /// Per-query resource costs attributed by kind / tenant / hottest camera.
+  [[nodiscard]] const ResourceLedger& cost_ledger() const { return ledger_; }
+  ResourceLedger& cost_ledger() { return ledger_; }
+
   /// Attaches an EXPLAIN/ANALYZE profiler (may be null). While the profiler
   /// has an active profile, submit/on_response record planning and
   /// per-worker scan stages into it.
@@ -277,6 +310,10 @@ class Coordinator final : public NetworkNode {
     TraceContext root;  // coordinator.fanout span
     TimePoint submitted_at;
     bool finished = false;  // latency observed, root span ended
+    /// Resource-cost accumulator, committed to the ledger at finish.
+    CostVector cost;
+    /// Detections returned per camera, for hottest-camera attribution.
+    std::unordered_map<std::uint64_t, std::uint64_t> camera_counts;
   };
 
   static NodeId worker_node(WorkerId w) { return NodeId(w.value()); }
@@ -293,14 +330,21 @@ class Coordinator final : public NetworkNode {
   };
   PeerStats& peer_stats(NodeId worker);
 
+  /// Help strings for eagerly-bumped CounterSet events (no registry handle;
+  /// picked up by import_counter_set when snapshots are assembled).
+  void register_event_counter_help();
+
   /// Application-level dispatch (after reliable-channel unwrapping).
   void dispatch(const Message& message, SimNetwork& network);
 
-  void send_query_to(NodeId worker, std::uint64_t request_id,
-                     std::uint64_t sub_id, const Query& query,
-                     const std::vector<PartitionId>& partitions,
-                     SimNetwork& network, TraceContext ctx);
-  void on_response(const QueryResponse& response, TimePoint now);
+  /// Returns the encoded request payload size (ledger bytes-out accounting).
+  std::size_t send_query_to(NodeId worker, std::uint64_t request_id,
+                            std::uint64_t sub_id, const Query& query,
+                            const std::vector<PartitionId>& partitions,
+                            SimNetwork& network, TraceContext ctx);
+  /// `wire_bytes` is the response payload size as it arrived off the wire.
+  void on_response(const QueryResponse& response, std::size_t wire_bytes,
+                   TimePoint now);
   /// Ends the root span and observes latency once all fragments resolve.
   void maybe_finish(std::uint64_t request_id, PendingQuery& pending,
                     TimePoint now);
@@ -386,6 +430,7 @@ class Coordinator final : public NetworkNode {
 
   Tracer* tracer_ = nullptr;
   SlowQueryLog slow_log_;
+  ResourceLedger ledger_;
   QueryProfiler* profiler_ = nullptr;
   // Request the active profile belongs to; responses for other requests
   // (late monitors, unrelated traffic) do not record stages.

@@ -12,7 +12,9 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
       network_(config.network),
       tracer_(config.tracer),
       estimator_(SelectivityConfig{world, 16, 16, Duration::minutes(1), 32}),
-      health_monitor_(config.health.monitor) {
+      health_monitor_(config.health.monitor),
+      slo_engine_(health_monitor_, config.health.monitor.ring_capacity),
+      flight_recorder_(config.health.flight) {
   STCN_CHECK(strategy_ != nullptr);
   STCN_CHECK(config_.worker_count > 0);
   STCN_CHECK(!world.is_empty());
@@ -68,9 +70,27 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
   if (config_.health.install_default_rules) {
     health_monitor_.add_default_rules(config_.health.thresholds);
   }
+
+  // SLO engine: reads the same live registries the monitor samples, fires
+  // through the monitor's hysteresis, so SLO alerts land in the same event
+  // log and health rollup as rule-based alerts.
+  slo_engine_.add_source("coordinator", &coordinator_->metrics());
+  if (config_.health.install_default_slos) {
+    for (SloSpec spec :
+         default_slos(config_.health.slo_latency_threshold_us,
+                      config_.health.slo_availability_objective,
+                      config_.health.slo_latency_objective)) {
+      spec.short_window = config_.health.slo_short_window;
+      spec.long_window = config_.health.slo_long_window;
+      slo_engine_.add_slo(std::move(spec));
+    }
+  }
+
   if (config_.health.enabled) {
     health_ticker_ = std::make_unique<HealthTicker>(
-        NodeId(kHealthNode), health_monitor_, config_.health.sample_period);
+        NodeId(kHealthNode),
+        [this](TimePoint now) { sample_health_at(now); },
+        config_.health.sample_period);
     network_.attach(*health_ticker_);
     health_ticker_->start(network_);
   }
@@ -279,7 +299,193 @@ MetricsRegistry Cluster::metrics_snapshot() const {
     snapshot.import_counter_set(worker->counters(), "worker.",
                                 &worker->metrics());
   }
+  coordinator_->cost_ledger().metrics().merge_into(snapshot, "cost.");
   return snapshot;
+}
+
+// ------------------------------------------------ health sampling pipeline
+
+void Cluster::sample_health_at(TimePoint now) {
+  health_monitor_.sample(now);
+  slo_engine_.sample(now);
+  record_flight_frame(now);
+  check_flight_triggers(now);
+}
+
+std::uint64_t Cluster::recovery_failed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    const auto& counters = worker->metrics().counters();
+    auto it = counters.find("recovery_failed");
+    if (it != counters.end()) total += it->second->value();
+  }
+  return total;
+}
+
+void Cluster::record_flight_frame(TimePoint now) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("health");
+  w.begin_object();
+  for (const auto& [node, status] : health_monitor_.health().nodes) {
+    w.key(node);
+    w.value(health_status_name(status));
+  }
+  w.end_object();
+  w.key("firing");
+  w.value(static_cast<std::uint64_t>(health_monitor_.firing().size()));
+  const ResourceLedger& ledger = coordinator_->cost_ledger();
+  w.key("queries");
+  w.value(ledger.queries());
+  w.key("rows_evaluated");
+  w.value(ledger.totals().rows_evaluated);
+  w.key("recovery_failed");
+  w.value(recovery_failed_total());
+  w.key("slo_burn");
+  w.begin_object();
+  for (const SloEngine::Status& st : slo_engine_.status()) {
+    w.key(st.name);
+    w.value(st.burn);
+  }
+  w.end_object();
+  w.end_object();
+  flight_recorder_.record_frame(now, w.take());
+}
+
+void Cluster::check_flight_triggers(TimePoint) {
+  // New firing transitions since the last check (SLO rules included: they
+  // fire through the same monitor, named "slo:<objective>").
+  const EventLog& log = health_monitor_.events();
+  std::uint64_t total = log.total();
+  if (total > flight_events_seen_) {
+    std::uint64_t fresh = total - flight_events_seen_;
+    const auto& events = log.events();
+    std::size_t start =
+        events.size() > fresh ? events.size() - static_cast<std::size_t>(fresh)
+                              : 0;
+    for (std::size_t i = start; i < events.size(); ++i) {
+      const HealthEvent& e = events[i];
+      if (e.kind != "firing") continue;
+      FlightTrigger t;
+      t.kind = e.rule.rfind("slo:", 0) == 0 ? "slo" : "alert";
+      t.rule = e.rule;
+      t.subject = e.subject;
+      t.severity = e.severity;
+      t.value = e.value;
+      t.threshold = e.threshold;
+      freeze_postmortem(t);
+    }
+    flight_events_seen_ = total;
+  }
+
+  // A recovery_failed increment means a partition permanently gave up
+  // catching up — no alert rule needs to cover it for the recorder to care.
+  std::uint64_t failed = recovery_failed_total();
+  if (failed > flight_recovery_failed_seen_) {
+    FlightTrigger t;
+    t.kind = "recovery_failed";
+    t.rule = "recovery_failed";
+    t.severity = "suspect";
+    t.value = static_cast<double>(failed);
+    t.threshold = static_cast<double>(flight_recovery_failed_seen_);
+    flight_recovery_failed_seen_ = failed;
+    freeze_postmortem(t);
+  }
+}
+
+namespace {
+void append_spans_json(obs::JsonWriter& w,
+                       const std::vector<SpanRecord>& spans) {
+  w.begin_array();
+  for (const SpanRecord& span : spans) {
+    w.begin_object();
+    w.key("span_id");
+    w.value(span.span_id);
+    w.key("parent_id");
+    w.value(span.parent_id);
+    w.key("name");
+    w.value(span.name);
+    w.key("node");
+    w.value(span.node);
+    w.key("start_us");
+    w.value(span.start.micros_since_origin());
+    w.key("duration_us");
+    w.value(span.duration().count_micros());
+    for (const auto& [k, v] : span.tags) {
+      w.key(k);
+      w.value(v);
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+}  // namespace
+
+const PostmortemBundle& Cluster::freeze_postmortem(
+    const FlightTrigger& trigger) {
+  FlightRecorder::Sections s;
+  s.slo_json = slo_engine_.to_json();
+  s.cost_json = coordinator_->cost_ledger().to_json();
+
+  // Exemplars: every pinned bucket of the query-latency histogram, each
+  // with its cost summary and (when the trace is still retained) the full
+  // span tree — the p99 bucket links to the query that actually landed
+  // there and the worker that made it slow.
+  obs::JsonWriter ew;
+  ew.begin_array();
+  const auto& hists = coordinator_->metrics().histograms();
+  if (auto it = hists.find("query_latency_us"); it != hists.end()) {
+    const LatencyHistogram& h = *it->second;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const Exemplar* e = h.exemplar(b);
+      if (e == nullptr) continue;
+      ew.begin_object();
+      ew.key("metric");
+      ew.value("coordinator.query_latency_us");
+      ew.key("bucket");
+      ew.value(b);
+      ew.key("value_us");
+      ew.value(e->value);
+      ew.key("trace_id");
+      ew.value(e->trace_id);
+      ew.key("summary");
+      ew.value(e->summary);
+      if (tracer_.enabled() && e->trace_id != 0 &&
+          tracer_.has_trace(e->trace_id)) {
+        ew.key("spans");
+        append_spans_json(ew, tracer_.trace(e->trace_id));
+      }
+      ew.end_object();
+    }
+  }
+  ew.end_array();
+  s.exemplars_json = ew.take();
+
+  obs::JsonWriter evw;
+  health_monitor_.events().append_json(evw);
+  s.events_json = evw.take();
+  s.slow_queries_json = coordinator_->slow_query_log().to_json();
+
+  obs::JsonWriter cw;
+  cw.begin_object();
+  cw.key("worker_count");
+  cw.value(static_cast<std::uint64_t>(config_.worker_count));
+  cw.key("query_timeout_us");
+  cw.value(config_.coordinator.query_timeout.count_micros());
+  cw.key("hedge_queries");
+  cw.value(config_.coordinator.hedge_queries);
+  cw.key("max_retries");
+  cw.value(config_.coordinator.max_retries);
+  cw.key("health_sample_period_us");
+  cw.value(config_.health.sample_period.count_micros());
+  cw.key("slo_short_window_us");
+  cw.value(config_.health.slo_short_window.count_micros());
+  cw.key("slo_long_window_us");
+  cw.value(config_.health.slo_long_window.count_micros());
+  cw.end_object();
+  s.config_json = cw.take();
+
+  return flight_recorder_.freeze(network_.now(), trigger, std::move(s));
 }
 
 void Cluster::pump(Duration horizon) {

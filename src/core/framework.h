@@ -15,6 +15,7 @@
 // distributed system.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,8 +26,10 @@
 #include "core/worker.h"
 #include "net/sim_network.h"
 #include "obs/explain.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/tracer.h"
 #include "partition/partition_map.h"
 #include "query/planner.h"
@@ -46,6 +49,19 @@ struct ClusterHealthConfig {
   bool install_default_rules = true;
   HealthThresholds thresholds;
   HealthMonitorConfig monitor;
+  /// SLO burn-rate engine: ships with a query-availability and a
+  /// query-latency objective unless disabled; specs evaluate on every
+  /// health sample through the monitor's hysteresis.
+  bool install_default_slos = true;
+  double slo_latency_threshold_us = 25'000.0;
+  double slo_availability_objective = 0.99;
+  double slo_latency_objective = 0.90;
+  /// Burn-rate windows (sim clock), applied to the default SLOs. Tests
+  /// shrink these so a chaos scenario burns visibly within seconds.
+  Duration slo_short_window = Duration::minutes(5);
+  Duration slo_long_window = Duration::hours(1);
+  /// Alert-triggered flight recorder (see obs/flight_recorder.h).
+  FlightRecorderConfig flight;
 };
 
 struct ClusterConfig {
@@ -77,25 +93,28 @@ struct ClusterConfig {
   ClusterHealthConfig health;
 };
 
-/// Dedicated node that drives HealthMonitor::sample on a recurring timer,
-/// so health sampling advances with the virtual clock like every other
-/// periodic process in the simulation.
+/// Dedicated node that drives the health-sampling pipeline (monitor, SLO
+/// engine, flight recorder) on a recurring timer, so health sampling
+/// advances with the virtual clock like every other periodic process in
+/// the simulation.
 class HealthTicker final : public NetworkNode {
  public:
-  HealthTicker(NodeId id, HealthMonitor& monitor, Duration period)
-      : id_(id), monitor_(monitor), period_(period) {}
+  using SampleFn = std::function<void(TimePoint)>;
+
+  HealthTicker(NodeId id, SampleFn sample, Duration period)
+      : id_(id), sample_(std::move(sample)), period_(period) {}
 
   [[nodiscard]] NodeId node_id() const override { return id_; }
   void handle_message(const Message&, SimNetwork&) override {}
   void handle_timer(std::uint64_t, SimNetwork& network) override {
-    monitor_.sample(network.now());
+    sample_(network.now());
     network.set_timer(id_, period_, 0);
   }
   void start(SimNetwork& network) { network.set_timer(id_, period_, 0); }
 
  private:
   NodeId id_;
-  HealthMonitor& monitor_;
+  SampleFn sample_;
   Duration period_;
 };
 
@@ -239,8 +258,29 @@ class Cluster {
   [[nodiscard]] ClusterHealth health() const {
     return health_monitor_.health();
   }
-  /// Takes one health sample now (manual drive for tests).
-  void sample_health() { health_monitor_.sample(network_.now()); }
+  /// Takes one health sample now (manual drive for tests): monitor, SLO
+  /// burn rates, flight-recorder frame, and trigger check, in that order —
+  /// the same pipeline the ticker runs.
+  void sample_health() { sample_health_at(network_.now()); }
+
+  /// SLO burn-rate engine (objectives evaluated on every health sample).
+  [[nodiscard]] SloEngine& slo_engine() { return slo_engine_; }
+  [[nodiscard]] const SloEngine& slo_engine() const { return slo_engine_; }
+
+  /// Per-query cost ledger assembled by the coordinator.
+  [[nodiscard]] const ResourceLedger& cost_ledger() const {
+    return coordinator_->cost_ledger();
+  }
+
+  /// Flight recorder: pre-trigger frames and frozen postmortem bundles.
+  [[nodiscard]] FlightRecorder& flight_recorder() { return flight_recorder_; }
+  [[nodiscard]] const FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
+  /// Assembles and freezes a postmortem bundle right now (manual trigger;
+  /// the sampling pipeline calls this automatically on alert transitions).
+  const PostmortemBundle& freeze_postmortem(const FlightTrigger& trigger);
 
   [[nodiscard]] SimNetwork& network() { return network_; }
   [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
@@ -261,6 +301,15 @@ class Cluster {
   // Gateways occupy [2'000'000, …); the health ticker sits above them.
   static constexpr std::uint64_t kHealthNode = 3'000'000;
 
+  /// The full sampling pipeline behind sample_health() and the ticker.
+  void sample_health_at(TimePoint now);
+  /// Appends one compact cluster-state frame to the flight recorder.
+  void record_flight_frame(TimePoint now);
+  /// Freezes a bundle for every new firing transition / recovery failure.
+  void check_flight_triggers(TimePoint now);
+  /// Sum of `recovery_failed` across all workers.
+  [[nodiscard]] std::uint64_t recovery_failed_total() const;
+
   Rect world_;
   ClusterConfig config_;
   std::unique_ptr<PartitionStrategy> strategy_;
@@ -274,6 +323,11 @@ class Cluster {
   SelectivityEstimator estimator_;
   QueryProfiler profiler_;
   HealthMonitor health_monitor_;
+  SloEngine slo_engine_;
+  FlightRecorder flight_recorder_;
+  // Trigger-edge detection state for the flight recorder.
+  std::uint64_t flight_events_seen_ = 0;
+  std::uint64_t flight_recovery_failed_seen_ = 0;
   std::unique_ptr<HealthTicker> health_ticker_;
 };
 

@@ -72,29 +72,86 @@ class WorkerNode final : public NetworkNode {
   WorkerNode(WorkerId id, NodeId coordinator, const WorkerConfig& config)
       : id_(id), coordinator_(coordinator), config_(config),
         monitors_(config.world),
-        ingested_primary_(metrics_.counter("ingested_primary")),
-        ingested_replica_(metrics_.counter("ingested_replica")),
-        ingested_resync_(metrics_.counter("ingested_resync")),
-        ingest_dups_skipped_(metrics_.counter("ingest_dups_skipped")),
-        monitors_tested_(metrics_.counter("monitors_tested")),
-        queries_served_(metrics_.counter("queries_served")),
-        store_blocks_scanned_(metrics_.counter("store_blocks_scanned")),
-        store_blocks_skipped_(metrics_.counter("store_blocks_skipped")),
-        vectorized_morsels_(metrics_.counter("vectorized_morsels")),
-        snapshots_taken_(metrics_.counter("snapshots_taken")),
-        snapshots_installed_(metrics_.counter("snapshots_installed")),
-        snapshot_rows_installed_(metrics_.counter("snapshot_rows_installed")),
-        delta_syncs_served_(metrics_.counter("delta_syncs_served")),
-        replayed_detections_(metrics_.counter("replayed_detections")),
-        delta_sync_fallback_(metrics_.counter("delta_sync_fallback_full")),
-        resync_retries_(metrics_.counter("resync_exchange_retries")),
-        recovery_failed_(metrics_.counter("recovery_failed")),
-        store_memory_bytes_(metrics_.gauge("store_memory_bytes")),
-        snapshot_bytes_(metrics_.gauge("snapshot_bytes")),
-        replay_log_bytes_(metrics_.gauge("replay_log_bytes")),
-        scan_wall_us_(metrics_.histogram("scan_wall_us")),
+        ingested_primary_(metrics_.counter(
+            "ingested_primary", "Detections ingested as partition primary")),
+        ingested_replica_(metrics_.counter(
+            "ingested_replica", "Detections ingested as backup replica")),
+        ingested_resync_(metrics_.counter(
+            "ingested_resync", "Detections installed by recovery syncs")),
+        ingest_dups_skipped_(metrics_.counter(
+            "ingest_dups_skipped",
+            "Duplicate detections dropped by ingest idempotency")),
+        monitors_tested_(metrics_.counter(
+            "monitors_tested",
+            "Detection-vs-monitor predicate evaluations")),
+        queries_served_(metrics_.counter(
+            "queries_served", "Query fragments answered by this worker")),
+        store_blocks_scanned_(metrics_.counter(
+            "store_blocks_scanned",
+            "Columnar blocks whose rows were examined")),
+        store_blocks_skipped_(metrics_.counter(
+            "store_blocks_skipped",
+            "Columnar blocks skipped wholesale by zone maps")),
+        vectorized_morsels_(metrics_.counter(
+            "vectorized_morsels",
+            "4096-row morsels run through vectorized filter kernels")),
+        snapshots_taken_(metrics_.counter(
+            "snapshots_taken", "Partition snapshots written to the vault")),
+        snapshots_installed_(metrics_.counter(
+            "snapshots_installed",
+            "Snapshots restored into the store during recovery")),
+        snapshot_rows_installed_(metrics_.counter(
+            "snapshot_rows_installed", "Rows restored from snapshots")),
+        delta_syncs_served_(metrics_.counter(
+            "delta_syncs_served",
+            "Delta-sync requests served from the replay log")),
+        replayed_detections_(metrics_.counter(
+            "replayed_detections",
+            "Detections replayed from a holder's log during recovery")),
+        delta_sync_fallback_(metrics_.counter(
+            "delta_sync_fallback_full",
+            "Delta syncs refused (log pruned) that fell back to full copy")),
+        resync_retries_(metrics_.counter(
+            "resync_exchange_retries",
+            "Recovery sync exchanges re-sent after a timeout")),
+        recovery_failed_(metrics_.counter(
+            "recovery_failed",
+            "Partitions whose recovery exchange exhausted its retries")),
+        store_memory_bytes_(metrics_.gauge(
+            "store_memory_bytes", "Resident bytes in the detection store")),
+        snapshot_bytes_(metrics_.gauge(
+            "snapshot_bytes", "Bytes held in vault snapshots")),
+        replay_log_bytes_(metrics_.gauge(
+            "replay_log_bytes", "Bytes retained in the ingest replay log")),
+        scan_wall_us_(metrics_.histogram(
+            "scan_wall_us", "Real microseconds per fragment scan loop")),
         channel_(NodeId(id.value()), counters_, config.channel) {
     channel_.register_metrics(metrics_);
+    // Eagerly-bumped CounterSet events: helps only, no registry handle
+    // (import_counter_set attaches them at snapshot time).
+    metrics_.set_help("recovery_failed_partitions",
+                      "Partitions whose recovery gave up permanently");
+    metrics_.set_help("summaries_published",
+                      "Object-presence summaries published upstream");
+    metrics_.set_help("detections_evicted",
+                      "Detections dropped by retention compaction");
+    metrics_.set_help("compactions", "Retention compaction sweeps run");
+    metrics_.set_help("unknown_message",
+                      "Messages dropped for an unrecognized type");
+    metrics_.set_help("sync_requests_served",
+                      "Full-state sync requests answered for peers");
+    metrics_.set_help("delta_syncs_refused",
+                      "Delta syncs refused (replay log too shallow)");
+    metrics_.set_help("state_losses", "Crash events that wiped local state");
+    metrics_.set_help("snapshot_corrupt",
+                      "Snapshots rejected by checksum validation");
+    metrics_.set_help("partitions_resynced",
+                      "Partitions rebuilt from a surviving holder");
+    metrics_.set_help("recovered_local_only",
+                      "Partitions restored from the local vault snapshot "
+                      "with no surviving holder");
+    metrics_.set_help("recovery_no_source",
+                      "Partitions unrecoverable: no snapshot and no holder");
   }
 
   [[nodiscard]] NodeId node_id() const override { return NodeId(id_.value()); }

@@ -98,13 +98,21 @@ class ReliableChannel {
   /// receiving eager writes; the owning node is expected to mirror the
   /// registry back into it via MetricsRegistry::sync_counters_into.
   void register_metrics(MetricsRegistry& registry) {
-    frames_sent_ = &registry.counter("reliable_frames_sent");
-    retransmits_ = &registry.counter("retransmits");
-    retransmit_exhausted_ = &registry.counter("retransmit_exhausted");
-    dup_suppressed_ = &registry.counter("dup_suppressed");
-    frames_acked_ = &registry.counter("reliable_frames_acked");
-    frames_malformed_ = &registry.counter("reliable_frames_malformed");
-    unacked_gauge_ = &registry.gauge("unacked_frames");
+    frames_sent_ = &registry.counter(
+        "reliable_frames_sent", "DATA frames sent over the reliable channel");
+    retransmits_ = &registry.counter(
+        "retransmits", "DATA frames re-sent after an ack timeout");
+    retransmit_exhausted_ = &registry.counter(
+        "retransmit_exhausted",
+        "Frames abandoned after exhausting the retransmit ladder");
+    dup_suppressed_ = &registry.counter(
+        "dup_suppressed", "Duplicate DATA frames dropped by the receiver");
+    frames_acked_ = &registry.counter(
+        "reliable_frames_acked", "DATA frames acknowledged end to end");
+    frames_malformed_ = &registry.counter(
+        "reliable_frames_malformed", "Frames that failed header decoding");
+    unacked_gauge_ = &registry.gauge(
+        "unacked_frames", "DATA frames in flight awaiting acknowledgement");
   }
 
   /// Attaches a tracer (may be null). Retransmissions of traced frames are

@@ -80,17 +80,33 @@ class SimNetwork {
   explicit SimNetwork(NetworkConfig config = {})
       : config_(config),
         rng_(config.seed),
-        messages_sent_(metrics_.counter("messages_sent")),
-        bytes_sent_(metrics_.counter("bytes_sent")),
-        messages_delivered_(metrics_.counter("messages_delivered")),
-        messages_duplicated_(metrics_.counter("messages_duplicated")),
-        dropped_crashed_(metrics_.counter("messages_dropped_crashed")),
-        dropped_partition_(metrics_.counter("messages_dropped_partition")),
-        dropped_fabric_(metrics_.counter("messages_dropped_fabric")),
-        dropped_unknown_(metrics_.counter("messages_dropped_unknown_node")),
-        timers_parked_(metrics_.counter("timers_parked")),
-        timers_resumed_(metrics_.counter("timers_resumed")),
-        delivery_delay_us_(metrics_.histogram("delivery_delay_us")) {}
+        messages_sent_(metrics_.counter(
+            "messages_sent", "Messages handed to the fabric for delivery")),
+        bytes_sent_(metrics_.counter(
+            "bytes_sent", "Payload bytes handed to the fabric")),
+        messages_delivered_(metrics_.counter(
+            "messages_delivered", "Messages delivered to a live node")),
+        messages_duplicated_(metrics_.counter(
+            "messages_duplicated",
+            "Messages duplicated in flight by fault injection")),
+        dropped_crashed_(metrics_.counter(
+            "messages_dropped_crashed",
+            "Messages dropped because the destination was crashed")),
+        dropped_partition_(metrics_.counter(
+            "messages_dropped_partition",
+            "Messages dropped by an injected network partition")),
+        dropped_fabric_(metrics_.counter(
+            "messages_dropped_fabric",
+            "Messages lost to random fabric drop (loss_probability)")),
+        dropped_unknown_(metrics_.counter(
+            "messages_dropped_unknown_node",
+            "Messages addressed to a node never attached")),
+        timers_parked_(metrics_.counter(
+            "timers_parked", "Timers held while their owner was crashed")),
+        timers_resumed_(metrics_.counter(
+            "timers_resumed", "Parked timers released on node restart")),
+        delivery_delay_us_(metrics_.histogram(
+            "delivery_delay_us", "Per-message fabric delay (sim us)")) {}
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;

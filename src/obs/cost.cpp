@@ -1,0 +1,183 @@
+#include "obs/cost.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+void CostVector::append_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.key("rows_scanned");
+  w.value(rows_scanned);
+  w.key("rows_evaluated");
+  w.value(rows_evaluated);
+  w.key("rows_returned");
+  w.value(rows_returned);
+  w.key("blocks_scanned");
+  w.value(blocks_scanned);
+  w.key("blocks_skipped");
+  w.value(blocks_skipped);
+  w.key("bytes_out");
+  w.value(bytes_out);
+  w.key("bytes_in");
+  w.value(bytes_in);
+  w.key("scan_wall_us");
+  w.value(scan_wall_us);
+  w.key("sim_latency_us");
+  w.value(sim_latency_us);
+  w.key("morsels");
+  w.value(morsels);
+  w.key("fragments");
+  w.value(fragments);
+  w.key("hedges");
+  w.value(hedges);
+  w.key("retransmits");
+  w.value(retransmits);
+  w.end_object();
+}
+
+std::vector<TopKSketch::Row> TopKSketch::top() const {
+  std::vector<Row> out = rows_;
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+ResourceLedger::ResourceLedger(ResourceLedgerConfig config)
+    : config_(config),
+      by_kind_(config.top_k),
+      by_tenant_(config.top_k),
+      by_camera_(config.top_k),
+      c_queries_(metrics_.counter(
+          "queries", "Queries the cost ledger has attributed")),
+      c_rows_scanned_(metrics_.counter(
+          "rows_scanned", "Index rows yielded across all attributed queries")),
+      c_rows_evaluated_(metrics_.counter(
+          "rows_evaluated",
+          "Rows run through vectorized filter kernels, all queries")),
+      c_rows_returned_(metrics_.counter(
+          "rows_returned", "Rows in merged answers, all queries")),
+      c_blocks_scanned_(metrics_.counter(
+          "blocks_scanned", "Zone-map blocks examined, all queries")),
+      c_blocks_skipped_(metrics_.counter(
+          "blocks_skipped", "Zone-map blocks skipped wholesale, all queries")),
+      c_bytes_out_(metrics_.counter(
+          "bytes_out", "Query request wire bytes, coordinator to workers")),
+      c_bytes_in_(metrics_.counter(
+          "bytes_in", "Query response wire bytes, workers to coordinator")),
+      c_scan_wall_us_(metrics_.counter(
+          "scan_wall_us", "Worker kernel+scan wall microseconds, all queries")),
+      c_morsels_(metrics_.counter(
+          "morsels", "4096-row vectorized morsels, all queries")),
+      c_fragments_(metrics_.counter(
+          "fragments", "Query fragments sent (primary, hedge, and retry)")),
+      c_hedges_(metrics_.counter(
+          "hedges", "Speculative hedge fragments issued, all queries")),
+      c_retransmits_(metrics_.counter(
+          "retransmits",
+          "Reliable-channel retransmits observed in query traces")) {}
+
+void ResourceLedger::record(const CostRecord& rec) {
+  ++queries_;
+  totals_.add(rec.cost);
+  by_kind_.update(rec.kind, rec.cost);
+  by_tenant_.update("tenant:" + std::to_string(rec.tenant), rec.cost);
+  if (rec.hottest_camera != CostRecord::kNoCamera) {
+    by_camera_.update("camera:" + std::to_string(rec.hottest_camera),
+                      rec.cost);
+  }
+
+  if (config_.recent_rows > 0) {
+    if (recent_.size() < config_.recent_rows) {
+      recent_.push_back(rec);
+    } else {
+      recent_[recent_head_] = rec;
+      recent_head_ = (recent_head_ + 1) % config_.recent_rows;
+    }
+  }
+
+  c_queries_.inc();
+  c_rows_scanned_.add(rec.cost.rows_scanned);
+  c_rows_evaluated_.add(rec.cost.rows_evaluated);
+  c_rows_returned_.add(rec.cost.rows_returned);
+  c_blocks_scanned_.add(rec.cost.blocks_scanned);
+  c_blocks_skipped_.add(rec.cost.blocks_skipped);
+  c_bytes_out_.add(rec.cost.bytes_out);
+  c_bytes_in_.add(rec.cost.bytes_in);
+  c_scan_wall_us_.add(rec.cost.scan_wall_us);
+  c_morsels_.add(rec.cost.morsels);
+  c_fragments_.add(rec.cost.fragments);
+  c_hedges_.add(rec.cost.hedges);
+  c_retransmits_.add(rec.cost.retransmits);
+}
+
+namespace {
+
+void append_sketch(obs::JsonWriter& w, const TopKSketch& sketch) {
+  w.begin_array();
+  for (const TopKSketch::Row& r : sketch.top()) {
+    w.begin_object();
+    w.key("key");
+    w.value(r.key);
+    w.key("count");
+    w.value(r.count);
+    w.key("error");
+    w.value(r.error);
+    w.key("cost");
+    r.cost.append_json(w);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+void ResourceLedger::append_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.key("queries");
+  w.value(queries_);
+  w.key("totals");
+  totals_.append_json(w);
+  w.key("by_kind");
+  append_sketch(w, by_kind_);
+  w.key("by_tenant");
+  append_sketch(w, by_tenant_);
+  w.key("by_camera");
+  append_sketch(w, by_camera_);
+  w.key("recent");
+  w.begin_array();
+  // Oldest-first walk of the ring.
+  for (std::size_t i = 0; i < recent_.size(); ++i) {
+    const CostRecord& rec =
+        recent_[(recent_head_ + i) % recent_.size()];
+    w.begin_object();
+    w.key("request_id");
+    w.value(rec.request_id);
+    w.key("trace_id");
+    w.value(rec.trace_id);
+    w.key("kind");
+    w.value(rec.kind);
+    w.key("tenant");
+    w.value(static_cast<std::uint64_t>(rec.tenant));
+    if (rec.hottest_camera != CostRecord::kNoCamera) {
+      w.key("hottest_camera");
+      w.value(rec.hottest_camera);
+    }
+    w.key("partial");
+    w.value(rec.partial);
+    w.key("cost");
+    rec.cost.append_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string ResourceLedger::to_json() const {
+  obs::JsonWriter w;
+  append_json(w);
+  return w.take();
+}
+
+}  // namespace stcn

@@ -1,0 +1,217 @@
+// Resource ledger: per-query cost vectors with dimensional attribution.
+//
+// The coordinator assembles one CostVector per query from the scan stats
+// riding every QueryResponse fragment (rows evaluated, zone-map blocks
+// scanned/skipped, wire bytes both ways, kernel wall time, morsels, hedges,
+// retransmits). On completion the finished row is attributed to three
+// dimensions — query kind, originating gateway/"tenant" id, and the
+// hottest camera in the answer — each tracked by a space-saving top-K
+// heavy-hitter sketch, so "which tenant/camera/query-class is burning the
+// cluster" is answerable in O(K) memory per dimension regardless of
+// cardinality.
+//
+// Conservation invariant: eviction in the sketch folds the evicted row's
+// cost into the replacing key (the classic space-saving over-count, carried
+// per-axis), so the per-dimension rows always sum to the ledger totals.
+// ci.sh asserts this on bench_gateway output: sum of per-tenant
+// rows_evaluated == cluster total.
+//
+// Exported three ways: totals as registry counters (Prometheus via the
+// cluster snapshot), rows as JSON (bench reports, flight-recorder
+// bundles), and a compact per-query summary string attached to slow-query
+// log entries, EXPLAIN stages, and histogram exemplars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace stcn {
+
+/// Additive per-query resource usage. Every axis is a sum over the query's
+/// fragments (including hedged and retried ones — speculation is real cost).
+struct CostVector {
+  std::uint64_t rows_scanned = 0;    // index rows yielded before merging
+  std::uint64_t rows_evaluated = 0;  // rows through vectorized filter kernels
+  std::uint64_t rows_returned = 0;   // rows in the merged answer
+  std::uint64_t blocks_scanned = 0;  // zone-map blocks examined
+  std::uint64_t blocks_skipped = 0;  // zone-map blocks skipped wholesale
+  std::uint64_t bytes_out = 0;       // request wire bytes coordinator → workers
+  std::uint64_t bytes_in = 0;        // response wire bytes workers → coordinator
+  std::uint64_t scan_wall_us = 0;    // kernel+scan wall microseconds (workers)
+  std::uint64_t sim_latency_us = 0;  // end-to-end sim-clock latency
+  std::uint64_t morsels = 0;         // 4096-row vectorized morsels
+  std::uint64_t fragments = 0;       // fragment sends (primary+hedge+retry)
+  std::uint64_t hedges = 0;          // speculative re-issues
+  std::uint64_t retransmits = 0;     // reliable-channel retransmits in-trace
+
+  void add(const CostVector& o) {
+    rows_scanned += o.rows_scanned;
+    rows_evaluated += o.rows_evaluated;
+    rows_returned += o.rows_returned;
+    blocks_scanned += o.blocks_scanned;
+    blocks_skipped += o.blocks_skipped;
+    bytes_out += o.bytes_out;
+    bytes_in += o.bytes_in;
+    scan_wall_us += o.scan_wall_us;
+    sim_latency_us += o.sim_latency_us;
+    morsels += o.morsels;
+    fragments += o.fragments;
+    hedges += o.hedges;
+    retransmits += o.retransmits;
+  }
+
+  /// Compact one-line summary ("rows_eval=812 bytes_in=9211 ..."), used for
+  /// histogram exemplars, slow-query entries, and EXPLAIN notes.
+  [[nodiscard]] std::string summary() const {
+    std::string s;
+    s += "rows_eval=" + std::to_string(rows_evaluated);
+    s += " rows_ret=" + std::to_string(rows_returned);
+    s += " blocks=" + std::to_string(blocks_scanned) + "/" +
+         std::to_string(blocks_scanned + blocks_skipped);
+    s += " bytes=" + std::to_string(bytes_out) + "/" +
+         std::to_string(bytes_in);
+    s += " scan_us=" + std::to_string(scan_wall_us);
+    s += " frags=" + std::to_string(fragments);
+    if (hedges > 0) s += " hedges=" + std::to_string(hedges);
+    if (retransmits > 0) s += " rtx=" + std::to_string(retransmits);
+    return s;
+  }
+
+  void append_json(obs::JsonWriter& w) const;
+};
+
+/// One finished query, ready for attribution.
+struct CostRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  std::string kind;    // query kind name ("range", "knn", ...)
+  std::uint32_t tenant = 0;  // originating gateway/tenant id (0 = local)
+  /// Camera contributing the most detections to the answer;
+  /// kNoCamera when the answer carries no camera signal (counts only).
+  std::uint64_t hottest_camera = kNoCamera;
+  bool partial = false;
+  CostVector cost;
+
+  static constexpr std::uint64_t kNoCamera = ~std::uint64_t{0};
+};
+
+/// Space-saving heavy-hitter sketch over string keys, carrying a CostVector
+/// per entry. At most `capacity` keys are tracked; inserting a new key into
+/// a full sketch replaces the entry with the minimum count, *inheriting*
+/// its count and cost (recorded as `error`). That over-count is what makes
+/// the sketch conservative (a true heavy hitter is never under-counted) and
+/// what preserves the conservation invariant: the sum of per-row costs
+/// always equals everything ever fed in.
+class TopKSketch {
+ public:
+  struct Row {
+    std::string key;
+    std::uint64_t count = 0;  // queries attributed (including inherited)
+    std::uint64_t error = 0;  // upper bound on inherited (over-counted) part
+    CostVector cost;
+  };
+
+  explicit TopKSketch(std::size_t capacity = 8) : capacity_(capacity) {}
+
+  void update(const std::string& key, const CostVector& cost) {
+    for (Row& r : rows_) {
+      if (r.key == key) {
+        ++r.count;
+        r.cost.add(cost);
+        return;
+      }
+    }
+    if (rows_.size() < capacity_) {
+      Row fresh;
+      fresh.key = key;
+      fresh.count = 1;
+      fresh.cost = cost;
+      rows_.push_back(std::move(fresh));
+      return;
+    }
+    // Replace the minimum-count entry; the newcomer inherits its tally so
+    // totals stay conserved and the newcomer cannot be unfairly evicted.
+    Row* victim = &rows_[0];
+    for (Row& r : rows_) {
+      if (r.count < victim->count) victim = &r;
+    }
+    victim->error = victim->count;
+    victim->key = key;
+    ++victim->count;
+    victim->cost.add(cost);
+  }
+
+  /// Rows sorted by descending count (then key, for determinism).
+  [[nodiscard]] std::vector<Row> top() const;
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Row> rows_;  // unsorted; K is small, linear scans are fine
+};
+
+struct ResourceLedgerConfig {
+  /// Heavy-hitter capacity per dimension (kind/tenant/camera).
+  std::size_t top_k = 8;
+  /// Most recent finished rows retained for flight-recorder bundles.
+  std::size_t recent_rows = 32;
+};
+
+/// The cluster-wide cost ledger: totals + per-dimension heavy hitters +
+/// a short ring of recent rows. Owned by the coordinator; fed once per
+/// finished query from maybe_finish.
+class ResourceLedger {
+ public:
+  explicit ResourceLedger(ResourceLedgerConfig config = {});
+
+  void record(const CostRecord& rec);
+
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+  [[nodiscard]] const CostVector& totals() const { return totals_; }
+  [[nodiscard]] const TopKSketch& by_kind() const { return by_kind_; }
+  [[nodiscard]] const TopKSketch& by_tenant() const { return by_tenant_; }
+  [[nodiscard]] const TopKSketch& by_camera() const { return by_camera_; }
+  [[nodiscard]] const std::vector<CostRecord>& recent() const {
+    return recent_;
+  }
+
+  /// Registry carrying the ledger totals as counters (merged into the
+  /// cluster snapshot under "cost." for the Prometheus exporter).
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// {"queries", "totals", "by_kind", "by_tenant", "by_camera", "recent"}.
+  [[nodiscard]] std::string to_json() const;
+  void append_json(obs::JsonWriter& w) const;
+
+ private:
+  ResourceLedgerConfig config_;
+  std::uint64_t queries_ = 0;
+  CostVector totals_;
+  TopKSketch by_kind_;
+  TopKSketch by_tenant_;
+  TopKSketch by_camera_;
+  std::vector<CostRecord> recent_;  // ring, oldest first
+  std::size_t recent_head_ = 0;
+
+  MetricsRegistry metrics_;
+  Counter& c_queries_;
+  Counter& c_rows_scanned_;
+  Counter& c_rows_evaluated_;
+  Counter& c_rows_returned_;
+  Counter& c_blocks_scanned_;
+  Counter& c_blocks_skipped_;
+  Counter& c_bytes_out_;
+  Counter& c_bytes_in_;
+  Counter& c_scan_wall_us_;
+  Counter& c_morsels_;
+  Counter& c_fragments_;
+  Counter& c_hedges_;
+  Counter& c_retransmits_;
+};
+
+}  // namespace stcn

@@ -1,0 +1,125 @@
+// Flight recorder: a bounded ring of recent cluster state frames, frozen
+// into a postmortem bundle when an alert fires.
+//
+// During normal operation the Cluster appends one compact frame per health
+// sample (node statuses, firing alerts, ledger scalars). The ring is cheap
+// and always on — the point is that when something finally breaks, the
+// moments *before* the trigger are already captured. On a trigger (an alert
+// rule firing, an SLO burning hot, or a worker's recovery_failed counter
+// moving) the Cluster freezes a PostmortemBundle: the firing rule, SLO
+// burn-rate series, exemplar traces for the slowest buckets, top-K cost
+// rows from the ResourceLedger, slow-query entries, recent health events,
+// cluster config, and the frame ring itself — one JSON document a human (or
+// ci.sh chaos run) can read to answer "what happened and who did it".
+//
+// The bundle round-trips: parse_bundle(bundle.to_json()) reconstructs an
+// equivalent bundle whose to_json() is byte-identical after one
+// normalization pass — chaos tests assert this so bundles written to disk
+// stay machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/time.h"
+#include "obs/json.h"
+
+namespace stcn {
+
+/// What tripped the recorder.
+struct FlightTrigger {
+  std::string kind;     // "alert" | "slo" | "recovery_failed"
+  std::string rule;     // firing rule name ("slo:query_latency", ...)
+  std::string subject;  // node the alert indicts ("" when cluster-wide)
+  std::string severity;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// A frozen postmortem. Sections are raw JSON fragments supplied by the
+/// Cluster at freeze time (each a complete value; empty string = omitted).
+struct PostmortemBundle {
+  TimePoint frozen_at;
+  std::uint64_t sequence = 0;  // 0-based freeze index
+  FlightTrigger trigger;
+  std::string slo_json;           // SLO status + burn series
+  std::string cost_json;          // ledger totals + top-K heavy hitters
+  std::string exemplars_json;     // exemplar rows with attached span trees
+  std::string events_json;        // recent health events
+  std::string slow_queries_json;  // slow-query log entries
+  std::string config_json;        // cluster config scalars
+  std::string frames_json;        // the ring of pre-trigger frames
+
+  [[nodiscard]] std::string to_json() const;
+  void append_json(obs::JsonWriter& w) const;
+};
+
+/// Rebuilds a bundle from PostmortemBundle::to_json output. Section
+/// fragments are re-serialized from the parsed form (integral numbers stay
+/// integral), so a second to_json round-trips byte-identically. Returns
+/// false on malformed input.
+bool parse_bundle(const std::string& json, PostmortemBundle& out);
+
+struct FlightRecorderConfig {
+  /// Pre-trigger frames retained in the ring.
+  std::size_t frame_capacity = 32;
+  /// Frozen bundles retained (oldest evicted first).
+  std::size_t max_bundles = 4;
+};
+
+class FlightRecorder {
+ public:
+  struct Frame {
+    TimePoint at;
+    std::string data_json;  // compact cluster-state object
+  };
+
+  explicit FlightRecorder(FlightRecorderConfig config = {})
+      : config_(config) {}
+
+  /// Appends one frame to the ring (oldest evicted at capacity).
+  void record_frame(TimePoint at, std::string data_json) {
+    while (frames_.size() >= config_.frame_capacity && !frames_.empty()) {
+      frames_.pop_front();
+    }
+    if (config_.frame_capacity > 0) {
+      frames_.push_back(Frame{at, std::move(data_json)});
+    }
+  }
+
+  /// Sections the Cluster assembles at freeze time.
+  struct Sections {
+    std::string slo_json;
+    std::string cost_json;
+    std::string exemplars_json;
+    std::string events_json;
+    std::string slow_queries_json;
+    std::string config_json;
+  };
+
+  /// Freezes the current ring plus `sections` into a bundle.
+  const PostmortemBundle& freeze(TimePoint now, const FlightTrigger& trigger,
+                                 Sections sections);
+
+  [[nodiscard]] const std::deque<Frame>& frames() const { return frames_; }
+  [[nodiscard]] const std::deque<PostmortemBundle>& bundles() const {
+    return bundles_;
+  }
+  /// Bundles ever frozen (>= bundles().size() once eviction kicks in).
+  [[nodiscard]] std::uint64_t total_frozen() const { return total_frozen_; }
+  [[nodiscard]] const PostmortemBundle* latest() const {
+    return bundles_.empty() ? nullptr : &bundles_.back();
+  }
+
+  /// {"frames": N, "bundles": [...]} overview.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  FlightRecorderConfig config_;
+  std::deque<Frame> frames_;
+  std::deque<PostmortemBundle> bundles_;
+  std::uint64_t total_frozen_ = 0;
+};
+
+}  // namespace stcn

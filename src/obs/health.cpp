@@ -166,7 +166,7 @@ void HealthMonitor::sample_rule(const AlertRule& rule, const Source& src,
     state.series.push(now, value);
     if (!ready) return;
     if (rule.compare == AlertComparison::kBelow && !state.armed) return;
-    evaluate(rule, src, metric_name, capture, value, now);
+    evaluate(rule, src.name, metric_name, capture, value, now);
   };
 
   switch (rule.kind) {
@@ -229,23 +229,24 @@ void HealthMonitor::sample_rule(const AlertRule& rule, const Source& src,
   }
 }
 
-void HealthMonitor::evaluate(const AlertRule& rule, const Source& src,
+void HealthMonitor::evaluate(const AlertRule& rule,
+                             const std::string& source,
                              const std::string& metric,
                              const std::string& capture, double value,
                              TimePoint now) {
   std::string key = rule.name;
   key += kSep;
-  key += src.name;
+  key += source;
   key += kSep;
   key += metric;
   auto it = alerts_.find(key);
   if (it == alerts_.end()) {
     AlertState fresh;
     fresh.rule = rule.name;
-    fresh.source = src.name;
+    fresh.source = source;
     fresh.metric = metric;
     fresh.subject =
-        capture.empty() ? src.name : rule.subject_prefix + capture;
+        capture.empty() ? source : rule.subject_prefix + capture;
     fresh.severity = rule.severity;
     it = alerts_.emplace(std::move(key), std::move(fresh)).first;
   }
@@ -262,7 +263,7 @@ void HealthMonitor::evaluate(const AlertRule& rule, const Source& src,
       state.firing = true;
       ++state.times_fired;
       state.last_transition = now;
-      events_.append({now, "firing", rule.name, src.name, state.subject,
+      events_.append({now, "firing", rule.name, source, state.subject,
                       alert_severity_name(rule.severity), value,
                       rule.threshold});
     }
@@ -272,7 +273,7 @@ void HealthMonitor::evaluate(const AlertRule& rule, const Source& src,
     if (state.firing && state.clear_streak >= rule.resolve_samples) {
       state.firing = false;
       state.last_transition = now;
-      events_.append({now, "resolved", rule.name, src.name, state.subject,
+      events_.append({now, "resolved", rule.name, source, state.subject,
                       alert_severity_name(rule.severity), value,
                       rule.threshold});
     }

@@ -202,6 +202,16 @@ class HealthMonitor {
   /// every rule, records firing/resolved transitions.
   void sample(TimePoint now);
 
+  /// Runs an externally-derived value (e.g. an SLO burn rate) through the
+  /// same hysteresis state machine and event log as sampled rules. The rule
+  /// supplies name/threshold/streak lengths/severity; `source` and `metric`
+  /// key the alert state; the alert's subject is the source.
+  void evaluate_external(const AlertRule& rule, const std::string& source,
+                         const std::string& metric, double value,
+                         TimePoint now) {
+    evaluate(rule, source, metric, /*capture=*/"", value, now);
+  }
+
   [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
   [[nodiscard]] const EventLog& events() const { return events_; }
   [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
@@ -250,7 +260,7 @@ class HealthMonitor {
   static bool source_matches(const std::string& filter,
                              const std::string& source);
 
-  void evaluate(const AlertRule& rule, const Source& src,
+  void evaluate(const AlertRule& rule, const std::string& source,
                 const std::string& metric, const std::string& capture,
                 double value, TimePoint now);
   void sample_rule(const AlertRule& rule, const Source& src, TimePoint now,

@@ -28,7 +28,7 @@ double LatencyHistogram::quantile(double q) const {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) return;
+  if (other.count_ == 0 && other.exemplars_.empty()) return;
   for (int i = 0; i < kBuckets; ++i) {
     buckets_[static_cast<std::size_t>(i)] +=
         other.buckets_[static_cast<std::size_t>(i)];
@@ -37,6 +37,15 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  // Exemplars: the merged-in histogram is the fresher view (snapshots merge
+  // live registries into a blank destination), so its exemplars win.
+  if (!other.exemplars_.empty()) {
+    if (exemplars_.empty()) exemplars_.resize(kBuckets);
+    for (int i = 0; i < kBuckets; ++i) {
+      const Exemplar& e = other.exemplars_[static_cast<std::size_t>(i)];
+      if (e.set) exemplars_[static_cast<std::size_t>(i)] = e;
+    }
+  }
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -79,6 +88,7 @@ void MetricsRegistry::merge_into(MetricsRegistry& dst,
   for (const auto& [name, h] : histograms_) {
     dst.histogram(prefix + name).merge(*h);
   }
+  for (const auto& [name, help] : help_) dst.set_help(prefix + name, help);
 }
 
 void MetricsRegistry::import_counter_set(const CounterSet& counters,
@@ -88,6 +98,10 @@ void MetricsRegistry::import_counter_set(const CounterSet& counters,
     if (handle_owner != nullptr) {
       if (handle_owner->counters_.contains(name)) continue;
       counter(prefix + name).add(value);
+      // Eager counters carry no handle, but the owner registry may still
+      // hold a help string for the name (set_help without registration).
+      const std::string& h = handle_owner->help(name);
+      if (!h.empty()) set_help(prefix + name, h);
       continue;
     }
     std::string full = prefix + name;
@@ -121,13 +135,19 @@ void append_number(std::string& out, double v) {
 std::string MetricsRegistry::to_prometheus(
     const std::string& metric_prefix) const {
   std::string out;
+  auto append_help = [&](const std::string& name, const std::string& m) {
+    const std::string& h = help(name);
+    if (!h.empty()) out += "# HELP " + m + " " + h + "\n";
+  };
   for (const auto& [name, c] : counters_) {
     std::string m = prometheus_name(metric_prefix, name);
+    append_help(name, m);
     out += "# TYPE " + m + " counter\n";
     out += m + " " + std::to_string(c->value()) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
     std::string m = prometheus_name(metric_prefix, name);
+    append_help(name, m);
     out += "# TYPE " + m + " gauge\n";
     out += m + " ";
     append_number(out, g->value());
@@ -135,6 +155,7 @@ std::string MetricsRegistry::to_prometheus(
   }
   for (const auto& [name, h] : histograms_) {
     std::string m = prometheus_name(metric_prefix, name);
+    append_help(name, m);
     out += "# TYPE " + m + " histogram\n";
     std::uint64_t cumulative = 0;
     for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
@@ -142,7 +163,13 @@ std::string MetricsRegistry::to_prometheus(
       cumulative += h->bucket(i);
       out += m + "_bucket{le=\"";
       append_number(out, LatencyHistogram::bucket_upper_bound(i));
-      out += "\"} " + std::to_string(cumulative) + "\n";
+      out += "\"} " + std::to_string(cumulative);
+      // OpenMetrics-style exemplar: the bucket's pinned trace.
+      if (const Exemplar* e = h->exemplar(i)) {
+        out += " # {trace_id=\"" + std::to_string(e->trace_id) + "\"} ";
+        append_number(out, e->value);
+      }
+      out += "\n";
     }
     out += m + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
     out += m + "_sum ";
@@ -199,6 +226,22 @@ std::string MetricsRegistry::to_json() const {
       w.end_array();
     }
     w.end_array();
+    if (h->exemplar_count() > 0) {
+      w.key("exemplars");
+      w.begin_array();
+      // Sparse [bucket, trace_id, value, summary] rows.
+      for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        const Exemplar* e = h->exemplar(i);
+        if (e == nullptr) continue;
+        w.begin_array();
+        w.value(i);
+        w.value(e->trace_id);
+        w.value(e->value);
+        w.value(e->summary);
+        w.end_array();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_object();
@@ -231,6 +274,14 @@ bool metrics_registry_from_json(const std::string& json,
     if (h.count() > 0) {
       h.restore_summary(v.at("sum").number(), v.at("min").number(),
                         v.at("max").number());
+    }
+    if (v.has("exemplars")) {
+      for (const auto& row : v.at("exemplars").array()) {
+        if (!row.is_array() || row.array().size() != 4) return false;
+        h.set_exemplar(row.array()[2].number(),
+                       static_cast<std::uint64_t>(row.array()[1].number()),
+                       row.array()[3].string());
+      }
     }
   }
   return true;

@@ -19,6 +19,7 @@
 // paths migrate to handles.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -59,6 +61,16 @@ class Gauge {
 /// Quantiles are interpolated within the owning bucket and clamped to the
 /// observed [min, max], so p50/p95/p99 are available without retaining
 /// samples.
+/// Exemplar: a concrete trace pinned to a histogram bucket, so a quantile
+/// ("the p99 is 40ms") links to an actual span tree and the cost summary of
+/// the query that landed there. One per bucket, most recent wins.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+  std::string summary;  // compact cost summary ("rows=812 bytes_in=9k ...")
+  bool set = false;
+};
+
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 42;  // 2^41 us ≈ 25 days: plenty of range
@@ -93,6 +105,21 @@ class LatencyHistogram {
     return exp >= kBuckets ? kBuckets - 1 : exp;
   }
 
+  /// Observations with value <= v, linearly interpolated within v's owning
+  /// bucket (the inverse of quantile()). Feeds latency-fraction SLOs:
+  /// "what share of queries finished under the threshold".
+  [[nodiscard]] double count_at_or_below(double v) const {
+    int b = bucket_index(v);
+    std::uint64_t below = 0;
+    for (int i = 0; i < b; ++i) below += buckets_[static_cast<std::size_t>(i)];
+    double lower = b == 0 ? 0.0 : bucket_upper_bound(b - 1);
+    double upper = bucket_upper_bound(b);
+    double frac = upper > lower ? (v - lower) / (upper - lower) : 1.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<double>(below) +
+           frac * static_cast<double>(buckets_[static_cast<std::size_t>(b)]);
+  }
+
   /// Quantile q in [0, 1], interpolated within the owning bucket.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double p50() const { return quantile(0.50); }
@@ -100,6 +127,30 @@ class LatencyHistogram {
   [[nodiscard]] double p99() const { return quantile(0.99); }
 
   void merge(const LatencyHistogram& other);
+
+  /// Pins an exemplar to the bucket owning `v` (most recent wins). The
+  /// exemplar array is allocated on first use, so histograms that never see
+  /// exemplars pay nothing; the hot observe() path is untouched.
+  void set_exemplar(double v, std::uint64_t trace_id, std::string summary) {
+    if (exemplars_.empty()) exemplars_.resize(kBuckets);
+    Exemplar& e = exemplars_[static_cast<std::size_t>(bucket_index(v))];
+    e.trace_id = trace_id;
+    e.value = v;
+    e.summary = std::move(summary);
+    e.set = true;
+  }
+  /// Exemplar pinned to bucket i, or nullptr.
+  [[nodiscard]] const Exemplar* exemplar(int i) const {
+    if (exemplars_.empty()) return nullptr;
+    const Exemplar& e = exemplars_[static_cast<std::size_t>(i)];
+    return e.set ? &e : nullptr;
+  }
+  /// Number of buckets currently holding an exemplar.
+  [[nodiscard]] std::size_t exemplar_count() const {
+    std::size_t n = 0;
+    for (const Exemplar& e : exemplars_) n += e.set ? 1 : 0;
+    return n;
+  }
 
   /// State restoration for the JSON importer: adds `n` observations to
   /// bucket `i` without touching sum/min/max.
@@ -120,6 +171,8 @@ class LatencyHistogram {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  // Empty until the first set_exemplar; kBuckets entries afterwards.
+  std::vector<Exemplar> exemplars_;
 };
 
 /// Named metrics, one instance per node (plus merged cluster snapshots).
@@ -139,6 +192,36 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   LatencyHistogram& histogram(const std::string& name);
+
+  /// Registration with a help string (rendered as Prometheus `# HELP` and
+  /// collected into docs/METRICS.md). A non-empty help overwrites any
+  /// previously recorded one for the name.
+  Counter& counter(const std::string& name, const std::string& help) {
+    set_help(name, help);
+    return counter(name);
+  }
+  Gauge& gauge(const std::string& name, const std::string& help) {
+    set_help(name, help);
+    return gauge(name);
+  }
+  LatencyHistogram& histogram(const std::string& name,
+                              const std::string& help) {
+    set_help(name, help);
+    return histogram(name);
+  }
+
+  void set_help(const std::string& name, const std::string& help) {
+    if (!help.empty()) help_[name] = help;
+  }
+  /// Help string for `name` ("" when none was registered).
+  [[nodiscard]] const std::string& help(const std::string& name) const {
+    static const std::string kEmpty;
+    auto it = help_.find(name);
+    return it == help_.end() ? kEmpty : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& helps() const {
+    return help_;
+  }
 
   [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
   counters() const {
@@ -191,6 +274,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 /// Rebuilds a registry from MetricsRegistry::to_json output. Returns false

@@ -1,0 +1,218 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace stcn {
+
+std::vector<SloSpec> default_slos(double latency_threshold_us,
+                                  double availability_objective,
+                                  double latency_objective) {
+  std::vector<SloSpec> slos;
+
+  // Availability: a partial answer (failover retries exhausted, no replica
+  // to take over) spends the error budget.
+  SloSpec avail;
+  avail.name = "query_availability";
+  avail.kind = SloSpec::Kind::kAvailability;
+  avail.source = "coordinator";
+  avail.total_metric = "queries_submitted";
+  avail.bad_metric = "queries_partial";
+  avail.objective = availability_objective;
+  avail.severity = AlertSeverity::kSuspect;
+  slos.push_back(std::move(avail));
+
+  // Latency: the fraction of queries completing under the threshold. A
+  // gray-slow worker burns this budget long before anything goes partial.
+  SloSpec lat;
+  lat.name = "query_latency";
+  lat.kind = SloSpec::Kind::kLatency;
+  lat.source = "coordinator";
+  lat.latency_metric = "query_latency_us";
+  lat.latency_threshold_us = latency_threshold_us;
+  lat.objective = latency_objective;
+  lat.severity = AlertSeverity::kDegraded;
+  slos.push_back(std::move(lat));
+
+  return slos;
+}
+
+SloEngine::SloEngine(HealthMonitor& monitor, std::size_t ring_capacity)
+    : monitor_(monitor), ring_capacity_(ring_capacity) {}
+
+void SloEngine::add_source(std::string name, const MetricsRegistry* registry) {
+  sources_.emplace_back(std::move(name), registry);
+}
+
+void SloEngine::add_slo(SloSpec spec) {
+  slos_.emplace_back(std::move(spec), ring_capacity_);
+}
+
+bool SloEngine::read(const SloSpec& spec, double* good,
+                     double* total) const {
+  const MetricsRegistry* registry = nullptr;
+  for (const auto& [name, reg] : sources_) {
+    if (name == spec.source) {
+      registry = reg;
+      break;
+    }
+  }
+  if (registry == nullptr) return false;
+  switch (spec.kind) {
+    case SloSpec::Kind::kAvailability: {
+      auto t = registry->counters().find(spec.total_metric);
+      if (t == registry->counters().end()) return false;
+      auto b = registry->counters().find(spec.bad_metric);
+      double bad = b == registry->counters().end()
+                       ? 0.0
+                       : static_cast<double>(b->second->value());
+      *total = static_cast<double>(t->second->value());
+      *good = std::max(0.0, *total - bad);
+      return true;
+    }
+    case SloSpec::Kind::kLatency: {
+      auto h = registry->histograms().find(spec.latency_metric);
+      if (h == registry->histograms().end()) return false;
+      *total = static_cast<double>(h->second->count());
+      *good = h->second->count_at_or_below(spec.latency_threshold_us);
+      return true;
+    }
+  }
+  return false;
+}
+
+double SloEngine::burn_over(const SloState& s, TimePoint now,
+                            Duration window, double good_now,
+                            double total_now) {
+  // Baseline: the newest retained sample at least `window` old; when the
+  // ring does not reach back that far, the oldest one (partial window —
+  // correct while the series warms up); when the ring is empty, zero
+  // (the window covers everything since start).
+  double good_then = 0.0;
+  double total_then = 0.0;
+  TimePoint cutoff = now - window;
+  for (std::size_t i = s.total.size(); i-- > 0;) {
+    if (s.total.time_at(i) <= cutoff || i == 0) {
+      good_then = s.good.at(i);
+      total_then = s.total.at(i);
+      break;
+    }
+  }
+  double dt_total = total_now - total_then;
+  if (dt_total <= 0.0) return 0.0;  // no traffic in window → no burn
+  double dt_bad = std::max(0.0, dt_total - (good_now - good_then));
+  double error_rate = dt_bad / dt_total;
+  double budget = 1.0 - s.spec.objective;
+  if (budget <= 0.0) return error_rate > 0.0 ? 1e9 : 0.0;
+  return error_rate / budget;
+}
+
+void SloEngine::sample(TimePoint now) {
+  for (SloState& s : slos_) {
+    double good = 0.0;
+    double total = 0.0;
+    if (!read(s.spec, &good, &total)) continue;
+
+    double short_burn = burn_over(s, now, s.spec.short_window, good, total);
+    double long_burn = burn_over(s, now, s.spec.long_window, good, total);
+
+    s.good.push(now, good);
+    s.total.push(now, total);
+    s.burn_short.push(now, short_burn);
+    s.burn_long.push(now, long_burn);
+    s.last_good = good;
+    s.last_total = total;
+
+    // Multi-window AND: evaluate the weaker burn so the alert fires only
+    // when both windows are hot, via the monitor's shared hysteresis.
+    AlertRule rule;
+    rule.name = s.spec.rule_name();
+    rule.metric = "slo." + s.spec.name;
+    rule.threshold = s.spec.burn_threshold;
+    rule.for_samples = s.spec.for_samples;
+    rule.resolve_samples = s.spec.resolve_samples;
+    rule.severity = s.spec.severity;
+    monitor_.evaluate_external(rule, s.spec.source, rule.metric,
+                               std::min(short_burn, long_burn), now);
+  }
+}
+
+std::vector<SloEngine::Status> SloEngine::status() const {
+  std::vector<Status> out;
+  out.reserve(slos_.size());
+  for (const SloState& s : slos_) {
+    Status st;
+    st.name = s.spec.name;
+    st.objective = s.spec.objective;
+    st.short_burn = s.burn_short.size() ? s.burn_short.back() : 0.0;
+    st.long_burn = s.burn_long.size() ? s.burn_long.back() : 0.0;
+    st.burn = std::min(st.short_burn, st.long_burn);
+    st.burn_threshold = s.spec.burn_threshold;
+    st.good = static_cast<std::uint64_t>(s.last_good);
+    st.total = static_cast<std::uint64_t>(s.last_total);
+    st.firing = monitor_.is_firing(s.spec.rule_name());
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+const TimeSeries* SloEngine::burn_series(const std::string& name,
+                                         bool short_window) const {
+  for (const SloState& s : slos_) {
+    if (s.spec.name == name) {
+      return short_window ? &s.burn_short : &s.burn_long;
+    }
+  }
+  return nullptr;
+}
+
+void SloEngine::append_json(obs::JsonWriter& w) const {
+  w.begin_array();
+  for (const Status& st : status()) {
+    const SloState* state = nullptr;
+    for (const SloState& s : slos_) {
+      if (s.spec.name == st.name) {
+        state = &s;
+        break;
+      }
+    }
+    w.begin_object();
+    w.key("name");
+    w.value(st.name);
+    w.key("objective");
+    w.value(st.objective);
+    w.key("burn_short");
+    w.value(st.short_burn);
+    w.key("burn_long");
+    w.value(st.long_burn);
+    w.key("burn_threshold");
+    w.value(st.burn_threshold);
+    w.key("good");
+    w.value(st.good);
+    w.key("total");
+    w.value(st.total);
+    w.key("firing");
+    w.value(st.firing);
+    if (state != nullptr) {
+      w.key("burn_series");
+      w.begin_array();
+      for (std::size_t i = 0; i < state->burn_short.size(); ++i) {
+        w.begin_array();
+        w.value(state->burn_short.time_at(i).micros_since_origin());
+        w.value(state->burn_short.at(i));
+        w.value(i < state->burn_long.size() ? state->burn_long.at(i) : 0.0);
+        w.end_array();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string SloEngine::to_json() const {
+  obs::JsonWriter w;
+  append_json(w);
+  return w.take();
+}
+
+}  // namespace stcn

@@ -1,0 +1,139 @@
+// SLO engine: declarative service-level objectives evaluated as
+// multi-window burn rates on the sim clock.
+//
+// An SloSpec names an objective — availability ("99% of queries complete
+// non-partial") or a latency-threshold fraction ("95% of queries finish
+// under 25ms") — over counters/histograms in one live MetricsRegistry
+// source. Each sample pushes cumulative (good, total) into TimeSeries ring
+// buffers (the HealthMonitor's ring type), then derives the error-budget
+// burn rate over a short and a long window:
+//
+//   burn(W) = error_rate(W) / (1 - objective)
+//
+// where error_rate(W) is the fraction of bad events among those that
+// happened inside the window. burn == 1 means the budget is being spent
+// exactly at the rate that exhausts it by the end of the SLO period; the
+// classic multi-window alert fires only when BOTH windows burn hot (the
+// short window proves it is happening *now*, the long window proves it is
+// not a blip), so the engine evaluates min(short_burn, long_burn) through
+// the HealthMonitor's firing/resolved hysteresis — SLO alerts ride the
+// same event log, rollup, and chaos assertions as every other rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace stcn {
+
+struct SloSpec {
+  enum class Kind {
+    kAvailability,  // good = total_metric - bad_metric (counters)
+    kLatency,       // good = histogram mass at or below latency_threshold_us
+  };
+
+  std::string name;
+  Kind kind = Kind::kAvailability;
+  /// Registry source the metrics live in ("coordinator", "worker.3", ...).
+  std::string source = "coordinator";
+  /// kAvailability: total / bad counter names.
+  std::string total_metric;
+  std::string bad_metric;
+  /// kLatency: histogram name + threshold defining "good".
+  std::string latency_metric;
+  double latency_threshold_us = 25'000.0;
+  /// Target fraction of good events (0.99 ⇒ 1% error budget).
+  double objective = 0.99;
+  /// Multi-window burn evaluation (sim clock).
+  Duration short_window = Duration::minutes(5);
+  Duration long_window = Duration::hours(1);
+  /// Fire when min(short_burn, long_burn) exceeds this.
+  double burn_threshold = 1.0;
+  int for_samples = 2;
+  int resolve_samples = 2;
+  AlertSeverity severity = AlertSeverity::kDegraded;
+
+  /// Alert-rule name the engine registers with the monitor ("slo:<name>").
+  [[nodiscard]] std::string rule_name() const { return "slo:" + name; }
+};
+
+/// The default objectives the framework ships: query availability (partial
+/// answers spend the budget) and a query-latency fraction.
+[[nodiscard]] std::vector<SloSpec> default_slos(
+    double latency_threshold_us = 25'000.0,
+    double availability_objective = 0.99,
+    double latency_objective = 0.90);
+
+class SloEngine {
+ public:
+  struct Status {
+    std::string name;
+    double objective = 0.0;
+    double short_burn = 0.0;
+    double long_burn = 0.0;
+    /// min(short, long) — the value evaluated against burn_threshold.
+    double burn = 0.0;
+    double burn_threshold = 0.0;
+    std::uint64_t good = 0;
+    std::uint64_t total = 0;
+    bool firing = false;
+  };
+
+  /// `monitor` hosts the hysteresis/event machinery and must outlive the
+  /// engine; `ring_capacity` bounds each SLO's sample rings.
+  explicit SloEngine(HealthMonitor& monitor, std::size_t ring_capacity = 128);
+
+  /// Registers a registry the specs can reference by source name.
+  void add_source(std::string name, const MetricsRegistry* registry);
+  void add_slo(SloSpec spec);
+
+  /// Samples every SLO at `now` (call alongside HealthMonitor::sample).
+  void sample(TimePoint now);
+
+  [[nodiscard]] std::size_t slo_count() const { return slos_.size(); }
+  [[nodiscard]] std::vector<Status> status() const;
+
+  /// Burn-rate ring for one SLO (short or long window), or nullptr.
+  [[nodiscard]] const TimeSeries* burn_series(const std::string& name,
+                                              bool short_window) const;
+
+  /// [{"name", "objective", "burn_short", "burn_long", "firing",
+  ///   "burn_series": [[t_us, short, long], ...]}, ...]
+  void append_json(obs::JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct SloState {
+    SloSpec spec;
+    TimeSeries good;        // cumulative good count per sample
+    TimeSeries total;       // cumulative total count per sample
+    TimeSeries burn_short;  // derived burn rate per sample
+    TimeSeries burn_long;
+    double last_good = 0.0;
+    double last_total = 0.0;
+
+    explicit SloState(SloSpec s, std::size_t capacity)
+        : spec(std::move(s)), good(capacity), total(capacity),
+          burn_short(capacity), burn_long(capacity) {}
+  };
+
+  /// Cumulative (good, total) for `spec` right now; false when the source
+  /// or metric is missing.
+  bool read(const SloSpec& spec, double* good, double* total) const;
+
+  /// Burn rate over `window`: deltas against the newest ring sample at
+  /// least `window` old (or the oldest retained one).
+  static double burn_over(const SloState& s, TimePoint now, Duration window,
+                          double good_now, double total_now);
+
+  HealthMonitor& monitor_;
+  std::size_t ring_capacity_;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> sources_;
+  std::vector<SloState> slos_;
+};
+
+}  // namespace stcn

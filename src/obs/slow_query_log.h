@@ -30,6 +30,9 @@ class SlowQueryLog {
     /// EXPLAIN profile, when the query ran under Cluster::explain (the
     /// profile completes after the log entry, so it is attached post-hoc).
     std::optional<QueryProfile> profile;
+    /// Compact resource-cost summary from the coordinator's ledger
+    /// ("rows_eval=... bytes=..."), so a slow query names what it burned.
+    std::string cost;
   };
 
   explicit SlowQueryLog(Duration threshold = Duration::millis(25),
@@ -43,7 +46,7 @@ class SlowQueryLog {
   /// when an entry was added.
   bool maybe_record(const Tracer& tracer, std::uint64_t trace_id,
                     std::uint64_t request_id, std::string description,
-                    Duration latency) {
+                    Duration latency, std::string cost = "") {
     if (latency < threshold_) return false;
     while (entries_.size() >= max_entries_) entries_.pop_front();
     Entry e;
@@ -52,6 +55,7 @@ class SlowQueryLog {
     e.description = std::move(description);
     e.latency = latency;
     e.spans = tracer.trace(trace_id);
+    e.cost = std::move(cost);
     entries_.push_back(std::move(e));
     return true;
   }
@@ -80,6 +84,7 @@ class SlowQueryLog {
       out += "slow query request=" + std::to_string(e.request_id) + " " +
              e.description + " latency=" +
              std::to_string(e.latency.count_micros()) + "us\n";
+      if (!e.cost.empty()) out += "  cost: " + e.cost + "\n";
       out += SpanTree(e.spans).render();
       if (e.profile.has_value()) out += e.profile->render();
     }
@@ -100,6 +105,10 @@ class SlowQueryLog {
       w.value(e.description);
       w.key("latency_us");
       w.value(e.latency.count_micros());
+      if (!e.cost.empty()) {
+        w.key("cost");
+        w.value(e.cost);
+      }
       w.key("spans");
       w.begin_array();
       for (const SpanRecord& span : e.spans) {

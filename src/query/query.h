@@ -81,11 +81,22 @@ struct Query {
   // enforced both per-worker (bounding fragment size on the wire) and at
   // the final merge.
   std::uint32_t limit = 0;
+  // Originating tenant (gateway id, client class, ...). 0 = local/untagged.
+  // Pure attribution metadata: never affects the answer, only how the
+  // coordinator's resource ledger buckets the query's cost.
+  std::uint32_t tenant = 0;
 
   /// Returns a copy with a result limit applied.
   [[nodiscard]] Query with_limit(std::uint32_t n) const {
     Query q = *this;
     q.limit = n;
+    return q;
+  }
+
+  /// Returns a copy attributed to `tenant` for cost accounting.
+  [[nodiscard]] Query with_tenant(std::uint32_t t) const {
+    Query q = *this;
+    q.tenant = t;
     return q;
   }
 
@@ -215,6 +226,7 @@ inline void serialize(BinaryWriter& w, const Query& q) {
   w.write_u8(static_cast<std::uint8_t>(q.group_by));
   w.write_double(q.cell_size);
   w.write_u32(q.limit);
+  w.write_u32(q.tenant);
 }
 
 inline Query deserialize_query(BinaryReader& r) {
@@ -238,6 +250,7 @@ inline Query deserialize_query(BinaryReader& r) {
   q.group_by = static_cast<GroupBy>(r.read_u8());
   q.cell_size = r.read_double();
   q.limit = r.read_u32();
+  q.tenant = r.read_u32();
   return q;
 }
 

@@ -85,7 +85,9 @@ class ReidEngine {
   /// Binds the engine's `reid_batched_scores` counter into `registry`
   /// (cumulative batched-kernel similarity count across all searches).
   void register_metrics(MetricsRegistry& registry) {
-    batched_scores_ = &registry.counter("reid_batched_scores");
+    batched_scores_ = &registry.counter(
+        "reid_batched_scores",
+        "Appearance similarities computed by the batched kernel");
   }
 
  private:

@@ -4,6 +4,8 @@
 // alert within a bounded number of samples, and healing must resolve it.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -38,6 +40,26 @@ TEST(TimeSeries, ZeroCapacityIsInert) {
   TimeSeries ts(0);
   ts.push(at(0), 1.0);
   EXPECT_EQ(ts.size(), 0u);
+}
+
+TEST(TimeSeries, RepeatedWraparoundPreservesOrderAndTimes) {
+  TimeSeries ts(5);
+  // Wrap the ring many times over, stopping at an offset that is not a
+  // multiple of the capacity so the head lands mid-buffer.
+  const int total = 5 * 7 + 3;
+  for (int i = 0; i < total; ++i) {
+    ts.push(at(i), static_cast<double>(i * 10));
+  }
+  ASSERT_EQ(ts.size(), 5u);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    int logical = total - 5 + static_cast<int>(i);
+    EXPECT_DOUBLE_EQ(ts.at(i), logical * 10.0) << "index " << i;
+    EXPECT_EQ(ts.time_at(i), at(logical)) << "index " << i;
+  }
+  EXPECT_DOUBLE_EQ(ts.back(), (total - 1) * 10.0);
+  // Exactly one more push evicts exactly the oldest.
+  ts.push(at(total), static_cast<double>(total * 10));
+  EXPECT_DOUBLE_EQ(ts.at(0), (total - 4) * 10.0);
 }
 
 // ------------------------------------------------------- rule evaluation
@@ -119,6 +141,43 @@ TEST(HealthMonitor, WildcardRuleIndictsCapturedSubject) {
   EXPECT_EQ(health.status("coordinator"), HealthStatus::kHealthy);
   EXPECT_EQ(health.overall(), HealthStatus::kSuspect);
   EXPECT_NE(health.render().find("worker.3: suspect"), std::string::npos);
+}
+
+TEST(HealthMonitor, BreachIsStrictExactlyAtThreshold) {
+  // The hysteresis contract at the boundary: a sample exactly AT the
+  // threshold is a clear sample, not a breach (kAbove means strictly
+  // above). This keeps a gauge parked at its limit from flapping.
+  MetricsRegistry reg;
+  Gauge& queue = reg.gauge("unacked_frames");
+  HealthMonitor monitor;
+  monitor.add_source("worker.1", &reg);
+  AlertRule rule;
+  rule.name = "queue_buildup";
+  rule.metric = "unacked_frames";
+  rule.kind = MetricKind::kGaugeLevel;
+  rule.threshold = 64.0;
+  rule.for_samples = 2;
+  rule.resolve_samples = 2;
+  monitor.add_rule(rule);
+
+  queue.set(64.0);  // == threshold: never a breach
+  for (int i = 0; i < 6; ++i) monitor.sample(at(i));
+  EXPECT_FALSE(monitor.is_firing("queue_buildup"));
+
+  queue.set(64.0 + 1e-9);  // the smallest excursion above is a breach
+  monitor.sample(at(6));
+  EXPECT_FALSE(monitor.is_firing("queue_buildup"));  // breach 1 of 2
+  monitor.sample(at(7));
+  EXPECT_TRUE(monitor.is_firing("queue_buildup"));  // breach 2 of 2
+
+  // Dropping back to exactly the threshold counts toward resolution.
+  queue.set(64.0);
+  monitor.sample(at(8));
+  EXPECT_TRUE(monitor.is_firing("queue_buildup"));  // clear 1 of 2
+  monitor.sample(at(9));
+  EXPECT_FALSE(monitor.is_firing("queue_buildup"));  // resolved
+  EXPECT_EQ(monitor.events().count("firing", "queue_buildup"), 1u);
+  EXPECT_EQ(monitor.events().count("resolved", "queue_buildup"), 1u);
 }
 
 TEST(HealthMonitor, BelowRuleArmsOnlyAfterTrafficSeen) {
@@ -344,6 +403,131 @@ TEST(ChaosHealth, GraySlowWorkerFiresSuspectAndHealingResolves) {
       obs::JsonValue::parse(cluster->health_monitor().to_json(), v, &error))
       << error;
   EXPECT_GE(v.at("events").array().size(), 2u);
+}
+
+// ----------------------------------------------- chaos: flight recorder
+
+TEST(ChaosHealth, SlowWorkerFreezesPostmortemBundle) {
+  ClusterConfig config;
+  // Tight SLO so the injected slowdown burns error budget fast, and short
+  // windows so the burn-rate series reacts within the test's horizon.
+  // Sampling is manual (no ticker): a ticker would sample through the
+  // bursty trace replay in make_cluster and freeze an ingest_stall bundle
+  // before the first query ever runs.
+  config.health.slo_latency_threshold_us = 5'000.0;
+  config.health.slo_short_window = Duration::seconds(2);
+  config.health.slo_long_window = Duration::seconds(10);
+  auto cluster = make_cluster(config);
+  Scenario& s = scenario();
+
+  WorkerId victim = cluster->worker_ids()[1];
+  cluster->network().set_slow(NodeId(victim.value()), 40.0);
+
+  Rng rng(92);
+  std::size_t drip = 0;
+  auto run_queries = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      // Full-region scans over a random bounded time slice: the time
+      // predicate drives the per-row filter kernels (nonzero rows
+      // evaluated), and full coverage guarantees a fragment span on the
+      // slow partition in every trace.
+      double span_us = static_cast<double>(Duration::minutes(3).count_micros());
+      auto start = Duration::micros(
+          static_cast<std::int64_t>(rng.uniform(0.0, 0.4) * span_us));
+      auto len = Duration::micros(
+          static_cast<std::int64_t>(rng.uniform(0.3, 0.6) * span_us));
+      TimeInterval slice{TimePoint::origin() + start,
+                         TimePoint::origin() + start + len};
+      cluster->execute(Query::range(cluster->next_query_id(), s.world, slice)
+                           .with_tenant(1 + (i % 3)));
+      // Keep ingest flowing so the stall rule stays quiet and the bundle's
+      // trigger names the actual slow-worker signal.
+      for (int d = 0; d < 4; ++d) {
+        cluster->ingest(
+            s.trace.detections[drip++ % s.trace.detections.size()]);
+      }
+      cluster->flush_ingest();
+      cluster->advance_time(Duration::millis(100));
+      cluster->sample_health();
+    }
+  };
+
+  // Drive traffic until something pages and the recorder freezes a bundle.
+  int rounds = 0;
+  while (cluster->flight_recorder().total_frozen() == 0 && rounds < 40) {
+    run_queries(5);
+    ++rounds;
+  }
+  ASSERT_GT(cluster->flight_recorder().total_frozen(), 0u)
+      << cluster->health_monitor().events().render();
+
+  const PostmortemBundle* bundle = cluster->flight_recorder().latest();
+  ASSERT_NE(bundle, nullptr);
+
+  // 1. The trigger names the firing rule.
+  EXPECT_FALSE(bundle->trigger.rule.empty());
+  EXPECT_TRUE(bundle->trigger.kind == "alert" || bundle->trigger.kind == "slo")
+      << bundle->trigger.kind;
+
+  // 2. The SLO section carries the burn-rate series.
+  obs::JsonValue slo;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::parse(bundle->slo_json, slo, &error)) << error;
+  ASSERT_TRUE(slo.is_array());
+  ASSERT_FALSE(slo.array().empty());
+  bool has_series = false;
+  for (const auto& entry : slo.array()) {
+    if (entry.has("burn_series") && !entry.at("burn_series").array().empty()) {
+      has_series = true;
+    }
+  }
+  EXPECT_TRUE(has_series) << bundle->slo_json;
+
+  // 3. At least one exemplar trace's span tree reaches the slow partition:
+  // a fragment span tagged with the victim's node id.
+  ASSERT_FALSE(bundle->exemplars_json.empty());
+  obs::JsonValue exemplars;
+  ASSERT_TRUE(obs::JsonValue::parse(bundle->exemplars_json, exemplars, &error))
+      << error;
+  ASSERT_FALSE(exemplars.array().empty());
+  std::string victim_id = std::to_string(victim.value());
+  bool victim_in_span_tree = false;
+  for (const auto& ex : exemplars.array()) {
+    if (!ex.has("spans")) continue;
+    for (const auto& span : ex.at("spans").array()) {
+      if (span.has("worker") && span.at("worker").string() == victim_id) {
+        victim_in_span_tree = true;
+      }
+    }
+  }
+  EXPECT_TRUE(victim_in_span_tree) << bundle->exemplars_json;
+
+  // 4. The cost section's top-K rows name the dominant source: every query
+  // was a tenant-tagged range scan, so by_kind leads with "range" and the
+  // tenant table is populated.
+  obs::JsonValue cost;
+  ASSERT_TRUE(obs::JsonValue::parse(bundle->cost_json, cost, &error)) << error;
+  ASSERT_TRUE(cost.at("by_kind").is_array());
+  ASSERT_FALSE(cost.at("by_kind").array().empty());
+  EXPECT_EQ(cost.at("by_kind").array().front().at("key").string(), "range");
+  EXPECT_GT(cost.at("by_kind").array().front().at("cost").at("rows_evaluated")
+                .number(),
+            0.0);
+  EXPECT_FALSE(cost.at("by_tenant").array().empty());
+
+  // 5. The bundle round-trips: parse + re-serialize is byte-stable.
+  std::string json = bundle->to_json();
+  PostmortemBundle parsed;
+  ASSERT_TRUE(parse_bundle(json, parsed));
+  EXPECT_EQ(parsed.to_json(), json);
+  EXPECT_EQ(parsed.trigger.rule, bundle->trigger.rule);
+  EXPECT_EQ(parsed.sequence, bundle->sequence);
+
+  // Chaos runs dump the bundle for offline inspection (ci.sh sets this).
+  if (const char* path = std::getenv("STCN_BUNDLE_OUT")) {
+    std::ofstream out(path);
+    out << json << "\n";
+  }
 }
 
 }  // namespace
