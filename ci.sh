@@ -6,7 +6,10 @@
 # observability smoke checks: bench_knn --quick must emit a parseable
 # BENCH_knn.json with latency quantiles, a metrics snapshot, and an EXPLAIN
 # profile with nonzero pruning; bench_failure_recovery --quick must show the
-# gray-failure health alert firing and resolving in its "health" section.
+# gray-failure health alert firing and resolving in its "health" section;
+# bench_partitioning --quick must show the heat observatory catching the
+# zipf(1.1) camera skew (true hottest partition, >=3x load stddev vs the
+# uniform run, advisor improvement >=25%) and staying silent under uniform.
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -191,6 +194,50 @@ for key in ("e9d_replayed_nosnap", "e9d_bytes_nosnap"):
 print("BENCH_failure_recovery.json OK:", len(events), "health events,",
       f"{int(scalars['health_samples'])} samples,",
       f"E9d replayed {[int(r) for r in replayed]} (age0/age5/full)")
+PY
+
+echo "== heat observatory smoke (bench_partitioning --quick) =="
+(cd "$SMOKE_DIR" && "$OLDPWD/build/bench/bench_partitioning" --quick >/dev/null)
+python3 - "$SMOKE_DIR/BENCH_partitioning.json" \
+    bench/baselines/BENCH_partitioning.json <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+scalars = report["scalars"]
+
+# Zipf(1.1) camera skew: the coordinator heat map must identify the true
+# hottest partition, windowed load skew must read >= 3x the uniform run,
+# and the read-only placement advisor must find a strong move (>= 25%
+# projected per-worker load-stddev improvement).
+assert scalars["heat_hottest_match_zipf"] == 1.0, scalars
+assert scalars["heat_load_stddev_zipf"] >= \
+    3.0 * scalars["heat_load_stddev_uniform"], scalars
+assert scalars["heat_load_stddev_zipf"] > 0.5, scalars
+assert scalars["heat_hot_cold_ratio_zipf"] > 8.0, scalars
+assert scalars["heat_advisor_recs_zipf"] > 0, scalars
+assert scalars["heat_advisor_improvement_zipf"] >= 0.25, scalars
+
+# The uniform run is balanced per partition and per worker by
+# construction: the advisor must stay silent with zero projected gain.
+assert scalars["heat_advisor_recs_uniform"] == 0.0, scalars
+assert scalars["heat_advisor_improvement_uniform"] == 0.0, scalars
+
+# Drift gate: the zipf heat scalars are seeded and deterministic; 20%
+# tolerates sampling-path tweaks without letting the skew signal rot.
+baseline = json.load(open(sys.argv[2]))["scalars"]
+for key in ("heat_load_stddev_zipf", "heat_hot_cold_ratio_zipf",
+            "heat_advisor_improvement_zipf"):
+    expect, got = baseline[key], scalars[key]
+    assert expect > 0, (key, baseline)
+    drift = abs(got - expect) / expect
+    assert drift <= 0.20, \
+        f"{key} drifted {drift:.1%} from baseline: {got} vs {expect}"
+
+print("BENCH_partitioning.json OK:",
+      f"zipf stddev={scalars['heat_load_stddev_zipf']:.2f}",
+      f"(uniform {scalars['heat_load_stddev_uniform']:.2f}),",
+      f"hot/cold={scalars['heat_hot_cold_ratio_zipf']:.1f}x,",
+      f"advisor {int(scalars['heat_advisor_recs_zipf'])} recs,",
+      f"top improvement {scalars['heat_advisor_improvement_zipf']:.0%}")
 PY
 
 echo "== cost ledger smoke (bench_gateway --quick) =="

@@ -62,6 +62,23 @@ void render_slo_table(Cluster& cluster) {
   }
 }
 
+// Partition heat table + the read-only placement advisor's ranked moves.
+void render_heat_panel(Cluster& cluster) {
+  const HeatMapSnapshot& heat = cluster.coordinator().heat();
+  if (heat.empty()) return;
+  HeatMapSnapshot::Skew skew =
+      heat.skew(cluster.now(), &cluster.coordinator().partition_map());
+  std::printf(
+      "\n--- partition heat: stddev/mean %.2f, hot/cold %.1fx, "
+      "gini %.2f ---\n",
+      skew.load_relative_stddev, skew.hot_cold_ratio, skew.scan_gini);
+  std::printf("%s", heat.render(cluster.now()).c_str());
+  std::printf("--- placement advisor (read-only) ---\n%s",
+              PlacementAdvisor::render(
+                  cluster.coordinator().placement_advice(cluster.now()))
+                  .c_str());
+}
+
 void render_heavy_hitters(Cluster& cluster) {
   const ResourceLedger& ledger = cluster.cost_ledger();
   std::printf("\n--- query cost: %llu queries, top consumers ---\n",
@@ -149,6 +166,7 @@ int main() {
               static_cast<unsigned long long>(all.total_count()), cursor);
 
   render_slo_table(cluster);
+  render_heat_panel(cluster);
   render_heavy_hitters(cluster);
   std::printf("\n");
   std::cout << collect_stats(cluster);

@@ -56,6 +56,10 @@ void Coordinator::dispatch(const Message& message, SimNetwork& network) {
       if (suspected_.erase(hb.worker) > 0) {
         counters_.add("workers_unsuspected");
       }
+      for (const PartitionHeat& ph : hb.heat) {
+        heat_.ingest(hb.worker, ph, network.now());
+      }
+      if (!hb.heat.empty()) refresh_heat_gauges(network.now());
       break;
     }
     case MsgType::kObjectSummary: {
@@ -693,6 +697,31 @@ Coordinator::PeerStats& Coordinator::peer_stats(NodeId worker) {
         "Fragment round-trip latency against this worker (sim us)");
   }
   return it->second;
+}
+
+void Coordinator::refresh_heat_gauges(TimePoint now) {
+  HeatMapSnapshot::Skew s = heat_.skew(now, &map_);
+  partition_load_relative_stddev_.set(s.load_relative_stddev);
+  partition_hot_cold_ratio_.set(s.hot_cold_ratio);
+  partition_replicate_factor_.set(s.replicate_factor);
+  partition_scan_gini_.set(s.scan_gini);
+  partition_hottest_load_.set(s.hottest_load);
+  partition_tracked_.set(static_cast<double>(heat_.entries().size()));
+  // Exemplar labels: the gauge value says *how* skewed, the label says
+  // *which* partition — so an operator (or the advisor) can go straight
+  // from the alert to the subject.
+  if (s.hottest_load > 0.0) {
+    metrics_.set_labels(
+        "partition.hottest_load",
+        {{"partition", "p" + std::to_string(s.hottest.value())}});
+    metrics_.set_labels(
+        "partition.hot_cold_ratio",
+        {{"hottest", "p" + std::to_string(s.hottest.value())},
+         {"coldest", "p" + std::to_string(s.coldest.value())}});
+  } else {
+    metrics_.set_labels("partition.hottest_load", {});
+    metrics_.set_labels("partition.hot_cold_ratio", {});
+  }
 }
 
 void Coordinator::promote_backups_of(WorkerId worker) {

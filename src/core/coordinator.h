@@ -37,6 +37,7 @@
 #include "net/sim_network.h"
 #include "obs/cost.h"
 #include "obs/explain.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/tracer.h"
@@ -73,6 +74,8 @@ struct CoordinatorConfig {
   ReliableChannelConfig channel;
   /// Per-query cost accounting (top-K heavy-hitter capacity, recent ring).
   ResourceLedgerConfig ledger;
+  /// Cluster-wide heat map (per-partition rings, skew rollup window).
+  HeatSnapshotConfig heat;
 };
 
 class Coordinator final : public NetworkNode {
@@ -119,6 +122,25 @@ class Coordinator final : public NetworkNode {
         knn_plan_q_error_x100_(metrics_.histogram(
             "knn_plan_q_error_x100",
             "kNN planner initial-radius q-error per plan, x100")),
+        heat_(config.heat),
+        partition_load_relative_stddev_(metrics_.gauge(
+            "partition.load_relative_stddev",
+            "Relative stddev (stddev/mean) of windowed per-partition load")),
+        partition_hot_cold_ratio_(metrics_.gauge(
+            "partition.hot_cold_ratio",
+            "Hottest / coldest partition windowed-load ratio")),
+        partition_replicate_factor_(metrics_.gauge(
+            "partition.replicate_factor",
+            "Mean replicas per heat-tracked partition")),
+        partition_scan_gini_(metrics_.gauge(
+            "partition.scan_gini",
+            "Gini coefficient of windowed per-worker scan load")),
+        partition_hottest_load_(metrics_.gauge(
+            "partition.hottest_load",
+            "Windowed load of the hottest partition (labeled with its id)")),
+        partition_tracked_(metrics_.gauge(
+            "partition.tracked",
+            "Partitions with heat telemetry in the coordinator's map")),
         slow_log_(config.slow_query_threshold,
                   config.slow_query_log_capacity),
         ledger_(config.ledger),
@@ -250,6 +272,23 @@ class Coordinator final : public NetworkNode {
   /// Per-query resource costs attributed by kind / tenant / hottest camera.
   [[nodiscard]] const ResourceLedger& cost_ledger() const { return ledger_; }
   ResourceLedger& cost_ledger() { return ledger_; }
+
+  // ------------------------------------------------------- heat observatory
+  /// Cluster-wide per-partition heat, folded in from heartbeat piggybacks.
+  [[nodiscard]] const HeatMapSnapshot& heat() const { return heat_; }
+
+  /// Recomputes the partition.* skew gauges (and the exemplar partition-id
+  /// labels) from the heat map. Runs on every heartbeat that carried heat
+  /// and at the head of the cluster's health-sampling pipeline, so the
+  /// gauges are fresh when the monitor samples them.
+  void refresh_heat_gauges(TimePoint now);
+
+  /// Read-only placement advice over the current heat map (never mutates
+  /// routing state).
+  [[nodiscard]] std::vector<PlacementRecommendation> placement_advice(
+      TimePoint now, PlacementAdvisorConfig config = {}) const {
+    return PlacementAdvisor::advise(heat_, map_, now, config);
+  }
 
   /// Attaches an EXPLAIN/ANALYZE profiler (may be null). While the profiler
   /// has an active profile, submit/on_response record planning and
@@ -426,6 +465,15 @@ class Coordinator final : public NetworkNode {
   // Planner calibration: q-error × 100 per realized estimate.
   LatencyHistogram& estimate_q_error_x100_;
   LatencyHistogram& knn_plan_q_error_x100_;
+  // Cluster-wide per-partition heat, fed from heartbeat piggybacks; the
+  // skew rollups are exported through the gauges below.
+  HeatMapSnapshot heat_;
+  Gauge& partition_load_relative_stddev_;
+  Gauge& partition_hot_cold_ratio_;
+  Gauge& partition_replicate_factor_;
+  Gauge& partition_scan_gini_;
+  Gauge& partition_hottest_load_;
+  Gauge& partition_tracked_;
   std::unordered_map<std::uint64_t, PeerStats> peer_stats_;  // by node id
 
   Tracer* tracer_ = nullptr;

@@ -306,6 +306,9 @@ MetricsRegistry Cluster::metrics_snapshot() const {
 // ------------------------------------------------ health sampling pipeline
 
 void Cluster::sample_health_at(TimePoint now) {
+  // Heat rollups first, so the partition_imbalance / hot_partition gauge
+  // rules below sample fresh skew values, not the last heartbeat's.
+  coordinator_->refresh_heat_gauges(now);
   health_monitor_.sample(now);
   slo_engine_.sample(now);
   record_flight_frame(now);
@@ -484,6 +487,18 @@ const PostmortemBundle& Cluster::freeze_postmortem(
   cw.value(config_.health.slo_long_window.count_micros());
   cw.end_object();
   s.config_json = cw.take();
+
+  // Heat table + top-K placement advice: "who was hot, and what would
+  // have fixed it" frozen alongside the alert that fired.
+  obs::JsonWriter hw;
+  hw.begin_object();
+  hw.key("table");
+  coordinator_->heat().append_json(hw, network_.now());
+  hw.key("advisor");
+  PlacementAdvisor::append_json(
+      hw, coordinator_->placement_advice(network_.now()));
+  hw.end_object();
+  s.heat_json = hw.take();
 
   return flight_recorder_.freeze(network_.now(), trigger, std::move(s));
 }

@@ -11,6 +11,7 @@
 #include "common/serialize.h"
 #include "core/recovery.h"
 #include "index/bloom.h"
+#include "partition/load_stats.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "trace/detection.h"
@@ -257,12 +258,28 @@ inline DeltaBatch decode_delta_batch(BinaryReader& r) {
 struct Heartbeat {
   WorkerId worker;
   std::uint64_t stored_detections = 0;  // piggybacked load signal
+  /// Per-partition heat telemetry (see partition/load_stats.h): piggybacked
+  /// on the liveness signal so the coordinator's HeatMapSnapshot stays
+  /// fresh without a dedicated stats round-trip.
+  std::vector<PartitionHeat> heat;
 };
 
 inline std::vector<std::uint8_t> encode(const Heartbeat& hb) {
   BinaryWriter w;
   w.write_id(hb.worker);
   w.write_u64(hb.stored_detections);
+  w.write_vector(hb.heat, [](BinaryWriter& bw, const PartitionHeat& ph) {
+    bw.write_id(ph.partition);
+    bw.write_u64(ph.ingested_rows);
+    bw.write_u64(ph.rows_evaluated);
+    bw.write_u64(ph.rows_selected);
+    bw.write_u64(ph.blocks_scanned);
+    bw.write_u64(ph.blocks_skipped);
+    bw.write_u64(ph.fragments_served);
+    bw.write_u64(ph.wire_bytes_out);
+    bw.write_u64(ph.store_memory_bytes);
+    bw.write_double(ph.ewma_load_per_s);
+  });
   return w.take();
 }
 
@@ -270,6 +287,20 @@ inline Heartbeat decode_heartbeat(BinaryReader& r) {
   Heartbeat hb;
   hb.worker = r.read_id<WorkerIdTag>();
   hb.stored_detections = r.read_u64();
+  hb.heat = r.read_vector<PartitionHeat>([](BinaryReader& br) {
+    PartitionHeat ph;
+    ph.partition = br.read_id<PartitionIdTag>();
+    ph.ingested_rows = br.read_u64();
+    ph.rows_evaluated = br.read_u64();
+    ph.rows_selected = br.read_u64();
+    ph.blocks_scanned = br.read_u64();
+    ph.blocks_skipped = br.read_u64();
+    ph.fragments_served = br.read_u64();
+    ph.wire_bytes_out = br.read_u64();
+    ph.store_memory_bytes = br.read_u64();
+    ph.ewma_load_per_s = br.read_double();
+    return ph;
+  });
   return hb;
 }
 

@@ -109,15 +109,20 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
   // refreshed per tick for dashboards and load accounting.
   double resident = 0;
   for (const auto& [p, indexes] : partitions_) {
-    resident += static_cast<double>(indexes->store.memory_bytes());
+    std::size_t bytes = indexes->store.memory_bytes();
+    resident += static_cast<double>(bytes);
+    heat_.set_memory(p, bytes);
   }
   store_memory_bytes_.set(resident);
+  heat_.sample(network.now());
+  heat_partitions_tracked_.set(
+      static_cast<double>(heat_.partition_count()));
   update_recovery_gauges();
 
   if (config_.send_heartbeats) {
     // Best-effort on purpose: a heartbeat that needs retransmission is
     // stale by the time it lands; the next tick supersedes it.
-    Heartbeat hb{id_, stored_detections()};
+    Heartbeat hb{id_, stored_detections(), heat_.snapshot()};
     network.send({node_id(), coordinator_,
                   static_cast<std::uint32_t>(MsgType::kHeartbeat),
                   encode(hb), network.now(), {}});
@@ -214,18 +219,24 @@ void WorkerNode::on_ingest(const IngestBatch& batch, NodeId source,
                            SimNetwork& network) {
   WorkerIndexes& indexes = partition(batch.partition);
   auto& seen = ingested_ids_[batch.partition];
+  std::uint64_t fresh_rows = 0;
   for (const Detection& d : batch.detections) {
     if (!seen.insert(d.id.value()).second) {
       ingest_dups_skipped_.inc();
       continue;
     }
     indexes.ingest(d);
+    ++fresh_rows;
     (batch.is_replica ? ingested_replica_ : ingested_primary_).inc();
     if (!batch.is_replica) {
       std::size_t tested = monitors_.on_detection(d, pending_deltas_);
       monitors_tested_.add(tested);
     }
   }
+  // Heat counts live ingest only (primary or replica): recovery installs
+  // are replayed history, not fresh load, and would distort post-restart
+  // rates if they counted.
+  if (fresh_rows > 0) heat_.on_ingest(batch.partition, fresh_rows);
   // Watermark + replay log: track the batch under its (source, pbid)
   // identity even when every row deduplicated away — the watermark records
   // batches *applied*, and a dup batch is applied by definition.
@@ -254,6 +265,7 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   auto wall_start = std::chrono::steady_clock::now();
   ResultMerger merger(request.query);
   ScanStats scan_stats;
+  std::vector<PartitionId> held;
   for (PartitionId p : request.partitions) {
     auto scan_start = std::chrono::steady_clock::now();
     auto it = partitions_.find(p);
@@ -261,8 +273,14 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
     // worker does not hold (the scan is a no-op, but the trace still shows
     // that the fragment named it).
     if (it != partitions_.end()) {
+      ScanStats before = scan_stats;
       merger.add(LocalExecutor::execute(*it->second, request.query,
                                         &scan_stats));
+      heat_.on_scan(p, scan_stats.rows_evaluated - before.rows_evaluated,
+                    scan_stats.rows_selected - before.rows_selected,
+                    scan_stats.blocks_scanned - before.blocks_scanned,
+                    scan_stats.blocks_skipped - before.blocks_skipped);
+      held.push_back(p);
     }
     if (qspan.valid()) {
       auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -301,6 +319,13 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   if (sspan.valid()) {
     tracer_->tag(sspan, "bytes", std::to_string(payload.size()));
     tracer_->end_span(sspan, network.now());
+  }
+  // Fragment + wire-bytes heat, apportioned evenly across the partitions
+  // actually scanned (the response is one payload; per-partition byte
+  // attribution finer than this does not exist on the wire).
+  if (!held.empty()) {
+    std::uint64_t share = payload.size() / held.size();
+    for (PartitionId p : held) heat_.on_fragment(p, share);
   }
   auto total_wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - wall_start)
@@ -456,6 +481,10 @@ void WorkerNode::lose_state() {
   replay_logs_.clear();
   recovery_tasks_.clear();
   task_by_partition_.clear();
+  // Heat totals die with the store: the next heartbeat ships fresh (lower)
+  // totals, and every downstream windowed rate clamps at zero rather than
+  // going negative across the reset.
+  heat_.clear();
   // vault_ survives: snapshots model a checkpoint on local disk, which a
   // process crash does not erase. next_task_token_ also survives so stale
   // parked timers can never alias a post-restart task.

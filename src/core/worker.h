@@ -26,6 +26,7 @@
 #include "net/node.h"
 #include "net/reliable_channel.h"
 #include "net/sim_network.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "query/continuous.h"
@@ -63,6 +64,8 @@ struct WorkerConfig {
   /// doubling per attempt, giving up after `resync_max_attempts`.
   Duration resync_retry_timeout = Duration::millis(500);
   int resync_max_attempts = 6;
+  /// Per-partition heat telemetry (rings, rate window, EWMA smoothing).
+  HeatTrackerConfig heat;
   /// Reliable-transport knobs (delta batches, query replies, resync).
   ReliableChannelConfig channel;
 };
@@ -123,8 +126,12 @@ class WorkerNode final : public NetworkNode {
             "snapshot_bytes", "Bytes held in vault snapshots")),
         replay_log_bytes_(metrics_.gauge(
             "replay_log_bytes", "Bytes retained in the ingest replay log")),
+        heat_partitions_tracked_(metrics_.gauge(
+            "heat.partitions_tracked",
+            "Partitions with live heat telemetry on this worker")),
         scan_wall_us_(metrics_.histogram(
             "scan_wall_us", "Real microseconds per fragment scan loop")),
+        heat_(config.heat),
         channel_(NodeId(id.value()), counters_, config.channel) {
     channel_.register_metrics(metrics_);
     // Eagerly-bumped CounterSet events: helps only, no registry handle
@@ -228,6 +235,9 @@ class WorkerNode final : public NetworkNode {
 
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   MetricsRegistry& metrics() { return metrics_; }
+
+  /// Per-partition heat telemetry (read-only; shipped on heartbeats).
+  [[nodiscard]] const HeatTracker& heat() const { return heat_; }
 
   /// Attaches the cluster-wide tracer (shared with the reliable channel).
   void set_tracer(Tracer* tracer) {
@@ -341,11 +351,15 @@ class WorkerNode final : public NetworkNode {
   Gauge& store_memory_bytes_;
   Gauge& snapshot_bytes_;
   Gauge& replay_log_bytes_;
+  Gauge& heat_partitions_tracked_;
   /// Real (wall-clock) scan cost per query fragment — virtual time treats
   /// worker compute as instantaneous, so this is the only place the actual
   /// index work shows up.
   LatencyHistogram& scan_wall_us_;
   Tracer* tracer_ = nullptr;
+  // Per-partition load telemetry; snapshots ride on heartbeats. Cleared by
+  // lose_state() — heat totals are per-incarnation like the store itself.
+  HeatTracker heat_;
   // Declared after counters_/metrics_ (it writes its accounting there).
   ReliableChannel channel_;
 };

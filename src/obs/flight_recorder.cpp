@@ -105,6 +105,7 @@ void PostmortemBundle::append_json(obs::JsonWriter& w) const {
   append_section(w, "events", events_json);
   append_section(w, "slow_queries", slow_queries_json);
   append_section(w, "config", config_json);
+  append_section(w, "heat", heat_json);
   append_section(w, "frames", frames_json);
   w.end_object();
 }
@@ -142,6 +143,7 @@ bool parse_bundle(const std::string& json, PostmortemBundle& out) {
     b.slow_queries_json = reserialize(root.at("slow_queries"));
   }
   if (root.has("config")) b.config_json = reserialize(root.at("config"));
+  if (root.has("heat")) b.heat_json = reserialize(root.at("heat"));
   if (root.has("frames")) b.frames_json = reserialize(root.at("frames"));
   out = std::move(b);
   return true;
@@ -160,6 +162,7 @@ const PostmortemBundle& FlightRecorder::freeze(TimePoint now,
   b.events_json = normalize(std::move(sections.events_json));
   b.slow_queries_json = normalize(std::move(sections.slow_queries_json));
   b.config_json = normalize(std::move(sections.config_json));
+  b.heat_json = normalize(std::move(sections.heat_json));
 
   obs::JsonWriter w;
   w.begin_array();

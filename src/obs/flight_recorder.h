@@ -49,6 +49,7 @@ struct PostmortemBundle {
   std::string events_json;        // recent health events
   std::string slow_queries_json;  // slow-query log entries
   std::string config_json;        // cluster config scalars
+  std::string heat_json;          // heat table + top-K placement advice
   std::string frames_json;        // the ring of pre-trigger frames
 
   [[nodiscard]] std::string to_json() const;
@@ -96,6 +97,7 @@ class FlightRecorder {
     std::string events_json;
     std::string slow_queries_json;
     std::string config_json;
+    std::string heat_json;
   };
 
   /// Freezes the current ring plus `sections` into a bundle.

@@ -95,6 +95,33 @@ std::vector<AlertRule> default_health_rules(const HealthThresholds& t) {
   resync.source_filter = "worker.*";
   rules.push_back(std::move(resync));
 
+  // Partition imbalance: the heat observatory's relative stddev of
+  // per-partition load (stddev/mean over the coordinator's HeatMapSnapshot)
+  // stays high — ingest or scan load is concentrating instead of spreading.
+  AlertRule imbalance;
+  imbalance.name = "partition_imbalance";
+  imbalance.metric = "partition.load_relative_stddev";
+  imbalance.kind = MetricKind::kGaugeLevel;
+  imbalance.threshold = t.partition_load_relative_stddev;
+  imbalance.for_samples = 3;
+  imbalance.resolve_samples = 3;
+  imbalance.severity = AlertSeverity::kDegraded;
+  imbalance.source_filter = "coordinator";
+  rules.push_back(std::move(imbalance));
+
+  // Hot partition: one partition's load dwarfs the coldest — the signal
+  // the PlacementAdvisor turns into a split/migrate recommendation.
+  AlertRule hot;
+  hot.name = "hot_partition";
+  hot.metric = "partition.hot_cold_ratio";
+  hot.kind = MetricKind::kGaugeLevel;
+  hot.threshold = t.hot_partition_ratio;
+  hot.for_samples = 3;
+  hot.resolve_samples = 3;
+  hot.severity = AlertSeverity::kDegraded;
+  hot.source_filter = "coordinator";
+  rules.push_back(std::move(hot));
+
   return rules;
 }
 
@@ -176,7 +203,10 @@ void HealthMonitor::sample_rule(const AlertRule& rule, const Source& src,
         visit(name, [&](SeriesState& st, double& value, bool& ready) {
           if (raw > 0.0) st.armed = true;
           if (st.has_prev && dt_seconds > 0.0) {
-            value = (raw - st.prev_a) / dt_seconds;
+            // Clamped at zero: a subject restarting mid-window resets its
+            // counters, and a negative "rate" would both evade kAbove rules
+            // and spuriously breach kBelow floors during recovery.
+            value = raw >= st.prev_a ? (raw - st.prev_a) / dt_seconds : 0.0;
             ready = true;
           }
           st.prev_a = raw;

@@ -90,6 +90,12 @@ struct HealthThresholds {
   double fragment_latency_mean_us = 5'000.0;
   double partitions_recovering_level = 0.5;
   double resync_retry_rate_per_s = 2.0;
+  /// Relative stddev (stddev/mean) of per-partition load above which the
+  /// cluster counts as imbalanced.
+  double partition_load_relative_stddev = 1.0;
+  /// Hottest/coldest partition load ratio above which one partition is
+  /// flagged hot (coldest load floored at 1 so the ratio is defined).
+  double hot_partition_ratio = 8.0;
 };
 
 /// The rule set the ISSUE/DESIGN describe: retransmit storm, hedge-win
@@ -166,6 +172,41 @@ class TimeSeries {
     return times_[(head_ + i) % values_.size()];
   }
   [[nodiscard]] double back() const { return at(count_ - 1); }
+
+  /// Index of the newest sample at least as old as `cutoff` — the baseline
+  /// for a windowed delta. When the ring has wrapped and no longer reaches
+  /// back to `cutoff`, the oldest retained sample (index 0) is the best
+  /// available baseline. Requires size() > 0.
+  [[nodiscard]] std::size_t baseline_index(TimePoint cutoff) const {
+    for (std::size_t i = count_; i-- > 0;) {
+      if (time_at(i) <= cutoff || i == 0) return i;
+    }
+    return 0;
+  }
+
+  /// Windowed per-second rate of a cumulative series: value delta from the
+  /// newest sample at least `window` old to the newest sample, divided by
+  /// the span those samples actually cover. Dividing by the *actual* span
+  /// rather than the nominal window is the wraparound seam fix: right
+  /// after the ring wraps, the oldest retained sample is newer than
+  /// `now - window`, and a nominal divisor undercounts the first window
+  /// past the seam. Clamped at zero so counter resets (a restarted
+  /// subject) never yield negative rates. Zero when fewer than 2 samples.
+  [[nodiscard]] double rate_over(TimePoint now, Duration window) const {
+    if (count_ < 2) return 0.0;
+    std::size_t base = baseline_index(now - window);
+    Duration span = time_at(count_ - 1) - time_at(base);
+    if (span <= Duration::zero()) return 0.0;
+    double rate = (back() - at(base)) / span.to_seconds();
+    return rate > 0.0 ? rate : 0.0;
+  }
+
+  /// Windowed value delta (same baseline rule as rate_over), clamped >= 0.
+  [[nodiscard]] double delta_over(TimePoint now, Duration window) const {
+    if (count_ == 0) return 0.0;
+    double delta = back() - at(baseline_index(now - window));
+    return delta > 0.0 ? delta : 0.0;
+  }
 
  private:
   std::vector<double> values_;

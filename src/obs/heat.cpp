@@ -1,0 +1,405 @@
+#include "obs/heat.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stcn {
+
+std::map<WorkerId, double> HeatMapSnapshot::worker_loads(
+    TimePoint now) const {
+  std::map<WorkerId, double> loads;
+  for (const auto& [p, e] : entries_) {
+    loads[e.owner] += e.load.delta_over(now, config_.window);
+  }
+  return loads;
+}
+
+HeatMapSnapshot::Skew HeatMapSnapshot::skew(TimePoint now,
+                                            const PartitionMap* map) const {
+  Skew s;
+  if (entries_.empty()) return s;
+
+  std::vector<double> loads;
+  loads.reserve(entries_.size());
+  bool first = true;
+  for (const auto& [p, e] : entries_) {
+    double load = e.load.delta_over(now, config_.window);
+    loads.push_back(load);
+    if (first || load > s.hottest_load) {
+      s.hottest = p;
+      s.hottest_load = load;
+    }
+    if (first || load < s.coldest_load) {
+      s.coldest = p;
+      s.coldest_load = load;
+    }
+    first = false;
+  }
+  // The alertable rollups only exist above the activity floor: trickle
+  // traffic (a few rows in the window) produces wild-looking ratios that
+  // mean nothing operationally.
+  if (s.hottest_load >= config_.min_alert_load) {
+    s.load_relative_stddev = relative_stddev(loads);
+    // Floor the denominator at one row of work so an idle partition reads
+    // as "ratio = hottest load" rather than dividing by zero.
+    s.hot_cold_ratio = s.hottest_load / std::max(s.coldest_load, 1.0);
+  }
+
+  std::map<WorkerId, double> per_worker;
+  for (const auto& [p, e] : entries_) {
+    per_worker[e.owner] +=
+        e.load.delta_over(now, config_.window);
+  }
+  std::vector<double> worker_loads;
+  worker_loads.reserve(per_worker.size());
+  for (const auto& [w, load] : per_worker) worker_loads.push_back(load);
+  s.scan_gini = gini(std::move(worker_loads));
+
+  if (map != nullptr && map->partition_count() > 0) {
+    double replicas = 0.0;
+    for (const auto& [p, e] : entries_) {
+      if (p.value() >= map->partition_count()) continue;
+      replicas += map->has_distinct_backup(p) ? 2.0 : 1.0;
+    }
+    s.replicate_factor = replicas / static_cast<double>(entries_.size());
+  }
+  return s;
+}
+
+std::string HeatMapSnapshot::render(TimePoint now) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-6s %-7s %12s %12s %12s %10s %12s\n",
+                "part", "owner", "load(win)", "rate/s", "ingested",
+                "frags", "mem_bytes");
+  out += line;
+  for (const auto& [p, e] : entries_) {
+    std::snprintf(line, sizeof(line),
+                  "p%-5llu w%-6llu %12.0f %12.1f %12llu %10llu %12llu\n",
+                  static_cast<unsigned long long>(p.value()),
+                  static_cast<unsigned long long>(e.owner.value()),
+                  e.load.delta_over(now, config_.window),
+                  e.heat.ewma_load_per_s,
+                  static_cast<unsigned long long>(e.heat.ingested_rows),
+                  static_cast<unsigned long long>(e.heat.fragments_served),
+                  static_cast<unsigned long long>(e.heat.store_memory_bytes));
+    out += line;
+  }
+  return out;
+}
+
+void HeatMapSnapshot::append_json(obs::JsonWriter& w, TimePoint now) const {
+  Skew s = skew(now);
+  w.begin_object();
+  w.key("as_of_us");
+  w.value(now.micros_since_origin());
+  w.key("window_us");
+  w.value(config_.window.count_micros());
+  w.key("load_relative_stddev");
+  w.value(s.load_relative_stddev);
+  w.key("hot_cold_ratio");
+  w.value(s.hot_cold_ratio);
+  w.key("scan_gini");
+  w.value(s.scan_gini);
+  w.key("partitions");
+  w.begin_array();
+  for (const auto& [p, e] : entries_) {
+    w.begin_object();
+    w.key("partition");
+    w.value(p.value());
+    w.key("owner");
+    w.value(e.owner.value());
+    w.key("windowed_load");
+    w.value(e.load.delta_over(now, config_.window));
+    w.key("ewma_load_per_s");
+    w.value(e.heat.ewma_load_per_s);
+    w.key("ingested_rows");
+    w.value(e.heat.ingested_rows);
+    w.key("rows_evaluated");
+    w.value(e.heat.rows_evaluated);
+    w.key("rows_selected");
+    w.value(e.heat.rows_selected);
+    w.key("blocks_scanned");
+    w.value(e.heat.blocks_scanned);
+    w.key("blocks_skipped");
+    w.value(e.heat.blocks_skipped);
+    w.key("fragments_served");
+    w.value(e.heat.fragments_served);
+    w.key("wire_bytes_out");
+    w.value(e.heat.wire_bytes_out);
+    w.key("store_memory_bytes");
+    w.value(e.heat.store_memory_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string HeatMapSnapshot::to_json(TimePoint now) const {
+  obs::JsonWriter w;
+  append_json(w, now);
+  return w.take();
+}
+
+// ------------------------------------------------------ placement advisor
+
+const char* placement_kind_name(PlacementRecommendation::Kind k) {
+  switch (k) {
+    case PlacementRecommendation::Kind::kMigrate:
+      return "migrate";
+    case PlacementRecommendation::Kind::kSplit:
+      return "split";
+    case PlacementRecommendation::Kind::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double stddev_of(const std::map<WorkerId, double>& loads) {
+  std::vector<double> xs;
+  xs.reserve(loads.size());
+  double mean = 0.0;
+  for (const auto& [w, load] : loads) {
+    xs.push_back(load);
+    mean += load;
+  }
+  if (xs.empty()) return 0.0;
+  mean /= static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+WorkerId least_loaded_except(const std::map<WorkerId, double>& loads,
+                             WorkerId except) {
+  WorkerId best;
+  bool found = false;
+  for (const auto& [w, load] : loads) {
+    if (w == except) continue;
+    if (!found || load < loads.at(best)) {
+      best = w;
+      found = true;
+    }
+  }
+  return found ? best : except;
+}
+
+}  // namespace
+
+std::vector<PlacementRecommendation> PlacementAdvisor::advise(
+    const HeatMapSnapshot& snapshot, const PartitionMap& map, TimePoint now,
+    PlacementAdvisorConfig config) {
+  std::vector<PlacementRecommendation> recs;
+  if (snapshot.empty()) return recs;
+
+  // Working copies: per-partition windowed load + simulated owner, and the
+  // per-worker load vector every projection is evaluated on. Every worker
+  // in the map participates (an idle worker is headroom the advisor should
+  // use), plus any reporter the map does not know about.
+  std::map<PartitionId, double> part_load;
+  std::map<PartitionId, WorkerId> owner;
+  std::map<WorkerId, double> worker_load;
+  for (std::size_t p = 0; p < map.partition_count(); ++p) {
+    worker_load[map.primary(PartitionId(p))] += 0.0;
+    worker_load[map.backup(PartitionId(p))] += 0.0;
+  }
+  double mean_part_load = 0.0;
+  for (const auto& [p, e] : snapshot.entries()) {
+    double load = snapshot.windowed_load(p, now);
+    // Trust the map's primary for placement when it knows the partition
+    // (the reporter may be a backup replica); fall back to the reporter.
+    WorkerId placed = p.value() < map.partition_count()
+                          ? map.primary(p)
+                          : e.owner;
+    part_load[p] = load;
+    owner[p] = placed;
+    worker_load[placed] += load;
+    mean_part_load += load;
+  }
+  mean_part_load /= static_cast<double>(part_load.size());
+
+  while (recs.size() < config.max_recommendations) {
+    double before = stddev_of(worker_load);
+    if (before <= 0.0) break;
+
+    PlacementRecommendation best;
+    bool found = false;
+    auto consider = [&](PlacementRecommendation cand,
+                        const std::map<WorkerId, double>& projected) {
+      cand.stddev_before = before;
+      cand.stddev_after = stddev_of(projected);
+      if (cand.improvement() < config.min_improvement) return;
+      if (!found || cand.improvement() > best.improvement()) {
+        best = cand;
+        found = true;
+      }
+    };
+
+    for (const auto& [p, load] : part_load) {
+      if (load <= 0.0) continue;
+      WorkerId from = owner.at(p);
+      WorkerId to = least_loaded_except(worker_load, from);
+      if (to == from) continue;
+
+      // Migrate: the whole partition moves to the least-loaded worker.
+      {
+        std::map<WorkerId, double> projected = worker_load;
+        projected[from] -= load;
+        projected[to] += load;
+        PlacementRecommendation cand;
+        cand.kind = PlacementRecommendation::Kind::kMigrate;
+        cand.partition = p;
+        cand.from = from;
+        cand.to = to;
+        cand.load = load;
+        consider(cand, projected);
+      }
+      // Split: a partition much hotter than the mean halves in place, one
+      // half landing on the least-loaded worker. Finer-grained than a
+      // migrate when one partition dominates its whole worker.
+      if (load > config.split_threshold * mean_part_load) {
+        std::map<WorkerId, double> projected = worker_load;
+        projected[from] -= load / 2.0;
+        projected[to] += load / 2.0;
+        PlacementRecommendation cand;
+        cand.kind = PlacementRecommendation::Kind::kSplit;
+        cand.partition = p;
+        cand.from = from;
+        cand.to = to;
+        cand.load = load / 2.0;
+        consider(cand, projected);
+      }
+    }
+
+    // Merge: co-locate two near-idle partitions (the colder one moves to
+    // the other's worker). Mostly about shrinking placement metadata; it
+    // only surfaces when it also clears the improvement bar.
+    {
+      PartitionId cold_a, cold_b;
+      double load_a = 0.0, load_b = 0.0;
+      bool have_a = false, have_b = false;
+      for (const auto& [p, load] : part_load) {
+        if (load >= config.merge_threshold * mean_part_load) continue;
+        if (!have_a || load < load_a) {
+          cold_b = cold_a;
+          load_b = load_a;
+          have_b = have_a;
+          cold_a = p;
+          load_a = load;
+          have_a = true;
+        } else if (!have_b || load < load_b) {
+          cold_b = p;
+          load_b = load;
+          have_b = true;
+        }
+      }
+      if (have_a && have_b && owner.at(cold_a) != owner.at(cold_b)) {
+        std::map<WorkerId, double> projected = worker_load;
+        projected[owner.at(cold_a)] -= load_a;
+        projected[owner.at(cold_b)] += load_a;
+        PlacementRecommendation cand;
+        cand.kind = PlacementRecommendation::Kind::kMerge;
+        cand.partition = cold_a;
+        cand.other = cold_b;
+        cand.from = owner.at(cold_a);
+        cand.to = owner.at(cold_b);
+        cand.load = load_a;
+        consider(cand, projected);
+      }
+    }
+
+    if (!found) break;
+
+    // Apply the winner to the working copies so the next round compounds.
+    switch (best.kind) {
+      case PlacementRecommendation::Kind::kMigrate:
+      case PlacementRecommendation::Kind::kMerge:
+        worker_load[best.from] -= best.load;
+        worker_load[best.to] += best.load;
+        owner[best.partition] = best.to;
+        break;
+      case PlacementRecommendation::Kind::kSplit:
+        worker_load[best.from] -= best.load;
+        worker_load[best.to] += best.load;
+        part_load[best.partition] -= best.load;
+        break;
+    }
+    recs.push_back(best);
+  }
+  return recs;
+}
+
+std::string PlacementAdvisor::render(
+    const std::vector<PlacementRecommendation>& recs) {
+  if (recs.empty()) return "placement advisor: no beneficial moves\n";
+  std::string out;
+  char line[192];
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const PlacementRecommendation& r = recs[i];
+    if (r.kind == PlacementRecommendation::Kind::kMerge) {
+      std::snprintf(line, sizeof(line),
+                    "#%zu merge   p%llu+p%llu  w%llu->w%llu  load %.0f  "
+                    "stddev %.1f->%.1f (-%.1f%%)\n",
+                    i + 1,
+                    static_cast<unsigned long long>(r.partition.value()),
+                    static_cast<unsigned long long>(r.other.value()),
+                    static_cast<unsigned long long>(r.from.value()),
+                    static_cast<unsigned long long>(r.to.value()), r.load,
+                    r.stddev_before, r.stddev_after,
+                    r.improvement() * 100.0);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "#%zu %-7s p%llu  w%llu->w%llu  load %.0f  "
+                    "stddev %.1f->%.1f (-%.1f%%)\n",
+                    i + 1, placement_kind_name(r.kind),
+                    static_cast<unsigned long long>(r.partition.value()),
+                    static_cast<unsigned long long>(r.from.value()),
+                    static_cast<unsigned long long>(r.to.value()), r.load,
+                    r.stddev_before, r.stddev_after,
+                    r.improvement() * 100.0);
+    }
+    out += line;
+  }
+  return out;
+}
+
+void PlacementAdvisor::append_json(
+    obs::JsonWriter& w, const std::vector<PlacementRecommendation>& recs) {
+  w.begin_array();
+  for (const PlacementRecommendation& r : recs) {
+    w.begin_object();
+    w.key("kind");
+    w.value(placement_kind_name(r.kind));
+    w.key("partition");
+    w.value(r.partition.value());
+    if (r.kind == PlacementRecommendation::Kind::kMerge) {
+      w.key("merge_with");
+      w.value(r.other.value());
+    }
+    w.key("from");
+    w.value(r.from.value());
+    w.key("to");
+    w.value(r.to.value());
+    w.key("load");
+    w.value(r.load);
+    w.key("stddev_before");
+    w.value(r.stddev_before);
+    w.key("stddev_after");
+    w.value(r.stddev_after);
+    w.key("improvement");
+    w.value(r.improvement());
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string PlacementAdvisor::to_json(
+    const std::vector<PlacementRecommendation>& recs) {
+  obs::JsonWriter w;
+  append_json(w, recs);
+  return w.take();
+}
+
+}  // namespace stcn

@@ -1,0 +1,268 @@
+// Partition heat observatory: per-partition load telemetry, cluster-wide
+// skew analytics, and a read-only placement advisor.
+//
+// Three layers, mirroring the data path:
+//  * HeatTracker — worker-side. Accumulates per-partition monotonic totals
+//    (ingested rows, scan work, fragments served, wire bytes out) plus the
+//    exact store memory level, samples them on the sim clock into TimeSeries
+//    rings, and maintains a windowed-EWMA load rate per partition. The
+//    snapshot() output rides to the coordinator piggybacked on heartbeats.
+//  * HeatMapSnapshot — coordinator-side. Folds every worker's shipped
+//    entries into one cluster-wide view, keeps its own per-partition load
+//    rings (so windowed rates survive worker restarts: a totals reset reads
+//    as a rate clamped at zero, never negative), and computes the skew
+//    rollups exported as gauges: partition.load_relative_stddev,
+//    partition.hot_cold_ratio, partition.replicate_factor,
+//    partition.scan_gini.
+//  * PlacementAdvisor — strictly read-only. Greedily ranks migrate / split /
+//    merge moves by *projected* per-worker load-stddev improvement, computed
+//    offline on copied load vectors; it never mutates the PartitionMap.
+//    Output feeds the live dashboard and postmortem bundles, and is the
+//    decision input for future elastic shard management (ROADMAP #1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "partition/load_stats.h"
+#include "partition/partition_map.h"
+
+namespace stcn {
+
+struct HeatTrackerConfig {
+  /// Per-partition load-ring capacity (samples retained).
+  std::size_t ring_capacity = 128;
+  /// Window for the rate behind the EWMA (actual covered span is used, so
+  /// rates stay exact across the ring's wraparound seam).
+  Duration rate_window = Duration::seconds(10);
+  /// EWMA smoothing factor for the shipped load rate.
+  double ewma_alpha = 0.3;
+};
+
+/// Worker-side per-partition heat accumulator. Totals are per-incarnation:
+/// lose_state() clears the tracker along with the partitions it described.
+class HeatTracker {
+ public:
+  explicit HeatTracker(HeatTrackerConfig config = {}) : config_(config) {}
+
+  void on_ingest(PartitionId p, std::uint64_t rows) {
+    entry(p).heat.ingested_rows += rows;
+  }
+  void on_scan(PartitionId p, std::uint64_t rows_evaluated,
+               std::uint64_t rows_selected, std::uint64_t blocks_scanned,
+               std::uint64_t blocks_skipped) {
+    PartitionHeat& h = entry(p).heat;
+    h.rows_evaluated += rows_evaluated;
+    h.rows_selected += rows_selected;
+    h.blocks_scanned += blocks_scanned;
+    h.blocks_skipped += blocks_skipped;
+  }
+  /// One query fragment served for `p`, shipping `wire_bytes` back.
+  void on_fragment(PartitionId p, std::uint64_t wire_bytes) {
+    PartitionHeat& h = entry(p).heat;
+    h.fragments_served += 1;
+    h.wire_bytes_out += wire_bytes;
+  }
+  void set_memory(PartitionId p, std::uint64_t bytes) {
+    entry(p).heat.store_memory_bytes = bytes;
+  }
+
+  /// Samples every partition's load total into its ring and advances the
+  /// EWMA rate. Call on the worker's monitor tick.
+  void sample(TimePoint now) {
+    for (auto& [p, e] : entries_) {
+      e.load.push(now, partition_heat_load(e.heat));
+      double rate = e.load.rate_over(now, config_.rate_window);
+      if (e.has_rate) {
+        e.heat.ewma_load_per_s = config_.ewma_alpha * rate +
+                                 (1.0 - config_.ewma_alpha) *
+                                     e.heat.ewma_load_per_s;
+      } else {
+        e.heat.ewma_load_per_s = rate;
+        e.has_rate = true;
+      }
+    }
+  }
+
+  /// Wire-ready entries, ordered by partition id.
+  [[nodiscard]] std::vector<PartitionHeat> snapshot() const {
+    std::vector<PartitionHeat> out;
+    out.reserve(entries_.size());
+    for (const auto& [p, e] : entries_) out.push_back(e.heat);
+    return out;
+  }
+
+  [[nodiscard]] const TimeSeries* series(PartitionId p) const {
+    auto it = entries_.find(p);
+    return it == entries_.end() ? nullptr : &it->second.load;
+  }
+  [[nodiscard]] std::size_t partition_count() const {
+    return entries_.size();
+  }
+
+  /// Crash semantics: heat is in-memory state and dies with the store.
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    PartitionHeat heat;
+    TimeSeries load;
+    bool has_rate = false;
+    explicit Entry(std::size_t cap) : load(cap) {}
+  };
+  Entry& entry(PartitionId p) {
+    auto it = entries_.find(p);
+    if (it == entries_.end()) {
+      it = entries_.emplace(p, Entry(config_.ring_capacity)).first;
+      it->second.heat.partition = p;
+    }
+    return it->second;
+  }
+
+  HeatTrackerConfig config_;
+  std::map<PartitionId, Entry> entries_;
+};
+
+struct HeatSnapshotConfig {
+  std::size_t ring_capacity = 128;
+  /// Window for the skew rollups: load is the work done inside this window,
+  /// so a partition that cools down stops reading hot (alerts can resolve).
+  Duration window = Duration::seconds(10);
+  /// Activity floor for the alertable rollups: when the hottest partition's
+  /// windowed load is below this, load_relative_stddev and hot_cold_ratio
+  /// read zero — a handful of rows trickling through a quiet cluster is
+  /// noise, not imbalance, and must not page anyone.
+  double min_alert_load = 512.0;
+};
+
+/// Coordinator-owned cluster-wide heat view, fed from heartbeat entries.
+class HeatMapSnapshot {
+ public:
+  struct Entry {
+    PartitionHeat heat;  // latest totals shipped by the owner
+    WorkerId owner;
+    TimePoint as_of;
+    /// Cumulative load over time, sampled per received entry. Windowed
+    /// deltas/rates over this ring clamp at zero, so a worker restart
+    /// (totals reset) reads as a cold partition, never a negative rate.
+    TimeSeries load;
+    explicit Entry(std::size_t cap) : load(cap) {}
+  };
+
+  /// Skew rollups over windowed per-partition load (the NuCut metric set).
+  struct Skew {
+    double load_relative_stddev = 0.0;  // stddev/mean across partitions
+    double hot_cold_ratio = 0.0;        // hottest / coldest (floored at 1)
+    double replicate_factor = 0.0;      // mean replicas per partition
+    double scan_gini = 0.0;             // Gini of per-worker load
+    PartitionId hottest;
+    PartitionId coldest;
+    double hottest_load = 0.0;
+    double coldest_load = 0.0;
+  };
+
+  explicit HeatMapSnapshot(HeatSnapshotConfig config = {})
+      : config_(config) {}
+
+  /// Folds one shipped entry in. `owner` is whoever reported it — under
+  /// replication both holders report; the most recent report wins.
+  void ingest(WorkerId owner, const PartitionHeat& h, TimePoint now) {
+    auto it = entries_.find(h.partition);
+    if (it == entries_.end()) {
+      it = entries_.emplace(h.partition, Entry(config_.ring_capacity)).first;
+    }
+    Entry& e = it->second;
+    e.heat = h;
+    e.owner = owner;
+    e.as_of = now;
+    e.load.push(now, partition_heat_load(h));
+  }
+
+  [[nodiscard]] const std::map<PartitionId, Entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Load attributable to `p` inside the rollup window ending at `now`
+  /// (absolute work, not per-second; clamped at zero across restarts).
+  [[nodiscard]] double windowed_load(PartitionId p, TimePoint now) const {
+    auto it = entries_.find(p);
+    if (it == entries_.end()) return 0.0;
+    return it->second.load.delta_over(now, config_.window);
+  }
+
+  /// Windowed load summed per reporting worker.
+  [[nodiscard]] std::map<WorkerId, double> worker_loads(TimePoint now) const;
+
+  /// The partition with the highest windowed load (entries_.end() when the
+  /// map is empty or everything is cold).
+  [[nodiscard]] Skew skew(TimePoint now,
+                          const PartitionMap* map = nullptr) const;
+
+  /// Plain-text heat table (live dashboard panel).
+  [[nodiscard]] std::string render(TimePoint now) const;
+
+  void append_json(obs::JsonWriter& w, TimePoint now) const;
+  [[nodiscard]] std::string to_json(TimePoint now) const;
+
+  [[nodiscard]] const HeatSnapshotConfig& config() const { return config_; }
+
+ private:
+  HeatSnapshotConfig config_;
+  std::map<PartitionId, Entry> entries_;
+};
+
+/// One ranked placement move with its projected effect. `stddev_before` /
+/// `stddev_after` are per-worker load stddevs around *this* move in the
+/// greedy sequence (moves compound: rec N's before is rec N-1's after).
+struct PlacementRecommendation {
+  enum class Kind { kMigrate, kSplit, kMerge };
+  Kind kind = Kind::kMigrate;
+  PartitionId partition;
+  PartitionId other;  // merge partner (kMerge only)
+  WorkerId from;
+  WorkerId to;
+  double load = 0.0;  // windowed load the move shifts
+  double stddev_before = 0.0;
+  double stddev_after = 0.0;
+  [[nodiscard]] double improvement() const {
+    return stddev_before > 0.0
+               ? (stddev_before - stddev_after) / stddev_before
+               : 0.0;
+  }
+};
+
+[[nodiscard]] const char* placement_kind_name(PlacementRecommendation::Kind k);
+
+struct PlacementAdvisorConfig {
+  std::size_t max_recommendations = 3;
+  /// Moves projected to improve per-worker load stddev by less than this
+  /// fraction are not worth recommending (uniform clusters get no advice).
+  double min_improvement = 0.05;
+  /// Split candidates: partitions hotter than this multiple of the mean.
+  double split_threshold = 2.0;
+  /// Merge candidates: partitions colder than this fraction of the mean.
+  double merge_threshold = 0.1;
+};
+
+/// Read-only advisor: ranks moves, never applies them.
+class PlacementAdvisor {
+ public:
+  [[nodiscard]] static std::vector<PlacementRecommendation> advise(
+      const HeatMapSnapshot& snapshot, const PartitionMap& map,
+      TimePoint now, PlacementAdvisorConfig config = {});
+
+  [[nodiscard]] static std::string render(
+      const std::vector<PlacementRecommendation>& recs);
+  static void append_json(obs::JsonWriter& w,
+                          const std::vector<PlacementRecommendation>& recs);
+  [[nodiscard]] static std::string to_json(
+      const std::vector<PlacementRecommendation>& recs);
+};
+
+}  // namespace stcn

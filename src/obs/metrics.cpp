@@ -89,6 +89,9 @@ void MetricsRegistry::merge_into(MetricsRegistry& dst,
     dst.histogram(prefix + name).merge(*h);
   }
   for (const auto& [name, help] : help_) dst.set_help(prefix + name, help);
+  for (const auto& [name, labels] : labels_) {
+    dst.set_labels(prefix + name, labels);
+  }
 }
 
 void MetricsRegistry::import_counter_set(const CounterSet& counters,
@@ -130,6 +133,35 @@ void append_number(std::string& out, double v) {
   out += buf;
 }
 
+// Label *names* share the metric-name charset ([a-zA-Z0-9_], no leading
+// digit) but are NOT run through prometheus_name by the caller, so they get
+// their own mangling — `partition-id` → `partition_id`, `0rank` → `_0rank`.
+std::string prometheus_label_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size() + 1);
+  if (!key.empty() && key.front() >= '0' && key.front() <= '9') out += '_';
+  for (char c : key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+// Label values per the text exposition format: backslash, double-quote, and
+// line-feed must be escaped; everything else passes through.
+void append_label_value(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus(
@@ -139,17 +171,35 @@ std::string MetricsRegistry::to_prometheus(
     const std::string& h = help(name);
     if (!h.empty()) out += "# HELP " + m + " " + h + "\n";
   };
+  // `inner_labels(name)` renders the attached labels as `k="v",...` (no
+  // braces) so histogram bucket lines can splice them next to `le`;
+  // `label_block(name)` wraps them in braces for plain sample lines.
+  auto inner_labels = [&](const std::string& name) {
+    std::string b;
+    for (const auto& [k, v] : labels(name)) {
+      if (!b.empty()) b += ",";
+      b += prometheus_label_key(k);
+      b += "=\"";
+      append_label_value(b, v);
+      b += "\"";
+    }
+    return b;
+  };
+  auto label_block = [&](const std::string& name) {
+    std::string inner = inner_labels(name);
+    return inner.empty() ? inner : "{" + inner + "}";
+  };
   for (const auto& [name, c] : counters_) {
     std::string m = prometheus_name(metric_prefix, name);
     append_help(name, m);
     out += "# TYPE " + m + " counter\n";
-    out += m + " " + std::to_string(c->value()) + "\n";
+    out += m + label_block(name) + " " + std::to_string(c->value()) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
     std::string m = prometheus_name(metric_prefix, name);
     append_help(name, m);
     out += "# TYPE " + m + " gauge\n";
-    out += m + " ";
+    out += m + label_block(name) + " ";
     append_number(out, g->value());
     out += "\n";
   }
@@ -157,11 +207,15 @@ std::string MetricsRegistry::to_prometheus(
     std::string m = prometheus_name(metric_prefix, name);
     append_help(name, m);
     out += "# TYPE " + m + " histogram\n";
+    std::string inner = inner_labels(name);
+    std::string bucket_prefix =
+        inner.empty() ? m + "_bucket{le=\"" : m + "_bucket{" + inner +
+                                                  ",le=\"";
     std::uint64_t cumulative = 0;
     for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
       if (h->bucket(i) == 0) continue;  // sparse: skip empty buckets
       cumulative += h->bucket(i);
-      out += m + "_bucket{le=\"";
+      out += bucket_prefix;
       append_number(out, LatencyHistogram::bucket_upper_bound(i));
       out += "\"} " + std::to_string(cumulative);
       // OpenMetrics-style exemplar: the bucket's pinned trace.
@@ -171,10 +225,11 @@ std::string MetricsRegistry::to_prometheus(
       }
       out += "\n";
     }
-    out += m + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
-    out += m + "_sum ";
+    out += bucket_prefix + "+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += m + "_sum" + label_block(name) + " ";
     append_number(out, h->sum());
-    out += "\n" + m + "_count " + std::to_string(h->count()) + "\n";
+    out += "\n" + m + "_count" + label_block(name) + " " +
+           std::to_string(h->count()) + "\n";
   }
   return out;
 }
@@ -245,6 +300,22 @@ std::string MetricsRegistry::to_json() const {
     w.end_object();
   }
   w.end_object();
+  // Emitted only when any metric carries labels, so label-free registries
+  // keep their historical byte-exact JSON form.
+  if (!labels_.empty()) {
+    w.key("labels");
+    w.begin_object();
+    for (const auto& [name, labels] : labels_) {
+      w.key(name);
+      w.begin_object();
+      for (const auto& [k, v] : labels) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.end_object();
   return w.take();
 }
@@ -282,6 +353,17 @@ bool metrics_registry_from_json(const std::string& json,
                        static_cast<std::uint64_t>(row.array()[1].number()),
                        row.array()[3].string());
       }
+    }
+  }
+  if (root.has("labels")) {
+    for (const auto& [name, ls] : root.at("labels").object()) {
+      if (!ls.is_object()) return false;
+      std::map<std::string, std::string> parsed;
+      for (const auto& [k, v] : ls.object()) {
+        if (!v.is_string()) return false;
+        parsed[k] = v.string();
+      }
+      out.set_labels(name, std::move(parsed));
     }
   }
   return true;

@@ -39,6 +39,10 @@ class Counter {
  public:
   void inc() { ++value_; }
   void add(std::uint64_t delta) { value_ += delta; }
+  /// Restart semantics: a crashed subject comes back with zeroed counters.
+  /// Rate consumers (HealthMonitor kCounterRate) clamp the apparent
+  /// negative delta at zero rather than reporting a negative rate.
+  void reset() { value_ = 0; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
 
  private:
@@ -223,6 +227,32 @@ class MetricsRegistry {
     return help_;
   }
 
+  /// Attaches constant labels to a metric name — exemplar-style metadata
+  /// such as `partition.hottest_load{partition="p12"}`. Rendered on the
+  /// Prometheus exposition line (label keys mangled to the legal charset,
+  /// values backslash-escaped) and round-tripped through JSON. Replaces any
+  /// previous label set for the name; an empty map clears it.
+  void set_labels(const std::string& name,
+                  std::map<std::string, std::string> labels) {
+    if (labels.empty()) {
+      labels_.erase(name);
+    } else {
+      labels_[name] = std::move(labels);
+    }
+  }
+  /// Labels attached to `name` (empty map when none).
+  [[nodiscard]] const std::map<std::string, std::string>& labels(
+      const std::string& name) const {
+    static const std::map<std::string, std::string> kEmpty;
+    auto it = labels_.find(name);
+    return it == labels_.end() ? kEmpty : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::map<std::string,
+                                                     std::string>>&
+  all_labels() const {
+    return labels_;
+  }
+
   [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
   counters() const {
     return counters_;
@@ -275,6 +305,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
   std::map<std::string, std::string> help_;
+  std::map<std::string, std::map<std::string, std::string>> labels_;
 };
 
 /// Rebuilds a registry from MetricsRegistry::to_json output. Returns false

@@ -89,13 +89,10 @@ double SloEngine::burn_over(const SloState& s, TimePoint now,
   // (the window covers everything since start).
   double good_then = 0.0;
   double total_then = 0.0;
-  TimePoint cutoff = now - window;
-  for (std::size_t i = s.total.size(); i-- > 0;) {
-    if (s.total.time_at(i) <= cutoff || i == 0) {
-      good_then = s.good.at(i);
-      total_then = s.total.at(i);
-      break;
-    }
+  if (s.total.size() > 0) {
+    std::size_t i = s.total.baseline_index(now - window);
+    good_then = s.good.at(i);
+    total_then = s.total.at(i);
   }
   double dt_total = total_now - total_then;
   if (dt_total <= 0.0) return 0.0;  // no traffic in window → no burn

@@ -1,6 +1,11 @@
-// Load-balance metrics over a partition assignment (experiment E3).
+// Load-balance metrics over a partition assignment (experiment E3), plus
+// the per-partition heat record and the skew statistics (relative stddev,
+// Gini) shared by the heat observatory in obs/heat.h.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -9,6 +14,63 @@
 #include "partition/partition_map.h"
 
 namespace stcn {
+
+/// Per-partition load telemetry a worker accumulates and ships to the
+/// coordinator (piggybacked on heartbeats). All fields except
+/// `store_memory_bytes` (a level) and `ewma_load_per_s` (a smoothed rate)
+/// are monotonic totals for the worker's current incarnation — a crash
+/// resets them, and every rate derived downstream clamps at zero.
+struct PartitionHeat {
+  PartitionId partition;
+  std::uint64_t ingested_rows = 0;
+  std::uint64_t rows_evaluated = 0;
+  std::uint64_t rows_selected = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t fragments_served = 0;
+  std::uint64_t wire_bytes_out = 0;
+  std::uint64_t store_memory_bytes = 0;
+  double ewma_load_per_s = 0.0;
+};
+
+/// Scalar load of one partition: ingest work plus scan work. Row-granular
+/// on both sides so a write-heavy and a read-heavy partition compare on
+/// the same axis.
+[[nodiscard]] inline double partition_heat_load(const PartitionHeat& h) {
+  return static_cast<double>(h.ingested_rows) +
+         static_cast<double>(h.rows_evaluated);
+}
+
+/// Population relative standard deviation (stddev / mean) of `xs` — the
+/// NuCut-style balance metric: 0 = perfectly even, grows with skew.
+/// Returns 0 for an empty or all-zero vector (idle is not imbalance).
+[[nodiscard]] inline double relative_stddev(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double n = static_cast<double>(xs.size());
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  if (mean == 0.0) return 0.0;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / n) / mean;
+}
+
+/// Gini coefficient over non-negative loads: 0 = evenly spread, → 1 as
+/// all load concentrates on one element. Returns 0 when fewer than two
+/// elements or no load at all.
+[[nodiscard]] inline double gini(std::vector<double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double n = static_cast<double>(xs.size());
+  double sum = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * xs[i];
+    sum += xs[i];
+  }
+  return sum > 0.0 ? weighted / (n * sum) : 0.0;
+}
 
 /// Per-partition and per-worker event counts for one ingest run.
 class LoadStats {
@@ -55,6 +117,29 @@ class LoadStats {
     std::uint64_t t = 0;
     for (auto c : per_partition_) t += c;
     return t;
+  }
+
+  /// Relative stddev of per-partition load (NuCut balance metric).
+  [[nodiscard]] double partition_load_relative_stddev() const {
+    std::vector<double> loads;
+    loads.reserve(per_partition_.size());
+    for (auto c : per_partition_) loads.push_back(static_cast<double>(c));
+    return relative_stddev(loads);
+  }
+
+  /// Gini coefficient of per-worker load over `workers` (idle workers
+  /// count as zero load).
+  [[nodiscard]] double worker_load_gini(
+      const std::vector<WorkerId>& workers) const {
+    std::vector<double> loads;
+    loads.reserve(workers.size());
+    for (WorkerId w : workers) {
+      auto it = per_worker_.find(w);
+      loads.push_back(it == per_worker_.end()
+                          ? 0.0
+                          : static_cast<double>(it->second));
+    }
+    return gini(std::move(loads));
   }
 
  private:

@@ -62,6 +62,35 @@ TEST(TimeSeries, RepeatedWraparoundPreservesOrderAndTimes) {
   EXPECT_DOUBLE_EQ(ts.at(0), (total - 4) * 10.0);
 }
 
+TEST(TimeSeries, WindowedRateIsExactAcrossWraparoundSeam) {
+  // A cumulative counter growing exactly 10/s, sampled once per second
+  // into a capacity-4 ring. After the ring wraps, a window wider than the
+  // ring reaches past the seam: the baseline clamps to the oldest retained
+  // sample, and the divisor must be the span the ring actually covers —
+  // dividing by the nominal window would undercount the first window
+  // after the wrap (here 30/5 = 6/s instead of the true 10/s).
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.push(at(i), 10.0 * i);
+  // Ring holds t=6..9 (values 60..90). A 5s window wants a t=4 baseline.
+  EXPECT_DOUBLE_EQ(ts.rate_over(at(9), Duration::seconds(5)), 10.0);
+  // Windows that fit inside the ring are exact too.
+  EXPECT_DOUBLE_EQ(ts.rate_over(at(9), Duration::seconds(2)), 10.0);
+  EXPECT_DOUBLE_EQ(ts.delta_over(at(9), Duration::seconds(2)), 20.0);
+  // delta_over past the seam is the covered delta, never an extrapolation.
+  EXPECT_DOUBLE_EQ(ts.delta_over(at(9), Duration::seconds(5)), 30.0);
+
+  // A counter reset (subject restarted) clamps at zero, never negative.
+  ts.push(at(10), 0.0);
+  EXPECT_DOUBLE_EQ(ts.rate_over(at(10), Duration::seconds(3)), 0.0);
+  EXPECT_DOUBLE_EQ(ts.delta_over(at(10), Duration::seconds(3)), 0.0);
+
+  // Degenerate cases: empty / single-sample series report zero.
+  TimeSeries fresh(4);
+  EXPECT_DOUBLE_EQ(fresh.rate_over(at(1), Duration::seconds(1)), 0.0);
+  fresh.push(at(0), 5.0);
+  EXPECT_DOUBLE_EQ(fresh.rate_over(at(1), Duration::seconds(1)), 0.0);
+}
+
 // ------------------------------------------------------- rule evaluation
 
 AlertRule rate_rule(std::string name, std::string metric, double threshold) {

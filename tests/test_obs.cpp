@@ -211,6 +211,71 @@ TEST(MetricsRegistry, PrometheusExport) {
   EXPECT_NE(text.find("# TYPE"), std::string::npos);
 }
 
+TEST(MetricsRegistry, LabelsRoundTripThroughJson) {
+  MetricsRegistry registry;
+  registry.gauge("partition.hottest_load").set(42.0);
+  registry.set_labels("partition.hottest_load", {{"partition", "p12"}});
+  // Label keys and values with every escaping hazard: control chars,
+  // quotes, backslashes, separators the exposition format reserves.
+  registry.counter("advisor.moves").add(3);
+  registry.set_labels("advisor.moves",
+                      {{"from-worker", "w\"1\\\n"},
+                       {"0rank", std::string("a\x01") + "b"}});
+
+  MetricsRegistry restored;
+  ASSERT_TRUE(metrics_registry_from_json(registry.to_json(), restored));
+  EXPECT_EQ(restored.labels("partition.hottest_load").at("partition"),
+            "p12");
+  EXPECT_EQ(restored.labels("advisor.moves").at("from-worker"), "w\"1\\\n");
+  EXPECT_EQ(restored.labels("advisor.moves").at("0rank"),
+            std::string("a\x01") + "b");
+  // Byte-exact fixed point, with and without the labels section.
+  EXPECT_EQ(registry.to_json(), restored.to_json());
+  MetricsRegistry unlabeled;
+  unlabeled.counter("plain").add(1);
+  MetricsRegistry unlabeled_restored;
+  ASSERT_TRUE(metrics_registry_from_json(unlabeled.to_json(),
+                                         unlabeled_restored));
+  EXPECT_EQ(unlabeled.to_json(), unlabeled_restored.to_json());
+  EXPECT_EQ(unlabeled.to_json().find("labels"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelKeysAndValues) {
+  MetricsRegistry registry;
+  registry.gauge("partition.hottest_load").set(9.0);
+  // The key needs mangling (dash, leading digit); the value needs escaping
+  // (quote, backslash, newline).
+  registry.set_labels("partition.hottest_load",
+                      {{"partition-id", "p\"1\\2\n"}, {"9rank", "top"}});
+  registry.histogram("heat.scan_us", "Scan heat").observe(50.0);
+  registry.set_labels("heat.scan_us", {{"partition", "p3"}});
+
+  std::string text = registry.to_prometheus();
+  // Gauge line: mangled keys, escaped value, sorted label order.
+  EXPECT_NE(text.find("stcn_partition_hottest_load{_9rank=\"top\","
+                      "partition_id=\"p\\\"1\\\\2\\n\"} 9"),
+            std::string::npos);
+  // Histogram lines splice labels beside `le` and suffix _sum/_count.
+  EXPECT_NE(text.find("stcn_heat_scan_us_bucket{partition=\"p3\",le=\"64\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("stcn_heat_scan_us_bucket{partition=\"p3\","
+                      "le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("stcn_heat_scan_us_count{partition=\"p3\"} 1"),
+            std::string::npos);
+  // No raw control bytes or unescaped quotes leak into label values.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    EXPECT_TRUE(text[i] == '\n' ||
+                static_cast<unsigned char>(text[i]) >= 0x20u)
+        << "raw control byte at offset " << i;
+  }
+  // Labels survive a snapshot merge under a prefix.
+  MetricsRegistry snapshot;
+  registry.merge_into(snapshot, "coordinator.");
+  EXPECT_EQ(snapshot.labels("coordinator.heat.scan_us").at("partition"),
+            "p3");
+}
+
 TEST(MetricsRegistry, MergeAndImportSkipHandleBackedNames) {
   MetricsRegistry worker;
   worker.counter("ingested").add(10);
