@@ -492,7 +492,7 @@ VectorizedReport run_vectorized_section() {
     MorselStats hms;
     for (std::size_t b = 0; b < store.block_count(); ++b) {
       std::uint32_t n = store.scan_range_block(b, world, hwindows[q], sel, hms);
-      heatmap_accumulate(xs.data(), ys.data(), sel, n, {0, 0}, cell, cols,
+      heatmap_accumulate(xs.data(), ys.data(), 0, sel, n, {0, 0}, cell, cols,
                          dense.data());
     }
     std::map<std::uint64_t, std::uint64_t> counts;
@@ -514,7 +514,217 @@ VectorizedReport run_vectorized_section() {
   return rep;
 }
 
-void write_report(const ColumnarReport& rep, const VectorizedReport& vec) {
+// --------------------------------------------------- compression section
+//
+// The tiered cold path: how much smaller a sealed block gets once encoded
+// (FOR/dictionary/quantized columns + int8 embeddings), what decode-fused
+// scans cost relative to the same scan over hot columns, and what the int8
+// appearance kernel buys over decode-to-float + float dot — with its error
+// against the exact float scores and the documented bound those errors
+// must stay inside.
+
+struct CompressionReport {
+  std::size_t rows = 0;
+  std::size_t dim = 0;
+  double raw_bytes_per_row = 0;
+  double cold_bytes_per_row = 0;
+  double compression_ratio = 0;
+  std::size_t scan_queries = 0;
+  std::size_t matched = 0;
+  double hot_scan_ms = 0;
+  double cold_scan_ms = 0;
+  double cold_hot_scan_ratio = 0;
+  std::uint64_t cold_blocks_scanned = 0;
+  std::uint64_t cold_blocks_skipped = 0;
+  std::uint64_t decode_morsels = 0;
+  double float_score_ms = 0;      // decode embeddings, then float dots
+  double quantized_score_ms = 0;  // int8 dots on the stored codes
+  double quantized_speedup = 0;
+  double quantized_rmse = 0;
+  double quantized_max_err = 0;
+  double quantized_bound = 0;  // largest documented per-pair bound
+};
+
+CompressionReport run_compression_section() {
+  CompressionReport rep;
+  const std::size_t blocks = bench::quick() ? 8 : 32;
+  rep.rows = blocks * kDetectionBlockRows;
+  rep.dim = 64;  // production re-id feature width; the embedding arena
+                 // dominates the raw footprint at this dim
+  rep.scan_queries = bench::quick() ? 150 : 400;
+  const std::int64_t step = 1000;  // ~1 ms between detections
+  const std::int64_t time_span = static_cast<std::int64_t>(rep.rows) * step;
+
+  // Same near-time-ordered arrival as the sections above; one copy kept
+  // raw for exact-score references, one store left hot, one demoted cold.
+  Rng rng(7);
+  std::vector<Detection> raws;
+  raws.reserve(rep.rows);
+  DetectionStore hot_store;
+  DetectionStore cold_store;
+  for (std::size_t i = 0; i < rep.rows; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1 + rng.uniform_index(100));
+    d.object = ObjectId(1 + rng.uniform_index(500));
+    d.time = TimePoint(static_cast<std::int64_t>(i) * step +
+                       rng.uniform_int(0, 4 * step));
+    d.position = {rng.uniform(0, 2000), rng.uniform(0, 2000)};
+    d.confidence = rng.uniform(0, 1);
+    d.appearance.values.resize(rep.dim);
+    for (auto& v : d.appearance.values) v = static_cast<float>(rng.normal());
+    d.appearance.normalize();
+    raws.push_back(d);
+    (void)hot_store.append(d);
+    (void)cold_store.append(d);
+  }
+  cold_store.set_tier_config({true, 0});  // demote every sealed block
+  if (cold_store.cold_block_count() != blocks) {
+    std::fprintf(stderr, "COLD TIER MISMATCH: %zu blocks cold, want %zu\n",
+                 cold_store.cold_block_count(), blocks);
+  }
+
+  // Footprint: live hot bytes per row (columns + embedding arena + zones,
+  // no allocator slack) against the encoded block bytes per row.
+  double raw_live =
+      static_cast<double>(rep.rows) * (8.0 * sizeof(std::uint64_t) +
+                                       static_cast<double>(rep.dim) *
+                                           sizeof(float)) +
+      static_cast<double>(hot_store.block_count() *
+                          sizeof(DetectionBlockZone));
+  rep.raw_bytes_per_row = raw_live / static_cast<double>(rep.rows);
+  rep.cold_bytes_per_row = static_cast<double>(cold_store.compressed_bytes()) /
+                           static_cast<double>(rep.rows);
+  rep.compression_ratio = rep.raw_bytes_per_row / rep.cold_bytes_per_row;
+
+  // Selective scans (~1% time window, 400 m square) over identical zone
+  // maps: the cold store pays decode-fused kernels on the blocks that
+  // survive skipping, the hot store scans its columns directly.
+  std::vector<Rect> regions;
+  std::vector<TimeInterval> windows;
+  Rng qrng(21);
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    regions.push_back(Rect::centered(
+        {qrng.uniform(200, 1800), qrng.uniform(200, 1800)}, 200));
+    std::int64_t begin = qrng.uniform_int(0, time_span - time_span / 100);
+    windows.push_back(
+        {TimePoint(begin), TimePoint(begin + time_span / 100)});
+  }
+  const std::size_t warmup = std::min<std::size_t>(8, rep.scan_queries);
+  std::size_t hot_matched = 0;
+  for (std::size_t q = 0; q < warmup; ++q) {
+    (void)hot_store.scan_range(regions[q], windows[q]).size();
+  }
+  bench::WallTimer hot_timer;
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    hot_matched += hot_store.scan_range(regions[q], windows[q]).size();
+  }
+  rep.hot_scan_ms = hot_timer.elapsed_ms();
+
+  std::size_t cold_matched = 0;
+  MorselStats ms;
+  for (std::size_t q = 0; q < warmup; ++q) {
+    (void)cold_store.scan_range(regions[q], windows[q]).size();
+  }
+  bench::WallTimer cold_timer;
+  for (std::size_t q = 0; q < rep.scan_queries; ++q) {
+    cold_matched += cold_store.scan_range(regions[q], windows[q], &ms).size();
+  }
+  rep.cold_scan_ms = cold_timer.elapsed_ms();
+  // Positions requantize at ~1 µm; a differing match count would mean a
+  // detection sitting within that of a query border, which these random
+  // queries cannot produce.
+  if (cold_matched != hot_matched) {
+    std::fprintf(stderr, "COLD SCAN MISMATCH: %zu vs hot %zu\n",
+                 cold_matched, hot_matched);
+  }
+  rep.matched = cold_matched;
+  rep.cold_hot_scan_ratio =
+      rep.hot_scan_ms > 0 ? rep.cold_scan_ms / rep.hot_scan_ms : 0;
+  rep.cold_blocks_scanned = ms.cold_blocks_scanned;
+  rep.cold_blocks_skipped = ms.cold_blocks_skipped;
+  rep.decode_morsels = ms.decode_morsels;
+
+  // Appearance scoring on cold rows: the pre-change path decodes each
+  // block's int8 arena back to floats and runs the float kernel; the
+  // quantized path dots the stored codes directly (int8×int8 in int32,
+  // closed-form cross terms).
+  const std::size_t rounds = bench::quick() ? 10 : 25;
+  const AppearanceFeature& probe = raws[0].appearance;
+  std::vector<std::int8_t> probe_codes(rep.dim);
+  EmbeddingQuantParams probe_q =
+      quantize_embedding(probe.values.data(), rep.dim, probe_codes.data());
+  std::vector<float> decoded(kDetectionBlockRows * rep.dim);
+  std::vector<double> sims(kDetectionBlockRows);
+  double float_sum = 0;
+  bench::WallTimer float_timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const CompressedBlock& cb = cold_store.cold_block(b);
+      for (std::uint32_t i = 0; i < cb.rows; ++i) {
+        cb.decode_embedding(i, decoded.data() + i * rep.dim);
+      }
+      appearance_score_batch_contiguous(probe.values.data(), rep.dim,
+                                        decoded.data(), cb.rows, sims.data());
+      for (std::uint32_t i = 0; i < cb.rows; ++i) float_sum += sims[i];
+    }
+  }
+  rep.float_score_ms = float_timer.elapsed_ms();
+
+  double quant_sum = 0;
+  bench::WallTimer quant_timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const CompressedBlock& cb = cold_store.cold_block(b);
+      const std::int8_t* codes = cb.emb_codes.data();
+      for (std::uint32_t i = 0; i < cb.rows; ++i) {
+        quant_sum += quantized_dot(probe_codes.data(), probe_q,
+                                   codes + cb.emb_begin(i),
+                                   cb.quant_params(i), rep.dim);
+      }
+    }
+  }
+  rep.quantized_score_ms = quant_timer.elapsed_ms();
+  rep.quantized_speedup = rep.quantized_score_ms > 0
+                              ? rep.float_score_ms / rep.quantized_score_ms
+                              : 0;
+  if (std::abs(float_sum - quant_sum) >
+      0.1 * static_cast<double>(rounds * rep.rows)) {
+    std::fprintf(stderr, "QUANTIZED SUM DIVERGED: %f vs %f\n", quant_sum,
+                 float_sum);
+  }
+
+  // Error accounting against the exact float dot on the ORIGINAL
+  // (pre-quantization) vectors: every per-pair error must sit inside the
+  // documented sound bound — that inequality is what makes prefilter +
+  // float rescoring exact.
+  double sq_err = 0;
+  for (std::size_t i = 0; i < rep.rows; ++i) {
+    std::size_t b = i / kDetectionBlockRows;
+    auto row = static_cast<std::uint32_t>(i % kDetectionBlockRows);
+    const CompressedBlock& cb = cold_store.cold_block(b);
+    double exact = appearance_dot(probe.values.data(),
+                                  raws[i].appearance.values.data(), rep.dim);
+    EmbeddingQuantParams p = cb.quant_params(row);
+    double approx =
+        quantized_dot(probe_codes.data(), probe_q,
+                      cb.emb_codes.data() + cb.emb_begin(row), p, rep.dim);
+    double bound = quantized_dot_error_bound(probe_q, p, rep.dim);
+    double err = std::abs(approx - exact);
+    sq_err += err * err;
+    rep.quantized_max_err = std::max(rep.quantized_max_err, err);
+    rep.quantized_bound = std::max(rep.quantized_bound, bound);
+    if (err > bound) {
+      std::fprintf(stderr, "QUANTIZED BOUND VIOLATED: row %zu err %g > %g\n",
+                   i, err, bound);
+    }
+  }
+  rep.quantized_rmse = std::sqrt(sq_err / static_cast<double>(rep.rows));
+  return rep;
+}
+
+void write_report(const ColumnarReport& rep, const VectorizedReport& vec,
+                  const CompressionReport& comp) {
   bench::print_header("E10", "columnar store vs reference scan");
   std::printf("rows %zu, %zu selective range queries (%zu matches)\n",
               rep.rows, rep.queries, rep.matched);
@@ -604,14 +814,81 @@ void write_report(const ColumnarReport& rep, const VectorizedReport& vec) {
   vw.value(vec.heatmap_speedup);
   vw.end_object();
 
+  bench::print_header("E10c", "tiered compression: cold blocks + int8 path");
+  std::printf("rows %zu (dim-%zu embeddings), all blocks demoted cold\n",
+              comp.rows, comp.dim);
+  std::printf("  raw %.1f B/row -> cold %.1f B/row  (ratio %.2fx)\n",
+              comp.raw_bytes_per_row, comp.cold_bytes_per_row,
+              comp.compression_ratio);
+  std::printf("  selective scans: hot %.2f ms vs cold %.2f ms (%.2fx, "
+              "%zu queries, %zu matches)\n",
+              comp.hot_scan_ms, comp.cold_scan_ms, comp.cold_hot_scan_ratio,
+              comp.scan_queries, comp.matched);
+  std::printf("  cold blocks scanned %llu / skipped %llu, decode morsels %llu\n",
+              static_cast<unsigned long long>(comp.cold_blocks_scanned),
+              static_cast<unsigned long long>(comp.cold_blocks_skipped),
+              static_cast<unsigned long long>(comp.decode_morsels));
+  std::printf("  scoring: decode+float %.2f ms vs int8 %.2f ms (%.2fx)\n",
+              comp.float_score_ms, comp.quantized_score_ms,
+              comp.quantized_speedup);
+  std::printf("  error: rmse %.2e, max %.2e, documented bound %.2e\n",
+              comp.quantized_rmse, comp.quantized_max_err,
+              comp.quantized_bound);
+
+  obs::JsonWriter cw;
+  cw.begin_object();
+  cw.key("rows");
+  cw.value(static_cast<double>(comp.rows));
+  cw.key("embedding_dim");
+  cw.value(static_cast<double>(comp.dim));
+  cw.key("raw_bytes_per_row");
+  cw.value(comp.raw_bytes_per_row);
+  cw.key("cold_bytes_per_row");
+  cw.value(comp.cold_bytes_per_row);
+  cw.key("compression_ratio");
+  cw.value(comp.compression_ratio);
+  cw.key("scan_queries");
+  cw.value(static_cast<double>(comp.scan_queries));
+  cw.key("matched");
+  cw.value(static_cast<double>(comp.matched));
+  cw.key("hot_scan_ms");
+  cw.value(comp.hot_scan_ms);
+  cw.key("cold_scan_ms");
+  cw.value(comp.cold_scan_ms);
+  cw.key("cold_hot_scan_ratio");
+  cw.value(comp.cold_hot_scan_ratio);
+  cw.key("cold_blocks_scanned");
+  cw.value(static_cast<double>(comp.cold_blocks_scanned));
+  cw.key("cold_blocks_skipped");
+  cw.value(static_cast<double>(comp.cold_blocks_skipped));
+  cw.key("decode_morsels");
+  cw.value(static_cast<double>(comp.decode_morsels));
+  cw.key("float_score_ms");
+  cw.value(comp.float_score_ms);
+  cw.key("quantized_score_ms");
+  cw.value(comp.quantized_score_ms);
+  cw.key("quantized_speedup");
+  cw.value(comp.quantized_speedup);
+  cw.key("quantized_rmse");
+  cw.value(comp.quantized_rmse);
+  cw.key("quantized_max_err");
+  cw.value(comp.quantized_max_err);
+  cw.key("quantized_bound");
+  cw.value(comp.quantized_bound);
+  cw.end_object();
+
   bench::BenchReport report("index_micro");
   report.set("scan_speedup", rep.scan_speedup);
   report.set("blocks_skipped_ratio", rep.blocks_skipped_ratio);
   report.set("kernel_speedup", rep.kernel_speedup);
   report.set("vectorized_scan_speedup", vec.vectorized_scan_speedup);
   report.set("heatmap_speedup", vec.heatmap_speedup);
+  report.set("compression_ratio", comp.compression_ratio);
+  report.set("cold_hot_scan_ratio", comp.cold_hot_scan_ratio);
+  report.set("quantized_speedup", comp.quantized_speedup);
   report.add_section("columnar", w.take());
   report.add_section("vectorized", vw.take());
+  report.add_section("compression", cw.take());
   report.write();
 }
 
@@ -620,7 +897,9 @@ void write_report(const ColumnarReport& rep, const VectorizedReport& vec) {
 
 int main(int argc, char** argv) {
   stcn::bench::parse_args(argc, argv);
-  stcn::write_report(stcn::run_columnar_section(), stcn::run_vectorized_section());
+  stcn::write_report(stcn::run_columnar_section(),
+                     stcn::run_vectorized_section(),
+                     stcn::run_compression_section());
   if (stcn::bench::quick()) return 0;  // CI smoke: skip the gbench suites
 
   // Strip --quick before handing argv to google-benchmark (it rejects

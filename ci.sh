@@ -54,6 +54,11 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
   # snapshot install racing the live replica stream) under ASan+UBSan.
   ./build-asan/tests/test_failure_recovery \
       --gtest_filter='RecoveryChaos.*' >/dev/null
+  echo "== sanitizer tiered-store differential rerun =="
+  # Decode-fused cold-tier scans, snapshot round-trips, and the int8
+  # quantized appearance path under ASan+UBSan explicitly.
+  ./build-asan/tests/test_tiered_store \
+      --gtest_filter='*TieredDifferential.*:QuantizedAppearance.*' >/dev/null
 fi
 
 echo "== columnar scan smoke (Release -O3, bench_index_micro --quick) =="
@@ -90,7 +95,21 @@ assert vec["heatmap_speedup"] >= 5.0, vec
 # blocks visited/skipped) must stay within 20% of the committed baseline.
 # Timings are machine-dependent and are gated by the absolute floors above
 # instead.
-baseline = json.load(open(sys.argv[2]))["columnar"]
+# Compression-section floors (E10c): the cold tier must compress the mixed
+# row (ids, positions, int8 embedding arena) at least 3x against the raw
+# hot layout, decode-fused cold scans must stay within 10% of hot-tier
+# scans on the selective workload, and the int8 quantized appearance path
+# must honor its closed-form error bound exactly (soundness, not luck).
+comp = report["compression"]
+assert comp["rows"] > 0, comp
+assert comp["cold_blocks_scanned"] > 0, comp
+assert comp["compression_ratio"] >= 3.0, comp
+assert comp["cold_hot_scan_ratio"] <= 1.10, comp
+assert comp["quantized_max_err"] <= comp["quantized_bound"], comp
+assert comp["quantized_rmse"] <= 5e-3, comp
+
+baseline_report = json.load(open(sys.argv[2]))
+baseline = baseline_report["columnar"]
 for key in ("matched", "blocks_scanned", "blocks_skipped",
             "blocks_skipped_ratio"):
     expect, got = baseline[key], col[key]
@@ -99,12 +118,25 @@ for key in ("matched", "blocks_scanned", "blocks_skipped",
     assert drift <= 0.20, \
         f"columnar {key} drifted {drift:.1%} from baseline: {got} vs {expect}"
 
+# The cold-tier byte counts are deterministic for the fixed seed; a drift
+# gate keeps encoder regressions (e.g. lost dictionary or FOR width wins)
+# from slipping under the absolute 3x floor.
+comp_baseline = baseline_report["compression"]
+for key in ("rows", "compression_ratio"):
+    expect, got = comp_baseline[key], comp[key]
+    assert expect > 0, (key, comp_baseline)
+    drift = abs(got - expect) / expect
+    assert drift <= 0.20, \
+        f"compression {key} drifted {drift:.1%} from baseline: {got} vs {expect}"
+
 print("BENCH_index_micro.json OK:",
       f"scan_speedup={col['scan_speedup']:.1f}x,",
       f"blocks_skipped_ratio={col['blocks_skipped_ratio']:.3f},",
-      f"kernel_speedup={col['kernel_speedup']:.2f}x,",
       f"vectorized={vec['vectorized_scan_speedup']:.1f}x,",
-      f"heatmap={vec['heatmap_speedup']:.1f}x")
+      f"heatmap={vec['heatmap_speedup']:.1f}x,",
+      f"compression={comp['compression_ratio']:.2f}x,",
+      f"cold/hot scan={comp['cold_hot_scan_ratio']:.2f},",
+      f"int8 max_err={comp['quantized_max_err']:.1e}")
 PY
 rm -rf "$COLUMNAR_DIR"
 
@@ -181,6 +213,19 @@ assert bytes_[0] < bytes_[2] and bytes_[1] < bytes_[2], \
 assert times[0] <= times[2] and times[1] <= times[2], \
     f"a snapshot age failed to beat full resync on time: {times}"
 
+# Tiered-storage row: snapshots of demoted partitions carry compressed
+# cold blocks, so the vault must shrink materially (>=15%) against the raw
+# row at the same snapshot age, while recovery stays complete and replays
+# the identical delta (compression must not change what is resynced).
+assert scalars["e9d_complete_age0_tiered"] == 1.0, scalars
+assert scalars["e9d_snapshot_bytes_age0"] > 0, scalars
+tiered, raw = (scalars["e9d_snapshot_bytes_age0_tiered"],
+               scalars["e9d_snapshot_bytes_age0"])
+assert tiered <= 0.85 * raw, \
+    f"compressed snapshot vault saved <15%: {tiered} vs {raw}"
+assert scalars["e9d_replayed_age0_tiered"] == scalars["e9d_replayed_age0"], \
+    scalars
+
 # Drift gate against the committed baseline: the full-resync replay volume
 # is deterministic for the fixed seed; 20% tolerates batch-layout tweaks.
 baseline = json.load(open(sys.argv[2]))["scalars"]
@@ -193,7 +238,9 @@ for key in ("e9d_replayed_nosnap", "e9d_bytes_nosnap"):
 
 print("BENCH_failure_recovery.json OK:", len(events), "health events,",
       f"{int(scalars['health_samples'])} samples,",
-      f"E9d replayed {[int(r) for r in replayed]} (age0/age5/full)")
+      f"E9d replayed {[int(r) for r in replayed]} (age0/age5/full),",
+      f"tiered snapshot {int(tiered)}/{int(raw)} B "
+      f"({1.0 - tiered / raw:.0%} saved)")
 PY
 
 echo "== heat observatory smoke (bench_partitioning --quick) =="

@@ -12,10 +12,26 @@
 // Accumulation is in double (like the scalar reference), so batched and
 // scalar scores agree to rounding-order noise (~1e-15 for unit vectors),
 // far inside the 1e-6 equivalence bound the tests assert.
+// The int8 path quantizes each vector asymmetrically — per-vector scale s
+// and offset o with codes q in [-127, 127], so v̂_i = o + s·q_i and the
+// per-component error is at most s/2. The dot of two quantized vectors
+// expands to
+//
+//   dot(â, b̂) = d·oa·ob + oa·sb·Σqb + ob·sa·Σqa + sa·sb·Σ(qa·qb)
+//
+// where Σq is precomputed at quantization time, leaving only the Σ(qa·qb)
+// term as a loop — int8×int8 multiplies accumulated in int32 (exact), with
+// one float rescale at the end. The error against the float dot is bounded
+// by quantized_dot_error_bound below, which is what lets callers prefilter
+// on the quantized score and float-rescore only candidates the bound
+// cannot exclude (exact results, quantized speed on the rejected bulk).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 namespace stcn {
 
@@ -67,6 +83,102 @@ inline void appearance_score_batch(std::span<const float> query,
                                    std::span<double> scores) {
   appearance_score_batch(query.data(), query.size(), candidates.data(),
                          candidates.size(), scores.data());
+}
+
+// ------------------------------------------------- int8 quantized path
+
+/// Per-vector parameters of an int8 asymmetric quantization. The code
+/// array itself lives wherever the caller stores it (cold-block arenas
+/// keep one contiguous int8 arena per block).
+struct EmbeddingQuantParams {
+  float scale = 0.0f;            // v̂_i = offset + scale * code_i
+  float offset = 0.0f;
+  std::int32_t code_sum = 0;     // Σ code_i (for the dot expansion)
+  std::int32_t abs_code_sum = 0; // Σ |code_i| (for the error bound)
+};
+
+/// Quantizes `dim` floats into int8 codes in [-127, 127]. scale == 0 means
+/// every component equals `offset` exactly (codes are all zero).
+inline EmbeddingQuantParams quantize_embedding(const float* v,
+                                               std::size_t dim,
+                                               std::int8_t* codes) {
+  EmbeddingQuantParams p;
+  if (dim == 0) return p;
+  float lo = v[0], hi = v[0];
+  for (std::size_t i = 1; i < dim; ++i) {
+    lo = std::min(lo, v[i]);
+    hi = std::max(hi, v[i]);
+  }
+  p.offset = 0.5f * (hi + lo);
+  float range = hi - lo;
+  if (!(range > 0.0f)) {
+    for (std::size_t i = 0; i < dim; ++i) codes[i] = 0;
+    return p;
+  }
+  p.scale = range / 254.0f;
+  for (std::size_t i = 0; i < dim; ++i) {
+    // (v - offset)/scale lies in [-127, 127] by construction; rounding
+    // cannot escape the int8 range.
+    auto q = static_cast<std::int32_t>(
+        std::lround((v[i] - p.offset) / p.scale));
+    codes[i] = static_cast<std::int8_t>(q);
+    p.code_sum += q;
+    p.abs_code_sum += q < 0 ? -q : q;
+  }
+  return p;
+}
+
+/// Σ a_i·b_i over int8 codes, accumulated exactly in int32 with four
+/// independent chains (dim ≤ 2^23 stays far from overflow: |a·b| ≤ 127²).
+[[nodiscard]] inline std::int32_t appearance_dot_i8(const std::int8_t* a,
+                                                    const std::int8_t* b,
+                                                    std::size_t dim) {
+  std::int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += static_cast<std::int32_t>(a[i]) * b[i];
+    acc1 += static_cast<std::int32_t>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<std::int32_t>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<std::int32_t>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < dim; ++i) {
+    acc0 += static_cast<std::int32_t>(a[i]) * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// dot(â, b̂) of two quantized vectors: the int8×int8 kernel plus the
+/// closed-form cross terms, rescaled once in double.
+[[nodiscard]] inline double quantized_dot(const std::int8_t* a,
+                                          const EmbeddingQuantParams& pa,
+                                          const std::int8_t* b,
+                                          const EmbeddingQuantParams& pb,
+                                          std::size_t dim) {
+  double d = static_cast<double>(dim);
+  return d * static_cast<double>(pa.offset) * pb.offset +
+         static_cast<double>(pa.offset) * pb.scale * pb.code_sum +
+         static_cast<double>(pb.offset) * pa.scale * pa.code_sum +
+         static_cast<double>(pa.scale) * pb.scale *
+             appearance_dot_i8(a, b, dim);
+}
+
+/// Sound bound on |quantized_dot(â, b̂) − dot(a, b)|. With per-component
+/// errors |δa_i| ≤ sa/2 and |δb_i| ≤ sb/2,
+///
+///   |Σ â·b̂ − Σ a·b| ≤ (sb/2)·Σ|â_i| + (sa/2)·Σ|b̂_i| + d·(sa/2)(sb/2)
+///
+/// and Σ|v̂_i| ≤ d·|offset| + scale·Σ|code_i|, all of which are stored
+/// per-vector — the bound costs O(1) per candidate pair.
+[[nodiscard]] inline double quantized_dot_error_bound(
+    const EmbeddingQuantParams& pa, const EmbeddingQuantParams& pb,
+    std::size_t dim) {
+  double d = static_cast<double>(dim);
+  double abs_a = d * std::abs(static_cast<double>(pa.offset)) +
+                 static_cast<double>(pa.scale) * pa.abs_code_sum;
+  double abs_b = d * std::abs(static_cast<double>(pb.offset)) +
+                 static_cast<double>(pb.scale) * pb.abs_code_sum;
+  return 0.5 * pb.scale * abs_a + 0.5 * pa.scale * abs_b +
+         0.25 * d * static_cast<double>(pa.scale) * pb.scale;
 }
 
 }  // namespace stcn

@@ -1,0 +1,415 @@
+// Block compression codecs for the cold storage tier.
+//
+// A sealed 4096-row block compresses column-by-column with codecs picked
+// per column family (see index/compressed_block.h for the assembly):
+//
+//   - PackedU64Column / PackedI64Column — frame-of-reference: store the
+//     block minimum once, then each value as `value - min` at a fixed
+//     per-block byte width (0/1/2/4/8, little-endian). Near-sorted or
+//     low-range columns (time, sequential detection ids) shrink 2–8x, and
+//     the fixed width keeps decode a straight load+widen+add loop the
+//     compiler can vectorize — unlike varint, whose per-byte continuation
+//     branches serialize the scan path.
+//   - QuantizedDoubleColumn — FOR quantization for doubles: values map to
+//     integer codes on a power-of-two grid `base + code * quantum`, with
+//     `quantum` chosen so the block's range needs `precision_bits` bits.
+//     Maximum error is quantum/2 (~range * 2^-(bits+1)). Power-of-two
+//     quanta make re-encoding already-quantized values lossless: a
+//     decoded value lies on the old grid, and any tighter grid chosen on
+//     re-encode has a quantum dividing the old one.
+//   - DictU64Column — dictionary encoding for low-cardinality id columns
+//     (camera, object): sorted unique values once, then per-row indexes
+//     FOR-packed. Equality predicates compare in code space without
+//     decoding.
+//
+// All decode paths are bounds-checked at deserialization time (code
+// ranges validated against dictionary sizes), so a corrupt snapshot can
+// poison its reader but never index out of bounds.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace stcn {
+
+/// Loads one little-endian code of `W` bytes. memcpy of 1/2/4/8 bytes
+/// compiles to a single (possibly unaligned) load, keeping the byte-packed
+/// code arrays free of alignment UB.
+template <std::size_t W>
+[[nodiscard]] inline std::uint64_t load_code(const std::uint8_t* p) {
+  if constexpr (W == 1) {
+    return *p;
+  } else if constexpr (W == 2) {
+    std::uint16_t v;
+    std::memcpy(&v, p, 2);
+    return v;
+  } else if constexpr (W == 4) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  } else {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+}
+
+/// Frame-of-reference packed unsigned column: `value[i] = base + code[i]`
+/// with codes stored at a fixed byte width chosen from the block's range.
+struct PackedU64Column {
+  std::uint64_t base = 0;
+  std::uint8_t width = 0;  // bytes per code: 0 (constant column), 1, 2, 4, 8
+  std::uint32_t rows = 0;
+  std::vector<std::uint8_t> data;  // rows * width bytes, little-endian
+
+  static PackedU64Column encode(const std::uint64_t* v, std::uint32_t n) {
+    PackedU64Column c;
+    c.rows = n;
+    if (n == 0) return c;
+    std::uint64_t lo = v[0], hi = v[0];
+    for (std::uint32_t i = 1; i < n; ++i) {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+    }
+    c.base = lo;
+    std::uint64_t range = hi - lo;
+    c.width = range == 0             ? 0
+              : range <= 0xFF       ? 1
+              : range <= 0xFFFF     ? 2
+              : range <= 0xFFFFFFFF ? 4
+                                    : 8;
+    if (c.width == 0) return c;  // constant column: base alone suffices
+    c.data.resize(static_cast<std::size_t>(n) * c.width);
+    std::uint8_t* out = c.data.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t code = v[i] - lo;
+      std::memcpy(out + static_cast<std::size_t>(i) * c.width, &code, c.width);
+    }
+    return c;
+  }
+
+  /// Invokes `fn` with an integral-constant byte width (1/2/4/8). The
+  /// caller handles width 0 (constant column) before dispatching.
+  template <typename Fn>
+  auto dispatch_width(Fn&& fn) const {
+    switch (width) {
+      case 1:
+        return fn(std::integral_constant<std::size_t, 1>{});
+      case 2:
+        return fn(std::integral_constant<std::size_t, 2>{});
+      case 4:
+        return fn(std::integral_constant<std::size_t, 4>{});
+      default:
+        return fn(std::integral_constant<std::size_t, 8>{});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t at(std::uint32_t i) const {
+    if (width == 0) return base;
+    return dispatch_width([&](auto w) {
+      return base + load_code<decltype(w)::value>(
+                        data.data() + static_cast<std::size_t>(i) * w);
+    });
+  }
+
+  void decode_into(std::uint64_t* out) const {
+    if (width == 0) {
+      std::fill(out, out + rows, base);
+      return;
+    }
+    dispatch_width([&](auto w) {
+      constexpr std::size_t kW = decltype(w)::value;
+      const std::uint8_t* p = data.data();
+      for (std::uint32_t i = 0; i < rows; ++i) {
+        out[i] = base + load_code<kW>(p + static_cast<std::size_t>(i) * kW);
+      }
+      return 0;
+    });
+  }
+
+  /// Largest stored code (0 for constant columns). Used to validate
+  /// dictionary indexes after deserialization.
+  [[nodiscard]] std::uint64_t max_code() const {
+    if (width == 0 || rows == 0) return 0;
+    return dispatch_width([&](auto w) {
+      constexpr std::size_t kW = decltype(w)::value;
+      std::uint64_t m = 0;
+      const std::uint8_t* p = data.data();
+      for (std::uint32_t i = 0; i < rows; ++i) {
+        m = std::max(m, load_code<kW>(p + static_cast<std::size_t>(i) * kW));
+      }
+      return m;
+    });
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const { return data.capacity(); }
+
+  void serialize_to(BinaryWriter& w) const {
+    w.write_u64(base);
+    w.write_u8(width);
+    w.write_u32(rows);
+    w.write_u32(static_cast<std::uint32_t>(data.size()));
+    for (std::uint8_t b : data) w.write_u8(b);
+  }
+
+  /// Returns false (leaving the reader failed) on truncated or
+  /// inconsistent input; the column is untouched on failure.
+  [[nodiscard]] bool deserialize_from(BinaryReader& r) {
+    std::uint64_t b = r.read_u64();
+    std::uint8_t wd = r.read_u8();
+    std::uint32_t n = r.read_u32();
+    std::uint32_t len = r.read_u32();
+    if (r.failed() || (wd != 0 && wd != 1 && wd != 2 && wd != 4 && wd != 8) ||
+        len != static_cast<std::uint64_t>(n) * wd || len > r.remaining()) {
+      (void)r.read_bytes(r.remaining() + 1);
+      return false;
+    }
+    base = b;
+    width = wd;
+    rows = n;
+    std::vector<std::uint8_t> bytes = r.read_bytes(len);
+    data = std::move(bytes);
+    return !r.failed();
+  }
+};
+
+/// Signed frame-of-reference column (time): `value[i] = base + code[i]`
+/// with an int64 base; the code range `max - min` always fits a uint64.
+struct PackedI64Column {
+  std::int64_t base = 0;
+  PackedU64Column codes;  // codes.base is always 0; base lives here
+
+  static PackedI64Column encode(const std::int64_t* v, std::uint32_t n) {
+    PackedI64Column c;
+    c.codes.rows = n;
+    if (n == 0) return c;
+    std::int64_t lo = v[0], hi = v[0];
+    for (std::uint32_t i = 1; i < n; ++i) {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+    }
+    c.base = lo;
+    std::vector<std::uint64_t> rel(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      rel[i] = static_cast<std::uint64_t>(v[i]) - static_cast<std::uint64_t>(lo);
+    }
+    c.codes = PackedU64Column::encode(rel.data(), n);
+    return c;
+  }
+
+  [[nodiscard]] std::int64_t at(std::uint32_t i) const {
+    return base + static_cast<std::int64_t>(codes.at(i) - codes.base);
+  }
+
+  void decode_into(std::int64_t* out) const {
+    // codes.base is folded into base so the loop is a pure widen+add.
+    std::int64_t b = base + static_cast<std::int64_t>(codes.base);
+    if (codes.width == 0) {
+      std::fill(out, out + codes.rows, b);
+      return;
+    }
+    codes.dispatch_width([&](auto w) {
+      constexpr std::size_t kW = decltype(w)::value;
+      const std::uint8_t* p = codes.data.data();
+      for (std::uint32_t i = 0; i < codes.rows; ++i) {
+        out[i] = b + static_cast<std::int64_t>(
+                         load_code<kW>(p + static_cast<std::size_t>(i) * kW));
+      }
+      return 0;
+    });
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return codes.resident_bytes();
+  }
+  void serialize_to(BinaryWriter& w) const {
+    w.write_i64(base);
+    codes.serialize_to(w);
+  }
+  [[nodiscard]] bool deserialize_from(BinaryReader& r) {
+    std::int64_t b = r.read_i64();
+    if (!codes.deserialize_from(r)) return false;
+    base = b;
+    return true;
+  }
+};
+
+/// FOR-quantized double column: `value[i] = base + quantum * code[i]` with
+/// a power-of-two quantum sized so the block's range fits `precision_bits`
+/// bits. Max round-trip error is quantum/2; quantum 0 means the column is
+/// constant. Power-of-two quanta nest, so re-encoding decoded values (e.g.
+/// retention compaction rewriting a cold block) is lossless.
+struct QuantizedDoubleColumn {
+  double base = 0.0;
+  double quantum = 0.0;
+  PackedU64Column codes;
+
+  static QuantizedDoubleColumn encode(const double* v, std::uint32_t n,
+                                      int precision_bits) {
+    QuantizedDoubleColumn c;
+    c.codes.rows = n;
+    if (n == 0) return c;
+    double lo = v[0], hi = v[0];
+    for (std::uint32_t i = 1; i < n; ++i) {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+    }
+    c.base = lo;
+    double range = hi - lo;
+    if (!(range > 0.0)) return c;  // constant column: quantum 0, width 0
+    // Smallest power-of-two quantum whose code range fits precision_bits.
+    double max_codes = std::ldexp(1.0, precision_bits) - 1.0;
+    int e = static_cast<int>(std::ceil(std::log2(range / max_codes)));
+    c.quantum = std::ldexp(1.0, e);
+    std::vector<std::uint64_t> q(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double rel = (v[i] - lo) / c.quantum;
+      auto code = static_cast<std::uint64_t>(std::llround(rel));
+      q[i] = code;
+    }
+    c.codes = PackedU64Column::encode(q.data(), n);
+    return c;
+  }
+
+  [[nodiscard]] double at(std::uint32_t i) const {
+    return base + quantum * static_cast<double>(codes.at(i));
+  }
+
+  void decode_into(double* out) const {
+    if (codes.width == 0) {
+      std::fill(out, out + codes.rows,
+                base + quantum * static_cast<double>(codes.base));
+      return;
+    }
+    double b = base + quantum * static_cast<double>(codes.base);
+    codes.dispatch_width([&](auto w) {
+      constexpr std::size_t kW = decltype(w)::value;
+      const std::uint8_t* p = codes.data.data();
+      for (std::uint32_t i = 0; i < codes.rows; ++i) {
+        out[i] = b + quantum *
+                         static_cast<double>(load_code<kW>(
+                             p + static_cast<std::size_t>(i) * kW));
+      }
+      return 0;
+    });
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return codes.resident_bytes();
+  }
+  void serialize_to(BinaryWriter& w) const {
+    w.write_double(base);
+    w.write_double(quantum);
+    codes.serialize_to(w);
+  }
+  [[nodiscard]] bool deserialize_from(BinaryReader& r) {
+    double b = r.read_double();
+    double q = r.read_double();
+    // NaN/Inf parameters would poison every zone map computed from decoded
+    // values; reject them as corrupt rather than propagate.
+    if (!std::isfinite(b) || !std::isfinite(q) || q < 0.0) {
+      (void)r.read_bytes(r.remaining() + 1);
+      return false;
+    }
+    if (!codes.deserialize_from(r)) return false;
+    base = b;
+    quantum = q;
+    return true;
+  }
+};
+
+/// Dictionary-encoded id column: sorted unique values stored once, per-row
+/// dictionary indexes FOR-packed. Lossless; equality predicates resolve the
+/// probe to a code once and compare codes without decoding.
+struct DictU64Column {
+  std::vector<std::uint64_t> dict;  // sorted, unique
+  PackedU64Column codes;            // indexes into dict
+
+  static DictU64Column encode(const std::uint64_t* v, std::uint32_t n) {
+    DictU64Column c;
+    c.codes.rows = n;
+    if (n == 0) return c;
+    c.dict.assign(v, v + n);
+    std::sort(c.dict.begin(), c.dict.end());
+    c.dict.erase(std::unique(c.dict.begin(), c.dict.end()), c.dict.end());
+    c.dict.shrink_to_fit();  // erase() keeps the n-entry staging capacity
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      idx[i] = static_cast<std::uint64_t>(
+          std::lower_bound(c.dict.begin(), c.dict.end(), v[i]) -
+          c.dict.begin());
+    }
+    c.codes = PackedU64Column::encode(idx.data(), n);
+    return c;
+  }
+
+  /// Dictionary index of `value`, or -1 if the block never saw it.
+  [[nodiscard]] std::int64_t code_of(std::uint64_t value) const {
+    auto it = std::lower_bound(dict.begin(), dict.end(), value);
+    if (it == dict.end() || *it != value) return -1;
+    return it - dict.begin();
+  }
+
+  [[nodiscard]] std::uint64_t at(std::uint32_t i) const {
+    return dict[codes.at(i)];
+  }
+
+  void decode_into(std::uint64_t* out) const {
+    if (codes.width == 0) {
+      std::fill(out, out + codes.rows,
+                dict.empty() ? 0 : dict[codes.base]);
+      return;
+    }
+    const std::uint64_t* d = dict.data();
+    std::uint64_t b = codes.base;
+    codes.dispatch_width([&](auto w) {
+      constexpr std::size_t kW = decltype(w)::value;
+      const std::uint8_t* p = codes.data.data();
+      for (std::uint32_t i = 0; i < codes.rows; ++i) {
+        out[i] = d[b + load_code<kW>(p + static_cast<std::size_t>(i) * kW)];
+      }
+      return 0;
+    });
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return dict.capacity() * sizeof(std::uint64_t) + codes.resident_bytes();
+  }
+
+  void serialize_to(BinaryWriter& w) const {
+    w.write_u32(static_cast<std::uint32_t>(dict.size()));
+    for (std::uint64_t v : dict) w.write_u64(v);
+    codes.serialize_to(w);
+  }
+
+  [[nodiscard]] bool deserialize_from(BinaryReader& r) {
+    std::uint32_t n = r.read_u32();
+    if (r.failed() || static_cast<std::uint64_t>(n) * 8 > r.remaining()) {
+      (void)r.read_bytes(r.remaining() + 1);
+      return false;
+    }
+    std::vector<std::uint64_t> d;
+    d.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) d.push_back(r.read_u64());
+    PackedU64Column c;
+    if (!c.deserialize_from(r)) return false;
+    // Every code must index the dictionary, or decode would read OOB.
+    if (c.rows > 0 && (n == 0 || c.base + c.max_code() >= n)) {
+      (void)r.read_bytes(r.remaining() + 1);
+      return false;
+    }
+    dict = std::move(d);
+    codes = std::move(c);
+    return true;
+  }
+};
+
+}  // namespace stcn

@@ -19,10 +19,19 @@
 // Aggregation kernels consume selection vectors directly: heatmap cells
 // accumulate into a dense per-cell array (one multiply-free index
 // computation + increment per row) instead of a per-row ordered-map insert.
+// Decode-fused variants (suffix `_decode`) run the same compaction idiom
+// directly over cold-tier FOR/quantized code arrays (common/codec.h): one
+// pass decodes a morsel's column into caller-provided scratch *and* tests
+// the predicate, so a cold block is never materialized wholesale before
+// filtering. Their `refine_*_decode` counterparts gather-decode only the
+// survivors of an earlier predicate. All fused kernels work in block-local
+// row ids [0, n); callers translate to global ids with offset_sel once at
+// the end.
 #pragma once
 
 #include <cstdint>
 
+#include "common/codec.h"
 #include "common/geometry.h"
 
 namespace stcn {
@@ -154,20 +163,201 @@ inline std::uint32_t refine_camera(const std::uint64_t* cameras,
   return m;
 }
 
+// ------------------------------------------------- decode-fused kernels
+
+/// Adds `base` to the first `n` selection entries — translates block-local
+/// row ids from the fused kernels into global row ids.
+inline void offset_sel(std::uint32_t* sel, std::uint32_t n,
+                       std::uint32_t base) {
+  for (std::uint32_t i = 0; i < n; ++i) sel[i] += base;
+}
+
+/// Decode+filter fused over a FOR-packed time column: decodes all `n` rows
+/// into `times` and emits local ids of rows in [t0, t1).
+template <std::size_t W>
+inline std::uint32_t filter_time_decode(const std::uint8_t* codes,
+                                        std::int64_t base, std::uint32_t n,
+                                        std::int64_t t0, std::int64_t t1,
+                                        std::int64_t* times,
+                                        std::uint32_t* sel) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::int64_t t =
+        base + static_cast<std::int64_t>(
+                   load_code<W>(codes + static_cast<std::size_t>(i) * W));
+    times[i] = t;
+    sel[m] = i;
+    m += static_cast<std::uint32_t>(t >= t0) &
+         static_cast<std::uint32_t>(t < t1);
+  }
+  return m;
+}
+
+/// Gather-decode refinement on a FOR-packed time column: compacts `sel`
+/// (local ids) to rows whose decoded time lies in [t0, t1).
+template <std::size_t W>
+inline std::uint32_t refine_time_decode(const std::uint8_t* codes,
+                                        std::int64_t base, std::int64_t t0,
+                                        std::int64_t t1, std::uint32_t* sel,
+                                        std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    std::int64_t t =
+        base + static_cast<std::int64_t>(
+                   load_code<W>(codes + static_cast<std::size_t>(row) * W));
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(t >= t0) &
+         static_cast<std::uint32_t>(t < t1);
+  }
+  return m;
+}
+
+/// Decode+filter fused over a pair of FOR-quantized position columns:
+/// decodes x/y for all rows and emits local ids inside `region`. The
+/// predicate reads the *decoded* doubles, so results agree bit-for-bit
+/// with any later pass over the same scratch.
+template <std::size_t WX, std::size_t WY>
+inline std::uint32_t filter_rect_decode(const std::uint8_t* xc, double xbase,
+                                        double xq, const std::uint8_t* yc,
+                                        double ybase, double yq,
+                                        std::uint32_t n, const Rect& region,
+                                        double* xs, double* ys,
+                                        std::uint32_t* sel) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double x = xbase + xq * static_cast<double>(load_code<WX>(
+                                xc + static_cast<std::size_t>(i) * WX));
+    double y = ybase + yq * static_cast<double>(load_code<WY>(
+                                yc + static_cast<std::size_t>(i) * WY));
+    xs[i] = x;
+    ys[i] = y;
+    sel[m] = i;
+    m += static_cast<std::uint32_t>(x >= region.min.x) &
+         static_cast<std::uint32_t>(x < region.max.x) &
+         static_cast<std::uint32_t>(y >= region.min.y) &
+         static_cast<std::uint32_t>(y < region.max.y);
+  }
+  return m;
+}
+
+template <std::size_t WX, std::size_t WY>
+inline std::uint32_t refine_rect_decode(const std::uint8_t* xc, double xbase,
+                                        double xq, const std::uint8_t* yc,
+                                        double ybase, double yq,
+                                        const Rect& region, std::uint32_t* sel,
+                                        std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    double x = xbase + xq * static_cast<double>(load_code<WX>(
+                                xc + static_cast<std::size_t>(row) * WX));
+    double y = ybase + yq * static_cast<double>(load_code<WY>(
+                                yc + static_cast<std::size_t>(row) * WY));
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(x >= region.min.x) &
+         static_cast<std::uint32_t>(x < region.max.x) &
+         static_cast<std::uint32_t>(y >= region.min.y) &
+         static_cast<std::uint32_t>(y < region.max.y);
+  }
+  return m;
+}
+
+template <std::size_t WX, std::size_t WY>
+inline std::uint32_t filter_circle_decode(const std::uint8_t* xc,
+                                          double xbase, double xq,
+                                          const std::uint8_t* yc,
+                                          double ybase, double yq,
+                                          std::uint32_t n, Point center,
+                                          double radius, double* xs,
+                                          double* ys, std::uint32_t* sel) {
+  double r2 = radius * radius;
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double x = xbase + xq * static_cast<double>(load_code<WX>(
+                                xc + static_cast<std::size_t>(i) * WX));
+    double y = ybase + yq * static_cast<double>(load_code<WY>(
+                                yc + static_cast<std::size_t>(i) * WY));
+    xs[i] = x;
+    ys[i] = y;
+    double dx = x - center.x;
+    double dy = y - center.y;
+    sel[m] = i;
+    m += static_cast<std::uint32_t>(dx * dx + dy * dy <= r2);
+  }
+  return m;
+}
+
+template <std::size_t WX, std::size_t WY>
+inline std::uint32_t refine_circle_decode(const std::uint8_t* xc,
+                                          double xbase, double xq,
+                                          const std::uint8_t* yc,
+                                          double ybase, double yq,
+                                          Point center, double radius,
+                                          std::uint32_t* sel,
+                                          std::uint32_t n) {
+  double r2 = radius * radius;
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    double x = xbase + xq * static_cast<double>(load_code<WX>(
+                                xc + static_cast<std::size_t>(row) * WX));
+    double y = ybase + yq * static_cast<double>(load_code<WY>(
+                                yc + static_cast<std::size_t>(row) * WY));
+    double dx = x - center.x;
+    double dy = y - center.y;
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(dx * dx + dy * dy <= r2);
+  }
+  return m;
+}
+
+/// Equality filter straight in dictionary-code space (no decode at all):
+/// emits local ids of rows whose packed code equals `target`. Exact for
+/// dictionary columns, since the value↔code mapping is a bijection.
+template <std::size_t W>
+inline std::uint32_t filter_code_eq(const std::uint8_t* codes,
+                                    std::uint64_t target, std::uint32_t n,
+                                    std::uint32_t* sel) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sel[m] = i;
+    m += static_cast<std::uint32_t>(
+        load_code<W>(codes + static_cast<std::size_t>(i) * W) == target);
+  }
+  return m;
+}
+
+template <std::size_t W>
+inline std::uint32_t refine_code_eq(const std::uint8_t* codes,
+                                    std::uint64_t target, std::uint32_t* sel,
+                                    std::uint32_t n) {
+  std::uint32_t m = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t row = sel[i];
+    sel[m] = row;
+    m += static_cast<std::uint32_t>(
+        load_code<W>(codes + static_cast<std::size_t>(row) * W) == target);
+  }
+  return m;
+}
+
 // ---------------------------------------------------------- aggregation
 
 /// Accumulates heatmap cell counts for the selected rows into the dense
-/// `cells` array (size cols × rows of the heatmap grid). Positions are
-/// guaranteed inside the heatmap region by the preceding filter, so the
-/// cell computation needs no clamping. Divides by `cell` (rather than
-/// multiplying by a precomputed reciprocal) so cell assignment is
-/// bit-identical to the scalar Query::heatmap_cell.
+/// `cells` array (size cols × rows of the heatmap grid). `xs`/`ys` are
+/// block-local column views whose element 0 is global row `base`; `sel`
+/// holds global row ids. Positions are guaranteed inside the heatmap
+/// region by the preceding filter, so the cell computation needs no
+/// clamping. Divides by `cell` (rather than multiplying by a precomputed
+/// reciprocal) so cell assignment is bit-identical to the scalar
+/// Query::heatmap_cell.
 inline void heatmap_accumulate(const double* xs, const double* ys,
-                               const std::uint32_t* sel, std::uint32_t n,
-                               Point origin, double cell, std::uint64_t cols,
-                               std::uint64_t* cells) {
+                               std::uint32_t base, const std::uint32_t* sel,
+                               std::uint32_t n, Point origin, double cell,
+                               std::uint64_t cols, std::uint64_t* cells) {
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint32_t row = sel[i];
+    std::uint32_t row = sel[i] - base;
     auto cx = static_cast<std::uint64_t>((xs[row] - origin.x) / cell);
     auto cy = static_cast<std::uint64_t>((ys[row] - origin.y) / cell);
     ++cells[cy * cols + cx];

@@ -419,6 +419,18 @@ void Coordinator::on_response(const QueryResponse& response,
       s.note("vectorized_morsels",
              std::to_string(response.vectorized_morsels));
     }
+    // Per-tier split: only emitted when the scan touched the cold tier at
+    // all, so hot-only deployments keep their EXPLAIN output unchanged.
+    if (response.cold_blocks_scanned != 0 ||
+        response.cold_blocks_skipped != 0) {
+      s.note("cold_blocks_scanned",
+             std::to_string(response.cold_blocks_scanned));
+      s.note("cold_blocks_skipped",
+             std::to_string(response.cold_blocks_skipped));
+    }
+    if (response.decode_morsels != 0) {
+      s.note("decode_morsels", std::to_string(response.decode_morsels));
+    }
     if (frag->second.covers != 0) s.note("hedge", "true");
     profiler_->close_stage(stage, now);
   }

@@ -47,6 +47,9 @@ Cluster::Cluster(Rect world, std::unique_ptr<PartitionStrategy> strategy,
   worker_config.replay_log_max_bytes = config_.replay_log_max_bytes;
   worker_config.resync_retry_timeout = config_.resync_retry_timeout;
   worker_config.resync_max_attempts = config_.resync_max_attempts;
+  worker_config.tiered_storage = config_.tiered_storage;
+  worker_config.hot_sealed_blocks = config_.hot_sealed_blocks;
+  worker_config.demote_after = config_.demote_after;
   for (WorkerId w : worker_ids_) {
     auto worker = std::make_unique<WorkerNode>(
         w, NodeId(kCoordinatorNode), worker_config);

@@ -91,6 +91,16 @@ struct ClusterConfig {
   TracerConfig tracer;
   /// Continuous cluster health monitoring (see ClusterHealthConfig).
   ClusterHealthConfig health;
+  /// Tiered detection storage on every worker: sealed blocks past the hot
+  /// window are compressed in place (see StoreTierConfig in
+  /// index/detection_store.h).
+  bool tiered_storage = false;
+  /// Sealed blocks kept hot (uncompressed) per partition when tiering is on.
+  std::uint32_t hot_sealed_blocks = 2;
+  /// Age-triggered demotion: blocks whose newest detection is older than
+  /// this are compressed on the next monitor tick. Duration::max() leaves
+  /// demotion purely fill-triggered.
+  Duration demote_after = Duration::max();
 };
 
 /// Dedicated node that drives the health-sampling pipeline (monitor, SLO

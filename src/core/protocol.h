@@ -157,6 +157,11 @@ struct QueryResponse {
   std::uint64_t rows_evaluated = 0;
   std::uint64_t rows_selected = 0;
   std::uint64_t vectorized_morsels = 0;
+  /// Cold-tier stats: blocks scanned/skipped that were compressed, and
+  /// cold morsels that ran decode-fused kernels (0 ⇒ scan was all-hot).
+  std::uint64_t cold_blocks_scanned = 0;
+  std::uint64_t cold_blocks_skipped = 0;
+  std::uint64_t decode_morsels = 0;
 };
 
 inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
@@ -171,6 +176,9 @@ inline std::vector<std::uint8_t> encode(const QueryResponse& resp) {
   w.write_u64(resp.rows_evaluated);
   w.write_u64(resp.rows_selected);
   w.write_u64(resp.vectorized_morsels);
+  w.write_u64(resp.cold_blocks_scanned);
+  w.write_u64(resp.cold_blocks_skipped);
+  w.write_u64(resp.decode_morsels);
   return w.take();
 }
 
@@ -186,6 +194,9 @@ inline QueryResponse decode_query_response(BinaryReader& r) {
   resp.rows_evaluated = r.read_u64();
   resp.rows_selected = r.read_u64();
   resp.vectorized_morsels = r.read_u64();
+  resp.cold_blocks_scanned = r.read_u64();
+  resp.cold_blocks_skipped = r.read_u64();
+  resp.decode_morsels = r.read_u64();
   return resp;
 }
 

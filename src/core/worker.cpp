@@ -26,6 +26,10 @@ WorkerIndexes& WorkerNode::partition(PartitionId p) {
     it = partitions_
              .emplace(p, std::make_unique<WorkerIndexes>(config_.grid))
              .first;
+    if (config_.tiered_storage) {
+      it->second->store.set_tier_config(
+          {true, config_.hot_sealed_blocks});
+    }
   }
   return *it->second;
 }
@@ -105,15 +109,34 @@ void WorkerNode::handle_timer(std::uint64_t timer_token, SimNetwork& network) {
   monitors_.advance_to(network.now(), pending_deltas_);
   flush_deltas(network);
 
-  // Exact columnar footprint (capacity-based columns + arena + zones),
-  // refreshed per tick for dashboards and load accounting.
+  // Age-triggered demotion runs before the footprint refresh so the
+  // gauges below already reflect blocks that just moved cold.
+  if (config_.tiered_storage && config_.demote_after != Duration::max()) {
+    TimePoint cutoff = network.now() - config_.demote_after;
+    for (auto& [p, indexes] : partitions_) {
+      (void)indexes->store.demote_older_than(cutoff);
+    }
+  }
+
+  // Exact columnar footprint (capacity-based columns + arena + zones +
+  // compressed cold blocks), refreshed per tick for dashboards and load
+  // accounting, split by tier.
   double resident = 0;
+  double hot = 0, compressed = 0, cold_blocks = 0;
   for (const auto& [p, indexes] : partitions_) {
-    std::size_t bytes = indexes->store.memory_bytes();
+    DetectionStore::MemoryBreakdown mb = indexes->store.memory_breakdown();
+    std::size_t bytes = mb.total();
     resident += static_cast<double>(bytes);
+    hot += static_cast<double>(mb.hot_bytes());
+    compressed += static_cast<double>(indexes->store.compressed_bytes());
+    cold_blocks += static_cast<double>(indexes->store.cold_block_count());
     heat_.set_memory(p, bytes);
   }
   store_memory_bytes_.set(resident);
+  store_hot_bytes_.set(hot);
+  store_compressed_bytes_.set(compressed);
+  store_cold_blocks_.set(cold_blocks);
+  store_scratch_bytes_.set(static_cast<double>(cold_scratch_bytes()));
   heat_.sample(network.now());
   heat_partitions_tracked_.set(
       static_cast<double>(heat_.partition_count()));
@@ -307,9 +330,15 @@ void WorkerNode::on_query(const QueryRequest& request, NodeId reply_to,
   response.rows_evaluated = scan_stats.rows_evaluated;
   response.rows_selected = scan_stats.rows_selected;
   response.vectorized_morsels = scan_stats.vectorized_morsels;
+  response.cold_blocks_scanned = scan_stats.cold_blocks_scanned;
+  response.cold_blocks_skipped = scan_stats.cold_blocks_skipped;
+  response.decode_morsels = scan_stats.decode_morsels;
   store_blocks_scanned_.add(scan_stats.blocks_scanned);
   store_blocks_skipped_.add(scan_stats.blocks_skipped);
   vectorized_morsels_.add(scan_stats.vectorized_morsels);
+  store_cold_blocks_scanned_.add(scan_stats.cold_blocks_scanned);
+  store_cold_blocks_skipped_.add(scan_stats.cold_blocks_skipped);
+  store_decode_morsels_.add(scan_stats.decode_morsels);
   TraceContext sspan;
   if (qspan.valid()) {
     sspan = tracer_->start_span("worker.serialize", qspan,
@@ -550,8 +579,12 @@ bool WorkerNode::install_snapshot(PartitionId p) {
   WorkerIndexes& indexes = partition(p);
   auto& seen = ingested_ids_[p];
   if (indexes.store.empty()) {
-    // Bulk path: adopt the decoded columns wholesale and index from them.
+    // Bulk path: adopt the decoded columns wholesale (cold blocks stay
+    // compressed) and index from them. The move clobbers the partition's
+    // tier config, so reapply it for subsequent demotion.
+    StoreTierConfig tier = indexes.store.tier_config();
     indexes.store = std::move(decoded);
+    indexes.store.set_tier_config(tier);
     for (std::size_t i = 0; i < indexes.store.size(); ++i) {
       auto ref = static_cast<DetectionRef>(i);
       indexes.grid.insert(indexes.store, ref);

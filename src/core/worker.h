@@ -45,6 +45,16 @@ struct WorkerConfig {
   /// Detections older than this are evicted by periodic compaction.
   /// Duration::max() (the default) disables retention entirely.
   Duration retention = Duration::max();
+  /// Tiered storage: when enabled, sealed 4096-row detection blocks past
+  /// the hot watermark are demoted into compressed cold blocks
+  /// (index/compressed_block.h) that remain scannable in place.
+  bool tiered_storage = false;
+  /// Full hot blocks each partition retains before fill-triggered demotion.
+  std::uint32_t hot_sealed_blocks = 2;
+  /// Age-triggered demotion: on each monitor tick, sealed blocks whose
+  /// newest row is older than this are demoted even below the hot
+  /// watermark. Duration::max() (the default) disables the age trigger.
+  Duration demote_after = Duration::max();
   /// Compaction runs every this-many monitor ticks (when retention is on).
   std::uint32_t compaction_every_ticks = 30;
   /// Emit a liveness heartbeat to the coordinator on every monitor tick.
@@ -98,6 +108,15 @@ class WorkerNode final : public NetworkNode {
         vectorized_morsels_(metrics_.counter(
             "vectorized_morsels",
             "4096-row morsels run through vectorized filter kernels")),
+        store_cold_blocks_scanned_(metrics_.counter(
+            "store_cold_blocks_scanned",
+            "Compressed cold blocks whose rows were examined")),
+        store_cold_blocks_skipped_(metrics_.counter(
+            "store_cold_blocks_skipped",
+            "Compressed cold blocks skipped wholesale by zone maps")),
+        store_decode_morsels_(metrics_.counter(
+            "store.decode_morsels",
+            "Cold morsels evaluated through decode-fused filter kernels")),
         snapshots_taken_(metrics_.counter(
             "snapshots_taken", "Partition snapshots written to the vault")),
         snapshots_installed_(metrics_.counter(
@@ -122,6 +141,18 @@ class WorkerNode final : public NetworkNode {
             "Partitions whose recovery exchange exhausted its retries")),
         store_memory_bytes_(metrics_.gauge(
             "store_memory_bytes", "Resident bytes in the detection store")),
+        store_hot_bytes_(metrics_.gauge(
+            "store_hot_bytes",
+            "Resident bytes in hot (uncompressed) detection columns")),
+        store_cold_blocks_(metrics_.gauge(
+            "store.cold_blocks",
+            "Compressed cold blocks held across partitions")),
+        store_compressed_bytes_(metrics_.gauge(
+            "store.compressed_bytes",
+            "Resident bytes in compressed cold blocks")),
+        store_scratch_bytes_(metrics_.gauge(
+            "store_scratch_bytes",
+            "Process-wide thread-local cold decode scratch bytes")),
         snapshot_bytes_(metrics_.gauge(
             "snapshot_bytes", "Bytes held in vault snapshots")),
         replay_log_bytes_(metrics_.gauge(
@@ -340,6 +371,9 @@ class WorkerNode final : public NetworkNode {
   Counter& store_blocks_skipped_;
   /// 4096-row morsels this worker pushed through the vectorized scan path.
   Counter& vectorized_morsels_;
+  Counter& store_cold_blocks_scanned_;
+  Counter& store_cold_blocks_skipped_;
+  Counter& store_decode_morsels_;
   Counter& snapshots_taken_;
   Counter& snapshots_installed_;
   Counter& snapshot_rows_installed_;
@@ -349,6 +383,10 @@ class WorkerNode final : public NetworkNode {
   Counter& resync_retries_;
   Counter& recovery_failed_;
   Gauge& store_memory_bytes_;
+  Gauge& store_hot_bytes_;
+  Gauge& store_cold_blocks_;
+  Gauge& store_compressed_bytes_;
+  Gauge& store_scratch_bytes_;
   Gauge& snapshot_bytes_;
   Gauge& replay_log_bytes_;
   Gauge& heat_partitions_tracked_;

@@ -1,22 +1,37 @@
-// Columnar, block-structured arena for detections held by a worker.
+// Tiered columnar, block-structured arena for detections held by a worker.
 //
 // Indexes (grid, trajectory, temporal) reference detections by a compact
 // 32-bit handle into this store instead of duplicating the full record —
 // a detection can appear in several indexes at once.
 //
-// Layout: hot columns (time, x, y, camera, confidence, ids) live in
-// contiguous per-column arrays; appearance embeddings live in one flattened
-// float arena addressed by cumulative offsets, so nothing on the scan path
-// chases a per-record heap pointer. Rows are chunked into fixed-size blocks
-// (kDetectionBlockRows), each carrying a zone map — time min/max, position
-// bounding rect, camera-id min/max plus a 64-bit camera fingerprint — so
-// selective scans skip whole blocks without touching a row (the
-// small-materialized-aggregates / data-skipping design from the analytics
-// literature). Skip effectiveness is observable via blocks_scanned() /
-// blocks_skipped().
+// Layout: rows are chunked into fixed-size blocks (kDetectionBlockRows) and
+// live in one of two tiers.
+//
+//   · Hot tier: the newest rows, in contiguous per-column arrays (time, x,
+//     y, camera, confidence, ids) plus one flattened float embedding arena
+//     addressed by cumulative offsets — nothing on the scan path chases a
+//     per-record heap pointer.
+//   · Cold tier: sealed blocks demoted (by fill or age, see
+//     StoreTierConfig) into CompressedBlocks — FOR-packed time/ids,
+//     dictionary cameras/objects, FOR-quantized positions/confidences, and
+//     an int8-quantized embedding arena (index/compressed_block.h). Cold
+//     blocks form a strict prefix of the row space: rows [0, hot_base_) are
+//     cold, [hot_base_, size()) are hot, and hot_base_ is always a multiple
+//     of kDetectionBlockRows, so DetectionRefs stay stable across demotion.
+//
+// Every block — hot or cold — carries an uncompressed zone map (time
+// min/max, position bounding rect, camera-id min/max plus a 64-bit camera
+// fingerprint), so selective scans skip whole blocks without touching a
+// row. Cold-block zones are recomputed from *decoded* (quantized) values at
+// demotion, so zone fast paths, fused kernels, scalar scans, and per-row
+// accessors all agree exactly on what a cold row contains. Cold scans never
+// materialize a block into the store: the decode-fused kernels evaluate
+// predicates straight off the packed codes into a per-thread ColdScratch
+// (counted in MemoryBreakdown::scratch_bytes, process-wide).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <limits>
@@ -26,8 +41,10 @@
 
 #include "common/filter_kernel.h"
 #include "common/geometry.h"
+#include "common/serialize.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "index/compressed_block.h"
 #include "trace/detection.h"
 
 namespace stcn {
@@ -130,6 +147,178 @@ struct DetectionBlockZone {
   }
 };
 
+// ------------------------------------------------- cold decode scratch
+
+/// Process-wide resident bytes held by per-thread cold-decode scratches.
+/// Informational (surfaced via MemoryBreakdown::scratch_bytes and the
+/// store_scratch_bytes gauge); deliberately excluded from any per-store
+/// total, since the scratch is shared across every store on the thread.
+[[nodiscard]] inline std::atomic<std::size_t>& cold_scratch_bytes_counter() {
+  static std::atomic<std::size_t> bytes{0};
+  return bytes;
+}
+[[nodiscard]] inline std::size_t cold_scratch_bytes() {
+  return cold_scratch_bytes_counter().load(std::memory_order_relaxed);
+}
+
+/// Per-thread decode buffers for one cold block at a time, tagged by the
+/// block's process-unique uid (block content is immutable after encode, so
+/// a matching tag proves the cached decode is current — copies of a block
+/// share content and may share the cache). The embedding arena has its own
+/// tag: scans churn through many blocks' scalar columns while re-id keeps
+/// returning to one block's embeddings, and one tag for both would thrash.
+struct ColdScratch {
+  static constexpr std::uint32_t kTime = 1u << 0;
+  static constexpr std::uint32_t kPos = 1u << 1;
+  static constexpr std::uint32_t kCamera = 1u << 2;
+  static constexpr std::uint32_t kObject = 1u << 3;
+  static constexpr std::uint32_t kId = 1u << 4;
+  static constexpr std::uint32_t kConf = 1u << 5;
+
+  std::uint64_t block_uid = 0;  // 0 = nothing cached
+  std::uint32_t valid = 0;      // bitmask of decoded columns
+  std::int64_t times[kDetectionBlockRows];
+  double xs[kDetectionBlockRows];
+  double ys[kDetectionBlockRows];
+  std::uint64_t cameras[kDetectionBlockRows];
+  std::uint64_t objects[kDetectionBlockRows];
+  std::uint64_t ids[kDetectionBlockRows];
+  double confidences[kDetectionBlockRows];
+
+  std::uint64_t emb_uid = 0;
+  std::vector<float> emb;
+
+  ColdScratch() {
+    cold_scratch_bytes_counter().fetch_add(sizeof(ColdScratch),
+                                           std::memory_order_relaxed);
+  }
+  ~ColdScratch() {
+    cold_scratch_bytes_counter().fetch_sub(
+        sizeof(ColdScratch) + emb.capacity() * sizeof(float),
+        std::memory_order_relaxed);
+  }
+  ColdScratch(const ColdScratch&) = delete;
+  ColdScratch& operator=(const ColdScratch&) = delete;
+
+  /// Retargets the scalar-column cache at block `uid` (no-op if cached).
+  void ensure(std::uint64_t uid) {
+    if (block_uid != uid) {
+      block_uid = uid;
+      valid = 0;
+    }
+  }
+
+  void grow_emb(std::size_t n) {
+    std::size_t before = emb.capacity();
+    if (emb.size() < n) emb.resize(n);
+    if (emb.capacity() > before) {
+      cold_scratch_bytes_counter().fetch_add(
+          (emb.capacity() - before) * sizeof(float),
+          std::memory_order_relaxed);
+    }
+  }
+};
+
+[[nodiscard]] inline ColdScratch& cold_scratch() {
+  thread_local ColdScratch scratch;
+  return scratch;
+}
+
+// Column-at-a-time decode helpers: return this thread's scratch view of one
+// cold block's column, decoding only on a cache miss. Pointers stay valid
+// until the calling thread touches a *different* cold block.
+
+[[nodiscard]] inline const std::int64_t* cold_times(const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kTime)) {
+    b.decode_times(sc.times);
+    sc.valid |= ColdScratch::kTime;
+  }
+  return sc.times;
+}
+
+/// Decodes both position columns (they are filtered together).
+inline void cold_positions(const CompressedBlock& b, const double*& xs,
+                           const double*& ys) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kPos)) {
+    b.decode_xs(sc.xs);
+    b.decode_ys(sc.ys);
+    sc.valid |= ColdScratch::kPos;
+  }
+  xs = sc.xs;
+  ys = sc.ys;
+}
+
+[[nodiscard]] inline const std::uint64_t* cold_cameras(
+    const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kCamera)) {
+    b.decode_cameras(sc.cameras);
+    sc.valid |= ColdScratch::kCamera;
+  }
+  return sc.cameras;
+}
+
+[[nodiscard]] inline const std::uint64_t* cold_objects(
+    const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kObject)) {
+    b.decode_objects(sc.objects);
+    sc.valid |= ColdScratch::kObject;
+  }
+  return sc.objects;
+}
+
+[[nodiscard]] inline const std::uint64_t* cold_ids(const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kId)) {
+    b.decode_ids(sc.ids);
+    sc.valid |= ColdScratch::kId;
+  }
+  return sc.ids;
+}
+
+[[nodiscard]] inline const double* cold_confidences(const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  sc.ensure(b.uid);
+  if (!(sc.valid & ColdScratch::kConf)) {
+    b.decode_confidences(sc.confidences);
+    sc.valid |= ColdScratch::kConf;
+  }
+  return sc.confidences;
+}
+
+/// Decodes the whole embedding arena of `b` into this thread's scratch and
+/// returns its base pointer (row i's floats at b.emb_begin(i)). Valid until
+/// the calling thread decodes a different cold block's embeddings.
+[[nodiscard]] inline const float* cold_embeddings(const CompressedBlock& b) {
+  ColdScratch& sc = cold_scratch();
+  if (sc.emb_uid != b.uid) {
+    sc.grow_emb(b.emb_codes.size());
+    for (std::uint32_t i = 0; i < b.rows; ++i) {
+      b.decode_embedding(i, sc.emb.data() + b.emb_begin(i));
+    }
+    sc.emb_uid = b.uid;
+  }
+  return sc.emb.data();
+}
+
+/// Demotion policy for the cold tier. Disabled by default: every store
+/// starts hot-only, and enabling the tier is an explicit configuration act
+/// (WorkerConfig::tiered_storage upstream).
+struct StoreTierConfig {
+  bool enabled = false;
+  /// Full (sealed) hot blocks to retain before the oldest is demoted; the
+  /// partially-filled tail block is never demoted by fill.
+  std::uint32_t hot_sealed_blocks = 1;
+};
+
 /// Accounting for the vectorized (selection-vector) scan path. Unlike the
 /// store's cumulative blocks_scanned()/blocks_skipped() counters, a
 /// MorselStats is plain caller-owned state, so block-granular scans are
@@ -146,6 +335,12 @@ struct MorselStats {
   std::uint64_t zone_fast_path = 0;
   std::uint64_t blocks_scanned = 0;
   std::uint64_t blocks_skipped = 0;
+  /// Cold-tier slices of blocks_scanned/blocks_skipped (hot = total − cold).
+  std::uint64_t cold_blocks_scanned = 0;
+  std::uint64_t cold_blocks_skipped = 0;
+  /// Cold morsels that ran decode-fused kernels (zone fast paths decode
+  /// nothing and are excluded).
+  std::uint64_t decode_morsels = 0;
 
   void merge(const MorselStats& o) {
     rows_evaluated += o.rows_evaluated;
@@ -154,26 +349,73 @@ struct MorselStats {
     zone_fast_path += o.zone_fast_path;
     blocks_scanned += o.blocks_scanned;
     blocks_skipped += o.blocks_skipped;
+    cold_blocks_scanned += o.cold_blocks_scanned;
+    cold_blocks_skipped += o.cold_blocks_skipped;
+    decode_morsels += o.decode_morsels;
   }
 };
 
 class DetectionStore {
  public:
   /// Exact resident-byte accounting, split by component. All figures are
-  /// capacity-based (what the allocator actually holds, not just live rows).
+  /// capacity-based (what the allocator actually holds, not just live
+  /// rows). `scratch_bytes` reports the process-wide per-thread decode
+  /// scratches; it is informational and excluded from total(), which stays
+  /// the sum of bytes this store itself owns.
   struct MemoryBreakdown {
-    std::size_t column_bytes = 0;  // hot columns + embedding offsets
-    std::size_t arena_bytes = 0;   // flattened embedding floats
-    std::size_t zone_bytes = 0;    // per-block zone maps
+    std::size_t column_bytes = 0;   // hot columns + embedding offsets
+    std::size_t arena_bytes = 0;    // hot flattened embedding floats
+    std::size_t zone_bytes = 0;     // per-block zone maps (both tiers)
+    std::size_t cold_bytes = 0;     // compressed cold blocks
+    std::size_t scratch_bytes = 0;  // process-wide decode scratch (info)
+    [[nodiscard]] std::size_t hot_bytes() const {
+      return column_bytes + arena_bytes;
+    }
     [[nodiscard]] std::size_t total() const {
-      return column_bytes + arena_bytes + zone_bytes;
+      return column_bytes + arena_bytes + zone_bytes + cold_bytes;
     }
   };
 
-  /// Appends a detection; the returned handle is stable forever.
+  // ------------------------------------------------------------ tiering
+
+  void set_tier_config(const StoreTierConfig& config) {
+    tier_ = config;
+    maybe_demote();
+  }
+  [[nodiscard]] const StoreTierConfig& tier_config() const { return tier_; }
+
+  [[nodiscard]] std::size_t cold_block_count() const { return cold_.size(); }
+  /// Rows living in the cold tier (== the hot tier's base row).
+  [[nodiscard]] std::size_t cold_rows() const { return hot_base_; }
+  /// Resident bytes of all compressed cold blocks.
+  [[nodiscard]] std::size_t compressed_bytes() const {
+    std::size_t total = 0;
+    for (const CompressedBlock& b : cold_) total += b.compressed_bytes();
+    return total;
+  }
+
+  /// Demotes sealed hot blocks whose newest row is older than `cutoff`
+  /// (age-triggered demotion, driven by the worker tick). Returns how many
+  /// blocks moved cold. No-op while the tier is disabled.
+  std::size_t demote_older_than(TimePoint cutoff) {
+    if (!tier_.enabled) return 0;
+    std::size_t demoted = 0;
+    while (ids_.size() >= kDetectionBlockRows) {
+      const DetectionBlockZone& z = zones_[cold_.size()];
+      if (z.t_max >= cutoff.micros_since_origin()) break;
+      demote_front_block();
+      ++demoted;
+    }
+    return demoted;
+  }
+
+  // ------------------------------------------------------------ appends
+
+  /// Appends a detection; the returned handle is stable forever (demotion
+  /// never renumbers rows — cold blocks are a prefix of the row space).
   DetectionRef append(const Detection& d) {
-    STCN_CHECK(ids_.size() < UINT32_MAX);
-    auto row = static_cast<std::uint32_t>(ids_.size());
+    STCN_CHECK(size() < UINT32_MAX);
+    auto row = static_cast<std::uint32_t>(size());
     ids_.push_back(d.id.value());
     cameras_.push_back(d.camera.value());
     objects_.push_back(d.object.value());
@@ -185,125 +427,244 @@ class DetectionStore {
                   d.appearance.values.end());
     emb_offsets_.push_back(arena_.size());
     grow_zone(row);
+    if (tier_.enabled && ids_.size() % kDetectionBlockRows == 0) {
+      maybe_demote();
+    }
     return static_cast<DetectionRef>(row);
   }
 
   /// Appends a copy of `src`'s row `ref` without materializing a Detection
-  /// (no per-record heap allocation; used by retention compaction).
+  /// when the source row is hot (cold rows decode through get(); retention
+  /// compaction's bulk path adopts whole cold blocks instead).
   DetectionRef append_copy(const DetectionStore& src, DetectionRef ref) {
-    STCN_CHECK(ids_.size() < UINT32_MAX);
     std::uint32_t i = to_index(ref);
-    STCN_CHECK(i < src.ids_.size());
-    auto row = static_cast<std::uint32_t>(ids_.size());
-    ids_.push_back(src.ids_[i]);
-    cameras_.push_back(src.cameras_[i]);
-    objects_.push_back(src.objects_[i]);
-    times_.push_back(src.times_[i]);
-    xs_.push_back(src.xs_[i]);
-    ys_.push_back(src.ys_[i]);
-    confidences_.push_back(src.confidences_[i]);
+    STCN_CHECK(i < src.size());
+    if (i < src.hot_base_) return append(src.get(ref));
+    STCN_CHECK(size() < UINT32_MAX);
+    std::size_t h = i - src.hot_base_;
+    auto row = static_cast<std::uint32_t>(size());
+    ids_.push_back(src.ids_[h]);
+    cameras_.push_back(src.cameras_[h]);
+    objects_.push_back(src.objects_[h]);
+    times_.push_back(src.times_[h]);
+    xs_.push_back(src.xs_[h]);
+    ys_.push_back(src.ys_[h]);
+    confidences_.push_back(src.confidences_[h]);
     std::span<const float> emb = src.embedding(ref);
     arena_.insert(arena_.end(), emb.begin(), emb.end());
     emb_offsets_.push_back(arena_.size());
     grow_zone(row);
+    if (tier_.enabled && ids_.size() % kDetectionBlockRows == 0) {
+      maybe_demote();
+    }
     return static_cast<DetectionRef>(row);
   }
 
-  /// Appends rows [first, last) of `src` in one column-wise pass (retention
-  /// compaction's bulk path; last > first required). Returns the ref of the
-  /// first copied row; the rest follow contiguously. Destination zone maps
-  /// are recomputed tightly from the copied rows — source-block zone bounds
-  /// are never carried over, since a filtered or re-packed copy would
-  /// inherit stale-wide min/max and defeat block skipping after compaction.
+  /// Appends rows [first, last) of `src` (retention compaction's bulk
+  /// path; last > first required). Returns the ref of the first copied
+  /// row; the rest follow contiguously. Three regimes:
+  ///   · whole cold source blocks landing on a block boundary of an
+  ///     all-cold destination are adopted verbatim (no decode, no
+  ///     re-quantization drift — the common compaction case);
+  ///   · other cold rows copy row-at-a-time through append_copy;
+  ///   · the hot tail copies in one column-wise pass.
+  /// Destination zone maps are recomputed tightly from the copied rows
+  /// (adopted blocks carry their source zones, which are already exact for
+  /// their decoded values).
   DetectionRef append_rows(const DetectionStore& src, std::uint32_t first,
                            std::uint32_t last) {
-    STCN_CHECK(first < last && last <= src.ids_.size());
-    STCN_CHECK(ids_.size() + (last - first) < UINT32_MAX);
-    auto row0 = static_cast<std::uint32_t>(ids_.size());
-    ids_.insert(ids_.end(), src.ids_.begin() + first, src.ids_.begin() + last);
-    cameras_.insert(cameras_.end(), src.cameras_.begin() + first,
-                    src.cameras_.begin() + last);
-    objects_.insert(objects_.end(), src.objects_.begin() + first,
-                    src.objects_.begin() + last);
-    times_.insert(times_.end(), src.times_.begin() + first,
-                  src.times_.begin() + last);
-    xs_.insert(xs_.end(), src.xs_.begin() + first, src.xs_.begin() + last);
-    ys_.insert(ys_.end(), src.ys_.begin() + first, src.ys_.begin() + last);
-    confidences_.insert(confidences_.end(), src.confidences_.begin() + first,
-                        src.confidences_.begin() + last);
-    std::size_t emb_begin = first == 0 ? 0 : src.emb_offsets_[first - 1];
-    std::size_t rebase = arena_.size() - emb_begin;
-    arena_.insert(arena_.end(), src.arena_.begin() + emb_begin,
-                  src.arena_.begin() + src.emb_offsets_[last - 1]);
-    for (std::uint32_t i = first; i < last; ++i) {
-      emb_offsets_.push_back(src.emb_offsets_[i] + rebase);
+    STCN_CHECK(first < last && last <= src.size());
+    STCN_CHECK(size() + (last - first) < UINT32_MAX);
+    auto row0 = static_cast<std::uint32_t>(size());
+    std::uint32_t cur = first;
+    while (cur < last && cur < src.hot_base_) {
+      std::size_t b = cur / kDetectionBlockRows;
+      auto bend = static_cast<std::uint32_t>(
+          std::min<std::size_t>((b + 1) * kDetectionBlockRows, last));
+      bool whole_block = cur == b * kDetectionBlockRows &&
+                         bend == (b + 1) * kDetectionBlockRows;
+      if (whole_block && ids_.empty()) {
+        cold_.push_back(src.cold_[b]);
+        zones_.push_back(src.zones_[b]);
+        hot_base_ += kDetectionBlockRows;
+      } else {
+        for (std::uint32_t i = cur; i < bend; ++i) {
+          append_copy(src, static_cast<DetectionRef>(i));
+        }
+      }
+      cur = bend;
     }
-    for (std::uint32_t r = row0; r < row0 + (last - first); ++r) {
-      grow_zone(r);
+    if (cur < last) {
+      std::size_t sf = cur - src.hot_base_;
+      std::size_t sl = last - src.hot_base_;
+      auto r0 = static_cast<std::uint32_t>(size());
+      ids_.insert(ids_.end(), src.ids_.begin() + sf, src.ids_.begin() + sl);
+      cameras_.insert(cameras_.end(), src.cameras_.begin() + sf,
+                      src.cameras_.begin() + sl);
+      objects_.insert(objects_.end(), src.objects_.begin() + sf,
+                      src.objects_.begin() + sl);
+      times_.insert(times_.end(), src.times_.begin() + sf,
+                    src.times_.begin() + sl);
+      xs_.insert(xs_.end(), src.xs_.begin() + sf, src.xs_.begin() + sl);
+      ys_.insert(ys_.end(), src.ys_.begin() + sf, src.ys_.begin() + sl);
+      confidences_.insert(confidences_.end(), src.confidences_.begin() + sf,
+                          src.confidences_.begin() + sl);
+      std::size_t emb_begin = sf == 0 ? 0 : src.emb_offsets_[sf - 1];
+      std::size_t rebase = arena_.size() - emb_begin;
+      arena_.insert(arena_.end(), src.arena_.begin() + emb_begin,
+                    src.arena_.begin() + src.emb_offsets_[sl - 1]);
+      for (std::size_t i = sf; i < sl; ++i) {
+        emb_offsets_.push_back(src.emb_offsets_[i] + rebase);
+      }
+      auto copied = static_cast<std::uint32_t>(sl - sf);
+      for (std::uint32_t r = r0; r < r0 + copied; ++r) grow_zone(r);
     }
+    maybe_demote();
     return static_cast<DetectionRef>(row0);
   }
 
   // ----------------------------------------------------- column accessors
-  // The scan-path API: one contiguous-array load each, no record assembly.
+  // The hot-only scan-path API: one contiguous-array load each. Only valid
+  // while no rows are cold (benches and tests on hot-only stores); tiered
+  // scan paths go through block_columns() / the block scans below.
 
-  // Whole-column views for the vectorized filter kernels.
   [[nodiscard]] std::span<const std::int64_t> time_column() const {
+    STCN_CHECK(hot_base_ == 0);
     return times_;
   }
-  [[nodiscard]] std::span<const double> x_column() const { return xs_; }
-  [[nodiscard]] std::span<const double> y_column() const { return ys_; }
+  [[nodiscard]] std::span<const double> x_column() const {
+    STCN_CHECK(hot_base_ == 0);
+    return xs_;
+  }
+  [[nodiscard]] std::span<const double> y_column() const {
+    STCN_CHECK(hot_base_ == 0);
+    return ys_;
+  }
   [[nodiscard]] std::span<const std::uint64_t> camera_column() const {
+    STCN_CHECK(hot_base_ == 0);
     return cameras_;
   }
   [[nodiscard]] std::span<const std::uint64_t> object_column() const {
+    STCN_CHECK(hot_base_ == 0);
     return objects_;
   }
 
+  /// Per-block column views for consumers that aggregate over selection
+  /// vectors (count/heatmap). Rows of block `b` are addressed as
+  /// `view.xs[row - view.base]` with global row ids. Cold views point into
+  /// this thread's decode scratch and stay valid until the thread touches a
+  /// different cold block; hot views point into the store itself.
+  struct BlockColumnsView {
+    const std::int64_t* times;
+    const double* xs;
+    const double* ys;
+    const std::uint64_t* cameras;
+    std::uint32_t base;
+  };
+  [[nodiscard]] BlockColumnsView block_columns(std::size_t b) const {
+    auto first = static_cast<std::uint32_t>(b * kDetectionBlockRows);
+    if (b < cold_.size()) {
+      const CompressedBlock& cb = cold_[b];
+      BlockColumnsView v;
+      v.times = cold_times(cb);
+      cold_positions(cb, v.xs, v.ys);
+      v.cameras = cold_cameras(cb);
+      v.base = first;
+      return v;
+    }
+    std::size_t h = first - hot_base_;
+    return {times_.data() + h, xs_.data() + h, ys_.data() + h,
+            cameras_.data() + h, first};
+  }
+
   [[nodiscard]] TimePoint time_of(DetectionRef ref) const {
-    return TimePoint(times_[checked(ref)]);
+    std::uint32_t i = checked(ref);
+    if (i >= hot_base_) return TimePoint(times_[i - hot_base_]);
+    return TimePoint(
+        cold_times(cold_[i / kDetectionBlockRows])[i % kDetectionBlockRows]);
   }
   [[nodiscard]] Point position_of(DetectionRef ref) const {
     std::uint32_t i = checked(ref);
-    return {xs_[i], ys_[i]};
+    if (i >= hot_base_) {
+      std::size_t h = i - hot_base_;
+      return {xs_[h], ys_[h]};
+    }
+    const double* xs = nullptr;
+    const double* ys = nullptr;
+    cold_positions(cold_[i / kDetectionBlockRows], xs, ys);
+    std::uint32_t local = i % kDetectionBlockRows;
+    return {xs[local], ys[local]};
   }
   [[nodiscard]] CameraId camera_of(DetectionRef ref) const {
-    return CameraId(cameras_[checked(ref)]);
+    std::uint32_t i = checked(ref);
+    if (i >= hot_base_) return CameraId(cameras_[i - hot_base_]);
+    return CameraId(
+        cold_cameras(cold_[i / kDetectionBlockRows])[i % kDetectionBlockRows]);
   }
   [[nodiscard]] ObjectId object_of(DetectionRef ref) const {
-    return ObjectId(objects_[checked(ref)]);
+    std::uint32_t i = checked(ref);
+    if (i >= hot_base_) return ObjectId(objects_[i - hot_base_]);
+    return ObjectId(
+        cold_objects(cold_[i / kDetectionBlockRows])[i % kDetectionBlockRows]);
   }
   [[nodiscard]] DetectionId id_of(DetectionRef ref) const {
-    return DetectionId(ids_[checked(ref)]);
+    std::uint32_t i = checked(ref);
+    if (i >= hot_base_) return DetectionId(ids_[i - hot_base_]);
+    return DetectionId(
+        cold_ids(cold_[i / kDetectionBlockRows])[i % kDetectionBlockRows]);
   }
   [[nodiscard]] double confidence_of(DetectionRef ref) const {
-    return confidences_[checked(ref)];
+    std::uint32_t i = checked(ref);
+    if (i >= hot_base_) return confidences_[i - hot_base_];
+    return cold_confidences(
+        cold_[i / kDetectionBlockRows])[i % kDetectionBlockRows];
   }
-  /// The row's embedding as a view into the flattened arena.
+  /// The row's embedding. Hot rows view the flattened arena directly; cold
+  /// rows view this thread's decode scratch — the span stays valid until
+  /// the calling thread decodes a different cold block's embeddings.
   [[nodiscard]] std::span<const float> embedding(DetectionRef ref) const {
     std::uint32_t i = checked(ref);
-    std::size_t begin = i == 0 ? 0 : emb_offsets_[i - 1];
-    return {arena_.data() + begin, emb_offsets_[i] - begin};
+    if (i >= hot_base_) {
+      std::size_t h = i - hot_base_;
+      std::size_t begin = h == 0 ? 0 : emb_offsets_[h - 1];
+      return {arena_.data() + begin, emb_offsets_[h] - begin};
+    }
+    const CompressedBlock& cb = cold_[i / kDetectionBlockRows];
+    std::uint32_t local = i % kDetectionBlockRows;
+    const float* base = cold_embeddings(cb);
+    return {base + cb.emb_begin(local), cb.emb_dim_of(local)};
   }
 
   /// Materializes the full record (cold path: result assembly, wire
-  /// serialization, resync). Scan paths should use the column accessors.
+  /// serialization, resync). Scan paths should use the block scans.
   [[nodiscard]] Detection get(DetectionRef ref) const {
     std::uint32_t i = checked(ref);
     Detection d;
-    d.id = DetectionId(ids_[i]);
-    d.camera = CameraId(cameras_[i]);
-    d.object = ObjectId(objects_[i]);
-    d.time = TimePoint(times_[i]);
-    d.position = {xs_[i], ys_[i]};
-    d.confidence = confidences_[i];
+    if (i >= hot_base_) {
+      std::size_t h = i - hot_base_;
+      d.id = DetectionId(ids_[h]);
+      d.camera = CameraId(cameras_[h]);
+      d.object = ObjectId(objects_[h]);
+      d.time = TimePoint(times_[h]);
+      d.position = {xs_[h], ys_[h]};
+      d.confidence = confidences_[h];
+    } else {
+      const CompressedBlock& cb = cold_[i / kDetectionBlockRows];
+      std::uint32_t local = i % kDetectionBlockRows;
+      d.id = DetectionId(cb.id_at(local));
+      d.camera = CameraId(cb.camera_at(local));
+      d.object = ObjectId(cb.object_at(local));
+      d.time = TimePoint(cb.time_at(local));
+      d.position = {cb.x_at(local), cb.y_at(local)};
+      d.confidence = cb.confidence_at(local);
+    }
     std::span<const float> emb = embedding(ref);
     d.appearance.values.assign(emb.begin(), emb.end());
     return d;
   }
 
-  [[nodiscard]] std::size_t size() const { return ids_.size(); }
-  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return hot_base_ + ids_.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
   // ------------------------------------------------------------- blocks
 
@@ -319,18 +680,29 @@ class DetectionStore {
         std::min(size(), (block + 1) * kDetectionBlockRows));
     return {first, last};
   }
+  /// Whether block `b` lives in the cold tier.
+  [[nodiscard]] bool block_is_cold(std::size_t b) const {
+    return b < cold_.size();
+  }
+  [[nodiscard]] const CompressedBlock& cold_block(std::size_t b) const {
+    return cold_[b];
+  }
 
   // ------------------------------------------- vectorized block scans
   //
   // The production scan path: one block (4096-row morsel) at a time, each
-  // predicate evaluated branch-free over whole columns into a `uint32_t`
-  // selection vector (common/filter_kernel.h). A zone map proving the block
-  // fully inside every predicate emits the morsel wholesale without
-  // evaluating anything; otherwise predicates run most-selective-first
-  // (zone-estimated), so later predicates only touch survivors. Block
-  // entries write all accounting into the caller's MorselStats and never
-  // touch the store's mutable counters, so disjoint morsels of one store
-  // can be scanned from many threads (see MorselScanner).
+  // predicate evaluated branch-free into a `uint32_t` selection vector. A
+  // zone map proving the block fully inside every predicate emits the
+  // morsel wholesale without evaluating (or, for cold blocks, decoding)
+  // anything; otherwise predicates run most-selective-first
+  // (zone-estimated), so later predicates only touch survivors. Hot blocks
+  // run the plain kernels over the store's columns; cold blocks run the
+  // decode-fused kernels (common/filter_kernel.h) straight off packed
+  // codes into this thread's ColdScratch, counting one decode_morsel.
+  // Block entries write all accounting into the caller's MorselStats and
+  // never touch the store's mutable counters, so disjoint morsels of one
+  // store can be scanned from many threads (see MorselScanner) — each
+  // thread owns its scratch.
 
   /// Scans block `b` for rows with position ∈ `region`, time ∈ `interval`.
   /// Appends at most kDetectionBlockRows row ids into `sel`; returns how
@@ -339,35 +711,73 @@ class DetectionStore {
                                  const TimeInterval& interval,
                                  std::uint32_t* sel, MorselStats& ms) const {
     const DetectionBlockZone& z = zones_[b];
+    bool cold = b < cold_.size();
     if (!z.overlaps(interval) || !z.overlaps(region)) {
       ++ms.blocks_skipped;
+      ms.cold_blocks_skipped += cold;
       return 0;
     }
     ++ms.blocks_scanned;
+    ms.cold_blocks_scanned += cold;
     ++ms.morsels;
     auto [first, last] = block_rows(b);
     std::int64_t t0 = interval.begin.micros_since_origin();
     std::int64_t t1 = interval.end.micros_since_origin();
     bool all_time = z.within(interval);
     bool all_space = z.within(region);
-    std::uint32_t n;
     if (all_time && all_space) {
-      n = fill_identity(first, last, sel);
       ++ms.zone_fast_path;
-    } else if (all_space) {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += last - first;
-    } else if (all_time) {
-      n = filter_rect(xs_.data(), ys_.data(), first, last, region, sel);
-      ms.rows_evaluated += last - first;
-    } else if (z.space_selectivity(region) <= z.time_selectivity(interval)) {
-      n = filter_rect(xs_.data(), ys_.data(), first, last, region, sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_time(times_.data(), t0, t1, sel, n);
+      std::uint32_t n = fill_identity(first, last, sel);
+      ms.rows_selected += n;
+      return n;
+    }
+    std::uint32_t n;
+    if (cold) {
+      const CompressedBlock& cb = cold_[b];
+      ColdScratch& sc = cold_scratch();
+      sc.ensure(cb.uid);
+      ++ms.decode_morsels;
+      if (all_space) {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = cb.filter_rect(region, sc.xs, sc.ys, sel);
+        sc.valid |= ColdScratch::kPos;
+        ms.rows_evaluated += last - first;
+      } else if (z.space_selectivity(region) <= z.time_selectivity(interval)) {
+        n = cb.filter_rect(region, sc.xs, sc.ys, sel);
+        sc.valid |= ColdScratch::kPos;
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_time(t0, t1, sel, n);
+      } else {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_rect(region, sel, n);
+      }
+      offset_sel(sel, n, first);
     } else {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_rect(xs_.data(), ys_.data(), region, sel, n);
+      auto lf = static_cast<std::uint32_t>(first - hot_base_);
+      auto ll = static_cast<std::uint32_t>(last - hot_base_);
+      if (all_space) {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = filter_rect(xs_.data(), ys_.data(), lf, ll, region, sel);
+        ms.rows_evaluated += last - first;
+      } else if (z.space_selectivity(region) <= z.time_selectivity(interval)) {
+        n = filter_rect(xs_.data(), ys_.data(), lf, ll, region, sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_time(times_.data(), t0, t1, sel, n);
+      } else {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_rect(xs_.data(), ys_.data(), region, sel, n);
+      }
+      if (hot_base_ != 0) {
+        offset_sel(sel, n, static_cast<std::uint32_t>(hot_base_));
+      }
     }
     ms.rows_selected += n;
     return n;
@@ -379,77 +789,152 @@ class DetectionStore {
                                   std::uint32_t* sel, MorselStats& ms) const {
     const DetectionBlockZone& z = zones_[b];
     Rect box = circle.bounding_box();
+    bool cold = b < cold_.size();
     if (!z.overlaps(interval) || !z.overlaps(box)) {
       ++ms.blocks_skipped;
+      ms.cold_blocks_skipped += cold;
       return 0;
     }
     ++ms.blocks_scanned;
+    ms.cold_blocks_scanned += cold;
     ++ms.morsels;
     auto [first, last] = block_rows(b);
     std::int64_t t0 = interval.begin.micros_since_origin();
     std::int64_t t1 = interval.end.micros_since_origin();
     bool all_time = z.within(interval);
     bool all_space = z.within(circle);  // corner containment, not bbox-in-box
-    std::uint32_t n;
     if (all_time && all_space) {
-      n = fill_identity(first, last, sel);
       ++ms.zone_fast_path;
-    } else if (all_space) {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += last - first;
-    } else if (all_time) {
-      n = filter_circle(xs_.data(), ys_.data(), first, last, circle.center,
-                        circle.radius, sel);
-      ms.rows_evaluated += last - first;
-    } else if (z.space_selectivity(box) <= z.time_selectivity(interval)) {
-      n = filter_circle(xs_.data(), ys_.data(), first, last, circle.center,
-                        circle.radius, sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_time(times_.data(), t0, t1, sel, n);
+      std::uint32_t n = fill_identity(first, last, sel);
+      ms.rows_selected += n;
+      return n;
+    }
+    std::uint32_t n;
+    if (cold) {
+      const CompressedBlock& cb = cold_[b];
+      ColdScratch& sc = cold_scratch();
+      sc.ensure(cb.uid);
+      ++ms.decode_morsels;
+      if (all_space) {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = cb.filter_circle(circle.center, circle.radius, sc.xs, sc.ys, sel);
+        sc.valid |= ColdScratch::kPos;
+        ms.rows_evaluated += last - first;
+      } else if (z.space_selectivity(box) <= z.time_selectivity(interval)) {
+        n = cb.filter_circle(circle.center, circle.radius, sc.xs, sc.ys, sel);
+        sc.valid |= ColdScratch::kPos;
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_time(t0, t1, sel, n);
+      } else {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_circle(circle.center, circle.radius, sel, n);
+      }
+      offset_sel(sel, n, first);
     } else {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_circle(xs_.data(), ys_.data(), circle.center, circle.radius,
-                        sel, n);
+      auto lf = static_cast<std::uint32_t>(first - hot_base_);
+      auto ll = static_cast<std::uint32_t>(last - hot_base_);
+      if (all_space) {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = filter_circle(xs_.data(), ys_.data(), lf, ll, circle.center,
+                          circle.radius, sel);
+        ms.rows_evaluated += last - first;
+      } else if (z.space_selectivity(box) <= z.time_selectivity(interval)) {
+        n = filter_circle(xs_.data(), ys_.data(), lf, ll, circle.center,
+                          circle.radius, sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_time(times_.data(), t0, t1, sel, n);
+      } else {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_circle(xs_.data(), ys_.data(), circle.center, circle.radius,
+                          sel, n);
+      }
+      if (hot_base_ != 0) {
+        offset_sel(sel, n, static_cast<std::uint32_t>(hot_base_));
+      }
     }
     ms.rows_selected += n;
     return n;
   }
 
-  /// Scans block `b` for rows of `camera` during `interval`.
+  /// Scans block `b` for rows of `camera` during `interval`. Cold camera
+  /// equality runs in dictionary-code space without decoding the column.
   std::uint32_t scan_camera_block(std::size_t b, CameraId camera,
                                   const TimeInterval& interval,
                                   std::uint32_t* sel, MorselStats& ms) const {
     const DetectionBlockZone& z = zones_[b];
+    bool cold = b < cold_.size();
     if (!z.overlaps(interval) || !z.may_contain(camera)) {
       ++ms.blocks_skipped;
+      ms.cold_blocks_skipped += cold;
       return 0;
     }
     ++ms.blocks_scanned;
+    ms.cold_blocks_scanned += cold;
     ++ms.morsels;
     auto [first, last] = block_rows(b);
     std::int64_t t0 = interval.begin.micros_since_origin();
     std::int64_t t1 = interval.end.micros_since_origin();
     bool all_time = z.within(interval);
     bool all_camera = z.only_camera(camera);
-    std::uint32_t n;
     if (all_time && all_camera) {
-      n = fill_identity(first, last, sel);
       ++ms.zone_fast_path;
-    } else if (all_camera) {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += last - first;
-    } else if (all_time) {
-      n = filter_camera(cameras_.data(), first, last, camera.value(), sel);
-      ms.rows_evaluated += last - first;
-    } else if (z.camera_selectivity() <= z.time_selectivity(interval)) {
-      n = filter_camera(cameras_.data(), first, last, camera.value(), sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_time(times_.data(), t0, t1, sel, n);
+      std::uint32_t n = fill_identity(first, last, sel);
+      ms.rows_selected += n;
+      return n;
+    }
+    std::uint32_t n;
+    if (cold) {
+      const CompressedBlock& cb = cold_[b];
+      ColdScratch& sc = cold_scratch();
+      sc.ensure(cb.uid);
+      ++ms.decode_morsels;
+      if (all_camera) {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = cb.filter_camera(camera.value(), sel);
+        ms.rows_evaluated += last - first;
+      } else if (z.camera_selectivity() <= z.time_selectivity(interval)) {
+        n = cb.filter_camera(camera.value(), sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_time(t0, t1, sel, n);
+      } else {
+        n = cb.filter_time(t0, t1, sc.times, sel);
+        sc.valid |= ColdScratch::kTime;
+        ms.rows_evaluated += (last - first) + n;
+        n = cb.refine_camera(camera.value(), sel, n);
+      }
+      offset_sel(sel, n, first);
     } else {
-      n = filter_time(times_.data(), first, last, t0, t1, sel);
-      ms.rows_evaluated += (last - first) + n;
-      n = refine_camera(cameras_.data(), camera.value(), sel, n);
+      auto lf = static_cast<std::uint32_t>(first - hot_base_);
+      auto ll = static_cast<std::uint32_t>(last - hot_base_);
+      if (all_camera) {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += last - first;
+      } else if (all_time) {
+        n = filter_camera(cameras_.data(), lf, ll, camera.value(), sel);
+        ms.rows_evaluated += last - first;
+      } else if (z.camera_selectivity() <= z.time_selectivity(interval)) {
+        n = filter_camera(cameras_.data(), lf, ll, camera.value(), sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_time(times_.data(), t0, t1, sel, n);
+      } else {
+        n = filter_time(times_.data(), lf, ll, t0, t1, sel);
+        ms.rows_evaluated += (last - first) + n;
+        n = refine_camera(cameras_.data(), camera.value(), sel, n);
+      }
+      if (hot_base_ != 0) {
+        offset_sel(sel, n, static_cast<std::uint32_t>(hot_base_));
+      }
     }
     ms.rows_selected += n;
     return n;
@@ -529,7 +1014,9 @@ class DetectionStore {
   // The row-at-a-time paths the vectorized layer replaced, retained as the
   // differential-testing reference and the bench before/after baseline.
   // Same zone-map block skipping, but predicates branch per row and there
-  // is no selectivity-ordered evaluation.
+  // is no selectivity-ordered evaluation. Cold blocks are read through
+  // block_columns() (whole-column decode into scratch) — deliberately the
+  // simplest correct path, not the fused one under test.
 
   [[nodiscard]] std::vector<DetectionRef> scan_range_scalar(
       const Rect& region, const TimeInterval& interval) const {
@@ -537,20 +1024,27 @@ class DetectionStore {
     if (region.is_empty() || interval.empty()) return out;
     for (std::size_t b = 0; b < zones_.size(); ++b) {
       const DetectionBlockZone& z = zones_[b];
+      bool cold = b < cold_.size();
       if (!z.overlaps(interval) || !z.overlaps(region)) {
         ++blocks_skipped_;
+        cold_blocks_skipped_ += cold;
         continue;
       }
       ++blocks_scanned_;
+      cold_blocks_scanned_ += cold;
+      decode_morsels_ += cold;
       auto [first, last] = block_rows(b);
+      BlockColumnsView v = block_columns(b);
       bool all_time = z.within(interval);
       bool all_space = z.within(region);
       for (std::uint32_t i = first; i < last; ++i) {
-        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
-                           times_[i] < interval.end.micros_since_origin())) {
+        std::uint32_t j = i - v.base;
+        if (!all_time &&
+            !(v.times[j] >= interval.begin.micros_since_origin() &&
+              v.times[j] < interval.end.micros_since_origin())) {
           continue;
         }
-        if (!all_space && !region.contains(Point{xs_[i], ys_[i]})) continue;
+        if (!all_space && !region.contains(Point{v.xs[j], v.ys[j]})) continue;
         out.push_back(static_cast<DetectionRef>(i));
       }
     }
@@ -564,19 +1058,26 @@ class DetectionStore {
     Rect box = circle.bounding_box();
     for (std::size_t b = 0; b < zones_.size(); ++b) {
       const DetectionBlockZone& z = zones_[b];
+      bool cold = b < cold_.size();
       if (!z.overlaps(interval) || !z.overlaps(box)) {
         ++blocks_skipped_;
+        cold_blocks_skipped_ += cold;
         continue;
       }
       ++blocks_scanned_;
+      cold_blocks_scanned_ += cold;
+      decode_morsels_ += cold;
       auto [first, last] = block_rows(b);
+      BlockColumnsView v = block_columns(b);
       bool all_time = z.within(interval);
       for (std::uint32_t i = first; i < last; ++i) {
-        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
-                           times_[i] < interval.end.micros_since_origin())) {
+        std::uint32_t j = i - v.base;
+        if (!all_time &&
+            !(v.times[j] >= interval.begin.micros_since_origin() &&
+              v.times[j] < interval.end.micros_since_origin())) {
           continue;
         }
-        if (!circle.contains(Point{xs_[i], ys_[i]})) continue;
+        if (!circle.contains(Point{v.xs[j], v.ys[j]})) continue;
         out.push_back(static_cast<DetectionRef>(i));
       }
     }
@@ -589,17 +1090,24 @@ class DetectionStore {
     if (interval.empty()) return out;
     for (std::size_t b = 0; b < zones_.size(); ++b) {
       const DetectionBlockZone& z = zones_[b];
+      bool cold = b < cold_.size();
       if (!z.overlaps(interval) || !z.may_contain(camera)) {
         ++blocks_skipped_;
+        cold_blocks_skipped_ += cold;
         continue;
       }
       ++blocks_scanned_;
+      cold_blocks_scanned_ += cold;
+      decode_morsels_ += cold;
       auto [first, last] = block_rows(b);
+      BlockColumnsView v = block_columns(b);
       bool all_time = z.within(interval);
       for (std::uint32_t i = first; i < last; ++i) {
-        if (cameras_[i] != camera.value()) continue;
-        if (!all_time && !(times_[i] >= interval.begin.micros_since_origin() &&
-                           times_[i] < interval.end.micros_since_origin())) {
+        std::uint32_t j = i - v.base;
+        if (v.cameras[j] != camera.value()) continue;
+        if (!all_time &&
+            !(v.times[j] >= interval.begin.micros_since_origin() &&
+              v.times[j] < interval.end.micros_since_origin())) {
           continue;
         }
         out.push_back(static_cast<DetectionRef>(i));
@@ -611,19 +1119,31 @@ class DetectionStore {
   /// Cumulative zone-map accounting across every block-skipping scan.
   [[nodiscard]] std::uint64_t blocks_scanned() const { return blocks_scanned_; }
   [[nodiscard]] std::uint64_t blocks_skipped() const { return blocks_skipped_; }
+  /// Cold-tier slices of the cumulative counters.
+  [[nodiscard]] std::uint64_t cold_blocks_scanned() const {
+    return cold_blocks_scanned_;
+  }
+  [[nodiscard]] std::uint64_t cold_blocks_skipped() const {
+    return cold_blocks_skipped_;
+  }
+  [[nodiscard]] std::uint64_t decode_morsels() const { return decode_morsels_; }
 
   /// Folds externally-driven block-scan accounting (e.g. a MorselScanner
   /// run) into the cumulative counters. Call from one thread, after joins.
   void note_scan(const MorselStats& ms) const {
     blocks_scanned_ += ms.blocks_scanned;
     blocks_skipped_ += ms.blocks_skipped;
+    cold_blocks_scanned_ += ms.cold_blocks_scanned;
+    cold_blocks_skipped_ += ms.cold_blocks_skipped;
+    decode_morsels_ += ms.decode_morsels;
   }
 
   // ------------------------------------------------------------- memory
 
-  /// Exact resident bytes: hot columns + embedding arena + zone maps,
-  /// capacity-based (counts allocator slack, unlike the old AoS estimate
-  /// that ignored per-vector heap blocks entirely).
+  /// Exact resident bytes this store owns: hot columns + embedding arena +
+  /// zone maps + compressed cold blocks, capacity-based. The shared decode
+  /// scratch is reported separately (memory_breakdown().scratch_bytes) and
+  /// excluded here.
   [[nodiscard]] std::size_t memory_bytes() const {
     return memory_breakdown().total();
   }
@@ -640,21 +1160,27 @@ class DetectionStore {
                      emb_offsets_.capacity() * sizeof(std::uint64_t);
     m.arena_bytes = arena_.capacity() * sizeof(float);
     m.zone_bytes = zones_.capacity() * sizeof(DetectionBlockZone);
+    m.cold_bytes = compressed_bytes() +
+                   cold_.capacity() * sizeof(CompressedBlock);
+    m.scratch_bytes = cold_scratch_bytes();
     return m;
   }
 
   // ----------------------------------------------------------- snapshots
   //
-  // Column-wise wire image for recovery checkpoints: row count, then each
-  // hot column contiguously, then the embedding arena (floats as raw bits —
-  // snapshots must round-trip exactly, unlike the double-widened per-record
-  // wire form). Zone maps are not serialized; decode rebuilds them
-  // deterministically from the columns.
+  // Wire image v2 for recovery checkpoints: magic, the cold tier as
+  // compressed blocks (snapshots shrink with the store), then the hot tier
+  // column-wise in the v1 layout (floats as raw bits — snapshots must
+  // round-trip exactly). Zone maps are not serialized; decode rebuilds
+  // them deterministically — cold zones from decoded cold values, hot
+  // zones from the hot columns.
 
   void serialize_to(BinaryWriter& w) const {
+    w.write_u32(kStoreSnapshotMagic);
+    w.write_u32(static_cast<std::uint32_t>(cold_.size()));
+    for (const CompressedBlock& cb : cold_) cb.serialize_to(w);
     auto n = static_cast<std::uint32_t>(ids_.size());
-    w.reserve(4 + static_cast<std::size_t>(n) * 64 + 8 +
-              arena_.size() * 4);
+    w.reserve(4 + static_cast<std::size_t>(n) * 64 + 8 + arena_.size() * 4);
     w.write_u32(n);
     for (std::uint64_t v : ids_) w.write_u64(v);
     for (std::uint64_t v : cameras_) w.write_u64(v);
@@ -672,12 +1198,41 @@ class DetectionStore {
   /// reader is left failed() and the returned store is empty.
   [[nodiscard]] static DetectionStore deserialize_from(BinaryReader& r) {
     DetectionStore s;
+    auto poison = [&r] {
+      (void)r.read_bytes(r.remaining() + 1);
+      return DetectionStore{};
+    };
+    std::uint32_t magic = r.read_u32();
+    if (r.failed() || magic != kStoreSnapshotMagic) return poison();
+    std::uint32_t cold_n = r.read_u32();
+    // Each cold block serializes to well over 16 bytes and holds a full
+    // block of rows; a count the payload cannot hold (or that would push
+    // row ids past 32 bits) is corrupt.
+    if (r.failed() ||
+        static_cast<std::uint64_t>(cold_n) * kDetectionBlockRows >=
+            UINT32_MAX ||
+        static_cast<std::uint64_t>(cold_n) * 16 > r.remaining()) {
+      return poison();
+    }
+    s.cold_.reserve(cold_n);
+    for (std::uint32_t i = 0; i < cold_n; ++i) {
+      CompressedBlock cb;
+      if (!CompressedBlock::deserialize_from(r, cb) ||
+          cb.rows != kDetectionBlockRows) {
+        return poison();
+      }
+      s.cold_.push_back(std::move(cb));
+    }
+    s.hot_base_ = static_cast<std::size_t>(cold_n) * kDetectionBlockRows;
+    for (const CompressedBlock& cb : s.cold_) {
+      s.zones_.push_back(zone_from_cold(cb));
+    }
     std::uint32_t n = r.read_u32();
     // Eight fixed-width 8-byte columns per row: a row count the payload
     // cannot possibly hold is corrupt — poison the reader before reserving.
-    if (r.failed() || static_cast<std::uint64_t>(n) * 64 > r.remaining()) {
-      r.read_bytes(r.remaining() + 1);
-      return s;
+    if (r.failed() || static_cast<std::uint64_t>(n) * 64 > r.remaining() ||
+        s.hot_base_ + n >= UINT32_MAX) {
+      return poison();
     }
     s.ids_.reserve(n);
     s.cameras_.reserve(n);
@@ -700,10 +1255,7 @@ class DetectionStore {
       s.emb_offsets_.push_back(r.read_u64());
     }
     std::uint64_t arena_n = r.read_u64();
-    if (r.failed() || arena_n * 4 > r.remaining()) {
-      r.read_bytes(r.remaining() + 1);
-      return DetectionStore{};
-    }
+    if (r.failed() || arena_n * 4 > r.remaining()) return poison();
     s.arena_.reserve(arena_n);
     for (std::uint64_t i = 0; i < arena_n; ++i) {
       s.arena_.push_back(std::bit_cast<float>(r.read_u32()));
@@ -712,21 +1264,21 @@ class DetectionStore {
     // embedding() would hand out views past the arena.
     std::uint64_t prev = 0;
     for (std::uint64_t off : s.emb_offsets_) {
-      if (off < prev) {
-        r.read_bytes(r.remaining() + 1);
-        return DetectionStore{};
-      }
+      if (off < prev) return poison();
       prev = off;
     }
     if (r.failed() || (n > 0 && s.emb_offsets_.back() != arena_n)) {
-      r.read_bytes(r.remaining() + 1);
-      return DetectionStore{};
+      return poison();
     }
-    for (std::uint32_t row = 0; row < n; ++row) s.grow_zone(row);
+    for (std::uint32_t row = 0; row < n; ++row) {
+      s.grow_zone(static_cast<std::uint32_t>(s.hot_base_) + row);
+    }
     return s;
   }
 
  private:
+  static constexpr std::uint32_t kStoreSnapshotMagic = 0x53544332;  // "STC2"
+
   static void append_refs(const std::uint32_t* sel, std::uint32_t n,
                           std::vector<DetectionRef>& out) {
     std::size_t base = out.size();
@@ -738,12 +1290,14 @@ class DetectionStore {
 
   /// Fully-inside fast path for the single-threaded wrappers: the zone
   /// proved every row of block `b` qualifies, so the identity row range is
-  /// appended in one pass — no selection vector, no per-row predicate.
-  /// Accounting matches scan_*_block's fast-path case exactly.
+  /// appended in one pass — no selection vector, no per-row predicate, no
+  /// decode (the chief cold-tier win: a fully-covered cold block costs the
+  /// same as a hot one). Accounting matches scan_*_block's fast-path case.
   void append_identity_block(std::size_t b, MorselStats& ms,
                              std::vector<DetectionRef>& out) const {
     auto [first, last] = block_rows(b);
     ++ms.blocks_scanned;
+    ms.cold_blocks_scanned += b < cold_.size();
     ++ms.morsels;
     ++ms.zone_fast_path;
     ms.rows_selected += last - first;
@@ -764,27 +1318,98 @@ class DetectionStore {
 
   [[nodiscard]] std::uint32_t checked(DetectionRef ref) const {
     std::uint32_t i = to_index(ref);
-    STCN_CHECK(i < ids_.size());
+    STCN_CHECK(i < size());
     return i;
   }
 
+  /// Extends the newest hot block's zone with (global) row `row`.
   void grow_zone(std::uint32_t row) {
     if (row % kDetectionBlockRows == 0) zones_.emplace_back();
     DetectionBlockZone& z = zones_.back();
-    std::int64_t t = times_[row];
+    std::size_t h = row - hot_base_;
+    std::int64_t t = times_[h];
     z.t_min = std::min(z.t_min, t);
     z.t_max = std::max(z.t_max, t);
-    z.x_min = std::min(z.x_min, xs_[row]);
-    z.x_max = std::max(z.x_max, xs_[row]);
-    z.y_min = std::min(z.y_min, ys_[row]);
-    z.y_max = std::max(z.y_max, ys_[row]);
-    std::uint64_t cam = cameras_[row];
+    z.x_min = std::min(z.x_min, xs_[h]);
+    z.x_max = std::max(z.x_max, xs_[h]);
+    z.y_min = std::min(z.y_min, ys_[h]);
+    z.y_max = std::max(z.y_max, ys_[h]);
+    std::uint64_t cam = cameras_[h];
     z.camera_min = std::min(z.camera_min, cam);
     z.camera_max = std::max(z.camera_max, cam);
     z.camera_bits |= std::uint64_t{1} << (cam % 64);
   }
 
-  // Hot columns: one contiguous array per attribute, indexed by row.
+  /// Zone map of a cold block, computed from *decoded* values so every
+  /// read path (zone fast path, fused kernel, scalar loop, accessor) sees
+  /// one consistent quantized dataset. Carrying the raw-value zone over
+  /// would be slightly tighter but could disagree with decoded positions
+  /// at a quantum boundary.
+  [[nodiscard]] static DetectionBlockZone zone_from_cold(
+      const CompressedBlock& cb) {
+    DetectionBlockZone z;
+    const std::int64_t* times = cold_times(cb);
+    const double* xs = nullptr;
+    const double* ys = nullptr;
+    cold_positions(cb, xs, ys);
+    const std::uint64_t* cameras = cold_cameras(cb);
+    for (std::uint32_t i = 0; i < cb.rows; ++i) {
+      z.t_min = std::min(z.t_min, times[i]);
+      z.t_max = std::max(z.t_max, times[i]);
+      z.x_min = std::min(z.x_min, xs[i]);
+      z.x_max = std::max(z.x_max, xs[i]);
+      z.y_min = std::min(z.y_min, ys[i]);
+      z.y_max = std::max(z.y_max, ys[i]);
+      std::uint64_t cam = cameras[i];
+      z.camera_min = std::min(z.camera_min, cam);
+      z.camera_max = std::max(z.camera_max, cam);
+      z.camera_bits |= std::uint64_t{1} << (cam % 64);
+    }
+    return z;
+  }
+
+  /// Demotes sealed hot blocks past the configured hot watermark.
+  void maybe_demote() {
+    if (!tier_.enabled) return;
+    while (ids_.size() / kDetectionBlockRows > tier_.hot_sealed_blocks) {
+      demote_front_block();
+    }
+  }
+
+  /// Encodes the oldest sealed hot block into the cold tier and drops its
+  /// hot rows. Row ids are unchanged: the block keeps its position, only
+  /// its representation moves.
+  void demote_front_block() {
+    STCN_CHECK(ids_.size() >= kDetectionBlockRows);
+    auto k = static_cast<std::uint32_t>(kDetectionBlockRows);
+    cold_.push_back(CompressedBlock::encode(
+        ids_.data(), cameras_.data(), objects_.data(), times_.data(),
+        xs_.data(), ys_.data(), confidences_.data(), arena_.data(),
+        emb_offsets_.data(), k));
+    std::uint64_t emb_end = emb_offsets_[k - 1];
+    ids_.erase(ids_.begin(), ids_.begin() + k);
+    cameras_.erase(cameras_.begin(), cameras_.begin() + k);
+    objects_.erase(objects_.begin(), objects_.begin() + k);
+    times_.erase(times_.begin(), times_.begin() + k);
+    xs_.erase(xs_.begin(), xs_.begin() + k);
+    ys_.erase(ys_.begin(), ys_.begin() + k);
+    confidences_.erase(confidences_.begin(), confidences_.begin() + k);
+    arena_.erase(arena_.begin(),
+                 arena_.begin() + static_cast<std::ptrdiff_t>(emb_end));
+    emb_offsets_.erase(emb_offsets_.begin(), emb_offsets_.begin() + k);
+    for (std::uint64_t& off : emb_offsets_) off -= emb_end;
+    hot_base_ += kDetectionBlockRows;
+    // Re-derive the block's zone from decoded values (see zone_from_cold).
+    zones_[cold_.size() - 1] = zone_from_cold(cold_.back());
+  }
+
+  // Cold tier: compressed blocks covering rows [0, hot_base_).
+  std::vector<CompressedBlock> cold_;
+  std::size_t hot_base_ = 0;
+  StoreTierConfig tier_;
+
+  // Hot columns: one contiguous array per attribute, indexed by
+  // (row − hot_base_).
   std::vector<std::uint64_t> ids_;
   std::vector<std::uint64_t> cameras_;
   std::vector<std::uint64_t> objects_;
@@ -792,14 +1417,18 @@ class DetectionStore {
   std::vector<double> xs_;
   std::vector<double> ys_;
   std::vector<double> confidences_;
-  // Embedding arena: row i's floats live at [emb_offsets_[i-1],
-  // emb_offsets_[i]) (cumulative offsets tolerate ragged dimensions; with
+  // Embedding arena: hot row h's floats live at [emb_offsets_[h-1],
+  // emb_offsets_[h]) (cumulative offsets tolerate ragged dimensions; with
   // uniform dims the arena is a dense row-major matrix).
   std::vector<float> arena_;
   std::vector<std::uint64_t> emb_offsets_;
+  // Zone maps for every block, both tiers.
   std::vector<DetectionBlockZone> zones_;
   mutable std::uint64_t blocks_scanned_ = 0;
   mutable std::uint64_t blocks_skipped_ = 0;
+  mutable std::uint64_t cold_blocks_scanned_ = 0;
+  mutable std::uint64_t cold_blocks_skipped_ = 0;
+  mutable std::uint64_t decode_morsels_ = 0;
 };
 
 }  // namespace stcn

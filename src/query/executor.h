@@ -51,6 +51,10 @@ struct WorkerIndexes {
   /// append_copy; no path materializes Detection records.
   std::size_t compact(TimePoint horizon) {
     DetectionStore new_store;
+    // Propagate tiering before any rows land: surviving whole cold blocks
+    // then adopt verbatim (no decode/re-quantization) and surviving hot
+    // rows re-demote at the same watermark.
+    new_store.set_tier_config(store.tier_config());
     GridIndex new_grid(grid_config);
     TrajectoryStore new_trajectories;
     TemporalStore new_temporal;
@@ -109,6 +113,11 @@ struct ScanStats {
   std::uint64_t rows_evaluated = 0;
   std::uint64_t rows_selected = 0;
   std::uint64_t vectorized_morsels = 0;
+  // Cold-tier slices: blocks scanned/skipped that were compressed, and
+  // cold morsels that ran decode-fused kernels (hot = total − cold).
+  std::uint64_t cold_blocks_scanned = 0;
+  std::uint64_t cold_blocks_skipped = 0;
+  std::uint64_t decode_morsels = 0;
 };
 
 class LocalExecutor {
@@ -130,6 +139,9 @@ class LocalExecutor {
     MorselStats ms;  // vectorized-path accounting for this execution
     std::uint64_t blocks_scanned0 = indexes.store.blocks_scanned();
     std::uint64_t blocks_skipped0 = indexes.store.blocks_skipped();
+    std::uint64_t cold_scanned0 = indexes.store.cold_blocks_scanned();
+    std::uint64_t cold_skipped0 = indexes.store.cold_blocks_skipped();
+    std::uint64_t decode_morsels0 = indexes.store.decode_morsels();
     switch (query.kind) {
       case QueryKind::kRange: {
         for (DetectionRef ref :
@@ -216,6 +228,11 @@ class LocalExecutor {
       stats->rows_evaluated += ms.rows_evaluated;
       stats->rows_selected += ms.rows_selected;
       stats->vectorized_morsels += ms.morsels;
+      stats->cold_blocks_scanned +=
+          indexes.store.cold_blocks_scanned() - cold_scanned0;
+      stats->cold_blocks_skipped +=
+          indexes.store.cold_blocks_skipped() - cold_skipped0;
+      stats->decode_morsels += indexes.store.decode_morsels() - decode_morsels0;
     }
     return result;
   }
@@ -234,15 +251,20 @@ class LocalExecutor {
     }
     MorselStats local;
     std::vector<std::uint32_t> sel(kDetectionBlockRows);
-    const std::uint64_t* cameras = store.camera_column().data();
     bool by_camera = query.group_by == GroupBy::kCamera;
     std::uint64_t total = 0;
     for (std::size_t b = 0; b < store.block_count(); ++b) {
       std::uint32_t n = store.scan_range_block(b, query.region, query.interval,
                                                sel.data(), local);
       total += n;
-      if (by_camera) {
-        for (std::uint32_t i = 0; i < n; ++i) ++result.counts[cameras[sel[i]]];
+      if (by_camera && n > 0) {
+        // Per-block view: hot blocks read the store columns, cold blocks
+        // this thread's decode scratch (still valid — scan_range_block on
+        // a cold block just decoded it).
+        DetectionStore::BlockColumnsView v = store.block_columns(b);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          ++result.counts[v.cameras[sel[i] - v.base]];
+        }
       }
     }
     if (!by_camera) result.counts[0] = total;
@@ -262,8 +284,6 @@ class LocalExecutor {
     if (query.region.is_empty() || query.interval.empty()) return 0;
     MorselStats local;
     std::vector<std::uint32_t> sel(kDetectionBlockRows);
-    const double* xs = store.x_column().data();
-    const double* ys = store.y_column().data();
     std::size_t cols = query.heatmap_cols();
     std::size_t rows = query.heatmap_rows();
     constexpr std::size_t kMaxDenseCells = std::size_t{1} << 22;  // 32 MiB
@@ -274,8 +294,11 @@ class LocalExecutor {
         std::uint32_t n = store.scan_range_block(
             b, query.region, query.interval, sel.data(), local);
         total += n;
-        heatmap_accumulate(xs, ys, sel.data(), n, query.region.min,
-                           query.cell_size, cols, cells.data());
+        if (n == 0) continue;
+        DetectionStore::BlockColumnsView v = store.block_columns(b);
+        heatmap_accumulate(v.xs, v.ys, v.base, sel.data(), n,
+                           query.region.min, query.cell_size, cols,
+                           cells.data());
       }
       for (std::size_t c = 0; c < cells.size(); ++c) {
         if (cells[c] != 0) result.counts[c] += cells[c];
@@ -285,9 +308,11 @@ class LocalExecutor {
         std::uint32_t n = store.scan_range_block(
             b, query.region, query.interval, sel.data(), local);
         total += n;
+        if (n == 0) continue;
+        DetectionStore::BlockColumnsView v = store.block_columns(b);
         for (std::uint32_t i = 0; i < n; ++i) {
-          std::uint32_t row = sel[i];
-          ++result.counts[query.heatmap_cell(Point{xs[row], ys[row]})];
+          std::uint32_t row = sel[i] - v.base;
+          ++result.counts[query.heatmap_cell(Point{v.xs[row], v.ys[row]})];
         }
       }
     }

@@ -40,10 +40,47 @@ void ReidEngine::score_candidates(const Detection& probe, TimePoint probe_time,
     }
   }
   std::vector<double> sims(batch.size());
-  appearance_score_batch(probe.appearance.values.data(), dim, batch.data(),
-                         batch.size(), sims.data());
-  outcome.batched_scores += batch.size();
-  if (batched_scores_ != nullptr) batched_scores_->add(batch.size());
+  if (params_.quantized_prefilter && dim > 0 &&
+      batch.size() >= params_.quantized_min_batch) {
+    // Quantize the probe once, then score every candidate on int8 codes.
+    // A candidate whose quantized similarity plus the sound error bound
+    // still misses min_similarity cannot pass the gate below, so it keeps
+    // its quantized score (provably under the gate: bound >= 0) and never
+    // touches the float kernel. Survivors are rescored exactly in float,
+    // which makes the match set and scores identical to the float-only
+    // path.
+    std::vector<std::int8_t> probe_codes(dim);
+    EmbeddingQuantParams probe_q = quantize_embedding(
+        probe.appearance.values.data(), dim, probe_codes.data());
+    std::vector<std::int8_t> cand_codes(dim);
+    std::uint64_t float_dots = 0;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      EmbeddingQuantParams cand_q =
+          quantize_embedding(batch[b], dim, cand_codes.data());
+      double simq = quantized_dot(probe_codes.data(), probe_q,
+                                  cand_codes.data(), cand_q, dim);
+      double bound = quantized_dot_error_bound(probe_q, cand_q, dim);
+      if (simq + bound < params_.min_similarity) {
+        sims[b] = simq;
+        continue;
+      }
+      sims[b] =
+          appearance_dot(probe.appearance.values.data(), batch[b], dim);
+      ++float_dots;
+    }
+    outcome.quantized_scores += batch.size();
+    outcome.quantized_pruned += batch.size() - float_dots;
+    if (quantized_pruned_ != nullptr) {
+      quantized_pruned_->add(batch.size() - float_dots);
+    }
+    outcome.batched_scores += float_dots;
+    if (batched_scores_ != nullptr) batched_scores_->add(float_dots);
+  } else {
+    appearance_score_batch(probe.appearance.values.data(), dim, batch.data(),
+                           batch.size(), sims.data());
+    outcome.batched_scores += batch.size();
+    if (batched_scores_ != nullptr) batched_scores_->add(batch.size());
+  }
   for (std::size_t b = 0; b < batch.size(); ++b) {
     if (sims[b] < params_.min_similarity) continue;
     outcome.matches.push_back(

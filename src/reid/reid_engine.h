@@ -44,6 +44,15 @@ struct ReidParams {
   /// Weight of appearance similarity vs. travel-time likelihood.
   double appearance_weight = 4.0;
   std::size_t max_matches = 10;
+  /// Prefilter candidate batches with the int8 quantized dot before the
+  /// float kernel: a candidate whose quantized similarity plus its sound
+  /// error bound (common/appearance_kernel.h) still misses min_similarity
+  /// is rejected on int8 arithmetic alone; survivors are rescored in float,
+  /// so match sets and scores are bit-identical to the float-only path.
+  bool quantized_prefilter = true;
+  /// Batches smaller than this skip the prefilter (quantizing the probe
+  /// and candidates costs more than it saves on a handful of dots).
+  std::size_t quantized_min_batch = 8;
 };
 
 struct ReidMatch {
@@ -59,6 +68,11 @@ struct ReidOutcome {
   /// Similarities computed through the batched appearance kernel (the
   /// remainder fell back to scalar dots on dimension mismatch).
   std::uint64_t batched_scores = 0;
+  /// Candidates scored by the int8 quantized prefilter.
+  std::uint64_t quantized_scores = 0;
+  /// Candidates the prefilter rejected on the error bound alone (these
+  /// never reached the float kernel).
+  std::uint64_t quantized_pruned = 0;
 };
 
 class ReidEngine {
@@ -88,6 +102,9 @@ class ReidEngine {
     batched_scores_ = &registry.counter(
         "reid_batched_scores",
         "Appearance similarities computed by the batched kernel");
+    quantized_pruned_ = &registry.counter(
+        "reid_quantized_pruned",
+        "Candidates rejected by the int8 prefilter's error bound");
   }
 
  private:
@@ -98,7 +115,8 @@ class ReidEngine {
 
   const TransitionGraph& graph_;
   ReidParams params_;
-  Counter* batched_scores_ = nullptr;  // optional registry hookup
+  Counter* batched_scores_ = nullptr;    // optional registry hookup
+  Counter* quantized_pruned_ = nullptr;  // optional registry hookup
 };
 
 }  // namespace stcn

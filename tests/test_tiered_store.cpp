@@ -1,0 +1,413 @@
+// Differential tests for the tiered DetectionStore: compression must be
+// invisible to scan results. Once a block is demoted, its values are the
+// decoded (quantized) ones — time, camera, object, and id losslessly,
+// positions and confidence to a documented quantum — so the reference
+// answer for every query shape is a naive scan over the store's own
+// decoded rows. Every kernel (fused scan-on-compressed, zone skipping,
+// k-NN through the grid index, snapshot round-trips, compaction adoption)
+// must agree with that reference exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "baseline/centralized.h"
+#include "common/appearance_kernel.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "index/detection_store.h"
+#include "index/grid_index.h"
+#include "reid/reid_engine.h"
+#include "trace/generator.h"
+
+namespace stcn {
+namespace {
+
+constexpr double kWorld = 1000.0;
+
+Detection random_detection(Rng& rng, std::uint64_t id, std::size_t dim = 8) {
+  Detection d;
+  d.id = DetectionId(id);
+  d.camera = CameraId(1 + rng.uniform_index(40));
+  d.object = ObjectId(1 + rng.uniform_index(200));
+  d.time = TimePoint(rng.uniform_int(0, 1'000'000));
+  d.position = {rng.uniform(0, kWorld), rng.uniform(0, kWorld)};
+  if (rng.uniform_index(10) == 0) {
+    d.position.x = rng.uniform_index(2) == 0 ? 0.0 : kWorld;
+  }
+  if (rng.uniform_index(10) == 0) {
+    d.position.y = rng.uniform_index(2) == 0 ? 0.0 : kWorld;
+  }
+  d.confidence = rng.uniform(0, 1);
+  d.appearance.values.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    d.appearance.values[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  return d;
+}
+
+std::set<std::uint64_t> ids_of(const DetectionStore& store,
+                               const std::vector<DetectionRef>& refs) {
+  std::set<std::uint64_t> out;
+  for (DetectionRef r : refs) out.insert(store.id_of(r).value());
+  return out;
+}
+
+// Mixed-tier fixture: ~2.6 blocks demoted cold, one sealed block plus a
+// partial tail hot. The reference mirror is read back through get() AFTER
+// demotion, so it carries the decoded (quantized) values the kernels must
+// reproduce.
+class TieredDifferential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kRows = 3 * kDetectionBlockRows + 1500;
+
+  void SetUp() override {
+    store_.set_tier_config({true, 1});
+    Rng rng(GetParam());
+    for (std::uint64_t i = 1; i <= kRows; ++i) {
+      DetectionRef ref = store_.append(random_detection(rng, i));
+      index_.insert(store_, ref);
+    }
+    ASSERT_GT(store_.cold_block_count(), 0u);
+    ASSERT_LT(store_.cold_rows(), store_.size());  // hot tail remains
+    reference_.reserve(store_.size());
+    for (std::uint32_t i = 0; i < store_.size(); ++i) {
+      reference_.push_back(store_.get(static_cast<DetectionRef>(i)));
+    }
+  }
+
+  DetectionStore store_;
+  GridIndex index_{{Rect{{0, 0}, {kWorld, kWorld}}, 25.0}};
+  std::vector<Detection> reference_;  // decoded mirror
+};
+
+TEST_P(TieredDifferential, RangeMatchesReferenceScan) {
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rect region =
+        Rect::spanning({rng.uniform(0, kWorld), rng.uniform(0, kWorld)},
+                       {rng.uniform(0, kWorld), rng.uniform(0, kWorld)});
+    if (trial % 5 == 0) region = Rect{{0, 0}, {kWorld, kWorld}};  // full
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (region.contains(d.position) && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_range(region, interval)), expected)
+        << "store scan, trial " << trial;
+    EXPECT_EQ(ids_of(store_, index_.query_range(store_, region, interval)),
+              expected)
+        << "grid query, trial " << trial;
+  }
+}
+
+TEST_P(TieredDifferential, CircleMatchesReferenceScan) {
+  Rng rng(GetParam() + 31);
+  for (int trial = 0; trial < 30; ++trial) {
+    Circle circle{{rng.uniform(0, kWorld), rng.uniform(0, kWorld)},
+                  rng.uniform(5, 200)};
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (circle.contains(d.position) && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_circle(circle, interval)), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(TieredDifferential, CameraMatchesReferenceScan) {
+  Rng rng(GetParam() + 47);
+  for (int trial = 0; trial < 30; ++trial) {
+    CameraId camera(1 + rng.uniform_index(40));
+    TimeInterval interval{TimePoint(rng.uniform_int(0, 500'000)),
+                          TimePoint(rng.uniform_int(500'000, 1'000'000))};
+    std::set<std::uint64_t> expected;
+    for (const Detection& d : reference_) {
+      if (d.camera == camera && interval.contains(d.time)) {
+        expected.insert(d.id.value());
+      }
+    }
+    EXPECT_EQ(ids_of(store_, store_.scan_camera(camera, interval)), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(TieredDifferential, KnnMatchesReferenceScan) {
+  Rng rng(GetParam() + 63);
+  for (int trial = 0; trial < 20; ++trial) {
+    Point center{rng.uniform(-50, kWorld + 50), rng.uniform(-50, kWorld + 50)};
+    std::size_t k = 1 + rng.uniform_index(25);
+    auto result = index_.query_knn(store_, center, k, TimeInterval::all());
+    ASSERT_EQ(result.size(), std::min(k, reference_.size()));
+    std::vector<double> brute;
+    brute.reserve(reference_.size());
+    for (const Detection& d : reference_) {
+      brute.push_back(distance(d.position, center));
+    }
+    std::sort(brute.begin(), brute.end());
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      ASSERT_NEAR(result[i].second, brute[i], 1e-9)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST_P(TieredDifferential, SnapshotRoundTripPreservesTiersAndRows) {
+  BinaryWriter w;
+  store_.serialize_to(w);
+  BinaryReader r(w.bytes());
+  DetectionStore copy = DetectionStore::deserialize_from(r);
+  ASSERT_EQ(copy.size(), store_.size());
+  EXPECT_EQ(copy.cold_block_count(), store_.cold_block_count());
+  EXPECT_EQ(copy.cold_rows(), store_.cold_rows());
+  // Cold codes round-trip bit-identically, hot columns verbatim: every
+  // decoded row compares equal.
+  for (std::uint32_t i = 0; i < store_.size(); ++i) {
+    ASSERT_EQ(copy.get(static_cast<DetectionRef>(i)),
+              store_.get(static_cast<DetectionRef>(i)))
+        << "row " << i;
+  }
+  // And the decoded copy scans like the original.
+  Rect region{{100, 100}, {700, 800}};
+  TimeInterval interval{TimePoint(200'000), TimePoint(900'000)};
+  EXPECT_EQ(ids_of(copy, copy.scan_range(region, interval)),
+            ids_of(store_, store_.scan_range(region, interval)));
+}
+
+TEST_P(TieredDifferential, CompactionAdoptsColdBlocksVerbatim) {
+  DetectionStore dst;
+  dst.set_tier_config(store_.tier_config());
+  (void)dst.append_rows(store_, 0, static_cast<std::uint32_t>(store_.size()));
+  ASSERT_EQ(dst.size(), store_.size());
+  // Full-store compaction starts at a block boundary with an empty
+  // destination, so every cold block is adopted (no re-encode, no
+  // re-quantization drift): the codes — and the rows they decode to —
+  // carry over verbatim.
+  EXPECT_EQ(dst.cold_block_count(), store_.cold_block_count());
+  EXPECT_EQ(dst.cold_rows(), store_.cold_rows());
+  EXPECT_GT(dst.compressed_bytes(), 0u);
+  for (std::uint32_t i = 0; i < store_.size(); ++i) {
+    ASSERT_EQ(dst.get(static_cast<DetectionRef>(i)),
+              store_.get(static_cast<DetectionRef>(i)))
+        << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TieredDifferential,
+                         ::testing::Values(7, 99, 20260807));
+
+// Demotion is lossy only to the documented quanta: positions to half the
+// power-of-two quantum covering the block's coordinate range at 30 bits,
+// confidence at 15 bits, embeddings to half the per-row int8 scale; ids,
+// times, cameras, and objects exactly.
+TEST(TieredStore, DemotionErrorWithinDocumentedQuanta) {
+  DetectionStore store;
+  Rng rng(101);
+  std::vector<Detection> originals;
+  for (std::uint64_t i = 1; i <= kDetectionBlockRows; ++i) {
+    originals.push_back(random_detection(rng, i, 16));
+    (void)store.append(originals.back());
+  }
+  store.set_tier_config({true, 0});  // demotes the sealed block immediately
+  ASSERT_EQ(store.cold_block_count(), 1u);
+  // 30-bit quantization of a ≤1000 m coordinate range: quantum ≤ 2^-19 m.
+  const double pos_tol = std::ldexp(1.0, -20);  // quantum / 2
+  // 15 bits over a ≤1 range: quantum 2^-14, error ≤ quantum / 2.
+  const double conf_tol = std::ldexp(1.0, -15) + 1e-12;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    Detection got = store.get(static_cast<DetectionRef>(i));
+    const Detection& want = originals[i];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.camera, want.camera);
+    EXPECT_EQ(got.object, want.object);
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_NEAR(got.position.x, want.position.x, pos_tol);
+    EXPECT_NEAR(got.position.y, want.position.y, pos_tol);
+    EXPECT_NEAR(got.confidence, want.confidence, conf_tol);
+    ASSERT_EQ(got.appearance.values.size(), want.appearance.values.size());
+    // int8 over a ≤2 range: scale ≤ 2/254, per-component error ≤ scale/2.
+    for (std::size_t c = 0; c < want.appearance.values.size(); ++c) {
+      EXPECT_NEAR(got.appearance.values[c], want.appearance.values[c],
+                  1.0 / 254.0 + 1e-6)
+          << "row " << i << " component " << c;
+    }
+  }
+}
+
+TEST(TieredStore, FillTriggeredDemotionKeepsConfiguredHotWindow) {
+  DetectionStore store;
+  store.set_tier_config({true, 1});
+  Rng rng(5);
+  for (std::uint64_t i = 1; i <= 3 * kDetectionBlockRows; ++i) {
+    (void)store.append(random_detection(rng, i));
+  }
+  // Three sealed blocks, one allowed to stay hot: two demoted.
+  EXPECT_EQ(store.cold_block_count(), 2u);
+  EXPECT_EQ(store.cold_rows(), 2 * kDetectionBlockRows);
+  EXPECT_GT(store.compressed_bytes(), 0u);
+}
+
+TEST(TieredStore, AgeTriggeredDemotionRespectsCutoff) {
+  DetectionStore store;
+  // A huge hot window keeps fill-triggered demotion out of the way; only
+  // demote_older_than (the worker tick's age path) moves blocks cold.
+  store.set_tier_config({true, 1000});
+  for (std::uint64_t i = 0; i < 2 * kDetectionBlockRows + 100; ++i) {
+    Detection d;
+    d.id = DetectionId(i + 1);
+    d.camera = CameraId(1);
+    d.object = ObjectId(1);
+    d.time = TimePoint(static_cast<std::int64_t>(i));  // time-ordered
+    d.position = {1.0, 2.0};
+    (void)store.append(d);
+  }
+  // Cutoff inside block 1: only block 0 is entirely older.
+  EXPECT_EQ(store.demote_older_than(
+                TimePoint(static_cast<std::int64_t>(kDetectionBlockRows))),
+            1u);
+  EXPECT_EQ(store.cold_block_count(), 1u);
+  // Far-future cutoff demotes every FULL block; the partial tail and any
+  // mid-block rows stay hot.
+  (void)store.demote_older_than(TimePoint(1'000'000'000));
+  EXPECT_EQ(store.cold_block_count(), 2u);
+  EXPECT_EQ(store.size(), 2 * kDetectionBlockRows + 100);
+}
+
+TEST(TieredStore, MemoryBreakdownAccountsColdTier) {
+  DetectionStore store;
+  store.set_tier_config({true, 0});
+  Rng rng(23);
+  for (std::uint64_t i = 1; i <= 2 * kDetectionBlockRows + 64; ++i) {
+    (void)store.append(random_detection(rng, i, 16));
+  }
+  ASSERT_EQ(store.cold_block_count(), 2u);
+  auto m = store.memory_breakdown();
+  EXPECT_EQ(store.memory_bytes(), m.total());
+  EXPECT_GE(m.cold_bytes, store.compressed_bytes());
+  EXPECT_GT(m.hot_bytes(), 0u);
+  // Decode a cold block so this thread owns scratch, then confirm the
+  // process-wide scratch figure is visible but kept out of the total.
+  (void)store.scan_camera(CameraId(1), TimeInterval::all());
+  auto m2 = store.memory_breakdown();
+  EXPECT_GT(m2.scratch_bytes, 0u);
+  EXPECT_EQ(m2.total(),
+            m2.column_bytes + m2.arena_bytes + m2.zone_bytes + m2.cold_bytes);
+}
+
+TEST(TieredStore, CorruptSnapshotDecodesToEmptyStore) {
+  DetectionStore store;
+  store.set_tier_config({true, 0});
+  Rng rng(31);
+  for (std::uint64_t i = 1; i <= kDetectionBlockRows + 10; ++i) {
+    (void)store.append(random_detection(rng, i));
+  }
+  BinaryWriter w;
+  store.serialize_to(w);
+  const std::vector<std::uint8_t>& bytes = w.bytes();
+  // Truncation at every byte boundary in a coarse sweep must yield an
+  // empty store, never garbage or a crash.
+  for (std::size_t len = 0; len < bytes.size(); len += 97) {
+    BinaryReader r(bytes.data(), len);
+    DetectionStore got = DetectionStore::deserialize_from(r);
+    EXPECT_EQ(got.size(), 0u) << "truncated at " << len;
+  }
+  // A corrupted magic word is rejected outright.
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xFF;
+  BinaryReader r(bad);
+  EXPECT_EQ(DetectionStore::deserialize_from(r).size(), 0u);
+}
+
+// ---------------------------------------------- int8 quantized appearance
+
+TEST(QuantizedAppearance, DotErrorStaysWithinSoundBound) {
+  Rng rng(67);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t dim = 1 + rng.uniform_index(128);
+    std::vector<float> a(dim), b(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      a[i] = static_cast<float>(rng.uniform(-1, 1));
+      b[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+    std::vector<std::int8_t> qa(dim), qb(dim);
+    EmbeddingQuantParams pa = quantize_embedding(a.data(), dim, qa.data());
+    EmbeddingQuantParams pb = quantize_embedding(b.data(), dim, qb.data());
+    double exact = appearance_dot(a.data(), b.data(), dim);
+    double approx = quantized_dot(qa.data(), pa, qb.data(), pb, dim);
+    double bound = quantized_dot_error_bound(pa, pb, dim);
+    EXPECT_LE(std::abs(approx - exact), bound + 1e-12)
+        << "trial " << trial << " dim " << dim;
+  }
+}
+
+TEST(QuantizedAppearance, ConstantVectorQuantizesExactly) {
+  std::vector<float> a(16, 0.75f), b(16);
+  Rng rng(3);
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<std::int8_t> qa(16), qb(16);
+  EmbeddingQuantParams pa = quantize_embedding(a.data(), 16, qa.data());
+  EmbeddingQuantParams pb = quantize_embedding(b.data(), 16, qb.data());
+  EXPECT_EQ(pa.scale, 0.0f);  // degenerate range: offset carries everything
+  double exact = appearance_dot(a.data(), b.data(), 16);
+  double approx = quantized_dot(qa.data(), pa, qb.data(), pb, 16);
+  EXPECT_LE(std::abs(approx - exact),
+            quantized_dot_error_bound(pa, pb, 16) + 1e-12);
+}
+
+// The prefilter must be invisible: identical matches, scores, and order,
+// with a strictly smaller float-kernel bill.
+TEST(QuantizedAppearance, ReidPrefilterPreservesMatchesExactly) {
+  TraceConfig c;
+  c.roads.grid_cols = 10;
+  c.roads.grid_rows = 10;
+  c.cameras.camera_count = 50;
+  c.mobility.object_count = 40;
+  c.duration = Duration::minutes(5);
+  c.seed = 91;
+  Trace trace = TraceGenerator::generate(c);
+  CentralizedIndex index(trace.roads.bounds(150.0));
+  index.ingest_all(trace.detections);
+  TransitionGraph graph;
+  graph.learn(trace.detections);
+  LocalCandidateSource source(index, trace.cameras);
+
+  ReidParams quant;
+  quant.cone.max_hops = 3;
+  ReidParams plain = quant;
+  plain.quantized_prefilter = false;
+  ReidEngine quant_engine(graph, quant);
+  ReidEngine plain_engine(graph, plain);
+
+  std::uint64_t pruned = 0, float_dots_quant = 0, float_dots_plain = 0;
+  std::size_t compared = 0;
+  for (std::size_t p = 0; p < trace.detections.size(); p += 97) {
+    const Detection& probe = trace.detections[p];
+    TimeInterval horizon{probe.time, probe.time + Duration::minutes(3)};
+    ReidOutcome a = quant_engine.find_matches(probe, horizon, source);
+    ReidOutcome b = plain_engine.find_matches(probe, horizon, source);
+    ASSERT_EQ(a.matches.size(), b.matches.size()) << "probe " << p;
+    for (std::size_t m = 0; m < a.matches.size(); ++m) {
+      EXPECT_EQ(a.matches[m].detection.id, b.matches[m].detection.id);
+      EXPECT_EQ(a.matches[m].score, b.matches[m].score);  // bit-identical
+    }
+    pruned += a.quantized_pruned;
+    float_dots_quant += a.batched_scores;
+    float_dots_plain += b.batched_scores;
+    ++compared;
+  }
+  ASSERT_GT(compared, 10u);
+  EXPECT_GT(pruned, 0u) << "prefilter never fired";
+  EXPECT_LT(float_dots_quant, float_dots_plain);
+}
+
+}  // namespace
+}  // namespace stcn
